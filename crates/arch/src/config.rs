@@ -1,0 +1,257 @@
+//! Architecture configuration: grid extents, AOD resources, interaction
+//! radius and zone layout.
+//!
+//! Mirrors the paper's symbolic constants: `Xmax`, `Ymax`, `Hmax`, `Vmax`,
+//! `Cmax`, `Rmax`, the interaction radius `r`, and the entangling-zone
+//! bounds `Emin ≤ y ≤ Emax`. The three evaluated layouts (Sec. V-A) are
+//! provided as constructors.
+
+use serde::{Deserialize, Serialize};
+
+/// The three architecture layouts evaluated in the paper, plus a custom
+/// variant for design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Layout 1: a single entangling zone, no storage — idling qubits
+    /// cannot be shielded (the baseline).
+    NoShielding,
+    /// Layout 2: one storage zone (two rows) below the entangling zone.
+    BottomStorage,
+    /// Layout 3: storage zones (two rows each) on both sides of the
+    /// entangling zone.
+    DoubleSidedStorage,
+    /// Custom entangling-zone bounds for exploration.
+    Custom {
+        /// Lowest entangling row.
+        e_min: i64,
+        /// Highest entangling row.
+        e_max: i64,
+    },
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Layout::NoShielding => write!(f, "(1) No Shielding"),
+            Layout::BottomStorage => write!(f, "(2) Bottom Storage"),
+            Layout::DoubleSidedStorage => write!(f, "(3) Double-Sided Storage"),
+            Layout::Custom { e_min, e_max } => write!(f, "Custom [{e_min}, {e_max}]"),
+        }
+    }
+}
+
+/// Which zone an interaction-site row belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Zone {
+    /// Rows swept by the global Rydberg beam.
+    Entangling,
+    /// Rows shielded from the beam.
+    Storage,
+}
+
+/// Complete architecture description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Maximum x coordinate of an interaction site (`Xmax`).
+    pub x_max: i64,
+    /// Maximum y coordinate of an interaction site (`Ymax`).
+    pub y_max: i64,
+    /// Maximum |horizontal offset| within a site (`Hmax`).
+    pub h_max: i64,
+    /// Maximum |vertical offset| within a site (`Vmax`).
+    pub v_max: i64,
+    /// Maximum AOD column index (`Cmax`; `Cmax + 1` columns exist).
+    pub c_max: i64,
+    /// Maximum AOD row index (`Rmax`).
+    pub r_max: i64,
+    /// Interaction radius `r`: qubits interact iff they share a site and
+    /// `|Δh| < r ∧ |Δv| < r`.
+    pub radius: i64,
+    /// Lowest entangling-zone row (`Emin`).
+    pub e_min: i64,
+    /// Highest entangling-zone row (`Emax`).
+    pub e_max: i64,
+    /// The layout this configuration was derived from.
+    pub layout: Layout,
+    /// Distance between neighbouring trap sites inside a site (µm).
+    pub offset_pitch_um: f64,
+    /// Distance between interaction-site centers (µm).
+    pub site_pitch_um: f64,
+    /// Minimum separation between qubits in different zones (µm).
+    pub zone_gap_um: f64,
+}
+
+impl ArchConfig {
+    /// The paper's evaluation architecture (Sec. V-A) for a given layout:
+    /// 8 columns, 7 rows, offsets ≤ 2, six AOD lines per direction, r = 2,
+    /// 1 µm offset pitch, 14 µm site pitch, 20 µm zone separation.
+    pub fn paper(layout: Layout) -> Self {
+        let (e_min, e_max) = match layout {
+            Layout::NoShielding => (0, 6),
+            Layout::BottomStorage => (2, 6),
+            Layout::DoubleSidedStorage => (2, 4),
+            Layout::Custom { e_min, e_max } => (e_min, e_max),
+        };
+        ArchConfig {
+            x_max: 7,
+            y_max: 6,
+            h_max: 2,
+            v_max: 2,
+            c_max: 5,
+            r_max: 5,
+            radius: 2,
+            e_min,
+            e_max,
+            layout,
+            offset_pitch_um: 1.0,
+            site_pitch_um: 14.0,
+            zone_gap_um: 20.0,
+        }
+    }
+
+    /// Zone of interaction-site row `y`.
+    pub fn zone_of(&self, y: i64) -> Zone {
+        if y >= self.e_min && y <= self.e_max {
+            Zone::Entangling
+        } else {
+            Zone::Storage
+        }
+    }
+
+    /// `true` when the layout has at least one storage row.
+    pub fn has_storage(&self) -> bool {
+        self.e_min > 0 || self.e_max < self.y_max
+    }
+
+    /// Rows belonging to the storage zone(s), ascending.
+    pub fn storage_rows(&self) -> Vec<i64> {
+        (0..=self.y_max)
+            .filter(|&y| self.zone_of(y) == Zone::Storage)
+            .collect()
+    }
+
+    /// Rows belonging to the entangling zone, ascending.
+    pub fn entangling_rows(&self) -> Vec<i64> {
+        (self.e_min..=self.e_max).collect()
+    }
+
+    /// Number of interaction sites.
+    pub fn num_sites(&self) -> i64 {
+        (self.x_max + 1) * (self.y_max + 1)
+    }
+
+    /// Physical x position (µm) of site column `x` with offset `h`.
+    pub fn physical_x_um(&self, x: i64, h: i64) -> f64 {
+        x as f64 * self.site_pitch_um + h as f64 * self.offset_pitch_um
+    }
+
+    /// Physical y position (µm) of site row `y` with offset `v`, including
+    /// the extra spacing inserted at every zone boundary so that qubits in
+    /// different zones are at least `zone_gap_um` apart.
+    pub fn physical_y_um(&self, y: i64, v: i64) -> f64 {
+        let extra_per_boundary = (self.zone_gap_um - self.site_pitch_um).max(0.0);
+        let boundaries_below = (1..=y)
+            .filter(|&row| self.zone_of(row) != self.zone_of(row - 1))
+            .count();
+        y as f64 * self.site_pitch_um
+            + boundaries_below as f64 * extra_per_boundary
+            + v as f64 * self.offset_pitch_um
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.x_max < 0 || self.y_max < 0 {
+            return Err("grid extents must be non-negative".into());
+        }
+        if self.e_min < 0 || self.e_max > self.y_max || self.e_min > self.e_max {
+            return Err(format!(
+                "entangling zone [{}, {}] outside grid rows [0, {}]",
+                self.e_min, self.e_max, self.y_max
+            ));
+        }
+        if self.radius < 1 {
+            return Err("interaction radius must be at least 1".into());
+        }
+        if self.h_max < 0 || self.v_max < 0 || self.c_max < 0 || self.r_max < 0 {
+            return Err("offsets and AOD line counts must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layouts_match_section_5a() {
+        let l1 = ArchConfig::paper(Layout::NoShielding);
+        assert_eq!((l1.e_min, l1.e_max), (0, 6));
+        assert!(!l1.has_storage());
+        let l2 = ArchConfig::paper(Layout::BottomStorage);
+        assert_eq!((l2.e_min, l2.e_max), (2, 6));
+        assert_eq!(l2.storage_rows(), vec![0, 1]);
+        let l3 = ArchConfig::paper(Layout::DoubleSidedStorage);
+        assert_eq!((l3.e_min, l3.e_max), (2, 4));
+        assert_eq!(l3.storage_rows(), vec![0, 1, 5, 6]);
+        for l in [l1, l2, l3] {
+            assert_eq!((l.x_max, l.y_max), (7, 6));
+            assert_eq!((l.c_max, l.r_max), (5, 5));
+            assert_eq!((l.h_max, l.v_max), (2, 2));
+            assert_eq!(l.radius, 2);
+            l.validate().expect("paper config valid");
+        }
+    }
+
+    #[test]
+    fn zone_classification() {
+        let c = ArchConfig::paper(Layout::DoubleSidedStorage);
+        assert_eq!(c.zone_of(0), Zone::Storage);
+        assert_eq!(c.zone_of(2), Zone::Entangling);
+        assert_eq!(c.zone_of(4), Zone::Entangling);
+        assert_eq!(c.zone_of(5), Zone::Storage);
+    }
+
+    #[test]
+    fn physical_coordinates_respect_zone_gap() {
+        let c = ArchConfig::paper(Layout::BottomStorage);
+        // Rows 1 (storage) and 2 (entangling) must be ≥ 20 µm apart.
+        let gap = c.physical_y_um(2, 0) - c.physical_y_um(1, 0);
+        assert!(gap >= 20.0 - 1e-9, "zone gap {gap} < 20 µm");
+        // Rows within a zone keep the 14 µm pitch.
+        let pitch = c.physical_y_um(4, 0) - c.physical_y_um(3, 0);
+        assert!((pitch - 14.0).abs() < 1e-9);
+        // Offsets move by 1 µm.
+        assert!((c.physical_x_um(1, 1) - c.physical_x_um(1, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_sided_has_two_gaps() {
+        let c = ArchConfig::paper(Layout::DoubleSidedStorage);
+        let lower = c.physical_y_um(2, 0) - c.physical_y_um(1, 0);
+        let upper = c.physical_y_um(5, 0) - c.physical_y_um(4, 0);
+        assert!(lower >= 20.0 - 1e-9);
+        assert!(upper >= 20.0 - 1e-9);
+    }
+
+    #[test]
+    fn custom_layout_validation() {
+        let mut c = ArchConfig::paper(Layout::Custom { e_min: 3, e_max: 3 });
+        c.validate().expect("single-row entangling zone is fine");
+        c.e_min = 9;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layout::NoShielding.to_string(), "(1) No Shielding");
+        assert_eq!(
+            Layout::DoubleSidedStorage.to_string(),
+            "(3) Double-Sided Storage"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Positions on the zoned architecture: interaction sites with intra-site
+//! offsets, and the proximity predicate that decides which qubits a Rydberg
+//! beam entangles.
+
+use crate::config::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+/// A trap position: interaction-site coordinates plus intra-site offsets.
+///
+/// Matches the paper's per-qubit variables `(x, y, h, v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Position {
+    /// Interaction-site column, `0 ≤ x ≤ Xmax`.
+    pub x: i64,
+    /// Interaction-site row, `0 ≤ y ≤ Ymax`.
+    pub y: i64,
+    /// Horizontal offset within the site, `|h| ≤ Hmax`.
+    pub h: i64,
+    /// Vertical offset within the site, `|v| ≤ Vmax`.
+    pub v: i64,
+}
+
+impl Position {
+    /// Position at the center (SLM trap) of site `(x, y)`.
+    pub fn site_center(x: i64, y: i64) -> Self {
+        Position { x, y, h: 0, v: 0 }
+    }
+
+    /// `true` when at a site center (the only place an SLM trap exists).
+    pub fn is_center(&self) -> bool {
+        self.h == 0 && self.v == 0
+    }
+
+    /// `true` when within the architecture's bounds.
+    pub fn in_bounds(&self, cfg: &ArchConfig) -> bool {
+        (0..=cfg.x_max).contains(&self.x)
+            && (0..=cfg.y_max).contains(&self.y)
+            && self.h.abs() <= cfg.h_max
+            && self.v.abs() <= cfg.v_max
+    }
+
+    /// The interaction site `(x, y)` this position belongs to.
+    pub fn site(&self) -> (i64, i64) {
+        (self.x, self.y)
+    }
+
+    /// Lexicographic key ordering physical x positions: `(x, h)`.
+    pub fn x_key(&self) -> (i64, i64) {
+        (self.x, self.h)
+    }
+
+    /// Lexicographic key ordering physical y positions: `(y, v)`.
+    pub fn y_key(&self) -> (i64, i64) {
+        (self.y, self.v)
+    }
+
+    /// Physical coordinates in µm.
+    pub fn physical_um(&self, cfg: &ArchConfig) -> (f64, f64) {
+        (
+            cfg.physical_x_um(self.x, self.h),
+            cfg.physical_y_um(self.y, self.v),
+        )
+    }
+
+    /// Euclidean distance in µm to another position.
+    pub fn distance_um(&self, other: &Position, cfg: &ArchConfig) -> f64 {
+        let (x1, y1) = self.physical_um(cfg);
+        let (x2, y2) = other.physical_um(cfg);
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+    }
+
+    /// The paper's proximity predicate (Eq. 12): same interaction site and
+    /// both offset deltas strictly below the interaction radius. Qubits in
+    /// different sites never interact (sites are 14 µm apart).
+    pub fn near(&self, other: &Position, cfg: &ArchConfig) -> bool {
+        self.site() == other.site()
+            && (self.h - other.h).abs() < cfg.radius
+            && (self.v - other.v).abs() < cfg.radius
+    }
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})+({},{})", self.x, self.y, self.h, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Layout;
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::paper(Layout::BottomStorage)
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let c = cfg();
+        assert!(Position::site_center(0, 0).in_bounds(&c));
+        assert!(Position::site_center(7, 6).in_bounds(&c));
+        assert!(!Position::site_center(8, 0).in_bounds(&c));
+        assert!(!Position { x: 0, y: 0, h: 3, v: 0 }.in_bounds(&c));
+        assert!(Position { x: 0, y: 0, h: -2, v: 2 }.in_bounds(&c));
+    }
+
+    #[test]
+    fn proximity_within_site() {
+        let c = cfg();
+        let a = Position { x: 1, y: 2, h: 0, v: 0 };
+        let b = Position { x: 1, y: 2, h: 1, v: 0 };
+        let far = Position { x: 1, y: 2, h: 2, v: 0 };
+        assert!(a.near(&b, &c));
+        assert!(b.near(&a, &c));
+        assert!(!a.near(&far, &c), "|Δh| = 2 is not < r = 2");
+        assert!(b.near(&far, &c));
+    }
+
+    #[test]
+    fn different_sites_never_near() {
+        let c = cfg();
+        let a = Position { x: 1, y: 2, h: 2, v: 0 };
+        let b = Position { x: 2, y: 2, h: -2, v: 0 };
+        assert!(!a.near(&b, &c));
+    }
+
+    #[test]
+    fn diagonal_proximity() {
+        let c = cfg();
+        let a = Position { x: 3, y: 3, h: 0, v: 0 };
+        let b = Position { x: 3, y: 3, h: 1, v: 1 };
+        assert!(a.near(&b, &c), "diagonal neighbours within radius interact");
+    }
+
+    #[test]
+    fn physical_distance() {
+        let c = cfg();
+        let a = Position::site_center(0, 3);
+        let b = Position::site_center(1, 3);
+        assert!((a.distance_um(&b, &c) - 14.0).abs() < 1e-9);
+        let off = Position { x: 0, y: 3, h: 1, v: 0 };
+        assert!((a.distance_um(&off, &c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_keys() {
+        let a = Position { x: 1, y: 0, h: -2, v: 0 };
+        let b = Position { x: 1, y: 0, h: 1, v: 0 };
+        let c = Position { x: 2, y: 0, h: -2, v: 0 };
+        assert!(a.x_key() < b.x_key());
+        assert!(b.x_key() < c.x_key());
+    }
+}

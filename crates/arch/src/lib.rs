@@ -1,0 +1,45 @@
+//! # nasp-arch — zoned neutral atom architecture model
+//!
+//! The hardware substrate of the NASP reproduction (DATE 2025, Stade et
+//! al.): everything the scheduler needs to know about the machine, plus an
+//! independent operational validator and the paper's fidelity model.
+//!
+//! * [`ArchConfig`] / [`Layout`] — grid extents, AOD resources, interaction
+//!   radius and the three evaluated zone layouts (no shielding / bottom
+//!   storage / double-sided storage),
+//! * [`Position`] — interaction sites with intra-site offsets and the
+//!   proximity predicate deciding which pairs a Rydberg beam entangles,
+//! * [`Schedule`] — the discrete-stage execution model (Rydberg stages and
+//!   transfer stages with per-line store/load flags),
+//! * [`validate`](validate::validate) — re-checks constraint families C1–C6
+//!   on concrete schedules, independently of the SMT encoding,
+//! * [`metrics::evaluate`] — execution time and Approximated
+//!   Success Probability (ASP) under the paper's figures of merit.
+//!
+//! ## Example
+//!
+//! ```
+//! use nasp_arch::{ArchConfig, Layout, Position};
+//!
+//! let cfg = ArchConfig::paper(Layout::DoubleSidedStorage);
+//! assert_eq!(cfg.storage_rows(), vec![0, 1, 5, 6]);
+//! let a = Position { x: 1, y: 3, h: 0, v: 0 };
+//! let b = Position { x: 1, y: 3, h: 1, v: 0 };
+//! assert!(a.near(&b, &cfg)); // this pair would undergo a CZ
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod geometry;
+pub mod metrics;
+mod render;
+mod schedule;
+pub mod validate;
+
+pub use config::{ArchConfig, Layout, Zone};
+pub use geometry::Position;
+pub use render::render_schedule;
+pub use metrics::{evaluate, BoundaryOps, OpParams, ScheduleMetrics};
+pub use schedule::{QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
+pub use validate::{validate as validate_schedule, Violation};

@@ -1,0 +1,338 @@
+//! Fidelity and timing model: the Approximated Success Probability (ASP)
+//! and execution-time computation of the paper's evaluation (Sec. V-A).
+//!
+//! `ASP = exp(−t_idle / T_eff) · Π F_g`, with the figures of merit from the
+//! paper's table: CZ 0.995, faulty Rydberg identity 0.998, local RZ 0.999
+//! (12 µs), global RY 0.9999 (1 µs), load/store 0.999 (200 µs), shuttling
+//! lossless at 0.55 µs/µm; `T_eff` = 1 s.
+
+use crate::config::Zone;
+use crate::schedule::{Schedule, StageKind};
+use serde::{Deserialize, Serialize};
+
+/// Figures of merit for every operation type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpParams {
+    /// CZ gate fidelity.
+    pub cz_fidelity: f64,
+    /// Fidelity of the faulty identity a Rydberg beam applies to an
+    /// exposed idling qubit.
+    pub rydberg_idle_fidelity: f64,
+    /// Rydberg beam duration (µs).
+    pub rydberg_duration_us: f64,
+    /// Local RZ fidelity (used for the final Hadamard layer).
+    pub local_rz_fidelity: f64,
+    /// Local RZ duration (µs).
+    pub local_rz_duration_us: f64,
+    /// Global RY fidelity per qubit (used for |+⟩ initialization and the
+    /// global part of Hadamards).
+    pub global_ry_fidelity: f64,
+    /// Global RY duration (µs).
+    pub global_ry_duration_us: f64,
+    /// Fidelity of one trap transfer (load or store) per qubit.
+    pub transfer_fidelity: f64,
+    /// Duration of a load or store operation (µs).
+    pub transfer_duration_us: f64,
+    /// Shuttling time per µm of displacement (µs/µm).
+    pub shuttle_speed_us_per_um: f64,
+    /// Effective idle coherence time `T_eff` (µs).
+    pub t_eff_us: f64,
+}
+
+impl Default for OpParams {
+    /// The paper's evaluation parameters.
+    fn default() -> Self {
+        OpParams {
+            cz_fidelity: 0.995,
+            rydberg_idle_fidelity: 0.998,
+            rydberg_duration_us: 0.27,
+            local_rz_fidelity: 0.999,
+            local_rz_duration_us: 12.0,
+            global_ry_fidelity: 0.9999,
+            global_ry_duration_us: 1.0,
+            transfer_fidelity: 0.999,
+            transfer_duration_us: 200.0,
+            shuttle_speed_us_per_um: 0.55,
+            t_eff_us: 1e6,
+        }
+    }
+}
+
+/// Boundary costs of the circuit around the scheduled CZ core: the |+⟩
+/// initialization and the final local-Clifford layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryOps {
+    /// Number of qubits receiving a final Hadamard (local RZ + global RY).
+    pub hadamards: usize,
+    /// Number of qubits receiving a final S gate (local RZ).
+    pub phase_gates: usize,
+}
+
+/// Metrics of one schedule — the paper's Table I columns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Number of Rydberg stages (`#R`).
+    pub num_rydberg: usize,
+    /// Number of transfer stages (`#T`).
+    pub num_transfer: usize,
+    /// Total schedule execution time in µs (the paper's 🕐 column, ms there).
+    pub exec_time_us: f64,
+    /// Accumulated idle time over all qubits (µs).
+    pub idle_time_us: f64,
+    /// Number of CZ gates executed.
+    pub cz_count: usize,
+    /// Number of (qubit, beam) exposures of idlers to the Rydberg beam.
+    pub exposed_idlers: usize,
+    /// Number of individual load/store qubit transfers.
+    pub transfer_ops: usize,
+    /// Approximated Success Probability.
+    pub asp: f64,
+}
+
+impl ScheduleMetrics {
+    /// Execution time in milliseconds (as printed in Table I).
+    pub fn exec_time_ms(&self) -> f64 {
+        self.exec_time_us / 1e3
+    }
+}
+
+/// Evaluates a schedule under the fidelity/timing model.
+///
+/// `boundary` describes the non-scheduled parts of the circuit (the |+⟩
+/// initialization and final Hadamard/S layer), which contribute fidelity
+/// and time but no shuttling.
+pub fn evaluate(schedule: &Schedule, params: &OpParams, boundary: BoundaryOps) -> ScheduleMetrics {
+    let n = schedule.num_qubits as f64;
+    let mut time_us = 0.0;
+    let mut idle_us = 0.0;
+    let mut log_fidelity = 0.0f64;
+    let mut cz_count = 0usize;
+    let mut exposed = 0usize;
+    let mut transfer_ops = 0usize;
+
+    // Initialization: global RY on all qubits (everyone busy).
+    time_us += params.global_ry_duration_us;
+    log_fidelity += n * params.global_ry_fidelity.ln();
+
+    for (t, stage) in schedule.stages.iter().enumerate() {
+        match &stage.kind {
+            StageKind::Rydberg => {
+                let pairs = schedule.executed_pairs(t);
+                cz_count += pairs.len();
+                let busy = 2 * pairs.len();
+                // Idlers left inside the entangling zone suffer the faulty
+                // identity.
+                let gated: std::collections::HashSet<usize> =
+                    pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+                let exposed_here = stage
+                    .qubits
+                    .iter()
+                    .enumerate()
+                    .filter(|(q, qs)| {
+                        !gated.contains(q)
+                            && schedule.config.zone_of(qs.pos.y) == Zone::Entangling
+                    })
+                    .count();
+                exposed += exposed_here;
+                log_fidelity += pairs.len() as f64 * params.cz_fidelity.ln();
+                log_fidelity += exposed_here as f64 * params.rydberg_idle_fidelity.ln();
+                time_us += params.rydberg_duration_us;
+                idle_us += (n - busy as f64) * params.rydberg_duration_us;
+            }
+            StageKind::Transfer(_) => {
+                let (stored, loaded) = schedule.transferred(t);
+                transfer_ops += stored.len() + loaded.len();
+                if !stored.is_empty() {
+                    time_us += params.transfer_duration_us;
+                    idle_us += (n - stored.len() as f64) * params.transfer_duration_us;
+                    log_fidelity += stored.len() as f64 * params.transfer_fidelity.ln();
+                }
+                if !loaded.is_empty() {
+                    time_us += params.transfer_duration_us;
+                    idle_us += (n - loaded.len() as f64) * params.transfer_duration_us;
+                    log_fidelity += loaded.len() as f64 * params.transfer_fidelity.ln();
+                }
+            }
+        }
+        // Shuttling to the next stage's positions.
+        let dist = schedule.shuttle_distance_um(t);
+        if dist > 0.0 {
+            let dur = dist * params.shuttle_speed_us_per_um;
+            time_us += dur;
+            // Static qubits idle during the move.
+            let movers = moved_count(schedule, t);
+            idle_us += (n - movers as f64) * dur;
+        }
+    }
+
+    // Final local-Clifford layer: one global RY pulse plus local RZ gates
+    // (applied in parallel on the addressed qubits).
+    let local_ops = boundary.hadamards + boundary.phase_gates;
+    if boundary.hadamards > 0 {
+        time_us += params.global_ry_duration_us;
+        log_fidelity += n * params.global_ry_fidelity.ln();
+    }
+    if local_ops > 0 {
+        time_us += params.local_rz_duration_us;
+        idle_us += (n - local_ops.min(schedule.num_qubits) as f64)
+            * params.local_rz_duration_us;
+        log_fidelity += local_ops as f64 * params.local_rz_fidelity.ln();
+    }
+
+    let asp = (-(idle_us / params.t_eff_us)).exp() * log_fidelity.exp();
+    ScheduleMetrics {
+        num_rydberg: schedule.num_rydberg(),
+        num_transfer: schedule.num_transfer(),
+        exec_time_us: time_us,
+        idle_time_us: idle_us,
+        cz_count,
+        exposed_idlers: exposed,
+        transfer_ops,
+        asp,
+    }
+}
+
+fn moved_count(schedule: &Schedule, t: usize) -> usize {
+    let Some(next) = schedule.stages.get(t + 1) else {
+        return 0;
+    };
+    let cur = &schedule.stages[t];
+    (0..schedule.num_qubits)
+        .filter(|&q| cur.qubits[q].pos != next.qubits[q].pos)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchConfig, Layout};
+    use crate::geometry::Position;
+    use crate::schedule::{QubitState, Stage, Trap, TransferFlags};
+
+    fn one_beam_schedule(layout: Layout, idler_y: i64) -> Schedule {
+        let config = ArchConfig::paper(layout);
+        let stage = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![
+                QubitState {
+                    pos: Position::site_center(0, 3),
+                    trap: Trap::Slm,
+                },
+                QubitState {
+                    pos: Position { x: 0, y: 3, h: 1, v: 0 },
+                    trap: Trap::Aod { col: 0, row: 0 },
+                },
+                QubitState {
+                    pos: Position::site_center(4, idler_y),
+                    trap: Trap::Slm,
+                },
+            ],
+        };
+        Schedule {
+            config,
+            num_qubits: 3,
+            stages: vec![stage],
+        }
+    }
+
+    #[test]
+    fn shielded_idler_avoids_rydberg_error() {
+        let p = OpParams::default();
+        let shielded = one_beam_schedule(Layout::BottomStorage, 0);
+        let exposed = one_beam_schedule(Layout::NoShielding, 3);
+        let m_s = evaluate(&shielded, &p, BoundaryOps::default());
+        let m_e = evaluate(&exposed, &p, BoundaryOps::default());
+        assert_eq!(m_s.exposed_idlers, 0);
+        assert_eq!(m_e.exposed_idlers, 1);
+        assert!(
+            m_s.asp > m_e.asp,
+            "shielding must improve ASP: {} vs {}",
+            m_s.asp,
+            m_e.asp
+        );
+        assert_eq!(m_s.cz_count, 1);
+    }
+
+    #[test]
+    fn transfer_costs_time_and_fidelity() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let mut flags = TransferFlags::default();
+        flags.col_store.insert(0);
+        let s0 = Stage {
+            kind: StageKind::Transfer(flags),
+            qubits: vec![QubitState {
+                pos: Position::site_center(0, 0),
+                trap: Trap::Aod { col: 0, row: 0 },
+            }],
+        };
+        let s1 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![QubitState {
+                pos: Position::site_center(0, 0),
+                trap: Trap::Slm,
+            }],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 1,
+            stages: vec![s0, s1],
+        };
+        let m = evaluate(&s, &OpParams::default(), BoundaryOps::default());
+        assert_eq!(m.transfer_ops, 1);
+        assert!(m.exec_time_us >= 200.0, "store takes 200 µs");
+        assert!(m.asp < 1.0);
+    }
+
+    #[test]
+    fn shuttle_time_scales_with_distance() {
+        let config = ArchConfig::paper(Layout::NoShielding);
+        let q = |x: i64| QubitState {
+            pos: Position::site_center(x, 0),
+            trap: Trap::Aod { col: 0, row: 0 },
+        };
+        let make = |x1: i64| Schedule {
+            config: config.clone(),
+            num_qubits: 1,
+            stages: vec![
+                Stage {
+                    kind: StageKind::Rydberg,
+                    qubits: vec![q(0)],
+                },
+                Stage {
+                    kind: StageKind::Rydberg,
+                    qubits: vec![q(x1)],
+                },
+            ],
+        };
+        let near = evaluate(&make(1), &OpParams::default(), BoundaryOps::default());
+        let far = evaluate(&make(7), &OpParams::default(), BoundaryOps::default());
+        assert!(far.exec_time_us > near.exec_time_us);
+        let delta = far.exec_time_us - near.exec_time_us;
+        // 6 extra sites × 14 µm × 0.55 µs/µm.
+        assert!((delta - 6.0 * 14.0 * 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_ops_contribute() {
+        let s = one_beam_schedule(Layout::BottomStorage, 0);
+        let p = OpParams::default();
+        let bare = evaluate(&s, &p, BoundaryOps::default());
+        let with_h = evaluate(
+            &s,
+            &p,
+            BoundaryOps {
+                hadamards: 2,
+                phase_gates: 0,
+            },
+        );
+        assert!(with_h.asp < bare.asp);
+        assert!(with_h.exec_time_us > bare.exec_time_us);
+    }
+
+    #[test]
+    fn asp_in_unit_interval() {
+        let s = one_beam_schedule(Layout::NoShielding, 3);
+        let m = evaluate(&s, &OpParams::default(), BoundaryOps::default());
+        assert!(m.asp > 0.0 && m.asp <= 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! ASCII rendering of schedules — a textual version of the paper's Figs. 1
+//! and 2: one frame per stage showing the grid, zones, qubit positions and
+//! trap types.
+
+use std::fmt::Write as _;
+
+use crate::config::Zone;
+use crate::schedule::{Schedule, StageKind};
+
+/// Renders a schedule as a sequence of ASCII frames (one per stage).
+///
+/// Legend: `[q]` = qubit `q` in an SLM trap, `(q)` = qubit `q` in an AOD
+/// trap, `·` = empty interaction site; storage rows carry a `~` margin.
+/// Qubit offsets within a site are not drawn; co-located gate pairs show as
+/// two qubits in one cell.
+///
+/// # Examples
+///
+/// ```
+/// use nasp_arch::{render_schedule, ArchConfig, Layout, Schedule};
+///
+/// let schedule = Schedule {
+///     config: ArchConfig::paper(Layout::BottomStorage),
+///     num_qubits: 0,
+///     stages: vec![],
+/// };
+/// assert!(render_schedule(&schedule).contains("0 stages"));
+/// ```
+pub fn render_schedule(schedule: &Schedule) -> String {
+    let cfg = &schedule.config;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule: {} stages ({} Rydberg, {} transfer)",
+        schedule.stages.len(),
+        schedule.num_rydberg(),
+        schedule.num_transfer()
+    );
+    for (t, stage) in schedule.stages.iter().enumerate() {
+        match &stage.kind {
+            StageKind::Rydberg => {
+                let pairs = schedule.executed_pairs(t);
+                let _ = writeln!(out, "-- stage {t}: RYDBERG BEAM, CZ {pairs:?}");
+            }
+            StageKind::Transfer(_) => {
+                let (stored, loaded) = schedule.transferred(t);
+                let _ = writeln!(
+                    out,
+                    "-- stage {t}: TRANSFER, store {stored:?} load {loaded:?}"
+                );
+            }
+        }
+        // Build the grid top-down (high y first, like the paper's figures).
+        for y in (0..=cfg.y_max).rev() {
+            let margin = match cfg.zone_of(y) {
+                Zone::Entangling => ' ',
+                Zone::Storage => '~',
+            };
+            let _ = write!(out, "  {margin} y{y} |");
+            for x in 0..=cfg.x_max {
+                let here: Vec<(usize, bool)> = stage
+                    .qubits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, qs)| qs.pos.site() == (x, y))
+                    .map(|(q, qs)| (q, qs.trap.is_aod()))
+                    .collect();
+                let cell = match here.as_slice() {
+                    [] => "  ·  ".to_string(),
+                    [(q, aod)] => {
+                        if *aod {
+                            format!(" ({q:>2})")
+                        } else {
+                            format!(" [{q:>2}]")
+                        }
+                    }
+                    many => {
+                        let ids: Vec<String> =
+                            many.iter().map(|(q, _)| q.to_string()).collect();
+                        format!("{:>5}", ids.join("+"))
+                    }
+                };
+                let _ = write!(out, "{cell}");
+            }
+            let _ = writeln!(out, " |");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchConfig, Layout};
+    use crate::geometry::Position;
+    use crate::schedule::{QubitState, Stage, Trap};
+
+    #[test]
+    fn renders_qubits_and_zones() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let schedule = Schedule {
+            config,
+            num_qubits: 2,
+            stages: vec![Stage {
+                kind: StageKind::Rydberg,
+                qubits: vec![
+                    QubitState {
+                        pos: Position::site_center(0, 3),
+                        trap: Trap::Slm,
+                    },
+                    QubitState {
+                        pos: Position {
+                            x: 0,
+                            y: 3,
+                            h: 1,
+                            v: 0,
+                        },
+                        trap: Trap::Aod { col: 0, row: 0 },
+                    },
+                ],
+            }],
+        };
+        let text = render_schedule(&schedule);
+        assert!(text.contains("RYDBERG BEAM"));
+        assert!(text.contains("CZ [(0, 1)]"));
+        assert!(text.contains("0+1"), "co-located pair cell: {text}");
+        assert!(text.contains('~'), "storage margin shown");
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let schedule = Schedule {
+            config: ArchConfig::paper(Layout::NoShielding),
+            num_qubits: 0,
+            stages: vec![],
+        };
+        assert!(render_schedule(&schedule).contains("0 stages"));
+    }
+}

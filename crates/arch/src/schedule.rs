@@ -1,0 +1,301 @@
+//! The schedule data model: the sequence of stages a compiled
+//! state-preparation program executes on the zoned architecture.
+//!
+//! Mirrors the paper's discrete-stage model (Sec. IV-A): each stage records
+//! every qubit's trap position *at the start* of the stage. An execution
+//! stage fires the global Rydberg beam and then shuttles; a transfer stage
+//! first stores/loads qubits (AOD↔SLM) according to per-line flags and then
+//! shuttles. Positions at the next stage's start are the post-shuttle
+//! positions.
+
+use std::collections::BTreeSet;
+
+use crate::config::{ArchConfig, Zone};
+use crate::geometry::Position;
+use serde::{Deserialize, Serialize};
+
+/// Trap holding a qubit: static SLM or an AOD crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trap {
+    /// Static SLM trap (site centers only).
+    Slm,
+    /// Adjustable AOD trap at the crossing of `col` and `row`.
+    Aod {
+        /// AOD column index, `0 ≤ col ≤ Cmax`.
+        col: i64,
+        /// AOD row index, `0 ≤ row ≤ Rmax`.
+        row: i64,
+    },
+}
+
+impl Trap {
+    /// `true` for AOD traps.
+    pub fn is_aod(&self) -> bool {
+        matches!(self, Trap::Aod { .. })
+    }
+}
+
+/// A qubit's full state at the start of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QubitState {
+    /// Trap position.
+    pub pos: Position,
+    /// Trap type (and AOD line assignment).
+    pub trap: Trap,
+}
+
+/// Store/load line flags of a transfer stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferFlags {
+    /// AOD columns whose qubits are stored (AOD → SLM).
+    pub col_store: BTreeSet<i64>,
+    /// AOD rows whose qubits are stored.
+    pub row_store: BTreeSet<i64>,
+    /// AOD columns whose qubits are loaded (SLM → AOD).
+    pub col_load: BTreeSet<i64>,
+    /// AOD rows whose qubits are loaded.
+    pub row_load: BTreeSet<i64>,
+}
+
+impl TransferFlags {
+    /// `true` if any store flag is set.
+    pub fn any_store(&self) -> bool {
+        !self.col_store.is_empty() || !self.row_store.is_empty()
+    }
+
+    /// `true` if any load flag is set.
+    pub fn any_load(&self) -> bool {
+        !self.col_load.is_empty() || !self.row_load.is_empty()
+    }
+}
+
+/// The kind of a stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Execution stage: global Rydberg beam, then shuttling.
+    Rydberg,
+    /// Transfer stage: store/load per the flags, then shuttling.
+    Transfer(TransferFlags),
+}
+
+/// One stage of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage kind.
+    pub kind: StageKind,
+    /// Per-qubit state at the start of this stage (indexed by qubit id).
+    pub qubits: Vec<QubitState>,
+}
+
+impl Stage {
+    /// `true` for execution (Rydberg) stages.
+    pub fn is_rydberg(&self) -> bool {
+        matches!(self.kind, StageKind::Rydberg)
+    }
+}
+
+/// A complete schedule for one state-preparation circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Architecture the schedule targets.
+    pub config: ArchConfig,
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl Schedule {
+    /// Number of execution (Rydberg) stages — the paper's `#R`.
+    pub fn num_rydberg(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_rydberg()).count()
+    }
+
+    /// Number of transfer stages — the paper's `#T`.
+    pub fn num_transfer(&self) -> usize {
+        self.stages.len() - self.num_rydberg()
+    }
+
+    /// The CZ pairs a Rydberg beam at stage `t` executes: all near pairs
+    /// with both qubits inside the entangling zone.
+    ///
+    /// Returns an empty list for transfer stages.
+    pub fn executed_pairs(&self, t: usize) -> Vec<(usize, usize)> {
+        let stage = &self.stages[t];
+        if !stage.is_rydberg() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for a in 0..self.num_qubits {
+            for b in (a + 1)..self.num_qubits {
+                let pa = stage.qubits[a].pos;
+                let pb = stage.qubits[b].pos;
+                if self.config.zone_of(pa.y) == Zone::Entangling
+                    && self.config.zone_of(pb.y) == Zone::Entangling
+                    && pa.near(&pb, &self.config)
+                {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The CZ layers of the schedule, one per Rydberg stage, in order.
+    /// This is what gets replayed on the tableau simulator for
+    /// verification.
+    pub fn cz_layers(&self) -> Vec<Vec<(usize, usize)>> {
+        (0..self.stages.len())
+            .filter(|&t| self.stages[t].is_rydberg())
+            .map(|t| self.executed_pairs(t))
+            .collect()
+    }
+
+    /// Qubits transferred at transfer stage `t`: `(stored, loaded)` id
+    /// lists, derived by comparing trap types with stage `t + 1`.
+    ///
+    /// Returns empty lists for execution stages or the last stage.
+    pub fn transferred(&self, t: usize) -> (Vec<usize>, Vec<usize>) {
+        if self.stages[t].is_rydberg() || t + 1 >= self.stages.len() {
+            return (Vec::new(), Vec::new());
+        }
+        let cur = &self.stages[t].qubits;
+        let next = &self.stages[t + 1].qubits;
+        let stored = (0..self.num_qubits)
+            .filter(|&q| cur[q].trap.is_aod() && !next[q].trap.is_aod())
+            .collect();
+        let loaded = (0..self.num_qubits)
+            .filter(|&q| !cur[q].trap.is_aod() && next[q].trap.is_aod())
+            .collect();
+        (stored, loaded)
+    }
+
+    /// Maximum shuttle displacement (µm) between stages `t` and `t + 1`.
+    pub fn shuttle_distance_um(&self, t: usize) -> f64 {
+        if t + 1 >= self.stages.len() {
+            return 0.0;
+        }
+        let cur = &self.stages[t].qubits;
+        let next = &self.stages[t + 1].qubits;
+        (0..self.num_qubits)
+            .map(|q| cur[q].pos.distance_um(&next[q].pos, &self.config))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Layout;
+
+    fn slm(x: i64, y: i64) -> QubitState {
+        QubitState {
+            pos: Position::site_center(x, y),
+            trap: Trap::Slm,
+        }
+    }
+
+    fn aod(x: i64, y: i64, h: i64, v: i64, col: i64, row: i64) -> QubitState {
+        QubitState {
+            pos: Position { x, y, h, v },
+            trap: Trap::Aod { col, row },
+        }
+    }
+
+    #[test]
+    fn executed_pairs_inside_zone_only() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        // Pair at entangling site (0,3); a bystander pair in storage (0,0).
+        let stage = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![
+                slm(0, 3),
+                aod(0, 3, 1, 0, 0, 0),
+                slm(0, 0),
+                aod(0, 0, 1, 0, 1, 1),
+            ],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 4,
+            stages: vec![stage],
+        };
+        assert_eq!(s.executed_pairs(0), vec![(0, 1)]);
+        assert_eq!(s.num_rydberg(), 1);
+        assert_eq!(s.num_transfer(), 0);
+    }
+
+    #[test]
+    fn transfer_stage_has_no_pairs() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let stage = Stage {
+            kind: StageKind::Transfer(TransferFlags::default()),
+            qubits: vec![slm(0, 3), aod(0, 3, 1, 0, 0, 0)],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 2,
+            stages: vec![stage],
+        };
+        assert!(s.executed_pairs(0).is_empty());
+    }
+
+    #[test]
+    fn transferred_detection() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let mut flags = TransferFlags::default();
+        flags.col_store.insert(0);
+        let t0 = Stage {
+            kind: StageKind::Transfer(flags),
+            qubits: vec![aod(0, 0, 0, 0, 0, 0), slm(1, 0)],
+        };
+        let t1 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![slm(0, 0), slm(1, 0)],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 2,
+            stages: vec![t0, t1],
+        };
+        let (stored, loaded) = s.transferred(0);
+        assert_eq!(stored, vec![0]);
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn shuttle_distance() {
+        let config = ArchConfig::paper(Layout::NoShielding);
+        let t0 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![aod(0, 0, 0, 0, 0, 0)],
+        };
+        let t1 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![aod(2, 0, 0, 0, 0, 0)],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 1,
+            stages: vec![t0, t1],
+        };
+        assert!((s.shuttle_distance_um(0) - 28.0).abs() < 1e-9);
+        assert_eq!(s.shuttle_distance_um(1), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let config = ArchConfig::paper(Layout::DoubleSidedStorage);
+        let s = Schedule {
+            config,
+            num_qubits: 1,
+            stages: vec![Stage {
+                kind: StageKind::Transfer(TransferFlags::default()),
+                qubits: vec![slm(0, 0)],
+            }],
+        };
+        let text = serde_json::to_string(&s).expect("serialize");
+        let back: Schedule = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, s);
+    }
+}

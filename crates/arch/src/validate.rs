@@ -1,0 +1,524 @@
+//! Operational schedule validator — the independent re-check of every
+//! constraint family C1–C6 of the paper, executed on concrete schedules
+//! rather than symbolic variables.
+//!
+//! The SMT encoding and this validator are written against the same prose
+//! spec but share no code, so agreement between them is meaningful
+//! evidence of correctness (and the test suite injects faults to prove the
+//! validator actually rejects bad schedules).
+
+use std::collections::HashSet;
+
+use crate::config::Zone;
+use crate::schedule::{Schedule, StageKind, Trap};
+
+/// A single constraint violation, labelled by the paper's constraint family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// C1 / V1: position out of bounds, SLM off-center, or two qubits in
+    /// one trap.
+    Positioning(String),
+    /// C2: AOD line indices out of range or ordering broken.
+    AodOrdering(String),
+    /// C3: gate-execution or shielding rules broken.
+    Gates(String),
+    /// C4: illegal change across an execution stage.
+    ExecutionTransition(String),
+    /// C5/C6: transfer-stage rules broken (store/load flags, positions,
+    /// order preservation).
+    Transfer(String),
+    /// Global: executed CZ multiset differs from the target gate list.
+    GateCoverage(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Positioning(m) => write!(f, "positioning (C1): {m}"),
+            Violation::AodOrdering(m) => write!(f, "aod ordering (C2): {m}"),
+            Violation::Gates(m) => write!(f, "gate execution (C3): {m}"),
+            Violation::ExecutionTransition(m) => {
+                write!(f, "execution transition (C4): {m}")
+            }
+            Violation::Transfer(m) => write!(f, "transfer (C5/C6): {m}"),
+            Violation::GateCoverage(m) => write!(f, "gate coverage: {m}"),
+        }
+    }
+}
+
+/// Validates a schedule against the architecture rules and a target CZ
+/// list. Returns all violations found (empty ⇒ valid).
+pub fn validate(schedule: &Schedule, target_gates: &[(usize, usize)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let cfg = &schedule.config;
+    let n = schedule.num_qubits;
+
+    for (t, stage) in schedule.stages.iter().enumerate() {
+        if stage.qubits.len() != n {
+            out.push(Violation::Positioning(format!(
+                "stage {t} has {} qubit states, expected {n}",
+                stage.qubits.len()
+            )));
+            continue;
+        }
+        // --- C1 / V1: bounds, SLM at centers, distinct positions.
+        let mut seen = HashSet::new();
+        for (q, qs) in stage.qubits.iter().enumerate() {
+            if !qs.pos.in_bounds(cfg) {
+                out.push(Violation::Positioning(format!(
+                    "stage {t}: qubit {q} at {} is out of bounds",
+                    qs.pos
+                )));
+            }
+            if !qs.trap.is_aod() && !qs.pos.is_center() {
+                out.push(Violation::Positioning(format!(
+                    "stage {t}: SLM qubit {q} off-center at {}",
+                    qs.pos
+                )));
+            }
+            if !seen.insert(qs.pos) {
+                out.push(Violation::Positioning(format!(
+                    "stage {t}: two qubits share trap {}",
+                    qs.pos
+                )));
+            }
+        }
+        // --- C2 / V1: AOD indices in range; line order consistent.
+        for (q, qs) in stage.qubits.iter().enumerate() {
+            if let Trap::Aod { col, row } = qs.trap {
+                if !(0..=cfg.c_max).contains(&col) || !(0..=cfg.r_max).contains(&row) {
+                    out.push(Violation::AodOrdering(format!(
+                        "stage {t}: qubit {q} on AOD line ({col}, {row}) out of range"
+                    )));
+                }
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (Trap::Aod { col: ca, row: ra }, Trap::Aod { col: cb, row: rb }) =
+                    (stage.qubits[a].trap, stage.qubits[b].trap)
+                else {
+                    continue;
+                };
+                let (pa, pb) = (stage.qubits[a].pos, stage.qubits[b].pos);
+                if (ca < cb) != (pa.x_key() < pb.x_key()) || (ca == cb) != (pa.x_key() == pb.x_key())
+                {
+                    out.push(Violation::AodOrdering(format!(
+                        "stage {t}: columns of qubits {a} ({ca} at {pa}) and {b} ({cb} at {pb}) break x-order"
+                    )));
+                }
+                if (ra < rb) != (pa.y_key() < pb.y_key()) || (ra == rb) != (pa.y_key() == pb.y_key())
+                {
+                    out.push(Violation::AodOrdering(format!(
+                        "stage {t}: rows of qubits {a} ({ra}) and {b} ({rb}) break y-order"
+                    )));
+                }
+            }
+        }
+        // --- C3: beams.
+        if stage.is_rydberg() {
+            let pairs = schedule.executed_pairs(t);
+            let mut gated: HashSet<usize> = HashSet::new();
+            for &(a, b) in &pairs {
+                if !gated.insert(a) || !gated.insert(b) {
+                    out.push(Violation::Gates(format!(
+                        "stage {t}: qubit in two simultaneous CZ pairs ({a},{b} overlaps)"
+                    )));
+                }
+                let is_target = target_gates
+                    .iter()
+                    .any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b));
+                if !is_target {
+                    out.push(Violation::Gates(format!(
+                        "stage {t}: spurious CZ between {a} and {b} (not a target gate)"
+                    )));
+                }
+            }
+            for (q, qs) in stage.qubits.iter().enumerate() {
+                let in_zone = cfg.zone_of(qs.pos.y) == Zone::Entangling;
+                if gated.contains(&q) {
+                    continue;
+                }
+                if cfg.has_storage() {
+                    // Eq. 14: idlers must be shielded.
+                    if in_zone {
+                        out.push(Violation::Gates(format!(
+                            "stage {t}: idle qubit {q} exposed in the entangling zone"
+                        )));
+                    }
+                } else {
+                    // Footnote 2 replacement: idlers sit in sites not shared
+                    // with any other qubit.
+                    let shares_site = stage
+                        .qubits
+                        .iter()
+                        .enumerate()
+                        .any(|(p, ps)| p != q && ps.pos.site() == qs.pos.site());
+                    if shares_site {
+                        out.push(Violation::Gates(format!(
+                            "stage {t}: idle qubit {q} shares an interaction site"
+                        )));
+                    }
+                }
+            }
+        }
+        // --- Transitions to the next stage.
+        let Some(next) = schedule.stages.get(t + 1) else {
+            continue;
+        };
+        if next.qubits.len() != n {
+            continue; // already reported when visiting t + 1
+        }
+        match &stage.kind {
+            StageKind::Rydberg => {
+                // C4: trap type and line indices invariant; SLM static.
+                for q in 0..n {
+                    let (cur, nxt) = (stage.qubits[q], next.qubits[q]);
+                    if cur.trap.is_aod() != nxt.trap.is_aod() {
+                        out.push(Violation::ExecutionTransition(format!(
+                            "stage {t}: qubit {q} changed trap type without a transfer stage"
+                        )));
+                    }
+                    match (cur.trap, nxt.trap) {
+                        (Trap::Slm, Trap::Slm) => {
+                            if cur.pos != nxt.pos {
+                                out.push(Violation::ExecutionTransition(format!(
+                                    "stage {t}: SLM qubit {q} moved from {} to {}",
+                                    cur.pos, nxt.pos
+                                )));
+                            }
+                        }
+                        (
+                            Trap::Aod { col: c0, row: r0 },
+                            Trap::Aod { col: c1, row: r1 },
+                        ) => {
+                            if (c0, r0) != (c1, r1) {
+                                out.push(Violation::ExecutionTransition(format!(
+                                    "stage {t}: qubit {q} changed AOD lines during shuttling"
+                                )));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            StageKind::Transfer(flags) => {
+                for q in 0..n {
+                    let (cur, nxt) = (stage.qubits[q], next.qubits[q]);
+                    match (cur.trap, nxt.trap) {
+                        // Stored: AOD → SLM.
+                        (Trap::Aod { col, row }, Trap::Slm) => {
+                            if !cur.pos.is_center() {
+                                out.push(Violation::Transfer(format!(
+                                    "stage {t}: qubit {q} stored away from a site center ({})",
+                                    cur.pos
+                                )));
+                            }
+                            if cur.pos != nxt.pos {
+                                out.push(Violation::Transfer(format!(
+                                    "stage {t}: stored qubit {q} moved during the transfer stage"
+                                )));
+                            }
+                            if !flags.col_store.contains(&col) && !flags.row_store.contains(&row) {
+                                out.push(Violation::Transfer(format!(
+                                    "stage {t}: qubit {q} stored without a store flag on its lines"
+                                )));
+                            }
+                        }
+                        // Remained in AOD: no store flag may cover it.
+                        (Trap::Aod { col, row }, Trap::Aod { .. }) => {
+                            if flags.col_store.contains(&col) || flags.row_store.contains(&row) {
+                                out.push(Violation::Transfer(format!(
+                                    "stage {t}: qubit {q} sits on a store-flagged line but stayed in AOD"
+                                )));
+                            }
+                        }
+                        // Loaded: SLM → AOD (flags checked on the new lines).
+                        (Trap::Slm, Trap::Aod { col, row }) => {
+                            if !flags.col_load.contains(&col) && !flags.row_load.contains(&row) {
+                                out.push(Violation::Transfer(format!(
+                                    "stage {t}: qubit {q} loaded without a load flag on its lines"
+                                )));
+                            }
+                        }
+                        // Remained in SLM: static, and not on a load-flagged line.
+                        (Trap::Slm, Trap::Slm) => {
+                            if cur.pos != nxt.pos {
+                                out.push(Violation::Transfer(format!(
+                                    "stage {t}: SLM qubit {q} moved during a transfer stage"
+                                )));
+                            }
+                        }
+                    }
+                    // Note: a qubit that stays in AOD may share a line index
+                    // with a load-flagged line — loading only affects SLM
+                    // atoms, matching the paper's Eq. 20 analog, which binds
+                    // only qubits with `¬a_t`.
+                }
+                // C6 (Eq. 21 + vertical analog): relative order of AOD
+                // qubits at t+1 must match their physical order at t.
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let (
+                            Trap::Aod { col: ca, row: ra },
+                            Trap::Aod { col: cb, row: rb },
+                        ) = (next.qubits[a].trap, next.qubits[b].trap)
+                        else {
+                            continue;
+                        };
+                        let (pa, pb) = (stage.qubits[a].pos, stage.qubits[b].pos);
+                        if (ca < cb) != (pa.x_key() < pb.x_key())
+                            || (ca == cb) != (pa.x_key() == pb.x_key())
+                        {
+                            out.push(Violation::Transfer(format!(
+                                "stage {t}: loading broke the horizontal order of qubits {a} and {b}"
+                            )));
+                        }
+                        if (ra < rb) != (pa.y_key() < pb.y_key())
+                            || (ra == rb) != (pa.y_key() == pb.y_key())
+                        {
+                            out.push(Violation::Transfer(format!(
+                                "stage {t}: loading broke the vertical order of qubits {a} and {b}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Global gate coverage: every target gate exactly once.
+    let mut remaining: Vec<(usize, usize)> = target_gates
+        .iter()
+        .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    for t in 0..schedule.stages.len() {
+        for pair in schedule.executed_pairs(t) {
+            if let Some(i) = remaining.iter().position(|&g| g == pair) {
+                remaining.swap_remove(i);
+            } else {
+                out.push(Violation::GateCoverage(format!(
+                    "CZ {pair:?} executed at stage {t} but not (or no longer) required"
+                )));
+            }
+        }
+    }
+    for g in remaining {
+        out.push(Violation::GateCoverage(format!("CZ {g:?} never executed")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchConfig, Layout};
+    use crate::geometry::Position;
+    use crate::schedule::{QubitState, Stage, TransferFlags};
+
+    fn slm(x: i64, y: i64) -> QubitState {
+        QubitState {
+            pos: Position::site_center(x, y),
+            trap: Trap::Slm,
+        }
+    }
+
+    fn aod(x: i64, y: i64, h: i64, v: i64, col: i64, row: i64) -> QubitState {
+        QubitState {
+            pos: Position { x, y, h, v },
+            trap: Trap::Aod { col, row },
+        }
+    }
+
+    /// One beam executing a single CZ on a bottom-storage layout, with a
+    /// third qubit shielded in storage.
+    fn tiny_valid() -> (Schedule, Vec<(usize, usize)>) {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let stage = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![slm(0, 3), aod(0, 3, 1, 0, 0, 0), slm(2, 0)],
+        };
+        (
+            Schedule {
+                config,
+                num_qubits: 3,
+                stages: vec![stage],
+            },
+            vec![(0, 1)],
+        )
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (s, gates) = tiny_valid();
+        assert_eq!(validate(&s, &gates), Vec::new());
+    }
+
+    #[test]
+    fn exposed_idler_rejected() {
+        let (mut s, gates) = tiny_valid();
+        // Move the idler into the entangling zone.
+        s.stages[0].qubits[2] = slm(2, 4);
+        let v = validate(&s, &gates);
+        assert!(
+            v.iter().any(|e| matches!(e, Violation::Gates(_))),
+            "expected a shielding violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn spurious_gate_rejected() {
+        let (s, _) = tiny_valid();
+        // Declare no target gates: the executed pair becomes spurious.
+        let v = validate(&s, &[]);
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, Violation::Gates(m) if m.contains("spurious"))));
+    }
+
+    #[test]
+    fn missing_gate_rejected() {
+        let (s, mut gates) = tiny_valid();
+        gates.push((0, 2));
+        let v = validate(&s, &gates);
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, Violation::GateCoverage(m) if m.contains("never executed"))));
+    }
+
+    #[test]
+    fn slm_off_center_rejected() {
+        let (mut s, gates) = tiny_valid();
+        s.stages[0].qubits[2] = QubitState {
+            pos: Position { x: 2, y: 0, h: 1, v: 0 },
+            trap: Trap::Slm,
+        };
+        let v = validate(&s, &gates);
+        assert!(v.iter().any(|e| matches!(e, Violation::Positioning(_))));
+    }
+
+    #[test]
+    fn shared_trap_rejected() {
+        let (mut s, gates) = tiny_valid();
+        s.stages[0].qubits[2] = s.stages[0].qubits[0];
+        let v = validate(&s, &gates);
+        assert!(v.iter().any(|e| matches!(e, Violation::Positioning(m) if m.contains("share"))));
+    }
+
+    #[test]
+    fn aod_order_violation_rejected() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        // Column order contradicts x positions.
+        let stage = Stage {
+            kind: StageKind::Transfer(TransferFlags::default()),
+            qubits: vec![aod(0, 0, 0, 0, 1, 0), aod(1, 0, 0, 0, 0, 0)],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 2,
+            stages: vec![stage],
+        };
+        let v = validate(&s, &[]);
+        assert!(v.iter().any(|e| matches!(e, Violation::AodOrdering(_))));
+    }
+
+    #[test]
+    fn trap_change_without_transfer_rejected() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let s0 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![slm(0, 3), aod(0, 3, 1, 0, 0, 0)],
+        };
+        let mut q1 = vec![slm(0, 3), slm(1, 3)];
+        q1[1].trap = Trap::Slm;
+        let s1 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: q1,
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 2,
+            stages: vec![s0, s1],
+        };
+        let v = validate(&s, &[(0, 1)]);
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, Violation::ExecutionTransition(m) if m.contains("trap type"))));
+    }
+
+    #[test]
+    fn store_without_flag_rejected() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let s0 = Stage {
+            kind: StageKind::Transfer(TransferFlags::default()),
+            qubits: vec![aod(0, 0, 0, 0, 0, 0)],
+        };
+        let s1 = Stage {
+            kind: StageKind::Transfer(TransferFlags::default()),
+            qubits: vec![slm(0, 0)],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 1,
+            stages: vec![s0, s1],
+        };
+        let v = validate(&s, &[]);
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, Violation::Transfer(m) if m.contains("store flag"))));
+    }
+
+    #[test]
+    fn store_off_center_rejected() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let mut flags = TransferFlags::default();
+        flags.col_store.insert(0);
+        let s0 = Stage {
+            kind: StageKind::Transfer(flags),
+            qubits: vec![aod(0, 0, 1, 0, 0, 0)],
+        };
+        let s1 = Stage {
+            kind: StageKind::Transfer(TransferFlags::default()),
+            qubits: vec![QubitState {
+                pos: Position { x: 0, y: 0, h: 1, v: 0 },
+                trap: Trap::Slm,
+            }],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 1,
+            stages: vec![s0, s1],
+        };
+        let v = validate(&s, &[]);
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, Violation::Transfer(m) if m.contains("site center"))));
+    }
+
+    #[test]
+    fn load_order_violation_rejected() {
+        let config = ArchConfig::paper(Layout::BottomStorage);
+        let mut flags = TransferFlags::default();
+        flags.col_load.extend([0, 1]);
+        // Two SLM qubits at x = 0 and x = 2; loaded with columns crossed.
+        let s0 = Stage {
+            kind: StageKind::Transfer(flags),
+            qubits: vec![slm(0, 0), slm(2, 0)],
+        };
+        let s1 = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![aod(3, 3, 0, 0, 1, 0), aod(2, 3, 1, 0, 0, 0)],
+        };
+        let s = Schedule {
+            config,
+            num_qubits: 2,
+            stages: vec![s0, s1],
+        };
+        let v = validate(&s, &[(0, 1)]);
+        assert!(
+            v.iter()
+                .any(|e| matches!(e, Violation::Transfer(m) if m.contains("horizontal order"))),
+            "got {v:?}"
+        );
+    }
+}

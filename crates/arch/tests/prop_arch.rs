@@ -1,0 +1,174 @@
+//! Property tests for the architecture model: geometry invariants, metric
+//! monotonicity, and validator soundness under random mutations of a known
+//! valid schedule.
+
+use nasp_arch::{
+    evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams, Position,
+    QubitState, Schedule, Stage, StageKind, Trap,
+};
+use proptest::prelude::*;
+
+fn any_layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        Just(Layout::NoShielding),
+        Just(Layout::BottomStorage),
+        Just(Layout::DoubleSidedStorage),
+    ]
+}
+
+fn any_position(cfg: ArchConfig) -> impl Strategy<Value = Position> {
+    (
+        0..=cfg.x_max,
+        0..=cfg.y_max,
+        -cfg.h_max..=cfg.h_max,
+        -cfg.v_max..=cfg.v_max,
+    )
+        .prop_map(|(x, y, h, v)| Position { x, y, h, v })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `near` is symmetric, reflexive, and implies a small physical
+    /// distance; distinct sites are never near.
+    #[test]
+    fn proximity_properties(layout in any_layout(), seed in 0u64..1_000_000) {
+        let cfg = ArchConfig::paper(layout);
+        let mut s = seed;
+        let mut next = move |m: i64| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i64).rem_euclid(m)
+        };
+        let a = Position {
+            x: next(cfg.x_max + 1),
+            y: next(cfg.y_max + 1),
+            h: next(2 * cfg.h_max + 1) - cfg.h_max,
+            v: next(2 * cfg.v_max + 1) - cfg.v_max,
+        };
+        let b = Position {
+            x: next(cfg.x_max + 1),
+            y: next(cfg.y_max + 1),
+            h: next(2 * cfg.h_max + 1) - cfg.h_max,
+            v: next(2 * cfg.v_max + 1) - cfg.v_max,
+        };
+        prop_assert!(a.near(&a, &cfg));
+        prop_assert_eq!(a.near(&b, &cfg), b.near(&a, &cfg));
+        if a.near(&b, &cfg) {
+            // Near pairs are within the offset pitch times the radius.
+            let d = a.distance_um(&b, &cfg);
+            let bound = (cfg.radius as f64) * cfg.offset_pitch_um * 2.0_f64.sqrt();
+            prop_assert!(d <= bound + 1e-9, "near pair {d} µm apart");
+        }
+        if a.site() != b.site() {
+            prop_assert!(!a.near(&b, &cfg));
+            // Different sites are at least (site pitch − 2·offset) apart.
+            let d = a.distance_um(&b, &cfg);
+            prop_assert!(d >= cfg.site_pitch_um - 2.0 * cfg.h_max as f64 - 1e-9);
+        }
+    }
+
+    /// Physical coordinates: strictly monotone in grid coordinates, and
+    /// rows in different zones are at least the zone gap apart.
+    #[test]
+    fn physical_geometry(layout in any_layout()) {
+        let cfg = ArchConfig::paper(layout);
+        for y in 1..=cfg.y_max {
+            let gap = cfg.physical_y_um(y, 0) - cfg.physical_y_um(y - 1, 0);
+            prop_assert!(gap >= cfg.site_pitch_um - 1e-9);
+            if cfg.zone_of(y) != cfg.zone_of(y - 1) {
+                prop_assert!(gap >= cfg.zone_gap_um - 1e-9);
+            }
+        }
+        for x in 1..=cfg.x_max {
+            let gap = cfg.physical_x_um(x, 0) - cfg.physical_x_um(x - 1, 0);
+            prop_assert!((gap - cfg.site_pitch_um).abs() < 1e-9);
+        }
+    }
+
+    /// ASP decreases (or stays equal) as operations get worse, and always
+    /// stays in (0, 1].
+    #[test]
+    fn asp_monotone_in_fidelity(
+        pos in any_position(ArchConfig::paper(Layout::BottomStorage)),
+        cz_fidelity in 0.9f64..=1.0,
+    ) {
+        let cfg = ArchConfig::paper(Layout::BottomStorage);
+        // One beam on a fixed pair plus one idler somewhere in storage.
+        let pair_site = (3, 4);
+        let mut idler = pos;
+        idler.y = 0;
+        idler.h = 0;
+        idler.v = 0;
+        let stage = Stage {
+            kind: StageKind::Rydberg,
+            qubits: vec![
+                QubitState {
+                    pos: Position::site_center(pair_site.0, pair_site.1),
+                    trap: Trap::Slm,
+                },
+                QubitState {
+                    pos: Position { x: pair_site.0, y: pair_site.1, h: 1, v: 0 },
+                    trap: Trap::Aod { col: 0, row: 0 },
+                },
+                QubitState { pos: idler, trap: Trap::Slm },
+            ],
+        };
+        let schedule = Schedule { config: cfg, num_qubits: 3, stages: vec![stage] };
+        let base = OpParams::default();
+        let worse = OpParams { cz_fidelity, ..OpParams::default() };
+        let m_base = evaluate(&schedule, &base, BoundaryOps::default());
+        let m_worse = evaluate(&schedule, &worse, BoundaryOps::default());
+        prop_assert!(m_base.asp > 0.0 && m_base.asp <= 1.0);
+        prop_assert!(m_worse.asp > 0.0 && m_worse.asp <= 1.0);
+        if cz_fidelity <= base.cz_fidelity {
+            prop_assert!(m_worse.asp <= m_base.asp + 1e-12);
+        }
+    }
+
+    /// Mutating a valid one-beam schedule by teleporting a random qubit to
+    /// a random position either keeps it valid or produces at least one
+    /// violation — and a teleport onto an occupied trap is ALWAYS caught.
+    #[test]
+    fn validator_catches_collisions(
+        target in any_position(ArchConfig::paper(Layout::BottomStorage)),
+        victim in 0usize..3,
+    ) {
+        let cfg = ArchConfig::paper(Layout::BottomStorage);
+        let qubits = vec![
+            QubitState {
+                pos: Position::site_center(0, 3),
+                trap: Trap::Slm,
+            },
+            QubitState {
+                pos: Position { x: 0, y: 3, h: 1, v: 0 },
+                trap: Trap::Aod { col: 0, row: 0 },
+            },
+            QubitState {
+                pos: Position::site_center(5, 0),
+                trap: Trap::Slm,
+            },
+        ];
+        let gates = vec![(0usize, 1usize)];
+        let mut schedule = Schedule {
+            config: cfg,
+            num_qubits: 3,
+            stages: vec![Stage { kind: StageKind::Rydberg, qubits }],
+        };
+        prop_assert!(validate_schedule(&schedule, &gates).is_empty());
+        // Teleport the victim onto another qubit's exact position.
+        let occupied: Vec<Position> = schedule.stages[0]
+            .qubits
+            .iter()
+            .map(|q| q.pos)
+            .collect();
+        schedule.stages[0].qubits[victim].pos = target;
+        let violations = validate_schedule(&schedule, &gates);
+        if occupied
+            .iter()
+            .enumerate()
+            .any(|(i, &p)| i != victim && p == target)
+        {
+            prop_assert!(!violations.is_empty(), "collision must be caught");
+        }
+    }
+}

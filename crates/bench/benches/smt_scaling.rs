@@ -1,0 +1,61 @@
+//! Criterion bench: SMT instance growth — encoding size and solve time as
+//! the stage count and qubit count scale (the paper's implicit
+//! scalability discussion in Sec. V-B/V-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nasp_arch::{ArchConfig, Layout};
+use nasp_core::encoding::{EncodeOptions, Encoding};
+use nasp_core::Problem;
+use nasp_smt::Budget;
+
+/// A ladder of disjoint CZ pairs: trivially one beam, so SAT is found fast
+/// and the bench isolates encoding + propagation cost.
+fn ladder_problem(pairs: usize) -> Problem {
+    let gates: Vec<(usize, usize)> = (0..pairs).map(|i| (2 * i, 2 * i + 1)).collect();
+    Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        2 * pairs,
+        gates,
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_encode");
+    for pairs in [2usize, 4, 6] {
+        let problem = ladder_problem(pairs);
+        for stages in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{pairs}pairs"), format!("S{stages}")),
+                &(pairs, stages),
+                |b, _| {
+                    b.iter(|| Encoding::build(&problem, stages, EncodeOptions::default()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_solve");
+    group.sample_size(10);
+    for pairs in [2usize, 4, 6] {
+        let problem = ladder_problem(pairs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pairs}pairs")),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    let mut enc = Encoding::build(problem, 1, EncodeOptions::default());
+                    let r = enc.solve(Budget::unlimited());
+                    assert_eq!(r, nasp_smt::SolveResult::Sat);
+                    r
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_solve);
+criterion_main!(benches);

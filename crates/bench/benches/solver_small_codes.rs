@@ -1,0 +1,53 @@
+//! Criterion bench: end-to-end optimal scheduling of the small codes
+//! (Steane / Surface / Shor) per layout — the fast half of Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nasp_arch::{ArchConfig, Layout};
+use nasp_core::{solve, Problem, SolveOptions};
+use nasp_qec::{catalog, graph_state};
+use std::time::Duration;
+
+fn bench_small_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_small_codes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    // Steane solves in well under a second for every layout; Surface and
+    // Shor are benched on the unzoned layout only (their zoned instances
+    // take seconds to minutes per solve — covered by `table1` instead).
+    for code_name in ["steane", "surface", "shor"] {
+        let code = catalog::by_name(code_name).expect("catalog code");
+        let circuit =
+            graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+        let layouts: &[(Layout, &str)] = if code_name == "steane" {
+            &[
+                (Layout::NoShielding, "L1"),
+                (Layout::BottomStorage, "L2"),
+                (Layout::DoubleSidedStorage, "L3"),
+            ]
+        } else {
+            &[(Layout::NoShielding, "L1")]
+        };
+        for &(layout, label) in layouts {
+            let problem = Problem::new(ArchConfig::paper(layout), &circuit);
+            group.bench_with_input(
+                BenchmarkId::new(code_name, label),
+                &problem,
+                |b, problem| {
+                    b.iter(|| {
+                        let opts = SolveOptions {
+                            time_budget: Duration::from_secs(300),
+                            ..Default::default()
+                        };
+                        let r = solve(problem, &opts);
+                        assert!(r.schedule.is_some());
+                        r
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_codes);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench: substrate microbenchmarks — SAT solving, circuit
+//! synthesis, tableau simulation and schedule validation, so regressions
+//! in the layers below the scheduler are visible in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{heuristic, Problem};
+use nasp_qec::{catalog, graph_state};
+use nasp_sat::{SolveResult, Solver};
+use nasp_sim::{check_state, run_layers};
+
+fn bench_sat_pigeonhole(c: &mut Criterion) {
+    c.bench_function("sat_pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let n = 7;
+            let mut s = Solver::new();
+            let p: Vec<Vec<_>> = (0..n)
+                .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+                .collect();
+            for row in &p {
+                s.add_clause(row.clone());
+            }
+            for hole in 0..n - 1 {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        s.add_clause([!p[i][hole], !p[j][hole]]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_state_synthesis");
+    for code_name in ["steane", "hamming", "honeycomb"] {
+        let code = catalog::by_name(code_name).expect("catalog code");
+        let stabs = code.zero_state_stabilizers();
+        group.bench_with_input(BenchmarkId::from_parameter(code_name), &stabs, |b, stabs| {
+            b.iter(|| graph_state::synthesize(stabs).expect("synth"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let code = catalog::honeycomb17();
+    let targets = code.zero_state_stabilizers();
+    let circuit = graph_state::synthesize(&targets).expect("synth");
+    let layers = vec![circuit.cz_edges.clone()];
+    c.bench_function("tableau_verify_honeycomb17", |b| {
+        b.iter(|| {
+            let t = run_layers(&circuit, &layers);
+            assert!(check_state(&t, &targets).holds_up_to_pauli_frame());
+        })
+    });
+}
+
+fn bench_heuristic_and_validation(c: &mut Criterion) {
+    let code = catalog::hamming15();
+    let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+    let problem = Problem::new(ArchConfig::paper(Layout::DoubleSidedStorage), &circuit);
+    c.bench_function("heuristic_schedule_hamming15", |b| {
+        b.iter(|| heuristic::schedule(&problem).expect("schedulable"))
+    });
+    let schedule = heuristic::schedule(&problem).expect("schedulable");
+    c.bench_function("validate_schedule_hamming15", |b| {
+        b.iter(|| {
+            let v = validate_schedule(&schedule, &problem.gates);
+            assert!(v.is_empty());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sat_pigeonhole,
+    bench_synthesis,
+    bench_verification,
+    bench_heuristic_and_validation
+);
+criterion_main!(benches);

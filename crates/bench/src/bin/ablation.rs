@@ -1,0 +1,79 @@
+//! Ablations beyond the paper's headline results (DESIGN.md §5):
+//!
+//! * A1 — value of the ≥1-gate-per-execution-stage strengthening: SMT solve
+//!   time with and without it on the small codes.
+//! * A2 — transfer-cost sensitivity: ASP of the shielded layouts as the
+//!   load/store duration sweeps around the paper's 200 µs.
+
+use std::time::{Duration, Instant};
+
+use nasp_arch::{ArchConfig, Layout, OpParams};
+use nasp_core::encoding::{EncodeOptions, Encoding};
+use nasp_core::report::{run_experiment_with_circuit, ExperimentOptions};
+use nasp_core::Problem;
+use nasp_qec::{catalog, graph_state};
+use nasp_smt::Budget;
+
+fn main() {
+    ablation_a1();
+    ablation_a2();
+}
+
+fn ablation_a1() {
+    println!("A1: ≥1-gate-per-beam strengthening (SMT wall time, optimal S)");
+    println!("code        layout              with     without");
+    for code_name in ["steane", "surface", "shor"] {
+        let code = catalog::by_name(code_name).expect("catalog code");
+        let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+        for layout in [Layout::NoShielding, Layout::DoubleSidedStorage] {
+            let problem = Problem::new(ArchConfig::paper(layout), &circuit);
+            let mut times = Vec::new();
+            for nonempty in [true, false] {
+                let opts = EncodeOptions {
+                    nonempty_exec: nonempty,
+                    ..Default::default()
+                };
+                let t0 = Instant::now();
+                let mut s = problem.stage_lower_bound().max(1);
+                loop {
+                    let mut enc = Encoding::build(&problem, s, opts);
+                    match enc.solve(Budget::timeout(Duration::from_secs(120))) {
+                        nasp_smt::SolveResult::Sat => break,
+                        nasp_smt::SolveResult::Unsat => s += 1,
+                        nasp_smt::SolveResult::Unknown => break,
+                    }
+                }
+                times.push(t0.elapsed());
+            }
+            println!(
+                "{code_name:11} {:19} {:>7.2}s {:>7.2}s",
+                format!("{layout:?}"),
+                times[0].as_secs_f64(),
+                times[1].as_secs_f64()
+            );
+        }
+    }
+}
+
+fn ablation_a2() {
+    println!("\nA2: ASP vs trap-transfer duration (Steane)");
+    println!("duration    (2) Bottom Storage    (3) Double-Sided Storage");
+    let code = catalog::steane();
+    let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+    for duration_us in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let mut asps = Vec::new();
+        for layout in [Layout::BottomStorage, Layout::DoubleSidedStorage] {
+            let options = ExperimentOptions {
+                budget_per_instance: Duration::from_secs(30),
+                params: OpParams {
+                    transfer_duration_us: duration_us,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
+            asps.push(r.metrics.asp);
+        }
+        println!("{duration_us:>6.0} µs  {:>18.4}  {:>24.4}", asps[0], asps[1]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 4 (ΔASP of shielded layouts vs baseline).
+//!
+//! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS]`
+
+fn main() {
+    let budget = nasp_bench::budget_from_args(30);
+    eprintln!("running Figure 4 with a {budget:?} SMT budget per instance…");
+    let rows = nasp_bench::table1_with_budget(budget);
+    print!("{}", nasp_bench::render_figure4(&rows));
+}

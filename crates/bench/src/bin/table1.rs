@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table I (layout comparison).
+//!
+//! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS] [--json PATH]`
+
+fn main() {
+    let budget = nasp_bench::budget_from_args(30);
+    eprintln!("running Table I with a {budget:?} SMT budget per instance…");
+    let rows = nasp_bench::table1_with_budget(budget);
+    print!("{}", nasp_bench::render_table1(&rows));
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {
+        let json = serde_json::to_string_pretty(&rows).expect("serializable");
+        std::fs::write(&w[1], json).expect("writable path");
+        eprintln!("wrote {}", w[1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Diagnostic: runs the heuristic scheduler on every catalog code × layout
+//! and reports validity and schedule size (useful when tuning the planner).
+//!
+//! Run with: `cargo run -p nasp-core --release --example debug_heuristic`
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::Problem;
+use nasp_qec::{catalog, graph_state};
+
+fn main() {
+    for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb", "perfect5"] {
+        for layout in [Layout::NoShielding, Layout::BottomStorage, Layout::DoubleSidedStorage] {
+            let c = catalog::by_name(code).expect("known code");
+            let circ = graph_state::synthesize(&c.zero_state_stabilizers()).expect("synth");
+            let p = Problem::new(ArchConfig::paper(layout), &circ);
+            match nasp_core::heuristic::schedule_unchecked(&p) {
+                None => println!("{code:12} {layout:?}: PLANNER FAILED"),
+                Some(s) => {
+                    let v = validate_schedule(&s, &p.gates);
+                    if v.is_empty() {
+                        println!(
+                            "{code:12} {layout:?}: ok  #R={} #T={}",
+                            s.num_rydberg(),
+                            s.num_transfer()
+                        );
+                    } else {
+                        println!("{code:12} {layout:?}: {} violations; first: {}", v.len(), v[0]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Diagnostic: runs the full SMT driver on every catalog code × layout with
+//! a configurable budget and prints the per-S exploration log.
+//!
+//! Run with:
+//! `cargo run -p nasp-core --release --example smt_probe -- [budget_secs]`
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, Problem, SolveOptions};
+use nasp_qec::{catalog, graph_state};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb"] {
+        let c = catalog::by_name(code).expect("known code");
+        let circ = graph_state::synthesize(&c.zero_state_stabilizers()).expect("synth");
+        for layout in [Layout::NoShielding, Layout::BottomStorage, Layout::DoubleSidedStorage] {
+            let p = Problem::new(ArchConfig::paper(layout), &circ);
+            let t0 = Instant::now();
+            let opts = SolveOptions {
+                time_budget: Duration::from_secs(budget),
+                ..Default::default()
+            };
+            let r = solve(&p, &opts);
+            let s = r.schedule.as_ref().expect("schedule always produced");
+            let ok = validate_schedule(s, &p.gates).is_empty();
+            println!(
+                "{code:11} {layout:?}: {:?} #R={} #T={} valid={ok} in {:.1}s log={:?}",
+                r.provenance,
+                s.num_rydberg(),
+                s.num_transfer(),
+                t0.elapsed().as_secs_f32(),
+                r.log
+            );
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! The symbolic formulation of the scheduling problem — a faithful port of
+//! the paper's Sec. IV: variables V1–V3, constraints C1–C6, plus the
+//! constraints the paper omits "for brevity" (AOD row ordering, the load
+//! analog of Eq. 20, the vertical analog of Eq. 21) and one soundness
+//! addition (no spurious CZs; see DESIGN.md §4.2).
+//!
+//! The formulation is compiled onto the finite-domain SMT layer
+//! (`nasp-smt`), replacing the paper's use of Z3 (DESIGN.md §3).
+
+use nasp_arch::{
+    Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap,
+};
+use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult};
+
+use crate::problem::Problem;
+
+/// Encoding options (strengthenings and symmetry breaking).
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeOptions {
+    /// Assert that the first and last stages are execution stages. Safe for
+    /// minimality: initial placement is free, so a leading transfer stage
+    /// can be folded into the initial configuration, and a trailing
+    /// transfer stage does no work.
+    pub force_exec_boundary: bool,
+    /// Require every execution stage to execute at least one gate (a beam
+    /// without gates only adds error). Toggled by ablation A1.
+    pub nonempty_exec: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions {
+            force_exec_boundary: true,
+            nonempty_exec: true,
+        }
+    }
+}
+
+/// The symbolic schedule: all variables for a fixed stage count `S`,
+/// with every constraint asserted, ready to solve and decode.
+pub struct Encoding {
+    ctx: Ctx,
+    problem: Problem,
+    s: usize,
+    // V1: per qubit, per stage.
+    x: Vec<Vec<IntVar>>,
+    y: Vec<Vec<IntVar>>,
+    h: Vec<Vec<IntVar>>,
+    v: Vec<Vec<IntVar>>,
+    a: Vec<Vec<Bool>>,
+    c: Vec<Vec<IntVar>>,
+    r: Vec<Vec<IntVar>>,
+    // V2: per gate / per stage.
+    g: Vec<IntVar>,
+    e: Vec<Bool>,
+    // V3: per AOD line, per stage.
+    cs: Vec<Vec<Bool>>,
+    cl: Vec<Vec<Bool>>,
+    rs: Vec<Vec<Bool>>,
+    rl: Vec<Vec<Bool>>,
+}
+
+impl Encoding {
+    /// Builds the complete encoding for `s` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0` while gates exist, or the config is invalid.
+    pub fn build(problem: &Problem, s: usize, opts: EncodeOptions) -> Self {
+        problem.config.validate().expect("valid architecture");
+        assert!(
+            s > 0 || problem.gates.is_empty(),
+            "need at least one stage to execute gates"
+        );
+        let mut ctx = Ctx::new();
+        let cfg = &problem.config;
+        let n = problem.num_qubits;
+
+        // --- V1: positioning variables.
+        let mk_grid = |ctx: &mut Ctx, lo: i64, hi: i64, name: &str| -> Vec<Vec<IntVar>> {
+            (0..n)
+                .map(|q| {
+                    (0..s)
+                        .map(|t| ctx.int_var(lo, hi, &format!("{name}_{q}_{t}")))
+                        .collect()
+                })
+                .collect()
+        };
+        let x = mk_grid(&mut ctx, 0, cfg.x_max, "x");
+        let y = mk_grid(&mut ctx, 0, cfg.y_max, "y");
+        let h = mk_grid(&mut ctx, -cfg.h_max, cfg.h_max, "h");
+        let v = mk_grid(&mut ctx, -cfg.v_max, cfg.v_max, "v");
+        let c = mk_grid(&mut ctx, 0, cfg.c_max, "c");
+        let r = mk_grid(&mut ctx, 0, cfg.r_max, "r");
+        let a: Vec<Vec<Bool>> = (0..n)
+            .map(|_| (0..s).map(|_| ctx.bool_var()).collect())
+            .collect();
+
+        // --- V2: gate stages and stage kinds.
+        let g: Vec<IntVar> = (0..problem.gates.len())
+            .map(|i| ctx.int_var(0, s as i64 - 1, &format!("g_{i}")))
+            .collect();
+        let e: Vec<Bool> = (0..s).map(|_| ctx.bool_var()).collect();
+
+        // --- V3: load/store flags per AOD line per stage.
+        let mk_flags = |ctx: &mut Ctx, count: i64| -> Vec<Vec<Bool>> {
+            (0..=count)
+                .map(|_| (0..s).map(|_| ctx.bool_var()).collect())
+                .collect()
+        };
+        let cs = mk_flags(&mut ctx, cfg.c_max);
+        let cl = mk_flags(&mut ctx, cfg.c_max);
+        let rs = mk_flags(&mut ctx, cfg.r_max);
+        let rl = mk_flags(&mut ctx, cfg.r_max);
+
+        let mut enc = Encoding {
+            ctx,
+            problem: problem.clone(),
+            s,
+            x,
+            y,
+            h,
+            v,
+            a,
+            c,
+            r,
+            g,
+            e,
+            cs,
+            cl,
+            rs,
+            rl,
+        };
+        enc.assert_all(opts);
+        enc
+    }
+
+    /// `y` of qubit `q` lies in the entangling zone at stage `t`.
+    fn in_zone(&mut self, q: usize, t: usize) -> Bool {
+        let cfg = &self.problem.config;
+        let (e_min, e_max) = (cfg.e_min, cfg.e_max);
+        let yv = self.y[q][t];
+        self.ctx.in_range(yv, e_min, e_max)
+    }
+
+    /// Proximity predicate of Eq. 12: same site and offsets within radius.
+    fn near(&mut self, q1: usize, q2: usize, t: usize) -> Bool {
+        let rad = self.problem.config.radius;
+        let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
+        let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
+        let dh = self.ctx.abs_diff_lt(self.h[q1][t], self.h[q2][t], rad);
+        let dv = self.ctx.abs_diff_lt(self.v[q1][t], self.v[q2][t], rad);
+        self.ctx.and(&[ex, ey, dh, dv])
+    }
+
+    /// Lexicographic physical-x comparison `(x, h)_q1 < (x, h)_q2` at `t`.
+    fn x_lex_lt(&mut self, q1: usize, q2: usize, t: usize) -> Bool {
+        let lt_x = self.ctx.lt(self.x[q1][t], self.x[q2][t]);
+        let eq_x = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
+        let lt_h = self.ctx.lt(self.h[q1][t], self.h[q2][t]);
+        let tie = self.ctx.and(&[eq_x, lt_h]);
+        self.ctx.or(&[lt_x, tie])
+    }
+
+    /// Lexicographic physical-y comparison `(y, v)_q1 < (y, v)_q2` at `t`.
+    fn y_lex_lt(&mut self, q1: usize, q2: usize, t: usize) -> Bool {
+        let lt_y = self.ctx.lt(self.y[q1][t], self.y[q2][t]);
+        let eq_y = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
+        let lt_v = self.ctx.lt(self.v[q1][t], self.v[q2][t]);
+        let tie = self.ctx.and(&[eq_y, lt_v]);
+        self.ctx.or(&[lt_y, tie])
+    }
+
+    /// Disjunction `⋁_i (g_i = t)` over the given gate indices.
+    fn some_gate_at(&mut self, gates: &[usize], t: usize) -> Vec<Bool> {
+        gates
+            .iter()
+            .map(|&i| self.ctx.eq_const(self.g[i], t as i64))
+            .collect()
+    }
+
+    /// Flag lookup `flags[line_var] ` as a Boolean:
+    /// `⋁_k (line = k ∧ flags[k][t])`.
+    fn line_flag(&mut self, line: IntVar, flags: &[Vec<Bool>], t: usize) -> Bool {
+        let parts: Vec<Bool> = (0..flags.len())
+            .map(|k| {
+                let isk = self.ctx.eq_const(line, k as i64);
+                self.ctx.and(&[isk, flags[k][t]])
+            })
+            .collect();
+        self.ctx.or(&parts)
+    }
+
+    fn assert_all(&mut self, opts: EncodeOptions) {
+        let n = self.problem.num_qubits;
+        let s = self.s;
+        let shielded = self.problem.config.has_storage();
+
+        // Per-qubit gate index lists (for Eq. 14).
+        let gates_of: Vec<Vec<usize>> = (0..n).map(|q| self.problem.gates_of(q)).collect();
+
+        for t in 0..s {
+            for q in 0..n {
+                // C1, Eq. 10: SLM qubits sit at site centers.
+                let aq = self.a[q][t];
+                let h0 = self.ctx.eq_const(self.h[q][t], 0);
+                let v0 = self.ctx.eq_const(self.v[q][t], 0);
+                self.ctx.assert_or(&[aq, h0]);
+                self.ctx.assert_or(&[aq, v0]);
+            }
+
+            for q1 in 0..n {
+                for q2 in (q1 + 1)..n {
+                    // C1, Eq. 9: equal offsets force distinct sites.
+                    let eh = self.ctx.eq(self.h[q1][t], self.h[q2][t]);
+                    let ev = self.ctx.eq(self.v[q1][t], self.v[q2][t]);
+                    let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
+                    let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
+                    self.ctx.assert_or(&[!eh, !ev, !ex, !ey]);
+
+                    // C2, Eq. 11 (+ row analog): AOD line order follows
+                    // physical order.
+                    let a1 = self.a[q1][t];
+                    let a2 = self.a[q2][t];
+                    let xlt = self.x_lex_lt(q1, q2, t);
+                    let xgt = self.x_lex_lt(q2, q1, t);
+                    let clt = self.ctx.lt(self.c[q1][t], self.c[q2][t]);
+                    let cgt = self.ctx.lt(self.c[q2][t], self.c[q1][t]);
+                    self.ctx.assert_or(&[!a1, !a2, !clt, xlt]);
+                    self.ctx.assert_or(&[!a1, !a2, clt, !xlt]);
+                    self.ctx.assert_or(&[!a1, !a2, !cgt, xgt]);
+                    self.ctx.assert_or(&[!a1, !a2, cgt, !xgt]);
+                    let ylt = self.y_lex_lt(q1, q2, t);
+                    let ygt = self.y_lex_lt(q2, q1, t);
+                    let rlt = self.ctx.lt(self.r[q1][t], self.r[q2][t]);
+                    let rgt = self.ctx.lt(self.r[q2][t], self.r[q1][t]);
+                    self.ctx.assert_or(&[!a1, !a2, !rlt, ylt]);
+                    self.ctx.assert_or(&[!a1, !a2, rlt, !ylt]);
+                    self.ctx.assert_or(&[!a1, !a2, !rgt, ygt]);
+                    self.ctx.assert_or(&[!a1, !a2, rgt, !ygt]);
+
+                    // Soundness: a near pair inside the entangling zone at
+                    // an execution stage must BE a scheduled gate.
+                    let near = self.near(q1, q2, t);
+                    let z1 = self.in_zone(q1, t);
+                    let z2 = self.in_zone(q2, t);
+                    let pair_gates: Vec<usize> = self
+                        .problem
+                        .gates
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(ga, gb))| (ga, gb) == (q1, q2))
+                        .map(|(i, _)| i)
+                        .collect();
+                    let mut clause = vec![!self.e[t], !near, !z1, !z2];
+                    clause.extend(self.some_gate_at(&pair_gates, t));
+                    self.ctx.assert_or(&clause);
+                }
+            }
+
+            // C3, Eq. 14: shielding of idling qubits.
+            for q in 0..n {
+                let gate_disj = self.some_gate_at(&gates_of[q], t);
+                if shielded {
+                    let z = self.in_zone(q, t);
+                    let mut clause = vec![!self.e[t], !z];
+                    clause.extend(gate_disj);
+                    self.ctx.assert_or(&clause);
+                } else {
+                    // Footnote 2: idling qubits sit in interaction sites not
+                    // shared with any other qubit.
+                    for q2 in 0..n {
+                        if q2 == q {
+                            continue;
+                        }
+                        let ex = self.ctx.eq(self.x[q][t], self.x[q2][t]);
+                        let ey = self.ctx.eq(self.y[q][t], self.y[q2][t]);
+                        let mut clause = vec![!self.e[t], !ex, !ey];
+                        clause.extend(gate_disj.iter().copied());
+                        self.ctx.assert_or(&clause);
+                    }
+                }
+            }
+
+            // Optional strengthening: execution stages execute something.
+            if opts.nonempty_exec {
+                let all: Vec<usize> = (0..self.problem.gates.len()).collect();
+                let mut clause = vec![!self.e[t]];
+                clause.extend(self.some_gate_at(&all, t));
+                self.ctx.assert_or(&clause);
+            }
+        }
+
+        // C3, Eq. 12: gate execution prerequisites.
+        for i in 0..self.problem.gates.len() {
+            let (q1, q2) = self.problem.gates[i];
+            for t in 0..s {
+                let git = self.ctx.eq_const(self.g[i], t as i64);
+                let et = self.e[t];
+                self.ctx.assert_implies(git, et);
+                let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
+                self.ctx.assert_implies(git, ex);
+                let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
+                self.ctx.assert_implies(git, ey);
+                let rad = self.problem.config.radius;
+                let dh = self.ctx.abs_diff_lt(self.h[q1][t], self.h[q2][t], rad);
+                self.ctx.assert_implies(git, dh);
+                let dv = self.ctx.abs_diff_lt(self.v[q1][t], self.v[q2][t], rad);
+                self.ctx.assert_implies(git, dv);
+                let z1 = self.in_zone(q1, t);
+                self.ctx.assert_implies(git, z1);
+                let z2 = self.in_zone(q2, t);
+                self.ctx.assert_implies(git, z2);
+            }
+        }
+
+        // C3, Eq. 13: gates sharing a qubit never share a stage.
+        for i in 0..self.problem.gates.len() {
+            for j in (i + 1)..self.problem.gates.len() {
+                let (a1, b1) = self.problem.gates[i];
+                let (a2, b2) = self.problem.gates[j];
+                if a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2 {
+                    let ne = self.ctx.ne(self.g[i], self.g[j]);
+                    self.ctx.assert(ne);
+                }
+            }
+        }
+
+        // Transitions between consecutive stages.
+        for t in 0..s.saturating_sub(1) {
+            let et = self.e[t];
+            for q in 0..n {
+                let a0 = self.a[q][t];
+                let a1 = self.a[q][t + 1];
+                // C4, Eq. 15: execution stages preserve trap type.
+                self.ctx.assert_or(&[!et, !a0, a1]);
+                self.ctx.assert_or(&[!et, a0, !a1]);
+                // C4, Eq. 16: SLM qubits are static.
+                let ex = self.ctx.eq(self.x[q][t], self.x[q][t + 1]);
+                let ey = self.ctx.eq(self.y[q][t], self.y[q][t + 1]);
+                self.ctx.assert_or(&[!et, a0, ex]);
+                self.ctx.assert_or(&[!et, a0, ey]);
+                // C4, Eq. 17: AOD qubits keep their lines while shuttling.
+                let ec = self.ctx.eq(self.c[q][t], self.c[q][t + 1]);
+                let er = self.ctx.eq(self.r[q][t], self.r[q][t + 1]);
+                self.ctx.assert_or(&[!et, !a0, ec]);
+                self.ctx.assert_or(&[!et, !a0, er]);
+
+                // C5, Eq. 18: storing only at site centers.
+                let h0 = self.ctx.eq_const(self.h[q][t], 0);
+                let v0 = self.ctx.eq_const(self.v[q][t], 0);
+                self.ctx.assert_or(&[et, a1, h0]);
+                self.ctx.assert_or(&[et, a1, v0]);
+                // C5, Eq. 19: qubits ending in SLM do not move.
+                self.ctx.assert_or(&[et, a1, ex]);
+                self.ctx.assert_or(&[et, a1, ey]);
+                // C5, Eq. 20: store iff a store flag covers the qubit's line.
+                let fs_c = self.line_flag(self.c[q][t], &self.cs.clone(), t);
+                let fs_r = self.line_flag(self.r[q][t], &self.rs.clone(), t);
+                let fs = self.ctx.or(&[fs_c, fs_r]);
+                self.ctx.assert_or(&[et, !a0, a1, fs]);
+                self.ctx.assert_or(&[et, !a0, !fs, !a1]);
+                // C5 (load analog): load iff a load flag covers the new line.
+                let fl_c = self.line_flag(self.c[q][t + 1], &self.cl.clone(), t);
+                let fl_r = self.line_flag(self.r[q][t + 1], &self.rl.clone(), t);
+                let fl = self.ctx.or(&[fl_c, fl_r]);
+                self.ctx.assert_or(&[et, a0, !a1, fl]);
+                self.ctx.assert_or(&[et, a0, !fl, a1]);
+            }
+            // C6, Eq. 21 (+ vertical analog): loading preserves relative
+            // physical order.
+            for q1 in 0..n {
+                for q2 in (q1 + 1)..n {
+                    let a1n = self.a[q1][t + 1];
+                    let a2n = self.a[q2][t + 1];
+                    let xlt = self.x_lex_lt(q1, q2, t);
+                    let xgt = self.x_lex_lt(q2, q1, t);
+                    let clt = self.ctx.lt(self.c[q1][t + 1], self.c[q2][t + 1]);
+                    let cgt = self.ctx.lt(self.c[q2][t + 1], self.c[q1][t + 1]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, !clt, xlt]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, clt, !xlt]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, !cgt, xgt]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, cgt, !xgt]);
+                    let ylt = self.y_lex_lt(q1, q2, t);
+                    let ygt = self.y_lex_lt(q2, q1, t);
+                    let rlt = self.ctx.lt(self.r[q1][t + 1], self.r[q2][t + 1]);
+                    let rgt = self.ctx.lt(self.r[q2][t + 1], self.r[q1][t + 1]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, !rlt, ylt]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, rlt, !ylt]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, !rgt, ygt]);
+                    self.ctx.assert_or(&[et, !a1n, !a2n, rgt, !ygt]);
+                }
+            }
+        }
+
+        // Symmetry breaking: first and last stages are execution stages.
+        if opts.force_exec_boundary && s > 0 && !self.problem.gates.is_empty() {
+            let e0 = self.e[0];
+            self.ctx.assert(e0);
+            let el = self.e[s - 1];
+            self.ctx.assert(el);
+        }
+    }
+
+    /// Solves the encoding under the given budget.
+    pub fn solve(&mut self, budget: Budget) -> SolveResult {
+        self.ctx.solve_limited(budget)
+    }
+
+    /// Asserts that at most `k` stages are transfer stages (¬e_t), via a
+    /// sequential-counter cardinality encoding.
+    ///
+    /// This is an extension beyond the paper's objective (which minimizes
+    /// only the total stage count S): among stage-minimal schedules, fewer
+    /// transfer stages mean fewer error-prone 200 µs trap transfers, so the
+    /// driver optionally tightens `k` after fixing S.
+    pub fn assert_max_transfers(&mut self, k: usize) {
+        let transfers: Vec<Bool> = self.e.iter().map(|&e| !e).collect();
+        if transfers.len() <= k {
+            return;
+        }
+        if k == 0 {
+            for t in transfers {
+                self.ctx.assert(!t);
+            }
+            return;
+        }
+        // Sequential counter: partial[i][j] ⇔ at least j+1 of the first
+        // i+1 stage indicators are transfers.
+        let n = transfers.len();
+        let mut prev: Vec<Bool> = Vec::new();
+        for (i, &x) in transfers.iter().enumerate() {
+            let width = (i + 1).min(k + 1);
+            let mut cur: Vec<Bool> = Vec::with_capacity(width);
+            for j in 0..width {
+                let carried = prev.get(j).copied();
+                let bumped = if j == 0 {
+                    Some(x)
+                } else {
+                    prev.get(j - 1).map(|&p| self.ctx.and(&[p, x]))
+                };
+                let node = match (carried, bumped) {
+                    (Some(c), Some(b)) => self.ctx.or(&[c, b]),
+                    (Some(c), None) => c,
+                    (None, Some(b)) => b,
+                    (None, None) => unreachable!("j < width"),
+                };
+                cur.push(node);
+            }
+            // Overflow: k+1 transfers among the first i+1 stages.
+            if cur.len() == k + 1 {
+                let overflow = cur[k];
+                self.ctx.assert(!overflow);
+                cur.truncate(k + 1);
+            }
+            prev = cur;
+            let _ = n;
+        }
+    }
+
+    /// Decodes the model into a concrete [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`Encoding::solve`].
+    pub fn decode(&self) -> Schedule {
+        let n = self.problem.num_qubits;
+        let read_int =
+            |var: IntVar| -> i64 { self.ctx.int_value(var).expect("model available") };
+        let read_bool =
+            |b: Bool| -> bool { self.ctx.bool_value(b).expect("model available") };
+        let stages = (0..self.s)
+            .map(|t| {
+                let qubits: Vec<QubitState> = (0..n)
+                    .map(|q| {
+                        let pos = Position {
+                            x: read_int(self.x[q][t]),
+                            y: read_int(self.y[q][t]),
+                            h: read_int(self.h[q][t]),
+                            v: read_int(self.v[q][t]),
+                        };
+                        let trap = if read_bool(self.a[q][t]) {
+                            Trap::Aod {
+                                col: read_int(self.c[q][t]),
+                                row: read_int(self.r[q][t]),
+                            }
+                        } else {
+                            Trap::Slm
+                        };
+                        QubitState { pos, trap }
+                    })
+                    .collect();
+                let kind = if read_bool(self.e[t]) {
+                    StageKind::Rydberg
+                } else {
+                    let mut flags = TransferFlags::default();
+                    for (k, col) in self.cs.iter().enumerate() {
+                        if read_bool(col[t]) {
+                            flags.col_store.insert(k as i64);
+                        }
+                    }
+                    for (k, col) in self.cl.iter().enumerate() {
+                        if read_bool(col[t]) {
+                            flags.col_load.insert(k as i64);
+                        }
+                    }
+                    for (k, row) in self.rs.iter().enumerate() {
+                        if read_bool(row[t]) {
+                            flags.row_store.insert(k as i64);
+                        }
+                    }
+                    for (k, row) in self.rl.iter().enumerate() {
+                        if read_bool(row[t]) {
+                            flags.row_load.insert(k as i64);
+                        }
+                    }
+                    StageKind::Transfer(flags)
+                };
+                Stage { kind, qubits }
+            })
+            .collect();
+        Schedule {
+            config: self.problem.config.clone(),
+            num_qubits: n,
+            stages,
+        }
+    }
+
+    /// Diagnostics: SAT variable / clause counts of the compiled encoding.
+    pub fn size(&self) -> (usize, usize) {
+        (self.ctx.num_sat_vars(), self.ctx.num_clauses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasp_arch::{validate_schedule, ArchConfig, Layout};
+
+    fn tiny_problem(layout: Layout, gates: Vec<(usize, usize)>, n: usize) -> Problem {
+        Problem::from_gates(ArchConfig::paper(layout), n, gates)
+    }
+
+    #[test]
+    fn single_gate_one_stage() {
+        let p = tiny_problem(Layout::BottomStorage, vec![(0, 1)], 3);
+        let mut enc = Encoding::build(&p, 1, EncodeOptions::default());
+        assert_eq!(enc.solve(Budget::unlimited()), SolveResult::Sat);
+        let schedule = enc.decode();
+        assert_eq!(schedule.num_rydberg(), 1);
+        let violations = validate_schedule(&schedule, &p.gates);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn shared_qubit_zoned_needs_transfer_stage() {
+        // Gates (0,1) and (1,2) share qubit 1 ⇒ two beams. In a zoned
+        // layout the idler of each beam must hide in storage, so qubits 0
+        // and 2 swap vertical order between the beams — impossible with
+        // rigid AOD rows alone. This is exactly the paper's Fig. 2
+        // scenario: the minimum is beam / transfer / beam (S = 3).
+        let p = tiny_problem(Layout::BottomStorage, vec![(0, 1), (1, 2)], 3);
+        let mut enc = Encoding::build(&p, 1, EncodeOptions::default());
+        assert_eq!(enc.solve(Budget::unlimited()), SolveResult::Unsat);
+        let mut enc2 = Encoding::build(&p, 2, EncodeOptions::default());
+        assert_eq!(enc2.solve(Budget::unlimited()), SolveResult::Unsat);
+        let mut enc3 = Encoding::build(&p, 3, EncodeOptions::default());
+        assert_eq!(enc3.solve(Budget::unlimited()), SolveResult::Sat);
+        let schedule = enc3.decode();
+        let violations = validate_schedule(&schedule, &p.gates);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(schedule.num_rydberg(), 2);
+        assert_eq!(schedule.num_transfer(), 1);
+    }
+
+    #[test]
+    fn shared_qubit_no_shielding_two_stages() {
+        // Without zones the same instance fits in two execution stages.
+        let p = tiny_problem(Layout::NoShielding, vec![(0, 1), (1, 2)], 3);
+        let mut enc = Encoding::build(&p, 2, EncodeOptions::default());
+        assert_eq!(enc.solve(Budget::unlimited()), SolveResult::Sat);
+        let schedule = enc.decode();
+        let violations = validate_schedule(&schedule, &p.gates);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn parallel_gates_share_one_stage() {
+        let p = tiny_problem(Layout::BottomStorage, vec![(0, 1), (2, 3)], 4);
+        let mut enc = Encoding::build(&p, 1, EncodeOptions::default());
+        assert_eq!(enc.solve(Budget::unlimited()), SolveResult::Sat);
+        let schedule = enc.decode();
+        let violations = validate_schedule(&schedule, &p.gates);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(schedule.executed_pairs(0).len(), 2);
+    }
+
+    #[test]
+    fn no_shielding_layout_solves() {
+        let p = tiny_problem(Layout::NoShielding, vec![(0, 1), (1, 2)], 4);
+        let mut enc = Encoding::build(&p, 2, EncodeOptions::default());
+        assert_eq!(enc.solve(Budget::unlimited()), SolveResult::Sat);
+        let schedule = enc.decode();
+        let violations = validate_schedule(&schedule, &p.gates);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn encoding_size_reported() {
+        let p = tiny_problem(Layout::BottomStorage, vec![(0, 1)], 2);
+        let enc = Encoding::build(&p, 1, EncodeOptions::default());
+        let (vars, clauses) = enc.size();
+        assert!(vars > 0 && clauses > 0);
+    }
+}

@@ -1,0 +1,796 @@
+//! Heuristic scheduler — the valid-but-not-optimal fallback used when the
+//! SMT budget expires (mirroring the paper's starred timeout entries), and
+//! the baseline that keeps large codes runnable at laptop scale.
+//!
+//! Strategy ("round-based rebuild"): every qubit has a *home* SLM site in
+//! the storage region (or, without zones, in a reserved block of rows).
+//! Gates are batched into rounds; each round loads its qubits into AOD in
+//! one transfer stage, shuttles them to per-pair interaction sites in the
+//! gate region, fires one beam, and shuttles them home, where the next
+//! transfer stage stores them and loads the next round.
+//!
+//! The construction respects AOD rigidity by restricting each round to
+//! pairs whose home x-intervals are pairwise disjoint (columns never need
+//! to cross) and whose rows form non-interleaved groups (rows never need to
+//! cross). Codes with more qubits than SLM home sites keep the surplus
+//! parked permanently in AOD at an offset below/right of all traffic
+//! ("floaters"), which is order-safe; gates on floaters run as solo rounds.
+//!
+//! Every produced schedule is checked by the independent operational
+//! validator before being returned.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nasp_arch::{
+    validate_schedule, ArchConfig, Position, QubitState, Schedule, Stage, StageKind,
+    TransferFlags, Trap,
+};
+
+use crate::problem::Problem;
+
+/// BFS ordering of the (homed) qubits over the gate graph, highest-degree
+/// component roots first; isolated qubits go last.
+fn gate_graph_bfs(problem: &Problem, homed: &BTreeSet<usize>) -> Vec<usize> {
+    let n = problem.num_qubits;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &problem.gates {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+    }
+    let mut order = Vec::with_capacity(homed.len());
+    let mut seen = vec![false; n];
+    let mut roots: Vec<usize> = homed.iter().copied().collect();
+    roots.sort_by_key(|&q| std::cmp::Reverse(adj[q].len()));
+    for root in roots {
+        if seen[root] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([root]);
+        seen[root] = true;
+        while let Some(q) = queue.pop_front() {
+            if homed.contains(&q) {
+                order.push(q);
+            }
+            for &nb in &adj[q] {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Where a qubit lives between its gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    /// SLM site center `(x, y)`.
+    Slm(i64, i64),
+    /// Permanently in AOD, parked at a fixed offset position.
+    Floater(Position),
+}
+
+#[derive(Debug, Clone)]
+struct PlannedPair {
+    #[allow(dead_code)] // kept for diagnostics
+    gate: (usize, usize),
+    /// Member with the smaller home x (gets offset `h = 0`).
+    left: usize,
+    /// Member with the larger home x (gets offset `h = 1`).
+    right: usize,
+    /// Home-x interval `(lo, hi)`.
+    interval: (i64, i64),
+    /// Home rows involved (one entry for same-row pairs, two for cross).
+    rows: Vec<i64>,
+    /// Involves a floater (solo rounds only).
+    floater: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Round {
+    pairs: Vec<PlannedPair>,
+    solo: bool,
+}
+
+/// Produces a valid (generally non-optimal) schedule, or `None` if the
+/// construction fails for this instance (it then fails loudly in tests; the
+/// driver reports no schedule).
+pub fn schedule(problem: &Problem) -> Option<Schedule> {
+    let schedule = schedule_unchecked(problem)?;
+    if validate_schedule(&schedule, &problem.gates).is_empty() {
+        Some(schedule)
+    } else {
+        None
+    }
+}
+
+/// Like [`schedule`] but without the final validation pass — exposed for
+/// diagnostics so callers can inspect the violations themselves.
+pub fn schedule_unchecked(problem: &Problem) -> Option<Schedule> {
+    let planner = Planner::new(problem)?;
+    planner.build()
+}
+
+struct Planner<'a> {
+    problem: &'a Problem,
+    cfg: &'a ArchConfig,
+    homes: Vec<Home>,
+    gate_rows: Vec<i64>,
+    rounds: Vec<Round>,
+    num_floaters: usize,
+}
+
+impl<'a> Planner<'a> {
+    fn new(problem: &'a Problem) -> Option<Self> {
+        let cfg = &problem.config;
+        let n = problem.num_qubits;
+        let width = cfg.x_max + 1;
+
+        // Home region: the storage rows, or (without zones) the lowest rows
+        // that fit all qubits, keeping at least one row free for gating.
+        let (home_rows, gate_rows): (Vec<i64>, Vec<i64>) = if cfg.has_storage() {
+            (cfg.storage_rows(), cfg.entangling_rows())
+        } else {
+            let needed = (n as i64 + width - 1) / width;
+            if needed > cfg.y_max {
+                return None; // no room left to gate
+            }
+            ((0..needed).collect(), (needed..=cfg.y_max).collect())
+        };
+        let capacity = (home_rows.len() as i64 * width) as usize;
+
+        // Floaters: surplus qubits, chosen as those with the fewest gates
+        // (each floater gate forces a solo round).
+        let mut by_degree: Vec<usize> = (0..n).collect();
+        let degree = |q: usize| problem.gates.iter().filter(|&&(a, b)| a == q || b == q).count();
+        by_degree.sort_by_key(|&q| std::cmp::Reverse(degree(q)));
+        let (homed, floating) = by_degree.split_at(n.min(capacity));
+        if floating.len() > 2 || cfg.h_max < cfg.radius || cfg.v_max < 1 {
+            return None; // construction supports at most two floaters
+        }
+
+        let mut homes = vec![Home::Slm(0, 0); n];
+        // Order homes along a BFS of the gate graph so that gate endpoints
+        // tend to be neighbours, which maximizes per-beam batching under
+        // the interval-disjointness rule.
+        let homed_set: BTreeSet<usize> = homed.iter().copied().collect();
+        let bfs_order = gate_graph_bfs(problem, &homed_set);
+        for (idx, &q) in bfs_order.iter().enumerate() {
+            let x = idx as i64 % width;
+            let y = home_rows[idx / width as usize];
+            homes[q] = Home::Slm(x, y);
+        }
+        for (i, &q) in floating.iter().enumerate() {
+            homes[q] = Home::Floater(Position {
+                x: cfg.x_max - i as i64,
+                y: home_rows[0],
+                h: cfg.h_max,
+                v: -1,
+            });
+        }
+        let _ = &home_rows;
+        let mut planner = Planner {
+            problem,
+            cfg,
+            homes,
+            gate_rows,
+            rounds: Vec::new(),
+            num_floaters: floating.len(),
+        };
+        planner.plan_rounds()?;
+        Some(planner)
+    }
+
+    fn is_floater(&self, q: usize) -> bool {
+        matches!(self.homes[q], Home::Floater(_))
+    }
+
+    fn home_xy(&self, q: usize) -> (i64, i64) {
+        match self.homes[q] {
+            Home::Slm(x, y) => (x, y),
+            Home::Floater(p) => (p.x, p.y),
+        }
+    }
+
+    fn plan_rounds(&mut self) -> Option<()> {
+        let mut remaining: Vec<(usize, usize)> = self.problem.gates.clone();
+        // Most-constrained gates first: floater gates, then by degree sum.
+        remaining.sort_by_key(|&(a, b)| {
+            (
+                std::cmp::Reverse(u8::from(self.is_floater(a) || self.is_floater(b))),
+                a,
+                b,
+            )
+        });
+        let mut guard = 0;
+        while !remaining.is_empty() {
+            guard += 1;
+            if guard > 4 * self.problem.gates.len() + 4 {
+                return None;
+            }
+            let mut round = Round::default();
+            let mut used: BTreeSet<usize> = BTreeSet::new();
+            let mut i = 0;
+            while i < remaining.len() {
+                let gate = remaining[i];
+                if let Some(pp) = self.try_plan_pair(&round, &used, gate) {
+                    used.insert(gate.0);
+                    used.insert(gate.1);
+                    let solo = pp.floater;
+                    round.pairs.push(pp);
+                    remaining.remove(i);
+                    if solo {
+                        round.solo = true;
+                        break;
+                    }
+                    continue; // do not advance: element replaced by remove
+                }
+                i += 1;
+            }
+            if round.pairs.is_empty() {
+                return None; // cannot place any remaining gate
+            }
+            self.rounds.push(round);
+        }
+        Some(())
+    }
+
+    /// Checks compatibility of `gate` with the partially built round and
+    /// returns its placement plan.
+    fn try_plan_pair(
+        &self,
+        round: &Round,
+        used: &BTreeSet<usize>,
+        gate: (usize, usize),
+    ) -> Option<PlannedPair> {
+        let (a, b) = gate;
+        if round.solo || used.contains(&a) || used.contains(&b) {
+            return None;
+        }
+        let floater = self.is_floater(a) || self.is_floater(b);
+        if floater {
+            // Solo rounds only.
+            if !round.pairs.is_empty() {
+                return None;
+            }
+            let (xa, _) = self.home_xy(a);
+            let (xb, _) = self.home_xy(b);
+            // Order by park/home x-key; floaters carry offset h_max, homes 0.
+            let key = |q: usize| {
+                let (x, _) = self.home_xy(q);
+                (x, if self.is_floater(q) { self.cfg.h_max } else { 0 })
+            };
+            let (left, right) = if key(a) < key(b) { (a, b) } else { (b, a) };
+            return Some(PlannedPair {
+                gate,
+                left,
+                right,
+                interval: (xa.min(xb), xa.max(xb)),
+                rows: Vec::new(),
+                floater: true,
+            });
+        }
+        let (xa, ya) = self.home_xy(a);
+        let (xb, yb) = self.home_xy(b);
+        let interval = (xa.min(xb), xa.max(xb));
+        let rows: Vec<i64> = if ya == yb {
+            vec![ya]
+        } else {
+            vec![ya.min(yb), ya.max(yb)]
+        };
+        // Interval compatibility with every planned pair: disjoint, or an
+        // exact stack (identical interval) of same-row pairs in different
+        // rows (they share the two AOD columns and land on the same x-site
+        // at different y-sites).
+        for p in &round.pairs {
+            let identical = p.interval == interval;
+            let stackable = identical
+                && rows.len() == 1
+                && p.rows.len() == 1
+                && p.rows[0] != rows[0]
+                && interval.0 != interval.1;
+            if stackable {
+                continue;
+            }
+            if interval.0 <= p.interval.1 && p.interval.0 <= interval.1 {
+                return None;
+            }
+        }
+        // Row-group compatibility. Groups are exact row sets: same-row
+        // groups `[r]`, cross/vertical groups `[r_lo, r_hi]`. Identical
+        // cross row sets merge; distinct groups must not share or
+        // interleave rows.
+        let mut groups = self.row_groups(round);
+        if !groups.contains(&rows) {
+            for g in &groups {
+                let overlap = g.iter().any(|gr| rows.contains(gr));
+                let interleave = (g.len() == 2
+                    && rows.iter().any(|&r| g[0] < r && r < g[1]))
+                    || (rows.len() == 2
+                        && g.iter().any(|&gr| rows[0] < gr && gr < rows[1]));
+                if overlap || interleave {
+                    return None;
+                }
+            }
+            groups.push(rows.clone());
+            groups.sort();
+        }
+        // Capacities. Columns are shared by stacked pairs and within
+        // vertical pairs, so count distinct home-x slots.
+        let mut x_slots: BTreeSet<i64> = round
+            .pairs
+            .iter()
+            .flat_map(|p| [p.interval.0, p.interval.1])
+            .collect();
+        x_slots.insert(xa);
+        x_slots.insert(xb);
+        if x_slots.len() + self.num_floaters > (self.cfg.c_max + 1) as usize {
+            return None;
+        }
+        // One interaction-site column per distinct interval.
+        let mut intervals: BTreeSet<(i64, i64)> =
+            round.pairs.iter().map(|p| p.interval).collect();
+        intervals.insert(interval);
+        if intervals.len() > (self.cfg.x_max + 1) as usize {
+            return None;
+        }
+        let row_indices: usize =
+            usize::from(self.num_floaters > 0) + groups.iter().map(Vec::len).sum::<usize>();
+        if row_indices > (self.cfg.r_max + 1) as usize {
+            return None;
+        }
+        // Vertical slot capacity in the gate region.
+        if !self.allocate_slots(&groups).is_some() {
+            return None;
+        }
+        // Left/right by home x; vertical pairs (equal x) by home row.
+        let (left, right) = if xa < xb || (xa == xb && ya < yb) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        Some(PlannedPair {
+            gate,
+            left,
+            right,
+            interval,
+            rows,
+            floater: false,
+        })
+    }
+
+    /// The row groups of a round (exact row sets, deduplicated), sorted by
+    /// lowest home row.
+    fn row_groups(&self, round: &Round) -> Vec<Vec<i64>> {
+        let mut groups: Vec<Vec<i64>> = Vec::new();
+        for p in &round.pairs {
+            if !groups.contains(&p.rows) && !p.rows.is_empty() {
+                groups.push(p.rows.clone());
+            }
+        }
+        groups.sort();
+        groups
+    }
+
+    /// Assigns each row group `(zone_y, base_v)`; cross groups occupy
+    /// `base_v` and `base_v + 1`. Groups must already be sorted.
+    fn allocate_slots(&self, groups: &[Vec<i64>]) -> Option<BTreeMap<Vec<i64>, (i64, i64)>> {
+        let v_lo = -self.cfg.v_max;
+        let mut out = BTreeMap::new();
+        let mut row_idx = 0usize;
+        let mut v = v_lo;
+        for g in groups {
+            let need = g.len() as i64;
+            if row_idx >= self.gate_rows.len() {
+                return None;
+            }
+            if v + need - 1 > self.cfg.v_max {
+                row_idx += 1;
+                v = v_lo;
+                if row_idx >= self.gate_rows.len() {
+                    return None;
+                }
+            }
+            out.insert(g.clone(), (self.gate_rows[row_idx], v));
+            // Stacked pairs can put different groups on the same x-site, so
+            // groups sharing a zone row need a vertical gap ≥ radius.
+            v += need + self.cfg.radius - 1;
+        }
+        Some(out)
+    }
+
+    /// Materializes the rounds into a stage sequence.
+    fn build(&self) -> Option<Schedule> {
+        let n = self.problem.num_qubits;
+        let mut stages: Vec<Stage> = Vec::new();
+
+        // Per-round gate-time positions and AOD assignments.
+        let mut round_states: Vec<BTreeMap<usize, QubitState>> = Vec::new();
+        for round in &self.rounds {
+            round_states.push(self.round_gate_states(round)?);
+        }
+
+        for (i, round) in self.rounds.iter().enumerate() {
+            let movers: BTreeSet<usize> = round
+                .pairs
+                .iter()
+                .flat_map(|p| [p.left, p.right])
+                .collect();
+            // Execution stage: movers at gate positions, the rest at home.
+            let qubits: Vec<QubitState> = (0..n)
+                .map(|q| {
+                    if let Some(&st) = round_states[i].get(&q) {
+                        st
+                    } else {
+                        self.resting_state(q, &round_states[i])
+                    }
+                })
+                .collect();
+            stages.push(Stage {
+                kind: StageKind::Rydberg,
+                qubits,
+            });
+
+            // Transfer stage(s) between rounds: round-i movers come back
+            // home (still in AOD, same lines) and get stored; next-round
+            // movers get loaded. When a continuing qubit would share a
+            // flagged line with a stored/loaded one, the transfer is split
+            // into a store-everything stage plus a load-everything stage.
+            if i + 1 < self.rounds.len() {
+                let next_movers: BTreeSet<usize> = self.rounds[i + 1]
+                    .pairs
+                    .iter()
+                    .flat_map(|p| [p.left, p.right])
+                    .collect();
+                let old: BTreeSet<usize> = movers
+                    .iter()
+                    .copied()
+                    .filter(|&q| !self.is_floater(q))
+                    .collect();
+                let new: BTreeSet<usize> = next_movers
+                    .iter()
+                    .copied()
+                    .filter(|&q| !self.is_floater(q))
+                    .collect();
+                let continuing: BTreeSet<usize> =
+                    old.intersection(&new).copied().collect();
+
+                let at_home_aod = |q: usize, trap: Trap| {
+                    let (x, y) = self.home_xy(q);
+                    QubitState {
+                        pos: Position::site_center(x, y),
+                        trap,
+                    }
+                };
+                let conflict = self.merged_transfer_conflict(
+                    &old,
+                    &new,
+                    &continuing,
+                    &round_states[i + 1],
+                );
+                if !conflict {
+                    let qubits: Vec<QubitState> = (0..n)
+                        .map(|q| {
+                            if old.contains(&q) {
+                                at_home_aod(q, round_states[i][&q].trap)
+                            } else {
+                                self.resting_state(q, &round_states[i])
+                            }
+                        })
+                        .collect();
+                    let mut flags = TransferFlags::default();
+                    for &q in old.difference(&continuing) {
+                        if let Trap::Aod { col, .. } = round_states[i][&q].trap {
+                            flags.col_store.insert(col);
+                        }
+                    }
+                    for &q in new.difference(&continuing) {
+                        if let Trap::Aod { col, .. } = round_states[i + 1][&q].trap {
+                            flags.col_load.insert(col);
+                        }
+                    }
+                    stages.push(Stage {
+                        kind: StageKind::Transfer(flags),
+                        qubits,
+                    });
+                } else {
+                    // Stage A: store every returning mover.
+                    let qubits_a: Vec<QubitState> = (0..n)
+                        .map(|q| {
+                            if old.contains(&q) {
+                                at_home_aod(q, round_states[i][&q].trap)
+                            } else {
+                                self.resting_state(q, &round_states[i])
+                            }
+                        })
+                        .collect();
+                    let mut flags_a = TransferFlags::default();
+                    for &q in &old {
+                        if let Trap::Aod { col, .. } = round_states[i][&q].trap {
+                            flags_a.col_store.insert(col);
+                        }
+                    }
+                    stages.push(Stage {
+                        kind: StageKind::Transfer(flags_a),
+                        qubits: qubits_a,
+                    });
+                    // Stage B: everyone rests in SLM (floaters re-ranked
+                    // among themselves); load the whole next round.
+                    let floater_ranked = self.floaters_only_ranking();
+                    let qubits_b: Vec<QubitState> = (0..n)
+                        .map(|q| self.resting_state_with(q, &floater_ranked))
+                        .collect();
+                    let mut flags_b = TransferFlags::default();
+                    for &q in &new {
+                        if let Trap::Aod { col, .. } = round_states[i + 1][&q].trap {
+                            flags_b.col_load.insert(col);
+                        }
+                    }
+                    stages.push(Stage {
+                        kind: StageKind::Transfer(flags_b),
+                        qubits: qubits_b,
+                    });
+                }
+            }
+        }
+        Some(Schedule {
+            config: self.cfg.clone(),
+            num_qubits: n,
+            stages,
+        })
+    }
+
+    /// `true` when a single merged store+load transfer stage would put a
+    /// continuing AOD qubit on a flagged line.
+    fn merged_transfer_conflict(
+        &self,
+        old: &BTreeSet<usize>,
+        new: &BTreeSet<usize>,
+        continuing: &BTreeSet<usize>,
+        next_states: &BTreeMap<usize, QubitState>,
+    ) -> bool {
+        for &q in continuing {
+            // Store side: lines are home-x columns; a storing peer with the
+            // same home x would force-store the continuing qubit.
+            let (xq, _) = self.home_xy(q);
+            for &p in old.difference(new) {
+                let (xp, _) = self.home_xy(p);
+                if xp == xq {
+                    return true;
+                }
+            }
+            // Load side: lines are gate-position columns of the next round.
+            let Trap::Aod { col: cq, .. } = next_states[&q].trap else {
+                continue;
+            };
+            for &p in new {
+                if continuing.contains(&p) {
+                    continue;
+                }
+                if let Trap::Aod { col, .. } = next_states[&p].trap {
+                    if col == cq {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Dense line ranking when only the floaters remain in AOD.
+    fn floaters_only_ranking(&self) -> BTreeMap<usize, QubitState> {
+        let mut parked: Vec<(usize, Position)> = (0..self.problem.num_qubits)
+            .filter_map(|q| match self.homes[q] {
+                Home::Floater(p) => Some((q, p)),
+                Home::Slm(..) => None,
+            })
+            .collect();
+        parked.sort_by_key(|&(_, p)| p.x_key());
+        let mut ys: Vec<(i64, i64)> = parked.iter().map(|&(_, p)| p.y_key()).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        parked
+            .into_iter()
+            .enumerate()
+            .map(|(col, (q, p))| {
+                let row = ys.binary_search(&p.y_key()).expect("present") as i64;
+                (
+                    q,
+                    QubitState {
+                        pos: p,
+                        trap: Trap::Aod {
+                            col: col as i64,
+                            row,
+                        },
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Resting state with an explicit floater ranking.
+    fn resting_state_with(
+        &self,
+        q: usize,
+        floater_ranked: &BTreeMap<usize, QubitState>,
+    ) -> QubitState {
+        match self.homes[q] {
+            Home::Slm(x, y) => QubitState {
+                pos: Position::site_center(x, y),
+                trap: Trap::Slm,
+            },
+            Home::Floater(_) => floater_ranked[&q],
+        }
+    }
+
+    /// Resting state of a non-mover: SLM at home, or floater parked in AOD
+    /// (line indices taken from the round's dense ranking in `ranked`; the
+    /// position is always the park spot, even right after a floater's own
+    /// gate round).
+    fn resting_state(&self, q: usize, ranked: &BTreeMap<usize, QubitState>) -> QubitState {
+        match self.homes[q] {
+            Home::Slm(x, y) => QubitState {
+                pos: Position::site_center(x, y),
+                trap: Trap::Slm,
+            },
+            Home::Floater(p) => QubitState {
+                pos: p,
+                trap: ranked
+                    .get(&q)
+                    .map(|s| s.trap)
+                    .expect("floaters are always ranked"),
+            },
+        }
+    }
+
+    /// Gate-time positions plus AOD line assignment (dense ranks over the
+    /// round's AOD population: movers and floaters).
+    fn round_gate_states(&self, round: &Round) -> Option<BTreeMap<usize, QubitState>> {
+        let groups = self.row_groups(round);
+        let slots = self.allocate_slots(&groups)?;
+        // Site x = rank of the pair's (distinct) home interval; stacked
+        // pairs share their x-site.
+        let mut intervals: Vec<(i64, i64)> = round.pairs.iter().map(|p| p.interval).collect();
+        intervals.sort_unstable();
+        intervals.dedup();
+        let mut pairs: Vec<&PlannedPair> = round.pairs.iter().collect();
+        pairs.sort_by_key(|p| p.interval);
+
+        let mut pos: BTreeMap<usize, Position> = BTreeMap::new();
+        for p in pairs.iter() {
+            let site_x = intervals
+                .binary_search(&p.interval)
+                .expect("interval present") as i64;
+            if p.floater {
+                // Solo floater round: partner at the site center, floater
+                // beside and below it (order-safe: floater stays minimal in
+                // y and maximal relative to its park x ordering is kept by
+                // the dense ranking below).
+                let zy = self.gate_rows[0];
+                for (q, h) in [(p.left, 0i64), (p.right, 1i64)] {
+                    let v = if self.is_floater(q) { -1 } else { 0 };
+                    pos.insert(q, Position { x: site_x, y: zy, h, v });
+                }
+            } else if p.rows.len() == 1 {
+                let (zy, v) = slots[&p.rows];
+                pos.insert(p.left, Position { x: site_x, y: zy, h: 0, v });
+                pos.insert(p.right, Position { x: site_x, y: zy, h: 1, v });
+            } else {
+                let (zy, v) = slots[&p.rows];
+                // Offsets by home-x order; v by home-row order. A vertical
+                // pair (shared home column) keeps one column: h = 0 for
+                // both members.
+                let vertical = p.interval.0 == p.interval.1;
+                let (_, y_left) = self.home_xy(p.left);
+                let (v_left, v_right) = if y_left == p.rows[0] {
+                    (v, v + 1)
+                } else {
+                    (v + 1, v)
+                };
+                let h_right = if vertical { 0 } else { 1 };
+                pos.insert(p.left, Position { x: site_x, y: zy, h: 0, v: v_left });
+                pos.insert(
+                    p.right,
+                    Position { x: site_x, y: zy, h: h_right, v: v_right },
+                );
+            }
+        }
+        // Parked floaters keep their park position.
+        for q in 0..self.problem.num_qubits {
+            if let Home::Floater(p) = self.homes[q] {
+                pos.entry(q).or_insert(p);
+            }
+        }
+        // Dense ranks over x-keys and y-keys.
+        let mut xs: Vec<(i64, i64)> = pos.values().map(|p| (p.x, p.h)).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        let mut ys: Vec<(i64, i64)> = pos.values().map(|p| (p.y, p.v)).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        if xs.len() > (self.cfg.c_max + 1) as usize || ys.len() > (self.cfg.r_max + 1) as usize {
+            return None;
+        }
+        let out = pos
+            .into_iter()
+            .map(|(q, p)| {
+                let col = xs.binary_search(&(p.x, p.h)).expect("present") as i64;
+                let row = ys.binary_search(&(p.y, p.v)).expect("present") as i64;
+                (
+                    q,
+                    QubitState {
+                        pos: p,
+                        trap: Trap::Aod { col, row },
+                    },
+                )
+            })
+            .collect();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasp_arch::Layout;
+    use nasp_qec::{catalog, graph_state};
+
+    fn problem_for(code: &str, layout: Layout) -> Problem {
+        let code = catalog::by_name(code).expect("known code");
+        let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+        Problem::new(ArchConfig::paper(layout), &circuit)
+    }
+
+    #[test]
+    fn all_codes_all_layouts_schedule_validly() {
+        for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb"] {
+            for layout in [
+                Layout::NoShielding,
+                Layout::BottomStorage,
+                Layout::DoubleSidedStorage,
+            ] {
+                let p = problem_for(code, layout);
+                let s = schedule(&p).unwrap_or_else(|| {
+                    panic!("heuristic failed for {code} / {layout:?}")
+                });
+                let violations = validate_schedule(&s, &p.gates);
+                assert!(
+                    violations.is_empty(),
+                    "{code}/{layout:?}: {violations:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batches_more_than_one_gate_per_beam() {
+        // Disjoint gates in one storage row must share a beam.
+        let p = Problem::from_gates(
+            ArchConfig::paper(Layout::BottomStorage),
+            8,
+            vec![(0, 1), (2, 3), (4, 5)],
+        );
+        let s = schedule(&p).expect("schedule");
+        assert!(
+            s.num_rydberg() < 3,
+            "expected batching, got {} beams",
+            s.num_rydberg()
+        );
+    }
+
+    #[test]
+    fn respects_gate_multiplicity() {
+        let p = Problem::from_gates(
+            ArchConfig::paper(Layout::DoubleSidedStorage),
+            5,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        );
+        let s = schedule(&p).expect("schedule");
+        let executed: usize = s.cz_layers().iter().map(Vec::len).sum();
+        assert_eq!(executed, 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Problem statement: the CZ gates to schedule on a given architecture.
+
+use nasp_arch::ArchConfig;
+use nasp_qec::StatePrepCircuit;
+use serde::{Deserialize, Serialize};
+
+/// A state-preparation scheduling problem (the paper's problem statement,
+/// Sec. III): realize a set of CZ gates on a zoned architecture with
+/// Rydberg beams, trap transfers and shuttling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Problem {
+    /// Target architecture (grid, AOD resources, zone layout).
+    pub config: ArchConfig,
+    /// Number of physical qubits.
+    pub num_qubits: usize,
+    /// The CZ gates, as unordered qubit pairs (`a < b`).
+    pub gates: Vec<(usize, usize)>,
+}
+
+impl Problem {
+    /// Builds a problem from a synthesized state-preparation circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate references a qubit outside `0..num_qubits` or is a
+    /// self-loop.
+    pub fn new(config: ArchConfig, circuit: &StatePrepCircuit) -> Self {
+        Self::from_gates(config, circuit.num_qubits, circuit.cz_edges.clone())
+    }
+
+    /// Builds a problem from an explicit gate list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate references a qubit outside `0..num_qubits` or is a
+    /// self-loop.
+    pub fn from_gates(
+        config: ArchConfig,
+        num_qubits: usize,
+        gates: Vec<(usize, usize)>,
+    ) -> Self {
+        let gates: Vec<(usize, usize)> = gates
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a != b, "self-loop CZ ({a},{a})");
+                assert!(
+                    a < num_qubits && b < num_qubits,
+                    "gate ({a},{b}) outside 0..{num_qubits}"
+                );
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        Problem {
+            config,
+            num_qubits,
+            gates,
+        }
+    }
+
+    /// Gates acting on qubit `q`.
+    pub fn gates_of(&self, q: usize) -> Vec<usize> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a == q || b == q)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Maximum CZ degree — a lower bound on the number of Rydberg stages
+    /// (two gates on one qubit can never share a beam, Eq. 13).
+    pub fn max_degree(&self) -> usize {
+        let mut deg = vec![0usize; self.num_qubits];
+        for &(a, b) in &self.gates {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+
+    /// Lower bound on the total number of stages `S`.
+    ///
+    /// At least `max_degree` execution stages are needed; a schedule with
+    /// no gates needs no stages.
+    pub fn stage_lower_bound(&self) -> usize {
+        self.max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasp_arch::Layout;
+
+    #[test]
+    fn degree_bound() {
+        let cfg = ArchConfig::paper(Layout::NoShielding);
+        let p = Problem::from_gates(cfg, 4, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_eq!(p.max_degree(), 3);
+        assert_eq!(p.stage_lower_bound(), 3);
+        assert_eq!(p.gates_of(0), vec![0, 1, 2]);
+        assert_eq!(p.gates_of(3), vec![2]);
+    }
+
+    #[test]
+    fn gates_normalized() {
+        let cfg = ArchConfig::paper(Layout::NoShielding);
+        let p = Problem::from_gates(cfg, 3, vec![(2, 0)]);
+        assert_eq!(p.gates, vec![(0, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let cfg = ArchConfig::paper(Layout::NoShielding);
+        let _ = Problem::from_gates(cfg, 3, vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Experiment harness: regenerates the paper's Table I rows and Figure 4
+//! series end to end — code → STABGRAPH circuit → schedule (SMT with
+//! heuristic fallback) → operational validation → tableau-simulator
+//! verification → fidelity metrics.
+
+use std::time::{Duration, Instant};
+
+use nasp_arch::{
+    evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams, ScheduleMetrics,
+};
+use nasp_qec::{graph_state, StabilizerCode, StatePrepCircuit};
+use nasp_sim::{check_state, run_layers};
+use serde::{Deserialize, Serialize};
+
+use crate::solve::{solve, Provenance, SolveOptions};
+use crate::Problem;
+
+/// One cell of Table I: a `(code, layout)` experiment result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Code name.
+    pub code: String,
+    /// Code parameters `(n, k, d)`.
+    pub nkd: (usize, usize, usize),
+    /// Layout evaluated.
+    pub layout: Layout,
+    /// CZ count of the synthesized circuit (the paper's `#CZ`).
+    pub num_cz: usize,
+    /// Scheduler provenance (optimal / unproven / heuristic), the analogue
+    /// of the paper's `*` marker.
+    pub provenance: Provenance,
+    /// Solver wall-clock time (the paper's ⌛ column).
+    pub solve_time: Duration,
+    /// Schedule metrics (the `#R`, `#T`, 🕐 and ASP columns).
+    pub metrics: ScheduleMetrics,
+    /// Operational validator result (must be true).
+    pub valid: bool,
+    /// Tableau-simulator verification: the schedule's CZ layers prepare the
+    /// logical |0…0⟩ state up to a Pauli frame (must be true).
+    pub verified: bool,
+}
+
+impl ExperimentResult {
+    /// Formats the row in the style of the paper's Table I.
+    pub fn table_row(&self) -> String {
+        let star = match self.provenance {
+            Provenance::Optimal => " ",
+            _ => "*",
+        };
+        format!(
+            "{:12} {:28} ⌛ {:>8.2}s  #R {:>2}{} #T {:>2}{} 🕐 {:>7.3} ms  ASP {:.3}{}",
+            self.code,
+            self.layout.to_string(),
+            self.solve_time.as_secs_f64(),
+            self.metrics.num_rydberg,
+            star,
+            self.metrics.num_transfer,
+            star,
+            self.metrics.exec_time_ms(),
+            self.metrics.asp,
+            star,
+        )
+    }
+}
+
+/// Options for a full experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// SMT budget per `(code, layout)` instance.
+    pub budget_per_instance: Duration,
+    /// Operation parameters (fidelities/durations).
+    pub params: OpParams,
+    /// Scheduler options beyond the time budget.
+    pub solver: SolveOptions,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            budget_per_instance: Duration::from_secs(30),
+            params: OpParams::default(),
+            solver: SolveOptions::default(),
+        }
+    }
+}
+
+/// Runs one `(code, layout)` experiment.
+///
+/// # Panics
+///
+/// Panics if circuit synthesis fails (impossible for catalog codes) or the
+/// scheduler produces no schedule at all.
+pub fn run_experiment(
+    code: &StabilizerCode,
+    layout: Layout,
+    options: &ExperimentOptions,
+) -> ExperimentResult {
+    let circuit =
+        graph_state::synthesize(&code.zero_state_stabilizers()).expect("synthesizable code");
+    run_experiment_with_circuit(code, &circuit, layout, options)
+}
+
+/// Like [`run_experiment`] but with a pre-synthesized circuit (lets callers
+/// reuse the circuit across layouts).
+pub fn run_experiment_with_circuit(
+    code: &StabilizerCode,
+    circuit: &StatePrepCircuit,
+    layout: Layout,
+    options: &ExperimentOptions,
+) -> ExperimentResult {
+    let config = ArchConfig::paper(layout);
+    let problem = Problem::new(config, circuit);
+    let solver_options = SolveOptions {
+        time_budget: options.budget_per_instance,
+        ..options.solver
+    };
+    let start = Instant::now();
+    let report = solve(&problem, &solver_options);
+    let solve_time = start.elapsed();
+    let schedule = report
+        .schedule
+        .expect("either SMT or the heuristic must produce a schedule");
+
+    let valid = validate_schedule(&schedule, &problem.gates).is_empty();
+    let targets = code.zero_state_stabilizers();
+    let final_state = run_layers(circuit, &schedule.cz_layers());
+    let verified = check_state(&final_state, &targets).holds_up_to_pauli_frame();
+
+    let boundary = BoundaryOps {
+        hadamards: circuit.hadamards.len(),
+        phase_gates: circuit.phase_gates.len(),
+    };
+    let metrics = evaluate(&schedule, &options.params, boundary);
+
+    ExperimentResult {
+        code: code.name().to_string(),
+        nkd: (code.num_qubits(), code.num_logical(), code.distance()),
+        layout,
+        num_cz: circuit.num_cz(),
+        provenance: report.provenance,
+        solve_time,
+        metrics,
+        valid,
+        verified,
+    }
+}
+
+/// Runs the full Table I: every catalog code × the three layouts.
+pub fn run_table1(options: &ExperimentOptions) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    for code in nasp_qec::catalog::all_codes() {
+        let circuit = graph_state::synthesize(&code.zero_state_stabilizers())
+            .expect("synthesizable code");
+        for layout in [
+            Layout::NoShielding,
+            Layout::BottomStorage,
+            Layout::DoubleSidedStorage,
+        ] {
+            out.push(run_experiment_with_circuit(&code, &circuit, layout, options));
+        }
+    }
+    out
+}
+
+/// Figure 4 series: ΔASP of layouts 2 and 3 versus layout 1, per code.
+///
+/// Input must be the output of [`run_table1`] (grouped in threes).
+pub fn figure4_deltas(rows: &[ExperimentResult]) -> Vec<(String, f64, f64)> {
+    rows.chunks(3)
+        .filter(|c| c.len() == 3)
+        .map(|c| {
+            let base = c[0].metrics.asp;
+            (
+                c[0].code.clone(),
+                c[1].metrics.asp - base,
+                c[2].metrics.asp - base,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasp_qec::catalog;
+
+    #[test]
+    fn steane_experiment_end_to_end() {
+        let opts = ExperimentOptions {
+            budget_per_instance: Duration::from_secs(20),
+            ..Default::default()
+        };
+        let code = catalog::steane();
+        let r = run_experiment(&code, Layout::BottomStorage, &opts);
+        assert!(r.valid, "schedule must validate");
+        assert!(r.verified, "schedule must prepare the code state");
+        assert_eq!(r.nkd, (7, 1, 3));
+        assert!(r.metrics.asp > 0.5);
+        assert!(!r.table_row().is_empty());
+    }
+
+    #[test]
+    fn figure4_shapes() {
+        let mk = |code: &str, layout, asp: f64| ExperimentResult {
+            code: code.into(),
+            nkd: (7, 1, 3),
+            layout,
+            num_cz: 9,
+            provenance: Provenance::Optimal,
+            solve_time: Duration::ZERO,
+            metrics: ScheduleMetrics {
+                num_rydberg: 3,
+                num_transfer: 0,
+                exec_time_us: 0.0,
+                idle_time_us: 0.0,
+                cz_count: 9,
+                exposed_idlers: 0,
+                transfer_ops: 0,
+                asp,
+            },
+            valid: true,
+            verified: true,
+        };
+        let rows = vec![
+            mk("X", Layout::NoShielding, 0.90),
+            mk("X", Layout::BottomStorage, 0.93),
+            mk("X", Layout::DoubleSidedStorage, 0.95),
+        ];
+        let deltas = figure4_deltas(&rows);
+        assert_eq!(deltas.len(), 1);
+        assert!((deltas[0].1 - 0.03).abs() < 1e-12);
+        assert!((deltas[0].2 - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the heuristic scheduler: on random gate graphs it
+//! must produce schedules that (a) pass the independent validator, (b)
+//! execute every gate exactly once, and (c) prepare the correct graph
+//! state on the simulator.
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{heuristic, Problem};
+use nasp_qec::StatePrepCircuit;
+use nasp_sim::{check_state, run_layers, Tableau};
+use proptest::prelude::*;
+
+fn random_gates(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edges = prop::collection::btree_set((0..n, 0..n), 1..=(2 * n).min(20));
+        edges.prop_map(move |set| {
+            let gates: Vec<(usize, usize)> = set
+                .into_iter()
+                .filter(|&(a, b)| a != b)
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            (n, gates)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristic_schedules_random_graphs(
+        (n, gates) in random_gates(16),
+        layout_idx in 0usize..3,
+    ) {
+        prop_assume!(!gates.is_empty());
+        let layout = [
+            Layout::NoShielding,
+            Layout::BottomStorage,
+            Layout::DoubleSidedStorage,
+        ][layout_idx];
+        let problem = Problem::from_gates(ArchConfig::paper(layout), n, gates.clone());
+        let Some(schedule) = heuristic::schedule(&problem) else {
+            return Err(TestCaseError::fail(format!(
+                "heuristic failed on n={n}, {} gates, {layout:?}",
+                gates.len()
+            )));
+        };
+        // (a) validator
+        let violations = validate_schedule(&schedule, &problem.gates);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        // (b) exact coverage
+        let executed: usize = schedule.cz_layers().iter().map(Vec::len).sum();
+        prop_assert_eq!(executed, gates.len());
+        // (c) correct graph state
+        let circuit = StatePrepCircuit {
+            num_qubits: n,
+            cz_edges: gates.clone(),
+            hadamards: vec![],
+            phase_gates: vec![],
+        };
+        let mut expected = Tableau::new_plus(n);
+        for &(a, b) in &gates {
+            expected.cz(a, b);
+        }
+        let state = run_layers(&circuit, &schedule.cz_layers());
+        let verdict = check_state(&state, &expected.stabilizers());
+        prop_assert!(verdict.holds_exactly());
+    }
+
+    /// The 17-qubit floater machinery: random graphs at the bottom-storage
+    /// capacity boundary (17 qubits > 16 SLM storage sites).
+    #[test]
+    fn heuristic_handles_floaters(
+        edges in prop::collection::btree_set((0usize..17, 0usize..17), 4..=24),
+    ) {
+        let gates: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        prop_assume!(!gates.is_empty());
+        let problem =
+            Problem::from_gates(ArchConfig::paper(Layout::BottomStorage), 17, gates.clone());
+        let Some(schedule) = heuristic::schedule(&problem) else {
+            return Err(TestCaseError::fail("floater case failed"));
+        };
+        prop_assert!(validate_schedule(&schedule, &problem.gates).is_empty());
+        let executed: usize = schedule.cz_layers().iter().map(Vec::len).sum();
+        prop_assert_eq!(executed, gates.len());
+    }
+}

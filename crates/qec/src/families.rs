@@ -1,0 +1,125 @@
+//! Parametric code families — generators for codes of arbitrary distance,
+//! extending the fixed catalog so the scheduler can be exercised on larger
+//! inputs than the paper's Table I (e.g. the ⟦25,1,5⟧ rotated surface
+//! code).
+
+use crate::stabilizer::StabilizerCode;
+
+/// The rotated surface code of odd distance `d`: a ⟦d², 1, d⟧ code on a
+/// `d × d` grid of data qubits (row-major indexing).
+///
+/// `rotated_surface(3)` has the same parameters as the catalog's
+/// [`crate::catalog::surface9`].
+///
+/// # Panics
+///
+/// Panics if `d` is even or zero.
+pub fn rotated_surface(d: usize) -> StabilizerCode {
+    assert!(d % 2 == 1 && d > 0, "distance must be odd and positive");
+    let n = d * d;
+    let idx = |r: usize, c: usize| r * d + c;
+    let mut x_checks: Vec<Vec<usize>> = Vec::new();
+    let mut z_checks: Vec<Vec<usize>> = Vec::new();
+
+    // Bulk plaquettes: a (d−1) × (d−1) checkerboard of weight-4 checks.
+    // Convention: plaquette (r, c) covers data qubits (r,c), (r,c+1),
+    // (r+1,c), (r+1,c+1); X when r + c is even, Z when odd.
+    for r in 0..d - 1 {
+        for c in 0..d - 1 {
+            let support = vec![idx(r, c), idx(r, c + 1), idx(r + 1, c), idx(r + 1, c + 1)];
+            if (r + c) % 2 == 0 {
+                x_checks.push(support);
+            } else {
+                z_checks.push(support);
+            }
+        }
+    }
+    // Boundary weight-2 checks. Top/bottom rows take X checks over column
+    // pairs whose bulk neighbour is a Z plaquette, and vice versa for the
+    // left/right columns — the standard rotated-surface-code boundary.
+    for c in (1..d - 1).step_by(2) {
+        // Top edge (row 0): pair (0,c)-(0,c+1); bulk plaquette (0,c) is X
+        // when c even; boundary checks must anticommute-complement: X on top
+        // where the adjacent bulk plaquette is Z (c odd here).
+        x_checks.push(vec![idx(0, c), idx(0, c + 1)]);
+    }
+    for c in (0..d - 1).step_by(2) {
+        // Bottom edge (row d−1).
+        x_checks.push(vec![idx(d - 1, c), idx(d - 1, c + 1)]);
+    }
+    for r in (0..d - 1).step_by(2) {
+        // Left edge (column 0).
+        z_checks.push(vec![idx(r, 0), idx(r + 1, 0)]);
+    }
+    for r in (1..d - 1).step_by(2) {
+        // Right edge (column d−1).
+        z_checks.push(vec![idx(r, d - 1), idx(r + 1, d - 1)]);
+    }
+    StabilizerCode::css(&format!("Surface{n}"), n, &x_checks, &z_checks)
+        .expect("rotated surface construction is fixed and valid")
+}
+
+/// The `n`-qubit bit-flip repetition code ⟦n, 1, 1⟧ (distance 1 as a
+/// quantum code: a single Z error flips the encoded |+⟩-basis information).
+///
+/// Useful as a minimal scheduling workload: its preparation circuit is a
+/// path of CZs.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn repetition(n: usize) -> StabilizerCode {
+    assert!(n >= 2, "repetition code needs at least 2 qubits");
+    let z_checks: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+    StabilizerCode::css(&format!("Repetition{n}"), n, &[], &z_checks)
+        .expect("repetition construction is fixed and valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_state;
+
+    #[test]
+    fn surface3_matches_catalog_parameters() {
+        let c = rotated_surface(3);
+        assert_eq!((c.num_qubits(), c.num_logical(), c.distance()), (9, 1, 3));
+        assert_eq!(c.stabilizers().len(), 8);
+    }
+
+    #[test]
+    fn surface5_is_25_1_5() {
+        let c = rotated_surface(5);
+        assert_eq!((c.num_qubits(), c.num_logical()), (25, 1));
+        assert_eq!(c.stabilizers().len(), 24);
+        assert_eq!(c.distance(), 5);
+    }
+
+    #[test]
+    fn surface5_synthesizes_and_prepares() {
+        let c = rotated_surface(5);
+        let targets = c.zero_state_stabilizers();
+        let circuit = graph_state::synthesize(&targets).expect("synth");
+        assert!(circuit.num_cz() > 0);
+        // Structural check only here; full simulation lives in nasp-sim's
+        // tests and the integration suite.
+        assert_eq!(circuit.num_qubits, 25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_distance_rejected() {
+        let _ = rotated_surface(4);
+    }
+
+    #[test]
+    fn repetition_codes() {
+        for n in [2usize, 3, 7] {
+            let c = repetition(n);
+            assert_eq!(c.num_qubits(), n);
+            assert_eq!(c.num_logical(), 1);
+            c.validate().expect("valid");
+        }
+        assert_eq!(repetition(5).distance(), 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! Dense GF(2) linear algebra on bit-packed matrices.
+//!
+//! This is the computational backbone for stabilizer-code manipulation:
+//! rank/RREF, kernels (null spaces), span membership and row reduction are
+//! all that is needed to construct codes, extract logical operators and run
+//! the graph-state synthesis (STABGRAPH) pass.
+
+const WORD: usize = 64;
+
+/// A dense matrix over GF(2) with bit-packed rows.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl std::fmt::Debug for Mat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{}", u8::from(self.get(r, c)))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Mat {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let wpr = cols.div_ceil(WORD).max(1);
+        Mat {
+            rows,
+            cols,
+            words_per_row: wpr,
+            data: vec![0; rows * wpr],
+        }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows given as 0/1 slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut m = Mat::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "ragged rows");
+            for (j, &b) in r.iter().enumerate() {
+                m.set(i, j, b != 0);
+            }
+        }
+        m
+    }
+
+    /// Builds a single-row matrix from the support (set of 1-columns).
+    pub fn row_from_support(cols: usize, support: &[usize]) -> Self {
+        let mut m = Mat::zeros(1, cols);
+        for &j in support {
+            m.set(0, j, true);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = self.data[r * self.words_per_row + c / WORD];
+        (w >> (c % WORD)) & 1 == 1
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let idx = r * self.words_per_row + c / WORD;
+        let mask = 1u64 << (c % WORD);
+        if v {
+            self.data[idx] |= mask;
+        } else {
+            self.data[idx] &= !mask;
+        }
+    }
+
+    /// XORs row `src` into row `dst`.
+    pub fn row_xor(&mut self, dst: usize, src: usize) {
+        debug_assert!(dst != src);
+        let (d, s) = (dst * self.words_per_row, src * self.words_per_row);
+        for w in 0..self.words_per_row {
+            let v = self.data[s + w];
+            self.data[d + w] ^= v;
+        }
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for w in 0..self.words_per_row {
+            self.data
+                .swap(a * self.words_per_row + w, b * self.words_per_row + w);
+        }
+    }
+
+    /// Swaps two columns.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            let (va, vb) = (self.get(r, a), self.get(r, b));
+            self.set(r, a, vb);
+            self.set(r, b, va);
+        }
+    }
+
+    /// Returns a row as a `Vec<u8>` of 0/1.
+    pub fn row(&self, r: usize) -> Vec<u8> {
+        (0..self.cols).map(|c| u8::from(self.get(r, c))).collect()
+    }
+
+    /// Appends a row (0/1 slice).
+    pub fn push_row(&mut self, row: &[u8]) {
+        assert_eq!(row.len(), self.cols);
+        self.data.extend(std::iter::repeat(0).take(self.words_per_row));
+        self.rows += 1;
+        for (j, &b) in row.iter().enumerate() {
+            self.set(self.rows - 1, j, b != 0);
+        }
+    }
+
+    /// Stacks `other` below `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column mismatch.
+    pub fn vstack(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "column mismatch");
+        let mut m = self.clone();
+        for r in 0..other.rows {
+            m.data
+                .extend_from_slice(&other.data[r * other.words_per_row..(r + 1) * other.words_per_row]);
+            m.rows += 1;
+        }
+        m
+    }
+
+    /// Concatenates `other` to the right of `self`.
+    pub fn hstack(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        let mut m = Mat::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                m.set(r, c, self.get(r, c));
+            }
+            for c in 0..other.cols {
+                m.set(r, self.cols + c, other.get(r, c));
+            }
+        }
+        m
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut m = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    m.set(c, r, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix product over GF(2).
+    pub fn mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "shape mismatch");
+        let mut m = Mat::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                if self.get(r, k) {
+                    // m.row(r) ^= other.row(k)
+                    let (d, s) = (r * m.words_per_row, k * other.words_per_row);
+                    for w in 0..m.words_per_row {
+                        let v = other.data[s + w];
+                        m.data[d + w] ^= v;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// In-place Gaussian elimination to reduced row echelon form.
+    /// Returns the pivot columns (one per nonzero row, in order).
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..self.cols {
+            if row >= self.rows {
+                break;
+            }
+            // Find pivot.
+            let Some(p) = (row..self.rows).find(|&r| self.get(r, col)) else {
+                continue;
+            };
+            self.swap_rows(row, p);
+            for r in 0..self.rows {
+                if r != row && self.get(r, col) {
+                    self.row_xor(r, row);
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        pivots
+    }
+
+    /// Rank (via a scratch copy).
+    pub fn rank(&self) -> usize {
+        self.clone().rref().len()
+    }
+
+    /// A basis of the kernel (right null space): all `v` with `M v = 0`.
+    pub fn kernel_basis(&self) -> Vec<Vec<u8>> {
+        let mut m = self.clone();
+        let pivots = m.rref();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let free: Vec<usize> = (0..self.cols).filter(|c| !pivot_set.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &f in &free {
+            let mut v = vec![0u8; self.cols];
+            v[f] = 1;
+            for (ri, &pc) in pivots.iter().enumerate() {
+                if m.get(ri, f) {
+                    v[pc] = 1;
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Is the matrix all-zero?
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&w| w == 0)
+    }
+
+    /// Weight (number of ones) of a row.
+    pub fn row_weight(&self, r: usize) -> usize {
+        let base = r * self.words_per_row;
+        self.data[base..base + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// A row space kept in reduced form for incremental span-membership queries.
+///
+/// Used to test independence while collecting stabilizers / logical
+/// operators one at a time.
+#[derive(Debug, Clone, Default)]
+pub struct RowSpan {
+    cols: usize,
+    /// Rows in echelon form; `pivots[i]` is the pivot column of `rows[i]`.
+    rows: Vec<Vec<u8>>,
+    pivots: Vec<usize>,
+}
+
+impl RowSpan {
+    /// Creates an empty span over vectors of the given length.
+    pub fn new(cols: usize) -> Self {
+        RowSpan {
+            cols,
+            rows: Vec::new(),
+            pivots: Vec::new(),
+        }
+    }
+
+    /// Dimension of the span.
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Reduces `v` modulo the span; returns the residue.
+    pub fn reduce(&self, v: &[u8]) -> Vec<u8> {
+        assert_eq!(v.len(), self.cols);
+        let mut v = v.to_vec();
+        for (row, &p) in self.rows.iter().zip(&self.pivots) {
+            if v[p] == 1 {
+                for (vi, ri) in v.iter_mut().zip(row) {
+                    *vi ^= ri;
+                }
+            }
+        }
+        v
+    }
+
+    /// `true` if `v` lies in the span.
+    pub fn contains(&self, v: &[u8]) -> bool {
+        self.reduce(v).iter().all(|&b| b == 0)
+    }
+
+    /// Inserts `v`; returns `false` (and leaves the span unchanged) if `v`
+    /// was already in the span.
+    pub fn insert(&mut self, v: &[u8]) -> bool {
+        let r = self.reduce(v);
+        let Some(p) = r.iter().position(|&b| b == 1) else {
+            return false;
+        };
+        // Back-reduce existing rows to keep reduced form.
+        for (row, _) in self.rows.iter_mut().zip(&self.pivots) {
+            if row[p] == 1 {
+                for (ri, vi) in row.iter_mut().zip(&r) {
+                    *ri ^= vi;
+                }
+            }
+        }
+        // Insert keeping pivots sorted for deterministic behaviour.
+        let at = self.pivots.partition_point(|&q| q < p);
+        self.rows.insert(at, r);
+        self.pivots.insert(at, p);
+        true
+    }
+
+    /// Iterates over every vector in the span (2^dim of them, including 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension exceeds 24 (guard against runaway loops).
+    pub fn enumerate(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
+        assert!(self.dim() <= 24, "span too large to enumerate");
+        let d = self.dim();
+        (0u64..(1 << d)).map(move |mask| {
+            let mut v = vec![0u8; self.cols];
+            for (i, row) in self.rows.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    for (vi, ri) in v.iter_mut().zip(row) {
+                        *vi ^= ri;
+                    }
+                }
+            }
+            v
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_rank() {
+        assert_eq!(Mat::identity(5).rank(), 5);
+        assert_eq!(Mat::zeros(3, 4).rank(), 0);
+    }
+
+    #[test]
+    fn rref_small() {
+        let mut m = Mat::from_rows(&[
+            vec![1, 1, 0],
+            vec![0, 1, 1],
+            vec![1, 0, 1], // = row0 + row1
+        ]);
+        let pivots = m.rref();
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn kernel_is_null_space() {
+        let m = Mat::from_rows(&[vec![1, 1, 0, 0], vec![0, 0, 1, 1]]);
+        let basis = m.kernel_basis();
+        assert_eq!(basis.len(), 2);
+        for v in &basis {
+            let vm = Mat::from_rows(&[v.clone()]).transpose();
+            assert!(m.mul(&vm).is_zero(), "kernel vector not annihilated");
+        }
+    }
+
+    #[test]
+    fn mul_identity() {
+        let m = Mat::from_rows(&[vec![1, 0, 1], vec![0, 1, 1]]);
+        let i3 = Mat::identity(3);
+        assert_eq!(m.mul(&i3), m);
+    }
+
+    #[test]
+    fn hstack_vstack_shapes() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::identity(2);
+        let h = a.hstack(&b);
+        assert_eq!((h.num_rows(), h.num_cols()), (2, 5));
+        let c = Mat::zeros(1, 3);
+        let v = a.vstack(&c);
+        assert_eq!((v.num_rows(), v.num_cols()), (3, 3));
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn row_span_membership() {
+        let mut s = RowSpan::new(4);
+        assert!(s.insert(&[1, 1, 0, 0]));
+        assert!(s.insert(&[0, 0, 1, 1]));
+        assert!(!s.insert(&[1, 1, 1, 1])); // dependent
+        assert!(s.contains(&[1, 1, 1, 1]));
+        assert!(!s.contains(&[1, 0, 0, 0]));
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn row_span_enumerate() {
+        let mut s = RowSpan::new(3);
+        s.insert(&[1, 0, 0]);
+        s.insert(&[0, 1, 0]);
+        let all: Vec<Vec<u8>> = s.enumerate().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&vec![1, 1, 0]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::from_rows(&[vec![1, 0, 1, 1], vec![0, 1, 0, 1]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn wide_matrix_beyond_word() {
+        // Exercise multi-word rows (cols > 64).
+        let n = 130;
+        let mut m = Mat::zeros(2, n);
+        m.set(0, 0, true);
+        m.set(0, 129, true);
+        m.set(1, 64, true);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(m.row_weight(0), 2);
+        let k = m.kernel_basis();
+        assert_eq!(k.len(), n - 2);
+    }
+
+    #[test]
+    fn rank_nullity() {
+        // rank + nullity = cols, on a few fixed matrices.
+        for rows in [
+            vec![vec![1u8, 0, 1, 0, 1], vec![0, 1, 1, 0, 0], vec![1, 1, 0, 0, 1]],
+            vec![vec![0u8, 0, 0, 0, 0]],
+            vec![vec![1u8, 1, 1, 1, 1], vec![1, 1, 1, 1, 1]],
+        ] {
+            let m = Mat::from_rows(&rows);
+            assert_eq!(m.rank() + m.kernel_basis().len(), m.num_cols());
+        }
+    }
+}

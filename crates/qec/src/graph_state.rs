@@ -1,0 +1,313 @@
+//! Graph-state synthesis — our re-implementation of the STABGRAPH step.
+//!
+//! The paper (Sec. III) assumes state-preparation circuits of the fixed
+//! shape produced by STABGRAPH \[31\]: physical qubits initialized in
+//! `|+⟩`, a set of CZ gates creating a graph state, and local Cliffords
+//! (Hadamards, possibly phase gates) at the end. This module computes that
+//! decomposition for an arbitrary list of `n` independent commuting Pauli
+//! stabilizers describing the target state:
+//!
+//! 1. Write the stabilizers as a binary matrix `[X | Z]`.
+//! 2. Apply per-qubit Hadamards (swapping that qubit's X/Z columns) until
+//!    the X block is invertible — always possible for a valid state.
+//! 3. Row-reduce to `[I | A]`; commutation forces `A` symmetric. The
+//!    off-diagonal of `A` is the graph-state adjacency (the CZ edges).
+//! 4. Clear the diagonal of `A` with phase (S) gates.
+//!
+//! The result: `|ψ⟩ = (∏ H)(∏ S) CZ_edges |+⟩^n` up to a Pauli frame
+//! (sign corrections are single-qubit Paulis and never require shuttling,
+//! so they are irrelevant to scheduling — see DESIGN.md §4).
+
+use crate::gf2::Mat;
+use crate::pauli::Pauli;
+use serde::{Deserialize, Serialize};
+
+/// A state-preparation circuit in the paper's canonical shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatePrepCircuit {
+    /// Number of physical qubits.
+    pub num_qubits: usize,
+    /// CZ gates (unordered pairs, `a < b`), the part NASP must schedule.
+    pub cz_edges: Vec<(usize, usize)>,
+    /// Qubits receiving a Hadamard after the CZ layer.
+    pub hadamards: Vec<usize>,
+    /// Qubits receiving an S (phase) gate after the CZ layer (before the
+    /// Hadamards).
+    pub phase_gates: Vec<usize>,
+}
+
+impl StatePrepCircuit {
+    /// Number of CZ gates (the paper's `#CZ` column).
+    pub fn num_cz(&self) -> usize {
+        self.cz_edges.len()
+    }
+
+    /// Maximum CZ degree of any qubit — a lower bound on the number of
+    /// Rydberg stages any schedule needs (gates on one qubit cannot share
+    /// a stage).
+    pub fn max_degree(&self) -> usize {
+        let mut deg = vec![0usize; self.num_qubits];
+        for &(a, b) in &self.cz_edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Errors from graph-state synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The stabilizer list does not have full rank (not a state).
+    NotAState,
+    /// Two input stabilizers anticommute.
+    NonCommuting(usize, usize),
+    /// Internal failure to invert the X block (should be impossible for a
+    /// valid state; kept as an error rather than a panic for robustness).
+    XBlockSingular,
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::NotAState => {
+                write!(f, "stabilizer list is not full rank (not a pure stabilizer state)")
+            }
+            SynthesisError::NonCommuting(i, j) => {
+                write!(f, "stabilizers {i} and {j} anticommute")
+            }
+            SynthesisError::XBlockSingular => {
+                write!(f, "failed to make the X block invertible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Synthesizes the canonical state-preparation circuit for the state
+/// stabilized by the given `n` independent commuting Paulis on `n` qubits.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] if the inputs do not describe a stabilizer
+/// state.
+///
+/// # Examples
+///
+/// ```
+/// use nasp_qec::{graph_state::synthesize, Pauli};
+///
+/// // GHZ state |000⟩ + |111⟩: stabilizers XXX, ZZI, IZZ.
+/// let stabs = vec![
+///     Pauli::parse("XXX").unwrap(),
+///     Pauli::parse("ZZI").unwrap(),
+///     Pauli::parse("IZZ").unwrap(),
+/// ];
+/// let circuit = synthesize(&stabs).unwrap();
+/// assert_eq!(circuit.num_qubits, 3);
+/// assert!(!circuit.cz_edges.is_empty());
+/// ```
+pub fn synthesize(stabilizers: &[Pauli]) -> Result<StatePrepCircuit, SynthesisError> {
+    let n = stabilizers
+        .first()
+        .map(Pauli::num_qubits)
+        .unwrap_or(0);
+    assert_eq!(
+        stabilizers.len(),
+        n,
+        "a stabilizer state on {n} qubits needs exactly {n} stabilizers"
+    );
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if stabilizers[i].anticommutes_with(&stabilizers[j]) {
+                return Err(SynthesisError::NonCommuting(i, j));
+            }
+        }
+    }
+    // m = [X | Z], one row per stabilizer.
+    let rows: Vec<Vec<u8>> = stabilizers.iter().map(Pauli::to_symplectic).collect();
+    let mut m = Mat::from_rows(&rows);
+    if m.rank() != n {
+        return Err(SynthesisError::NotAState);
+    }
+
+    // Phase 1: Hadamards until the X block is invertible.
+    let mut hadamards = Vec::new();
+    let mut guard = 0;
+    loop {
+        let x_rank = x_block_rank(&m, n);
+        if x_rank == n {
+            break;
+        }
+        guard += 1;
+        if guard > 2 * n {
+            return Err(SynthesisError::XBlockSingular);
+        }
+        // Greedy: find a qubit whose H increases the X-block rank.
+        let mut improved = false;
+        for q in 0..n {
+            m.swap_cols(q, n + q);
+            if x_block_rank(&m, n) > x_rank {
+                toggle(&mut hadamards, q);
+                improved = true;
+                break;
+            }
+            m.swap_cols(q, n + q); // revert
+        }
+        if !improved {
+            return Err(SynthesisError::XBlockSingular);
+        }
+    }
+
+    // Phase 2: row-reduce so the X block becomes the identity.
+    // rref of the full [X | Z] with X invertible puts pivots exactly on
+    // the first n columns.
+    let pivots = m.rref();
+    debug_assert_eq!(&pivots[..], &(0..n).collect::<Vec<_>>()[..]);
+
+    // Phase 3: read the adjacency; clear the diagonal with S gates.
+    let mut phase_gates = Vec::new();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        if m.get(i, n + i) {
+            phase_gates.push(i);
+        }
+        for j in (i + 1)..n {
+            let a_ij = m.get(i, n + j);
+            let a_ji = m.get(j, n + i);
+            debug_assert_eq!(a_ij, a_ji, "adjacency must be symmetric (commutation)");
+            if a_ij {
+                edges.push((i, j));
+            }
+        }
+    }
+    hadamards.sort_unstable();
+    Ok(StatePrepCircuit {
+        num_qubits: n,
+        cz_edges: edges,
+        hadamards,
+        phase_gates,
+    })
+}
+
+fn x_block_rank(m: &Mat, n: usize) -> usize {
+    let rows: Vec<Vec<u8>> = (0..m.num_rows())
+        .map(|r| (0..n).map(|c| u8::from(m.get(r, c))).collect())
+        .collect();
+    Mat::from_rows(&rows).rank()
+}
+
+fn toggle(set: &mut Vec<usize>, q: usize) {
+    if let Some(pos) = set.iter().position(|&x| x == q) {
+        set.remove(pos);
+    } else {
+        set.push(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn ghz_synthesis() {
+        let stabs = vec![
+            Pauli::parse("XXX").expect("p"),
+            Pauli::parse("ZZI").expect("p"),
+            Pauli::parse("IZZ").expect("p"),
+        ];
+        let c = synthesize(&stabs).expect("synth");
+        assert_eq!(c.num_qubits, 3);
+        // GHZ is LC-equivalent to a star/complete graph: 2 or 3 edges.
+        assert!(c.num_cz() == 2 || c.num_cz() == 3, "got {} edges", c.num_cz());
+        // Two qubits end in the Z basis → Hadamards on them.
+        assert_eq!(c.hadamards.len(), 2);
+    }
+
+    #[test]
+    fn plus_state_is_empty_graph() {
+        let stabs = vec![
+            Pauli::parse("XI").expect("p"),
+            Pauli::parse("IX").expect("p"),
+        ];
+        let c = synthesize(&stabs).expect("synth");
+        assert!(c.cz_edges.is_empty());
+        assert!(c.hadamards.is_empty());
+        assert!(c.phase_gates.is_empty());
+    }
+
+    #[test]
+    fn zero_state_is_all_hadamards() {
+        let stabs = vec![
+            Pauli::parse("ZI").expect("p"),
+            Pauli::parse("IZ").expect("p"),
+        ];
+        let c = synthesize(&stabs).expect("synth");
+        assert!(c.cz_edges.is_empty());
+        assert_eq!(c.hadamards.len(), 2);
+    }
+
+    #[test]
+    fn bell_state() {
+        let stabs = vec![
+            Pauli::parse("XX").expect("p"),
+            Pauli::parse("ZZ").expect("p"),
+        ];
+        let c = synthesize(&stabs).expect("synth");
+        assert_eq!(c.num_cz(), 1);
+        assert_eq!(c.hadamards.len(), 1);
+    }
+
+    #[test]
+    fn anticommuting_inputs_rejected() {
+        let stabs = vec![
+            Pauli::parse("XI").expect("p"),
+            Pauli::parse("ZI").expect("p"),
+        ];
+        assert!(matches!(
+            synthesize(&stabs),
+            Err(SynthesisError::NonCommuting(0, 1))
+        ));
+    }
+
+    #[test]
+    fn dependent_inputs_rejected() {
+        let stabs = vec![
+            Pauli::parse("ZZ").expect("p"),
+            Pauli::parse("ZZ").expect("p"),
+        ];
+        assert!(matches!(synthesize(&stabs), Err(SynthesisError::NotAState)));
+    }
+
+    #[test]
+    fn all_catalog_codes_synthesize() {
+        for code in catalog::all_codes() {
+            let stabs = code.zero_state_stabilizers();
+            let c = synthesize(&stabs)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", code.name()));
+            assert_eq!(c.num_qubits, code.num_qubits());
+            assert!(c.num_cz() > 0, "{} has no CZ gates?", code.name());
+            // Edges reference valid qubits, no self-loops, no duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for &(a, b) in &c.cz_edges {
+                assert!(a < b && b < c.num_qubits);
+                assert!(seen.insert((a, b)), "duplicate edge");
+            }
+        }
+    }
+
+    #[test]
+    fn steane_cz_count_is_reasonable() {
+        // The paper reports 9 CZs for Steane; local-Clifford freedom means
+        // our synthesis may differ slightly, but it must stay in the same
+        // ballpark (a connected graph on 7 vertices has ≥ 6 edges).
+        let c = synthesize(&catalog::steane().zero_state_stabilizers()).expect("synth");
+        assert!(
+            (6..=12).contains(&c.num_cz()),
+            "Steane CZ count {} far from paper's 9",
+            c.num_cz()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # nasp-qec — stabilizer codes and state-preparation circuits
+//!
+//! The QEC substrate of the NASP reproduction (DATE 2025, Stade et al.):
+//!
+//! * [`gf2`] — bit-packed GF(2) linear algebra (rank, RREF, kernels, spans),
+//! * [`Pauli`] — Pauli strings in the binary symplectic representation,
+//! * [`StabilizerCode`] — validated ⟦n,k,d⟧ codes with automatic logical
+//!   operator extraction and exact distance computation,
+//! * [`catalog`] — the six codes of the paper's Table I (Steane, Surface,
+//!   Shor, Hamming, Tetrahedral, Honeycomb),
+//! * [`graph_state`] — the STABGRAPH step: decompose a target stabilizer
+//!   state into `|+⟩^n → CZ edges → S/H layer`, yielding the CZ list that
+//!   the NASP scheduler consumes.
+//!
+//! ## Example: from code to CZ list
+//!
+//! ```
+//! use nasp_qec::{catalog, graph_state};
+//!
+//! let code = catalog::steane();
+//! assert_eq!(code.num_qubits(), 7);
+//! let circuit = graph_state::synthesize(&code.zero_state_stabilizers())?;
+//! println!("{} CZ gates to schedule", circuit.num_cz());
+//! # Ok::<(), nasp_qec::graph_state::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod families;
+pub mod gf2;
+pub mod graph_state;
+mod pauli;
+mod stabilizer;
+
+pub use graph_state::StatePrepCircuit;
+pub use pauli::{Pauli, PauliKind};
+pub use stabilizer::{CodeError, StabilizerCode};

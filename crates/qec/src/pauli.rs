@@ -1,0 +1,334 @@
+//! Pauli strings in the binary symplectic representation.
+//!
+//! A Pauli operator `P = ± X^a Z^b` on `n` qubits is stored as two bit
+//! vectors `a` (X part) and `b` (Z part) plus a sign. Phases `±i` never
+//! arise in the CSS / graph-state manipulations this crate performs, so the
+//! sign is a single bit.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-qubit Pauli kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PauliKind {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+/// An `n`-qubit Pauli string with sign.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pauli {
+    n: usize,
+    x: Vec<u8>,
+    z: Vec<u8>,
+    /// `true` for −P.
+    negative: bool,
+}
+
+impl Pauli {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Pauli {
+            n,
+            x: vec![0; n],
+            z: vec![0; n],
+            negative: false,
+        }
+    }
+
+    /// Builds from X/Z support bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_xz(x: Vec<u8>, z: Vec<u8>) -> Self {
+        assert_eq!(x.len(), z.len(), "x/z length mismatch");
+        let n = x.len();
+        Pauli {
+            n,
+            x,
+            z,
+            negative: false,
+        }
+    }
+
+    /// A Z-type Pauli with the given support.
+    pub fn z_on(n: usize, support: &[usize]) -> Self {
+        let mut p = Pauli::identity(n);
+        for &q in support {
+            assert!(q < n, "qubit {q} out of range");
+            p.z[q] = 1;
+        }
+        p
+    }
+
+    /// An X-type Pauli with the given support.
+    pub fn x_on(n: usize, support: &[usize]) -> Self {
+        let mut p = Pauli::identity(n);
+        for &q in support {
+            assert!(q < n, "qubit {q} out of range");
+            p.x[q] = 1;
+        }
+        p
+    }
+
+    /// Parses a string like `"XZIIY"` (optionally prefixed by `+`/`-`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a character is not one of `IXYZ+-`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mut x = Vec::new();
+        let mut z = Vec::new();
+        for ch in body.chars() {
+            match ch {
+                'I' => {
+                    x.push(0);
+                    z.push(0);
+                }
+                'X' => {
+                    x.push(1);
+                    z.push(0);
+                }
+                'Y' => {
+                    x.push(1);
+                    z.push(1);
+                }
+                'Z' => {
+                    x.push(0);
+                    z.push(1);
+                }
+                _ => return Err(format!("invalid pauli character `{ch}`")),
+            }
+        }
+        let n = x.len();
+        Ok(Pauli {
+            n,
+            x,
+            z,
+            negative: neg,
+        })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Pauli kind on qubit `q`.
+    pub fn kind(&self, q: usize) -> PauliKind {
+        match (self.x[q], self.z[q]) {
+            (0, 0) => PauliKind::I,
+            (1, 0) => PauliKind::X,
+            (1, 1) => PauliKind::Y,
+            (0, 1) => PauliKind::Z,
+            _ => unreachable!("bits are 0/1"),
+        }
+    }
+
+    /// X-part bit vector.
+    pub fn x_bits(&self) -> &[u8] {
+        &self.x
+    }
+
+    /// Z-part bit vector.
+    pub fn z_bits(&self) -> &[u8] {
+        &self.z
+    }
+
+    /// Whether the sign is negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Returns a copy with flipped sign.
+    pub fn negated(&self) -> Self {
+        let mut p = self.clone();
+        p.negative = !p.negative;
+        p
+    }
+
+    /// Number of non-identity tensor factors.
+    pub fn weight(&self) -> usize {
+        (0..self.n).filter(|&q| self.x[q] | self.z[q] == 1).count()
+    }
+
+    /// `true` iff this Pauli has no X/Y component (pure Z-type or identity).
+    pub fn is_z_type(&self) -> bool {
+        self.x.iter().all(|&b| b == 0)
+    }
+
+    /// `true` iff this Pauli has no Z/Y component (pure X-type or identity).
+    pub fn is_x_type(&self) -> bool {
+        self.z.iter().all(|&b| b == 0)
+    }
+
+    /// `true` iff the operator is the (signed) identity.
+    pub fn is_identity(&self) -> bool {
+        self.weight() == 0
+    }
+
+    /// Symplectic (commutation) product: `false` ⇔ the operators commute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn anticommutes_with(&self, other: &Pauli) -> bool {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        let mut acc = 0u8;
+        for q in 0..self.n {
+            acc ^= (self.x[q] & other.z[q]) ^ (self.z[q] & other.x[q]);
+        }
+        acc == 1
+    }
+
+    /// `true` iff the operators commute.
+    pub fn commutes_with(&self, other: &Pauli) -> bool {
+        !self.anticommutes_with(other)
+    }
+
+    /// The symplectic vector `(x | z)` of length `2n` (sign dropped).
+    pub fn to_symplectic(&self) -> Vec<u8> {
+        let mut v = self.x.clone();
+        v.extend_from_slice(&self.z);
+        v
+    }
+
+    /// Builds from a symplectic vector of length `2n` (positive sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is odd.
+    pub fn from_symplectic(v: &[u8]) -> Self {
+        assert!(v.len() % 2 == 0, "symplectic vector must have even length");
+        let n = v.len() / 2;
+        Pauli::from_xz(v[..n].to_vec(), v[n..].to_vec())
+    }
+
+    /// Unsigned product `self · other` (sign tracking dropped — sufficient
+    /// for group-membership questions on unsigned stabilizer groups).
+    pub fn mul_unsigned(&self, other: &Pauli) -> Pauli {
+        assert_eq!(self.n, other.n);
+        let x = self
+            .x
+            .iter()
+            .zip(&other.x)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        let z = self
+            .z
+            .iter()
+            .zip(&other.z)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        Pauli {
+            n: self.n,
+            x,
+            z,
+            negative: false,
+        }
+    }
+
+    /// The support: qubits acted on non-trivially.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.n).filter(|&q| self.x[q] | self.z[q] == 1).collect()
+    }
+}
+
+impl std::fmt::Display for Pauli {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.negative {
+            write!(f, "-")?;
+        } else {
+            write!(f, "+")?;
+        }
+        for q in 0..self.n {
+            let c = match self.kind(q) {
+                PauliKind::I => 'I',
+                PauliKind::X => 'X',
+                PauliKind::Y => 'Y',
+                PauliKind::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["+IXYZ", "-ZZZZ", "+IIII"] {
+            let p = Pauli::parse(s).expect("parse");
+            assert_eq!(p.to_string(), s);
+        }
+        // Unsigned input displays with '+'.
+        assert_eq!(Pauli::parse("XX").expect("parse").to_string(), "+XX");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Pauli::parse("XQ").is_err());
+    }
+
+    #[test]
+    fn commutation_rules() {
+        let x = Pauli::parse("X").expect("p");
+        let y = Pauli::parse("Y").expect("p");
+        let z = Pauli::parse("Z").expect("p");
+        let i = Pauli::parse("I").expect("p");
+        assert!(x.anticommutes_with(&z));
+        assert!(x.anticommutes_with(&y));
+        assert!(y.anticommutes_with(&z));
+        assert!(x.commutes_with(&x));
+        assert!(i.commutes_with(&x));
+        // Two anticommuting pairs cancel: XX vs ZZ commute.
+        let xx = Pauli::parse("XX").expect("p");
+        let zz = Pauli::parse("ZZ").expect("p");
+        assert!(xx.commutes_with(&zz));
+        // XI vs ZZ anticommute (one overlap).
+        let xi = Pauli::parse("XI").expect("p");
+        assert!(xi.anticommutes_with(&zz));
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p = Pauli::parse("IXYZI").expect("p");
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.support(), vec![1, 2, 3]);
+        assert!(!p.is_z_type());
+        assert!(Pauli::z_on(5, &[0, 4]).is_z_type());
+        assert!(Pauli::x_on(5, &[1]).is_x_type());
+    }
+
+    #[test]
+    fn symplectic_roundtrip() {
+        let p = Pauli::parse("XYZI").expect("p");
+        let v = p.to_symplectic();
+        assert_eq!(v.len(), 8);
+        let q = Pauli::from_symplectic(&v);
+        assert_eq!(q.x_bits(), p.x_bits());
+        assert_eq!(q.z_bits(), p.z_bits());
+    }
+
+    #[test]
+    fn unsigned_product() {
+        let a = Pauli::parse("XI").expect("p");
+        let b = Pauli::parse("ZI").expect("p");
+        let ab = a.mul_unsigned(&b);
+        assert_eq!(ab.kind(0), PauliKind::Y);
+        assert!(a.mul_unsigned(&a).is_identity());
+    }
+}

@@ -1,0 +1,165 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Useful for dumping NASP scheduling instances for inspection with external
+//! solvers, and for loading regression instances in tests.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::types::Lit;
+
+/// A plain CNF formula: a variable count plus clauses of DIMACS-encoded
+/// literals. This is the exchange format between the solver and disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables (variables are 1-based in DIMACS).
+    pub num_vars: usize,
+    /// Clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a clause, growing `num_vars` as needed.
+    pub fn push<I: IntoIterator<Item = Lit>>(&mut self, clause: I) {
+        let c: Vec<Lit> = clause.into_iter().collect();
+        for l in &c {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(c);
+    }
+
+    /// Renders the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads all clauses into a [`crate::Solver`], creating variables as
+    /// needed, and returns the variables in index order.
+    pub fn load_into(&self, solver: &mut crate::Solver) -> Vec<crate::Var> {
+        let vars: Vec<crate::Var> =
+            (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for c in &self.clauses {
+            solver.add_clause(c.iter().copied());
+        }
+        vars
+    }
+}
+
+/// Error produced when parsing a DIMACS file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl FromStr for Cnf {
+    type Err = ParseDimacsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut cnf = Cnf::new();
+        let mut declared_vars: Option<usize> = None;
+        let mut current: Vec<Lit> = Vec::new();
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(ParseDimacsError {
+                        line: ln + 1,
+                        message: "malformed problem line".into(),
+                    });
+                }
+                declared_vars =
+                    Some(parts[1].parse().map_err(|_| ParseDimacsError {
+                        line: ln + 1,
+                        message: "bad variable count".into(),
+                    })?);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let d: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: ln + 1,
+                    message: format!("bad literal `{tok}`"),
+                })?;
+                if d == 0 {
+                    cnf.push(current.drain(..).collect::<Vec<_>>());
+                } else {
+                    current.push(Lit::from_dimacs(d));
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.push(current);
+        }
+        if let Some(n) = declared_vars {
+            cnf.num_vars = cnf.num_vars.max(n);
+        }
+        Ok(cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    #[test]
+    fn roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf: Cnf = text.parse().expect("parse");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let re: Cnf = cnf.to_dimacs().parse().expect("reparse");
+        assert_eq!(re, cnf);
+    }
+
+    #[test]
+    fn load_and_solve() {
+        let cnf: Cnf = "p cnf 2 2\n1 0\n-1 2 0\n".parse().expect("parse");
+        let mut s = Solver::new();
+        let vars = cnf.load_into(&mut s);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.var_value(vars[0]), Some(true));
+        assert_eq!(s.var_value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let r: Result<Cnf, _> = "p cnf x y\n".parse();
+        assert!(r.is_err());
+        let r: Result<Cnf, _> = "1 two 0\n".parse();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn comment_only_is_empty() {
+        let cnf: Cnf = "c nothing here\n".parse().expect("parse");
+        assert_eq!(cnf.clauses.len(), 0);
+    }
+}

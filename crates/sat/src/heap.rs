@@ -1,0 +1,216 @@
+//! Indexed binary max-heap ordering variables by VSIDS activity.
+//!
+//! The heap supports `decrease`/`increase` key updates in `O(log n)` through
+//! a position index, which plain [`std::collections::BinaryHeap`] cannot do.
+
+use crate::types::Var;
+
+/// Max-heap over variables keyed by an external activity array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `u32::MAX` when absent.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the position index to accommodate `n` variables.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos
+            .get(v.index())
+            .map_or(false, |&p| p != ABSENT)
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts `v`; no-op if already present.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.0);
+        self.pos[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let x = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) >> 1;
+            let p = self.heap[parent];
+            if act[x as usize] <= act[p as usize] {
+                break;
+            }
+            self.heap[i] = p;
+            self.pos[p as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let x = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n
+                && act[self.heap[r] as usize] > act[self.heap[l] as usize]
+            {
+                r
+            } else {
+                l
+            };
+            if act[self.heap[c] as usize] <= act[x as usize] {
+                break;
+            }
+            let cv = self.heap[c];
+            self.heap[i] = cv;
+            self.pos[cv as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariant(&self, act: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) >> 1;
+            assert!(
+                act[self.heap[parent] as usize] >= act[self.heap[i] as usize],
+                "heap order violated at {i}"
+            );
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[v as usize], i as u32, "pos index broken");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_in_activity_order() {
+        let act = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.insert(Var::from_index(i), &act);
+            h.check_invariant(&act);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&act))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &act);
+        h.insert(Var::from_index(0), &act);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &act);
+        }
+        act[0] = 10.0;
+        h.bumped(Var::from_index(0), &act);
+        h.check_invariant(&act);
+        assert_eq!(h.pop_max(&act), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn empty_pop() {
+        let mut h = VarHeap::new();
+        assert!(h.pop_max(&[]).is_none());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn randomized_against_sort() {
+        // Deterministic LCG so the test needs no external crates here.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let n = 200;
+        let act: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut h = VarHeap::new();
+        for i in 0..n {
+            h.insert(Var::from_index(i), &act);
+        }
+        h.check_invariant(&act);
+        let mut popped: Vec<f64> = std::iter::from_fn(|| h.pop_max(&act))
+            .map(|v| act[v.index()])
+            .collect();
+        let mut sorted = popped.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        assert_eq!(popped.len(), n);
+        popped
+            .iter()
+            .zip(&sorted)
+            .for_each(|(a, b)| assert_eq!(a, b));
+    }
+}

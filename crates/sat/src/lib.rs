@@ -1,0 +1,41 @@
+//! # nasp-sat — CDCL SAT solver substrate
+//!
+//! A from-scratch conflict-driven clause learning SAT solver that serves as
+//! the decision engine for the NASP reproduction (DATE 2025, Stade et al.).
+//! The paper solves its scheduling formulation with Z3; this crate, together
+//! with the finite-domain layer in `nasp-smt`, replaces that dependency with
+//! a self-contained implementation (see `DESIGN.md` §3 at the repository
+//! root for the substitution argument).
+//!
+//! Features: two watched literals, VSIDS with phase saving, first-UIP
+//! learning with clause minimization, Luby restarts, LBD-based learnt-clause
+//! reduction, solving under assumptions, and conflict/wall-clock budgets.
+//!
+//! ## Example
+//!
+//! ```
+//! use nasp_sat::{Solver, SolveResult};
+//!
+//! // (a ∨ b) ∧ (¬a ∨ b) ∧ (¬b ∨ c)
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! let c = solver.new_var();
+//! solver.add_clause([a.positive(), b.positive()]);
+//! solver.add_clause([a.negative(), b.positive()]);
+//! solver.add_clause([b.negative(), c.positive()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.var_value(b), Some(true));
+//! assert_eq!(solver.var_value(c), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dimacs;
+mod heap;
+mod solver;
+mod types;
+
+pub use dimacs::{Cnf, ParseDimacsError};
+pub use solver::{Budget, SolveResult, Solver, Stats};
+pub use types::{LBool, Lit, Var};

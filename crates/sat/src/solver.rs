@@ -1,0 +1,991 @@
+//! Conflict-driven clause learning (CDCL) SAT solver.
+//!
+//! A compact MiniSat-style solver: two watched literals, VSIDS decision
+//! heuristic with phase saving, first-UIP conflict analysis with recursive
+//! clause minimization, Luby restarts and LBD-guided learnt-clause database
+//! reduction. It is the execution engine beneath the finite-domain SMT layer
+//! in `nasp-smt`, which in turn carries the paper's scheduling encoding.
+
+use std::time::Instant;
+
+use crate::heap::VarHeap;
+use crate::types::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The search budget (conflicts or wall clock) was exhausted first.
+    Unknown,
+}
+
+/// Search statistics, exposed for benchmarking and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+/// Resource limits for a single `solve` call.
+///
+/// The default is unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Abort with [`SolveResult::Unknown`] after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Abort with [`SolveResult::Unknown`] after this deadline passes.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limit by number of conflicts.
+    pub fn conflicts(n: u64) -> Self {
+        Budget {
+            max_conflicts: Some(n),
+            deadline: None,
+        }
+    }
+
+    /// Limit by wall-clock duration from now.
+    pub fn timeout(d: std::time::Duration) -> Self {
+        Budget {
+            max_conflicts: None,
+            deadline: Some(Instant::now() + d),
+        }
+    }
+
+    fn exhausted(&self, conflicts: u64, check_clock: bool) -> bool {
+        if let Some(m) = self.max_conflicts {
+            if conflicts >= m {
+                return true;
+            }
+        }
+        if check_clock {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+type ClauseRef = u32;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    lbd: u32,
+    /// Conflict timestamp of last involvement, for reduction tie-breaking.
+    last_used: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// Cached literal from the clause; if true the clause is satisfied and
+    /// the watcher need not be inspected further.
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 128;
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use nasp_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    phase: Vec<bool>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    heap: VarHeap,
+    var_inc: f64,
+    seen: Vec<bool>,
+    analyze_toclear: Vec<Lit>,
+    stats: Stats,
+    ok: bool,
+    model: Vec<bool>,
+    have_model: bool,
+    learnt_refs: Vec<ClauseRef>,
+    next_reduce: u64,
+    reduce_count: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            heap: VarHeap::new(),
+            var_inc: 1.0,
+            seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            stats: Stats::default(),
+            ok: true,
+            model: Vec::new(),
+            have_model: false,
+            learnt_refs: Vec::new(),
+            next_reduce: 2000,
+            reduce_count: 0,
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt, non-deleted) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Search statistics accumulated over all `solve` calls.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Creates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap.grow_to(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already in an unsatisfiable state
+    /// (adding the empty clause, or a top-level conflict was derived).
+    /// Tautologies and duplicate literals are simplified away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was never created, or
+    /// if called while the solver holds decisions (clauses must be added at
+    /// decision level zero, i.e. between `solve` calls).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses must be added at decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        self.have_model = false;
+        let mut cl: Vec<Lit> = lits.into_iter().collect();
+        for &l in &cl {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} references unknown variable"
+            );
+        }
+        cl.sort_unstable();
+        cl.dedup();
+        // Tautology / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(cl.len());
+        let mut i = 0;
+        while i < cl.len() {
+            let l = cl[i];
+            if i + 1 < cl.len() && cl[i + 1] == !l {
+                return true; // tautology: contains l and !l (sorted adjacently)
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied forever
+                LBool::False => {}          // drop permanently false literal
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[(!w0).index()].push(Watcher {
+            cref,
+            blocker: w1,
+        });
+        self.watches[(!w1).index()].push(Watcher {
+            cref,
+            blocker: w0,
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            lbd: 0,
+            last_used: self.stats.conflicts,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under_sign(l.is_positive())
+    }
+
+    /// The current value of a literal in the most recent model.
+    ///
+    /// Returns `None` until a `solve` call has returned [`SolveResult::Sat`].
+    pub fn value(&self, l: Lit) -> Option<bool> {
+        if !self.have_model {
+            return None;
+        }
+        let b = self.model[l.var().index()];
+        Some(if l.is_positive() { b } else { !b })
+    }
+
+    /// The current value of a variable in the most recent model.
+    pub fn var_value(&self, v: Var) -> Option<bool> {
+        self.value(v.positive())
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.reason[v] = reason;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            // We edit watches[p] in place while iterating.
+            'watchers: while i < self.watches[p.index()].len() {
+                let w = self.watches[p.index()][i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref as usize].deleted {
+                    self.watches[p.index()].swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal (!p) is at position 1.
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    let false_lit = !p;
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    // Clause satisfied; refresh blocker.
+                    self.watches[p.index()][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[p.index()].swap_remove(i);
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            {
+                self.clauses[confl as usize].last_used = self.stats.conflicts;
+                let start = usize::from(p.is_some());
+                let nlits = self.clauses[confl as usize].lits.len();
+                for k in start..nlits {
+                    let q = self.clauses[confl as usize].lits[k];
+                    let v = q.var();
+                    if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                        self.seen[v.index()] = true;
+                        self.bump_var(v);
+                        if self.level[v.index()] >= self.decision_level() {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let q = self.trail[index];
+            self.seen[q.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !q;
+                break;
+            }
+            p = Some(q);
+            confl = self.reason[q.var().index()]
+                .expect("non-decision literal on conflict path has a reason");
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        self.analyze_toclear.clear();
+        self.analyze_toclear.extend(learnt.iter().copied());
+        for l in &self.analyze_toclear {
+            self.seen[l.var().index()] = true;
+        }
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+        for l in &self.analyze_toclear {
+            self.seen[l.var().index()] = false;
+        }
+        // Collect extra seen flags set during redundancy checks.
+        let extra: Vec<Lit> = std::mem::take(&mut self.analyze_toclear);
+        for l in extra {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backjump level = max level among the non-asserting literals.
+        let bt = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of backjump level at position 1 (watch invariant).
+        if learnt.len() > 2 {
+            let mi = 1 + learnt[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| self.level[l.var().index()])
+                .map(|(i, _)| i)
+                .expect("non-empty tail");
+            learnt.swap(1, mi);
+        }
+        (learnt, bt)
+    }
+
+    /// Is `l` implied by the other literals of the learnt clause? Iterative
+    /// reason-graph walk (the "recursive minimization" of MiniSat 2.2).
+    fn literal_redundant(&mut self, l: Lit) -> bool {
+        let Some(_) = self.reason[l.var().index()] else {
+            return false;
+        };
+        let mut stack = vec![l];
+        let mut pending: Vec<Lit> = Vec::new();
+        while let Some(x) = stack.pop() {
+            let Some(r) = self.reason[x.var().index()] else {
+                // Decision reached that is not part of the clause: not redundant.
+                for p in pending {
+                    self.seen[p.var().index()] = false;
+                }
+                return false;
+            };
+            let lits: Vec<Lit> = self.clauses[r as usize].lits[1..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()].is_none() {
+                    for p in pending {
+                        self.seen[p.var().index()] = false;
+                    }
+                    return false;
+                }
+                self.seen[v.index()] = true;
+                pending.push(q);
+                stack.push(q);
+            }
+        }
+        // All paths end in clause literals: redundant. Remember the flags we
+        // set so `analyze` can clear them.
+        self.analyze_toclear.extend(pending);
+        true
+    }
+
+    fn backtrack_to(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let bound = self.trail_lim[lvl as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.phase[v.index()] = l.is_positive();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses: keep low LBD and recently used ones.
+        let mut cand: Vec<ClauseRef> = self
+            .learnt_refs
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                !cl.deleted && cl.lbd > 2 && !self.is_reason(c)
+            })
+            .collect();
+        cand.sort_by_key(|&c| {
+            let cl = &self.clauses[c as usize];
+            (std::cmp::Reverse(cl.lbd), cl.last_used)
+        });
+        let n_delete = cand.len() / 2;
+        for &c in cand.iter().take(n_delete) {
+            self.clauses[c as usize].deleted = true;
+            self.clauses[c as usize].lits.clear();
+            self.clauses[c as usize].lits.shrink_to_fit();
+            self.stats.deleted_clauses += 1;
+            self.stats.learnt_clauses -= 1;
+        }
+        self.learnt_refs
+            .retain(|&c| !self.clauses[c as usize].deleted);
+        self.reduce_count += 1;
+        self.next_reduce = self.stats.conflicts + 2000 + 500 * self.reduce_count;
+    }
+
+    fn is_reason(&self, cref: ClauseRef) -> bool {
+        let c = &self.clauses[cref as usize];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let v = c.lits[0].var().index();
+        self.assigns[v].is_assigned() && self.reason[v] == Some(cref)
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby sequence (0-based index): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        let mut i = i + 1; // classic formulation is 1-based
+        loop {
+            // Smallest k with 2^k - 1 >= i.
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Solves the formula without assumptions and without limits.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(&[], Budget::unlimited())
+    }
+
+    /// Solves the formula under the given assumption literals.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, Budget::unlimited())
+    }
+
+    /// Solves the formula under assumptions, honouring a resource budget.
+    ///
+    /// Returns [`SolveResult::Unknown`] when the budget runs out; the solver
+    /// remains usable (state is backtracked to level zero).
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        budget: Budget,
+    ) -> SolveResult {
+        self.have_model = false;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption references unknown variable"
+            );
+        }
+        let start_conflicts = self.stats.conflicts;
+        let mut restart_idx = 0u64;
+        let mut restart_budget = Self::luby(restart_idx) * LUBY_UNIT;
+        let mut conflicts_this_restart = 0u64;
+
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    break SolveResult::Unsat;
+                }
+                // Assumption-level conflict: the assumptions are inconsistent
+                // with the formula.
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict depends only on assumptions if analysis would
+                    // backjump above them; do a cheap check via analyze.
+                    let (learnt, bt) = self.analyze(confl);
+                    if (bt as usize) < assumptions.len()
+                        && self.all_assumption_levels(&learnt, assumptions)
+                    {
+                        self.backtrack_to(0);
+                        break SolveResult::Unsat;
+                    }
+                    self.learn_and_jump(learnt, bt);
+                } else {
+                    let (learnt, bt) = self.analyze(confl);
+                    self.learn_and_jump(learnt, bt);
+                }
+                self.decay_activities();
+                if self.stats.conflicts - start_conflicts > 0
+                    && budget.exhausted(
+                        self.stats.conflicts - start_conflicts,
+                        self.stats.conflicts % 64 == 0,
+                    )
+                {
+                    self.backtrack_to(0);
+                    break SolveResult::Unknown;
+                }
+                if self.stats.conflicts >= self.next_reduce {
+                    self.reduce_db();
+                }
+                if conflicts_this_restart >= restart_budget {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    restart_budget = Self::luby(restart_idx) * LUBY_UNIT;
+                    conflicts_this_restart = 0;
+                    self.backtrack_to(0);
+                }
+            } else {
+                // No conflict: take the next assumption or decide.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.backtrack_to(0);
+                            break SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // All variables assigned: model found.
+                        self.model = self
+                            .assigns
+                            .iter()
+                            .map(|&x| x == LBool::True)
+                            .collect();
+                        self.have_model = true;
+                        self.backtrack_to(0);
+                        break SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = v.lit(self.phase[v.index()]);
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        };
+        result
+    }
+
+    fn all_assumption_levels(&self, learnt: &[Lit], assumptions: &[Lit]) -> bool {
+        // True if every literal of the learnt clause is falsified at an
+        // assumption decision level (no real decisions involved), meaning the
+        // conflict is among the assumptions themselves.
+        learnt
+            .iter()
+            .all(|l| (self.level[l.var().index()] as usize) <= assumptions.len())
+    }
+
+    fn learn_and_jump(&mut self, learnt: Vec<Lit>, bt: u32) {
+        self.backtrack_to(bt);
+        match learnt.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                debug_assert_eq!(self.decision_level(), 0);
+                if self.lit_value(learnt[0]) == LBool::Undef {
+                    self.enqueue(learnt[0], None);
+                }
+            }
+            _ => {
+                let lbd = self.compute_lbd(&learnt);
+                let asserting = learnt[0];
+                let cref = self.attach_clause(learnt, true);
+                self.clauses[cref as usize].lbd = lbd;
+                self.enqueue(asserting, Some(cref));
+            }
+        }
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if !self.assigns[v.index()].is_assigned() {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m0 = s.value(v[0]).expect("model");
+        let m1 = s.value(v[1]).expect("model");
+        assert!(m0 || m1);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        s.add_clause([v[0]]);
+        for i in 0..4 {
+            s.add_clause([!v[i], v[i + 1]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for l in &v {
+            assert_eq!(s.value(*l), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT instance exercising
+        // conflict analysis.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for hole in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([!p[i][hole], !p[j][hole]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for hole in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][hole], !p[j][hole]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve_with(&[!v[0], !v[1]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!v[0]]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        // Solver still reusable without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_of_fixed_var() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0], v[1]]);
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!v[0]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_unknown() {
+        // A hard instance with a tiny conflict budget returns Unknown.
+        let n = 9usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for hole in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][hole], !p[j][hole]]);
+                }
+            }
+        }
+        let r = s.solve_limited(&[], Budget::conflicts(10));
+        assert_eq!(r, SolveResult::Unknown);
+        // And with a generous budget it finishes.
+        let r = s.solve_limited(&[], Budget::unlimited());
+        assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautology_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause([v[0], v[0], v[1]]));
+        assert!(s.add_clause([v[0], !v[0]])); // tautology: ignored
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        // Random 3-SAT at low density: almost surely SAT; check model.
+        let mut state = 0xdead_beefu64;
+        let mut rnd = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _round in 0..20 {
+            let nv = 30;
+            let nc = 60;
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+            let mut cls: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nc {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[rnd(nv as u64) as usize];
+                    c.push(v.lit(rnd(2) == 0));
+                }
+                cls.push(c.clone());
+                s.add_clause(c);
+            }
+            if s.solve() == SolveResult::Sat {
+                for c in &cls {
+                    assert!(
+                        c.iter().any(|&l| s.value(l) == Some(true)),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

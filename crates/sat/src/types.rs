@@ -1,0 +1,229 @@
+//! Core identifier types: variables, literals and the three-valued logic
+//! used by the solver's assignment trail.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from zero.
+///
+/// Variables are created through [`crate::Solver::new_var`]; the numbering is
+/// an implementation detail callers should treat as opaque.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of this variable (usable as a slice index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a dense index.
+    ///
+    /// Intended for tests and serialization; indices must come from
+    /// a solver with at least `idx + 1` variables.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Var(idx as u32)
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given sign
+    /// (`true` means positive).
+    #[inline]
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a sign.
+///
+/// Encoded as `2 * var + (negated as usize)`, the classic MiniSat layout,
+/// so a literal doubles as an index into watch lists.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` when this is a positive (non-negated) literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index of the literal itself (distinct for the two polarities).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a literal from its dense index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Lit(idx as u32)
+    }
+
+    /// Converts to the DIMACS convention: variable numbers start at 1 and
+    /// negation is a minus sign.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a literal from the DIMACS convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` (DIMACS uses 0 as the clause terminator).
+    pub fn from_dimacs(d: i64) -> Self {
+        assert!(d != 0, "DIMACS literal must be non-zero");
+        let v = (d.unsigned_abs() - 1) as u32;
+        Var(v).lit(d > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.0 >> 1)
+        } else {
+            write!(f, "!v{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued logic for partial assignments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Lifts a concrete Boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Three-valued negation-aware projection: the value of a literal whose
+    /// variable has this value, given the literal's sign.
+    #[inline]
+    pub fn under_sign(self, positive: bool) -> Self {
+        match (self, positive) {
+            (LBool::Undef, _) => LBool::Undef,
+            (v, true) => v,
+            (LBool::True, false) => LBool::False,
+            (LBool::False, false) => LBool::True,
+        }
+    }
+
+    /// `true` iff assigned (either polarity).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding_roundtrip() {
+        let v = Var::from_index(7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(!v.negative().is_positive());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [-5i64, -1, 1, 9] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_under_sign() {
+        assert_eq!(LBool::True.under_sign(false), LBool::False);
+        assert_eq!(LBool::False.under_sign(false), LBool::True);
+        assert_eq!(LBool::Undef.under_sign(false), LBool::Undef);
+        assert_eq!(LBool::True.under_sign(true), LBool::True);
+    }
+
+    #[test]
+    fn lit_sign_constructor() {
+        let v = Var::from_index(3);
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests: the CDCL solver must agree with a brute-force SAT oracle
+//! on random small formulas, and every model it returns must satisfy the
+//! formula.
+
+use nasp_sat::{Budget, Cnf, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// Brute-force satisfiability over at most 16 variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    assert!(num_vars <= 16);
+    'outer: for mask in 0u32..(1 << num_vars) {
+        for c in clauses {
+            let sat = c.iter().any(|l| {
+                let bit = (mask >> l.var().index()) & 1 == 1;
+                if l.is_positive() {
+                    bit
+                } else {
+                    !bit
+                }
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..=4).prop_map(|v| {
+        v.into_iter()
+            .map(|(i, sign)| Var::from_index(i).lit(sign))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn agrees_with_brute_force(
+        num_vars in 1usize..=8,
+        clauses in prop::collection::vec(clause_strategy(8), 0..=24),
+    ) {
+        // Clamp literals to the variable range actually created.
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|l| Var::from_index(l.var().index() % num_vars).lit(l.is_positive()))
+                    .collect()
+            })
+            .collect();
+        let expected = brute_force_sat(num_vars, &clauses);
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        let got = s.solve();
+        prop_assert_eq!(
+            got,
+            if expected { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+        if got == SolveResult::Sat {
+            for c in &clauses {
+                prop_assert!(c.iter().any(|&l| s.value(l) == Some(true)));
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_agree_with_added_units(
+        num_vars in 2usize..=6,
+        clauses in prop::collection::vec(clause_strategy(6), 0..=15),
+        assume_idx in prop::collection::vec((0usize..6, any::<bool>()), 0..=3),
+    ) {
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|l| Var::from_index(l.var().index() % num_vars).lit(l.is_positive()))
+                    .collect()
+            })
+            .collect();
+        let mut assumptions: Vec<Lit> = assume_idx
+            .into_iter()
+            .map(|(i, sign)| Var::from_index(i % num_vars).lit(sign))
+            .collect();
+        assumptions.sort_unstable();
+        assumptions.dedup();
+        // Contradictory assumption pair => Unsat regardless of formula.
+        // Solving with assumptions must equal solving with those units added.
+        let mut s1 = Solver::new();
+        for _ in 0..num_vars { s1.new_var(); }
+        for c in &clauses { s1.add_clause(c.iter().copied()); }
+        let r1 = s1.solve_with(&assumptions);
+
+        let mut s2 = Solver::new();
+        for _ in 0..num_vars { s2.new_var(); }
+        for c in &clauses { s2.add_clause(c.iter().copied()); }
+        for &a in &assumptions { s2.add_clause([a]); }
+        let r2 = s2.solve();
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_preserves_satisfiability(
+        num_vars in 1usize..=6,
+        clauses in prop::collection::vec(clause_strategy(6), 0..=12),
+    ) {
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|l| Var::from_index(l.var().index() % num_vars).lit(l.is_positive()))
+                    .collect()
+            })
+            .collect();
+        let mut cnf = Cnf::new();
+        cnf.num_vars = num_vars;
+        for c in &clauses {
+            cnf.push(c.iter().copied());
+        }
+        let reparsed: Cnf = cnf.to_dimacs().parse().expect("reparse");
+
+        let mut s1 = Solver::new();
+        cnf.load_into(&mut s1);
+        let mut s2 = Solver::new();
+        reparsed.load_into(&mut s2);
+        prop_assert_eq!(s1.solve(), s2.solve());
+    }
+}
+
+#[test]
+fn unknown_never_lies_about_unsat() {
+    // With a 1-conflict budget on a satisfiable instance the solver may
+    // return Unknown but never Unsat; and re-solving unlimited finds Sat.
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..20).map(|_| s.new_var()).collect();
+    for i in 0..19 {
+        s.add_clause([vars[i].negative(), vars[i + 1].positive()]);
+        s.add_clause([vars[i].positive(), vars[i + 1].negative()]);
+    }
+    let r = s.solve_limited(&[], Budget::conflicts(1));
+    assert_ne!(r, SolveResult::Unsat);
+    assert_eq!(s.solve(), SolveResult::Sat);
+}

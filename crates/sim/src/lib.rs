@@ -1,0 +1,30 @@
+//! # nasp-sim — stabilizer tableau simulator and schedule verifier
+//!
+//! Verification substrate for the NASP reproduction (DATE 2025, Stade et
+//! al.). The paper trusts its SMT model; this crate *executes* schedules
+//! instead: the CZ layers implied by each Rydberg beam are applied to an
+//! Aaronson–Gottesman tableau starting from `|+⟩^n`, and the final state is
+//! checked against the code's stabilizers (up to a Pauli frame). Missing,
+//! duplicated or spurious CZs — the failure modes of a wrong schedule — all
+//! surface as stabilizer mismatches.
+//!
+//! ## Example
+//!
+//! ```
+//! use nasp_sim::{Tableau, verify};
+//! use nasp_qec::{catalog, graph_state};
+//!
+//! let code = catalog::steane();
+//! let targets = code.zero_state_stabilizers();
+//! let circuit = graph_state::synthesize(&targets)?;
+//! assert!(verify::circuit_prepares(&circuit, &targets));
+//! # Ok::<(), nasp_qec::graph_state::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod tableau;
+pub mod verify;
+
+pub use tableau::Tableau;
+pub use verify::{check_state, circuit_prepares, run_circuit, run_layers, StateCheck};

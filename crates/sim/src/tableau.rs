@@ -1,0 +1,422 @@
+//! Aaronson–Gottesman stabilizer tableau simulator.
+//!
+//! Simulates Clifford circuits (H, S, CNOT, CZ, Paulis, Z-measurements) in
+//! polynomial time by tracking the stabilizer group of the state. Used to
+//! *execute* NASP schedules: every Rydberg beam's CZ gates are applied and
+//! the final state is checked against the target code space, closing the
+//! loop between the SMT encoding and physical meaning.
+
+use nasp_qec::Pauli;
+
+/// Phase exponent of `i` contributed when multiplying single-qubit Paulis
+/// `(x1, z1) · (x2, z2)` (the `g` function of Aaronson–Gottesman).
+fn g(x1: u8, z1: u8, x2: u8, z2: u8) -> i8 {
+    match (x1, z1) {
+        (0, 0) => 0,
+        (1, 1) => z2 as i8 - x2 as i8,
+        (1, 0) => (z2 as i8) * (2 * x2 as i8 - 1),
+        (0, 1) => (x2 as i8) * (1 - 2 * z2 as i8),
+        _ => unreachable!("bits are 0/1"),
+    }
+}
+
+/// A stabilizer tableau over `n` qubits.
+///
+/// Rows `0..n` hold destabilizers, rows `n..2n` stabilizers, following
+/// Aaronson & Gottesman (2004).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    x: Vec<Vec<u8>>,
+    z: Vec<Vec<u8>>,
+    /// Phase bit per row: 0 ⇒ +1, 1 ⇒ −1.
+    r: Vec<u8>,
+}
+
+impl Tableau {
+    /// The all-zeros state `|0…0⟩` (stabilizers `Z_q`).
+    pub fn new_zero(n: usize) -> Self {
+        let mut t = Tableau {
+            n,
+            x: vec![vec![0; n]; 2 * n],
+            z: vec![vec![0; n]; 2 * n],
+            r: vec![0; 2 * n],
+        };
+        for q in 0..n {
+            t.x[q][q] = 1; // destabilizer X_q
+            t.z[n + q][q] = 1; // stabilizer Z_q
+        }
+        t
+    }
+
+    /// The all-plus state `|+…+⟩` (stabilizers `X_q`) — the initial state
+    /// of every NASP state-preparation circuit.
+    pub fn new_plus(n: usize) -> Self {
+        let mut t = Self::new_zero(n);
+        for q in 0..n {
+            t.h(q);
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] & self.z[i][q];
+            std::mem::swap(&mut self.x[i][q], &mut self.z[i][q]);
+        }
+    }
+
+    /// Phase gate S on qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] & self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "cnot needs distinct qubits");
+        for i in 0..2 * self.n {
+            self.r[i] ^=
+                self.x[i][c] & self.z[i][t] & (self.x[i][t] ^ self.z[i][c] ^ 1);
+            self.x[i][t] ^= self.x[i][c];
+            self.z[i][c] ^= self.z[i][t];
+        }
+    }
+
+    /// Controlled-Z between `a` and `b` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Pauli X on qubit `q`.
+    pub fn x_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][q];
+        }
+    }
+
+    /// Pauli Z on qubit `q`.
+    pub fn z_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q];
+        }
+    }
+
+    /// Row multiplication `row_h ← row_i · row_h` with phase tracking.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = 2 * self.r[h] as i32 + 2 * self.r[i] as i32;
+        for q in 0..self.n {
+            phase += g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]) as i32;
+        }
+        let phase = phase.rem_euclid(4);
+        debug_assert!(phase == 0 || phase == 2, "non-real stabilizer product");
+        self.r[h] = (phase / 2) as u8;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// If the outcome is random, `random_bit` decides it (pass a coin flip
+    /// for faithful sampling, or a constant for deterministic testing).
+    /// Returns the measured bit.
+    pub fn measure(&mut self, q: usize, random_bit: bool) -> bool {
+        let n = self.n;
+        // Random outcome iff some stabilizer anticommutes with Z_q (x bit set).
+        if let Some(p) = (n..2 * n).find(|&i| self.x[i][q] == 1) {
+            // Random case.
+            for i in 0..2 * n {
+                if i != p && self.x[i][q] == 1 {
+                    self.rowsum(i, p);
+                }
+            }
+            // Destabilizer p-n becomes the old stabilizer row p.
+            self.x[p - n] = self.x[p].clone();
+            self.z[p - n] = self.z[p].clone();
+            self.r[p - n] = self.r[p];
+            // New stabilizer: ±Z_q.
+            self.x[p] = vec![0; n];
+            self.z[p] = vec![0; n];
+            self.z[p][q] = 1;
+            self.r[p] = u8::from(random_bit);
+            random_bit
+        } else {
+            // Deterministic: accumulate into a scratch row.
+            let scratch = self.add_scratch_row();
+            for i in 0..n {
+                if self.x[i][q] == 1 {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            let out = self.r[scratch] == 1;
+            self.remove_scratch_row();
+            out
+        }
+    }
+
+    fn add_scratch_row(&mut self) -> usize {
+        self.x.push(vec![0; self.n]);
+        self.z.push(vec![0; self.n]);
+        self.r.push(0);
+        self.x.len() - 1
+    }
+
+    fn remove_scratch_row(&mut self) {
+        self.x.pop();
+        self.z.pop();
+        self.r.pop();
+    }
+
+    /// The current stabilizer generators as signed Paulis.
+    pub fn stabilizers(&self) -> Vec<Pauli> {
+        (self.n..2 * self.n)
+            .map(|i| {
+                let p = Pauli::from_xz(self.x[i].clone(), self.z[i].clone());
+                if self.r[i] == 1 {
+                    p.negated()
+                } else {
+                    p
+                }
+            })
+            .collect()
+    }
+
+    /// Tests whether `±p` (ignoring `p`'s own sign) lies in the stabilizer
+    /// group; returns the group's sign for it: `Some(false)` for `+p`,
+    /// `Some(true)` for `−p`, `None` if the unsigned operator is not in the
+    /// group.
+    pub fn sign_of(&self, p: &Pauli) -> Option<bool> {
+        assert_eq!(p.num_qubits(), self.n, "qubit count mismatch");
+        // Gaussian elimination over a scratch copy of the stabilizer rows,
+        // multiplying rows with full phase tracking.
+        let mut work = self.clone();
+        let base = work.n;
+        let rows: Vec<usize> = (base..2 * base).collect();
+        // Target accumulated into a scratch row; start with identity and
+        // multiply generators in as we eliminate.
+        let scratch = work.add_scratch_row();
+        let target_x = p.x_bits().to_vec();
+        let target_z = p.z_bits().to_vec();
+        // Eliminate column by column (x part then z part).
+        let mut used = vec![false; rows.len()];
+        for col in 0..2 * base {
+            let get = |w: &Tableau, row: usize| -> u8 {
+                if col < base {
+                    w.x[row][col]
+                } else {
+                    w.z[row][col - base]
+                }
+            };
+            let tgt_bit = if col < base {
+                target_x[col]
+            } else {
+                target_z[col - base]
+            };
+            // Find a pivot among unused rows with a 1 in this column.
+            let Some(pi) = (0..rows.len())
+                .find(|&ri| !used[ri] && get(&work, rows[ri]) == 1)
+            else {
+                // No unused generator touches this column any more, so the
+                // scratch bit here is final; it must already match the
+                // target, else the operator is outside the group.
+                let sb = if col < base {
+                    work.x[scratch][col]
+                } else {
+                    work.z[scratch][col - base]
+                };
+                if sb != tgt_bit {
+                    return None;
+                }
+                continue;
+            };
+            used[pi] = true;
+            let prow = rows[pi];
+            // Clear this column in all other unused rows.
+            for ri in 0..rows.len() {
+                if ri != pi && !used[ri] && get(&work, rows[ri]) == 1 {
+                    work.rowsum(rows[ri], prow);
+                }
+            }
+            // If the target needs this bit (compared with scratch), multiply
+            // the pivot into the scratch row.
+            let sb = if col < base {
+                work.x[scratch][col]
+            } else {
+                work.z[scratch][col - base]
+            };
+            if sb != tgt_bit {
+                work.rowsum(scratch, prow);
+            }
+        }
+        // Scratch must now equal the target's unsigned part.
+        if work.x[scratch] != target_x || work.z[scratch] != target_z {
+            return None;
+        }
+        Some(work.r[scratch] == 1)
+    }
+
+    /// `true` iff `+p` exactly (with sign) stabilizes the state.
+    pub fn stabilizes(&self, p: &Pauli) -> bool {
+        match self.sign_of(p) {
+            Some(s) => s == p.is_negative(),
+            None => false,
+        }
+    }
+
+    /// `true` iff `p` is in the stabilizer group up to sign.
+    pub fn stabilizes_unsigned(&self, p: &Pauli) -> bool {
+        self.sign_of(p).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pauli {
+        Pauli::parse(s).expect("valid pauli")
+    }
+
+    #[test]
+    fn zero_state_stabilized_by_z() {
+        let t = Tableau::new_zero(3);
+        assert!(t.stabilizes(&p("ZII")));
+        assert!(t.stabilizes(&p("IZI")));
+        assert!(t.stabilizes(&p("ZZZ")));
+        assert!(!t.stabilizes(&p("-ZII")));
+        assert!(!t.stabilizes(&p("XII")));
+    }
+
+    #[test]
+    fn plus_state_stabilized_by_x() {
+        let t = Tableau::new_plus(2);
+        assert!(t.stabilizes(&p("XI")));
+        assert!(t.stabilizes(&p("XX")));
+        assert!(!t.stabilizes(&p("ZI")));
+    }
+
+    #[test]
+    fn bell_state_via_cz() {
+        // |+>|+> --CZ--> graph state; stabilizers X⊗Z and Z⊗X.
+        let mut t = Tableau::new_plus(2);
+        t.cz(0, 1);
+        assert!(t.stabilizes(&p("XZ")));
+        assert!(t.stabilizes(&p("ZX")));
+        assert!(t.stabilizes(&p("YY"))); // product: (XZ)(ZX) = Y⊗Y (+ sign)
+        assert!(!t.stabilizes(&p("XX")));
+    }
+
+    #[test]
+    fn cz_symmetric() {
+        let mut a = Tableau::new_plus(3);
+        let mut b = Tableau::new_plus(3);
+        a.cz(0, 2);
+        b.cz(2, 0);
+        assert_eq!(a.stabilizers(), b.stabilizers());
+    }
+
+    #[test]
+    fn ghz_state() {
+        // H(0), CNOT(0,1), CNOT(1,2): stabilizers XXX, ZZI, IZZ.
+        let mut t = Tableau::new_zero(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(1, 2);
+        assert!(t.stabilizes(&p("XXX")));
+        assert!(t.stabilizes(&p("ZZI")));
+        assert!(t.stabilizes(&p("IZZ")));
+        assert!(t.stabilizes(&p("ZIZ")));
+        assert!(!t.stabilizes(&p("-XXX")));
+    }
+
+    #[test]
+    fn s_gate_algebra() {
+        // S² = Z: X → SXS† = Y → S Y S† = -X.
+        let mut t = Tableau::new_plus(1);
+        t.s(0);
+        assert!(t.stabilizes(&p("Y")));
+        t.s(0);
+        assert!(t.stabilizes(&p("-X")));
+        t.s(0);
+        t.s(0);
+        assert!(t.stabilizes(&p("X")));
+    }
+
+    #[test]
+    fn x_z_gates_flip_signs() {
+        let mut t = Tableau::new_zero(1);
+        t.x_gate(0);
+        assert!(t.stabilizes(&p("-Z")));
+        let mut t = Tableau::new_plus(1);
+        t.z_gate(0);
+        assert!(t.stabilizes(&p("-X")));
+    }
+
+    #[test]
+    fn deterministic_measurement() {
+        let mut t = Tableau::new_zero(2);
+        assert!(!t.measure(0, false)); // |0⟩ measures 0 deterministically
+        t.x_gate(1);
+        assert!(t.measure(1, false)); // |1⟩ measures 1
+    }
+
+    #[test]
+    fn random_measurement_collapses() {
+        let mut t = Tableau::new_plus(1);
+        let out = t.measure(0, true);
+        assert!(out);
+        // Now the state is |1⟩: deterministic.
+        assert!(t.measure(0, false));
+        assert!(t.stabilizes(&p("-Z")));
+    }
+
+    #[test]
+    fn measurement_of_ghz_correlates() {
+        let mut t = Tableau::new_zero(2);
+        t.h(0);
+        t.cnot(0, 1);
+        let m0 = t.measure(0, true); // forced 1
+        let m1 = t.measure(1, false); // must follow
+        assert_eq!(m0, m1);
+    }
+
+    #[test]
+    fn unsigned_membership() {
+        let mut t = Tableau::new_zero(1);
+        t.x_gate(0); // state |1⟩, stabilizer -Z
+        assert!(t.stabilizes_unsigned(&p("Z")));
+        assert_eq!(t.sign_of(&p("Z")), Some(true));
+        assert!(!t.stabilizes_unsigned(&p("X")));
+    }
+
+    #[test]
+    fn cz_equals_h_cnot_h() {
+        let mut a = Tableau::new_plus(2);
+        a.cz(0, 1);
+        let mut b = Tableau::new_plus(2);
+        b.h(1);
+        b.cnot(0, 1);
+        b.h(1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,716 @@
+//! The finite-domain SMT context: bounded integer variables and Boolean
+//! combinators compiled eagerly to CNF over a CDCL SAT solver.
+//!
+//! Every Boolean expression is represented by a single SAT literal; smart
+//! constructors emit Tseitin clauses and hash-cons structurally identical
+//! sub-expressions. Integer variables use the *order encoding* (literals
+//! `x ≤ k`) with channelled *value literals* (`x = k`), which makes the
+//! comparisons needed by the NASP formulation — bounds, equality,
+//! `x < y + s` — compact (linear in the domain size).
+
+use std::collections::HashMap;
+
+use nasp_sat::{Budget, Lit, SolveResult, Solver};
+
+/// A Boolean expression, represented as a SAT literal.
+///
+/// Obtained from [`Ctx`] constructors; negation is free via [`Bool::not`]
+/// or the `!` operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bool(pub(crate) Lit);
+
+impl Bool {
+    /// The underlying SAT literal.
+    pub fn lit(self) -> Lit {
+        self.0
+    }
+
+    /// Logical negation (free: flips the literal sign).
+    pub fn not(self) -> Bool {
+        Bool(!self.0)
+    }
+}
+
+impl std::ops::Not for Bool {
+    type Output = Bool;
+    fn not(self) -> Bool {
+        Bool::not(self)
+    }
+}
+
+/// Handle to a bounded integer variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntVar(u32);
+
+impl IntVar {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct IntData {
+    lo: i64,
+    hi: i64,
+    /// `order[k - lo]` ⇔ `x ≤ lo + k`, for `k ∈ [0, hi - lo)`.
+    /// `x ≤ hi` is trivially true and has no literal.
+    order: Vec<Lit>,
+    /// `value[k - lo]` ⇔ `x = lo + k`, for the full domain.
+    value: Vec<Lit>,
+    name: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKey {
+    And(u64),
+    LtOffset(IntVar, IntVar, i64),
+    Eq(IntVar, IntVar),
+}
+
+/// The SMT context: variable factory, formula builder and solver in one.
+///
+/// # Examples
+///
+/// ```
+/// use nasp_smt::Ctx;
+/// use nasp_sat::SolveResult;
+///
+/// let mut ctx = Ctx::new();
+/// let x = ctx.int_var(0, 5, "x");
+/// let y = ctx.int_var(0, 5, "y");
+/// let c1 = ctx.lt(x, y);          // x < y
+/// let c2 = ctx.ge_const(x, 4);    // x ≥ 4
+/// ctx.assert(c1);
+/// ctx.assert(c2);
+/// assert_eq!(ctx.solve(), SolveResult::Sat);
+/// assert_eq!(ctx.int_value(x), Some(4));
+/// assert_eq!(ctx.int_value(y), Some(5));
+/// ```
+#[derive(Debug)]
+pub struct Ctx {
+    solver: Solver,
+    ints: Vec<IntData>,
+    tru: Lit,
+    cache: HashMap<OpKey, Lit>,
+    /// Interned argument lists for And/Or hashing.
+    arg_sets: HashMap<Vec<Lit>, u64>,
+    next_arg_id: u64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ctx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        let mut solver = Solver::new();
+        let t = solver.new_var().positive();
+        solver.add_clause([t]);
+        Ctx {
+            solver,
+            ints: Vec::new(),
+            tru: t,
+            cache: HashMap::new(),
+            arg_sets: HashMap::new(),
+            next_arg_id: 0,
+        }
+    }
+
+    /// The constant `true`.
+    pub fn tru(&self) -> Bool {
+        Bool(self.tru)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&self) -> Bool {
+        Bool(!self.tru)
+    }
+
+    /// Lifts a Rust `bool` into the logic.
+    pub fn constant(&self, b: bool) -> Bool {
+        if b {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    /// Creates a fresh free Boolean variable.
+    pub fn bool_var(&mut self) -> Bool {
+        Bool(self.solver.new_var().positive())
+    }
+
+    /// Creates a bounded integer variable with inclusive domain `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_var(&mut self, lo: i64, hi: i64, name: &str) -> IntVar {
+        assert!(lo <= hi, "empty domain for {name}: [{lo}, {hi}]");
+        let width = (hi - lo) as usize + 1;
+        // Order literals o_k ⇔ x ≤ lo+k for k in 0..width-1.
+        let order: Vec<Lit> = (0..width.saturating_sub(1))
+            .map(|_| self.solver.new_var().positive())
+            .collect();
+        // Ladder: x ≤ k → x ≤ k+1.
+        for w in order.windows(2) {
+            self.solver.add_clause([!w[0], w[1]]);
+        }
+        // Value literals channelled to the order encoding:
+        //   v_0   ⇔ o_0
+        //   v_k   ⇔ o_k ∧ ¬o_{k-1}    (0 < k < width-1)
+        //   v_max ⇔ ¬o_{width-2}
+        let mut value = Vec::with_capacity(width);
+        if width == 1 {
+            value.push(self.tru);
+        } else {
+            for k in 0..width {
+                if k == 0 {
+                    value.push(order[0]);
+                } else if k == width - 1 {
+                    value.push(!order[width - 2]);
+                } else {
+                    let v = self.solver.new_var().positive();
+                    // v → o_k, v → ¬o_{k-1}, (o_k ∧ ¬o_{k-1}) → v
+                    self.solver.add_clause([!v, order[k]]);
+                    self.solver.add_clause([!v, !order[k - 1]]);
+                    self.solver.add_clause([v, !order[k], order[k - 1]]);
+                    value.push(v);
+                }
+            }
+        }
+        let id = IntVar(self.ints.len() as u32);
+        self.ints.push(IntData {
+            lo,
+            hi,
+            order,
+            value,
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Domain of an integer variable as `(lo, hi)` inclusive.
+    pub fn domain(&self, x: IntVar) -> (i64, i64) {
+        let d = &self.ints[x.index()];
+        (d.lo, d.hi)
+    }
+
+    /// Name given at creation (for diagnostics).
+    pub fn name(&self, x: IntVar) -> &str {
+        &self.ints[x.index()].name
+    }
+
+    /// The literal for `x ≤ k`, lifting out-of-range `k` to constants.
+    fn order_lit(&self, x: IntVar, k: i64) -> Lit {
+        let d = &self.ints[x.index()];
+        if k < d.lo {
+            !self.tru
+        } else if k >= d.hi {
+            self.tru
+        } else {
+            d.order[(k - d.lo) as usize]
+        }
+    }
+
+    /// `x ≤ k` as a Boolean.
+    pub fn le_const(&self, x: IntVar, k: i64) -> Bool {
+        Bool(self.order_lit(x, k))
+    }
+
+    /// `x ≥ k` as a Boolean.
+    pub fn ge_const(&self, x: IntVar, k: i64) -> Bool {
+        Bool(!self.order_lit(x, k - 1))
+    }
+
+    /// `x = k` as a Boolean (constant false outside the domain).
+    pub fn eq_const(&self, x: IntVar, k: i64) -> Bool {
+        let d = &self.ints[x.index()];
+        if k < d.lo || k > d.hi {
+            self.fls()
+        } else {
+            Bool(d.value[(k - d.lo) as usize])
+        }
+    }
+
+    /// `a ≤ x ≤ b` as a Boolean.
+    pub fn in_range(&mut self, x: IntVar, a: i64, b: i64) -> Bool {
+        let lo = self.ge_const(x, a);
+        let hi = self.le_const(x, b);
+        self.and(&[lo, hi])
+    }
+
+    fn args_id(&mut self, mut lits: Vec<Lit>) -> (Vec<Lit>, u64) {
+        lits.sort_unstable();
+        lits.dedup();
+        if let Some(&id) = self.arg_sets.get(&lits) {
+            return (lits, id);
+        }
+        let id = self.next_arg_id;
+        self.next_arg_id += 1;
+        self.arg_sets.insert(lits.clone(), id);
+        (lits, id)
+    }
+
+    /// Conjunction of the given Booleans.
+    pub fn and(&mut self, args: &[Bool]) -> Bool {
+        let fls = self.fls();
+        if args.contains(&fls) {
+            return fls;
+        }
+        let lits: Vec<Lit> = args
+            .iter()
+            .map(|b| b.0)
+            .filter(|&l| l != self.tru)
+            .collect();
+        // x ∧ ¬x simplification.
+        let (lits, id) = self.args_id(lits);
+        for w in lits.windows(2) {
+            if w[0] == !w[1] {
+                return self.fls();
+            }
+        }
+        match lits.len() {
+            0 => return self.tru(),
+            1 => return Bool(lits[0]),
+            _ => {}
+        }
+        if let Some(&g) = self.cache.get(&OpKey::And(id)) {
+            return Bool(g);
+        }
+        let g = self.solver.new_var().positive();
+        for &l in &lits {
+            self.solver.add_clause([!g, l]);
+        }
+        let mut big: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        big.push(g);
+        self.solver.add_clause(big);
+        self.cache.insert(OpKey::And(id), g);
+        Bool(g)
+    }
+
+    /// Disjunction of the given Booleans.
+    pub fn or(&mut self, args: &[Bool]) -> Bool {
+        let neg: Vec<Bool> = args.iter().map(|&b| !b).collect();
+        !self.and(&neg)
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(&mut self, a: Bool, b: Bool) -> Bool {
+        self.or(&[!a, b])
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(&mut self, a: Bool, b: Bool) -> Bool {
+        let ab = self.implies(a, b);
+        let ba = self.implies(b, a);
+        self.and(&[ab, ba])
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bool, b: Bool) -> Bool {
+        !self.iff(a, b)
+    }
+
+    /// If-then-else on Booleans.
+    pub fn ite(&mut self, c: Bool, t: Bool, e: Bool) -> Bool {
+        let ct = self.implies(c, t);
+        let ce = self.implies(!c, e);
+        self.and(&[ct, ce])
+    }
+
+    /// `x − y < s` as a Boolean (so `lt(x, y)` is `lt_offset(x, y, 0)`).
+    ///
+    /// Encoded over the order literals:
+    /// `L → (y ≤ j → x ≤ j + s − 1)` and `¬L → (x ≤ k → y ≤ k − s)`.
+    pub fn lt_offset(&mut self, x: IntVar, y: IntVar, s: i64) -> Bool {
+        // Constant-fold when domains decide the comparison.
+        let (xlo, xhi) = self.domain(x);
+        let (ylo, yhi) = self.domain(y);
+        if xhi - ylo < s {
+            return self.tru();
+        }
+        if xlo - yhi >= s {
+            return self.fls();
+        }
+        let key = OpKey::LtOffset(x, y, s);
+        if let Some(&g) = self.cache.get(&key) {
+            return Bool(g);
+        }
+        let g = self.solver.new_var().positive();
+        for j in (ylo - 1)..=yhi {
+            // g → (y ≤ j → x ≤ j + s − 1)
+            let oy = self.order_lit(y, j);
+            let ox = self.order_lit(x, j + s - 1);
+            self.solver.add_clause([!g, !oy, ox]);
+        }
+        for k in (xlo - 1)..=xhi {
+            // ¬g → (x ≤ k → y ≤ k − s)
+            let ox = self.order_lit(x, k);
+            let oy = self.order_lit(y, k - s);
+            self.solver.add_clause([g, !ox, oy]);
+        }
+        self.cache.insert(key, g);
+        Bool(g)
+    }
+
+    /// Strict comparison `x < y`.
+    pub fn lt(&mut self, x: IntVar, y: IntVar) -> Bool {
+        self.lt_offset(x, y, 0)
+    }
+
+    /// Non-strict comparison `x ≤ y`.
+    pub fn le(&mut self, x: IntVar, y: IntVar) -> Bool {
+        !self.lt_offset(y, x, 0)
+    }
+
+    /// Equality between two integer variables.
+    pub fn eq(&mut self, x: IntVar, y: IntVar) -> Bool {
+        if x == y {
+            return self.tru();
+        }
+        let (xlo, xhi) = self.domain(x);
+        let (ylo, yhi) = self.domain(y);
+        if xhi < ylo || yhi < xlo {
+            return self.fls();
+        }
+        let key = if x < y {
+            OpKey::Eq(x, y)
+        } else {
+            OpKey::Eq(y, x)
+        };
+        if let Some(&g) = self.cache.get(&key) {
+            return Bool(g);
+        }
+        let g = self.solver.new_var().positive();
+        for k in xlo.min(ylo)..=xhi.max(yhi) {
+            let vx = self.eq_const(x, k).0;
+            let vy = self.eq_const(y, k).0;
+            // g ∧ x=k → y=k and symmetrically.
+            self.solver.add_clause([!g, !vx, vy]);
+            self.solver.add_clause([!g, !vy, vx]);
+            // x=k ∧ y=k → g.
+            self.solver.add_clause([g, !vx, !vy]);
+        }
+        self.cache.insert(key, g);
+        Bool(g)
+    }
+
+    /// Disequality `x ≠ y`.
+    pub fn ne(&mut self, x: IntVar, y: IntVar) -> Bool {
+        !self.eq(x, y)
+    }
+
+    /// `|x − y| < c` (the proximity predicate of the paper's Eq. 12).
+    pub fn abs_diff_lt(&mut self, x: IntVar, y: IntVar, c: i64) -> Bool {
+        let a = self.lt_offset(x, y, c);
+        let b = self.lt_offset(y, x, c);
+        self.and(&[a, b])
+    }
+
+    /// At most one of the given Booleans holds (pairwise encoding).
+    pub fn at_most_one(&mut self, args: &[Bool]) -> Bool {
+        let mut conj = Vec::new();
+        for i in 0..args.len() {
+            for j in (i + 1)..args.len() {
+                let nand = self.or(&[!args[i], !args[j]]);
+                conj.push(nand);
+            }
+        }
+        self.and(&conj)
+    }
+
+    /// Asserts a Boolean at the top level.
+    pub fn assert(&mut self, b: Bool) {
+        self.solver.add_clause([b.0]);
+    }
+
+    /// Asserts an implication `a → b` directly as a clause (cheaper than
+    /// building the implication node when it is only asserted).
+    pub fn assert_implies(&mut self, a: Bool, b: Bool) {
+        self.solver.add_clause([!a.0, b.0]);
+    }
+
+    /// Asserts a clause (disjunction) directly.
+    pub fn assert_or(&mut self, args: &[Bool]) {
+        self.solver.add_clause(args.iter().map(|b| b.0));
+    }
+
+    /// Solves the asserted formula without limits.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solver.solve()
+    }
+
+    /// Solves with a resource budget.
+    pub fn solve_limited(&mut self, budget: Budget) -> SolveResult {
+        self.solver.solve_limited(&[], budget)
+    }
+
+    /// Solves under assumptions with a resource budget.
+    pub fn solve_with(&mut self, assumptions: &[Bool], budget: Budget) -> SolveResult {
+        let lits: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
+        self.solver.solve_limited(&lits, budget)
+    }
+
+    /// Value of an integer variable in the last model.
+    ///
+    /// Returns `None` before a successful `solve`.
+    pub fn int_value(&self, x: IntVar) -> Option<i64> {
+        let d = &self.ints[x.index()];
+        if d.lo == d.hi {
+            // Single-value domain is constant-true; still requires a model
+            // for consistency with the other accessors.
+            return self.solver.value(self.tru).map(|_| d.lo);
+        }
+        for (k, &v) in d.value.iter().enumerate() {
+            if self.solver.value(v)? {
+                return Some(d.lo + k as i64);
+            }
+        }
+        None
+    }
+
+    /// Value of a Boolean in the last model.
+    pub fn bool_value(&self, b: Bool) -> Option<bool> {
+        self.solver.value(b.0)
+    }
+
+    /// Number of SAT variables allocated (diagnostics).
+    pub fn num_sat_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Number of problem clauses (diagnostics).
+    pub fn num_clauses(&self) -> usize {
+        self.solver.num_clauses()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> nasp_sat::Stats {
+        self.solver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_domain_exhaustive() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(-2, 3, "x");
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        let v = ctx.int_value(x).expect("model");
+        assert!((-2..=3).contains(&v));
+    }
+
+    #[test]
+    fn eq_const_pins_value() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 7, "x");
+        let p = ctx.eq_const(x, 5);
+        ctx.assert(p);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert_eq!(ctx.int_value(x), Some(5));
+    }
+
+    #[test]
+    fn out_of_domain_eq_is_false() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 3, "x");
+        let p = ctx.eq_const(x, 9);
+        assert_eq!(p, ctx.fls());
+    }
+
+    #[test]
+    fn lt_chain_forces_order() {
+        let mut ctx = Ctx::new();
+        let v: Vec<IntVar> = (0..4).map(|i| ctx.int_var(0, 3, &format!("v{i}"))).collect();
+        for w in v.windows(2) {
+            let c = ctx.lt(w[0], w[1]);
+            ctx.assert(c);
+        }
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        let vals: Vec<i64> = v.iter().map(|&x| ctx.int_value(x).expect("model")).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lt_unsat_when_domain_too_small() {
+        let mut ctx = Ctx::new();
+        let v: Vec<IntVar> = (0..4).map(|i| ctx.int_var(0, 2, &format!("v{i}"))).collect();
+        for w in v.windows(2) {
+            let c = ctx.lt(w[0], w[1]);
+            ctx.assert(c);
+        }
+        assert_eq!(ctx.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn eq_symmetric_and_cached() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 4, "x");
+        let y = ctx.int_var(2, 6, "y");
+        let a = ctx.eq(x, y);
+        let b = ctx.eq(y, x);
+        assert_eq!(a, b);
+        ctx.assert(a);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert_eq!(ctx.int_value(x), ctx.int_value(y));
+    }
+
+    #[test]
+    fn disjoint_domains_never_equal() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 2, "x");
+        let y = ctx.int_var(5, 7, "y");
+        assert_eq!(ctx.eq(x, y), ctx.fls());
+        let l = ctx.lt(x, y);
+        assert_eq!(l, ctx.tru());
+    }
+
+    #[test]
+    fn abs_diff_constraint() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 9, "x");
+        let y = ctx.int_var(0, 9, "y");
+        let near = ctx.abs_diff_lt(x, y, 2);
+        let x_is_0 = ctx.eq_const(x, 0);
+        let y_is_5 = ctx.eq_const(y, 5);
+        ctx.assert(near);
+        ctx.assert(x_is_0);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        let (vx, vy) = (ctx.int_value(x).unwrap(), ctx.int_value(y).unwrap());
+        assert!((vx - vy).abs() < 2);
+        ctx.assert(y_is_5);
+        assert_eq!(ctx.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn boolean_algebra_basics() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var();
+        let b = ctx.bool_var();
+        let t = ctx.tru();
+        // a ∧ true = a ; a ∨ false = a.
+        assert_eq!(ctx.and(&[a, t]), a);
+        let f = ctx.fls();
+        assert_eq!(ctx.or(&[a, f]), a);
+        // a ∧ ¬a = false.
+        assert_eq!(ctx.and(&[a, !a]), ctx.fls());
+        // Caching: same args, same node.
+        let g1 = ctx.and(&[a, b]);
+        let g2 = ctx.and(&[b, a]);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn iff_and_xor() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var();
+        let b = ctx.bool_var();
+        let x = ctx.xor(a, b);
+        ctx.assert(x);
+        ctx.assert(a);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert_eq!(ctx.bool_value(b), Some(false));
+    }
+
+    #[test]
+    fn at_most_one_works() {
+        let mut ctx = Ctx::new();
+        let xs: Vec<Bool> = (0..4).map(|_| ctx.bool_var()).collect();
+        let amo = ctx.at_most_one(&xs);
+        ctx.assert(amo);
+        ctx.assert(xs[1]);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        let count = xs
+            .iter()
+            .filter(|&&x| ctx.bool_value(x) == Some(true))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(3, 3, "x");
+        let y = ctx.int_var(0, 5, "y");
+        let e = ctx.eq(x, y);
+        ctx.assert(e);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert_eq!(ctx.int_value(x), Some(3));
+        assert_eq!(ctx.int_value(y), Some(3));
+    }
+
+    #[test]
+    fn le_ge_const_boundaries() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(2, 5, "x");
+        assert_eq!(ctx.le_const(x, 5), ctx.tru());
+        assert_eq!(ctx.le_const(x, 1), ctx.fls());
+        assert_eq!(ctx.ge_const(x, 2), ctx.tru());
+        assert_eq!(ctx.ge_const(x, 6), ctx.fls());
+    }
+
+    #[test]
+    fn budget_unknown_preserves_context() {
+        // A hard instance under a 1-conflict budget yields Unknown, and the
+        // context stays usable.
+        let mut ctx = Ctx::new();
+        let vars: Vec<IntVar> = (0..6).map(|i| ctx.int_var(0, 4, &format!("v{i}"))).collect();
+        // All-different via pairwise disequalities (pigeonhole-flavoured:
+        // 6 vars, 5 values -> UNSAT).
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                let ne = ctx.ne(vars[i], vars[j]);
+                ctx.assert(ne);
+            }
+        }
+        let r = ctx.solve_limited(Budget::conflicts(1));
+        assert_ne!(r, SolveResult::Sat);
+        assert_eq!(ctx.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn lt_offset_extreme_shifts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 3, "x");
+        let y = ctx.int_var(0, 3, "y");
+        // x - y < 10 over these domains is a tautology; < -5 a contradiction.
+        assert_eq!(ctx.lt_offset(x, y, 10), ctx.tru());
+        assert_eq!(ctx.lt_offset(x, y, -5), ctx.fls());
+    }
+
+    #[test]
+    fn diagnostics_counters_grow() {
+        let mut ctx = Ctx::new();
+        let before = ctx.num_sat_vars();
+        let x = ctx.int_var(0, 7, "x");
+        assert!(ctx.num_sat_vars() > before);
+        let c = ctx.ge_const(x, 3);
+        ctx.assert(c);
+        assert!(ctx.num_clauses() > 0);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert!(ctx.stats().decisions + ctx.stats().propagations > 0);
+    }
+
+    #[test]
+    fn solve_with_assumptions() {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 3, "x");
+        let hi = ctx.ge_const(x, 2);
+        let lo = ctx.le_const(x, 1);
+        assert_eq!(ctx.solve_with(&[hi], Budget::unlimited()), SolveResult::Sat);
+        assert!(ctx.int_value(x).expect("model") >= 2);
+        assert_eq!(
+            ctx.solve_with(&[hi, lo], Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        // Context survives UNSAT-under-assumptions.
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+    }
+}

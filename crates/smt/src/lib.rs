@@ -1,0 +1,47 @@
+//! # nasp-smt — finite-domain SMT over SAT
+//!
+//! The decision layer used by the NASP reproduction (DATE 2025, Stade et
+//! al.) in place of Z3. The paper's scheduling formulation uses only
+//! Booleans and integers with small, fixed bounds (coordinates, offsets, AOD
+//! line indices, stage indices), so a finite-domain theory compiled to CNF
+//! decides exactly the same formulas. See `DESIGN.md` §3 at the repository
+//! root for the substitution rationale.
+//!
+//! The central type is [`Ctx`], which owns a [`nasp_sat::Solver`] and
+//! provides:
+//!
+//! * bounded integer variables ([`Ctx::int_var`]) with order + value
+//!   encodings and channeling,
+//! * Boolean combinators with hash-consing ([`Ctx::and`], [`Ctx::or`],
+//!   [`Ctx::iff`], ...),
+//! * the comparison atoms the paper's constraints need: bounds
+//!   ([`Ctx::le_const`], [`Ctx::in_range`]), equality ([`Ctx::eq`]),
+//!   lexicographic building blocks ([`Ctx::lt`], [`Ctx::lt_offset`]) and the
+//!   interaction-radius predicate (`|x − y| < r`, [`Ctx::abs_diff_lt`]),
+//! * budgeted solving and model extraction.
+//!
+//! ## Example
+//!
+//! ```
+//! use nasp_smt::Ctx;
+//! use nasp_sat::SolveResult;
+//!
+//! // Place two "qubits" on a line so they are adjacent but distinct.
+//! let mut ctx = Ctx::new();
+//! let a = ctx.int_var(0, 7, "a");
+//! let b = ctx.int_var(0, 7, "b");
+//! let near = ctx.abs_diff_lt(a, b, 2);
+//! let distinct = ctx.ne(a, b);
+//! ctx.assert(near);
+//! ctx.assert(distinct);
+//! assert_eq!(ctx.solve(), SolveResult::Sat);
+//! let (va, vb) = (ctx.int_value(a).unwrap(), ctx.int_value(b).unwrap());
+//! assert_eq!((va - vb).abs(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod context;
+
+pub use context::{Bool, Ctx, IntVar};
+pub use nasp_sat::{Budget, SolveResult};

@@ -1,0 +1,160 @@
+//! Property tests for the finite-domain encodings: every comparison atom
+//! must agree with its mathematical definition under exhaustive/randomized
+//! pinning of the operand values.
+
+use nasp_sat::SolveResult;
+use nasp_smt::Ctx;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pin x and y to concrete values and check every atom evaluates to the
+    /// mathematically expected truth value.
+    #[test]
+    fn atoms_match_semantics(
+        xlo in -3i64..=3, xw in 0i64..=5,
+        ylo in -3i64..=3, yw in 0i64..=5,
+        xv_off in 0i64..=5, yv_off in 0i64..=5,
+        s in -4i64..=4, c in 1i64..=4, k in -4i64..=8,
+    ) {
+        let xhi = xlo + xw;
+        let yhi = ylo + yw;
+        let xv = xlo + (xv_off % (xw + 1));
+        let yv = ylo + (yv_off % (yw + 1));
+
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(xlo, xhi, "x");
+        let y = ctx.int_var(ylo, yhi, "y");
+
+        let atoms = vec![
+            (ctx.lt(x, y), xv < yv, "lt"),
+            (ctx.le(x, y), xv <= yv, "le"),
+            (ctx.eq(x, y), xv == yv, "eq"),
+            (ctx.ne(x, y), xv != yv, "ne"),
+            (ctx.lt_offset(x, y, s), xv - yv < s, "lt_offset"),
+            (ctx.abs_diff_lt(x, y, c), (xv - yv).abs() < c, "abs_diff_lt"),
+            (ctx.le_const(x, k), xv <= k, "le_const"),
+            (ctx.ge_const(x, k), xv >= k, "ge_const"),
+            (ctx.eq_const(x, k), xv == k, "eq_const"),
+        ];
+
+        let px = ctx.eq_const(x, xv);
+        let py = ctx.eq_const(y, yv);
+        ctx.assert(px);
+        ctx.assert(py);
+        prop_assert_eq!(ctx.solve(), SolveResult::Sat);
+        prop_assert_eq!(ctx.int_value(x), Some(xv));
+        prop_assert_eq!(ctx.int_value(y), Some(yv));
+        for (atom, expected, name) in atoms {
+            prop_assert_eq!(
+                ctx.bool_value(atom),
+                Some(expected),
+                "atom {} with x={} y={} s={} c={} k={}", name, xv, yv, s, c, k
+            );
+        }
+    }
+
+    /// `in_range` agrees with its definition.
+    #[test]
+    fn in_range_semantics(
+        lo in 0i64..=4, w in 0i64..=4, v_off in 0i64..=4,
+        a in -1i64..=6, b in -1i64..=6,
+    ) {
+        let hi = lo + w;
+        let v = lo + (v_off % (w + 1));
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(lo, hi, "x");
+        let r = ctx.in_range(x, a, b);
+        let pin = ctx.eq_const(x, v);
+        ctx.assert(pin);
+        prop_assert_eq!(ctx.solve(), SolveResult::Sat);
+        prop_assert_eq!(ctx.bool_value(r), Some(a <= v && v <= b));
+    }
+
+    /// Boolean combinators agree with Rust's operators under full pinning.
+    #[test]
+    fn boolean_combinators(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        let mut ctx = Ctx::new();
+        let pa = ctx.bool_var();
+        let pb = ctx.bool_var();
+        let pc = ctx.bool_var();
+        let nodes = vec![
+            (ctx.and(&[pa, pb, pc]), a && b && c, "and"),
+            (ctx.or(&[pa, pb, pc]), a || b || c, "or"),
+            (ctx.implies(pa, pb), !a || b, "implies"),
+            (ctx.iff(pa, pb), a == b, "iff"),
+            (ctx.xor(pa, pb), a != b, "xor"),
+            (ctx.ite(pa, pb, pc), if a { b } else { c }, "ite"),
+        ];
+        ctx.assert(if a { pa } else { !pa });
+        ctx.assert(if b { pb } else { !pb });
+        ctx.assert(if c { pc } else { !pc });
+        prop_assert_eq!(ctx.solve(), SolveResult::Sat);
+        for (node, expected, name) in nodes {
+            prop_assert_eq!(ctx.bool_value(node), Some(expected), "node {}", name);
+        }
+    }
+
+    /// Asserted atoms constrain models correctly: for random assertions over
+    /// two variables, the extracted model satisfies them all.
+    #[test]
+    fn models_satisfy_assertions(
+        constraints in prop::collection::vec((0u8..5, -2i64..=9), 1..=6),
+    ) {
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 7, "x");
+        let y = ctx.int_var(0, 7, "y");
+        let mut checks: Vec<Box<dyn Fn(i64, i64) -> bool>> = Vec::new();
+        for (kind, k) in constraints {
+            match kind {
+                0 => {
+                    let c = ctx.le_const(x, k);
+                    ctx.assert(c);
+                    checks.push(Box::new(move |xv, _| xv <= k));
+                }
+                1 => {
+                    let c = ctx.ge_const(y, k);
+                    ctx.assert(c);
+                    checks.push(Box::new(move |_, yv| yv >= k));
+                }
+                2 => {
+                    let c = ctx.lt(x, y);
+                    ctx.assert(c);
+                    checks.push(Box::new(|xv, yv| xv < yv));
+                }
+                3 => {
+                    let c = ctx.eq(x, y);
+                    ctx.assert(c);
+                    checks.push(Box::new(|xv, yv| xv == yv));
+                }
+                _ => {
+                    let c = ctx.abs_diff_lt(x, y, 3);
+                    ctx.assert(c);
+                    checks.push(Box::new(|xv, yv| (xv - yv).abs() < 3));
+                }
+            }
+        }
+        match ctx.solve() {
+            SolveResult::Sat => {
+                let xv = ctx.int_value(x).expect("model");
+                let yv = ctx.int_value(y).expect("model");
+                for chk in &checks {
+                    prop_assert!(chk(xv, yv), "model x={} y={} violates a constraint", xv, yv);
+                }
+            }
+            SolveResult::Unsat => {
+                // Cross-check with brute force: no (x, y) satisfies all.
+                for xv in 0..=7 {
+                    for yv in 0..=7 {
+                        prop_assert!(
+                            !checks.iter().all(|c| c(xv, yv)),
+                            "solver said UNSAT but x={} y={} works", xv, yv
+                        );
+                    }
+                }
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+}

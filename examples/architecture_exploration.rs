@@ -1,0 +1,64 @@
+//! Design-space exploration — the paper's closing claim is that the
+//! approach "provides valuable insights for the design of future quantum
+//! devices". This example sweeps custom entangling-zone geometries for the
+//! Steane code and reports how the zone split affects schedule length and
+//! fidelity.
+//!
+//! Run with: `cargo run --release --example architecture_exploration`
+
+use std::time::Duration;
+
+use nasp::arch::{evaluate, ArchConfig, BoundaryOps, Layout, OpParams};
+use nasp::core::{solve, Problem, SolveOptions};
+use nasp::qec::{catalog, graph_state};
+
+fn main() {
+    let code = catalog::steane();
+    let circuit = graph_state::synthesize(&code.zero_state_stabilizers())
+        .expect("catalog codes always synthesize");
+    let boundary = BoundaryOps {
+        hadamards: circuit.hadamards.len(),
+        phase_gates: circuit.phase_gates.len(),
+    };
+
+    println!("Steane code across custom zone splits (7-row architecture):");
+    println!("entangling rows    stages   #R  #T   exec [ms]   ASP");
+    // Sweep the entangling zone: from a single row up to the full grid.
+    let candidates = [
+        (3, 3), // one-row entangling zone in the middle
+        (2, 4), // the paper's double-sided layout
+        (2, 6), // the paper's bottom-storage layout
+        (1, 5), // thick zone, thin storage on both sides
+        (0, 6), // no storage at all (layout 1)
+    ];
+    for (e_min, e_max) in candidates {
+        let layout = Layout::Custom { e_min, e_max };
+        let config = ArchConfig::paper(layout);
+        let problem = Problem::new(config, &circuit);
+        let options = SolveOptions {
+            time_budget: Duration::from_secs(45),
+            ..Default::default()
+        };
+        let report = solve(&problem, &options);
+        let optimal = report.is_optimal();
+        let Some(schedule) = report.schedule else {
+            println!("[{e_min}, {e_max}]          no schedule found");
+            continue;
+        };
+        let metrics = evaluate(&schedule, &OpParams::default(), boundary);
+        let star = if optimal { " " } else { "*" };
+        println!(
+            "[{e_min}, {e_max}]            {:>4}{star}  {:>3} {:>3}   {:>8.3}   {:.3}",
+            schedule.stages.len(),
+            metrics.num_rydberg,
+            metrics.num_transfer,
+            metrics.exec_time_ms(),
+            metrics.asp
+        );
+    }
+    println!(
+        "\nReading: a 1-row entangling zone forces serialization (more stages);\n\
+         no storage exposes idlers to the beam. The sweet spots in between are\n\
+         exactly what the paper's Layouts 2 and 3 capture."
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: schedule the Steane code's logical-zero preparation on a
+//! zoned neutral atom architecture and print the schedule, stage by stage.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nasp::arch::{
+    evaluate, render_schedule, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams,
+    StageKind,
+};
+use nasp::core::{solve, Problem, SolveOptions};
+use nasp::qec::{catalog, graph_state};
+use nasp::sim::{check_state, run_layers};
+
+fn main() {
+    // 1. The QEC code and its state-preparation circuit (STABGRAPH form:
+    //    |+>^n, CZ edges, final Hadamards).
+    let code = catalog::steane();
+    let circuit = graph_state::synthesize(&code.zero_state_stabilizers())
+        .expect("catalog codes always synthesize");
+    println!(
+        "{} code: ⟦{},{},{}⟧, {} CZ gates, {} final Hadamards",
+        code.name(),
+        code.num_qubits(),
+        code.num_logical(),
+        code.distance(),
+        circuit.num_cz(),
+        circuit.hadamards.len()
+    );
+
+    // 2. Schedule on the bottom-storage layout (the paper's Layout 2).
+    let config = ArchConfig::paper(Layout::BottomStorage);
+    let problem = Problem::new(config, &circuit);
+    let report = solve(&problem, &SolveOptions::default());
+    let optimal = report.is_optimal();
+    let schedule = report.schedule.expect("Steane solves in under a second");
+    println!(
+        "schedule: {} stages ({} Rydberg, {} transfer), optimal = {optimal}",
+        schedule.stages.len(),
+        schedule.num_rydberg(),
+        schedule.num_transfer(),
+    );
+
+    // 3. Walk the stages.
+    for (t, stage) in schedule.stages.iter().enumerate() {
+        match &stage.kind {
+            StageKind::Rydberg => {
+                let pairs = schedule.executed_pairs(t);
+                println!("  stage {t}: Rydberg beam, CZ on {pairs:?}");
+            }
+            StageKind::Transfer(_) => {
+                let (stored, loaded) = schedule.transferred(t);
+                println!("  stage {t}: transfer, store {stored:?}, load {loaded:?}");
+            }
+        }
+    }
+
+    // 4. Independent checks: the operational validator and the stabilizer
+    //    simulator both accept the schedule.
+    let violations = validate_schedule(&schedule, &problem.gates);
+    assert!(violations.is_empty(), "validator found {violations:?}");
+    let state = run_layers(&circuit, &schedule.cz_layers());
+    let check = check_state(&state, &code.zero_state_stabilizers());
+    assert!(check.holds_up_to_pauli_frame());
+    println!("validated operationally and verified on the tableau simulator ✓");
+
+    // 5. Fidelity metrics (the paper's Table I columns).
+    let metrics = evaluate(
+        &schedule,
+        &OpParams::default(),
+        BoundaryOps {
+            hadamards: circuit.hadamards.len(),
+            phase_gates: circuit.phase_gates.len(),
+        },
+    );
+    println!(
+        "execution time {:.3} ms, approximated success probability {:.3}",
+        metrics.exec_time_ms(),
+        metrics.asp
+    );
+
+    // 6. ASCII rendering of the stages (textual version of the paper's
+    //    Fig. 2; `[q]` = SLM trap, `(q)` = AOD trap, `~` = storage rows).
+    println!("\n{}", render_schedule(&schedule));
+}

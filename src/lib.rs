@@ -1,0 +1,50 @@
+//! # nasp — Optimal State Preparation for Logical Arrays on Zoned Neutral Atom Quantum Computers
+//!
+//! A from-scratch Rust reproduction of the DATE 2025 paper by Stade,
+//! Schmid, Burgholzer and Wille (arXiv:2411.09738): an SMT-based compiler
+//! that turns QEC state-preparation circuits into *minimal* schedules of
+//! Rydberg beams, trap transfers and AOD shuttling for zoned neutral atom
+//! architectures.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`sat`] | `nasp-sat` | CDCL SAT solver (substitute for Z3's core) |
+//! | [`smt`] | `nasp-smt` | finite-domain SMT layer over SAT |
+//! | [`qec`] | `nasp-qec` | stabilizer codes, catalog, STABGRAPH synthesis |
+//! | [`sim`] | `nasp-sim` | tableau simulator / schedule verification |
+//! | [`arch`] | `nasp-arch` | zoned architecture model, validator, ASP metrics |
+//! | [`core`] | `nasp-core` | the paper's contribution: encoding + minimal-stage solver |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nasp::arch::{ArchConfig, Layout};
+//! use nasp::core::{solve, Problem, SolveOptions};
+//! use nasp::qec::{catalog, graph_state};
+//!
+//! // 1. Pick a QEC code and synthesize its |0⟩_L preparation circuit.
+//! let code = catalog::steane();
+//! let circuit = graph_state::synthesize(&code.zero_state_stabilizers())?;
+//!
+//! // 2. Schedule it on the zoned architecture (bottom storage layout).
+//! let config = ArchConfig::paper(Layout::BottomStorage);
+//! let problem = Problem::new(config, &circuit);
+//! let report = solve(&problem, &SolveOptions::default());
+//! let schedule = report.schedule.expect("Steane is quickly solvable");
+//!
+//! // 3. Inspect: 3 Rydberg beams and 2 transfer stages, like the paper.
+//! assert_eq!(schedule.num_rydberg(), 3);
+//! assert_eq!(schedule.num_transfer(), 2);
+//! # Ok::<(), nasp::qec::graph_state::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nasp_arch as arch;
+pub use nasp_core as core;
+pub use nasp_qec as qec;
+pub use nasp_sat as sat;
+pub use nasp_sim as sim;
+pub use nasp_smt as smt;

@@ -1,0 +1,80 @@
+//! Property tests across crates: random gate lists must either be
+//! scheduled *correctly* (validated + simulator-verified) or rejected —
+//! never silently mis-scheduled.
+
+use std::time::Duration;
+
+use nasp::arch::{validate_schedule, ArchConfig, Layout};
+use nasp::core::{solve, Problem, SolveOptions};
+use nasp::qec::StatePrepCircuit;
+use nasp::sim::{check_state, run_layers, Tableau};
+use proptest::prelude::*;
+
+/// Builds the target stabilizers of the graph state a CZ list prepares
+/// (|+⟩^n then CZs): K_v = X_v ∏_{u ∈ N(v)} Z_u.
+fn graph_state_targets(n: usize, edges: &[(usize, usize)]) -> Vec<nasp::qec::Pauli> {
+    let mut t = Tableau::new_plus(n);
+    for &(a, b) in edges {
+        t.cz(a, b);
+    }
+    t.stabilizers()
+}
+
+fn random_gates(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::btree_set((0..n, 0..n), 1..=6).prop_map(move |set| {
+        set.into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_instances_schedule_correctly(
+        gates in random_gates(6),
+        layout_idx in 0usize..3,
+    ) {
+        prop_assume!(!gates.is_empty());
+        let layout = [
+            Layout::NoShielding,
+            Layout::BottomStorage,
+            Layout::DoubleSidedStorage,
+        ][layout_idx];
+        let n = 6;
+        let problem = Problem::from_gates(ArchConfig::paper(layout), n, gates.clone());
+        let options = SolveOptions {
+            time_budget: Duration::from_secs(25),
+            ..Default::default()
+        };
+        let report = solve(&problem, &options);
+        let Some(schedule) = report.schedule else {
+            // Allowed outcome: no schedule within budget and the heuristic
+            // failed — but the heuristic handles every instance here.
+            return Err(TestCaseError::fail("no schedule produced"));
+        };
+        let violations = validate_schedule(&schedule, &problem.gates);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+
+        // Execute the schedule and compare against the expected graph state.
+        let circuit = StatePrepCircuit {
+            num_qubits: n,
+            cz_edges: gates.clone(),
+            hadamards: vec![],
+            phase_gates: vec![],
+        };
+        let targets = graph_state_targets(n, &gates);
+        let state = run_layers(&circuit, &schedule.cz_layers());
+        let verdict = check_state(&state, &targets);
+        prop_assert!(
+            verdict.holds_up_to_pauli_frame(),
+            "schedule prepares the wrong state"
+        );
+        // Graph states from CZs on |+⟩ have no sign ambiguity at all.
+        prop_assert!(verdict.holds_exactly(), "unexpected sign flips");
+    }
+}
