@@ -100,16 +100,43 @@ mod tests {
         assert!(Position::site_center(0, 0).in_bounds(&c));
         assert!(Position::site_center(7, 6).in_bounds(&c));
         assert!(!Position::site_center(8, 0).in_bounds(&c));
-        assert!(!Position { x: 0, y: 0, h: 3, v: 0 }.in_bounds(&c));
-        assert!(Position { x: 0, y: 0, h: -2, v: 2 }.in_bounds(&c));
+        assert!(!Position {
+            x: 0,
+            y: 0,
+            h: 3,
+            v: 0
+        }
+        .in_bounds(&c));
+        assert!(Position {
+            x: 0,
+            y: 0,
+            h: -2,
+            v: 2
+        }
+        .in_bounds(&c));
     }
 
     #[test]
     fn proximity_within_site() {
         let c = cfg();
-        let a = Position { x: 1, y: 2, h: 0, v: 0 };
-        let b = Position { x: 1, y: 2, h: 1, v: 0 };
-        let far = Position { x: 1, y: 2, h: 2, v: 0 };
+        let a = Position {
+            x: 1,
+            y: 2,
+            h: 0,
+            v: 0,
+        };
+        let b = Position {
+            x: 1,
+            y: 2,
+            h: 1,
+            v: 0,
+        };
+        let far = Position {
+            x: 1,
+            y: 2,
+            h: 2,
+            v: 0,
+        };
         assert!(a.near(&b, &c));
         assert!(b.near(&a, &c));
         assert!(!a.near(&far, &c), "|Δh| = 2 is not < r = 2");
@@ -119,16 +146,36 @@ mod tests {
     #[test]
     fn different_sites_never_near() {
         let c = cfg();
-        let a = Position { x: 1, y: 2, h: 2, v: 0 };
-        let b = Position { x: 2, y: 2, h: -2, v: 0 };
+        let a = Position {
+            x: 1,
+            y: 2,
+            h: 2,
+            v: 0,
+        };
+        let b = Position {
+            x: 2,
+            y: 2,
+            h: -2,
+            v: 0,
+        };
         assert!(!a.near(&b, &c));
     }
 
     #[test]
     fn diagonal_proximity() {
         let c = cfg();
-        let a = Position { x: 3, y: 3, h: 0, v: 0 };
-        let b = Position { x: 3, y: 3, h: 1, v: 1 };
+        let a = Position {
+            x: 3,
+            y: 3,
+            h: 0,
+            v: 0,
+        };
+        let b = Position {
+            x: 3,
+            y: 3,
+            h: 1,
+            v: 1,
+        };
         assert!(a.near(&b, &c), "diagonal neighbours within radius interact");
     }
 
@@ -138,15 +185,35 @@ mod tests {
         let a = Position::site_center(0, 3);
         let b = Position::site_center(1, 3);
         assert!((a.distance_um(&b, &c) - 14.0).abs() < 1e-9);
-        let off = Position { x: 0, y: 3, h: 1, v: 0 };
+        let off = Position {
+            x: 0,
+            y: 3,
+            h: 1,
+            v: 0,
+        };
         assert!((a.distance_um(&off, &c) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn ordering_keys() {
-        let a = Position { x: 1, y: 0, h: -2, v: 0 };
-        let b = Position { x: 1, y: 0, h: 1, v: 0 };
-        let c = Position { x: 2, y: 0, h: -2, v: 0 };
+        let a = Position {
+            x: 1,
+            y: 0,
+            h: -2,
+            v: 0,
+        };
+        let b = Position {
+            x: 1,
+            y: 0,
+            h: 1,
+            v: 0,
+        };
+        let c = Position {
+            x: 2,
+            y: 0,
+            h: -2,
+            v: 0,
+        };
         assert!(a.x_key() < b.x_key());
         assert!(b.x_key() < c.x_key());
     }

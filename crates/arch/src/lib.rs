@@ -39,7 +39,7 @@ pub mod validate;
 
 pub use config::{ArchConfig, Layout, Zone};
 pub use geometry::Position;
-pub use render::render_schedule;
 pub use metrics::{evaluate, BoundaryOps, OpParams, ScheduleMetrics};
+pub use render::render_schedule;
 pub use schedule::{QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
 pub use validate::{validate as validate_schedule, Violation};

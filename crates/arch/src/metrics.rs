@@ -129,8 +129,7 @@ pub fn evaluate(schedule: &Schedule, params: &OpParams, boundary: BoundaryOps) -
                     .iter()
                     .enumerate()
                     .filter(|(q, qs)| {
-                        !gated.contains(q)
-                            && schedule.config.zone_of(qs.pos.y) == Zone::Entangling
+                        !gated.contains(q) && schedule.config.zone_of(qs.pos.y) == Zone::Entangling
                     })
                     .count();
                 exposed += exposed_here;
@@ -174,8 +173,7 @@ pub fn evaluate(schedule: &Schedule, params: &OpParams, boundary: BoundaryOps) -
     }
     if local_ops > 0 {
         time_us += params.local_rz_duration_us;
-        idle_us += (n - local_ops.min(schedule.num_qubits) as f64)
-            * params.local_rz_duration_us;
+        idle_us += (n - local_ops.min(schedule.num_qubits) as f64) * params.local_rz_duration_us;
         log_fidelity += local_ops as f64 * params.local_rz_fidelity.ln();
     }
 
@@ -207,7 +205,7 @@ mod tests {
     use super::*;
     use crate::config::{ArchConfig, Layout};
     use crate::geometry::Position;
-    use crate::schedule::{QubitState, Stage, Trap, TransferFlags};
+    use crate::schedule::{QubitState, Stage, TransferFlags, Trap};
 
     fn one_beam_schedule(layout: Layout, idler_y: i64) -> Schedule {
         let config = ArchConfig::paper(layout);
@@ -219,7 +217,12 @@ mod tests {
                     trap: Trap::Slm,
                 },
                 QubitState {
-                    pos: Position { x: 0, y: 3, h: 1, v: 0 },
+                    pos: Position {
+                        x: 0,
+                        y: 3,
+                        h: 1,
+                        v: 0,
+                    },
                     trap: Trap::Aod { col: 0, row: 0 },
                 },
                 QubitState {

@@ -75,8 +75,7 @@ pub fn render_schedule(schedule: &Schedule) -> String {
                         }
                     }
                     many => {
-                        let ids: Vec<String> =
-                            many.iter().map(|(q, _)| q.to_string()).collect();
+                        let ids: Vec<String> = many.iter().map(|(q, _)| q.to_string()).collect();
                         format!("{:>5}", ids.join("+"))
                     }
                 };

@@ -101,13 +101,15 @@ pub fn validate(schedule: &Schedule, target_gates: &[(usize, usize)]) -> Vec<Vio
                     continue;
                 };
                 let (pa, pb) = (stage.qubits[a].pos, stage.qubits[b].pos);
-                if (ca < cb) != (pa.x_key() < pb.x_key()) || (ca == cb) != (pa.x_key() == pb.x_key())
+                if (ca < cb) != (pa.x_key() < pb.x_key())
+                    || (ca == cb) != (pa.x_key() == pb.x_key())
                 {
                     out.push(Violation::AodOrdering(format!(
                         "stage {t}: columns of qubits {a} ({ca} at {pa}) and {b} ({cb} at {pb}) break x-order"
                     )));
                 }
-                if (ra < rb) != (pa.y_key() < pb.y_key()) || (ra == rb) != (pa.y_key() == pb.y_key())
+                if (ra < rb) != (pa.y_key() < pb.y_key())
+                    || (ra == rb) != (pa.y_key() == pb.y_key())
                 {
                     out.push(Violation::AodOrdering(format!(
                         "stage {t}: rows of qubits {a} ({ra}) and {b} ({rb}) break y-order"
@@ -180,23 +182,18 @@ pub fn validate(schedule: &Schedule, target_gates: &[(usize, usize)]) -> Vec<Vio
                         )));
                     }
                     match (cur.trap, nxt.trap) {
-                        (Trap::Slm, Trap::Slm) => {
-                            if cur.pos != nxt.pos {
-                                out.push(Violation::ExecutionTransition(format!(
-                                    "stage {t}: SLM qubit {q} moved from {} to {}",
-                                    cur.pos, nxt.pos
-                                )));
-                            }
+                        (Trap::Slm, Trap::Slm) if cur.pos != nxt.pos => {
+                            out.push(Violation::ExecutionTransition(format!(
+                                "stage {t}: SLM qubit {q} moved from {} to {}",
+                                cur.pos, nxt.pos
+                            )));
                         }
-                        (
-                            Trap::Aod { col: c0, row: r0 },
-                            Trap::Aod { col: c1, row: r1 },
-                        ) => {
-                            if (c0, r0) != (c1, r1) {
-                                out.push(Violation::ExecutionTransition(format!(
-                                    "stage {t}: qubit {q} changed AOD lines during shuttling"
-                                )));
-                            }
+                        (Trap::Aod { col: c0, row: r0 }, Trap::Aod { col: c1, row: r1 })
+                            if (c0, r0) != (c1, r1) =>
+                        {
+                            out.push(Violation::ExecutionTransition(format!(
+                                "stage {t}: qubit {q} changed AOD lines during shuttling"
+                            )));
                         }
                         _ => {}
                     }
@@ -259,10 +256,8 @@ pub fn validate(schedule: &Schedule, target_gates: &[(usize, usize)]) -> Vec<Vio
                 // qubits at t+1 must match their physical order at t.
                 for a in 0..n {
                     for b in (a + 1)..n {
-                        let (
-                            Trap::Aod { col: ca, row: ra },
-                            Trap::Aod { col: cb, row: rb },
-                        ) = (next.qubits[a].trap, next.qubits[b].trap)
+                        let (Trap::Aod { col: ca, row: ra }, Trap::Aod { col: cb, row: rb }) =
+                            (next.qubits[a].trap, next.qubits[b].trap)
                         else {
                             continue;
                         };
@@ -390,7 +385,12 @@ mod tests {
     fn slm_off_center_rejected() {
         let (mut s, gates) = tiny_valid();
         s.stages[0].qubits[2] = QubitState {
-            pos: Position { x: 2, y: 0, h: 1, v: 0 },
+            pos: Position {
+                x: 2,
+                y: 0,
+                h: 1,
+                v: 0,
+            },
             trap: Trap::Slm,
         };
         let v = validate(&s, &gates);
@@ -402,7 +402,9 @@ mod tests {
         let (mut s, gates) = tiny_valid();
         s.stages[0].qubits[2] = s.stages[0].qubits[0];
         let v = validate(&s, &gates);
-        assert!(v.iter().any(|e| matches!(e, Violation::Positioning(m) if m.contains("share"))));
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, Violation::Positioning(m) if m.contains("share"))));
     }
 
     #[test]
@@ -480,7 +482,12 @@ mod tests {
         let s1 = Stage {
             kind: StageKind::Transfer(TransferFlags::default()),
             qubits: vec![QubitState {
-                pos: Position { x: 0, y: 0, h: 1, v: 0 },
+                pos: Position {
+                    x: 0,
+                    y: 0,
+                    h: 1,
+                    v: 0,
+                },
                 trap: Trap::Slm,
             }],
         };

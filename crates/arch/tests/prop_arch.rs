@@ -3,8 +3,8 @@
 //! valid schedule.
 
 use nasp_arch::{
-    evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams, Position,
-    QubitState, Schedule, Stage, StageKind, Trap,
+    evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams, Position, QubitState,
+    Schedule, Stage, StageKind, Trap,
 };
 use proptest::prelude::*;
 

@@ -12,11 +12,7 @@ use nasp_smt::Budget;
 /// and the bench isolates encoding + propagation cost.
 fn ladder_problem(pairs: usize) -> Problem {
     let gates: Vec<(usize, usize)> = (0..pairs).map(|i| (2 * i, 2 * i + 1)).collect();
-    Problem::from_gates(
-        ArchConfig::paper(Layout::BottomStorage),
-        2 * pairs,
-        gates,
-    )
+    Problem::from_gates(ArchConfig::paper(Layout::BottomStorage), 2 * pairs, gates)
 }
 
 fn bench_encode(c: &mut Criterion) {
@@ -27,9 +23,7 @@ fn bench_encode(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{pairs}pairs"), format!("S{stages}")),
                 &(pairs, stages),
-                |b, _| {
-                    b.iter(|| Encoding::build(&problem, stages, EncodeOptions::default()))
-                },
+                |b, _| b.iter(|| Encoding::build(&problem, stages, EncodeOptions::default())),
             );
         }
     }

@@ -16,8 +16,7 @@ fn bench_small_codes(c: &mut Criterion) {
     // take seconds to minutes per solve — covered by `table1` instead).
     for code_name in ["steane", "surface", "shor"] {
         let code = catalog::by_name(code_name).expect("catalog code");
-        let circuit =
-            graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+        let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
         let layouts: &[(Layout, &str)] = if code_name == "steane" {
             &[
                 (Layout::NoShielding, "L1"),

@@ -20,10 +20,10 @@ fn bench_sat_pigeonhole(c: &mut Criterion) {
             for row in &p {
                 s.add_clause(row.clone());
             }
-            for hole in 0..n - 1 {
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        s.add_clause([!p[i][hole], !p[j][hole]]);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                        s.add_clause([!pi, !pj]);
                     }
                 }
             }
@@ -37,9 +37,11 @@ fn bench_synthesis(c: &mut Criterion) {
     for code_name in ["steane", "hamming", "honeycomb"] {
         let code = catalog::by_name(code_name).expect("catalog code");
         let stabs = code.zero_state_stabilizers();
-        group.bench_with_input(BenchmarkId::from_parameter(code_name), &stabs, |b, stabs| {
-            b.iter(|| graph_state::synthesize(stabs).expect("synth"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(code_name),
+            &stabs,
+            |b, stabs| b.iter(|| graph_state::synthesize(stabs).expect("synth")),
+        );
     }
     group.finish();
 }

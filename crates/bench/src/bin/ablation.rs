@@ -74,6 +74,9 @@ fn ablation_a2() {
             let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
             asps.push(r.metrics.asp);
         }
-        println!("{duration_us:>6.0} µs  {:>18.4}  {:>24.4}", asps[0], asps[1]);
+        println!(
+            "{duration_us:>6.0} µs  {:>18.4}  {:>24.4}",
+            asps[0], asps[1]
+        );
     }
 }

@@ -8,8 +8,20 @@ use nasp_core::Problem;
 use nasp_qec::{catalog, graph_state};
 
 fn main() {
-    for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb", "perfect5"] {
-        for layout in [Layout::NoShielding, Layout::BottomStorage, Layout::DoubleSidedStorage] {
+    for code in [
+        "steane",
+        "surface",
+        "shor",
+        "hamming",
+        "tetrahedral",
+        "honeycomb",
+        "perfect5",
+    ] {
+        for layout in [
+            Layout::NoShielding,
+            Layout::BottomStorage,
+            Layout::DoubleSidedStorage,
+        ] {
             let c = catalog::by_name(code).expect("known code");
             let circ = graph_state::synthesize(&c.zero_state_stabilizers()).expect("synth");
             let p = Problem::new(ArchConfig::paper(layout), &circ);
@@ -24,7 +36,11 @@ fn main() {
                             s.num_transfer()
                         );
                     } else {
-                        println!("{code:12} {layout:?}: {} violations; first: {}", v.len(), v[0]);
+                        println!(
+                            "{code:12} {layout:?}: {} violations; first: {}",
+                            v.len(),
+                            v[0]
+                        );
                     }
                 }
             }

@@ -14,10 +14,21 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb"] {
+    for code in [
+        "steane",
+        "surface",
+        "shor",
+        "hamming",
+        "tetrahedral",
+        "honeycomb",
+    ] {
         let c = catalog::by_name(code).expect("known code");
         let circ = graph_state::synthesize(&c.zero_state_stabilizers()).expect("synth");
-        for layout in [Layout::NoShielding, Layout::BottomStorage, Layout::DoubleSidedStorage] {
+        for layout in [
+            Layout::NoShielding,
+            Layout::BottomStorage,
+            Layout::DoubleSidedStorage,
+        ] {
             let p = Problem::new(ArchConfig::paper(layout), &circ);
             let t0 = Instant::now();
             let opts = SolveOptions {

@@ -7,9 +7,7 @@
 //! The formulation is compiled onto the finite-domain SMT layer
 //! (`nasp-smt`), replacing the paper's use of Z3 (DESIGN.md §3).
 
-use nasp_arch::{
-    Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap,
-};
+use nasp_arch::{Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
 use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult};
 
 use crate::problem::Problem;
@@ -259,8 +257,8 @@ impl Encoding {
             }
 
             // C3, Eq. 14: shielding of idling qubits.
-            for q in 0..n {
-                let gate_disj = self.some_gate_at(&gates_of[q], t);
+            for (q, q_gates) in gates_of.iter().enumerate() {
+                let gate_disj = self.some_gate_at(q_gates, t);
                 if shielded {
                     let z = self.in_zone(q, t);
                     let mut clause = vec![!self.e[t], !z];
@@ -465,10 +463,8 @@ impl Encoding {
     /// Panics if called before a successful [`Encoding::solve`].
     pub fn decode(&self) -> Schedule {
         let n = self.problem.num_qubits;
-        let read_int =
-            |var: IntVar| -> i64 { self.ctx.int_value(var).expect("model available") };
-        let read_bool =
-            |b: Bool| -> bool { self.ctx.bool_value(b).expect("model available") };
+        let read_int = |var: IntVar| -> i64 { self.ctx.int_value(var).expect("model available") };
+        let read_bool = |b: Bool| -> bool { self.ctx.bool_value(b).expect("model available") };
         let stages = (0..self.s)
             .map(|t| {
                 let qubits: Vec<QubitState> = (0..n)

@@ -22,8 +22,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use nasp_arch::{
-    validate_schedule, ArchConfig, Position, QubitState, Schedule, Stage, StageKind,
-    TransferFlags, Trap,
+    validate_schedule, ArchConfig, Position, QubitState, Schedule, Stage, StageKind, TransferFlags,
+    Trap,
 };
 
 use crate::problem::Problem;
@@ -146,7 +146,13 @@ impl<'a> Planner<'a> {
         // Floaters: surplus qubits, chosen as those with the fewest gates
         // (each floater gate forces a solo round).
         let mut by_degree: Vec<usize> = (0..n).collect();
-        let degree = |q: usize| problem.gates.iter().filter(|&&(a, b)| a == q || b == q).count();
+        let degree = |q: usize| {
+            problem
+                .gates
+                .iter()
+                .filter(|&&(a, b)| a == q || b == q)
+                .count()
+        };
         by_degree.sort_by_key(|&q| std::cmp::Reverse(degree(q)));
         let (homed, floating) = by_degree.split_at(n.min(capacity));
         if floating.len() > 2 || cfg.h_max < cfg.radius || cfg.v_max < 1 {
@@ -262,7 +268,14 @@ impl<'a> Planner<'a> {
             // Order by park/home x-key; floaters carry offset h_max, homes 0.
             let key = |q: usize| {
                 let (x, _) = self.home_xy(q);
-                (x, if self.is_floater(q) { self.cfg.h_max } else { 0 })
+                (
+                    x,
+                    if self.is_floater(q) {
+                        self.cfg.h_max
+                    } else {
+                        0
+                    },
+                )
             };
             let (left, right) = if key(a) < key(b) { (a, b) } else { (b, a) };
             return Some(PlannedPair {
@@ -308,10 +321,8 @@ impl<'a> Planner<'a> {
         if !groups.contains(&rows) {
             for g in &groups {
                 let overlap = g.iter().any(|gr| rows.contains(gr));
-                let interleave = (g.len() == 2
-                    && rows.iter().any(|&r| g[0] < r && r < g[1]))
-                    || (rows.len() == 2
-                        && g.iter().any(|&gr| rows[0] < gr && gr < rows[1]));
+                let interleave = (g.len() == 2 && rows.iter().any(|&r| g[0] < r && r < g[1]))
+                    || (rows.len() == 2 && g.iter().any(|&gr| rows[0] < gr && gr < rows[1]));
                 if overlap || interleave {
                     return None;
                 }
@@ -332,8 +343,7 @@ impl<'a> Planner<'a> {
             return None;
         }
         // One interaction-site column per distinct interval.
-        let mut intervals: BTreeSet<(i64, i64)> =
-            round.pairs.iter().map(|p| p.interval).collect();
+        let mut intervals: BTreeSet<(i64, i64)> = round.pairs.iter().map(|p| p.interval).collect();
         intervals.insert(interval);
         if intervals.len() > (self.cfg.x_max + 1) as usize {
             return None;
@@ -344,9 +354,7 @@ impl<'a> Planner<'a> {
             return None;
         }
         // Vertical slot capacity in the gate region.
-        if !self.allocate_slots(&groups).is_some() {
-            return None;
-        }
+        self.allocate_slots(&groups)?;
         // Left/right by home x; vertical pairs (equal x) by home row.
         let (left, right) = if xa < xb || (xa == xb && ya < yb) {
             (a, b)
@@ -415,11 +423,8 @@ impl<'a> Planner<'a> {
         }
 
         for (i, round) in self.rounds.iter().enumerate() {
-            let movers: BTreeSet<usize> = round
-                .pairs
-                .iter()
-                .flat_map(|p| [p.left, p.right])
-                .collect();
+            let movers: BTreeSet<usize> =
+                round.pairs.iter().flat_map(|p| [p.left, p.right]).collect();
             // Execution stage: movers at gate positions, the rest at home.
             let qubits: Vec<QubitState> = (0..n)
                 .map(|q| {
@@ -456,8 +461,7 @@ impl<'a> Planner<'a> {
                     .copied()
                     .filter(|&q| !self.is_floater(q))
                     .collect();
-                let continuing: BTreeSet<usize> =
-                    old.intersection(&new).copied().collect();
+                let continuing: BTreeSet<usize> = old.intersection(&new).copied().collect();
 
                 let at_home_aod = |q: usize, trap: Trap| {
                     let (x, y) = self.home_xy(q);
@@ -466,12 +470,8 @@ impl<'a> Planner<'a> {
                         trap,
                     }
                 };
-                let conflict = self.merged_transfer_conflict(
-                    &old,
-                    &new,
-                    &continuing,
-                    &round_states[i + 1],
-                );
+                let conflict =
+                    self.merged_transfer_conflict(&old, &new, &continuing, &round_states[i + 1]);
                 if !conflict {
                     let qubits: Vec<QubitState> = (0..n)
                         .map(|q| {
@@ -673,12 +673,36 @@ impl<'a> Planner<'a> {
                 let zy = self.gate_rows[0];
                 for (q, h) in [(p.left, 0i64), (p.right, 1i64)] {
                     let v = if self.is_floater(q) { -1 } else { 0 };
-                    pos.insert(q, Position { x: site_x, y: zy, h, v });
+                    pos.insert(
+                        q,
+                        Position {
+                            x: site_x,
+                            y: zy,
+                            h,
+                            v,
+                        },
+                    );
                 }
             } else if p.rows.len() == 1 {
                 let (zy, v) = slots[&p.rows];
-                pos.insert(p.left, Position { x: site_x, y: zy, h: 0, v });
-                pos.insert(p.right, Position { x: site_x, y: zy, h: 1, v });
+                pos.insert(
+                    p.left,
+                    Position {
+                        x: site_x,
+                        y: zy,
+                        h: 0,
+                        v,
+                    },
+                );
+                pos.insert(
+                    p.right,
+                    Position {
+                        x: site_x,
+                        y: zy,
+                        h: 1,
+                        v,
+                    },
+                );
             } else {
                 let (zy, v) = slots[&p.rows];
                 // Offsets by home-x order; v by home-row order. A vertical
@@ -692,10 +716,23 @@ impl<'a> Planner<'a> {
                     (v + 1, v)
                 };
                 let h_right = if vertical { 0 } else { 1 };
-                pos.insert(p.left, Position { x: site_x, y: zy, h: 0, v: v_left });
+                pos.insert(
+                    p.left,
+                    Position {
+                        x: site_x,
+                        y: zy,
+                        h: 0,
+                        v: v_left,
+                    },
+                );
                 pos.insert(
                     p.right,
-                    Position { x: site_x, y: zy, h: h_right, v: v_right },
+                    Position {
+                        x: site_x,
+                        y: zy,
+                        h: h_right,
+                        v: v_right,
+                    },
                 );
             }
         }
@@ -747,21 +784,24 @@ mod tests {
 
     #[test]
     fn all_codes_all_layouts_schedule_validly() {
-        for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb"] {
+        for code in [
+            "steane",
+            "surface",
+            "shor",
+            "hamming",
+            "tetrahedral",
+            "honeycomb",
+        ] {
             for layout in [
                 Layout::NoShielding,
                 Layout::BottomStorage,
                 Layout::DoubleSidedStorage,
             ] {
                 let p = problem_for(code, layout);
-                let s = schedule(&p).unwrap_or_else(|| {
-                    panic!("heuristic failed for {code} / {layout:?}")
-                });
+                let s = schedule(&p)
+                    .unwrap_or_else(|| panic!("heuristic failed for {code} / {layout:?}"));
                 let violations = validate_schedule(&s, &p.gates);
-                assert!(
-                    violations.is_empty(),
-                    "{code}/{layout:?}: {violations:?}"
-                );
+                assert!(violations.is_empty(), "{code}/{layout:?}: {violations:?}");
             }
         }
     }

@@ -34,11 +34,7 @@ impl Problem {
     ///
     /// Panics if a gate references a qubit outside `0..num_qubits` or is a
     /// self-loop.
-    pub fn from_gates(
-        config: ArchConfig,
-        num_qubits: usize,
-        gates: Vec<(usize, usize)>,
-    ) -> Self {
+    pub fn from_gates(config: ArchConfig, num_qubits: usize, gates: Vec<(usize, usize)>) -> Self {
         let gates: Vec<(usize, usize)> = gates
             .into_iter()
             .map(|(a, b)| {

@@ -149,14 +149,16 @@ pub fn run_experiment_with_circuit(
 pub fn run_table1(options: &ExperimentOptions) -> Vec<ExperimentResult> {
     let mut out = Vec::new();
     for code in nasp_qec::catalog::all_codes() {
-        let circuit = graph_state::synthesize(&code.zero_state_stabilizers())
-            .expect("synthesizable code");
+        let circuit =
+            graph_state::synthesize(&code.zero_state_stabilizers()).expect("synthesizable code");
         for layout in [
             Layout::NoShielding,
             Layout::BottomStorage,
             Layout::DoubleSidedStorage,
         ] {
-            out.push(run_experiment_with_circuit(&code, &circuit, layout, options));
+            out.push(run_experiment_with_circuit(
+                &code, &circuit, layout, options,
+            ));
         }
     }
     out

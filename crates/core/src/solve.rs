@@ -272,9 +272,8 @@ mod tests {
     fn perfect_code_schedules() {
         // The non-CSS ⟦5,1,3⟧ code goes through the same pipeline.
         let code = nasp_qec::catalog::perfect5();
-        let circuit =
-            nasp_qec::graph_state::synthesize(&code.zero_state_stabilizers())
-                .expect("synthesizable");
+        let circuit = nasp_qec::graph_state::synthesize(&code.zero_state_stabilizers())
+            .expect("synthesizable");
         let p = Problem::new(ArchConfig::paper(Layout::BottomStorage), &circuit);
         let r = solve(
             &p,
@@ -288,8 +287,9 @@ mod tests {
         // Verify on the simulator, including the S-gate layer of the
         // non-CSS circuit.
         let state = nasp_sim::run_layers(&circuit, &s.cz_layers());
-        assert!(nasp_sim::check_state(&state, &code.zero_state_stabilizers())
-            .holds_up_to_pauli_frame());
+        assert!(
+            nasp_sim::check_state(&state, &code.zero_state_stabilizers()).holds_up_to_pauli_frame()
+        );
     }
 
     #[test]

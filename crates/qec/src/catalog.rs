@@ -80,7 +80,13 @@ pub fn tetrahedral15() -> StabilizerCode {
     let z_checks: Vec<Vec<usize>> = m
         .kernel_basis()
         .into_iter()
-        .map(|v| v.iter().enumerate().filter(|(_, &b)| b == 1).map(|(i, _)| i).collect())
+        .map(|v| {
+            v.iter()
+                .enumerate()
+                .filter(|(_, &b)| b == 1)
+                .map(|(i, _)| i)
+                .collect()
+        })
         .collect();
     StabilizerCode::css("Tetrahedral", n, &x_checks, &z_checks)
         .expect("tetrahedral construction is fixed and valid")
@@ -99,8 +105,8 @@ pub fn honeycomb17() -> StabilizerCode {
     let n = 17usize;
     // Factor c(x) = (x^17 + 1) / (x + 1) = x^16 + x^15 + … + 1.
     let c: u32 = (1 << 17) - 1; // all-ones polynomial of degree 16
-    let (q, qbar) = find_degree8_factors(c)
-        .expect("x^17+1 has exactly two degree-8 factors over GF(2)");
+    let (q, qbar) =
+        find_degree8_factors(c).expect("x^17+1 has exactly two degree-8 factors over GF(2)");
     let x_checks = cyclic_even_subcode_supports(n, q);
     let z_checks = cyclic_even_subcode_supports(n, qbar);
     StabilizerCode::css("Honeycomb", n, &x_checks, &z_checks)
@@ -276,7 +282,10 @@ mod tests {
         let c = perfect5();
         assert_eq!((c.num_qubits(), c.num_logical(), c.distance()), (5, 1, 3));
         // Non-CSS: stabilizers mix X and Z on single qubits.
-        assert!(c.stabilizers().iter().any(|p| !p.is_x_type() && !p.is_z_type()));
+        assert!(c
+            .stabilizers()
+            .iter()
+            .any(|p| !p.is_x_type() && !p.is_z_type()));
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl Mat {
     /// Appends a row (0/1 slice).
     pub fn push_row(&mut self, row: &[u8]) {
         assert_eq!(row.len(), self.cols);
-        self.data.extend(std::iter::repeat(0).take(self.words_per_row));
+        self.data.extend(std::iter::repeat_n(0, self.words_per_row));
         self.rows += 1;
         for (j, &b) in row.iter().enumerate() {
             self.set(self.rows - 1, j, b != 0);
@@ -165,8 +165,9 @@ impl Mat {
         assert_eq!(self.cols, other.cols, "column mismatch");
         let mut m = self.clone();
         for r in 0..other.rows {
-            m.data
-                .extend_from_slice(&other.data[r * other.words_per_row..(r + 1) * other.words_per_row]);
+            m.data.extend_from_slice(
+                &other.data[r * other.words_per_row..(r + 1) * other.words_per_row],
+            );
             m.rows += 1;
         }
         m
@@ -402,7 +403,7 @@ mod tests {
         let basis = m.kernel_basis();
         assert_eq!(basis.len(), 2);
         for v in &basis {
-            let vm = Mat::from_rows(&[v.clone()]).transpose();
+            let vm = Mat::from_rows(std::slice::from_ref(v)).transpose();
             assert!(m.mul(&vm).is_zero(), "kernel vector not annihilated");
         }
     }
@@ -471,7 +472,11 @@ mod tests {
     fn rank_nullity() {
         // rank + nullity = cols, on a few fixed matrices.
         for rows in [
-            vec![vec![1u8, 0, 1, 0, 1], vec![0, 1, 1, 0, 0], vec![1, 1, 0, 0, 1]],
+            vec![
+                vec![1u8, 0, 1, 0, 1],
+                vec![0, 1, 1, 0, 0],
+                vec![1, 1, 0, 0, 1],
+            ],
             vec![vec![0u8, 0, 0, 0, 0]],
             vec![vec![1u8, 1, 1, 1, 1], vec![1, 1, 1, 1, 1]],
         ] {

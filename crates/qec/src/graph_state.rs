@@ -71,7 +71,10 @@ impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthesisError::NotAState => {
-                write!(f, "stabilizer list is not full rank (not a pure stabilizer state)")
+                write!(
+                    f,
+                    "stabilizer list is not full rank (not a pure stabilizer state)"
+                )
             }
             SynthesisError::NonCommuting(i, j) => {
                 write!(f, "stabilizers {i} and {j} anticommute")
@@ -109,10 +112,7 @@ impl std::error::Error for SynthesisError {}
 /// assert!(!circuit.cz_edges.is_empty());
 /// ```
 pub fn synthesize(stabilizers: &[Pauli]) -> Result<StatePrepCircuit, SynthesisError> {
-    let n = stabilizers
-        .first()
-        .map(Pauli::num_qubits)
-        .unwrap_or(0);
+    let n = stabilizers.first().map(Pauli::num_qubits).unwrap_or(0);
     assert_eq!(
         stabilizers.len(),
         n,
@@ -221,7 +221,11 @@ mod tests {
         let c = synthesize(&stabs).expect("synth");
         assert_eq!(c.num_qubits, 3);
         // GHZ is LC-equivalent to a star/complete graph: 2 or 3 edges.
-        assert!(c.num_cz() == 2 || c.num_cz() == 3, "got {} edges", c.num_cz());
+        assert!(
+            c.num_cz() == 2 || c.num_cz() == 3,
+            "got {} edges",
+            c.num_cz()
+        );
         // Two qubits end in the Z basis → Hadamards on them.
         assert_eq!(c.hadamards.len(), 2);
     }
@@ -285,8 +289,7 @@ mod tests {
     fn all_catalog_codes_synthesize() {
         for code in catalog::all_codes() {
             let stabs = code.zero_state_stabilizers();
-            let c = synthesize(&stabs)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", code.name()));
+            let c = synthesize(&stabs).unwrap_or_else(|e| panic!("{} failed: {e}", code.name()));
             assert_eq!(c.num_qubits, code.num_qubits());
             assert!(c.num_cz() > 0, "{} has no CZ gates?", code.name());
             // Edges reference valid qubits, no self-loops, no duplicates.

@@ -209,7 +209,10 @@ impl Pauli {
     ///
     /// Panics if the length is odd.
     pub fn from_symplectic(v: &[u8]) -> Self {
-        assert!(v.len() % 2 == 0, "symplectic vector must have even length");
+        assert!(
+            v.len().is_multiple_of(2),
+            "symplectic vector must have even length"
+        );
         let n = v.len() / 2;
         Pauli::from_xz(v[..n].to_vec(), v[n..].to_vec())
     }
@@ -218,18 +221,8 @@ impl Pauli {
     /// for group-membership questions on unsigned stabilizer groups).
     pub fn mul_unsigned(&self, other: &Pauli) -> Pauli {
         assert_eq!(self.n, other.n);
-        let x = self
-            .x
-            .iter()
-            .zip(&other.x)
-            .map(|(a, b)| a ^ b)
-            .collect();
-        let z = self
-            .z
-            .iter()
-            .zip(&other.z)
-            .map(|(a, b)| a ^ b)
-            .collect();
+        let x = self.x.iter().zip(&other.x).map(|(a, b)| a ^ b).collect();
+        let z = self.z.iter().zip(&other.z).map(|(a, b)| a ^ b).collect();
         Pauli {
             n: self.n,
             x,
@@ -240,7 +233,9 @@ impl Pauli {
 
     /// The support: qubits acted on non-trivially.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.n).filter(|&q| self.x[q] | self.z[q] == 1).collect()
+        (0..self.n)
+            .filter(|&q| self.x[q] | self.z[q] == 1)
+            .collect()
     }
 }
 

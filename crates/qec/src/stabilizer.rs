@@ -134,10 +134,7 @@ impl StabilizerCode {
         logical_x: Vec<Pauli>,
         logical_z: Vec<Pauli>,
     ) -> Result<Self, CodeError> {
-        let n = stabilizers
-            .first()
-            .map(Pauli::num_qubits)
-            .unwrap_or(0);
+        let n = stabilizers.first().map(Pauli::num_qubits).unwrap_or(0);
         let k = n - stabilizers.len();
         let code = StabilizerCode {
             name: name.to_string(),
@@ -180,12 +177,7 @@ impl StabilizerCode {
                 self.logical_z.len()
             )));
         }
-        for (li, l) in self
-            .logical_x
-            .iter()
-            .chain(&self.logical_z)
-            .enumerate()
-        {
+        for (li, l) in self.logical_x.iter().chain(&self.logical_z).enumerate() {
             for (si, st) in s.iter().enumerate() {
                 if l.anticommutes_with(st) {
                     return Err(CodeError::BadLogical(format!(
@@ -358,10 +350,7 @@ fn css_logicals(h_other: &Mat, h_same: &Mat, k: usize) -> Vec<Vec<u8>> {
     for v in h_other.kernel_basis() {
         kernel_span.insert(&v);
     }
-    let mut candidates: Vec<Vec<u8>> = kernel_span
-        .enumerate()
-        .filter(|v| v.iter().any(|&b| b == 1))
-        .collect();
+    let mut candidates: Vec<Vec<u8>> = kernel_span.enumerate().filter(|v| v.contains(&1)).collect();
     candidates.sort_by_key(|v| {
         (
             v.iter().filter(|&&b| b == 1).count(),
@@ -414,9 +403,9 @@ fn pair_logicals(logical_x: &mut [Pauli], logical_z: &mut [Pauli]) {
     let new_x: Vec<Pauli> = (0..k)
         .map(|i| {
             let mut acc = Pauli::identity(logical_x[0].num_qubits());
-            for j in 0..k {
+            for (j, lx) in logical_x.iter().enumerate() {
                 if aug.get(i, k + j) {
-                    acc = acc.mul_unsigned(&logical_x[j]);
+                    acc = acc.mul_unsigned(lx);
                 }
             }
             acc
@@ -482,20 +471,14 @@ mod tests {
 
     #[test]
     fn dependent_checks_rejected() {
-        let r = StabilizerCode::css(
-            "bad",
-            4,
-            &[vec![0, 1], vec![2, 3], vec![0, 1, 2, 3]],
-            &[],
-        );
+        let r = StabilizerCode::css("bad", 4, &[vec![0, 1], vec![2, 3], vec![0, 1, 2, 3]], &[]);
         assert!(matches!(r, Err(CodeError::DependentStabilizers)));
     }
 
     #[test]
     fn repetition_code_logicals() {
         // 3-qubit repetition code: Z0Z1, Z1Z2; logical Z = Z0, X = XXX.
-        let c = StabilizerCode::css("rep3", 3, &[], &[vec![0, 1], vec![1, 2]])
-            .expect("rep3");
+        let c = StabilizerCode::css("rep3", 3, &[], &[vec![0, 1], vec![1, 2]]).expect("rep3");
         assert_eq!(c.num_logical(), 1);
         assert_eq!(c.logical_z()[0].weight(), 1);
         assert_eq!(c.logical_x()[0].weight(), 3);

@@ -49,8 +49,7 @@ impl Cnf {
     /// Loads all clauses into a [`crate::Solver`], creating variables as
     /// needed, and returns the variables in index order.
     pub fn load_into(&self, solver: &mut crate::Solver) -> Vec<crate::Var> {
-        let vars: Vec<crate::Var> =
-            (0..self.num_vars).map(|_| solver.new_var()).collect();
+        let vars: Vec<crate::Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
         for c in &self.clauses {
             solver.add_clause(c.iter().copied());
         }
@@ -69,7 +68,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -95,11 +98,10 @@ impl FromStr for Cnf {
                         message: "malformed problem line".into(),
                     });
                 }
-                declared_vars =
-                    Some(parts[1].parse().map_err(|_| ParseDimacsError {
-                        line: ln + 1,
-                        message: "bad variable count".into(),
-                    })?);
+                declared_vars = Some(parts[1].parse().map_err(|_| ParseDimacsError {
+                    line: ln + 1,
+                    message: "bad variable count".into(),
+                })?);
                 continue;
             }
             for tok in line.split_whitespace() {
@@ -108,7 +110,7 @@ impl FromStr for Cnf {
                     message: format!("bad literal `{tok}`"),
                 })?;
                 if d == 0 {
-                    cnf.push(current.drain(..).collect::<Vec<_>>());
+                    cnf.push(std::mem::take(&mut current));
                 } else {
                     current.push(Lit::from_dimacs(d));
                 }

@@ -29,9 +29,7 @@ impl VarHeap {
     }
 
     pub fn contains(&self, v: Var) -> bool {
-        self.pos
-            .get(v.index())
-            .map_or(false, |&p| p != ABSENT)
+        self.pos.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     #[cfg(test)]
@@ -106,9 +104,7 @@ impl VarHeap {
                 break;
             }
             let r = l + 1;
-            let c = if r < n
-                && act[self.heap[r] as usize] > act[self.heap[l] as usize]
-            {
+            let c = if r < n && act[self.heap[r] as usize] > act[self.heap[l] as usize] {
                 r
             } else {
                 l
@@ -202,7 +198,7 @@ mod tests {
             h.insert(Var::from_index(i), &act);
         }
         h.check_invariant(&act);
-        let mut popped: Vec<f64> = std::iter::from_fn(|| h.pop_max(&act))
+        let popped: Vec<f64> = std::iter::from_fn(|| h.pop_max(&act))
             .map(|v| act[v.index()])
             .collect();
         let mut sorted = popped.clone();

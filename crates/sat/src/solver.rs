@@ -288,14 +288,8 @@ impl Solver {
         let cref = self.clauses.len() as ClauseRef;
         let w0 = lits[0];
         let w1 = lits[1];
-        self.watches[(!w0).index()].push(Watcher {
-            cref,
-            blocker: w1,
-        });
-        self.watches[(!w1).index()].push(Watcher {
-            cref,
-            blocker: w0,
-        });
+        self.watches[(!w0).index()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).index()].push(Watcher { cref, blocker: w0 });
         self.clauses.push(Clause {
             lits,
             learnt,
@@ -567,10 +561,7 @@ impl Solver {
     }
 
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -644,11 +635,7 @@ impl Solver {
     ///
     /// Returns [`SolveResult::Unknown`] when the budget runs out; the solver
     /// remains usable (state is backtracked to level zero).
-    pub fn solve_limited(
-        &mut self,
-        assumptions: &[Lit],
-        budget: Budget,
-    ) -> SolveResult {
+    pub fn solve_limited(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
         self.have_model = false;
         if !self.ok {
             return SolveResult::Unsat;
@@ -693,7 +680,7 @@ impl Solver {
                 if self.stats.conflicts - start_conflicts > 0
                     && budget.exhausted(
                         self.stats.conflicts - start_conflicts,
-                        self.stats.conflicts % 64 == 0,
+                        self.stats.conflicts.is_multiple_of(64),
                     )
                 {
                     self.backtrack_to(0);
@@ -732,11 +719,7 @@ impl Solver {
                 match self.pick_branch_var() {
                     None => {
                         // All variables assigned: model found.
-                        self.model = self
-                            .assigns
-                            .iter()
-                            .map(|&x| x == LBool::True)
-                            .collect();
+                        self.model = self.assigns.iter().map(|&x| x == LBool::True).collect();
                         self.have_model = true;
                         self.backtrack_to(0);
                         break SolveResult::Sat;
@@ -860,10 +843,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.clone());
         }
-        for hole in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause([!p[i][hole], !p[j][hole]]);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
                 }
             }
         }
@@ -880,10 +863,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.clone());
         }
-        for hole in 0..n - 1 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    s.add_clause([!p[i][hole], !p[j][hole]]);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
                 }
             }
         }
@@ -924,10 +907,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.clone());
         }
-        for hole in 0..n - 1 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    s.add_clause([!p[i][hole], !p[j][hole]]);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
                 }
             }
         }
@@ -960,7 +943,9 @@ mod tests {
         // Random 3-SAT at low density: almost surely SAT; check model.
         let mut state = 0xdead_beefu64;
         let mut rnd = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for _round in 0..20 {

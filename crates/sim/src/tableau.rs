@@ -88,8 +88,7 @@ impl Tableau {
     pub fn cnot(&mut self, c: usize, t: usize) {
         assert_ne!(c, t, "cnot needs distinct qubits");
         for i in 0..2 * self.n {
-            self.r[i] ^=
-                self.x[i][c] & self.z[i][t] & (self.x[i][t] ^ self.z[i][c] ^ 1);
+            self.r[i] ^= self.x[i][c] & self.z[i][t] & (self.x[i][t] ^ self.z[i][c] ^ 1);
             self.x[i][t] ^= self.x[i][c];
             self.z[i][c] ^= self.z[i][t];
         }
@@ -233,8 +232,7 @@ impl Tableau {
                 target_z[col - base]
             };
             // Find a pivot among unused rows with a 1 in this column.
-            let Some(pi) = (0..rows.len())
-                .find(|&ri| !used[ri] && get(&work, rows[ri]) == 1)
+            let Some(pi) = (0..rows.len()).find(|&ri| !used[ri] && get(&work, rows[ri]) == 1)
             else {
                 // No unused generator touches this column any more, so the
                 // scratch bit here is final; it must already match the

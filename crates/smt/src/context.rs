@@ -26,6 +26,9 @@ impl Bool {
     }
 
     /// Logical negation (free: flips the literal sign).
+    // An inherent `not` keeps call sites readable in encoding code; the
+    // `std::ops::Not` impl below delegates here.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Bool {
         Bool(!self.0)
     }
@@ -528,20 +531,27 @@ mod tests {
     #[test]
     fn lt_chain_forces_order() {
         let mut ctx = Ctx::new();
-        let v: Vec<IntVar> = (0..4).map(|i| ctx.int_var(0, 3, &format!("v{i}"))).collect();
+        let v: Vec<IntVar> = (0..4)
+            .map(|i| ctx.int_var(0, 3, &format!("v{i}")))
+            .collect();
         for w in v.windows(2) {
             let c = ctx.lt(w[0], w[1]);
             ctx.assert(c);
         }
         assert_eq!(ctx.solve(), SolveResult::Sat);
-        let vals: Vec<i64> = v.iter().map(|&x| ctx.int_value(x).expect("model")).collect();
+        let vals: Vec<i64> = v
+            .iter()
+            .map(|&x| ctx.int_value(x).expect("model"))
+            .collect();
         assert_eq!(vals, vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn lt_unsat_when_domain_too_small() {
         let mut ctx = Ctx::new();
-        let v: Vec<IntVar> = (0..4).map(|i| ctx.int_var(0, 2, &format!("v{i}"))).collect();
+        let v: Vec<IntVar> = (0..4)
+            .map(|i| ctx.int_var(0, 2, &format!("v{i}")))
+            .collect();
         for w in v.windows(2) {
             let c = ctx.lt(w[0], w[1]);
             ctx.assert(c);
@@ -661,7 +671,9 @@ mod tests {
         // A hard instance under a 1-conflict budget yields Unknown, and the
         // context stays usable.
         let mut ctx = Ctx::new();
-        let vars: Vec<IntVar> = (0..6).map(|i| ctx.int_var(0, 4, &format!("v{i}"))).collect();
+        let vars: Vec<IntVar> = (0..6)
+            .map(|i| ctx.int_var(0, 4, &format!("v{i}")))
+            .collect();
         // All-different via pairwise disequalities (pigeonhole-flavoured:
         // 6 vars, 5 values -> UNSAT).
         for i in 0..vars.len() {

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example logical_array -- [patches]`
 
-use nasp::arch::{
-    evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams,
-};
+use nasp::arch::{evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams};
 use nasp::core::{heuristic, Problem};
 use nasp::qec::{catalog, graph_state, Pauli};
 use nasp::sim::{check_state, run_layers};
@@ -21,8 +19,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let code = catalog::steane();
-    let circuit = graph_state::synthesize(&code.zero_state_stabilizers())
-        .expect("catalog codes synthesize");
+    let circuit =
+        graph_state::synthesize(&code.zero_state_stabilizers()).expect("catalog codes synthesize");
     let n_per = code.num_qubits();
     let n = patches * n_per;
 
@@ -63,8 +61,7 @@ fn main() {
     );
 
     let problem = Problem::from_gates(config, n, gates);
-    let schedule = heuristic::schedule(&problem)
-        .expect("heuristic handles replicated patches");
+    let schedule = heuristic::schedule(&problem).expect("heuristic handles replicated patches");
     let violations = validate_schedule(&schedule, &problem.gates);
     assert!(violations.is_empty(), "{violations:?}");
 

@@ -35,12 +35,21 @@ fn main() {
         let t = (0..bad.stages.len())
             .find(|&t| bad.stages[t].is_rydberg())
             .expect("has a beam");
-        let gated: Vec<usize> = bad.executed_pairs(t).iter().flat_map(|&(a, b)| [a, b]).collect();
+        let gated: Vec<usize> = bad
+            .executed_pairs(t)
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
         let idler = (0..bad.num_qubits)
             .find(|q| !gated.contains(q))
             .expect("has an idler");
         bad.stages[t].qubits[idler] = nasp::arch::QubitState {
-            pos: Position { x: 7, y: 4, h: 0, v: 0 },
+            pos: Position {
+                x: 7,
+                y: 4,
+                h: 0,
+                v: 0,
+            },
             trap: Trap::Slm,
         };
         let violations = validate_schedule(&bad, &problem.gates);

@@ -1,0 +1,206 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! The build environment has no network access, so this shim provides
+//! the criterion API surface the workspace's bench harnesses use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], and `Bencher::iter`
+//! — backed by a simple wall-clock timer. It reports mean time per
+//! iteration over a short measurement window; it does not do criterion's
+//! statistical analysis, HTML reports, or regression detection.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, re-exported for benches.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function-name + parameter id, rendered as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then running batches until the
+    /// measurement window is used up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch-size calibration.
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed();
+        let batch = if once.is_zero() {
+            1024
+        } else {
+            (self.measurement_time.as_nanos() / 20 / once.as_nanos().max(1)).clamp(1, 16384) as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+        }
+        self.iterations = iterations;
+        self.mean_nanos = total.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement_time: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        measurement_time,
+        mean_nanos: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "{name:<48} time: {:>12}   ({} iterations)",
+        human_time(bencher.mean_nanos),
+        bencher.iterations
+    );
+}
+
+/// Top-level bench driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.measurement_time, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timing window is set
+    /// via [`BenchmarkGroup::measurement_time`] instead of sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement window for this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.measurement_time, f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a callable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

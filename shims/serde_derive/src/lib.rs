@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shim `serde` crate without depending on `syn`/`quote` (unavailable in
+//! this offline build environment). The item is parsed directly from the
+//! `proc_macro` token stream; only non-generic structs and enums are
+//! supported, which covers every derived type in this workspace.
+//!
+//! Encoding follows externally-tagged serde JSON conventions: structs are
+//! objects, newtype structs are transparent, unit variants are strings,
+//! and data-carrying variants are single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of one struct body or enum variant payload.
+enum Fields {
+    /// `struct X;` or a bare enum variant.
+    Unit,
+    /// `(A, B, ...)` with the given arity.
+    Tuple(usize),
+    /// `{ a: A, b: B }` with the given field names.
+    Named(Vec<String>),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Advances past any `#[...]` attributes starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Advances past `pub` / `pub(crate)` / `pub(in ...)` starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` nesting so
+/// commas inside generic argument lists (e.g. `BTreeMap<String, u32>`) do
+/// not split. Empty chunks (trailing commas) are dropped.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0isize;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Parses `{ a: A, b: B }` field chunks into their names.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level_commas(group_tokens) {
+        let mut i = skip_attributes(&chunk, 0);
+        i = skip_visibility(&chunk, i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Parses the payload of one enum variant (or a struct body group).
+fn parse_variant_fields(tokens: &[TokenTree], i: usize) -> Result<Fields, String> {
+    match tokens.get(i) {
+        None => Ok(Fields::Unit),
+        Some(TokenTree::Group(g)) => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match g.delimiter() {
+                Delimiter::Parenthesis => Ok(Fields::Tuple(split_top_level_commas(&inner).len())),
+                Delimiter::Brace => Ok(Fields::Named(parse_named_fields(&inner)?)),
+                _ => Err("unexpected delimiter in variant".to_string()),
+            }
+        }
+        // `Variant = 3` explicit discriminants act like unit variants.
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => Ok(Fields::Unit),
+        Some(other) => Err(format!("unexpected token in variant: {other}")),
+    }
+}
+
+/// Parses a full `struct`/`enum` item from the derive input.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                // `struct X;`
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                _ => parse_variant_fields(&tokens, i)?,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut variants = Vec::new();
+            for chunk in split_top_level_commas(&body) {
+                let mut j = skip_attributes(&chunk, 0);
+                j = skip_visibility(&chunk, j);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                let vfields = parse_variant_fields(&chunk, j + 1)?;
+                variants.push((vname, vfields));
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                // Newtype structs are transparent, like serde's default.
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => gen_object_literal(names, "&self."),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            if variants.is_empty() {
+                return format!(
+                    "#[automatically_derived]\n\
+                     impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{ match *self {{}} }}\n\
+                     }}\n"
+                );
+            }
+            let mut arms = String::new();
+            for (vname, vfields) in variants {
+                let arm = match vfields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), {payload})]),\n",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let payload = gen_object_literal(fnames, "");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), {payload})]),\n",
+                            binds = fnames.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// `Value::Object(vec![("a", to_value(<prefix>a)), ...])` for named fields.
+fn gen_object_literal(names: &[String], prefix: &str) -> String {
+    if names.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+/// `field: match value.get_field("field") {...}` initializers for named fields.
+fn gen_named_initializers(names: &[String], source: &str) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {source}.get_field({f:?}) {{\n\
+                     Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     None => ::serde::Deserialize::missing_field({f:?})?,\n\
+                 }},\n"
+            )
+        })
+        .collect()
+}
+
+/// Tuple-payload initializers `from_value(&__items[k])?` for arity `n`.
+fn gen_tuple_initializers(n: usize) -> String {
+    (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?, "))
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match __value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"expected null for unit struct {name}, got {{}}\", \
+                         __other.type_name()))),\n\
+                 }}"
+            ),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Fields::Tuple(n) => format!(
+                "{{\n\
+                     let __items = __value.as_array().ok_or_else(|| ::serde::Error::new(\
+                         ::std::format!(\"expected array, got {{}}\", __value.type_name())))?;\n\
+                     if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"expected {n} elements, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({inits}))\n\
+                 }}",
+                inits = gen_tuple_initializers(*n)
+            ),
+            Fields::Named(names) => format!(
+                "{{\n\
+                     if __value.as_object().is_none() {{\n\
+                         return ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"expected object, got {{}}\", __value.type_name())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}\n}})\n\
+                 }}",
+                inits = gen_named_initializers(names, "__value")
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_checks = String::new();
+            let mut data_checks = String::new();
+            for (vname, vfields) in variants {
+                match vfields {
+                    Fields::Unit => {
+                        unit_checks.push_str(&format!(
+                            "if _s == {vname:?} {{ \
+                             return ::std::result::Result::Ok({name}::{vname}); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        data_checks.push_str(&format!(
+                            "if _tag == {vname:?} {{\n\
+                                 return ::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::from_value(_payload)?));\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        data_checks.push_str(&format!(
+                            "if _tag == {vname:?} {{\n\
+                                 let __items = _payload.as_array().ok_or_else(|| \
+                                     ::serde::Error::new(\"expected array payload\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::new(\
+                                         \"wrong payload arity\"));\n\
+                                 }}\n\
+                                 return ::std::result::Result::Ok({name}::{vname}({inits}));\n\
+                             }}\n",
+                            inits = gen_tuple_initializers(*n)
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        data_checks.push_str(&format!(
+                            "if _tag == {vname:?} {{\n\
+                                 return ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}});\n\
+                             }}\n",
+                            inits = gen_named_initializers(fnames, "_payload")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(_s) => {{\n\
+                         {unit_checks}\
+                         ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"unknown variant `{{_s}}` of {name}\")))\n\
+                     }}\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (_tag, _payload) = &__fields[0];\n\
+                         {data_checks}\
+                         ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"unknown variant `{{_tag}}` of {name}\")))\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"invalid value for enum {name}: {{}}\", \
+                         __other.type_name()))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

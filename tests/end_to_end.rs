@@ -4,9 +4,7 @@
 
 use std::time::Duration;
 
-use nasp::arch::{
-    evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams,
-};
+use nasp::arch::{evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams};
 use nasp::core::{solve, Problem, Provenance, SolveOptions};
 use nasp::qec::{catalog, graph_state};
 use nasp::sim::{check_state, run_layers};
@@ -24,7 +22,10 @@ fn pipeline(code_name: &str, layout: Layout, budget: Duration) -> (Provenance, f
     let schedule = report.schedule.expect("schedule produced");
     // Independent re-checks.
     let violations = validate_schedule(&schedule, &problem.gates);
-    assert!(violations.is_empty(), "{code_name}/{layout:?}: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "{code_name}/{layout:?}: {violations:?}"
+    );
     let state = run_layers(&circuit, &schedule.cz_layers());
     assert!(
         check_state(&state, &targets).holds_up_to_pauli_frame(),
@@ -55,8 +56,11 @@ fn steane_matches_paper_structure() {
     let (p2, asp2, r2, t2) = pipeline("steane", Layout::BottomStorage, Duration::from_secs(60));
     assert_eq!(p2, Provenance::Optimal);
     assert_eq!((r2, t2), (3, 2));
-    let (p3, asp3, r3, t3) =
-        pipeline("steane", Layout::DoubleSidedStorage, Duration::from_secs(60));
+    let (p3, asp3, r3, t3) = pipeline(
+        "steane",
+        Layout::DoubleSidedStorage,
+        Duration::from_secs(60),
+    );
     assert_eq!(p3, Provenance::Optimal);
     assert_eq!((r3, t3), (3, 1));
     // ASP shape: double-sided ≥ the other two within a small tolerance; all
@@ -69,12 +73,13 @@ fn steane_matches_paper_structure() {
 fn shielding_beats_exposure_on_large_codes() {
     // The paper's headline claim, on the heuristic path (tiny SMT budget
     // forces the fallback, like the paper's timeout cases).
-    let (prov1, asp1, _, _) =
-        pipeline("hamming", Layout::NoShielding, Duration::from_millis(10));
-    let (prov2, asp2, _, _) =
-        pipeline("hamming", Layout::BottomStorage, Duration::from_millis(10));
-    let (prov3, asp3, _, _) =
-        pipeline("hamming", Layout::DoubleSidedStorage, Duration::from_millis(10));
+    let (prov1, asp1, _, _) = pipeline("hamming", Layout::NoShielding, Duration::from_millis(10));
+    let (prov2, asp2, _, _) = pipeline("hamming", Layout::BottomStorage, Duration::from_millis(10));
+    let (prov3, asp3, _, _) = pipeline(
+        "hamming",
+        Layout::DoubleSidedStorage,
+        Duration::from_millis(10),
+    );
     assert_eq!(prov1, Provenance::Heuristic);
     assert_eq!(prov2, Provenance::Heuristic);
     assert_eq!(prov3, Provenance::Heuristic);
@@ -91,7 +96,14 @@ fn shielding_beats_exposure_on_large_codes() {
 #[test]
 fn every_code_schedules_and_verifies_heuristically() {
     // Heuristic path for all six codes × three layouts (fast).
-    for code in ["steane", "surface", "shor", "hamming", "tetrahedral", "honeycomb"] {
+    for code in [
+        "steane",
+        "surface",
+        "shor",
+        "hamming",
+        "tetrahedral",
+        "honeycomb",
+    ] {
         for layout in [
             Layout::NoShielding,
             Layout::BottomStorage,
@@ -118,8 +130,7 @@ fn surface25_schedules_on_scaled_architecture() {
         ..ArchConfig::paper(Layout::BottomStorage)
     };
     let problem = Problem::new(config, &circuit);
-    let schedule =
-        nasp::core::heuristic::schedule(&problem).expect("heuristic handles surface-25");
+    let schedule = nasp::core::heuristic::schedule(&problem).expect("heuristic handles surface-25");
     assert!(validate_schedule(&schedule, &problem.gates).is_empty());
     let state = run_layers(&circuit, &schedule.cz_layers());
     assert!(check_state(&state, &targets).holds_up_to_pauli_frame());

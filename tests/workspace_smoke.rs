@@ -1,0 +1,57 @@
+//! Workspace smoke test: one fast, deterministic pass through the public
+//! facade — catalog → STABGRAPH synthesis → optimal solve → operational
+//! validation → simulator verification — pinning the re-exported API
+//! surface that README and the quickstart doctest advertise.
+
+use std::time::Duration;
+
+use nasp::arch::{evaluate, validate_schedule, ArchConfig, BoundaryOps, Layout, OpParams};
+use nasp::core::{solve, Problem, Provenance, SolveOptions};
+use nasp::qec::{catalog, graph_state};
+use nasp::sim::{check_state, run_layers};
+
+#[test]
+fn steane_pipeline_through_the_facade() {
+    // 1. Code + circuit from the QEC layer.
+    let code = catalog::steane();
+    assert_eq!(code.num_qubits(), 7);
+    let targets = code.zero_state_stabilizers();
+    let circuit = graph_state::synthesize(&targets).expect("Steane synthesizes");
+    assert_eq!(circuit.num_qubits, 7);
+    assert!(!circuit.cz_edges.is_empty());
+
+    // 2. Optimal schedule on the paper's bottom-storage architecture.
+    let config = ArchConfig::paper(Layout::BottomStorage);
+    let problem = Problem::new(config, &circuit);
+    let options = SolveOptions {
+        time_budget: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let report = solve(&problem, &options);
+    assert!(report.is_optimal());
+    assert_eq!(report.provenance, Provenance::Optimal);
+
+    // 3. Structure matches the paper's Table I Steane row (#R = 3, #T = 2).
+    let schedule = report.schedule.expect("Steane is quickly solvable");
+    assert_eq!(schedule.num_rydberg(), 3);
+    assert_eq!(schedule.num_transfer(), 2);
+
+    // 4. Independent validator accepts the schedule.
+    assert!(validate_schedule(&schedule, &problem.gates).is_empty());
+
+    // 5. The tableau simulator confirms the prepared state exactly.
+    let state = run_layers(&circuit, &schedule.cz_layers());
+    let verdict = check_state(&state, &targets);
+    assert!(verdict.holds_up_to_pauli_frame());
+
+    // 6. Metrics stay in the meaningful range.
+    let metrics = evaluate(
+        &schedule,
+        &OpParams::default(),
+        BoundaryOps {
+            hadamards: circuit.hadamards.len(),
+            phase_gates: circuit.phase_gates.len(),
+        },
+    );
+    assert!(metrics.asp > 0.0 && metrics.asp <= 1.0);
+}
