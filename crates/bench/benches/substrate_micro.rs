@@ -4,10 +4,70 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_bench::naive::{NaiveMat, NaiveTableau};
 use nasp_core::{heuristic, Problem};
 use nasp_qec::{catalog, graph_state};
 use nasp_sat::{SolveResult, Solver};
 use nasp_sim::{check_state, run_layers};
+
+fn bench_gf2_packed_vs_naive(c: &mut Criterion) {
+    // The packed-GF(2) substrate against its byte-per-bit reference model;
+    // the committed BENCH_substrate.json records the same pairings.
+    let mut group = c.benchmark_group("gf2_substrate");
+    for size in [64usize, 256] {
+        let naive = NaiveMat::random(size, size, size as u64);
+        let packed = naive.to_mat();
+        group.bench_with_input(BenchmarkId::new("rref_packed", size), &packed, |b, m| {
+            b.iter(|| {
+                let mut w = m.clone();
+                criterion::black_box(w.rref());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rref_naive", size), &naive, |b, m| {
+            b.iter(|| {
+                let mut w = m.clone();
+                criterion::black_box(w.rref());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mul_packed", size), &packed, |b, m| {
+            b.iter(|| criterion::black_box(m.mul(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("mul_naive", size), &naive, |b, m| {
+            b.iter(|| criterion::black_box(m.mul(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau_packed_vs_naive(c: &mut Criterion) {
+    let code = catalog::steane();
+    let targets = code.zero_state_stabilizers();
+    let circuit = graph_state::synthesize(&targets).expect("synth");
+    let layers = vec![circuit.cz_edges.clone()];
+    let mut group = c.benchmark_group("tableau_verify_steane");
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let t = run_layers(&circuit, &layers);
+            assert!(check_state(&t, &targets).holds_up_to_pauli_frame());
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut t = NaiveTableau::new_plus(circuit.num_qubits);
+            for &(a, bq) in &circuit.cz_edges {
+                t.cz(a, bq);
+            }
+            for &q in &circuit.phase_gates {
+                t.s(q);
+            }
+            for &q in &circuit.hadamards {
+                t.h(q);
+            }
+            assert!(t.verifies(&targets));
+        })
+    });
+    group.finish();
+}
 
 fn bench_sat_pigeonhole(c: &mut Criterion) {
     c.bench_function("sat_pigeonhole_7_into_6", |b| {
@@ -77,6 +137,8 @@ fn bench_heuristic_and_validation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gf2_packed_vs_naive,
+    bench_tableau_packed_vs_naive,
     bench_sat_pigeonhole,
     bench_synthesis,
     bench_verification,

@@ -1,0 +1,272 @@
+//! Machine-readable substrate baseline: the measurements behind the
+//! committed `BENCH_substrate.json`.
+//!
+//! Every entry pairs the packed (word-parallel) substrate with its
+//! byte-per-bit reference model from [`crate::naive`], so the recorded
+//! numbers are *speedups* (host-independent) alongside absolute ops/sec
+//! (host-dependent, useful for spotting regressions on CI hardware of the
+//! same class). Solver throughput and two end-to-end schedule solves track
+//! the layers above the substrates.
+
+use std::time::{Duration, Instant};
+
+use nasp_arch::Layout;
+use nasp_core::report::{run_experiment, ExperimentOptions};
+use nasp_core::solve::Provenance;
+use nasp_qec::{catalog, graph_state};
+use nasp_sim::{check_state, run_layers};
+use serde::{Deserialize, Serialize};
+
+use crate::naive::{NaiveMat, NaiveTableau};
+
+/// One packed-vs-naive GF(2) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gf2Bench {
+    /// Operation name (`rref` or `mul`).
+    pub op: String,
+    /// Square matrix dimension.
+    pub size: usize,
+    /// Packed substrate throughput.
+    pub packed_ops_per_sec: f64,
+    /// Byte-per-bit reference throughput.
+    pub naive_ops_per_sec: f64,
+    /// `packed / naive`.
+    pub speedup: f64,
+}
+
+/// Packed-vs-naive tableau verification of the Steane schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableauBench {
+    /// Code whose preparation is verified.
+    pub code: String,
+    /// Full verifications (execute CZ layers + check all stabilizers) per second, packed.
+    pub packed_verifies_per_sec: f64,
+    /// Same with the byte-per-bit tableau.
+    pub naive_verifies_per_sec: f64,
+    /// `packed / naive`.
+    pub speedup: f64,
+}
+
+/// CDCL solver throughput on a fixed hard instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverBench {
+    /// Instance description.
+    pub instance: String,
+    /// Literal propagations per second of search.
+    pub propagations_per_sec: f64,
+    /// Conflicts resolved over the run.
+    pub conflicts: u64,
+    /// Final clause-arena footprint in bytes.
+    pub clause_db_bytes: u64,
+}
+
+/// End-to-end schedule synthesis for one catalog code.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndToEndBench {
+    /// Code name.
+    pub code: String,
+    /// Layout solved for.
+    pub layout: String,
+    /// Wall-clock solve time (ms).
+    pub solve_ms: f64,
+    /// Whether the search proved stage-optimality.
+    pub optimal: bool,
+    /// SAT propagations spent.
+    pub sat_propagations: u64,
+    /// Peak clause-arena bytes.
+    pub clause_db_bytes: u64,
+}
+
+/// The full baseline document written to `BENCH_substrate.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubstrateBaseline {
+    /// Document format tag.
+    pub schema: String,
+    /// `true` when produced by the reduced CI smoke run.
+    pub quick: bool,
+    /// GF(2) rref/mul measurements.
+    pub gf2: Vec<Gf2Bench>,
+    /// Tableau verification measurement.
+    pub tableau: TableauBench,
+    /// Solver throughput measurement.
+    pub solver: SolverBench,
+    /// End-to-end solves (the two smallest catalog instances).
+    pub end_to_end: Vec<EndToEndBench>,
+}
+
+/// Times `f` repeatedly for at least `min_time`, returning ops/sec.
+fn ops_per_sec<F: FnMut()>(min_time: Duration, mut f: F) -> f64 {
+    // Warm-up iteration keeps one-off setup (allocator, caches) out.
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < min_time {
+        f();
+        iters += 1;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn gf2_bench(op: &str, size: usize, min_time: Duration) -> Gf2Bench {
+    let naive = NaiveMat::random(size, size, 0x5EED ^ size as u64);
+    let packed = naive.to_mat();
+    let (packed_ops, naive_ops) = match op {
+        "rref" => (
+            ops_per_sec(min_time, || {
+                let mut m = packed.clone();
+                std::hint::black_box(m.rref());
+            }),
+            ops_per_sec(min_time, || {
+                let mut m = naive.clone();
+                std::hint::black_box(m.rref());
+            }),
+        ),
+        "mul" => (
+            ops_per_sec(min_time, || {
+                std::hint::black_box(packed.mul(&packed));
+            }),
+            ops_per_sec(min_time, || {
+                std::hint::black_box(naive.mul(&naive));
+            }),
+        ),
+        other => panic!("unknown gf2 op {other}"),
+    };
+    Gf2Bench {
+        op: op.to_string(),
+        size,
+        packed_ops_per_sec: packed_ops,
+        naive_ops_per_sec: naive_ops,
+        speedup: packed_ops / naive_ops,
+    }
+}
+
+fn tableau_bench(min_time: Duration) -> TableauBench {
+    let code = catalog::steane();
+    let targets = code.zero_state_stabilizers();
+    let circuit = graph_state::synthesize(&targets).expect("synth");
+    let layers = vec![circuit.cz_edges.clone()];
+    let packed_ops = ops_per_sec(min_time, || {
+        let t = run_layers(&circuit, &layers);
+        assert!(check_state(&t, &targets).holds_up_to_pauli_frame());
+    });
+    let naive_ops = ops_per_sec(min_time, || {
+        let mut t = NaiveTableau::new_plus(circuit.num_qubits);
+        for layer in &layers {
+            for &(a, b) in layer {
+                t.cz(a, b);
+            }
+        }
+        for &q in &circuit.phase_gates {
+            t.s(q);
+        }
+        for &q in &circuit.hadamards {
+            t.h(q);
+        }
+        assert!(t.verifies(&targets));
+    });
+    TableauBench {
+        code: code.name().to_string(),
+        packed_verifies_per_sec: packed_ops,
+        naive_verifies_per_sec: naive_ops,
+        speedup: packed_ops / naive_ops,
+    }
+}
+
+fn solver_bench() -> SolverBench {
+    use nasp_sat::{SolveResult, Solver};
+    let n = 8usize;
+    let mut s = Solver::new();
+    let p: Vec<Vec<_>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row.clone());
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                s.add_clause([!pi, !pj]);
+            }
+        }
+    }
+    let start = Instant::now();
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let elapsed = start.elapsed().as_secs_f64();
+    let st = s.stats();
+    SolverBench {
+        instance: format!("pigeonhole_{}_into_{}", n, n - 1),
+        propagations_per_sec: st.propagations as f64 / elapsed,
+        conflicts: st.conflicts,
+        clause_db_bytes: s.clause_db_bytes() as u64,
+    }
+}
+
+fn end_to_end_bench(code_name: &str, budget: Duration) -> EndToEndBench {
+    let code = catalog::by_name(code_name).expect("catalog code");
+    let layout = Layout::BottomStorage;
+    let options = ExperimentOptions {
+        budget_per_instance: budget,
+        ..Default::default()
+    };
+    let r = run_experiment(&code, layout, &options);
+    assert!(r.valid && r.verified, "{code_name} schedule must verify");
+    EndToEndBench {
+        code: r.code,
+        layout: layout.to_string(),
+        solve_ms: r.solve_time.as_secs_f64() * 1e3,
+        optimal: r.provenance == Provenance::Optimal,
+        sat_propagations: r.sat_propagations,
+        clause_db_bytes: r.clause_db_bytes,
+    }
+}
+
+/// Runs the full measurement suite. `quick` shrinks the sizes and timing
+/// windows for the CI smoke run (seconds instead of minutes).
+pub fn measure(quick: bool) -> SubstrateBaseline {
+    let min_time = if quick {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(400)
+    };
+    let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 256, 512] };
+    let mut gf2 = Vec::new();
+    for &size in sizes {
+        gf2.push(gf2_bench("rref", size, min_time));
+        gf2.push(gf2_bench("mul", size, min_time));
+    }
+    let budget = if quick {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(30)
+    };
+    SubstrateBaseline {
+        schema: "nasp-bench-substrate/v1".to_string(),
+        quick,
+        gf2,
+        tableau: tableau_bench(min_time),
+        solver: solver_bench(),
+        // The two smallest catalog instances by qubit count.
+        end_to_end: vec![
+            end_to_end_bench("perfect", budget),
+            end_to_end_bench("steane", budget),
+        ],
+    }
+}
+
+/// Serializes, writes and re-parses the baseline at `path`, so a corrupt
+/// emitter fails loudly instead of committing garbage.
+///
+/// # Errors
+///
+/// Returns a message if writing or re-parsing fails.
+pub fn write_validated(baseline: &SubstrateBaseline, path: &str) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(baseline).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+    let read = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed: SubstrateBaseline =
+        serde_json::from_str(&read).map_err(|e| format!("re-parse {path}: {e:?}"))?;
+    if parsed.schema != baseline.schema || parsed.gf2.len() != baseline.gf2.len() {
+        return Err(format!("round-trip mismatch in {path}"));
+    }
+    Ok(())
+}

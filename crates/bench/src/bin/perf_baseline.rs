@@ -1,0 +1,65 @@
+//! Emits the substrate performance baseline as `BENCH_substrate.json`.
+//!
+//! ```sh
+//! cargo run --release -p nasp-bench --bin perf_baseline            # full
+//! cargo run --release -p nasp-bench --bin perf_baseline -- --quick # CI smoke
+//! cargo run ... -- --out path/to.json                              # custom path
+//! ```
+//!
+//! The document pairs every packed substrate with its byte-per-bit
+//! reference model (speedups are host-independent), adds CDCL solver
+//! throughput, and two end-to-end schedule solves. The file is re-read and
+//! re-parsed before the process exits 0, so CI can treat a zero exit as
+//! "valid JSON baseline produced".
+
+use nasp_bench::baseline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_substrate.json".to_string());
+
+    eprintln!(
+        "measuring substrate baseline ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let doc = baseline::measure(quick);
+    for g in &doc.gf2 {
+        eprintln!(
+            "  gf2 {:>4} {:>4}x{:<4} packed {:>12.0} ops/s  naive {:>10.0} ops/s  speedup {:>6.1}x",
+            g.op, g.size, g.size, g.packed_ops_per_sec, g.naive_ops_per_sec, g.speedup
+        );
+    }
+    eprintln!(
+        "  tableau verify {}  packed {:.0}/s  naive {:.0}/s  speedup {:.1}x",
+        doc.tableau.code,
+        doc.tableau.packed_verifies_per_sec,
+        doc.tableau.naive_verifies_per_sec,
+        doc.tableau.speedup
+    );
+    eprintln!(
+        "  solver {}  {:.0} props/s  {} conflicts  arena {} B",
+        doc.solver.instance,
+        doc.solver.propagations_per_sec,
+        doc.solver.conflicts,
+        doc.solver.clause_db_bytes
+    );
+    for e in &doc.end_to_end {
+        eprintln!(
+            "  end-to-end {:>8} / {}  {:.1} ms  optimal={}  {} props  arena {} B",
+            e.code, e.layout, e.solve_ms, e.optimal, e.sat_propagations, e.clause_db_bytes
+        );
+    }
+
+    match baseline::write_validated(&doc, &out) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("FAILED to produce a valid baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

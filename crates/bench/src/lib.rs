@@ -19,6 +19,9 @@ use std::time::Duration;
 
 use nasp_core::report::{figure4_deltas, run_table1, ExperimentOptions, ExperimentResult};
 
+pub mod baseline;
+pub mod naive;
+
 /// Parses `--budget <seconds>` from argv (default given by caller).
 pub fn budget_from_args(default_secs: u64) -> Duration {
     let args: Vec<String> = std::env::args().collect();

@@ -1,0 +1,293 @@
+//! Byte-per-bit reference models of the packed substrates.
+//!
+//! These are the *pre-optimization* implementations of the GF(2) matrix and
+//! the stabilizer tableau: one `u8` per bit, scalar inner loops. They exist
+//! solely as the baseline side of the substrate benchmarks
+//! (`substrate_micro`, `perf_baseline`), so the committed
+//! `BENCH_substrate.json` records real packed-vs-naive speedups rather than
+//! absolute numbers that drift with the host machine.
+
+use nasp_qec::gf2::Mat;
+use nasp_qec::Pauli;
+
+/// Tiny deterministic PRNG (xorshift64*) for reproducible bench inputs.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator; zero is mapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A random bit.
+    pub fn bit(&mut self) -> u8 {
+        (self.next_u64() & 1) as u8
+    }
+}
+
+/// A dense GF(2) matrix stored one byte per bit (the reference model).
+#[derive(Clone)]
+pub struct NaiveMat {
+    /// Row-major 0/1 entries.
+    pub rows: Vec<Vec<u8>>,
+}
+
+impl NaiveMat {
+    /// Random matrix with the given shape and seed.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        NaiveMat {
+            rows: (0..rows)
+                .map(|_| (0..cols).map(|_| rng.bit()).collect())
+                .collect(),
+        }
+    }
+
+    /// The same matrix in packed form.
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_rows(&self.rows)
+    }
+
+    /// In-place Gauss–Jordan elimination; returns the pivot columns.
+    pub fn rref(&mut self) -> Vec<usize> {
+        let nrows = self.rows.len();
+        let ncols = self.rows.first().map_or(0, Vec::len);
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..ncols {
+            if row >= nrows {
+                break;
+            }
+            let Some(p) = (row..nrows).find(|&r| self.rows[r][col] == 1) else {
+                continue;
+            };
+            self.rows.swap(row, p);
+            for r in 0..nrows {
+                if r != row && self.rows[r][col] == 1 {
+                    for c in 0..ncols {
+                        self.rows[r][c] ^= self.rows[row][c];
+                    }
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        pivots
+    }
+
+    /// Matrix product over GF(2), scalar triple loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &NaiveMat) -> NaiveMat {
+        let n = self.rows.len();
+        let k = other.rows.len();
+        let m = other.rows.first().map_or(0, Vec::len);
+        assert_eq!(self.rows.first().map_or(0, Vec::len), k, "shape mismatch");
+        let mut out = vec![vec![0u8; m]; n];
+        for (i, oi) in out.iter_mut().enumerate() {
+            for (kk, ok) in other.rows.iter().enumerate() {
+                if self.rows[i][kk] == 1 {
+                    for (o, &b) in oi.iter_mut().zip(ok) {
+                        *o ^= b;
+                    }
+                }
+            }
+        }
+        NaiveMat { rows: out }
+    }
+}
+
+/// Phase exponent of `i` from multiplying single-qubit Paulis
+/// `(x1, z1) · (x2, z2)` — the scalar `g` function of Aaronson–Gottesman.
+fn g(x1: u8, z1: u8, x2: u8, z2: u8) -> i8 {
+    match (x1, z1) {
+        (0, 0) => 0,
+        (1, 1) => z2 as i8 - x2 as i8,
+        (1, 0) => (z2 as i8) * (2 * x2 as i8 - 1),
+        (0, 1) => (x2 as i8) * (1 - 2 * z2 as i8),
+        _ => unreachable!("bits are 0/1"),
+    }
+}
+
+/// Byte-per-bit Aaronson–Gottesman tableau (the reference model).
+#[derive(Clone)]
+pub struct NaiveTableau {
+    n: usize,
+    x: Vec<Vec<u8>>,
+    z: Vec<Vec<u8>>,
+    r: Vec<u8>,
+}
+
+impl NaiveTableau {
+    /// The all-plus state `|+…+⟩`.
+    pub fn new_plus(n: usize) -> Self {
+        let mut t = NaiveTableau {
+            n,
+            x: vec![vec![0; n]; 2 * n],
+            z: vec![vec![0; n]; 2 * n],
+            r: vec![0; 2 * n],
+        };
+        for q in 0..n {
+            t.x[q][q] = 1;
+            t.z[n + q][q] = 1;
+        }
+        for q in 0..n {
+            t.h(q);
+        }
+        t
+    }
+
+    /// Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] & self.z[i][q];
+            let (xb, zb) = (self.x[i][q], self.z[i][q]);
+            self.x[i][q] = zb;
+            self.z[i][q] = xb;
+        }
+    }
+
+    /// Phase gate on qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] & self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// CNOT with control `c`, target `t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][c] & self.z[i][t] & (self.x[i][t] ^ self.z[i][c] ^ 1);
+            self.x[i][t] ^= self.x[i][c];
+            self.z[i][c] ^= self.z[i][t];
+        }
+    }
+
+    /// Controlled-Z (symmetric).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = 2 * self.r[h] as i32 + 2 * self.r[i] as i32;
+        for q in 0..self.n {
+            phase += g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]) as i32;
+        }
+        self.r[h] = (phase.rem_euclid(4) / 2) as u8;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+
+    /// Unsigned-membership sign query, scalar Gaussian elimination over a
+    /// full clone of the tableau (exactly the pre-optimization algorithm).
+    pub fn sign_of(&self, p: &Pauli) -> Option<bool> {
+        let mut work = self.clone();
+        let base = work.n;
+        work.x.push(vec![0; base]);
+        work.z.push(vec![0; base]);
+        work.r.push(0);
+        let scratch = work.x.len() - 1;
+        let target_x = p.x_bits().to_vec();
+        let target_z = p.z_bits().to_vec();
+        let mut used = vec![false; base];
+        for col in 0..2 * base {
+            let get = |w: &NaiveTableau, row: usize| -> u8 {
+                if col < base {
+                    w.x[row][col]
+                } else {
+                    w.z[row][col - base]
+                }
+            };
+            let tgt_bit = if col < base {
+                target_x[col]
+            } else {
+                target_z[col - base]
+            };
+            let Some(pi) = (0..base).find(|&ri| !used[ri] && get(&work, base + ri) == 1) else {
+                if get(&work, scratch) != tgt_bit {
+                    return None;
+                }
+                continue;
+            };
+            used[pi] = true;
+            for ri in (0..base).filter(|&ri| !used[ri]) {
+                if get(&work, base + ri) == 1 {
+                    work.rowsum(base + ri, base + pi);
+                }
+            }
+            if get(&work, scratch) != tgt_bit {
+                work.rowsum(scratch, base + pi);
+            }
+        }
+        if work.x[scratch] != target_x || work.z[scratch] != target_z {
+            return None;
+        }
+        Some(work.r[scratch] == 1)
+    }
+
+    /// `true` iff every target is in the group up to sign.
+    pub fn verifies(&self, targets: &[Pauli]) -> bool {
+        targets.iter().all(|p| self.sign_of(p).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasp_qec::{catalog, graph_state};
+    use nasp_sim::{check_state, run_circuit};
+
+    #[test]
+    fn naive_mat_agrees_with_packed() {
+        let a = NaiveMat::random(40, 70, 1);
+        let b = NaiveMat::random(70, 30, 2);
+        let packed = a.to_mat().mul(&b.to_mat());
+        let naive = a.mul(&b);
+        assert_eq!(naive.to_mat(), packed);
+        let mut na = a.clone();
+        let np = na.rref();
+        let mut pa = a.to_mat();
+        assert_eq!(pa.rref(), np);
+        assert_eq!(na.to_mat(), pa);
+    }
+
+    #[test]
+    fn naive_tableau_agrees_with_packed_on_steane() {
+        let code = catalog::steane();
+        let targets = code.zero_state_stabilizers();
+        let circuit = graph_state::synthesize(&targets).expect("synth");
+        let packed = run_circuit(&circuit);
+        let mut naive = NaiveTableau::new_plus(circuit.num_qubits);
+        for &(a, b) in &circuit.cz_edges {
+            naive.cz(a, b);
+        }
+        for &q in &circuit.phase_gates {
+            naive.s(q);
+        }
+        for &q in &circuit.hadamards {
+            naive.h(q);
+        }
+        assert!(check_state(&packed, &targets).holds_up_to_pauli_frame());
+        assert!(naive.verifies(&targets));
+        for t in &targets {
+            assert_eq!(naive.sign_of(t), packed.sign_of(t));
+        }
+    }
+}

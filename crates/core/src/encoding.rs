@@ -526,6 +526,17 @@ impl Encoding {
     pub fn size(&self) -> (usize, usize) {
         (self.ctx.num_sat_vars(), self.ctx.num_clauses())
     }
+
+    /// Search statistics of the underlying SAT solver (conflicts,
+    /// propagations, …) accumulated over this encoding's `solve` calls.
+    pub fn stats(&self) -> nasp_smt::Stats {
+        self.ctx.stats()
+    }
+
+    /// Bytes occupied by the underlying solver's clause arena.
+    pub fn clause_db_bytes(&self) -> usize {
+        self.ctx.clause_db_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,12 @@ pub struct ExperimentResult {
     /// Tableau-simulator verification: the schedule's CZ layers prepare the
     /// logical |0…0⟩ state up to a Pauli frame (must be true).
     pub verified: bool,
+    /// Total SAT conflicts spent by the search (solver throughput).
+    pub sat_conflicts: u64,
+    /// Total SAT literal propagations spent by the search.
+    pub sat_propagations: u64,
+    /// Peak clause-arena footprint in bytes over the encodings explored.
+    pub clause_db_bytes: u64,
 }
 
 impl ExperimentResult {
@@ -142,6 +148,9 @@ pub fn run_experiment_with_circuit(
         metrics,
         valid,
         verified,
+        sat_conflicts: report.sat_conflicts,
+        sat_propagations: report.sat_propagations,
+        clause_db_bytes: report.clause_db_bytes,
     }
 }
 
@@ -199,6 +208,9 @@ mod tests {
         assert_eq!(r.nkd, (7, 1, 3));
         assert!(r.metrics.asp > 0.5);
         assert!(!r.table_row().is_empty());
+        // Solver-throughput counters are plumbed through from the search.
+        assert!(r.sat_propagations > 0, "propagations must be reported");
+        assert!(r.clause_db_bytes > 0, "arena footprint must be reported");
     }
 
     #[test]
@@ -222,6 +234,9 @@ mod tests {
             },
             valid: true,
             verified: true,
+            sat_conflicts: 0,
+            sat_propagations: 0,
+            clause_db_bytes: 0,
         };
         let rows = vec![
             mk("X", Layout::NoShielding, 0.90),

@@ -72,12 +72,37 @@ pub struct SolveReport {
     pub smt_time: Duration,
     /// Per-`S` log: `(stages, result)` in exploration order.
     pub log: Vec<(usize, SolveResult)>,
+    /// Total SAT conflicts across every encoding explored.
+    pub sat_conflicts: u64,
+    /// Total SAT literal propagations across every encoding explored.
+    pub sat_propagations: u64,
+    /// Peak clause-arena footprint (bytes) over the encodings explored —
+    /// the solver-throughput counters benches report without reaching
+    /// into `nasp-sat` internals.
+    pub clause_db_bytes: u64,
 }
 
 impl SolveReport {
     /// `true` when the schedule is proven stage-minimal.
     pub fn is_optimal(&self) -> bool {
         self.provenance == Provenance::Optimal
+    }
+}
+
+/// Accumulated SAT-solver effort across every encoding a search explores.
+#[derive(Debug, Default, Clone, Copy)]
+struct SatCounters {
+    conflicts: u64,
+    propagations: u64,
+    peak_db_bytes: u64,
+}
+
+impl SatCounters {
+    fn absorb(&mut self, enc: &Encoding) {
+        let st = enc.stats();
+        self.conflicts += st.conflicts;
+        self.propagations += st.propagations;
+        self.peak_db_bytes = self.peak_db_bytes.max(enc.clause_db_bytes() as u64);
     }
 }
 
@@ -91,6 +116,7 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
     let deadline = start + options.time_budget;
     let mut log = Vec::new();
     let mut all_proved_unsat = true;
+    let mut counters = SatCounters::default();
 
     if problem.gates.is_empty() {
         return SolveReport {
@@ -102,6 +128,9 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
             provenance: Provenance::Optimal,
             smt_time: Duration::ZERO,
             log,
+            sat_conflicts: 0,
+            sat_propagations: 0,
+            clause_db_bytes: 0,
         };
     }
 
@@ -116,12 +145,14 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
             deadline: Some(deadline),
         };
         let result = enc.solve(budget);
+        counters.absorb(&enc);
         log.push((s, result));
         match result {
             SolveResult::Sat => {
                 let mut schedule = enc.decode();
                 if options.minimize_transfers {
-                    schedule = tighten_transfers(problem, s, options, deadline, schedule);
+                    schedule =
+                        tighten_transfers(problem, s, options, deadline, schedule, &mut counters);
                 }
                 return SolveReport {
                     schedule: Some(schedule),
@@ -132,6 +163,9 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
                     },
                     smt_time: start.elapsed(),
                     log,
+                    sat_conflicts: counters.conflicts,
+                    sat_propagations: counters.propagations,
+                    clause_db_bytes: counters.peak_db_bytes,
                 };
             }
             SolveResult::Unsat => {}
@@ -142,21 +176,19 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
     }
 
     let smt_time = start.elapsed();
-    if options.heuristic_fallback {
-        if let Some(schedule) = heuristic::schedule(problem) {
-            return SolveReport {
-                schedule: Some(schedule),
-                provenance: Provenance::Heuristic,
-                smt_time,
-                log,
-            };
-        }
-    }
+    let schedule = if options.heuristic_fallback {
+        heuristic::schedule(problem)
+    } else {
+        None
+    };
     SolveReport {
-        schedule: None,
+        schedule,
         provenance: Provenance::Heuristic,
         smt_time,
         log,
+        sat_conflicts: counters.conflicts,
+        sat_propagations: counters.propagations,
+        clause_db_bytes: counters.peak_db_bytes,
     }
 }
 
@@ -168,6 +200,7 @@ fn tighten_transfers(
     options: &SolveOptions,
     deadline: Instant,
     mut best: Schedule,
+    counters: &mut SatCounters,
 ) -> Schedule {
     loop {
         let current = best.num_transfer();
@@ -180,7 +213,9 @@ fn tighten_transfers(
             max_conflicts: None,
             deadline: Some(deadline),
         };
-        match enc.solve(budget) {
+        let result = enc.solve(budget);
+        counters.absorb(&enc);
+        match result {
             SolveResult::Sat => {
                 best = enc.decode();
                 debug_assert!(best.num_transfer() < current);

@@ -4,8 +4,64 @@
 //! rank/RREF, kernels (null spaces), span membership and row reduction are
 //! all that is needed to construct codes, extract logical operators and run
 //! the graph-state synthesis (STABGRAPH) pass.
+//!
+//! Everything is stored 64 bits to the `u64` word (see DESIGN.md §6): a row
+//! of `c` columns occupies `⌈c/64⌉` words, row operations are word-wise
+//! XORs, and weights are `popcount`s. [`RowSpan`] keeps its echelon rows in
+//! the same packed form; its byte-slice API (`&[u8]` of 0/1) is retained so
+//! Pauli symplectic vectors plug in unchanged.
 
 const WORD: usize = 64;
+
+/// Number of `u64` words needed for `cols` bits (at least one, so empty
+/// shapes still have addressable rows). Shared with the packed tableau in
+/// `nasp-sim`.
+#[inline]
+pub fn words_for(cols: usize) -> usize {
+    cols.div_ceil(WORD).max(1)
+}
+
+/// Packs a 0/1 byte slice into words (little-endian bit order), zeroing
+/// `out` first.
+pub fn pack_bits(bits: &[u8], out: &mut [u64]) {
+    for w in out.iter_mut() {
+        *w = 0;
+    }
+    for (j, &b) in bits.iter().enumerate() {
+        if b != 0 {
+            out[j / WORD] |= 1 << (j % WORD);
+        }
+    }
+}
+
+/// Unpacks words into a 0/1 byte vector of the given length.
+pub fn unpack_bits(words: &[u64], cols: usize) -> Vec<u8> {
+    (0..cols)
+        .map(|j| ((words[j / WORD] >> (j % WORD)) & 1) as u8)
+        .collect()
+}
+
+/// Column index of the lowest set bit, if any.
+#[inline]
+fn first_set_bit(words: &[u64]) -> Option<usize> {
+    words
+        .iter()
+        .position(|&w| w != 0)
+        .map(|i| i * WORD + words[i].trailing_zeros() as usize)
+}
+
+/// XORs `src` into `dst` word-wise.
+#[inline]
+fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+#[inline]
+fn bit_of(words: &[u64], col: usize) -> bool {
+    (words[col / WORD] >> (col % WORD)) & 1 == 1
+}
 
 /// A dense matrix over GF(2) with bit-packed rows.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -173,16 +229,26 @@ impl Mat {
         m
     }
 
-    /// Concatenates `other` to the right of `self`.
+    /// Concatenates `other` to the right of `self` (word-wise: `other`'s
+    /// rows are shifted into place rather than copied bit by bit).
     pub fn hstack(&self, other: &Mat) -> Mat {
         assert_eq!(self.rows, other.rows, "row mismatch");
         let mut m = Mat::zeros(self.rows, self.cols + other.cols);
+        let (base_w, sh) = (self.cols / WORD, self.cols % WORD);
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                m.set(r, c, self.get(r, c));
-            }
-            for c in 0..other.cols {
-                m.set(r, self.cols + c, other.get(r, c));
+            let dst = r * m.words_per_row;
+            let src = r * self.words_per_row;
+            m.data[dst..dst + self.words_per_row]
+                .copy_from_slice(&self.data[src..src + self.words_per_row]);
+            let osrc = r * other.words_per_row;
+            for w in 0..other.words_per_row {
+                let v = other.data[osrc + w];
+                if base_w + w < m.words_per_row {
+                    m.data[dst + base_w + w] |= v << sh;
+                }
+                if sh != 0 && base_w + w + 1 < m.words_per_row {
+                    m.data[dst + base_w + w + 1] |= v >> (WORD - sh);
+                }
             }
         }
         m
@@ -202,19 +268,58 @@ impl Mat {
     }
 
     /// Matrix product over GF(2).
+    ///
+    /// For each row of `self`, set bits are enumerated word-wise
+    /// (`trailing_zeros` bit-scan, no per-column branch) and the matching
+    /// rows of `other` are XORed in with word-wide slice operations.
     pub fn mul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "shape mismatch");
         let mut m = Mat::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                if self.get(r, k) {
-                    // m.row(r) ^= other.row(k)
-                    let (d, s) = (r * m.words_per_row, k * other.words_per_row);
-                    for w in 0..m.words_per_row {
-                        let v = other.data[s + w];
-                        m.data[d + w] ^= v;
-                    }
+        let owpr = other.words_per_row;
+        if owpr == 1 {
+            // Single-word result rows: "method of the four Russians" light.
+            // For every group of 4 rows of `other`, a 16-entry table of
+            // their XOR combinations (built by Gray-code chaining) turns 4
+            // bit-tests into one lookup; each group then streams over the
+            // output column without data-dependent branches.
+            for g in 0..other.rows.div_ceil(4) {
+                let mut t = [0u64; 16];
+                for mi in 1..16usize {
+                    let low = mi & (mi - 1);
+                    let bit = (mi ^ low).trailing_zeros() as usize;
+                    let row = g * 4 + bit;
+                    t[mi] = t[low] ^ if row < other.rows { other.data[row] } else { 0 };
                 }
+                let (word, shift) = ((g * 4) / WORD, (g * 4) % WORD);
+                for r in 0..self.rows {
+                    let a = self.data[r * self.words_per_row + word];
+                    m.data[r] ^= t[((a >> shift) & 15) as usize];
+                }
+            }
+            return m;
+        }
+        // Multi-word rows: same table method with `owpr`-word entries.
+        let mut t = vec![0u64; 16 * owpr];
+        for g in 0..other.rows.div_ceil(4) {
+            t[..owpr].fill(0);
+            for mi in 1..16usize {
+                let low = mi & (mi - 1);
+                let bit = (mi ^ low).trailing_zeros() as usize;
+                let row = g * 4 + bit;
+                let (lo, hi) = t.split_at_mut(mi * owpr);
+                hi[..owpr].copy_from_slice(&lo[low * owpr..(low + 1) * owpr]);
+                if row < other.rows {
+                    xor_into(&mut hi[..owpr], &other.data[row * owpr..(row + 1) * owpr]);
+                }
+            }
+            let (word, shift) = ((g * 4) / WORD, (g * 4) % WORD);
+            for r in 0..self.rows {
+                let a = self.data[r * self.words_per_row + word];
+                let idx = ((a >> shift) & 15) as usize;
+                xor_into(
+                    &mut m.data[r * owpr..(r + 1) * owpr],
+                    &t[idx * owpr..(idx + 1) * owpr],
+                );
             }
         }
         m
@@ -223,45 +328,98 @@ impl Mat {
     /// In-place Gaussian elimination to reduced row echelon form.
     /// Returns the pivot columns (one per nonzero row, in order).
     pub fn rref(&mut self) -> Vec<usize> {
-        let mut pivots = Vec::new();
-        let mut row = 0;
-        for col in 0..self.cols {
-            if row >= self.rows {
-                break;
-            }
-            // Find pivot.
-            let Some(p) = (row..self.rows).find(|&r| self.get(r, col)) else {
-                continue;
-            };
-            self.swap_rows(row, p);
-            for r in 0..self.rows {
-                if r != row && self.get(r, col) {
-                    self.row_xor(r, row);
-                }
-            }
-            pivots.push(col);
-            row += 1;
-        }
-        pivots
+        rref_words(&mut self.data, self.rows, self.cols, self.words_per_row)
     }
 
-    /// Rank (via a scratch copy).
+    /// Rank, computed by forward elimination into a small echelon
+    /// accumulator — no copy of the matrix is made; memory is
+    /// `O(rank × words_per_row)`.
     pub fn rank(&self) -> usize {
-        self.clone().rref().len()
+        self.rank_of_cols(0, self.cols)
+    }
+
+    /// Rank of the column window `[lo, hi)` — the rank of the submatrix
+    /// formed by those columns, without materializing it.
+    ///
+    /// Used by graph-state synthesis, which repeatedly needs the rank of
+    /// the X block of a symplectic `[X | Z]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > num_cols()` (for non-empty windows).
+    pub fn rank_of_cols(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.cols, "bad column window");
+        if lo == hi {
+            return 0;
+        }
+        let wpr = self.words_per_row;
+        let w_lo = lo / WORD;
+        let w_hi = hi.div_ceil(WORD).max(w_lo + 1).min(wpr.max(w_lo + 1));
+        let win = w_hi - w_lo;
+        // Mask selecting the window bits inside the first / last word.
+        let lo_mask = !0u64 << (lo % WORD);
+        let hi_mask = if hi.is_multiple_of(WORD) {
+            !0u64
+        } else {
+            !0u64 >> (WORD - hi % WORD)
+        };
+        let mask_word = |w: usize, v: u64| -> u64 {
+            let mut v = v;
+            if w == w_lo {
+                v &= lo_mask;
+            }
+            if w == w_hi - 1 {
+                v &= hi_mask;
+            }
+            v
+        };
+        // Echelon accumulator: eliminated rows (windowed) + their pivots.
+        let mut ech: Vec<u64> = Vec::new();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut tmp = vec![0u64; win];
+        for r in 0..self.rows {
+            let base = r * wpr;
+            for (k, t) in tmp.iter_mut().enumerate() {
+                let w = w_lo + k;
+                *t = if w < wpr {
+                    mask_word(w, self.data[base + w])
+                } else {
+                    0
+                };
+            }
+            for (k, &p) in pivots.iter().enumerate() {
+                if bit_of(&tmp, p) {
+                    let row = &ech[k * win..(k + 1) * win];
+                    for (t, &e) in tmp.iter_mut().zip(row) {
+                        *t ^= e;
+                    }
+                }
+            }
+            if let Some(p) = first_set_bit(&tmp) {
+                pivots.push(p);
+                ech.extend_from_slice(&tmp);
+            }
+        }
+        pivots.len()
     }
 
     /// A basis of the kernel (right null space): all `v` with `M v = 0`.
+    ///
+    /// Elimination is genuinely destructive, so this works on a scratch
+    /// copy of the packed row data (the struct itself is never cloned).
     pub fn kernel_basis(&self) -> Vec<Vec<u8>> {
-        let mut m = self.clone();
-        let pivots = m.rref();
-        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
-        let free: Vec<usize> = (0..self.cols).filter(|c| !pivot_set.contains(c)).collect();
-        let mut basis = Vec::with_capacity(free.len());
-        for &f in &free {
+        let mut scratch = self.data.clone();
+        let pivots = rref_words(&mut scratch, self.rows, self.cols, self.words_per_row);
+        let mut is_pivot = vec![false; self.cols];
+        for &p in &pivots {
+            is_pivot[p] = true;
+        }
+        let mut basis = Vec::with_capacity(self.cols - pivots.len());
+        for f in (0..self.cols).filter(|&c| !is_pivot[c]) {
             let mut v = vec![0u8; self.cols];
             v[f] = 1;
             for (ri, &pc) in pivots.iter().enumerate() {
-                if m.get(ri, f) {
+                if bit_of(&scratch[ri * self.words_per_row..], f) {
                     v[pc] = 1;
                 }
             }
@@ -285,15 +443,51 @@ impl Mat {
     }
 }
 
+/// Gauss–Jordan elimination to reduced row echelon form on packed row
+/// data. Returns the pivot columns (one per nonzero row, in order).
+fn rref_words(data: &mut [u64], rows: usize, cols: usize, wpr: usize) -> Vec<usize> {
+    let mut pivots = Vec::new();
+    let mut row = 0;
+    for col in 0..cols {
+        if row >= rows {
+            break;
+        }
+        let (w, mask) = (col / WORD, 1u64 << (col % WORD));
+        let Some(p) = (row..rows).find(|&r| data[r * wpr + w] & mask != 0) else {
+            continue;
+        };
+        if p != row {
+            for k in 0..wpr {
+                data.swap(row * wpr + k, p * wpr + k);
+            }
+        }
+        for r in 0..rows {
+            if r != row && data[r * wpr + w] & mask != 0 {
+                for k in 0..wpr {
+                    let v = data[row * wpr + k];
+                    data[r * wpr + k] ^= v;
+                }
+            }
+        }
+        pivots.push(col);
+        row += 1;
+    }
+    pivots
+}
+
 /// A row space kept in reduced form for incremental span-membership queries.
 ///
 /// Used to test independence while collecting stabilizers / logical
-/// operators one at a time.
+/// operators one at a time. Rows are stored word-packed and all reductions
+/// are word-wise XORs; the byte-slice (`&[u8]` of 0/1) interface is kept so
+/// Pauli symplectic vectors plug in directly.
 #[derive(Debug, Clone, Default)]
 pub struct RowSpan {
     cols: usize,
-    /// Rows in echelon form; `pivots[i]` is the pivot column of `rows[i]`.
-    rows: Vec<Vec<u8>>,
+    words_per_row: usize,
+    /// Echelon rows, flattened; `pivots[i]` is the pivot column of row `i`
+    /// (`rows[i * words_per_row ..][..words_per_row]`).
+    rows: Vec<u64>,
     pivots: Vec<usize>,
 }
 
@@ -302,6 +496,7 @@ impl RowSpan {
     pub fn new(cols: usize) -> Self {
         RowSpan {
             cols,
+            words_per_row: words_for(cols),
             rows: Vec::new(),
             pivots: Vec::new(),
         }
@@ -309,46 +504,57 @@ impl RowSpan {
 
     /// Dimension of the span.
     pub fn dim(&self) -> usize {
-        self.rows.len()
+        self.pivots.len()
+    }
+
+    /// Reduces packed `v` modulo the span in place.
+    fn reduce_words(&self, v: &mut [u64]) {
+        let wpr = self.words_per_row;
+        for (i, &p) in self.pivots.iter().enumerate() {
+            if bit_of(v, p) {
+                xor_into(v, &self.rows[i * wpr..(i + 1) * wpr]);
+            }
+        }
     }
 
     /// Reduces `v` modulo the span; returns the residue.
     pub fn reduce(&self, v: &[u8]) -> Vec<u8> {
         assert_eq!(v.len(), self.cols);
-        let mut v = v.to_vec();
-        for (row, &p) in self.rows.iter().zip(&self.pivots) {
-            if v[p] == 1 {
-                for (vi, ri) in v.iter_mut().zip(row) {
-                    *vi ^= ri;
-                }
-            }
-        }
-        v
+        let mut packed = vec![0u64; self.words_per_row];
+        pack_bits(v, &mut packed);
+        self.reduce_words(&mut packed);
+        unpack_bits(&packed, self.cols)
     }
 
     /// `true` if `v` lies in the span.
     pub fn contains(&self, v: &[u8]) -> bool {
-        self.reduce(v).iter().all(|&b| b == 0)
+        assert_eq!(v.len(), self.cols);
+        let mut packed = vec![0u64; self.words_per_row];
+        pack_bits(v, &mut packed);
+        self.reduce_words(&mut packed);
+        packed.iter().all(|&w| w == 0)
     }
 
     /// Inserts `v`; returns `false` (and leaves the span unchanged) if `v`
     /// was already in the span.
     pub fn insert(&mut self, v: &[u8]) -> bool {
-        let r = self.reduce(v);
-        let Some(p) = r.iter().position(|&b| b == 1) else {
+        assert_eq!(v.len(), self.cols);
+        let wpr = self.words_per_row;
+        let mut r = vec![0u64; wpr];
+        pack_bits(v, &mut r);
+        self.reduce_words(&mut r);
+        let Some(p) = first_set_bit(&r) else {
             return false;
         };
         // Back-reduce existing rows to keep reduced form.
-        for (row, _) in self.rows.iter_mut().zip(&self.pivots) {
-            if row[p] == 1 {
-                for (ri, vi) in row.iter_mut().zip(&r) {
-                    *ri ^= vi;
-                }
+        for i in 0..self.pivots.len() {
+            if bit_of(&self.rows[i * wpr..(i + 1) * wpr], p) {
+                xor_into(&mut self.rows[i * wpr..(i + 1) * wpr], &r);
             }
         }
         // Insert keeping pivots sorted for deterministic behaviour.
         let at = self.pivots.partition_point(|&q| q < p);
-        self.rows.insert(at, r);
+        self.rows.splice(at * wpr..at * wpr, r);
         self.pivots.insert(at, p);
         true
     }
@@ -361,16 +567,15 @@ impl RowSpan {
     pub fn enumerate(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
         assert!(self.dim() <= 24, "span too large to enumerate");
         let d = self.dim();
+        let wpr = self.words_per_row;
         (0u64..(1 << d)).map(move |mask| {
-            let mut v = vec![0u8; self.cols];
-            for (i, row) in self.rows.iter().enumerate() {
+            let mut v = vec![0u64; wpr];
+            for i in 0..d {
                 if (mask >> i) & 1 == 1 {
-                    for (vi, ri) in v.iter_mut().zip(row) {
-                        *vi ^= ri;
-                    }
+                    xor_into(&mut v, &self.rows[i * wpr..(i + 1) * wpr]);
                 }
             }
-            v
+            unpack_bits(&v, self.cols)
         })
     }
 }
@@ -466,6 +671,73 @@ mod tests {
         assert_eq!(m.row_weight(0), 2);
         let k = m.kernel_basis();
         assert_eq!(k.len(), n - 2);
+    }
+
+    #[test]
+    fn rank_of_cols_windows() {
+        // 2x130 matrix: ones at (0,0), (0,129), (1,64).
+        let n = 130;
+        let mut m = Mat::zeros(2, n);
+        m.set(0, 0, true);
+        m.set(0, 129, true);
+        m.set(1, 64, true);
+        assert_eq!(m.rank_of_cols(0, n), 2);
+        assert_eq!(m.rank_of_cols(0, 64), 1); // only (0,0) in window
+        assert_eq!(m.rank_of_cols(64, 65), 1); // only (1,64)
+        assert_eq!(m.rank_of_cols(1, 64), 0); // empty window content
+        assert_eq!(m.rank_of_cols(5, 5), 0); // empty window
+                                             // Dependent rows inside a window, independent outside it.
+        let m2 = Mat::from_rows(&[vec![1, 1, 0], vec![1, 1, 1]]);
+        assert_eq!(m2.rank_of_cols(0, 2), 1);
+        assert_eq!(m2.rank_of_cols(0, 3), 2);
+    }
+
+    #[test]
+    fn hstack_word_boundaries() {
+        // Splice at a non-word-aligned offset and check every bit.
+        for (sc, oc) in [(3usize, 4usize), (63, 2), (64, 64), (65, 70), (1, 130)] {
+            let mut a = Mat::zeros(2, sc);
+            let mut b = Mat::zeros(2, oc);
+            for c in (0..sc).step_by(3) {
+                a.set(0, c, true);
+            }
+            for c in (0..oc).step_by(2) {
+                b.set(1, c, true);
+            }
+            let h = a.hstack(&b);
+            assert_eq!((h.num_rows(), h.num_cols()), (2, sc + oc));
+            for r in 0..2 {
+                for c in 0..sc {
+                    assert_eq!(h.get(r, c), a.get(r, c), "({sc},{oc}) self bit ({r},{c})");
+                }
+                for c in 0..oc {
+                    assert_eq!(
+                        h.get(r, sc + c),
+                        b.get(r, c),
+                        "({sc},{oc}) other bit ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_span_wide_word_boundary() {
+        for cols in [63usize, 64, 65, 130] {
+            let mut s = RowSpan::new(cols);
+            let mut v1 = vec![0u8; cols];
+            v1[0] = 1;
+            v1[cols - 1] = 1;
+            let mut v2 = vec![0u8; cols];
+            v2[cols - 1] = 1;
+            assert!(s.insert(&v1));
+            assert!(s.insert(&v2));
+            assert!(!s.insert(&v1));
+            let mut sum = vec![0u8; cols];
+            sum[0] = 1;
+            assert!(s.contains(&sum), "cols={cols}");
+            assert_eq!(s.dim(), 2);
+        }
     }
 
     #[test]

@@ -192,10 +192,8 @@ pub fn synthesize(stabilizers: &[Pauli]) -> Result<StatePrepCircuit, SynthesisEr
 }
 
 fn x_block_rank(m: &Mat, n: usize) -> usize {
-    let rows: Vec<Vec<u8>> = (0..m.num_rows())
-        .map(|r| (0..n).map(|c| u8::from(m.get(r, c))).collect())
-        .collect();
-    Mat::from_rows(&rows).rank()
+    // Masked rank of the first n columns — no submatrix is materialized.
+    m.rank_of_cols(0, n)
 }
 
 fn toggle(set: &mut Vec<usize>, q: usize) {

@@ -1,0 +1,235 @@
+//! Property tests: the word-packed GF(2) substrate against a naive
+//! byte-per-bit reference model, over random operation sequences and
+//! widths straddling the u64 word boundary (63 / 64 / 65 columns).
+
+use nasp_qec::gf2::{Mat, RowSpan};
+use proptest::prelude::*;
+
+/// Reference model: one byte per bit, scalar loops everywhere.
+#[derive(Clone, Debug, PartialEq)]
+struct ByteMat {
+    rows: Vec<Vec<u8>>,
+    cols: usize,
+}
+
+impl ByteMat {
+    fn to_mat(&self) -> Mat {
+        if self.rows.is_empty() {
+            Mat::zeros(0, self.cols)
+        } else {
+            Mat::from_rows(&self.rows)
+        }
+    }
+
+    fn rref(&mut self) -> Vec<usize> {
+        let nrows = self.rows.len();
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..self.cols {
+            if row >= nrows {
+                break;
+            }
+            let Some(p) = (row..nrows).find(|&r| self.rows[r][col] == 1) else {
+                continue;
+            };
+            self.rows.swap(row, p);
+            for r in 0..nrows {
+                if r != row && self.rows[r][col] == 1 {
+                    for c in 0..self.cols {
+                        self.rows[r][c] ^= self.rows[row][c];
+                    }
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        pivots
+    }
+
+    fn mul(&self, other: &ByteMat) -> ByteMat {
+        let mut out = vec![vec![0u8; other.cols]; self.rows.len()];
+        for (i, oi) in out.iter_mut().enumerate() {
+            for (k, ok) in other.rows.iter().enumerate() {
+                if self.rows[i][k] == 1 {
+                    for (o, &b) in oi.iter_mut().zip(ok) {
+                        *o ^= b;
+                    }
+                }
+            }
+        }
+        ByteMat {
+            rows: out,
+            cols: other.cols,
+        }
+    }
+}
+
+fn mats_equal(packed: &Mat, byte: &ByteMat) -> bool {
+    if packed.num_rows() != byte.rows.len() || packed.num_cols() != byte.cols {
+        return false;
+    }
+    (0..byte.rows.len()).all(|r| packed.row(r) == byte.rows[r])
+}
+
+/// Widths around the word boundary plus a couple of small/multi-word cases.
+fn width_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        5usize..=20,
+        120usize..=130,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rref_matches_reference(
+        cols in width_strategy(),
+        nrows in 1usize..=12,
+        seedrows in prop::collection::vec(prop::collection::vec(0u8..=1, 130..=130), 12..=12),
+    ) {
+        let byte = ByteMat {
+            rows: seedrows[..nrows].iter().map(|r| r[..cols].to_vec()).collect(),
+            cols,
+        };
+        let mut packed = byte.to_mat();
+        let mut reference = byte.clone();
+        let pp = packed.rref();
+        let rp = reference.rref();
+        prop_assert_eq!(&pp, &rp, "pivot columns differ");
+        prop_assert!(mats_equal(&packed, &reference), "rref results differ");
+        // Rank agrees with the number of pivots, without mutating.
+        prop_assert_eq!(byte.to_mat().rank(), rp.len());
+    }
+
+    #[test]
+    fn mul_matches_reference(
+        k in width_strategy(),
+        n in 1usize..=10,
+        m in width_strategy(),
+        a_rows in prop::collection::vec(prop::collection::vec(0u8..=1, 130..=130), 10..=10),
+        b_rows in prop::collection::vec(prop::collection::vec(0u8..=1, 130..=130), 130..=130),
+    ) {
+        let a = ByteMat { rows: a_rows[..n].iter().map(|r| r[..k].to_vec()).collect(), cols: k };
+        let b = ByteMat { rows: b_rows[..k].iter().map(|r| r[..m].to_vec()).collect(), cols: m };
+        let packed = a.to_mat().mul(&b.to_mat());
+        let reference = a.mul(&b);
+        prop_assert!(mats_equal(&packed, &reference), "products differ");
+    }
+
+    #[test]
+    fn kernel_basis_annihilated_and_complete(
+        cols in width_strategy(),
+        nrows in 1usize..=10,
+        seedrows in prop::collection::vec(prop::collection::vec(0u8..=1, 130..=130), 10..=10),
+    ) {
+        let byte = ByteMat {
+            rows: seedrows[..nrows].iter().map(|r| r[..cols].to_vec()).collect(),
+            cols,
+        };
+        let m = byte.to_mat();
+        let basis = m.kernel_basis();
+        // Rank-nullity over the packed substrate.
+        prop_assert_eq!(m.rank() + basis.len(), cols);
+        for v in &basis {
+            let vt = Mat::from_rows(std::slice::from_ref(v)).transpose();
+            prop_assert!(m.mul(&vt).is_zero(), "kernel vector not annihilated");
+        }
+    }
+
+    #[test]
+    fn rank_of_cols_matches_materialized_submatrix(
+        cols in width_strategy(),
+        nrows in 1usize..=10,
+        lo_frac in 0usize..=100,
+        hi_frac in 0usize..=100,
+        seedrows in prop::collection::vec(prop::collection::vec(0u8..=1, 130..=130), 10..=10),
+    ) {
+        let (lo_frac, hi_frac) = (lo_frac.min(hi_frac), lo_frac.max(hi_frac));
+        let lo = cols * lo_frac / 100;
+        let hi = cols * hi_frac / 100;
+        let byte = ByteMat {
+            rows: seedrows[..nrows].iter().map(|r| r[..cols].to_vec()).collect(),
+            cols,
+        };
+        let m = byte.to_mat();
+        let expected = if lo == hi {
+            0
+        } else {
+            let sub = ByteMat {
+                rows: byte.rows.iter().map(|r| r[lo..hi].to_vec()).collect(),
+                cols: hi - lo,
+            };
+            sub.to_mat().rank()
+        };
+        prop_assert_eq!(m.rank_of_cols(lo, hi), expected);
+    }
+
+    #[test]
+    fn hstack_transpose_match_reference(
+        cols_a in width_strategy(),
+        cols_b in width_strategy(),
+        nrows in 1usize..=8,
+        seedrows in prop::collection::vec(prop::collection::vec(0u8..=1, 260..=260), 8..=8),
+    ) {
+        let a = ByteMat {
+            rows: seedrows[..nrows].iter().map(|r| r[..cols_a].to_vec()).collect(),
+            cols: cols_a,
+        };
+        let b = ByteMat {
+            rows: seedrows[..nrows].iter().map(|r| r[130..130 + cols_b].to_vec()).collect(),
+            cols: cols_b,
+        };
+        let h = a.to_mat().hstack(&b.to_mat());
+        let expected = ByteMat {
+            rows: a.rows.iter().zip(&b.rows).map(|(ra, rb)| {
+                let mut r = ra.clone();
+                r.extend_from_slice(rb);
+                r
+            }).collect(),
+            cols: cols_a + cols_b,
+        };
+        prop_assert!(mats_equal(&h, &expected), "hstack differs");
+        let t = a.to_mat().transpose();
+        for r in 0..a.rows.len() {
+            for c in 0..cols_a {
+                prop_assert_eq!(t.get(c, r), a.rows[r][c] == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn row_span_matches_reference_reduction(
+        cols in width_strategy(),
+        vecs in prop::collection::vec(prop::collection::vec(0u8..=1, 130..=130), 1..=14),
+    ) {
+        // Reference: collect inserted vectors, test membership by rank.
+        let mut span = RowSpan::new(cols);
+        let mut inserted: Vec<Vec<u8>> = Vec::new();
+        for v in &vecs {
+            let v = v[..cols].to_vec();
+            let before = ByteMat { rows: inserted.clone(), cols }.to_mat().rank();
+            let with = {
+                let mut rows = inserted.clone();
+                rows.push(v.clone());
+                ByteMat { rows, cols }.to_mat().rank()
+            };
+            let fresh = with > before;
+            prop_assert_eq!(span.insert(&v), fresh, "insert disagrees with rank model");
+            if fresh {
+                inserted.push(v.clone());
+            }
+            prop_assert!(span.contains(&v), "inserted vector must be contained");
+            prop_assert_eq!(span.dim(), inserted.len());
+            // The residue of any vector re-reduces to itself and XORs to a
+            // span member.
+            let residue = span.reduce(&v);
+            prop_assert_eq!(span.reduce(&residue), residue.clone(), "residue not reduced");
+            let diff: Vec<u8> = v.iter().zip(&residue).map(|(a, b)| a ^ b).collect();
+            prop_assert!(span.contains(&diff), "v - residue must lie in the span");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Flat clause arena: the solver's clause database as one contiguous
+//! `u32` buffer.
+//!
+//! Each clause is stored inline as `[len, flags, last_used, lit₀, lit₁, …]`
+//! and referenced by its offset (a [`ClauseRef`]), so the two-watched-literal
+//! propagation loop walks contiguous memory instead of chasing per-clause
+//! heap pointers (the MiniSat-lineage layout; see DESIGN.md §6). The `flags`
+//! word packs the learnt and deleted bits plus the clause's LBD; `last_used`
+//! is the conflict timestamp of last involvement, truncated to 32 bits (it
+//! only tie-breaks learnt-database reduction, so wraparound is harmless).
+//!
+//! Deletion only sets a flag; the space is reclaimed by [`ClauseDb::compact`],
+//! an in-place sliding compaction that returns an old→new forwarding map for
+//! the solver to remap watchers, reasons and learnt references.
+
+use crate::types::Lit;
+
+/// Reference to a clause: its word offset in the arena.
+pub(crate) type ClauseRef = u32;
+
+/// Header words preceding the literals of every clause.
+const HDR: usize = 3;
+
+const F_LEARNT: u32 = 1;
+const F_DELETED: u32 = 1 << 1;
+const LBD_SHIFT: u32 = 2;
+
+/// The arena-backed clause database.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    data: Vec<u32>,
+    /// Words occupied by deleted clauses (compaction scheduling).
+    wasted: usize,
+    /// Live problem (non-learnt) clauses; problem clauses are never deleted.
+    num_problem: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Appends a clause and returns its reference.
+    pub fn alloc(&mut self, lits: &[Lit], learnt: bool, last_used: u64) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.data.len() as ClauseRef;
+        self.data.push(lits.len() as u32);
+        self.data.push(u32::from(learnt) * F_LEARNT);
+        self.data.push(last_used as u32);
+        self.data.extend(lits.iter().map(|l| l.0));
+        if !learnt {
+            self.num_problem += 1;
+        }
+        cref
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self, c: ClauseRef) -> usize {
+        self.data[c as usize] as usize
+    }
+
+    /// The `k`-th literal of the clause.
+    #[inline]
+    pub fn lit(&self, c: ClauseRef, k: usize) -> Lit {
+        debug_assert!(k < self.len(c));
+        Lit(self.data[c as usize + HDR + k])
+    }
+
+    /// Swaps two literals of the clause (watch maintenance).
+    #[inline]
+    pub fn swap_lits(&mut self, c: ClauseRef, a: usize, b: usize) {
+        let base = c as usize + HDR;
+        self.data.swap(base + a, base + b);
+    }
+
+    #[inline]
+    fn flags(&self, c: ClauseRef) -> u32 {
+        self.data[c as usize + 1]
+    }
+
+    /// Is the clause marked deleted?
+    #[inline]
+    pub fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.flags(c) & F_DELETED != 0
+    }
+
+    /// Was the clause learnt (vs. a problem clause)?
+    #[inline]
+    pub fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.flags(c) & F_LEARNT != 0
+    }
+
+    /// Marks the clause deleted (space reclaimed by [`Self::compact`]).
+    pub fn delete(&mut self, c: ClauseRef) {
+        debug_assert!(!self.is_deleted(c));
+        self.data[c as usize + 1] |= F_DELETED;
+        self.wasted += HDR + self.len(c);
+    }
+
+    /// Literal-blocks-distance stored for the clause.
+    #[inline]
+    pub fn lbd(&self, c: ClauseRef) -> u32 {
+        self.flags(c) >> LBD_SHIFT
+    }
+
+    /// Stores the clause's LBD (saturating to the available 30 bits).
+    pub fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
+        let lbd = lbd.min(u32::MAX >> LBD_SHIFT);
+        let i = c as usize + 1;
+        self.data[i] = (self.data[i] & (F_LEARNT | F_DELETED)) | (lbd << LBD_SHIFT);
+    }
+
+    /// Conflict timestamp of last involvement (32-bit truncated).
+    #[inline]
+    pub fn last_used(&self, c: ClauseRef) -> u32 {
+        self.data[c as usize + 2]
+    }
+
+    /// Updates the last-involvement timestamp.
+    #[inline]
+    pub fn set_last_used(&mut self, c: ClauseRef, t: u64) {
+        self.data[c as usize + 2] = t as u32;
+    }
+
+    /// Live problem clauses (problem clauses are never deleted).
+    pub fn num_problem(&self) -> usize {
+        self.num_problem
+    }
+
+    /// Arena footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+
+    /// `true` when enough garbage has accumulated to warrant compaction
+    /// (> 20% of the arena).
+    pub fn should_compact(&self) -> bool {
+        self.wasted * 5 > self.data.len()
+    }
+
+    /// Slides live clauses down over deleted ones, in place, and returns
+    /// the sorted `(old, new)` forwarding map for live clauses. References
+    /// to deleted clauses have no entry (watchers pointing at them are
+    /// dropped by the caller).
+    pub fn compact(&mut self) -> Vec<(ClauseRef, ClauseRef)> {
+        let mut map = Vec::new();
+        let (mut read, mut write) = (0usize, 0usize);
+        while read < self.data.len() {
+            let size = HDR + self.data[read] as usize;
+            if self.data[read + 1] & F_DELETED == 0 {
+                map.push((read as ClauseRef, write as ClauseRef));
+                self.data.copy_within(read..read + size, write);
+                write += size;
+            }
+            read += size;
+        }
+        self.data.truncate(write);
+        self.wasted = 0;
+        map
+    }
+}
+
+/// Looks up a reference in a forwarding map produced by [`ClauseDb::compact`].
+pub(crate) fn forward(map: &[(ClauseRef, ClauseRef)], c: ClauseRef) -> Option<ClauseRef> {
+    map.binary_search_by_key(&c, |&(old, _)| old)
+        .ok()
+        .map(|i| map[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(ids: &[i32]) -> Vec<Lit> {
+        ids.iter()
+            .map(|&d| Var::from_index(d.unsigned_abs() as usize).lit(d > 0))
+            .collect()
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, -2, 3]), false, 7);
+        let b = db.alloc(&lits(&[4, 5]), true, 9);
+        assert_eq!(db.len(a), 3);
+        assert_eq!(db.len(b), 2);
+        assert_eq!(db.lit(a, 1), lits(&[-2])[0]);
+        assert!(!db.is_learnt(a));
+        assert!(db.is_learnt(b));
+        assert_eq!(db.last_used(b), 9);
+        db.set_lbd(b, 5);
+        assert_eq!(db.lbd(b), 5);
+        assert!(db.is_learnt(b), "lbd write must not clobber flags");
+        db.swap_lits(a, 0, 2);
+        assert_eq!(db.lit(a, 0), lits(&[3])[0]);
+        assert_eq!(db.num_problem(), 1);
+        assert!(db.bytes() > 0);
+    }
+
+    #[test]
+    fn compaction_forwards_live_refs() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, 2]), true, 0);
+        let b = db.alloc(&lits(&[3, 4, 5]), true, 0);
+        let c = db.alloc(&lits(&[6, 7]), false, 0);
+        db.set_lbd(b, 3);
+        db.delete(a);
+        assert!(db.is_deleted(a));
+        let before = db.bytes();
+        let map = db.compact();
+        assert!(db.bytes() < before);
+        assert_eq!(forward(&map, a), None);
+        let nb = forward(&map, b).expect("b live");
+        let nc = forward(&map, c).expect("c live");
+        assert_eq!(nb, 0, "b slides to the front");
+        assert_eq!(db.len(nb), 3);
+        assert_eq!(db.lit(nb, 2), lits(&[5])[0]);
+        assert_eq!(db.lbd(nb), 3);
+        assert!(db.is_learnt(nb));
+        assert_eq!(db.len(nc), 2);
+        assert!(!db.is_learnt(nc));
+        assert_eq!(db.lit(nc, 0), lits(&[6])[0]);
+    }
+
+    #[test]
+    fn compaction_threshold() {
+        let mut db = ClauseDb::new();
+        let refs: Vec<ClauseRef> = (0..10).map(|_| db.alloc(&lits(&[1, 2]), true, 0)).collect();
+        assert!(!db.should_compact());
+        for &c in &refs[..5] {
+            db.delete(c);
+        }
+        assert!(db.should_compact());
+        db.compact();
+        assert!(!db.should_compact());
+    }
+}

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod dimacs;
 mod heap;
 mod solver;

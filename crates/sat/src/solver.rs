@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use crate::arena::{forward, ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, Var};
 
@@ -89,18 +90,6 @@ impl Budget {
     }
 }
 
-type ClauseRef = u32;
-
-#[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    lbd: u32,
-    /// Conflict timestamp of last involvement, for reduction tie-breaking.
-    last_used: u64,
-}
-
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
@@ -130,7 +119,7 @@ const LUBY_UNIT: u64 = 128;
 /// ```
 #[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    db: ClauseDb,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     phase: Vec<bool>,
@@ -163,7 +152,7 @@ impl Solver {
     /// Creates an empty solver with no variables or clauses.
     pub fn new() -> Self {
         Solver {
-            clauses: Vec::new(),
+            db: ClauseDb::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             phase: Vec::new(),
@@ -192,17 +181,19 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of problem (non-learnt, non-deleted) clauses.
+    /// Number of problem (non-learnt) clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses
-            .iter()
-            .filter(|c| !c.learnt && !c.deleted)
-            .count()
+        self.db.num_problem()
     }
 
     /// Search statistics accumulated over all `solve` calls.
     pub fn stats(&self) -> Stats {
         self.stats
+    }
+
+    /// Current clause-arena footprint in bytes (diagnostics / benchmarks).
+    pub fn clause_db_bytes(&self) -> usize {
+        self.db.bytes()
     }
 
     /// Creates a fresh variable and returns it.
@@ -285,18 +276,11 @@ impl Solver {
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as ClauseRef;
+        let cref = self.db.alloc(&lits, learnt, self.stats.conflicts);
         let w0 = lits[0];
         let w1 = lits[1];
         self.watches[(!w0).index()].push(Watcher { cref, blocker: w1 });
         self.watches[(!w1).index()].push(Watcher { cref, blocker: w0 });
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            deleted: false,
-            lbd: 0,
-            last_used: self.stats.conflicts,
-        });
         if learnt {
             self.learnt_refs.push(cref);
             self.stats.learnt_clauses += 1;
@@ -354,20 +338,19 @@ impl Solver {
                     continue;
                 }
                 let cref = w.cref;
-                if self.clauses[cref as usize].deleted {
+                if self.db.is_deleted(cref) {
                     self.watches[p.index()].swap_remove(i);
                     continue;
                 }
                 // Make sure the false literal (!p) is at position 1.
                 {
-                    let c = &mut self.clauses[cref as usize];
                     let false_lit = !p;
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                    if self.db.lit(cref, 0) == false_lit {
+                        self.db.swap_lits(cref, 0, 1);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                    debug_assert_eq!(self.db.lit(cref, 1), false_lit);
                 }
-                let first = self.clauses[cref as usize].lits[0];
+                let first = self.db.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     // Clause satisfied; refresh blocker.
                     self.watches[p.index()][i].blocker = first;
@@ -375,11 +358,11 @@ impl Solver {
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref as usize].lits.len();
+                let len = self.db.len(cref);
                 for k in 2..len {
-                    let lk = self.clauses[cref as usize].lits[k];
+                    let lk = self.db.lit(cref, k);
                     if self.lit_value(lk) != LBool::False {
-                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.db.swap_lits(cref, 1, k);
                         self.watches[p.index()].swap_remove(i);
                         self.watches[(!lk).index()].push(Watcher {
                             cref,
@@ -426,11 +409,11 @@ impl Solver {
 
         loop {
             {
-                self.clauses[confl as usize].last_used = self.stats.conflicts;
+                self.db.set_last_used(confl, self.stats.conflicts);
                 let start = usize::from(p.is_some());
-                let nlits = self.clauses[confl as usize].lits.len();
+                let nlits = self.db.len(confl);
                 for k in start..nlits {
-                    let q = self.clauses[confl as usize].lits[k];
+                    let q = self.db.lit(confl, k);
                     let v = q.var();
                     if !self.seen[v.index()] && self.level[v.index()] > 0 {
                         self.seen[v.index()] = true;
@@ -519,8 +502,8 @@ impl Solver {
                 }
                 return false;
             };
-            let lits: Vec<Lit> = self.clauses[r as usize].lits[1..].to_vec();
-            for q in lits {
+            for k in 1..self.db.len(r) {
+                let q = self.db.lit(r, k);
                 let v = q.var();
                 if self.seen[v.index()] || self.level[v.index()] == 0 {
                     continue;
@@ -573,35 +556,51 @@ impl Solver {
             .learnt_refs
             .iter()
             .copied()
-            .filter(|&c| {
-                let cl = &self.clauses[c as usize];
-                !cl.deleted && cl.lbd > 2 && !self.is_reason(c)
-            })
+            .filter(|&c| !self.db.is_deleted(c) && self.db.lbd(c) > 2 && !self.is_reason(c))
             .collect();
-        cand.sort_by_key(|&c| {
-            let cl = &self.clauses[c as usize];
-            (std::cmp::Reverse(cl.lbd), cl.last_used)
-        });
+        cand.sort_by_key(|&c| (std::cmp::Reverse(self.db.lbd(c)), self.db.last_used(c)));
         let n_delete = cand.len() / 2;
         for &c in cand.iter().take(n_delete) {
-            self.clauses[c as usize].deleted = true;
-            self.clauses[c as usize].lits.clear();
-            self.clauses[c as usize].lits.shrink_to_fit();
+            debug_assert!(self.db.is_learnt(c), "only learnt clauses are reduced");
+            self.db.delete(c);
             self.stats.deleted_clauses += 1;
             self.stats.learnt_clauses -= 1;
         }
-        self.learnt_refs
-            .retain(|&c| !self.clauses[c as usize].deleted);
+        self.learnt_refs.retain(|&c| !self.db.is_deleted(c));
+        if self.db.should_compact() {
+            self.compact_db();
+        }
         self.reduce_count += 1;
         self.next_reduce = self.stats.conflicts + 2000 + 500 * self.reduce_count;
     }
 
-    fn is_reason(&self, cref: ClauseRef) -> bool {
-        let c = &self.clauses[cref as usize];
-        if c.lits.is_empty() {
-            return false;
+    /// Slides live clauses over the garbage left by deletion and remaps
+    /// every outstanding [`ClauseRef`] (watchers, reasons, learnt list).
+    /// Watchers still pointing at deleted clauses are dropped here instead
+    /// of lazily during propagation.
+    fn compact_db(&mut self) {
+        let map = self.db.compact();
+        for list in &mut self.watches {
+            list.retain_mut(|w| match forward(&map, w.cref) {
+                Some(nc) => {
+                    w.cref = nc;
+                    true
+                }
+                None => false,
+            });
         }
-        let v = c.lits[0].var().index();
+        for r in self.reason.iter_mut() {
+            if let Some(c) = *r {
+                *r = Some(forward(&map, c).expect("reason clause survives reduction"));
+            }
+        }
+        for c in self.learnt_refs.iter_mut() {
+            *c = forward(&map, *c).expect("learnt_refs pruned before compaction");
+        }
+    }
+
+    fn is_reason(&self, cref: ClauseRef) -> bool {
+        let v = self.db.lit(cref, 0).var().index();
         self.assigns[v].is_assigned() && self.reason[v] == Some(cref)
     }
 
@@ -761,7 +760,7 @@ impl Solver {
                 let lbd = self.compute_lbd(&learnt);
                 let asserting = learnt[0];
                 let cref = self.attach_clause(learnt, true);
-                self.clauses[cref as usize].lbd = lbd;
+                self.db.set_lbd(cref, lbd);
                 self.enqueue(asserting, Some(cref));
             }
         }
@@ -919,6 +918,36 @@ mod tests {
         // And with a generous budget it finishes.
         let r = s.solve_limited(&[], Budget::unlimited());
         assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn reduction_and_compaction_mid_search() {
+        // Pigeonhole 8-into-7 generates thousands of conflicts, so the
+        // learnt database is reduced (and the arena compacted) mid-search;
+        // the result must stay correct and the solver reusable.
+        let n = 8usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.stats().deleted_clauses > 0,
+            "learnt DB reduction must trigger on this instance"
+        );
+        assert!(s.clause_db_bytes() > 0);
+        // Solver stays usable after compaction remapped all references.
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

@@ -6,29 +6,103 @@
 //! the final state is checked against the target code space, closing the
 //! loop between the SMT encoding and physical meaning.
 
+use nasp_qec::gf2::{pack_bits, unpack_bits, words_for};
 use nasp_qec::Pauli;
 
-/// Phase exponent of `i` contributed when multiplying single-qubit Paulis
-/// `(x1, z1) · (x2, z2)` (the `g` function of Aaronson–Gottesman).
-fn g(x1: u8, z1: u8, x2: u8, z2: u8) -> i8 {
-    match (x1, z1) {
-        (0, 0) => 0,
-        (1, 1) => z2 as i8 - x2 as i8,
-        (1, 0) => (z2 as i8) * (2 * x2 as i8 - 1),
-        (0, 1) => (x2 as i8) * (1 - 2 * z2 as i8),
-        _ => unreachable!("bits are 0/1"),
+const WORD: usize = 64;
+
+/// Word-parallel Aaronson–Gottesman `g` function: for 64 qubit positions at
+/// once, masks of the positions contributing `+1` respectively `−1` to the
+/// phase exponent of `(x1, z1) · (x2, z2)`.
+///
+/// Case split on the left factor `(x1, z1)`:
+/// `Y·`: `+1` on `Z`, `−1` on `X`; `X·`: `+1` on `Y`, `−1` on `Z`;
+/// `Z·`: `+1` on `X`, `−1` on `Y`; identity contributes nothing.
+#[inline]
+fn g_masks(x1: u64, z1: u64, x2: u64, z2: u64) -> (u64, u64) {
+    let plus = (x1 & z1 & z2 & !x2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+    let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & z2 & !x2) | (!x1 & z1 & x2 & z2);
+    (plus, minus)
+}
+
+/// Row multiplication into disjoint buffers: `(hx, hz, hr) ← row_i · row_h`
+/// where the `i` row is given by `(ix, iz, ir)`. The phase sum runs
+/// word-wise: two bit masks select the `+i` / `−i` positions and `popcount`
+/// reduces them, replacing the per-qubit table lookup of the byte-matrix
+/// version. Returns the new phase bit.
+///
+/// For stabilizer-row products the phase exponent is always 0 or 2
+/// (Hermitian result). When measurement collapse rowsums a *destabilizer*
+/// against an anticommuting pivot the exponent can be odd; destabilizer
+/// phase bits are don't-care in the Aaronson–Gottesman scheme, so the bit
+/// is simply `phase / 2` in every case.
+fn rowsum_pair(hx: &mut [u64], hz: &mut [u64], hr: u8, ix: &[u64], iz: &[u64], ir: u8) -> u8 {
+    let mut acc = 2 * i32::from(hr) + 2 * i32::from(ir);
+    for k in 0..hx.len() {
+        let (x1, z1) = (ix[k], iz[k]);
+        let (x2, z2) = (hx[k], hz[k]);
+        let (plus, minus) = g_masks(x1, z1, x2, z2);
+        acc += plus.count_ones() as i32 - minus.count_ones() as i32;
+        hx[k] = x2 ^ x1;
+        hz[k] = z2 ^ z1;
     }
+    (acc.rem_euclid(4) / 2) as u8
+}
+
+/// Row multiplication `row_h ← row_i · row_h` with full phase tracking, on
+/// flat packed storage (`wpr` words per row).
+fn rowsum_flat(xs: &mut [u64], zs: &mut [u64], rs: &mut [u8], wpr: usize, h: usize, i: usize) {
+    debug_assert_ne!(h, i);
+    // Split the flat buffers so the h row (mutable) and i row (shared) can
+    // be borrowed together.
+    let split = if h < i { i * wpr } else { h * wpr };
+    let (hr, ir) = (rs[h], rs[i]);
+    let new_r = if h < i {
+        let (xl, xr) = xs.split_at_mut(split);
+        let (zl, zr) = zs.split_at_mut(split);
+        rowsum_pair(
+            &mut xl[h * wpr..(h + 1) * wpr],
+            &mut zl[h * wpr..(h + 1) * wpr],
+            hr,
+            &xr[..wpr],
+            &zr[..wpr],
+            ir,
+        )
+    } else {
+        let (xl, xr) = xs.split_at_mut(split);
+        let (zl, zr) = zs.split_at_mut(split);
+        rowsum_pair(
+            &mut xr[..wpr],
+            &mut zr[..wpr],
+            hr,
+            &xl[i * wpr..(i + 1) * wpr],
+            &zl[i * wpr..(i + 1) * wpr],
+            ir,
+        )
+    };
+    rs[h] = new_r;
+}
+
+#[inline]
+fn row_bit(words: &[u64], wpr: usize, row: usize, col: usize) -> bool {
+    (words[row * wpr + col / WORD] >> (col % WORD)) & 1 == 1
 }
 
 /// A stabilizer tableau over `n` qubits.
 ///
 /// Rows `0..n` hold destabilizers, rows `n..2n` stabilizers, following
-/// Aaronson & Gottesman (2004).
+/// Aaronson & Gottesman (2004). Rows are bit-packed into `u64` words
+/// (DESIGN.md §6): row multiplication and measurement collapse run
+/// word-wise, a ~64× reduction in inner-loop work for wide tableaus.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tableau {
     n: usize,
-    x: Vec<Vec<u8>>,
-    z: Vec<Vec<u8>>,
+    /// Words per packed row.
+    wpr: usize,
+    /// X bits, `2n` rows of `wpr` words each.
+    x: Vec<u64>,
+    /// Z bits, same layout.
+    z: Vec<u64>,
     /// Phase bit per row: 0 ⇒ +1, 1 ⇒ −1.
     r: Vec<u8>,
 }
@@ -36,25 +110,36 @@ pub struct Tableau {
 impl Tableau {
     /// The all-zeros state `|0…0⟩` (stabilizers `Z_q`).
     pub fn new_zero(n: usize) -> Self {
+        let wpr = words_for(n);
         let mut t = Tableau {
             n,
-            x: vec![vec![0; n]; 2 * n],
-            z: vec![vec![0; n]; 2 * n],
+            wpr,
+            x: vec![0; 2 * n * wpr],
+            z: vec![0; 2 * n * wpr],
             r: vec![0; 2 * n],
         };
         for q in 0..n {
-            t.x[q][q] = 1; // destabilizer X_q
-            t.z[n + q][q] = 1; // stabilizer Z_q
+            t.x[q * wpr + q / WORD] |= 1 << (q % WORD); // destabilizer X_q
+            t.z[(n + q) * wpr + q / WORD] |= 1 << (q % WORD); // stabilizer Z_q
         }
         t
     }
 
     /// The all-plus state `|+…+⟩` (stabilizers `X_q`) — the initial state
-    /// of every NASP state-preparation circuit.
+    /// of every NASP state-preparation circuit. Built directly (a Hadamard
+    /// on every qubit of `|0…0⟩` just swaps each row's X/Z roles).
     pub fn new_plus(n: usize) -> Self {
-        let mut t = Self::new_zero(n);
+        let wpr = words_for(n);
+        let mut t = Tableau {
+            n,
+            wpr,
+            x: vec![0; 2 * n * wpr],
+            z: vec![0; 2 * n * wpr],
+            r: vec![0; 2 * n],
+        };
         for q in 0..n {
-            t.h(q);
+            t.z[q * wpr + q / WORD] |= 1 << (q % WORD); // destabilizer Z_q
+            t.x[(n + q) * wpr + q / WORD] |= 1 << (q % WORD); // stabilizer X_q
         }
         t
     }
@@ -66,17 +151,25 @@ impl Tableau {
 
     /// Hadamard on qubit `q`.
     pub fn h(&mut self, q: usize) {
+        let (w, sh) = (q / WORD, q % WORD);
         for i in 0..2 * self.n {
-            self.r[i] ^= self.x[i][q] & self.z[i][q];
-            std::mem::swap(&mut self.x[i][q], &mut self.z[i][q]);
+            let (xi, zi) = (self.x[i * self.wpr + w], self.z[i * self.wpr + w]);
+            let (xb, zb) = ((xi >> sh) & 1, (zi >> sh) & 1);
+            self.r[i] ^= (xb & zb) as u8;
+            let diff = (xb ^ zb) << sh;
+            self.x[i * self.wpr + w] = xi ^ diff;
+            self.z[i * self.wpr + w] = zi ^ diff;
         }
     }
 
     /// Phase gate S on qubit `q`.
     pub fn s(&mut self, q: usize) {
+        let (w, sh) = (q / WORD, q % WORD);
         for i in 0..2 * self.n {
-            self.r[i] ^= self.x[i][q] & self.z[i][q];
-            self.z[i][q] ^= self.x[i][q];
+            let xb = (self.x[i * self.wpr + w] >> sh) & 1;
+            let zb = (self.z[i * self.wpr + w] >> sh) & 1;
+            self.r[i] ^= (xb & zb) as u8;
+            self.z[i * self.wpr + w] ^= xb << sh;
         }
     }
 
@@ -87,51 +180,69 @@ impl Tableau {
     /// Panics if `c == t`.
     pub fn cnot(&mut self, c: usize, t: usize) {
         assert_ne!(c, t, "cnot needs distinct qubits");
+        let (wc, sc) = (c / WORD, c % WORD);
+        let (wt, st) = (t / WORD, t % WORD);
         for i in 0..2 * self.n {
-            self.r[i] ^= self.x[i][c] & self.z[i][t] & (self.x[i][t] ^ self.z[i][c] ^ 1);
-            self.x[i][t] ^= self.x[i][c];
-            self.z[i][c] ^= self.z[i][t];
+            let base = i * self.wpr;
+            let xc = (self.x[base + wc] >> sc) & 1;
+            let zc = (self.z[base + wc] >> sc) & 1;
+            let xt = (self.x[base + wt] >> st) & 1;
+            let zt = (self.z[base + wt] >> st) & 1;
+            self.r[i] ^= (xc & zt & (xt ^ zc ^ 1)) as u8;
+            self.x[base + wt] ^= xc << st;
+            self.z[base + wc] ^= zt << sc;
         }
     }
 
     /// Controlled-Z between `a` and `b` (symmetric).
     ///
+    /// Applied directly (one pass over the rows instead of the `H·CNOT·H`
+    /// decomposition): `Z_a ^= X_b`, `Z_b ^= X_a`, phase flips where both X
+    /// bits are set and the Z bits differ.
+    ///
     /// # Panics
     ///
     /// Panics if `a == b`.
     pub fn cz(&mut self, a: usize, b: usize) {
-        self.h(b);
-        self.cnot(a, b);
-        self.h(b);
+        assert_ne!(a, b, "cz needs distinct qubits");
+        let (wa, sa) = (a / WORD, a % WORD);
+        let (wb, sb) = (b / WORD, b % WORD);
+        for i in 0..2 * self.n {
+            let base = i * self.wpr;
+            let xa = (self.x[base + wa] >> sa) & 1;
+            let za = (self.z[base + wa] >> sa) & 1;
+            let xb = (self.x[base + wb] >> sb) & 1;
+            let zb = (self.z[base + wb] >> sb) & 1;
+            self.r[i] ^= (xa & xb & (za ^ zb)) as u8;
+            self.z[base + wa] ^= xb << sa;
+            self.z[base + wb] ^= xa << sb;
+        }
     }
 
     /// Pauli X on qubit `q`.
     pub fn x_gate(&mut self, q: usize) {
+        let (w, sh) = (q / WORD, q % WORD);
         for i in 0..2 * self.n {
-            self.r[i] ^= self.z[i][q];
+            self.r[i] ^= ((self.z[i * self.wpr + w] >> sh) & 1) as u8;
         }
     }
 
     /// Pauli Z on qubit `q`.
     pub fn z_gate(&mut self, q: usize) {
+        let (w, sh) = (q / WORD, q % WORD);
         for i in 0..2 * self.n {
-            self.r[i] ^= self.x[i][q];
+            self.r[i] ^= ((self.x[i * self.wpr + w] >> sh) & 1) as u8;
         }
+    }
+
+    #[inline]
+    fn x_bit(&self, row: usize, q: usize) -> bool {
+        row_bit(&self.x, self.wpr, row, q)
     }
 
     /// Row multiplication `row_h ← row_i · row_h` with phase tracking.
     fn rowsum(&mut self, h: usize, i: usize) {
-        let mut phase: i32 = 2 * self.r[h] as i32 + 2 * self.r[i] as i32;
-        for q in 0..self.n {
-            phase += g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]) as i32;
-        }
-        let phase = phase.rem_euclid(4);
-        debug_assert!(phase == 0 || phase == 2, "non-real stabilizer product");
-        self.r[h] = (phase / 2) as u8;
-        for q in 0..self.n {
-            self.x[h][q] ^= self.x[i][q];
-            self.z[h][q] ^= self.z[i][q];
-        }
+        rowsum_flat(&mut self.x, &mut self.z, &mut self.r, self.wpr, h, i);
     }
 
     /// Measures qubit `q` in the Z basis.
@@ -141,56 +252,52 @@ impl Tableau {
     /// Returns the measured bit.
     pub fn measure(&mut self, q: usize, random_bit: bool) -> bool {
         let n = self.n;
+        let wpr = self.wpr;
         // Random outcome iff some stabilizer anticommutes with Z_q (x bit set).
-        if let Some(p) = (n..2 * n).find(|&i| self.x[i][q] == 1) {
+        if let Some(p) = (n..2 * n).find(|&i| self.x_bit(i, q)) {
             // Random case.
             for i in 0..2 * n {
-                if i != p && self.x[i][q] == 1 {
+                if i != p && self.x_bit(i, q) {
                     self.rowsum(i, p);
                 }
             }
             // Destabilizer p-n becomes the old stabilizer row p.
-            self.x[p - n] = self.x[p].clone();
-            self.z[p - n] = self.z[p].clone();
+            self.x.copy_within(p * wpr..(p + 1) * wpr, (p - n) * wpr);
+            self.z.copy_within(p * wpr..(p + 1) * wpr, (p - n) * wpr);
             self.r[p - n] = self.r[p];
             // New stabilizer: ±Z_q.
-            self.x[p] = vec![0; n];
-            self.z[p] = vec![0; n];
-            self.z[p][q] = 1;
+            self.x[p * wpr..(p + 1) * wpr].fill(0);
+            self.z[p * wpr..(p + 1) * wpr].fill(0);
+            self.z[p * wpr + q / WORD] |= 1 << (q % WORD);
             self.r[p] = u8::from(random_bit);
             random_bit
         } else {
-            // Deterministic: accumulate into a scratch row.
-            let scratch = self.add_scratch_row();
+            // Deterministic: accumulate into a temporary scratch row
+            // appended to the packed storage, then truncate it away.
+            let scratch = 2 * n;
+            self.x.resize((2 * n + 1) * wpr, 0);
+            self.z.resize((2 * n + 1) * wpr, 0);
+            self.r.push(0);
             for i in 0..n {
-                if self.x[i][q] == 1 {
+                if self.x_bit(i, q) {
                     self.rowsum(scratch, i + n);
                 }
             }
             let out = self.r[scratch] == 1;
-            self.remove_scratch_row();
+            self.x.truncate(2 * n * wpr);
+            self.z.truncate(2 * n * wpr);
+            self.r.pop();
             out
         }
-    }
-
-    fn add_scratch_row(&mut self) -> usize {
-        self.x.push(vec![0; self.n]);
-        self.z.push(vec![0; self.n]);
-        self.r.push(0);
-        self.x.len() - 1
-    }
-
-    fn remove_scratch_row(&mut self) {
-        self.x.pop();
-        self.z.pop();
-        self.r.pop();
     }
 
     /// The current stabilizer generators as signed Paulis.
     pub fn stabilizers(&self) -> Vec<Pauli> {
         (self.n..2 * self.n)
             .map(|i| {
-                let p = Pauli::from_xz(self.x[i].clone(), self.z[i].clone());
+                let x = unpack_bits(&self.x[i * self.wpr..(i + 1) * self.wpr], self.n);
+                let z = unpack_bits(&self.z[i * self.wpr..(i + 1) * self.wpr], self.n);
+                let p = Pauli::from_xz(x, z);
                 if self.r[i] == 1 {
                     p.negated()
                 } else {
@@ -200,77 +307,74 @@ impl Tableau {
             .collect()
     }
 
+    /// Factors the stabilizer half into an eliminated basis for repeated
+    /// sign/membership queries. Only the n stabilizer rows are copied —
+    /// the destabilizer half plays no role, so the full tableau is never
+    /// cloned.
+    fn stab_basis(&self) -> StabBasis {
+        let n = self.n;
+        let wpr = self.wpr;
+        let mut wx = vec![0u64; n * wpr];
+        let mut wz = vec![0u64; n * wpr];
+        let mut wr = vec![0u8; n];
+        wx.copy_from_slice(&self.x[n * wpr..2 * n * wpr]);
+        wz.copy_from_slice(&self.z[n * wpr..2 * n * wpr]);
+        wr.copy_from_slice(&self.r[n..2 * n]);
+        // Eliminate column by column (x part then z part), multiplying rows
+        // with full phase tracking; record the pivot order for replays.
+        let mut pivots = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        for col in 0..2 * n {
+            let col_bit = |xs: &[u64], zs: &[u64], row: usize| -> bool {
+                if col < n {
+                    row_bit(xs, wpr, row, col)
+                } else {
+                    row_bit(zs, wpr, row, col - n)
+                }
+            };
+            let Some(pi) = (0..n).find(|&ri| !used[ri] && col_bit(&wx, &wz, ri)) else {
+                continue;
+            };
+            used[pi] = true;
+            pivots.push((col, pi));
+            // Clear this column in all other unused rows.
+            for ri in (0..n).filter(|&ri| !used[ri]) {
+                if col_bit(&wx, &wz, ri) {
+                    rowsum_flat(&mut wx, &mut wz, &mut wr, wpr, ri, pi);
+                }
+            }
+        }
+        StabBasis {
+            n,
+            wpr,
+            wx,
+            wz,
+            wr,
+            pivots,
+        }
+    }
+
     /// Tests whether `±p` (ignoring `p`'s own sign) lies in the stabilizer
     /// group; returns the group's sign for it: `Some(false)` for `+p`,
     /// `Some(true)` for `−p`, `None` if the unsigned operator is not in the
     /// group.
     pub fn sign_of(&self, p: &Pauli) -> Option<bool> {
         assert_eq!(p.num_qubits(), self.n, "qubit count mismatch");
-        // Gaussian elimination over a scratch copy of the stabilizer rows,
-        // multiplying rows with full phase tracking.
-        let mut work = self.clone();
-        let base = work.n;
-        let rows: Vec<usize> = (base..2 * base).collect();
-        // Target accumulated into a scratch row; start with identity and
-        // multiply generators in as we eliminate.
-        let scratch = work.add_scratch_row();
-        let target_x = p.x_bits().to_vec();
-        let target_z = p.z_bits().to_vec();
-        // Eliminate column by column (x part then z part).
-        let mut used = vec![false; rows.len()];
-        for col in 0..2 * base {
-            let get = |w: &Tableau, row: usize| -> u8 {
-                if col < base {
-                    w.x[row][col]
-                } else {
-                    w.z[row][col - base]
-                }
-            };
-            let tgt_bit = if col < base {
-                target_x[col]
-            } else {
-                target_z[col - base]
-            };
-            // Find a pivot among unused rows with a 1 in this column.
-            let Some(pi) = (0..rows.len()).find(|&ri| !used[ri] && get(&work, rows[ri]) == 1)
-            else {
-                // No unused generator touches this column any more, so the
-                // scratch bit here is final; it must already match the
-                // target, else the operator is outside the group.
-                let sb = if col < base {
-                    work.x[scratch][col]
-                } else {
-                    work.z[scratch][col - base]
-                };
-                if sb != tgt_bit {
-                    return None;
-                }
-                continue;
-            };
-            used[pi] = true;
-            let prow = rows[pi];
-            // Clear this column in all other unused rows.
-            for ri in 0..rows.len() {
-                if ri != pi && !used[ri] && get(&work, rows[ri]) == 1 {
-                    work.rowsum(rows[ri], prow);
-                }
-            }
-            // If the target needs this bit (compared with scratch), multiply
-            // the pivot into the scratch row.
-            let sb = if col < base {
-                work.x[scratch][col]
-            } else {
-                work.z[scratch][col - base]
-            };
-            if sb != tgt_bit {
-                work.rowsum(scratch, prow);
-            }
-        }
-        // Scratch must now equal the target's unsigned part.
-        if work.x[scratch] != target_x || work.z[scratch] != target_z {
-            return None;
-        }
-        Some(work.r[scratch] == 1)
+        self.stab_basis().sign(p)
+    }
+
+    /// [`Self::sign_of`] for many operators at once: the stabilizer rows
+    /// are Gauss-eliminated a single time and each target replays against
+    /// the factored basis — the schedule verifier's hot path.
+    pub fn signs_of(&self, targets: &[Pauli]) -> Vec<Option<bool>> {
+        let basis = self.stab_basis();
+        targets
+            .iter()
+            .map(|p| {
+                assert_eq!(p.num_qubits(), self.n, "qubit count mismatch");
+                basis.sign(p)
+            })
+            .collect()
     }
 
     /// `true` iff `+p` exactly (with sign) stabilizes the state.
@@ -284,6 +388,59 @@ impl Tableau {
     /// `true` iff `p` is in the stabilizer group up to sign.
     pub fn stabilizes_unsigned(&self, p: &Pauli) -> bool {
         self.sign_of(p).is_some()
+    }
+}
+
+/// The stabilizer half of a tableau, Gauss-eliminated once (with phase
+/// tracking) so that many sign/membership queries replay cheaply: each
+/// query only multiplies the recorded pivot rows into a scratch row — no
+/// re-elimination per target.
+struct StabBasis {
+    n: usize,
+    wpr: usize,
+    /// Eliminated stabilizer rows (X / Z halves, phases), `n` rows.
+    wx: Vec<u64>,
+    wz: Vec<u64>,
+    wr: Vec<u8>,
+    /// `(column, row)` pivots in elimination order.
+    pivots: Vec<(usize, usize)>,
+}
+
+impl StabBasis {
+    /// Sign of `±p` in the group, or `None` if `p` (unsigned) is outside.
+    fn sign(&self, p: &Pauli) -> Option<bool> {
+        let (n, wpr) = (self.n, self.wpr);
+        let mut tx = vec![0u64; wpr];
+        let mut tz = vec![0u64; wpr];
+        pack_bits(p.x_bits(), &mut tx);
+        pack_bits(p.z_bits(), &mut tz);
+        // Scratch accumulator, starting from the identity.
+        let mut sx = vec![0u64; wpr];
+        let mut sz = vec![0u64; wpr];
+        let mut sr = 0u8;
+        for &(col, prow) in &self.pivots {
+            let (scratch_bit, tgt_bit) = if col < n {
+                (row_bit(&sx, wpr, 0, col), row_bit(&tx, wpr, 0, col))
+            } else {
+                (row_bit(&sz, wpr, 0, col - n), row_bit(&tz, wpr, 0, col - n))
+            };
+            if scratch_bit != tgt_bit {
+                sr = rowsum_pair(
+                    &mut sx,
+                    &mut sz,
+                    sr,
+                    &self.wx[prow * wpr..(prow + 1) * wpr],
+                    &self.wz[prow * wpr..(prow + 1) * wpr],
+                    self.wr[prow],
+                );
+            }
+        }
+        // Pivot columns of the scratch now match the target; membership
+        // holds iff every other column matches as well.
+        if sx != tx || sz != tz {
+            return None;
+        }
+        Some(sr == 1)
     }
 }
 
@@ -405,6 +562,39 @@ mod tests {
         assert!(t.stabilizes_unsigned(&p("Z")));
         assert_eq!(t.sign_of(&p("Z")), Some(true));
         assert!(!t.stabilizes_unsigned(&p("X")));
+    }
+
+    #[test]
+    fn wide_tableau_word_boundaries() {
+        // Exercise qubit indices straddling the u64 word boundary.
+        for n in [63usize, 64, 65, 70] {
+            let mut t = Tableau::new_zero(n);
+            // GHZ chain across the boundary region.
+            t.h(0);
+            for q in 1..n {
+                t.cnot(q - 1, q);
+            }
+            let all_z: Vec<usize> = (0..n).collect();
+            assert!(t.stabilizes(&Pauli::x_on(n, &all_z)));
+            assert!(t.stabilizes(&Pauli::z_on(n, &[0, n - 1])));
+            assert!(t.stabilizes(&Pauli::z_on(n, &[62.min(n - 2), n - 1])));
+            // Measurement of qubit 0 collapses every qubit consistently.
+            let m0 = t.measure(0, true);
+            for q in 1..n {
+                assert_eq!(t.measure(q, false), m0, "n={n} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn s_and_h_across_boundary() {
+        let n = 65;
+        let mut t = Tableau::new_plus(n);
+        t.s(64);
+        let mut y = Pauli::x_on(n, &[64]).to_symplectic();
+        y[n + 64] = 1; // Y on qubit 64
+        assert!(t.stabilizes(&Pauli::from_symplectic(&y)));
+        assert!(t.stabilizes(&Pauli::x_on(n, &[63])));
     }
 
     #[test]

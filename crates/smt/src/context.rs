@@ -495,6 +495,11 @@ impl Ctx {
     pub fn stats(&self) -> nasp_sat::Stats {
         self.solver.stats()
     }
+
+    /// Bytes occupied by the underlying solver's clause arena.
+    pub fn clause_db_bytes(&self) -> usize {
+        self.solver.clause_db_bytes()
+    }
 }
 
 #[cfg(test)]
