@@ -1,0 +1,61 @@
+//! Criterion bench: the iterative-deepening sweep, scratch vs incremental.
+//!
+//! Measures the whole `solve()` driver (UNSAT rounds below the optimum,
+//! the SAT round, transfer tightening) on instances whose lower bound is
+//! strictly below the optimum, so the sweep genuinely iterates and the
+//! incremental path's warm solver has something to reuse.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nasp_arch::{ArchConfig, Layout};
+use nasp_core::{solve, Problem, SolveOptions};
+
+/// The paper's Fig. 2 scenario: lb = 2 (shared qubit), optimum S = 3 in a
+/// zoned layout — one UNSAT round, one SAT round, one tightening round.
+fn fig2_problem() -> Problem {
+    Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2)],
+    )
+}
+
+/// A 4-qubit chain in the double-sided layout: a longer sweep with more
+/// tightening work than Fig. 2.
+fn chain4_problem() -> Problem {
+    Problem::from_gates(
+        ArchConfig::paper(Layout::DoubleSidedStorage),
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+    )
+}
+
+fn options(incremental: bool) -> SolveOptions {
+    SolveOptions {
+        time_budget: Duration::from_secs(60),
+        heuristic_fallback: false,
+        incremental,
+        ..SolveOptions::default()
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_incremental");
+    group.sample_size(10);
+    for (name, problem) in [("fig2", fig2_problem()), ("chain4", chain4_problem())] {
+        for (path, incremental) in [("scratch", false), ("incremental", true)] {
+            group.bench_with_input(BenchmarkId::new(name, path), &problem, |b, problem| {
+                b.iter(|| {
+                    let r = solve(problem, &options(incremental));
+                    assert!(r.is_optimal(), "bench instance must solve to optimality");
+                    r.schedule
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -4,23 +4,31 @@
 //!   time with and without it on the small codes.
 //! * A2 — transfer-cost sensitivity: ASP of the shielded layouts as the
 //!   load/store duration sweeps around the paper's 200 µs.
+//!
+//! `--scratch` runs both ablations on the paper's literal scratch-per-`S`
+//! search instead of the incremental default, so A1's numbers can be
+//! compared across search back-ends.
 
 use std::time::{Duration, Instant};
 
 use nasp_arch::{ArchConfig, Layout, OpParams};
-use nasp_core::encoding::{EncodeOptions, Encoding};
+use nasp_core::encoding::EncodeOptions;
 use nasp_core::report::{run_experiment_with_circuit, ExperimentOptions};
+use nasp_core::solve::{solve, SolveOptions};
 use nasp_core::Problem;
 use nasp_qec::{catalog, graph_state};
-use nasp_smt::Budget;
 
 fn main() {
-    ablation_a1();
-    ablation_a2();
+    let incremental = !nasp_bench::scratch_from_args();
+    ablation_a1(incremental);
+    ablation_a2(incremental);
 }
 
-fn ablation_a1() {
-    println!("A1: ≥1-gate-per-beam strengthening (SMT wall time, optimal S)");
+fn ablation_a1(incremental: bool) {
+    println!(
+        "A1: ≥1-gate-per-beam strengthening (SMT wall time to optimal S, {} search)",
+        nasp_bench::search_backend_label(incremental)
+    );
     println!("code        layout              with     without");
     for code_name in ["steane", "surface", "shor"] {
         let code = catalog::by_name(code_name).expect("catalog code");
@@ -29,20 +37,19 @@ fn ablation_a1() {
             let problem = Problem::new(ArchConfig::paper(layout), &circuit);
             let mut times = Vec::new();
             for nonempty in [true, false] {
-                let opts = EncodeOptions {
-                    nonempty_exec: nonempty,
+                let options = SolveOptions {
+                    time_budget: Duration::from_secs(120),
+                    encode: EncodeOptions {
+                        nonempty_exec: nonempty,
+                        ..Default::default()
+                    },
+                    heuristic_fallback: false,
+                    minimize_transfers: false,
+                    incremental,
                     ..Default::default()
                 };
                 let t0 = Instant::now();
-                let mut s = problem.stage_lower_bound().max(1);
-                loop {
-                    let mut enc = Encoding::build(&problem, s, opts);
-                    match enc.solve(Budget::timeout(Duration::from_secs(120))) {
-                        nasp_smt::SolveResult::Sat => break,
-                        nasp_smt::SolveResult::Unsat => s += 1,
-                        nasp_smt::SolveResult::Unknown => break,
-                    }
-                }
+                let _ = solve(&problem, &options);
                 times.push(t0.elapsed());
             }
             println!(
@@ -55,7 +62,7 @@ fn ablation_a1() {
     }
 }
 
-fn ablation_a2() {
+fn ablation_a2(incremental: bool) {
     println!("\nA2: ASP vs trap-transfer duration (Steane)");
     println!("duration    (2) Bottom Storage    (3) Double-Sided Storage");
     let code = catalog::steane();
@@ -63,7 +70,7 @@ fn ablation_a2() {
     for duration_us in [50.0, 100.0, 200.0, 400.0, 800.0] {
         let mut asps = Vec::new();
         for layout in [Layout::BottomStorage, Layout::DoubleSidedStorage] {
-            let options = ExperimentOptions {
+            let mut options = ExperimentOptions {
                 budget_per_instance: Duration::from_secs(30),
                 params: OpParams {
                     transfer_duration_us: duration_us,
@@ -71,6 +78,7 @@ fn ablation_a2() {
                 },
                 ..Default::default()
             };
+            options.solver.incremental = incremental;
             let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
             asps.push(r.metrics.asp);
         }

@@ -1,10 +1,14 @@
 //! Regenerates the paper's Figure 4 (ΔASP of shielded layouts vs baseline).
 //!
-//! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS]`
+//! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS] [--scratch]`
 
 fn main() {
-    let budget = nasp_bench::budget_from_args(30);
-    eprintln!("running Figure 4 with a {budget:?} SMT budget per instance…");
-    let rows = nasp_bench::table1_with_budget(budget);
+    let options = nasp_bench::experiment_options_from_args(30);
+    eprintln!(
+        "running Figure 4 with a {:?} SMT budget per instance ({} search)…",
+        options.budget_per_instance,
+        nasp_bench::search_backend_label(options.solver.incremental)
+    );
+    let rows = nasp_bench::table1_with_options(&options);
     print!("{}", nasp_bench::render_figure4(&rows));
 }

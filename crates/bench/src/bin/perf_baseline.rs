@@ -1,27 +1,35 @@
-//! Emits the substrate performance baseline as `BENCH_substrate.json`.
+//! Emits the performance baselines: `BENCH_substrate.json` (packed
+//! substrates, solver throughput, end-to-end solves) and
+//! `BENCH_search.json` (scratch vs incremental stage search).
 //!
 //! ```sh
 //! cargo run --release -p nasp-bench --bin perf_baseline            # full
 //! cargo run --release -p nasp-bench --bin perf_baseline -- --quick # CI smoke
-//! cargo run ... -- --out path/to.json                              # custom path
+//! cargo run ... -- --out path.json --out-search search.json        # custom paths
 //! ```
 //!
-//! The document pairs every packed substrate with its byte-per-bit
-//! reference model (speedups are host-independent), adds CDCL solver
-//! throughput, and two end-to-end schedule solves. The file is re-read and
-//! re-parsed before the process exits 0, so CI can treat a zero exit as
-//! "valid JSON baseline produced".
+//! The substrate document pairs every packed substrate with its
+//! byte-per-bit reference model (speedups are host-independent); the search
+//! document pairs the incremental assumption-guarded sweep with the
+//! scratch-per-`S` sweep on the same instances and cross-checks that both
+//! find the same minimal stage count. Each file is re-read and re-parsed
+//! before the process exits 0, so CI can treat a zero exit as "valid JSON
+//! baselines produced".
 
-use nasp_bench::baseline;
+use nasp_bench::{baseline, search};
+
+fn flag_value(args: &[String], flag: &str, default: &str) -> String {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| "BENCH_substrate.json".to_string());
+    let out = flag_value(&args, "--out", "BENCH_substrate.json");
+    let out_search = flag_value(&args, "--out-search", "BENCH_search.json");
 
     eprintln!(
         "measuring substrate baseline ({}) ...",
@@ -58,7 +66,40 @@ fn main() {
     match baseline::write_validated(&doc, &out) {
         Ok(()) => eprintln!("wrote {out}"),
         Err(e) => {
-            eprintln!("FAILED to produce a valid baseline: {e}");
+            eprintln!("FAILED to produce a valid substrate baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!(
+        "measuring search baseline ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let sdoc = search::measure(quick);
+    for i in &sdoc.instances {
+        eprintln!(
+            "  search {:>8} / {}  scratch {:>9.1} ms  incremental {:>9.1} ms  speedup {:>5.2}x  S={} (#T {} vs {})  agree={}",
+            i.code,
+            i.layout,
+            i.scratch_ms,
+            i.incremental_ms,
+            i.speedup,
+            i.stages,
+            i.transfers_scratch,
+            i.transfers_incremental,
+            i.agree
+        );
+    }
+    for s in &sdoc.summary {
+        eprintln!(
+            "  total  {:>8}  scratch {:>9.1} ms  incremental {:>9.1} ms  speedup {:>5.2}x",
+            s.code, s.scratch_ms_total, s.incremental_ms_total, s.speedup
+        );
+    }
+    match search::write_validated(&sdoc, &out_search) {
+        Ok(()) => eprintln!("wrote {out_search}"),
+        Err(e) => {
+            eprintln!("FAILED to produce a valid search baseline: {e}");
             std::process::exit(1);
         }
     }

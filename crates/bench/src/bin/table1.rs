@@ -1,11 +1,18 @@
 //! Regenerates the paper's Table I (layout comparison).
 //!
-//! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS] [--json PATH]`
+//! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS] [--json PATH] [--scratch]`
+//!
+//! `--scratch` A/Bs the paper's literal scratch-per-`S` search against the
+//! incremental default.
 
 fn main() {
-    let budget = nasp_bench::budget_from_args(30);
-    eprintln!("running Table I with a {budget:?} SMT budget per instance…");
-    let rows = nasp_bench::table1_with_budget(budget);
+    let options = nasp_bench::experiment_options_from_args(30);
+    eprintln!(
+        "running Table I with a {:?} SMT budget per instance ({} search)…",
+        options.budget_per_instance,
+        nasp_bench::search_backend_label(options.solver.incremental)
+    );
+    let rows = nasp_bench::table1_with_options(&options);
     print!("{}", nasp_bench::render_table1(&rows));
     let args: Vec<String> = std::env::args().collect();
     if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {

@@ -13,7 +13,11 @@
 //!
 //! Budgets are configurable via `--budget <seconds>` so the full table can
 //! be regenerated quickly (heuristic fallback for large codes, as the paper
-//! fell back to non-optimal Z3 results at its 320 h timeout).
+//! fell back to non-optimal Z3 results at its 320 h timeout). Every binary
+//! accepts `--scratch` to run the paper's literal scratch-per-`S` search
+//! instead of the incremental default, keeping the ablation story
+//! reproducible; [`search`] measures the two back-ends against each other
+//! (`BENCH_search.json`).
 
 use std::time::Duration;
 
@@ -21,6 +25,7 @@ use nasp_core::report::{figure4_deltas, run_table1, ExperimentOptions, Experimen
 
 pub mod baseline;
 pub mod naive;
+pub mod search;
 
 /// Parses `--budget <seconds>` from argv (default given by caller).
 pub fn budget_from_args(default_secs: u64) -> Duration {
@@ -33,13 +38,35 @@ pub fn budget_from_args(default_secs: u64) -> Duration {
     Duration::from_secs(secs)
 }
 
-/// Runs the full Table I with the given per-instance budget.
-pub fn table1_with_budget(budget: Duration) -> Vec<ExperimentResult> {
-    let options = ExperimentOptions {
-        budget_per_instance: budget,
+/// `true` when argv carries `--scratch`: run the paper's literal
+/// scratch-per-`S` search instead of the incremental default, for A/B
+/// ablation of the incremental sweep.
+pub fn scratch_from_args() -> bool {
+    std::env::args().any(|a| a == "--scratch")
+}
+
+/// Experiment options from argv: `--budget <seconds>` and `--scratch`.
+pub fn experiment_options_from_args(default_secs: u64) -> ExperimentOptions {
+    let mut options = ExperimentOptions {
+        budget_per_instance: budget_from_args(default_secs),
         ..Default::default()
     };
-    run_table1(&options)
+    options.solver.incremental = !scratch_from_args();
+    options
+}
+
+/// Human-readable name of the selected search back-end.
+pub fn search_backend_label(incremental: bool) -> &'static str {
+    if incremental {
+        "incremental"
+    } else {
+        "scratch"
+    }
+}
+
+/// Runs the full Table I with explicit options (budget, search back-end).
+pub fn table1_with_options(options: &ExperimentOptions) -> Vec<ExperimentResult> {
+    run_table1(options)
 }
 
 /// Renders Table I in the paper's format.

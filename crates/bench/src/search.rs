@@ -1,0 +1,210 @@
+//! Machine-readable search baseline: the measurements behind the committed
+//! `BENCH_search.json`.
+//!
+//! Every entry runs the *same* catalog instance through both search
+//! back-ends — the scratch sweep (one cold encoding per explored stage
+//! count, the paper's literal procedure) and the incremental
+//! assumption-guarded sweep (one warm solver per problem, DESIGN.md §7) —
+//! and records wall-clock time plus agreement checks: identical minimal
+//! stage count, identical provenance, and an operationally valid schedule
+//! on both paths. The headline number is the per-instance speedup.
+
+use std::time::{Duration, Instant};
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::solve::{solve, Provenance, SolveOptions, SolveReport};
+use nasp_core::Problem;
+use nasp_qec::{catalog, graph_state};
+use serde::{Deserialize, Serialize};
+
+/// One scratch-vs-incremental measurement of a catalog instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchBench {
+    /// Code whose preparation is scheduled.
+    pub code: String,
+    /// Layout solved for.
+    pub layout: String,
+    /// Wall-clock time of the scratch sweep (ms).
+    pub scratch_ms: f64,
+    /// Wall-clock time of the incremental sweep (ms).
+    pub incremental_ms: f64,
+    /// `scratch / incremental`.
+    pub speedup: f64,
+    /// Minimal stage count found (identical on both paths when `agree`).
+    pub stages: usize,
+    /// Transfer stages after tightening, scratch path.
+    pub transfers_scratch: usize,
+    /// Transfer stages after tightening, incremental path.
+    pub transfers_incremental: usize,
+    /// Both paths proved stage-optimality.
+    pub optimal_both: bool,
+    /// Both schedules pass the operational validator.
+    pub valid_both: bool,
+    /// Same minimal stage count, same provenance, same proven lower bound.
+    pub agree: bool,
+    /// Proven stage-count lower bound (incremental path).
+    pub proven_lb: usize,
+    /// SAT conflicts spent by the scratch sweep.
+    pub conflicts_scratch: u64,
+    /// SAT conflicts spent by the incremental sweep.
+    pub conflicts_incremental: u64,
+}
+
+/// Per-code totals across the measured layouts: the headline comparison
+/// (individual sub-30 ms rows are noise-prone; the per-code total is not).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CodeSummary {
+    /// Code name.
+    pub code: String,
+    /// Scratch sweep total across the code's layouts (ms).
+    pub scratch_ms_total: f64,
+    /// Incremental sweep total across the code's layouts (ms).
+    pub incremental_ms_total: f64,
+    /// `scratch / incremental` on the totals.
+    pub speedup: f64,
+}
+
+/// The full baseline document written to `BENCH_search.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchBaseline {
+    /// Document format tag.
+    pub schema: String,
+    /// `true` when produced by the reduced CI smoke run.
+    pub quick: bool,
+    /// Per-instance measurements.
+    pub instances: Vec<SearchBench>,
+    /// Per-code totals across the measured layouts.
+    pub summary: Vec<CodeSummary>,
+}
+
+/// Repetitions per path: the solver is deterministic, so the minimum
+/// wall-clock over a few runs isolates the search cost from scheduler and
+/// allocator noise (which dominates on the millisecond-scale instances).
+const REPS: u32 = 3;
+
+fn run_path(problem: &Problem, budget: Duration, incremental: bool) -> (Duration, SolveReport) {
+    let options = SolveOptions {
+        time_budget: budget,
+        incremental,
+        ..SolveOptions::default()
+    };
+    let mut best: Option<(Duration, SolveReport)> = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = solve(problem, &options);
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+            best = Some((elapsed, report));
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn bench_instance(code_name: &str, layout: Layout, budget: Duration) -> SearchBench {
+    let code = catalog::by_name(code_name).expect("catalog code");
+    let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
+    let problem = Problem::new(ArchConfig::paper(layout), &circuit);
+
+    let (t_scratch, r_scratch) = run_path(&problem, budget, false);
+    let (t_inc, r_inc) = run_path(&problem, budget, true);
+
+    let s_scratch = r_scratch.schedule.as_ref().expect("scratch schedule");
+    let s_inc = r_inc.schedule.as_ref().expect("incremental schedule");
+    let valid_both = validate_schedule(s_scratch, &problem.gates).is_empty()
+        && validate_schedule(s_inc, &problem.gates).is_empty();
+    let agree = s_scratch.stages.len() == s_inc.stages.len()
+        && r_scratch.provenance == r_inc.provenance
+        && r_scratch.proven_lb == r_inc.proven_lb;
+    SearchBench {
+        code: code.name().to_string(),
+        layout: layout.to_string(),
+        scratch_ms: t_scratch.as_secs_f64() * 1e3,
+        incremental_ms: t_inc.as_secs_f64() * 1e3,
+        speedup: t_scratch.as_secs_f64() / t_inc.as_secs_f64(),
+        stages: s_inc.stages.len(),
+        transfers_scratch: s_scratch.num_transfer(),
+        transfers_incremental: s_inc.num_transfer(),
+        optimal_both: r_scratch.provenance == Provenance::Optimal
+            && r_inc.provenance == Provenance::Optimal,
+        valid_both,
+        agree,
+        proven_lb: r_inc.proven_lb,
+        conflicts_scratch: r_scratch.sat_conflicts,
+        conflicts_incremental: r_inc.sat_conflicts,
+    }
+}
+
+/// Runs the scratch-vs-incremental suite: the two smallest catalog codes
+/// across all three paper layouts (their full Table I row set). `quick`
+/// only trims the per-instance budget for the CI smoke run — every
+/// instance here solves in well under a second on both paths.
+pub fn measure(quick: bool) -> SearchBaseline {
+    let budget = if quick {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(120)
+    };
+    let codes = ["perfect", "steane"];
+    let layouts = [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ];
+    let mut instances = Vec::new();
+    let mut summary = Vec::new();
+    for code in codes {
+        let rows: Vec<SearchBench> = layouts
+            .iter()
+            .map(|&layout| bench_instance(code, layout, budget))
+            .collect();
+        let scratch_ms_total: f64 = rows.iter().map(|r| r.scratch_ms).sum();
+        let incremental_ms_total: f64 = rows.iter().map(|r| r.incremental_ms).sum();
+        summary.push(CodeSummary {
+            code: rows[0].code.clone(),
+            scratch_ms_total,
+            incremental_ms_total,
+            speedup: scratch_ms_total / incremental_ms_total,
+        });
+        instances.extend(rows);
+    }
+    SearchBaseline {
+        schema: "nasp-bench-search/v1".to_string(),
+        quick,
+        instances,
+        summary,
+    }
+}
+
+/// Serializes, writes and re-parses the baseline at `path`, so a corrupt
+/// emitter fails loudly instead of committing garbage. Also fails when a
+/// measurement disagrees between the two paths — a speed win on divergent
+/// searches would be meaningless.
+///
+/// # Errors
+///
+/// Returns a message if writing, re-parsing, or the agreement checks fail.
+pub fn write_validated(baseline: &SearchBaseline, path: &str) -> Result<(), String> {
+    for i in &baseline.instances {
+        if !i.valid_both {
+            return Err(format!("{} / {}: invalid schedule", i.code, i.layout));
+        }
+        if !i.agree {
+            return Err(format!(
+                "{} / {}: scratch and incremental searches disagree",
+                i.code, i.layout
+            ));
+        }
+    }
+    let text = serde_json::to_string_pretty(baseline).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+    let read = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed: SearchBaseline =
+        serde_json::from_str(&read).map_err(|e| format!("re-parse {path}: {e:?}"))?;
+    if parsed.schema != baseline.schema
+        || parsed.instances.len() != baseline.instances.len()
+        || parsed.summary.len() != baseline.summary.len()
+    {
+        return Err(format!("round-trip mismatch in {path}"));
+    }
+    Ok(())
+}

@@ -6,6 +6,26 @@
 //!
 //! The formulation is compiled onto the finite-domain SMT layer
 //! (`nasp-smt`), replacing the paper's use of Z3 (DESIGN.md §3).
+//!
+//! Two front-ends share one constraint emitter:
+//!
+//! * [`Encoding`] — the *scratch* encoding for a fixed stage count `S`,
+//!   exactly the paper's per-`S` instance. Every [`Encoding::build`] is a
+//!   cold solver.
+//! * [`IncrementalEncoding`] — *one* encoding per problem for the whole
+//!   iterative-deepening sweep (DESIGN.md §7). Stages are allocated lazily;
+//!   the constraints tied to a specific stage count (all gates done, final
+//!   stage executes) are guarded behind per-`S` selector literals and
+//!   activated via solver assumptions, so learnt clauses, variable
+//!   activities and saved phases stay warm from `S` to `S + 1` and across
+//!   transfer-tightening steps.
+//!
+//! The split is sound because everything the shared emitter asserts is
+//! *prefix-closed*: per-stage constraints mention one stage, transition
+//! constraints mention a consecutive pair, and any satisfying prefix of
+//! `S` stages extends to allocated trailing stages by freezing every qubit
+//! in place and making the trailing stages transfer stages with no
+//! load/store flags set. Decoding therefore reads only the active prefix.
 
 use nasp_arch::{Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
 use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult};
@@ -34,13 +54,21 @@ impl Default for EncodeOptions {
     }
 }
 
-/// The symbolic schedule: all variables for a fixed stage count `S`,
-/// with every constraint asserted, ready to solve and decode.
-pub struct Encoding {
+/// The shared symbolic substrate: variables and constraints for the stages
+/// allocated so far, extensible one stage at a time.
+///
+/// Everything asserted here is independent of the final stage count; the
+/// front-ends add the count-specific constraints (unconditionally for the
+/// scratch [`Encoding`], selector-guarded for [`IncrementalEncoding`]).
+struct Core {
     ctx: Ctx,
     problem: Problem,
-    s: usize,
-    // V1: per qubit, per stage.
+    opts: EncodeOptions,
+    /// Upper bound on stages (fixes the `g` domains at creation).
+    stage_cap: usize,
+    /// Stages allocated so far.
+    stages: usize,
+    // V1: per qubit, per stage (`x[q][t]`).
     x: Vec<Vec<IntVar>>,
     y: Vec<Vec<IntVar>>,
     h: Vec<Vec<IntVar>>,
@@ -51,86 +79,127 @@ pub struct Encoding {
     // V2: per gate / per stage.
     g: Vec<IntVar>,
     e: Vec<Bool>,
-    // V3: per AOD line, per stage.
+    // V3: per AOD line, per stage (`cs[line][t]`).
     cs: Vec<Vec<Bool>>,
     cl: Vec<Vec<Bool>>,
     rs: Vec<Vec<Bool>>,
     rl: Vec<Vec<Bool>>,
+    /// Sequential transfer counter: `at_least[t][j]` ⇔ at least `j + 1` of
+    /// the stages `0..=t` are transfer stages. Full width, so "at most `k`
+    /// transfers within the first `S` stages" is the single literal
+    /// `¬at_least[S-1][k]` — usable as an assumption (no new clauses per
+    /// tightening step).
+    at_least: Vec<Vec<Bool>>,
+    /// Per-qubit gate index lists (for Eq. 14).
+    gates_of: Vec<Vec<usize>>,
+    /// Gate index pairs sharing a qubit (for Eq. 13).
+    conflicting_gates: Vec<(usize, usize)>,
 }
 
-impl Encoding {
-    /// Builds the complete encoding for `s` stages.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s == 0` while gates exist, or the config is invalid.
-    pub fn build(problem: &Problem, s: usize, opts: EncodeOptions) -> Self {
+impl Core {
+    fn new(problem: &Problem, stage_cap: usize, opts: EncodeOptions) -> Self {
         problem.config.validate().expect("valid architecture");
         assert!(
-            s > 0 || problem.gates.is_empty(),
+            stage_cap > 0 || problem.gates.is_empty(),
             "need at least one stage to execute gates"
         );
         let mut ctx = Ctx::new();
-        let cfg = &problem.config;
         let n = problem.num_qubits;
-
-        // --- V1: positioning variables.
-        let mk_grid = |ctx: &mut Ctx, lo: i64, hi: i64, name: &str| -> Vec<Vec<IntVar>> {
-            (0..n)
-                .map(|q| {
-                    (0..s)
-                        .map(|t| ctx.int_var(lo, hi, &format!("{name}_{q}_{t}")))
-                        .collect()
-                })
-                .collect()
-        };
-        let x = mk_grid(&mut ctx, 0, cfg.x_max, "x");
-        let y = mk_grid(&mut ctx, 0, cfg.y_max, "y");
-        let h = mk_grid(&mut ctx, -cfg.h_max, cfg.h_max, "h");
-        let v = mk_grid(&mut ctx, -cfg.v_max, cfg.v_max, "v");
-        let c = mk_grid(&mut ctx, 0, cfg.c_max, "c");
-        let r = mk_grid(&mut ctx, 0, cfg.r_max, "r");
-        let a: Vec<Vec<Bool>> = (0..n)
-            .map(|_| (0..s).map(|_| ctx.bool_var()).collect())
-            .collect();
-
-        // --- V2: gate stages and stage kinds.
+        let cfg = &problem.config;
         let g: Vec<IntVar> = (0..problem.gates.len())
-            .map(|i| ctx.int_var(0, s as i64 - 1, &format!("g_{i}")))
+            .map(|i| ctx.int_var(0, stage_cap as i64 - 1, &format!("g_{i}")))
             .collect();
-        let e: Vec<Bool> = (0..s).map(|_| ctx.bool_var()).collect();
-
-        // --- V3: load/store flags per AOD line per stage.
-        let mk_flags = |ctx: &mut Ctx, count: i64| -> Vec<Vec<Bool>> {
-            (0..=count)
-                .map(|_| (0..s).map(|_| ctx.bool_var()).collect())
-                .collect()
-        };
-        let cs = mk_flags(&mut ctx, cfg.c_max);
-        let cl = mk_flags(&mut ctx, cfg.c_max);
-        let rs = mk_flags(&mut ctx, cfg.r_max);
-        let rl = mk_flags(&mut ctx, cfg.r_max);
-
-        let mut enc = Encoding {
+        let gates_of: Vec<Vec<usize>> = (0..n).map(|q| problem.gates_of(q)).collect();
+        let mut conflicting_gates = Vec::new();
+        for i in 0..problem.gates.len() {
+            for j in (i + 1)..problem.gates.len() {
+                let (a1, b1) = problem.gates[i];
+                let (a2, b2) = problem.gates[j];
+                if a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2 {
+                    conflicting_gates.push((i, j));
+                }
+            }
+        }
+        Core {
             ctx,
             problem: problem.clone(),
-            s,
-            x,
-            y,
-            h,
-            v,
-            a,
-            c,
-            r,
+            opts,
+            stage_cap,
+            stages: 0,
+            x: vec![Vec::new(); n],
+            y: vec![Vec::new(); n],
+            h: vec![Vec::new(); n],
+            v: vec![Vec::new(); n],
+            a: vec![Vec::new(); n],
+            c: vec![Vec::new(); n],
+            r: vec![Vec::new(); n],
             g,
-            e,
-            cs,
-            cl,
-            rs,
-            rl,
-        };
-        enc.assert_all(opts);
-        enc
+            e: Vec::new(),
+            cs: vec![Vec::new(); cfg.c_max as usize + 1],
+            cl: vec![Vec::new(); cfg.c_max as usize + 1],
+            rs: vec![Vec::new(); cfg.r_max as usize + 1],
+            rl: vec![Vec::new(); cfg.r_max as usize + 1],
+            at_least: Vec::new(),
+            gates_of,
+            conflicting_gates,
+        }
+    }
+
+    /// Allocates stage `t = self.stages` and asserts every constraint that
+    /// mentions it: per-stage (C1–C3), the transition from `t − 1` (C4–C6),
+    /// and the gate-execution prerequisites of Eq. 12 at `t`. (The transfer
+    /// counter extends separately, on first demand.)
+    fn push_stage(&mut self) {
+        let t = self.stages;
+        assert!(t < self.stage_cap, "stage count beyond the encoding cap");
+        let n = self.problem.num_qubits;
+        let cfg = &self.problem.config;
+        let (x_max, y_max, h_max, v_max, c_max, r_max) = (
+            cfg.x_max, cfg.y_max, cfg.h_max, cfg.v_max, cfg.c_max, cfg.r_max,
+        );
+        for q in 0..n {
+            let xv = self.ctx.int_var(0, x_max, &format!("x_{q}_{t}"));
+            self.x[q].push(xv);
+            let yv = self.ctx.int_var(0, y_max, &format!("y_{q}_{t}"));
+            self.y[q].push(yv);
+            let hv = self.ctx.int_var(-h_max, h_max, &format!("h_{q}_{t}"));
+            self.h[q].push(hv);
+            let vv = self.ctx.int_var(-v_max, v_max, &format!("v_{q}_{t}"));
+            self.v[q].push(vv);
+            let cv = self.ctx.int_var(0, c_max, &format!("c_{q}_{t}"));
+            self.c[q].push(cv);
+            let rv = self.ctx.int_var(0, r_max, &format!("r_{q}_{t}"));
+            self.r[q].push(rv);
+            let av = self.ctx.bool_var();
+            self.a[q].push(av);
+        }
+        for k in 0..self.cs.len() {
+            let b = self.ctx.bool_var();
+            self.cs[k].push(b);
+            let b = self.ctx.bool_var();
+            self.cl[k].push(b);
+        }
+        for k in 0..self.rs.len() {
+            let b = self.ctx.bool_var();
+            self.rs[k].push(b);
+            let b = self.ctx.bool_var();
+            self.rl[k].push(b);
+        }
+        let ev = self.ctx.bool_var();
+        self.e.push(ev);
+        self.stages = t + 1;
+
+        self.assert_stage(t);
+        self.assert_gate_prereqs(t);
+        if t > 0 {
+            self.assert_transition(t - 1);
+        }
+        // Symmetry breaking: the first stage of *any* active prefix is an
+        // execution stage.
+        if t == 0 && self.opts.force_exec_boundary && !self.problem.gates.is_empty() {
+            let e0 = self.e[0];
+            self.ctx.assert(e0);
+        }
     }
 
     /// `y` of qubit `q` lies in the entangling zone at stage `t`.
@@ -177,295 +246,273 @@ impl Encoding {
             .collect()
     }
 
-    /// Flag lookup `flags[line_var] ` as a Boolean:
-    /// `⋁_k (line = k ∧ flags[k][t])`.
-    fn line_flag(&mut self, line: IntVar, flags: &[Vec<Bool>], t: usize) -> Bool {
-        let parts: Vec<Bool> = (0..flags.len())
-            .map(|k| {
+    /// Flag lookup over a stage column: `⋁_k (line = k ∧ col[k])`.
+    fn line_flag(&mut self, line: IntVar, col: &[Bool]) -> Bool {
+        let parts: Vec<Bool> = col
+            .iter()
+            .enumerate()
+            .map(|(k, &flag)| {
                 let isk = self.ctx.eq_const(line, k as i64);
-                self.ctx.and(&[isk, flags[k][t]])
+                self.ctx.and(&[isk, flag])
             })
             .collect();
         self.ctx.or(&parts)
     }
 
-    fn assert_all(&mut self, opts: EncodeOptions) {
+    /// Per-stage constraints of stage `t` (C1, C2, the no-spurious-CZ
+    /// soundness clause, C3's shielding of idlers, and the optional
+    /// nonempty-execution strengthening).
+    fn assert_stage(&mut self, t: usize) {
         let n = self.problem.num_qubits;
-        let s = self.s;
         let shielded = self.problem.config.has_storage();
 
-        // Per-qubit gate index lists (for Eq. 14).
-        let gates_of: Vec<Vec<usize>> = (0..n).map(|q| self.problem.gates_of(q)).collect();
+        for q in 0..n {
+            // C1, Eq. 10: SLM qubits sit at site centers.
+            let aq = self.a[q][t];
+            let h0 = self.ctx.eq_const(self.h[q][t], 0);
+            let v0 = self.ctx.eq_const(self.v[q][t], 0);
+            self.ctx.assert_or(&[aq, h0]);
+            self.ctx.assert_or(&[aq, v0]);
+        }
 
-        for t in 0..s {
-            for q in 0..n {
-                // C1, Eq. 10: SLM qubits sit at site centers.
-                let aq = self.a[q][t];
-                let h0 = self.ctx.eq_const(self.h[q][t], 0);
-                let v0 = self.ctx.eq_const(self.v[q][t], 0);
-                self.ctx.assert_or(&[aq, h0]);
-                self.ctx.assert_or(&[aq, v0]);
-            }
+        for q1 in 0..n {
+            for q2 in (q1 + 1)..n {
+                // C1, Eq. 9: equal offsets force distinct sites.
+                let eh = self.ctx.eq(self.h[q1][t], self.h[q2][t]);
+                let ev = self.ctx.eq(self.v[q1][t], self.v[q2][t]);
+                let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
+                let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
+                self.ctx.assert_or(&[!eh, !ev, !ex, !ey]);
 
-            for q1 in 0..n {
-                for q2 in (q1 + 1)..n {
-                    // C1, Eq. 9: equal offsets force distinct sites.
-                    let eh = self.ctx.eq(self.h[q1][t], self.h[q2][t]);
-                    let ev = self.ctx.eq(self.v[q1][t], self.v[q2][t]);
-                    let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
-                    let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
-                    self.ctx.assert_or(&[!eh, !ev, !ex, !ey]);
+                // C2, Eq. 11 (+ row analog): AOD line order follows
+                // physical order.
+                let a1 = self.a[q1][t];
+                let a2 = self.a[q2][t];
+                let xlt = self.x_lex_lt(q1, q2, t);
+                let xgt = self.x_lex_lt(q2, q1, t);
+                let clt = self.ctx.lt(self.c[q1][t], self.c[q2][t]);
+                let cgt = self.ctx.lt(self.c[q2][t], self.c[q1][t]);
+                self.ctx.assert_or(&[!a1, !a2, !clt, xlt]);
+                self.ctx.assert_or(&[!a1, !a2, clt, !xlt]);
+                self.ctx.assert_or(&[!a1, !a2, !cgt, xgt]);
+                self.ctx.assert_or(&[!a1, !a2, cgt, !xgt]);
+                let ylt = self.y_lex_lt(q1, q2, t);
+                let ygt = self.y_lex_lt(q2, q1, t);
+                let rlt = self.ctx.lt(self.r[q1][t], self.r[q2][t]);
+                let rgt = self.ctx.lt(self.r[q2][t], self.r[q1][t]);
+                self.ctx.assert_or(&[!a1, !a2, !rlt, ylt]);
+                self.ctx.assert_or(&[!a1, !a2, rlt, !ylt]);
+                self.ctx.assert_or(&[!a1, !a2, !rgt, ygt]);
+                self.ctx.assert_or(&[!a1, !a2, rgt, !ygt]);
 
-                    // C2, Eq. 11 (+ row analog): AOD line order follows
-                    // physical order.
-                    let a1 = self.a[q1][t];
-                    let a2 = self.a[q2][t];
-                    let xlt = self.x_lex_lt(q1, q2, t);
-                    let xgt = self.x_lex_lt(q2, q1, t);
-                    let clt = self.ctx.lt(self.c[q1][t], self.c[q2][t]);
-                    let cgt = self.ctx.lt(self.c[q2][t], self.c[q1][t]);
-                    self.ctx.assert_or(&[!a1, !a2, !clt, xlt]);
-                    self.ctx.assert_or(&[!a1, !a2, clt, !xlt]);
-                    self.ctx.assert_or(&[!a1, !a2, !cgt, xgt]);
-                    self.ctx.assert_or(&[!a1, !a2, cgt, !xgt]);
-                    let ylt = self.y_lex_lt(q1, q2, t);
-                    let ygt = self.y_lex_lt(q2, q1, t);
-                    let rlt = self.ctx.lt(self.r[q1][t], self.r[q2][t]);
-                    let rgt = self.ctx.lt(self.r[q2][t], self.r[q1][t]);
-                    self.ctx.assert_or(&[!a1, !a2, !rlt, ylt]);
-                    self.ctx.assert_or(&[!a1, !a2, rlt, !ylt]);
-                    self.ctx.assert_or(&[!a1, !a2, !rgt, ygt]);
-                    self.ctx.assert_or(&[!a1, !a2, rgt, !ygt]);
-
-                    // Soundness: a near pair inside the entangling zone at
-                    // an execution stage must BE a scheduled gate.
-                    let near = self.near(q1, q2, t);
-                    let z1 = self.in_zone(q1, t);
-                    let z2 = self.in_zone(q2, t);
-                    let pair_gates: Vec<usize> = self
-                        .problem
-                        .gates
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &(ga, gb))| (ga, gb) == (q1, q2))
-                        .map(|(i, _)| i)
-                        .collect();
-                    let mut clause = vec![!self.e[t], !near, !z1, !z2];
-                    clause.extend(self.some_gate_at(&pair_gates, t));
-                    self.ctx.assert_or(&clause);
-                }
-            }
-
-            // C3, Eq. 14: shielding of idling qubits.
-            for (q, q_gates) in gates_of.iter().enumerate() {
-                let gate_disj = self.some_gate_at(q_gates, t);
-                if shielded {
-                    let z = self.in_zone(q, t);
-                    let mut clause = vec![!self.e[t], !z];
-                    clause.extend(gate_disj);
-                    self.ctx.assert_or(&clause);
-                } else {
-                    // Footnote 2: idling qubits sit in interaction sites not
-                    // shared with any other qubit.
-                    for q2 in 0..n {
-                        if q2 == q {
-                            continue;
-                        }
-                        let ex = self.ctx.eq(self.x[q][t], self.x[q2][t]);
-                        let ey = self.ctx.eq(self.y[q][t], self.y[q2][t]);
-                        let mut clause = vec![!self.e[t], !ex, !ey];
-                        clause.extend(gate_disj.iter().copied());
-                        self.ctx.assert_or(&clause);
-                    }
-                }
-            }
-
-            // Optional strengthening: execution stages execute something.
-            if opts.nonempty_exec {
-                let all: Vec<usize> = (0..self.problem.gates.len()).collect();
-                let mut clause = vec![!self.e[t]];
-                clause.extend(self.some_gate_at(&all, t));
+                // Soundness: a near pair inside the entangling zone at
+                // an execution stage must BE a scheduled gate.
+                let near = self.near(q1, q2, t);
+                let z1 = self.in_zone(q1, t);
+                let z2 = self.in_zone(q2, t);
+                let pair_gates: Vec<usize> = self
+                    .problem
+                    .gates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(ga, gb))| (ga, gb) == (q1, q2))
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut clause = vec![!self.e[t], !near, !z1, !z2];
+                clause.extend(self.some_gate_at(&pair_gates, t));
                 self.ctx.assert_or(&clause);
             }
         }
 
-        // C3, Eq. 12: gate execution prerequisites.
+        // C3, Eq. 14: shielding of idling qubits. (`take`/restore instead
+        // of cloning the index just to appease the borrow checker.)
+        for q in 0..n {
+            let q_gates = std::mem::take(&mut self.gates_of[q]);
+            let gate_disj = self.some_gate_at(&q_gates, t);
+            self.gates_of[q] = q_gates;
+            if shielded {
+                let z = self.in_zone(q, t);
+                let mut clause = vec![!self.e[t], !z];
+                clause.extend(gate_disj);
+                self.ctx.assert_or(&clause);
+            } else {
+                // Footnote 2: idling qubits sit in interaction sites not
+                // shared with any other qubit.
+                for q2 in 0..n {
+                    if q2 == q {
+                        continue;
+                    }
+                    let ex = self.ctx.eq(self.x[q][t], self.x[q2][t]);
+                    let ey = self.ctx.eq(self.y[q][t], self.y[q2][t]);
+                    let mut clause = vec![!self.e[t], !ex, !ey];
+                    clause.extend(gate_disj.iter().copied());
+                    self.ctx.assert_or(&clause);
+                }
+            }
+        }
+
+        // Optional strengthening: execution stages execute something.
+        if self.opts.nonempty_exec {
+            let all: Vec<usize> = (0..self.problem.gates.len()).collect();
+            let mut clause = vec![!self.e[t]];
+            clause.extend(self.some_gate_at(&all, t));
+            self.ctx.assert_or(&clause);
+        }
+    }
+
+    /// C3, Eq. 12 at stage `t`: gate execution prerequisites; plus Eq. 13
+    /// restricted to `t`: gates sharing a qubit never share a stage.
+    /// Emitting Eq. 13 per stage (one binary clause over the value
+    /// literals, `¬(g_i = t) ∨ ¬(g_j = t)`) instead of a full-domain
+    /// disequality keeps it prefix-closed — and independent of the stage
+    /// cap, so the incremental encoding's headroom costs nothing here.
+    fn assert_gate_prereqs(&mut self, t: usize) {
+        for idx in 0..self.conflicting_gates.len() {
+            let (i, j) = self.conflicting_gates[idx];
+            let gi = self.ctx.eq_const(self.g[i], t as i64);
+            let gj = self.ctx.eq_const(self.g[j], t as i64);
+            self.ctx.assert_or(&[!gi, !gj]);
+        }
         for i in 0..self.problem.gates.len() {
             let (q1, q2) = self.problem.gates[i];
-            for t in 0..s {
-                let git = self.ctx.eq_const(self.g[i], t as i64);
-                let et = self.e[t];
-                self.ctx.assert_implies(git, et);
-                let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
-                self.ctx.assert_implies(git, ex);
-                let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
-                self.ctx.assert_implies(git, ey);
-                let rad = self.problem.config.radius;
-                let dh = self.ctx.abs_diff_lt(self.h[q1][t], self.h[q2][t], rad);
-                self.ctx.assert_implies(git, dh);
-                let dv = self.ctx.abs_diff_lt(self.v[q1][t], self.v[q2][t], rad);
-                self.ctx.assert_implies(git, dv);
-                let z1 = self.in_zone(q1, t);
-                self.ctx.assert_implies(git, z1);
-                let z2 = self.in_zone(q2, t);
-                self.ctx.assert_implies(git, z2);
-            }
-        }
-
-        // C3, Eq. 13: gates sharing a qubit never share a stage.
-        for i in 0..self.problem.gates.len() {
-            for j in (i + 1)..self.problem.gates.len() {
-                let (a1, b1) = self.problem.gates[i];
-                let (a2, b2) = self.problem.gates[j];
-                if a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2 {
-                    let ne = self.ctx.ne(self.g[i], self.g[j]);
-                    self.ctx.assert(ne);
-                }
-            }
-        }
-
-        // Transitions between consecutive stages.
-        for t in 0..s.saturating_sub(1) {
+            let git = self.ctx.eq_const(self.g[i], t as i64);
             let et = self.e[t];
-            for q in 0..n {
-                let a0 = self.a[q][t];
-                let a1 = self.a[q][t + 1];
-                // C4, Eq. 15: execution stages preserve trap type.
-                self.ctx.assert_or(&[!et, !a0, a1]);
-                self.ctx.assert_or(&[!et, a0, !a1]);
-                // C4, Eq. 16: SLM qubits are static.
-                let ex = self.ctx.eq(self.x[q][t], self.x[q][t + 1]);
-                let ey = self.ctx.eq(self.y[q][t], self.y[q][t + 1]);
-                self.ctx.assert_or(&[!et, a0, ex]);
-                self.ctx.assert_or(&[!et, a0, ey]);
-                // C4, Eq. 17: AOD qubits keep their lines while shuttling.
-                let ec = self.ctx.eq(self.c[q][t], self.c[q][t + 1]);
-                let er = self.ctx.eq(self.r[q][t], self.r[q][t + 1]);
-                self.ctx.assert_or(&[!et, !a0, ec]);
-                self.ctx.assert_or(&[!et, !a0, er]);
-
-                // C5, Eq. 18: storing only at site centers.
-                let h0 = self.ctx.eq_const(self.h[q][t], 0);
-                let v0 = self.ctx.eq_const(self.v[q][t], 0);
-                self.ctx.assert_or(&[et, a1, h0]);
-                self.ctx.assert_or(&[et, a1, v0]);
-                // C5, Eq. 19: qubits ending in SLM do not move.
-                self.ctx.assert_or(&[et, a1, ex]);
-                self.ctx.assert_or(&[et, a1, ey]);
-                // C5, Eq. 20: store iff a store flag covers the qubit's line.
-                let fs_c = self.line_flag(self.c[q][t], &self.cs.clone(), t);
-                let fs_r = self.line_flag(self.r[q][t], &self.rs.clone(), t);
-                let fs = self.ctx.or(&[fs_c, fs_r]);
-                self.ctx.assert_or(&[et, !a0, a1, fs]);
-                self.ctx.assert_or(&[et, !a0, !fs, !a1]);
-                // C5 (load analog): load iff a load flag covers the new line.
-                let fl_c = self.line_flag(self.c[q][t + 1], &self.cl.clone(), t);
-                let fl_r = self.line_flag(self.r[q][t + 1], &self.rl.clone(), t);
-                let fl = self.ctx.or(&[fl_c, fl_r]);
-                self.ctx.assert_or(&[et, a0, !a1, fl]);
-                self.ctx.assert_or(&[et, a0, !fl, a1]);
-            }
-            // C6, Eq. 21 (+ vertical analog): loading preserves relative
-            // physical order.
-            for q1 in 0..n {
-                for q2 in (q1 + 1)..n {
-                    let a1n = self.a[q1][t + 1];
-                    let a2n = self.a[q2][t + 1];
-                    let xlt = self.x_lex_lt(q1, q2, t);
-                    let xgt = self.x_lex_lt(q2, q1, t);
-                    let clt = self.ctx.lt(self.c[q1][t + 1], self.c[q2][t + 1]);
-                    let cgt = self.ctx.lt(self.c[q2][t + 1], self.c[q1][t + 1]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, !clt, xlt]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, clt, !xlt]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, !cgt, xgt]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, cgt, !xgt]);
-                    let ylt = self.y_lex_lt(q1, q2, t);
-                    let ygt = self.y_lex_lt(q2, q1, t);
-                    let rlt = self.ctx.lt(self.r[q1][t + 1], self.r[q2][t + 1]);
-                    let rgt = self.ctx.lt(self.r[q2][t + 1], self.r[q1][t + 1]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, !rlt, ylt]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, rlt, !ylt]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, !rgt, ygt]);
-                    self.ctx.assert_or(&[et, !a1n, !a2n, rgt, !ygt]);
-                }
-            }
-        }
-
-        // Symmetry breaking: first and last stages are execution stages.
-        if opts.force_exec_boundary && s > 0 && !self.problem.gates.is_empty() {
-            let e0 = self.e[0];
-            self.ctx.assert(e0);
-            let el = self.e[s - 1];
-            self.ctx.assert(el);
+            self.ctx.assert_implies(git, et);
+            let ex = self.ctx.eq(self.x[q1][t], self.x[q2][t]);
+            self.ctx.assert_implies(git, ex);
+            let ey = self.ctx.eq(self.y[q1][t], self.y[q2][t]);
+            self.ctx.assert_implies(git, ey);
+            let rad = self.problem.config.radius;
+            let dh = self.ctx.abs_diff_lt(self.h[q1][t], self.h[q2][t], rad);
+            self.ctx.assert_implies(git, dh);
+            let dv = self.ctx.abs_diff_lt(self.v[q1][t], self.v[q2][t], rad);
+            self.ctx.assert_implies(git, dv);
+            let z1 = self.in_zone(q1, t);
+            self.ctx.assert_implies(git, z1);
+            let z2 = self.in_zone(q2, t);
+            self.ctx.assert_implies(git, z2);
         }
     }
 
-    /// Solves the encoding under the given budget.
-    pub fn solve(&mut self, budget: Budget) -> SolveResult {
-        self.ctx.solve_limited(budget)
+    /// Transition constraints (C4–C6) between stages `t` and `t + 1`.
+    fn assert_transition(&mut self, t: usize) {
+        let n = self.problem.num_qubits;
+        let et = self.e[t];
+        let cs_col: Vec<Bool> = self.cs.iter().map(|line| line[t]).collect();
+        let rs_col: Vec<Bool> = self.rs.iter().map(|line| line[t]).collect();
+        let cl_col: Vec<Bool> = self.cl.iter().map(|line| line[t]).collect();
+        let rl_col: Vec<Bool> = self.rl.iter().map(|line| line[t]).collect();
+        for q in 0..n {
+            let a0 = self.a[q][t];
+            let a1 = self.a[q][t + 1];
+            // C4, Eq. 15: execution stages preserve trap type.
+            self.ctx.assert_or(&[!et, !a0, a1]);
+            self.ctx.assert_or(&[!et, a0, !a1]);
+            // C4, Eq. 16: SLM qubits are static.
+            let ex = self.ctx.eq(self.x[q][t], self.x[q][t + 1]);
+            let ey = self.ctx.eq(self.y[q][t], self.y[q][t + 1]);
+            self.ctx.assert_or(&[!et, a0, ex]);
+            self.ctx.assert_or(&[!et, a0, ey]);
+            // C4, Eq. 17: AOD qubits keep their lines while shuttling.
+            let ec = self.ctx.eq(self.c[q][t], self.c[q][t + 1]);
+            let er = self.ctx.eq(self.r[q][t], self.r[q][t + 1]);
+            self.ctx.assert_or(&[!et, !a0, ec]);
+            self.ctx.assert_or(&[!et, !a0, er]);
+
+            // C5, Eq. 18: storing only at site centers.
+            let h0 = self.ctx.eq_const(self.h[q][t], 0);
+            let v0 = self.ctx.eq_const(self.v[q][t], 0);
+            self.ctx.assert_or(&[et, a1, h0]);
+            self.ctx.assert_or(&[et, a1, v0]);
+            // C5, Eq. 19: qubits ending in SLM do not move.
+            self.ctx.assert_or(&[et, a1, ex]);
+            self.ctx.assert_or(&[et, a1, ey]);
+            // C5, Eq. 20: store iff a store flag covers the qubit's line.
+            let fs_c = self.line_flag(self.c[q][t], &cs_col);
+            let fs_r = self.line_flag(self.r[q][t], &rs_col);
+            let fs = self.ctx.or(&[fs_c, fs_r]);
+            self.ctx.assert_or(&[et, !a0, a1, fs]);
+            self.ctx.assert_or(&[et, !a0, !fs, !a1]);
+            // C5 (load analog): load iff a load flag covers the new line.
+            let fl_c = self.line_flag(self.c[q][t + 1], &cl_col);
+            let fl_r = self.line_flag(self.r[q][t + 1], &rl_col);
+            let fl = self.ctx.or(&[fl_c, fl_r]);
+            self.ctx.assert_or(&[et, a0, !a1, fl]);
+            self.ctx.assert_or(&[et, a0, !fl, a1]);
+        }
+        // C6, Eq. 21 (+ vertical analog): loading preserves relative
+        // physical order.
+        for q1 in 0..n {
+            for q2 in (q1 + 1)..n {
+                let a1n = self.a[q1][t + 1];
+                let a2n = self.a[q2][t + 1];
+                let xlt = self.x_lex_lt(q1, q2, t);
+                let xgt = self.x_lex_lt(q2, q1, t);
+                let clt = self.ctx.lt(self.c[q1][t + 1], self.c[q2][t + 1]);
+                let cgt = self.ctx.lt(self.c[q2][t + 1], self.c[q1][t + 1]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, !clt, xlt]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, clt, !xlt]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, !cgt, xgt]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, cgt, !xgt]);
+                let ylt = self.y_lex_lt(q1, q2, t);
+                let ygt = self.y_lex_lt(q2, q1, t);
+                let rlt = self.ctx.lt(self.r[q1][t + 1], self.r[q2][t + 1]);
+                let rgt = self.ctx.lt(self.r[q2][t + 1], self.r[q1][t + 1]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, !rlt, ylt]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, rlt, !ylt]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, !rgt, ygt]);
+                self.ctx.assert_or(&[et, !a1n, !a2n, rgt, !ygt]);
+            }
+        }
     }
 
-    /// Asserts that at most `k` stages are transfer stages (¬e_t), via a
-    /// sequential-counter cardinality encoding.
-    ///
-    /// This is an extension beyond the paper's objective (which minimizes
-    /// only the total stage count S): among stage-minimal schedules, fewer
-    /// transfer stages mean fewer error-prone 200 µs trap transfers, so the
-    /// driver optionally tightens `k` after fixing S.
-    pub fn assert_max_transfers(&mut self, k: usize) {
-        let transfers: Vec<Bool> = self.e.iter().map(|&e| !e).collect();
-        if transfers.len() <= k {
-            return;
-        }
-        if k == 0 {
-            for t in transfers {
-                self.ctx.assert(!t);
-            }
-            return;
-        }
-        // Sequential counter: partial[i][j] ⇔ at least j+1 of the first
-        // i+1 stage indicators are transfers.
-        let n = transfers.len();
-        let mut prev: Vec<Bool> = Vec::new();
-        for (i, &x) in transfers.iter().enumerate() {
-            let width = (i + 1).min(k + 1);
-            let mut cur: Vec<Bool> = Vec::with_capacity(width);
-            for j in 0..width {
+    /// Extends the sequential transfer counter to cover every allocated
+    /// stage. Built on first demand (a transfer bound is requested), not in
+    /// `push_stage`: a search that never bounds transfers — and notably the
+    /// scratch path's first solve per `S`, the paper's exact instance —
+    /// pays nothing for it.
+    fn ensure_transfer_counter(&mut self) {
+        while self.at_least.len() < self.stages {
+            let t = self.at_least.len();
+            let tr = !self.e[t];
+            let prev: Vec<Bool> = self.at_least.last().cloned().unwrap_or_default();
+            let mut cur: Vec<Bool> = Vec::with_capacity(t + 1);
+            for j in 0..=t {
                 let carried = prev.get(j).copied();
                 let bumped = if j == 0 {
-                    Some(x)
+                    Some(tr)
                 } else {
-                    prev.get(j - 1).map(|&p| self.ctx.and(&[p, x]))
+                    prev.get(j - 1).map(|&p| self.ctx.and(&[p, tr]))
                 };
                 let node = match (carried, bumped) {
                     (Some(c), Some(b)) => self.ctx.or(&[c, b]),
                     (Some(c), None) => c,
                     (None, Some(b)) => b,
-                    (None, None) => unreachable!("j < width"),
+                    (None, None) => unreachable!("j <= t"),
                 };
                 cur.push(node);
             }
-            // Overflow: k+1 transfers among the first i+1 stages.
-            if cur.len() == k + 1 {
-                let overflow = cur[k];
-                self.ctx.assert(!overflow);
-                cur.truncate(k + 1);
-            }
-            prev = cur;
-            let _ = n;
+            self.at_least.push(cur);
         }
     }
 
-    /// Decodes the model into a concrete [`Schedule`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before a successful [`Encoding::solve`].
-    pub fn decode(&self) -> Schedule {
+    /// `¬(at least k + 1 transfer stages among the first `prefix` stages)`
+    /// as an assumable literal, or `None` when the bound is trivially
+    /// satisfied (`k >= prefix`). Builds the counter on first use.
+    fn transfer_bound(&mut self, prefix: usize, k: usize) -> Option<Bool> {
+        if prefix == 0 || k >= prefix {
+            return None;
+        }
+        self.ensure_transfer_counter();
+        Some(!self.at_least[prefix - 1][k])
+    }
+
+    /// Decodes the first `prefix` stages of the model into a [`Schedule`].
+    fn decode_prefix(&self, prefix: usize) -> Schedule {
         let n = self.problem.num_qubits;
         let read_int = |var: IntVar| -> i64 { self.ctx.int_value(var).expect("model available") };
         let read_bool = |b: Bool| -> bool { self.ctx.bool_value(b).expect("model available") };
-        let stages = (0..self.s)
+        let stages = (0..prefix)
             .map(|t| {
                 let qubits: Vec<QubitState> = (0..n)
                     .map(|q| {
@@ -521,21 +568,258 @@ impl Encoding {
             stages,
         }
     }
+}
+
+/// The scratch symbolic schedule: all variables for a fixed stage count
+/// `S`, with every constraint asserted, ready to solve and decode.
+///
+/// This is the paper's per-`S` instance; the iterative-deepening driver
+/// prefers [`IncrementalEncoding`], which reuses one solver across the
+/// whole sweep, and keeps this path for A/B comparison (`--scratch`).
+pub struct Encoding {
+    core: Core,
+}
+
+impl Encoding {
+    /// Builds the complete encoding for `s` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0` while gates exist, or the config is invalid.
+    pub fn build(problem: &Problem, s: usize, opts: EncodeOptions) -> Self {
+        let mut core = Core::new(problem, s, opts);
+        for _ in 0..s {
+            core.push_stage();
+        }
+        // Symmetry breaking: the last stage is an execution stage. (The
+        // first-stage half lives in `push_stage`.)
+        if opts.force_exec_boundary && s > 0 && !core.problem.gates.is_empty() {
+            let el = core.e[s - 1];
+            core.ctx.assert(el);
+        }
+        Encoding { core }
+    }
+
+    /// Solves the encoding under the given budget.
+    pub fn solve(&mut self, budget: Budget) -> SolveResult {
+        self.core.ctx.solve_limited(budget)
+    }
+
+    /// Asserts that at most `k` stages are transfer stages (¬e_t), via the
+    /// shared sequential transfer counter.
+    ///
+    /// This is an extension beyond the paper's objective (which minimizes
+    /// only the total stage count S): among stage-minimal schedules, fewer
+    /// transfer stages mean fewer error-prone 200 µs trap transfers, so the
+    /// driver optionally tightens `k` after fixing S.
+    pub fn assert_max_transfers(&mut self, k: usize) {
+        if let Some(bound) = self.core.transfer_bound(self.core.stages, k) {
+            self.core.ctx.assert(bound);
+        }
+    }
+
+    /// Decodes the model into a concrete [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`Encoding::solve`].
+    pub fn decode(&self) -> Schedule {
+        self.core.decode_prefix(self.core.stages)
+    }
 
     /// Diagnostics: SAT variable / clause counts of the compiled encoding.
     pub fn size(&self) -> (usize, usize) {
-        (self.ctx.num_sat_vars(), self.ctx.num_clauses())
+        (self.core.ctx.num_sat_vars(), self.core.ctx.num_clauses())
     }
 
     /// Search statistics of the underlying SAT solver (conflicts,
-    /// propagations, …) accumulated over this encoding's `solve` calls.
+    /// propagations, decisions, restarts, …) accumulated over this
+    /// encoding's `solve` calls.
     pub fn stats(&self) -> nasp_smt::Stats {
-        self.ctx.stats()
+        self.core.ctx.stats()
     }
 
     /// Bytes occupied by the underlying solver's clause arena.
     pub fn clause_db_bytes(&self) -> usize {
-        self.ctx.clause_db_bytes()
+        self.core.ctx.clause_db_bytes()
+    }
+}
+
+/// One encoding per problem, reused across the whole iterative-deepening
+/// sweep (DESIGN.md §7).
+///
+/// Stages are allocated lazily up to `max_stages`; activating stage count
+/// `S` means assuming the selector literal `act_S`, which switches on the
+/// only constraints that depend on the stage count:
+///
+/// * `act_S → g_i ≤ S − 1` for every gate (one order literal each — "all
+///   gates done within the first `S` stages"),
+/// * `act_S → e_{S−1}` (the final-stage half of the execution-boundary
+///   symmetry breaking).
+///
+/// Transfer caps are assumption literals over the always-built sequential
+/// counter, so transfer tightening also adds no clauses. The solver keeps
+/// its learnt clauses, VSIDS activities and saved phases warm across every
+/// call, and assumption-level conflicts are retained as clauses mentioning
+/// `¬act_S`, so proving UNSAT at `S` directly prunes the search at `S + 1`.
+pub struct IncrementalEncoding {
+    core: Core,
+    /// `act[s - 1]` activates stage count `s` (grown with the stages).
+    act: Vec<Bool>,
+    /// Stage count of the most recent successful solve (decode prefix).
+    active: usize,
+    /// Stage count of the most recent query of any outcome: moving to a
+    /// different count resets branching activities (learnt clauses and
+    /// phases are kept) — scores tuned to refuting count `S` mislead the
+    /// structurally different `S + 1` query, while repeat queries at one
+    /// count (transfer tightening) profit from staying warm.
+    last_query: usize,
+}
+
+impl IncrementalEncoding {
+    /// Creates the encoding shell with a hard stage cap. No stages are
+    /// allocated yet; they appear on demand in [`IncrementalEncoding::solve_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_stages == 0` while gates exist, or the config is
+    /// invalid.
+    pub fn build(problem: &Problem, max_stages: usize, opts: EncodeOptions) -> Self {
+        IncrementalEncoding {
+            core: Core::new(problem, max_stages, opts),
+            act: Vec::new(),
+            active: 0,
+            last_query: 0,
+        }
+    }
+
+    /// The hard stage cap fixed at construction.
+    pub fn max_stages(&self) -> usize {
+        self.core.stage_cap
+    }
+
+    /// Stages allocated so far (grows monotonically with the sweep).
+    pub fn stages_built(&self) -> usize {
+        self.core.stages
+    }
+
+    /// Allocates stages (and their activation selectors) up to count `s`.
+    fn ensure_stages(&mut self, s: usize) {
+        assert!(
+            s <= self.core.stage_cap,
+            "stage count {s} beyond the encoding cap {}",
+            self.core.stage_cap
+        );
+        while self.core.stages < s {
+            self.core.push_stage();
+            let count = self.core.stages;
+            let sel = self.core.ctx.new_selector();
+            // act_count → every gate executes within the active prefix.
+            for i in 0..self.core.g.len() {
+                let done = self.core.ctx.le_const(self.core.g[i], count as i64 - 1);
+                self.core.ctx.assert_guarded(sel, &[done]);
+            }
+            // act_count → the last active stage is an execution stage.
+            if self.core.opts.force_exec_boundary && !self.core.problem.gates.is_empty() {
+                let last_exec = self.core.e[count - 1];
+                self.core.ctx.assert_guarded(sel, &[last_exec]);
+            }
+            self.act.push(sel);
+        }
+    }
+
+    /// The activation set for stage count `s`: `act_s` positively, every
+    /// other allocated selector negatively. Deactivating the others
+    /// explicitly (instead of leaving them to phase-saved defaults)
+    /// satisfies their guard clauses — and every selector-tagged learnt
+    /// clause from earlier rounds — up front, keeping stale rounds out of
+    /// propagation entirely.
+    fn activation(&self, s: usize) -> Vec<Bool> {
+        self.act
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| if i == s - 1 { sel } else { !sel })
+            .collect()
+    }
+
+    /// Solves for exactly `s` active stages under the given budget,
+    /// reusing everything the solver learnt in earlier calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0` or `s > max_stages`.
+    pub fn solve_at(&mut self, s: usize, budget: Budget) -> SolveResult {
+        assert!(s > 0, "need at least one active stage");
+        self.refresh_activities(s);
+        self.ensure_stages(s);
+        let assumptions = self.activation(s);
+        let result = self.core.ctx.solve_with(&assumptions, budget);
+        if result == SolveResult::Sat {
+            self.active = s;
+        }
+        result
+    }
+
+    /// Like [`IncrementalEncoding::solve_at`], additionally bounding the
+    /// number of transfer stages within the active prefix to at most `k` —
+    /// as a pure assumption, so the bound costs no clauses and can be
+    /// retightened monotonically.
+    pub fn solve_at_with_max_transfers(
+        &mut self,
+        s: usize,
+        k: usize,
+        budget: Budget,
+    ) -> SolveResult {
+        assert!(s > 0, "need at least one active stage");
+        self.refresh_activities(s);
+        self.ensure_stages(s);
+        let mut assumptions = self.activation(s);
+        assumptions.extend(self.core.transfer_bound(s, k));
+        let result = self.core.ctx.solve_with(&assumptions, budget);
+        if result == SolveResult::Sat {
+            self.active = s;
+        }
+        result
+    }
+
+    /// Resets branching activities when the stage count changes between
+    /// queries (see the `last_query` field). Runs *before* `ensure_stages`
+    /// so the reset belongs to entering the new round: variables allocated
+    /// afterwards — and Tseitin nodes created mid-round, e.g. the transfer
+    /// counter's — start at the round's running maximum activity.
+    fn refresh_activities(&mut self, s: usize) {
+        if self.last_query != 0 && self.last_query != s {
+            self.core.ctx.reset_activities();
+        }
+        self.last_query = s;
+    }
+
+    /// Decodes the model of the most recent successful solve, reading only
+    /// the active prefix (trailing allocated stages hold arbitrary frozen
+    /// placements that never execute a gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solve has returned [`SolveResult::Sat`] yet.
+    pub fn decode(&self) -> Schedule {
+        assert!(self.active > 0, "decode before a successful solve");
+        self.core.decode_prefix(self.active)
+    }
+
+    /// Diagnostics: SAT variable / clause counts of the encoding so far.
+    pub fn size(&self) -> (usize, usize) {
+        (self.core.ctx.num_sat_vars(), self.core.ctx.num_clauses())
+    }
+
+    /// Search statistics of the underlying SAT solver, accumulated over
+    /// every `solve_at*` call on this encoding.
+    pub fn stats(&self) -> nasp_smt::Stats {
+        self.core.ctx.stats()
+    }
+
+    /// Bytes occupied by the underlying solver's clause arena.
+    pub fn clause_db_bytes(&self) -> usize {
+        self.core.ctx.clause_db_bytes()
     }
 }
 
@@ -578,6 +862,63 @@ mod tests {
         assert!(violations.is_empty(), "violations: {violations:?}");
         assert_eq!(schedule.num_rydberg(), 2);
         assert_eq!(schedule.num_transfer(), 1);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_on_fig2() {
+        // The incremental sweep proves the same UNSAT prefix and finds the
+        // same minimum as three scratch encodings, on one solver.
+        let p = tiny_problem(Layout::BottomStorage, vec![(0, 1), (1, 2)], 3);
+        let mut inc = IncrementalEncoding::build(&p, 8, EncodeOptions::default());
+        assert_eq!(inc.solve_at(1, Budget::unlimited()), SolveResult::Unsat);
+        assert_eq!(inc.solve_at(2, Budget::unlimited()), SolveResult::Unsat);
+        assert_eq!(inc.solve_at(3, Budget::unlimited()), SolveResult::Sat);
+        let schedule = inc.decode();
+        assert_eq!(schedule.stages.len(), 3, "decode reads the active prefix");
+        let violations = validate_schedule(&schedule, &p.gates);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(schedule.num_rydberg(), 2);
+        assert_eq!(schedule.num_transfer(), 1);
+        assert_eq!(inc.stages_built(), 3, "stages are allocated lazily");
+    }
+
+    #[test]
+    fn incremental_revisits_smaller_counts() {
+        // After extending, earlier activation sets still answer correctly:
+        // the guards are per-count, not monotone state changes.
+        let p = tiny_problem(Layout::BottomStorage, vec![(0, 1), (1, 2)], 3);
+        let mut inc = IncrementalEncoding::build(&p, 8, EncodeOptions::default());
+        assert_eq!(inc.solve_at(3, Budget::unlimited()), SolveResult::Sat);
+        assert_eq!(inc.solve_at(2, Budget::unlimited()), SolveResult::Unsat);
+        assert_eq!(inc.solve_at(3, Budget::unlimited()), SolveResult::Sat);
+        let schedule = inc.decode();
+        assert!(validate_schedule(&schedule, &p.gates).is_empty());
+    }
+
+    #[test]
+    fn incremental_transfer_bound_as_assumption() {
+        // An unzoned 2-gate chain fits in S = 2 with zero transfers; the
+        // assumption-guarded cap must find that without new clauses, and an
+        // impossible cap at the zoned S = 3 instance must be UNSAT while
+        // leaving the uncapped activation SAT.
+        let p = tiny_problem(Layout::NoShielding, vec![(0, 1), (1, 2)], 3);
+        let mut inc = IncrementalEncoding::build(&p, 8, EncodeOptions::default());
+        assert_eq!(
+            inc.solve_at_with_max_transfers(2, 0, Budget::unlimited()),
+            SolveResult::Sat
+        );
+        assert_eq!(inc.decode().num_transfer(), 0);
+
+        let pz = tiny_problem(Layout::BottomStorage, vec![(0, 1), (1, 2)], 3);
+        let mut incz = IncrementalEncoding::build(&pz, 8, EncodeOptions::default());
+        assert_eq!(incz.solve_at(3, Budget::unlimited()), SolveResult::Sat);
+        assert_eq!(
+            incz.solve_at_with_max_transfers(3, 0, Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        // The cap was an assumption, not an assertion: uncapped still SAT.
+        assert_eq!(incz.solve_at(3, Budget::unlimited()), SolveResult::Sat);
+        assert!(validate_schedule(&incz.decode(), &pz.gates).is_empty());
     }
 
     #[test]

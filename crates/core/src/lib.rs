@@ -7,9 +7,11 @@
 //!
 //! * [`Problem`] — the scheduling instance (gates + architecture),
 //! * [`Encoding`] — the symbolic formulation (V1–V3, C1–C6) compiled onto
-//!   the finite-domain SMT layer,
+//!   the finite-domain SMT layer; [`IncrementalEncoding`] is its
+//!   assumption-guarded variant reused across a whole search,
 //! * [`solve()`](solve::solve) — iterative deepening on the stage count (the paper's
-//!   objective), with resource budgets and provenance reporting,
+//!   objective), with resource budgets and provenance reporting; by
+//!   default one warm solver serves the whole sweep,
 //! * [`heuristic`] — a valid fallback scheduler for budget-exhausted
 //!   instances (the paper's `*` cases ran Z3 for up to 320 h instead).
 //!
@@ -36,7 +38,7 @@ pub mod problem;
 pub mod report;
 pub mod solve;
 
-pub use encoding::{EncodeOptions, Encoding};
+pub use encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 pub use problem::Problem;
 pub use report::{run_experiment, run_table1, ExperimentOptions, ExperimentResult};
 pub use solve::{solve, Provenance, SolveOptions, SolveReport};

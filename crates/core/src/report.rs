@@ -38,10 +38,20 @@ pub struct ExperimentResult {
     /// Tableau-simulator verification: the schedule's CZ layers prepare the
     /// logical |0…0⟩ state up to a Pauli frame (must be true).
     pub verified: bool,
+    /// Proven lower bound on the minimal stage count: even when the budget
+    /// expired, every `S < proven_lb` is known impossible (the paper's 320 h
+    /// timeouts reported nothing about the rounds they did finish).
+    pub proven_lb: usize,
     /// Total SAT conflicts spent by the search (solver throughput).
     pub sat_conflicts: u64,
     /// Total SAT literal propagations spent by the search.
     pub sat_propagations: u64,
+    /// Total SAT decisions spent by the search.
+    pub sat_decisions: u64,
+    /// Total solver restarts over the search.
+    pub sat_restarts: u64,
+    /// Learnt clauses retained when the search finished.
+    pub sat_learnt_clauses: u64,
     /// Peak clause-arena footprint in bytes over the encodings explored.
     pub clause_db_bytes: u64,
 }
@@ -148,8 +158,12 @@ pub fn run_experiment_with_circuit(
         metrics,
         valid,
         verified,
+        proven_lb: report.proven_lb,
         sat_conflicts: report.sat_conflicts,
         sat_propagations: report.sat_propagations,
+        sat_decisions: report.sat_decisions,
+        sat_restarts: report.sat_restarts,
+        sat_learnt_clauses: report.sat_learnt_clauses,
         clause_db_bytes: report.clause_db_bytes,
     }
 }
@@ -210,7 +224,15 @@ mod tests {
         assert!(!r.table_row().is_empty());
         // Solver-throughput counters are plumbed through from the search.
         assert!(r.sat_propagations > 0, "propagations must be reported");
+        assert!(r.sat_decisions > 0, "decisions must be reported");
         assert!(r.clause_db_bytes > 0, "arena footprint must be reported");
+        if r.provenance == Provenance::Optimal {
+            assert_eq!(
+                r.proven_lb,
+                r.metrics.num_rydberg + r.metrics.num_transfer,
+                "optimal result pins the proven lower bound to the optimum"
+            );
+        }
     }
 
     #[test]
@@ -234,8 +256,12 @@ mod tests {
             },
             valid: true,
             verified: true,
+            proven_lb: 3,
             sat_conflicts: 0,
             sat_propagations: 0,
+            sat_decisions: 0,
+            sat_restarts: 0,
+            sat_learnt_clauses: 0,
             clause_db_bytes: 0,
         };
         let rows = vec![

@@ -6,6 +6,17 @@
 //! honours a per-problem resource budget and reports whether the result is
 //! proven optimal, mirroring the paper's `*` (timeout, possibly
 //! non-optimal) annotations.
+//!
+//! Two search back-ends share the driver logic:
+//!
+//! * the default **incremental** path builds one [`IncrementalEncoding`]
+//!   per problem and walks `S = lb, lb+1, …` (and afterwards the transfer
+//!   tightening) as a sequence of assumption-guarded `solve` calls on one
+//!   warm solver — learnt clauses, activities and phases carry over, so
+//!   proving UNSAT at `S` accelerates `S + 1` (DESIGN.md §7);
+//! * the **scratch** path ([`SolveOptions::incremental`]` = false`)
+//!   rebuilds an [`Encoding`] per explored `S`, reproducing the paper's
+//!   literal procedure for A/B comparison (`--scratch` in the bench bins).
 
 use std::time::{Duration, Instant};
 
@@ -13,7 +24,7 @@ use nasp_arch::Schedule;
 use nasp_smt::{Budget, SolveResult};
 use serde::{Deserialize, Serialize};
 
-use crate::encoding::{EncodeOptions, Encoding};
+use crate::encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 use crate::heuristic;
 use crate::problem::Problem;
 
@@ -33,6 +44,11 @@ pub struct SolveOptions {
     /// number of transfer stages within the remaining budget (an extension
     /// beyond the paper's objective; see [`crate::Encoding::assert_max_transfers`]).
     pub minimize_transfers: bool,
+    /// Use the incremental assumption-guarded search: one encoding per
+    /// problem, reused (with its learnt clauses) across the whole sweep.
+    /// Disable to rebuild a scratch encoding per stage count, the paper's
+    /// literal procedure.
+    pub incremental: bool,
 }
 
 impl Default for SolveOptions {
@@ -43,6 +59,7 @@ impl Default for SolveOptions {
             encode: EncodeOptions::default(),
             heuristic_fallback: true,
             minimize_transfers: true,
+            incremental: true,
         }
     }
 }
@@ -72,10 +89,24 @@ pub struct SolveReport {
     pub smt_time: Duration,
     /// Per-`S` log: `(stages, result)` in exploration order.
     pub log: Vec<(usize, SolveResult)>,
-    /// Total SAT conflicts across every encoding explored.
+    /// Proven lower bound on the minimal stage count: every `S <
+    /// proven_lb` is impossible — by the combinatorial degree bound, plus
+    /// one for each consecutively proven-UNSAT round. A deadline hit after
+    /// several UNSAT rounds still reports what was proved; on an
+    /// [`Provenance::Optimal`] result this equals the schedule's length.
+    pub proven_lb: usize,
+    /// Total SAT conflicts across the search.
     pub sat_conflicts: u64,
-    /// Total SAT literal propagations across every encoding explored.
+    /// Total SAT literal propagations across the search.
     pub sat_propagations: u64,
+    /// Total SAT decisions across the search.
+    pub sat_decisions: u64,
+    /// Total solver restarts across the search.
+    pub sat_restarts: u64,
+    /// Learnt clauses retained in the solver database(s) when the search
+    /// finished — for the incremental path, the warm state the next call
+    /// would have reused; for scratch, summed over the discarded solvers.
+    pub sat_learnt_clauses: u64,
     /// Peak clause-arena footprint (bytes) over the encodings explored —
     /// the solver-throughput counters benches report without reaching
     /// into `nasp-sat` internals.
@@ -89,20 +120,103 @@ impl SolveReport {
     }
 }
 
-/// Accumulated SAT-solver effort across every encoding a search explores.
+/// Accumulated SAT-solver effort across the encodings a search explores
+/// (one for the incremental path, one per `S` for scratch).
 #[derive(Debug, Default, Clone, Copy)]
 struct SatCounters {
     conflicts: u64,
     propagations: u64,
+    decisions: u64,
+    restarts: u64,
+    learnt: u64,
     peak_db_bytes: u64,
 }
 
 impl SatCounters {
-    fn absorb(&mut self, enc: &Encoding) {
-        let st = enc.stats();
-        self.conflicts += st.conflicts;
-        self.propagations += st.propagations;
-        self.peak_db_bytes = self.peak_db_bytes.max(enc.clause_db_bytes() as u64);
+    fn absorb(&mut self, stats: nasp_smt::Stats, db_bytes: usize) {
+        self.conflicts += stats.conflicts;
+        self.propagations += stats.propagations;
+        self.decisions += stats.decisions;
+        self.restarts += stats.restarts;
+        self.learnt += stats.learnt_clauses;
+        self.peak_db_bytes = self.peak_db_bytes.max(db_bytes as u64);
+    }
+}
+
+/// Everything the two back-ends share when assembling the final report.
+struct SearchState {
+    start: Instant,
+    deadline: Instant,
+    log: Vec<(usize, SolveResult)>,
+    all_proved_unsat: bool,
+    proven_lb: usize,
+    counters: SatCounters,
+}
+
+impl SearchState {
+    fn new(start: Instant, deadline: Instant, lb: usize) -> Self {
+        SearchState {
+            start,
+            deadline,
+            log: Vec::new(),
+            all_proved_unsat: true,
+            proven_lb: lb,
+            counters: SatCounters::default(),
+        }
+    }
+
+    fn budget(&self) -> Budget {
+        Budget {
+            max_conflicts: None,
+            deadline: Some(self.deadline),
+        }
+    }
+
+    fn record(&mut self, s: usize, result: SolveResult) {
+        self.log.push((s, result));
+        match result {
+            SolveResult::Unsat => {
+                if self.all_proved_unsat {
+                    self.proven_lb = s + 1;
+                }
+            }
+            SolveResult::Unknown => self.all_proved_unsat = false,
+            SolveResult::Sat => {}
+        }
+    }
+
+    fn report(self, schedule: Option<Schedule>, provenance: Provenance) -> SolveReport {
+        SolveReport {
+            schedule,
+            provenance,
+            smt_time: self.start.elapsed(),
+            log: self.log,
+            proven_lb: self.proven_lb,
+            sat_conflicts: self.counters.conflicts,
+            sat_propagations: self.counters.propagations,
+            sat_decisions: self.counters.decisions,
+            sat_restarts: self.counters.restarts,
+            sat_learnt_clauses: self.counters.learnt,
+            clause_db_bytes: self.counters.peak_db_bytes,
+        }
+    }
+
+    fn sat_provenance(&self) -> Provenance {
+        if self.all_proved_unsat {
+            Provenance::Optimal
+        } else {
+            Provenance::SmtUnproven
+        }
+    }
+
+    /// Heuristic-fallback (or no-schedule) report.
+    fn fallback(self, problem: &Problem, heuristic_fallback: bool) -> SolveReport {
+        let schedule = if heuristic_fallback {
+            heuristic::schedule(problem)
+        } else {
+            None
+        };
+        self.report(schedule, Provenance::Heuristic)
     }
 }
 
@@ -114,87 +228,144 @@ impl SatCounters {
 pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
     let start = Instant::now();
     let deadline = start + options.time_budget;
-    let mut log = Vec::new();
-    let mut all_proved_unsat = true;
-    let mut counters = SatCounters::default();
 
     if problem.gates.is_empty() {
-        return SolveReport {
-            schedule: Some(Schedule {
+        let state = SearchState::new(start, deadline, 0);
+        return state.report(
+            Some(Schedule {
                 config: problem.config.clone(),
                 num_qubits: problem.num_qubits,
                 stages: Vec::new(),
             }),
-            provenance: Provenance::Optimal,
-            smt_time: Duration::ZERO,
-            log,
-            sat_conflicts: 0,
-            sat_propagations: 0,
-            clause_db_bytes: 0,
-        };
+            Provenance::Optimal,
+        );
     }
 
+    if options.incremental {
+        solve_incremental(problem, options, start, deadline)
+    } else {
+        solve_scratch(problem, options, start, deadline)
+    }
+}
+
+/// Stage-cap headroom above the lower bound for the incremental encoding;
+/// paper instances land within 2 extra stages of their degree bound, so 2
+/// keeps rebuilds exceptional without inflating the gate-stage domains
+/// (every extra stage of cap lengthens each gate variable's order-encoding
+/// ladder, a cost paid on every propagation touching it).
+const INCREMENTAL_HEADROOM: usize = 2;
+
+/// The incremental sweep: one encoding, one warm solver, assumption-guarded
+/// activation of each stage count and transfer cap.
+fn solve_incremental(
+    problem: &Problem,
+    options: &SolveOptions,
+    start: Instant,
+    deadline: Instant,
+) -> SolveReport {
     let lb = problem.stage_lower_bound().max(1);
+    let mut state = SearchState::new(start, deadline, lb);
+    if lb > options.max_stages {
+        return state.fallback(problem, options.heuristic_fallback);
+    }
+    // The stage cap fixes the gate-variable domains, and over-sized domains
+    // mean longer order-encoding ladders on every hot path — so start with
+    // modest headroom above the combinatorial lower bound and rebuild (a
+    // rare cold start) only if the sweep outgrows it.
+    let mut cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
+    let mut enc = IncrementalEncoding::build(problem, cap, options.encode);
+    for s in lb..=options.max_stages {
+        if Instant::now() >= deadline {
+            break;
+        }
+        if s > enc.max_stages() {
+            state.counters.absorb(enc.stats(), enc.clause_db_bytes());
+            cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
+            enc = IncrementalEncoding::build(problem, cap, options.encode);
+        }
+        let result = enc.solve_at(s, state.budget());
+        state.record(s, result);
+        if result == SolveResult::Sat {
+            let mut schedule = enc.decode();
+            if options.minimize_transfers {
+                schedule = tighten_transfers_incremental(&mut enc, s, deadline, schedule);
+            }
+            let provenance = state.sat_provenance();
+            state.counters.absorb(enc.stats(), enc.clause_db_bytes());
+            return state.report(Some(schedule), provenance);
+        }
+    }
+    state.counters.absorb(enc.stats(), enc.clause_db_bytes());
+    state.fallback(problem, options.heuristic_fallback)
+}
+
+/// The paper's literal procedure: a cold encoding per explored stage count.
+fn solve_scratch(
+    problem: &Problem,
+    options: &SolveOptions,
+    start: Instant,
+    deadline: Instant,
+) -> SolveReport {
+    let lb = problem.stage_lower_bound().max(1);
+    let mut state = SearchState::new(start, deadline, lb);
     for s in lb..=options.max_stages {
         if Instant::now() >= deadline {
             break;
         }
         let mut enc = Encoding::build(problem, s, options.encode);
+        let result = enc.solve(state.budget());
+        state.counters.absorb(enc.stats(), enc.clause_db_bytes());
+        state.record(s, result);
+        if result == SolveResult::Sat {
+            let mut schedule = enc.decode();
+            if options.minimize_transfers {
+                schedule = tighten_transfers_scratch(
+                    problem,
+                    s,
+                    options,
+                    deadline,
+                    schedule,
+                    &mut state.counters,
+                );
+            }
+            let provenance = state.sat_provenance();
+            return state.report(Some(schedule), provenance);
+        }
+    }
+    state.fallback(problem, options.heuristic_fallback)
+}
+
+/// Within the remaining budget, searches for schedules with the same stage
+/// count but fewer transfer stages, as assumption-guarded cardinality
+/// bounds on the warm solver. Keeps the best schedule found.
+fn tighten_transfers_incremental(
+    enc: &mut IncrementalEncoding,
+    s: usize,
+    deadline: Instant,
+    mut best: Schedule,
+) -> Schedule {
+    loop {
+        let current = best.num_transfer();
+        if current == 0 || Instant::now() >= deadline {
+            return best;
+        }
         let budget = Budget {
             max_conflicts: None,
             deadline: Some(deadline),
         };
-        let result = enc.solve(budget);
-        counters.absorb(&enc);
-        log.push((s, result));
-        match result {
+        match enc.solve_at_with_max_transfers(s, current - 1, budget) {
             SolveResult::Sat => {
-                let mut schedule = enc.decode();
-                if options.minimize_transfers {
-                    schedule =
-                        tighten_transfers(problem, s, options, deadline, schedule, &mut counters);
-                }
-                return SolveReport {
-                    schedule: Some(schedule),
-                    provenance: if all_proved_unsat {
-                        Provenance::Optimal
-                    } else {
-                        Provenance::SmtUnproven
-                    },
-                    smt_time: start.elapsed(),
-                    log,
-                    sat_conflicts: counters.conflicts,
-                    sat_propagations: counters.propagations,
-                    clause_db_bytes: counters.peak_db_bytes,
-                };
+                best = enc.decode();
+                debug_assert!(best.num_transfer() < current);
             }
-            SolveResult::Unsat => {}
-            SolveResult::Unknown => {
-                all_proved_unsat = false;
-            }
+            // Unsat: `current` is the true minimum; Unknown: out of budget.
+            SolveResult::Unsat | SolveResult::Unknown => return best,
         }
-    }
-
-    let smt_time = start.elapsed();
-    let schedule = if options.heuristic_fallback {
-        heuristic::schedule(problem)
-    } else {
-        None
-    };
-    SolveReport {
-        schedule,
-        provenance: Provenance::Heuristic,
-        smt_time,
-        log,
-        sat_conflicts: counters.conflicts,
-        sat_propagations: counters.propagations,
-        clause_db_bytes: counters.peak_db_bytes,
     }
 }
 
-/// Within the remaining budget, searches for schedules with the same stage
-/// count but fewer transfer stages. Keeps the best schedule found.
-fn tighten_transfers(
+/// Scratch counterpart of the tightening loop: a fresh encoding per step.
+fn tighten_transfers_scratch(
     problem: &Problem,
     s: usize,
     options: &SolveOptions,
@@ -214,13 +385,12 @@ fn tighten_transfers(
             deadline: Some(deadline),
         };
         let result = enc.solve(budget);
-        counters.absorb(&enc);
+        counters.absorb(enc.stats(), enc.clause_db_bytes());
         match result {
             SolveResult::Sat => {
                 best = enc.decode();
                 debug_assert!(best.num_transfer() < current);
             }
-            // Unsat: `current` is the true minimum; Unknown: out of budget.
             SolveResult::Unsat | SolveResult::Unknown => return best,
         }
     }
@@ -237,6 +407,7 @@ mod tests {
         let r = solve(&p, &SolveOptions::default());
         assert!(r.is_optimal());
         assert_eq!(r.schedule.expect("schedule").stages.len(), 0);
+        assert_eq!(r.proven_lb, 0);
     }
 
     #[test]
@@ -250,7 +421,33 @@ mod tests {
         assert!(r.is_optimal(), "log: {:?}", r.log);
         let s = r.schedule.expect("schedule");
         assert_eq!(s.stages.len(), 3, "fig. 2 scenario needs 3 stages");
+        assert_eq!(r.proven_lb, 3, "S = 2 was proven impossible");
         assert!(validate_schedule(&s, &p.gates).is_empty());
+    }
+
+    #[test]
+    fn scratch_path_matches_incremental() {
+        let p = Problem::from_gates(
+            ArchConfig::paper(Layout::BottomStorage),
+            3,
+            vec![(0, 1), (1, 2)],
+        );
+        let inc = solve(&p, &SolveOptions::default());
+        let scr = solve(
+            &p,
+            &SolveOptions {
+                incremental: false,
+                ..SolveOptions::default()
+            },
+        );
+        assert_eq!(inc.provenance, scr.provenance);
+        assert_eq!(inc.proven_lb, scr.proven_lb);
+        let si = inc.schedule.expect("incremental schedule");
+        let ss = scr.schedule.expect("scratch schedule");
+        assert_eq!(si.stages.len(), ss.stages.len(), "same minimal S");
+        assert_eq!(si.num_transfer(), ss.num_transfer(), "same minimal #T");
+        assert!(validate_schedule(&si, &p.gates).is_empty());
+        assert!(validate_schedule(&ss, &p.gates).is_empty());
     }
 
     #[test]
@@ -341,10 +538,25 @@ mod tests {
         };
         let r = solve(&p, &opts);
         assert_eq!(r.provenance, Provenance::Heuristic);
+        // Nothing beyond the degree bound was proved within a zero budget.
+        assert_eq!(r.proven_lb, p.stage_lower_bound());
         let s = r.schedule.expect("heuristic schedule");
         assert!(
             validate_schedule(&s, &p.gates).is_empty(),
             "heuristic schedule must validate"
         );
+    }
+
+    #[test]
+    fn stats_counters_surfaced() {
+        let p = Problem::from_gates(
+            ArchConfig::paper(Layout::BottomStorage),
+            3,
+            vec![(0, 1), (1, 2)],
+        );
+        let r = solve(&p, &SolveOptions::default());
+        assert!(r.sat_propagations > 0, "propagations must be surfaced");
+        assert!(r.sat_decisions > 0, "decisions must be surfaced");
+        assert!(r.clause_db_bytes > 0, "arena bytes must be surfaced");
     }
 }

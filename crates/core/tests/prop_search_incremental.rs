@@ -1,0 +1,116 @@
+//! Property suite: the incremental assumption-guarded search and the
+//! scratch per-`S` search are observationally identical — same minimal
+//! stage count, same provenance, same proven lower bound, and valid
+//! schedules on both paths — over randomized small problems and the three
+//! paper layouts.
+
+use std::time::Duration;
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, Problem, SolveOptions, SolveReport};
+use proptest::prelude::*;
+
+fn layout_of(idx: usize) -> Layout {
+    match idx % 3 {
+        0 => Layout::NoShielding,
+        1 => Layout::BottomStorage,
+        _ => Layout::DoubleSidedStorage,
+    }
+}
+
+fn solve_with_backend(problem: &Problem, incremental: bool) -> SolveReport {
+    // Generous budget: these instances solve in milliseconds, and an
+    // Unknown on one path only would trivially fail the agreement check.
+    let options = SolveOptions {
+        time_budget: Duration::from_secs(30),
+        incremental,
+        ..SolveOptions::default()
+    };
+    solve(problem, &options)
+}
+
+/// Normalizes raw pairs into well-formed gates on `n` qubits (no
+/// self-loops; duplicates are fine — they simply force distinct stages).
+fn normalize_gates(raw: &[(usize, usize)], n: usize) -> Vec<(usize, usize)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn incremental_and_scratch_searches_agree(
+        layout_idx in 0usize..3,
+        n in 2usize..5,
+        raw in prop::collection::vec((0usize..8, 0usize..8), 1..=3),
+    ) {
+        let gates = normalize_gates(&raw, n);
+        let problem = Problem::from_gates(ArchConfig::paper(layout_of(layout_idx)), n, gates);
+        let inc = solve_with_backend(&problem, true);
+        let scr = solve_with_backend(&problem, false);
+
+        prop_assert_eq!(inc.provenance, scr.provenance, "log inc {:?} scr {:?}", inc.log, scr.log);
+        prop_assert!(inc.is_optimal(), "tiny instances must solve to optimality");
+        prop_assert_eq!(inc.proven_lb, scr.proven_lb);
+
+        prop_assert!(inc.schedule.is_some() && scr.schedule.is_some());
+        let si = inc.schedule.unwrap();
+        let ss = scr.schedule.unwrap();
+        prop_assert_eq!(si.stages.len(), ss.stages.len(), "same minimal S");
+        prop_assert_eq!(si.num_transfer(), ss.num_transfer(), "same minimal #T");
+        prop_assert!(
+            validate_schedule(&si, &problem.gates).is_empty(),
+            "incremental schedule must validate"
+        );
+        prop_assert!(
+            validate_schedule(&ss, &problem.gates).is_empty(),
+            "scratch schedule must validate"
+        );
+    }
+}
+
+/// The three paper layouts on the Fig. 2 instance (the scenario that
+/// motivates transfer stages): both back-ends agree everywhere.
+#[test]
+fn paper_layouts_agree_on_fig2_instance() {
+    for layout in [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ] {
+        let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+        let inc = solve_with_backend(&problem, true);
+        let scr = solve_with_backend(&problem, false);
+        assert!(inc.is_optimal() && scr.is_optimal(), "{layout:?}");
+        assert_eq!(inc.proven_lb, scr.proven_lb, "{layout:?}");
+        let si = inc.schedule.expect("incremental schedule");
+        let ss = scr.schedule.expect("scratch schedule");
+        assert_eq!(
+            si.stages.len(),
+            ss.stages.len(),
+            "{layout:?}: same minimal S"
+        );
+        assert_eq!(
+            si.num_transfer(),
+            ss.num_transfer(),
+            "{layout:?}: same minimal #T"
+        );
+        assert!(
+            validate_schedule(&si, &problem.gates).is_empty(),
+            "{layout:?}"
+        );
+        assert!(
+            validate_schedule(&ss, &problem.gates).is_empty(),
+            "{layout:?}"
+        );
+    }
+}

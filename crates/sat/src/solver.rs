@@ -129,6 +129,10 @@ pub struct Solver {
     trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
+    /// Largest activity ever assigned (tracks bumps and rescales); fresh
+    /// variables start here so that, in incremental use, newly added
+    /// structure is explored first instead of last.
+    max_activity: f64,
     heap: VarHeap,
     var_inc: f64,
     seen: Vec<bool>,
@@ -162,6 +166,7 @@ impl Solver {
             trail_lim: Vec::new(),
             qhead: 0,
             activity: Vec::new(),
+            max_activity: 0.0,
             heap: VarHeap::new(),
             var_inc: 1.0,
             seen: Vec::new(),
@@ -196,14 +201,38 @@ impl Solver {
         self.db.bytes()
     }
 
+    /// Resets every variable's VSIDS activity (and the bump increment) to
+    /// the initial state, keeping learnt clauses and saved phases.
+    ///
+    /// For incremental use: activities tuned to refuting one query can
+    /// actively mislead a structurally different follow-up query (e.g. a
+    /// bounded search moving from refuting bound `k` to satisfying
+    /// `k + 1`), while the learnt clauses remain sound and useful. With
+    /// all keys equal the variable heap's current arrangement remains a
+    /// valid max-heap, so no rebuild is needed.
+    pub fn reset_activities(&mut self) {
+        for a in &mut self.activity {
+            *a = 0.0;
+        }
+        self.max_activity = 0.0;
+        self.var_inc = 1.0;
+    }
+
     /// Creates a fresh variable and returns it.
+    ///
+    /// The variable's VSIDS activity starts at the current maximum, so
+    /// when variables are added *between* `solve` calls (the incremental
+    /// encoding pattern), the solver branches on the new structure first
+    /// instead of replaying decisions tuned to the old formula. Before the
+    /// first conflict every activity is zero, so batch-built formulas are
+    /// unaffected.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(LBool::Undef);
         self.phase.push(false);
         self.reason.push(None);
         self.level.push(0);
-        self.activity.push(0.0);
+        self.activity.push(self.max_activity);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.seen.push(false);
@@ -390,7 +419,9 @@ impl Solver {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
+            self.max_activity *= 1e-100;
         }
+        self.max_activity = self.max_activity.max(self.activity[v.index()]);
         self.heap.bumped(v, &self.activity);
     }
 
@@ -667,7 +698,11 @@ impl Solver {
                     if (bt as usize) < assumptions.len()
                         && self.all_assumption_levels(&learnt, assumptions)
                     {
-                        self.backtrack_to(0);
+                        // Keep the clause: it is implied by the formula alone
+                        // (assumption literals appear negated inside it), so
+                        // it prunes the same conflict for every later call —
+                        // an UNSAT sweep at stage count S accelerates S+1.
+                        self.learn_assumption_conflict(learnt);
                         break SolveResult::Unsat;
                     }
                     self.learn_and_jump(learnt, bt);
@@ -742,6 +777,40 @@ impl Solver {
         learnt
             .iter()
             .all(|l| (self.level[l.var().index()] as usize) <= assumptions.len())
+    }
+
+    /// Persists a clause learnt from a conflict among the assumptions, then
+    /// restores decision level zero. Unlike [`Solver::learn_and_jump`] the
+    /// asserting literal is not enqueued — it is not implied once the
+    /// assumptions are retracted — but the clause itself is formula-implied
+    /// and stays in the database for later `solve` calls.
+    fn learn_assumption_conflict(&mut self, learnt: Vec<Lit>) {
+        // LBD needs the (stale-after-backtrack) assignment levels.
+        let lbd = if learnt.len() >= 2 {
+            self.compute_lbd(&learnt)
+        } else {
+            0
+        };
+        self.backtrack_to(0);
+        match learnt.len() {
+            0 => self.ok = false,
+            1 => {
+                // `analyze` excludes level-0 literals, so the unit is
+                // unassigned here and becomes a permanent fact.
+                match self.lit_value(learnt[0]) {
+                    LBool::Undef => {
+                        self.enqueue(learnt[0], None);
+                        self.ok = self.propagate().is_none();
+                    }
+                    LBool::False => self.ok = false,
+                    LBool::True => {}
+                }
+            }
+            _ => {
+                let cref = self.attach_clause(learnt, true);
+                self.db.set_lbd(cref, lbd);
+            }
+        }
     }
 
     fn learn_and_jump(&mut self, learnt: Vec<Lit>, bt: u32) {
@@ -893,6 +962,49 @@ mod tests {
         s.add_clause([!v[0], v[1]]);
         assert_eq!(s.solve_with(&[v[0]]), SolveResult::Sat);
         assert_eq!(s.solve_with(&[!v[0]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumption_conflicts_learn_units() {
+        // (¬a ∨ b) ∧ (¬a ∨ ¬b) under assumption a: the conflict lives
+        // entirely at assumption level, and the learnt unit ¬a survives as
+        // a permanent level-0 fact.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[0], !v[1]]);
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Unsat);
+        let before = s.stats().conflicts;
+        // Re-solving the same assumptions is now conflict-free: the
+        // assumption is already false at level 0.
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Unsat);
+        assert_eq!(s.stats().conflicts, before, "re-solve needs no search");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(false));
+    }
+
+    #[test]
+    fn assumption_conflicts_retain_clauses() {
+        // A genuine conflict (falsified clause, not a propagated-false
+        // assumption) at assumption level is analyzed and the learnt clause
+        // kept in the database: it is implied by the formula alone.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        let (a, b, c, d, e) = (v[0], v[1], v[2], v[3], v[4]);
+        s.add_clause([!a, c]);
+        s.add_clause([!b, d]);
+        s.add_clause([!c, !d, e]);
+        s.add_clause([!c, !d, !e]);
+        assert_eq!(s.solve_with(&[a, b]), SolveResult::Unsat);
+        assert!(
+            s.stats().learnt_clauses >= 1,
+            "assumption-level conflict must be retained, stats: {:?}",
+            s.stats()
+        );
+        assert_eq!(s.solve_with(&[a]), SolveResult::Sat);
+        assert_eq!(s.value(c), Some(true));
+        assert_eq!(s.value(d), Some(false), "learnt clause must propagate");
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]

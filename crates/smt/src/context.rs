@@ -431,6 +431,33 @@ impl Ctx {
         self.solver.add_clause([b.0]);
     }
 
+    /// Creates a fresh *selector* literal for guarded (switchable)
+    /// assertions.
+    ///
+    /// A selector is an ordinary Boolean variable by construction, but the
+    /// intended protocol is: guard a group of clauses with
+    /// [`Ctx::assert_guarded`], then activate the group per call by passing
+    /// the selector to [`Ctx::solve_with`]. Because the selector only ever
+    /// appears *negated* inside the guarded clauses, leaving it out of the
+    /// assumptions deactivates the group at zero cost (the solver's saved
+    /// phase defaults it to false), and conflict clauses that involve the
+    /// group mention `¬selector`, staying valid for every later call.
+    pub fn new_selector(&mut self) -> Bool {
+        self.bool_var()
+    }
+
+    /// Asserts `selector → (l₁ ∨ l₂ ∨ …)`: the clause is active only while
+    /// `selector` is assumed (or otherwise forced) true.
+    ///
+    /// This is the incremental-solving analogue of [`Ctx::assert_or`]: the
+    /// constraint can be switched on per [`Ctx::solve_with`] call instead of
+    /// being burned into the formula, while everything the solver learns
+    /// about it is retained across calls.
+    pub fn assert_guarded(&mut self, selector: Bool, clause: &[Bool]) {
+        self.solver
+            .add_clause(std::iter::once(!selector.0).chain(clause.iter().map(|b| b.0)));
+    }
+
     /// Asserts an implication `a → b` directly as a clause (cheaper than
     /// building the implication node when it is only asserted).
     pub fn assert_implies(&mut self, a: Bool, b: Bool) {
@@ -456,6 +483,13 @@ impl Ctx {
     pub fn solve_with(&mut self, assumptions: &[Bool], budget: Budget) -> SolveResult {
         let lits: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
         self.solver.solve_limited(&lits, budget)
+    }
+
+    /// Resets the solver's branching activities (learnt clauses and saved
+    /// phases are kept). Useful between structurally different incremental
+    /// queries; see [`nasp_sat::Solver::reset_activities`].
+    pub fn reset_activities(&mut self) {
+        self.solver.reset_activities()
     }
 
     /// Value of an integer variable in the last model.
@@ -713,6 +747,52 @@ mod tests {
         assert!(ctx.num_clauses() > 0);
         assert_eq!(ctx.solve(), SolveResult::Sat);
         assert!(ctx.stats().decisions + ctx.stats().propagations > 0);
+    }
+
+    #[test]
+    fn guarded_assertions_switch_per_call() {
+        // Two mutually exclusive constraint groups over one variable: each
+        // activates only when its selector is assumed.
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 7, "x");
+        let low = ctx.new_selector();
+        let high = ctx.new_selector();
+        let le2 = ctx.le_const(x, 2);
+        let ge5 = ctx.ge_const(x, 5);
+        ctx.assert_guarded(low, &[le2]);
+        ctx.assert_guarded(high, &[ge5]);
+        assert_eq!(
+            ctx.solve_with(&[low], Budget::unlimited()),
+            SolveResult::Sat
+        );
+        assert!(ctx.int_value(x).expect("model") <= 2);
+        assert_eq!(
+            ctx.solve_with(&[high], Budget::unlimited()),
+            SolveResult::Sat
+        );
+        assert!(ctx.int_value(x).expect("model") >= 5);
+        assert_eq!(
+            ctx.solve_with(&[low, high], Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        // Deactivated groups cost nothing: the formula alone stays SAT.
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn guarded_multi_literal_clause() {
+        let mut ctx = Ctx::new();
+        let sel = ctx.new_selector();
+        let a = ctx.bool_var();
+        let b = ctx.bool_var();
+        ctx.assert_guarded(sel, &[a, b]);
+        ctx.assert(!a);
+        ctx.assert(!b);
+        assert_eq!(
+            ctx.solve_with(&[sel], Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        assert_eq!(ctx.solve(), SolveResult::Sat);
     }
 
     #[test]
