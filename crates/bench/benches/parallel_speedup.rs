@@ -1,0 +1,66 @@
+//! Criterion bench: the parallel experiment harness.
+//!
+//! Two groups:
+//!
+//! * `pool` — a batch of independent scheduling instances mapped through
+//!   the scoped-thread instance pool at `jobs = 1` versus `jobs = #cores`
+//!   (on a multi-core host the wide variant approaches linear speedup; on
+//!   a single-core host the two coincide, which is itself the baseline
+//!   worth tracking).
+//! * `portfolio` — one zoned instance solved by the single default solver
+//!   versus K = 3 diversified workers racing every round.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nasp_arch::{ArchConfig, Layout};
+use nasp_bench::pool;
+use nasp_core::{solve, Problem, SolveOptions};
+
+/// The paper's Fig. 2 scenario (beam / transfer / beam minimum).
+fn fig2_problem() -> Problem {
+    Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2)],
+    )
+}
+
+fn options(portfolio: usize) -> SolveOptions {
+    SolveOptions {
+        time_budget: Duration::from_secs(60),
+        heuristic_fallback: false,
+        portfolio,
+        ..SolveOptions::default()
+    }
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup");
+    group.sample_size(10);
+    let widths = [1, pool::available_jobs()];
+    for &jobs in &widths {
+        group.bench_with_input(BenchmarkId::new("pool", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let batch: Vec<Problem> = (0..8).map(|_| fig2_problem()).collect();
+                let reports = pool::map_indexed(jobs, batch, |_, p| solve(&p, &options(1)));
+                assert!(reports.iter().all(|r| r.is_optimal()));
+                reports.len()
+            })
+        });
+    }
+    for k in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("portfolio", k), &k, |b, &k| {
+            let problem = fig2_problem();
+            b.iter(|| {
+                let r = solve(&problem, &options(k));
+                assert!(r.is_optimal());
+                r.schedule
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -7,7 +7,10 @@
 //!
 //! `--scratch` runs both ablations on the paper's literal scratch-per-`S`
 //! search instead of the incremental default, so A1's numbers can be
-//! compared across search back-ends.
+//! compared across search back-ends. `--jobs N` runs each ablation's
+//! independent instance grid on the scoped instance pool (note that
+//! pooling perturbs A1's per-solve wall-clock readings on a loaded host —
+//! use `--jobs 1`, the default here, for quotable timings).
 
 use std::time::{Duration, Instant};
 
@@ -19,72 +22,91 @@ use nasp_core::Problem;
 use nasp_qec::{catalog, graph_state};
 
 fn main() {
-    let incremental = !nasp_bench::scratch_from_args();
-    ablation_a1(incremental);
-    ablation_a2(incremental);
+    // The ablations pin their own budgets and never race a portfolio, so
+    // only the back-end switch and the pool width are supported.
+    let args = nasp_bench::BenchArgs::from_env_for("ablation", &["--scratch", "--jobs"]);
+    let incremental = !args.scratch;
+    // Timing-sensitive by nature: default to sequential, honour --jobs.
+    let jobs = args.jobs.unwrap_or(1);
+    ablation_a1(incremental, jobs);
+    ablation_a2(incremental, jobs);
 }
 
-fn ablation_a1(incremental: bool) {
+fn ablation_a1(incremental: bool, jobs: usize) {
     println!(
         "A1: ≥1-gate-per-beam strengthening (SMT wall time to optimal S, {} search)",
         nasp_bench::search_backend_label(incremental)
     );
     println!("code        layout              with     without");
+    let mut grid = Vec::new();
     for code_name in ["steane", "surface", "shor"] {
         let code = catalog::by_name(code_name).expect("catalog code");
         let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
         for layout in [Layout::NoShielding, Layout::DoubleSidedStorage] {
-            let problem = Problem::new(ArchConfig::paper(layout), &circuit);
-            let mut times = Vec::new();
-            for nonempty in [true, false] {
-                let options = SolveOptions {
-                    time_budget: Duration::from_secs(120),
-                    encode: EncodeOptions {
-                        nonempty_exec: nonempty,
-                        ..Default::default()
-                    },
-                    heuristic_fallback: false,
-                    minimize_transfers: false,
-                    incremental,
-                    ..Default::default()
-                };
-                let t0 = Instant::now();
-                let _ = solve(&problem, &options);
-                times.push(t0.elapsed());
-            }
-            println!(
-                "{code_name:11} {:19} {:>7.2}s {:>7.2}s",
-                format!("{layout:?}"),
-                times[0].as_secs_f64(),
-                times[1].as_secs_f64()
-            );
+            grid.push((code_name, circuit.clone(), layout));
         }
+    }
+    let rows = nasp_bench::pool::map_indexed(jobs, grid, |_, (code_name, circuit, layout)| {
+        let problem = Problem::new(ArchConfig::paper(layout), &circuit);
+        let mut times = Vec::new();
+        for nonempty in [true, false] {
+            let options = SolveOptions {
+                time_budget: Duration::from_secs(120),
+                encode: EncodeOptions {
+                    nonempty_exec: nonempty,
+                    ..Default::default()
+                },
+                heuristic_fallback: false,
+                minimize_transfers: false,
+                incremental,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let _ = solve(&problem, &options);
+            times.push(t0.elapsed());
+        }
+        (code_name, layout, times)
+    });
+    for (code_name, layout, times) in rows {
+        println!(
+            "{code_name:11} {:19} {:>7.2}s {:>7.2}s",
+            format!("{layout:?}"),
+            times[0].as_secs_f64(),
+            times[1].as_secs_f64()
+        );
     }
 }
 
-fn ablation_a2(incremental: bool) {
+fn ablation_a2(incremental: bool, jobs: usize) {
     println!("\nA2: ASP vs trap-transfer duration (Steane)");
     println!("duration    (2) Bottom Storage    (3) Double-Sided Storage");
     let code = catalog::steane();
     let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
-    for duration_us in [50.0, 100.0, 200.0, 400.0, 800.0] {
-        let mut asps = Vec::new();
+    let durations = [50.0, 100.0, 200.0, 400.0, 800.0];
+    let mut grid = Vec::new();
+    for duration_us in durations {
         for layout in [Layout::BottomStorage, Layout::DoubleSidedStorage] {
-            let mut options = ExperimentOptions {
-                budget_per_instance: Duration::from_secs(30),
-                params: OpParams {
-                    transfer_duration_us: duration_us,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            options.solver.incremental = incremental;
-            let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
-            asps.push(r.metrics.asp);
+            grid.push((duration_us, layout));
         }
+    }
+    let asps = nasp_bench::pool::map_indexed(jobs, grid, |_, (duration_us, layout)| {
+        let mut options = ExperimentOptions {
+            budget_per_instance: Duration::from_secs(30),
+            params: OpParams {
+                transfer_duration_us: duration_us,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        options.solver.incremental = incremental;
+        let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
+        r.metrics.asp
+    });
+    for (i, duration_us) in durations.iter().enumerate() {
         println!(
             "{duration_us:>6.0} µs  {:>18.4}  {:>24.4}",
-            asps[0], asps[1]
+            asps[2 * i],
+            asps[2 * i + 1]
         );
     }
 }

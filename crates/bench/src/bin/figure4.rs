@@ -1,14 +1,22 @@
 //! Regenerates the paper's Figure 4 (ΔASP of shielded layouts vs baseline).
 //!
-//! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS] [--scratch]`
+//! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS]
+//! [--jobs N] [--portfolio K] [--seed S] [--scratch]`
 
 fn main() {
-    let options = nasp_bench::experiment_options_from_args(30);
-    eprintln!(
-        "running Figure 4 with a {:?} SMT budget per instance ({} search)…",
-        options.budget_per_instance,
-        nasp_bench::search_backend_label(options.solver.incremental)
+    let args = nasp_bench::BenchArgs::from_env_for(
+        "figure4",
+        &["--budget", "--scratch", "--jobs", "--portfolio", "--seed"],
     );
-    let rows = nasp_bench::table1_with_options(&options);
+    let options = args.experiment_options(30);
+    let jobs = args.jobs_or_default();
+    eprintln!(
+        "running Figure 4 with a {:?} SMT budget per instance ({} search, {} jobs, {} solver worker(s))…",
+        options.budget_per_instance,
+        nasp_bench::search_backend_label(options.solver.incremental),
+        jobs,
+        options.solver.portfolio,
+    );
+    let rows = nasp_bench::run_table1_jobs(&options, jobs);
     print!("{}", nasp_bench::render_figure4(&rows));
 }

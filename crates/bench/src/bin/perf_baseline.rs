@@ -1,40 +1,47 @@
 //! Emits the performance baselines: `BENCH_substrate.json` (packed
-//! substrates, solver throughput, end-to-end solves) and
-//! `BENCH_search.json` (scratch vs incremental stage search).
+//! substrates, solver throughput, end-to-end solves), `BENCH_search.json`
+//! (scratch vs incremental stage search) and `BENCH_parallel.json`
+//! (sequential vs instance pool, single solver vs portfolio).
 //!
 //! ```sh
 //! cargo run --release -p nasp-bench --bin perf_baseline            # full
 //! cargo run --release -p nasp-bench --bin perf_baseline -- --quick # CI smoke
-//! cargo run ... -- --out path.json --out-search search.json        # custom paths
+//! cargo run ... -- --out s.json --out-search q.json --out-parallel p.json
+//! cargo run ... -- --jobs 4 --portfolio 3    # parallel-suite widths
 //! ```
 //!
 //! The substrate document pairs every packed substrate with its
-//! byte-per-bit reference model (speedups are host-independent); the search
-//! document pairs the incremental assumption-guarded sweep with the
-//! scratch-per-`S` sweep on the same instances and cross-checks that both
-//! find the same minimal stage count. Each file is re-read and re-parsed
-//! before the process exits 0, so CI can treat a zero exit as "valid JSON
-//! baselines produced".
+//! byte-per-bit reference model; the search document pairs the incremental
+//! sweep with the scratch sweep; the parallel document pairs the scoped
+//! instance pool with the sequential harness and the solver portfolio with
+//! the single solver, cross-checking that every path reports identical
+//! minima. Each file is re-read and re-parsed before the process exits 0,
+//! so CI can treat a zero exit as "valid JSON baselines produced".
 
-use nasp_bench::{baseline, search};
-
-fn flag_value(args: &[String], flag: &str, default: &str) -> String {
-    args.windows(2)
-        .find(|w| w[0] == flag)
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| default.to_string())
-}
+use nasp_bench::{baseline, parallel, pool, search, BenchArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out = flag_value(&args, "--out", "BENCH_substrate.json");
-    let out_search = flag_value(&args, "--out-search", "BENCH_search.json");
-
-    eprintln!(
-        "measuring substrate baseline ({}) ...",
-        if quick { "quick" } else { "full" }
+    let args = BenchArgs::from_env_for(
+        "perf_baseline",
+        &[
+            "--quick",
+            "--jobs",
+            "--portfolio",
+            "--out",
+            "--out-search",
+            "--out-parallel",
+        ],
     );
+    let quick = args.quick;
+    let out = args.out.as_deref().unwrap_or("BENCH_substrate.json");
+    let out_search = args.out_search.as_deref().unwrap_or("BENCH_search.json");
+    let out_parallel = args
+        .out_parallel
+        .as_deref()
+        .unwrap_or("BENCH_parallel.json");
+    let mode = if quick { "quick" } else { "full" };
+
+    eprintln!("measuring substrate baseline ({mode}) ...");
     let doc = baseline::measure(quick);
     for g in &doc.gf2 {
         eprintln!(
@@ -63,7 +70,7 @@ fn main() {
         );
     }
 
-    match baseline::write_validated(&doc, &out) {
+    match baseline::write_validated(&doc, out) {
         Ok(()) => eprintln!("wrote {out}"),
         Err(e) => {
             eprintln!("FAILED to produce a valid substrate baseline: {e}");
@@ -71,10 +78,7 @@ fn main() {
         }
     }
 
-    eprintln!(
-        "measuring search baseline ({}) ...",
-        if quick { "quick" } else { "full" }
-    );
+    eprintln!("measuring search baseline ({mode}) ...");
     let sdoc = search::measure(quick);
     for i in &sdoc.instances {
         eprintln!(
@@ -96,10 +100,45 @@ fn main() {
             s.code, s.scratch_ms_total, s.incremental_ms_total, s.speedup
         );
     }
-    match search::write_validated(&sdoc, &out_search) {
+    match search::write_validated(&sdoc, out_search) {
         Ok(()) => eprintln!("wrote {out_search}"),
         Err(e) => {
             eprintln!("FAILED to produce a valid search baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!("measuring parallel baseline ({mode}) ...");
+    let jobs = args.jobs.unwrap_or_else(pool::available_jobs);
+    let workers = args.portfolio.unwrap_or(3);
+    let pdoc = parallel::measure(quick, jobs, workers);
+    eprintln!(
+        "  pool {} instances  sequential {:.1} ms  jobs={} {:.1} ms  speedup {:.2}x  agree={}  ({} cores)",
+        pdoc.pool.instances,
+        pdoc.pool.sequential_ms,
+        pdoc.pool.jobs,
+        pdoc.pool.parallel_ms,
+        pdoc.pool.speedup,
+        pdoc.pool.agree,
+        pdoc.cores
+    );
+    for p in &pdoc.portfolio {
+        eprintln!(
+            "  portfolio {:>8}  single {:>9.1} ms  K={} {:>9.1} ms  speedup {:>5.2}x  S-agree={} T-agree={} wins={:?}",
+            p.code,
+            p.single_ms_total,
+            p.workers,
+            p.portfolio_ms_total,
+            p.speedup,
+            p.stages_agree,
+            p.transfers_agree,
+            p.worker_wins
+        );
+    }
+    match parallel::write_validated(&pdoc, out_parallel) {
+        Ok(()) => eprintln!("wrote {out_parallel}"),
+        Err(e) => {
+            eprintln!("FAILED to produce a valid parallel baseline: {e}");
             std::process::exit(1);
         }
     }

@@ -1,23 +1,40 @@
 //! Regenerates the paper's Table I (layout comparison).
 //!
-//! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS] [--json PATH] [--scratch]`
+//! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS]
+//! [--jobs N] [--portfolio K] [--seed S] [--json PATH] [--scratch]`
 //!
-//! `--scratch` A/Bs the paper's literal scratch-per-`S` search against the
-//! incremental default.
+//! `--jobs` runs the independent `code × layout` instances on the scoped
+//! instance pool (default: all hardware threads) with deterministic row
+//! order; `--portfolio` races K diversified solver workers per search
+//! round; `--scratch` A/Bs the paper's literal scratch-per-`S` search
+//! against the incremental default.
 
 fn main() {
-    let options = nasp_bench::experiment_options_from_args(30);
-    eprintln!(
-        "running Table I with a {:?} SMT budget per instance ({} search)…",
-        options.budget_per_instance,
-        nasp_bench::search_backend_label(options.solver.incremental)
+    let args = nasp_bench::BenchArgs::from_env_for(
+        "table1",
+        &[
+            "--budget",
+            "--scratch",
+            "--jobs",
+            "--portfolio",
+            "--seed",
+            "--json",
+        ],
     );
-    let rows = nasp_bench::table1_with_options(&options);
+    let options = args.experiment_options(30);
+    let jobs = args.jobs_or_default();
+    eprintln!(
+        "running Table I with a {:?} SMT budget per instance ({} search, {} jobs, {} solver worker(s))…",
+        options.budget_per_instance,
+        nasp_bench::search_backend_label(options.solver.incremental),
+        jobs,
+        options.solver.portfolio,
+    );
+    let rows = nasp_bench::run_table1_jobs(&options, jobs);
     print!("{}", nasp_bench::render_table1(&rows));
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {
+    if let Some(path) = &args.json {
         let json = serde_json::to_string_pretty(&rows).expect("serializable");
-        std::fs::write(&w[1], json).expect("writable path");
-        eprintln!("wrote {}", w[1]);
+        std::fs::write(path, json).expect("writable path");
+        eprintln!("wrote {path}");
     }
 }

@@ -9,50 +9,212 @@
 //! * `ablation` binary — A1: the ≥1-gate-per-beam strengthening;
 //!   A2: ASP sensitivity to the trap-transfer duration.
 //! * Criterion benches `solver_small_codes`, `smt_scaling`,
-//!   `substrate_micro`.
+//!   `substrate_micro`, `search_incremental`, `parallel_speedup`.
 //!
-//! Budgets are configurable via `--budget <seconds>` so the full table can
-//! be regenerated quickly (heuristic fallback for large codes, as the paper
-//! fell back to non-optimal Z3 results at its 320 h timeout). Every binary
-//! accepts `--scratch` to run the paper's literal scratch-per-`S` search
-//! instead of the incremental default, keeping the ablation story
-//! reproducible; [`search`] measures the two back-ends against each other
-//! (`BENCH_search.json`).
+//! Every binary parses its flags through [`BenchArgs`] (unknown flags are
+//! rejected, not silently ignored): `--budget <seconds>` scales the
+//! per-instance SMT budget, `--scratch` switches to the paper's literal
+//! scratch-per-`S` search, `--jobs <N>` runs independent `code × layout`
+//! instances on the scoped-thread [`pool`] (default: all hardware
+//! threads), and `--portfolio <K>`/`--seed <S>` race K diversified solver
+//! workers per search round (DESIGN.md §8). [`search`] measures
+//! scratch-vs-incremental (`BENCH_search.json`); [`parallel`] measures
+//! sequential-vs-pool and single-vs-portfolio (`BENCH_parallel.json`).
 
 use std::time::Duration;
 
-use nasp_core::report::{figure4_deltas, run_table1, ExperimentOptions, ExperimentResult};
+use nasp_core::report::{
+    figure4_deltas, run_experiment_with_circuit, table1_instances, ExperimentOptions,
+    ExperimentResult,
+};
 
 pub mod baseline;
 pub mod naive;
+pub mod parallel;
+pub mod pool;
 pub mod search;
 
-/// Parses `--budget <seconds>` from argv (default given by caller).
-pub fn budget_from_args(default_secs: u64) -> Duration {
-    let args: Vec<String> = std::env::args().collect();
-    let secs = args
-        .windows(2)
-        .find(|w| w[0] == "--budget")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(default_secs);
-    Duration::from_secs(secs)
+/// Command-line options shared by every bench binary, parsed strictly.
+///
+/// Consolidates the former ad-hoc argv scans (`budget_from_args`,
+/// `scratch_from_args`, …): one pass over argv, every known flag in one
+/// place, and a hard error on anything unrecognized — a typo like
+/// `--budet 5` aborts instead of silently running with the default.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchArgs {
+    /// `--budget <seconds>`: per-instance SMT budget.
+    pub budget_secs: Option<u64>,
+    /// `--scratch`: use the paper's literal scratch-per-`S` search.
+    pub scratch: bool,
+    /// `--jobs <N>`: instance-pool width (default: hardware threads).
+    pub jobs: Option<usize>,
+    /// `--portfolio <K>`: diversified solver workers per search round.
+    pub portfolio: Option<usize>,
+    /// `--seed <S>`: base seed for portfolio diversification.
+    pub seed: Option<u64>,
+    /// `--json <path>`: also write rows as JSON (table1).
+    pub json: Option<String>,
+    /// `--quick`: reduced measurement suite (CI smoke).
+    pub quick: bool,
+    /// `--out <path>`: substrate baseline output (perf_baseline).
+    pub out: Option<String>,
+    /// `--out-search <path>`: search baseline output (perf_baseline).
+    pub out_search: Option<String>,
+    /// `--out-parallel <path>`: parallel baseline output (perf_baseline).
+    pub out_parallel: Option<String>,
+    /// Flags actually present on the command line, for per-binary
+    /// supported-set enforcement ([`BenchArgs::from_env_for`]).
+    seen: Vec<&'static str>,
 }
 
-/// `true` when argv carries `--scratch`: run the paper's literal
-/// scratch-per-`S` search instead of the incremental default, for A/B
-/// ablation of the incremental sweep.
-pub fn scratch_from_args() -> bool {
-    std::env::args().any(|a| a == "--scratch")
-}
+impl BenchArgs {
+    /// Parses a flag list (argv without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag when it is unknown, or
+    /// when a flag's value is missing or unparsable.
+    pub fn parse(args: &[String]) -> Result<BenchArgs, String> {
+        fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        }
+        fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("{flag}: invalid value {v:?}"))
+        }
+        const KNOWN: [&str; 10] = [
+            "--budget",
+            "--jobs",
+            "--portfolio",
+            "--seed",
+            "--json",
+            "--out",
+            "--out-search",
+            "--out-parallel",
+            "--scratch",
+            "--quick",
+        ];
+        let mut out = BenchArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(&flag) = KNOWN.iter().find(|&&f| f == args[i]) {
+                out.seen.push(flag);
+            }
+            match args[i].as_str() {
+                "--budget" => {
+                    out.budget_secs = Some(num(value(args, i, "--budget")?, "--budget")?);
+                    i += 2;
+                }
+                "--jobs" => {
+                    let jobs: usize = num(value(args, i, "--jobs")?, "--jobs")?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    out.jobs = Some(jobs);
+                    i += 2;
+                }
+                "--portfolio" => {
+                    let k: usize = num(value(args, i, "--portfolio")?, "--portfolio")?;
+                    if k == 0 {
+                        return Err("--portfolio must be at least 1".into());
+                    }
+                    out.portfolio = Some(k);
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = Some(num(value(args, i, "--seed")?, "--seed")?);
+                    i += 2;
+                }
+                "--json" => {
+                    out.json = Some(value(args, i, "--json")?.to_string());
+                    i += 2;
+                }
+                "--out" => {
+                    out.out = Some(value(args, i, "--out")?.to_string());
+                    i += 2;
+                }
+                "--out-search" => {
+                    out.out_search = Some(value(args, i, "--out-search")?.to_string());
+                    i += 2;
+                }
+                "--out-parallel" => {
+                    out.out_parallel = Some(value(args, i, "--out-parallel")?.to_string());
+                    i += 2;
+                }
+                "--scratch" => {
+                    out.scratch = true;
+                    i += 1;
+                }
+                "--quick" => {
+                    out.quick = true;
+                    i += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag {other:?} (known: --budget --scratch --jobs --portfolio \
+                         --seed --json --quick --out --out-search --out-parallel)"
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
 
-/// Experiment options from argv: `--budget <seconds>` and `--scratch`.
-pub fn experiment_options_from_args(default_secs: u64) -> ExperimentOptions {
-    let mut options = ExperimentOptions {
-        budget_per_instance: budget_from_args(default_secs),
-        ..Default::default()
-    };
-    options.solver.incremental = !scratch_from_args();
-    options
+    /// Rejects flags outside this binary's supported set: a flag that is
+    /// *known* to the parser but meaningless to the invoked binary (e.g.
+    /// `--portfolio` on `ablation`, which never builds `SolveOptions` from
+    /// it) would otherwise silently no-op — the exact failure mode strict
+    /// parsing exists to eliminate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unsupported flag.
+    pub fn supported_by(self, binary: &str, supported: &[&str]) -> Result<BenchArgs, String> {
+        for &flag in &self.seen {
+            if !supported.contains(&flag) {
+                return Err(format!(
+                    "{flag} is not supported by {binary} (supported: {})",
+                    supported.join(" ")
+                ));
+            }
+        }
+        Ok(self)
+    }
+
+    /// Parses the process argv against this binary's supported flag set;
+    /// prints the error and exits 2 on bad or unsupported flags.
+    pub fn from_env_for(binary: &str, supported: &[&str]) -> BenchArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args).and_then(|parsed| parsed.supported_by(binary, supported)) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pool width: `--jobs` if given, otherwise all hardware threads.
+    pub fn jobs_or_default(&self) -> usize {
+        self.jobs.unwrap_or_else(pool::available_jobs)
+    }
+
+    /// Experiment options assembled from the parsed flags (budget, search
+    /// back-end, portfolio width, diversification seed).
+    pub fn experiment_options(&self, default_secs: u64) -> ExperimentOptions {
+        let mut options = ExperimentOptions {
+            budget_per_instance: Duration::from_secs(self.budget_secs.unwrap_or(default_secs)),
+            ..Default::default()
+        };
+        options.solver.incremental = !self.scratch;
+        options.solver.portfolio = self.portfolio.unwrap_or(1);
+        if let Some(seed) = self.seed {
+            options.solver.seed = seed;
+        }
+        options
+    }
 }
 
 /// Human-readable name of the selected search back-end.
@@ -64,9 +226,21 @@ pub fn search_backend_label(incremental: bool) -> &'static str {
     }
 }
 
-/// Runs the full Table I with explicit options (budget, search back-end).
+/// Runs the full Table I with explicit options, sequentially (the paper's
+/// procedure; equivalent to [`run_table1_jobs`] with `jobs = 1`).
 pub fn table1_with_options(options: &ExperimentOptions) -> Vec<ExperimentResult> {
-    run_table1(options)
+    run_table1_jobs(options, 1)
+}
+
+/// Runs the full Table I on the instance pool: independent `code × layout`
+/// experiments execute on `jobs` scoped threads, rows come back in the
+/// paper's order regardless of completion order (the instance list is
+/// `nasp_core::report::table1_instances`, the same one `run_table1`
+/// walks), and every instance keeps its own per-instance budget.
+pub fn run_table1_jobs(options: &ExperimentOptions, jobs: usize) -> Vec<ExperimentResult> {
+    pool::map_indexed(jobs, table1_instances(), |_, (code, circuit, layout)| {
+        run_experiment_with_circuit(&code, &circuit, layout, options)
+    })
 }
 
 /// Renders Table I in the paper's format.
@@ -97,4 +271,108 @@ pub fn render_figure4(rows: &[ExperimentResult]) -> String {
         out.push_str(&format!("{code:12}  {d2:+18.4}  {d3:+23.4}\n"));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_known_flag() {
+        let parsed = BenchArgs::parse(&args(&[
+            "--budget",
+            "7",
+            "--scratch",
+            "--jobs",
+            "4",
+            "--portfolio",
+            "3",
+            "--seed",
+            "99",
+            "--json",
+            "rows.json",
+            "--quick",
+            "--out",
+            "a.json",
+            "--out-search",
+            "b.json",
+            "--out-parallel",
+            "c.json",
+        ]))
+        .expect("valid flags");
+        assert_eq!(parsed.budget_secs, Some(7));
+        assert!(parsed.scratch);
+        assert_eq!(parsed.jobs, Some(4));
+        assert_eq!(parsed.portfolio, Some(3));
+        assert_eq!(parsed.seed, Some(99));
+        assert_eq!(parsed.json.as_deref(), Some("rows.json"));
+        assert!(parsed.quick);
+        assert_eq!(parsed.out.as_deref(), Some("a.json"));
+        assert_eq!(parsed.out_search.as_deref(), Some("b.json"));
+        assert_eq!(parsed.out_parallel.as_deref(), Some("c.json"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_typos() {
+        assert!(BenchArgs::parse(&args(&["--budet", "5"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--scratch", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_values() {
+        assert!(BenchArgs::parse(&args(&["--budget"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--budget", "soon"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--jobs", "0"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--portfolio", "0"])).is_err());
+    }
+
+    #[test]
+    fn supported_set_rejects_inapplicable_flags() {
+        let parsed = BenchArgs::parse(&args(&["--scratch", "--portfolio", "3"])).expect("valid");
+        // A binary that never reads --portfolio must refuse it…
+        let err = parsed
+            .clone()
+            .supported_by("ablation", &["--scratch", "--jobs"])
+            .expect_err("inapplicable flag");
+        assert!(err.contains("--portfolio"), "err: {err}");
+        // …while a binary that supports both accepts the same argv.
+        assert!(parsed
+            .supported_by("table1", &["--scratch", "--portfolio"])
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_args_are_all_defaults() {
+        let parsed = BenchArgs::parse(&[]).expect("empty argv");
+        assert_eq!(parsed, BenchArgs::default());
+        assert!(parsed.jobs_or_default() >= 1);
+    }
+
+    #[test]
+    fn experiment_options_reflect_flags() {
+        let parsed = BenchArgs::parse(&args(&[
+            "--budget",
+            "3",
+            "--scratch",
+            "--portfolio",
+            "4",
+            "--seed",
+            "11",
+        ]))
+        .expect("valid flags");
+        let opts = parsed.experiment_options(30);
+        assert_eq!(opts.budget_per_instance, Duration::from_secs(3));
+        assert!(!opts.solver.incremental);
+        assert_eq!(opts.solver.portfolio, 4);
+        assert_eq!(opts.solver.seed, 11);
+        // Defaults flow through when flags are absent.
+        let opts = BenchArgs::default().experiment_options(30);
+        assert_eq!(opts.budget_per_instance, Duration::from_secs(30));
+        assert!(opts.solver.incremental);
+        assert_eq!(opts.solver.portfolio, 1);
+    }
 }

@@ -1,0 +1,135 @@
+//! A scoped-thread instance pool for the experiment harness.
+//!
+//! The paper's evaluation solves every `code × layout` instance strictly
+//! sequentially even though the instances are fully independent;
+//! [`map_indexed`] runs them concurrently on plain `std::thread` scoped
+//! threads (no external dependencies). Scheduling is dynamic
+//! self-balancing: workers claim the next unstarted item from a shared
+//! atomic cursor, so a worker that drew a cheap instance immediately
+//! steals the next one instead of idling behind a long solve — the
+//! work-stealing behaviour that matters for the harness's wildly uneven
+//! instance times, without per-worker deques.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic output order** — results land at their item's index,
+//!   whatever order workers finish in.
+//! * **Per-instance budgets preserved** — the closure runs unchanged; each
+//!   instance keeps its own `SolveOptions` budget.
+//! * **Panic propagation** — a panicking item aborts the run at scope join
+//!   instead of silently dropping results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of usable hardware threads (1 if the query fails).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on `jobs` worker threads, returning results
+/// in item order. `f` receives the item's index alongside the item.
+///
+/// `jobs` is clamped to `[1, items.len()]`; `jobs == 1` degenerates to a
+/// plain sequential loop on the calling thread (no pool overhead, same
+/// observable behaviour).
+pub fn map_indexed<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed item stored a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        for jobs in [1, 2, 3, 8] {
+            let items: Vec<usize> = (0..17).collect();
+            let out = map_indexed(jobs, items, |i, x| {
+                assert_eq!(i, x, "index matches item");
+                x * 10
+            });
+            assert_eq!(
+                out,
+                (0..17).map(|x| x * 10).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = map_indexed(64, vec![1, 2, 3], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = map_indexed(4, Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items carry wildly different costs; every result must still be
+        // present and ordered. (Timing is not asserted — only correctness
+        // of the dynamic claiming.)
+        let items: Vec<u64> = (0..12)
+            .map(|i| if i % 4 == 0 { 20_000 } else { 10 })
+            .collect();
+        let out = map_indexed(3, items.clone(), |_, spins| {
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(k ^ (acc << 1));
+            }
+            (spins, acc)
+        });
+        assert_eq!(out.len(), 12);
+        for (i, (spins, _)) in out.iter().enumerate() {
+            assert_eq!(*spins, items[i]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Pool smoke test: the full Table I runner on a 2-thread instance pool
+//! produces the same rows (codes, layouts, circuit sizes, validity) in the
+//! same order as the sequential runner.
+//!
+//! A zero SMT budget routes every instance through the deterministic
+//! heuristic scheduler, so the whole catalog runs in seconds while still
+//! exercising synthesis, scheduling, operational validation and tableau
+//! verification on every pooled thread.
+
+use std::time::Duration;
+
+use nasp_bench::{run_table1_jobs, table1_with_options};
+use nasp_core::report::ExperimentOptions;
+
+fn zero_budget() -> ExperimentOptions {
+    ExperimentOptions {
+        budget_per_instance: Duration::ZERO,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn run_table1_on_two_threads_matches_sequential() {
+    let sequential = table1_with_options(&zero_budget());
+    let pooled = run_table1_jobs(&zero_budget(), 2);
+    assert_eq!(sequential.len(), pooled.len(), "same instance count");
+    assert!(!pooled.is_empty(), "catalog is non-empty");
+    for (s, p) in sequential.iter().zip(&pooled) {
+        assert_eq!(s.code, p.code, "deterministic row order");
+        assert_eq!(s.layout, p.layout, "deterministic row order");
+        assert_eq!(s.num_cz, p.num_cz, "same synthesized circuit");
+        assert_eq!(s.provenance, p.provenance, "zero budget: heuristic on both");
+        assert_eq!(
+            s.metrics.num_rydberg, p.metrics.num_rydberg,
+            "{}/{}: deterministic heuristic schedule",
+            s.code, s.layout
+        );
+        assert_eq!(s.metrics.num_transfer, p.metrics.num_transfer);
+        assert!(
+            p.valid,
+            "{}/{}: pooled schedule validates",
+            p.code, p.layout
+        );
+        assert!(
+            p.verified,
+            "{}/{}: pooled schedule verifies",
+            p.code, p.layout
+        );
+    }
+}
+
+#[test]
+fn pool_width_does_not_change_row_order() {
+    // Even with more threads than instances the paper's row order holds.
+    let narrow = run_table1_jobs(&zero_budget(), 2);
+    let wide = run_table1_jobs(&zero_budget(), 64);
+    let key = |rows: &[nasp_core::ExperimentResult]| -> Vec<(String, String)> {
+        rows.iter()
+            .map(|r| (r.code.clone(), r.layout.to_string()))
+            .collect()
+    };
+    assert_eq!(key(&narrow), key(&wide));
+}

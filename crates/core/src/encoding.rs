@@ -28,11 +28,12 @@
 //! load/store flags set. Decoding therefore reads only the active prefix.
 
 use nasp_arch::{Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
-use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult};
+use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult, SolverConfig};
 
 use crate::problem::Problem;
 
-/// Encoding options (strengthenings and symmetry breaking).
+/// Encoding options (strengthenings, symmetry breaking, and the
+/// configuration of the SAT solver beneath the compiled instance).
 #[derive(Debug, Clone, Copy)]
 pub struct EncodeOptions {
     /// Assert that the first and last stages are execution stages. Safe for
@@ -43,6 +44,10 @@ pub struct EncodeOptions {
     /// Require every execution stage to execute at least one gate (a beam
     /// without gates only adds error). Toggled by ablation A1.
     pub nonempty_exec: bool,
+    /// Tuning of the SAT solver the encoding compiles onto. The default is
+    /// the deterministic reference configuration; portfolio workers get
+    /// diversified variants ([`SolverConfig::diversified`]).
+    pub solver: SolverConfig,
 }
 
 impl Default for EncodeOptions {
@@ -50,6 +55,7 @@ impl Default for EncodeOptions {
         EncodeOptions {
             force_exec_boundary: true,
             nonempty_exec: true,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -103,7 +109,7 @@ impl Core {
             stage_cap > 0 || problem.gates.is_empty(),
             "need at least one stage to execute gates"
         );
-        let mut ctx = Ctx::new();
+        let mut ctx = Ctx::with_config(opts.solver);
         let n = problem.num_qubits;
         let cfg = &problem.config;
         let g: Vec<IntVar> = (0..problem.gates.len())
@@ -822,6 +828,14 @@ impl IncrementalEncoding {
         self.core.ctx.clause_db_bytes()
     }
 }
+
+// Send audit: portfolio workers own one encoding each on scoped threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Encoding>();
+    assert_send::<IncrementalEncoding>();
+    assert_send::<Problem>();
+};
 
 #[cfg(test)]
 mod tests {

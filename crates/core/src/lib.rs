@@ -34,11 +34,15 @@
 
 pub mod encoding;
 pub mod heuristic;
+mod portfolio;
 pub mod problem;
 pub mod report;
 pub mod solve;
 
 pub use encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 pub use problem::Problem;
-pub use report::{run_experiment, run_table1, ExperimentOptions, ExperimentResult};
+pub use report::{
+    run_experiment, run_table1, table1_instances, ExperimentOptions, ExperimentResult,
+    TABLE1_LAYOUTS,
+};
 pub use solve::{solve, Provenance, SolveOptions, SolveReport};

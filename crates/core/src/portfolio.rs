@@ -1,0 +1,321 @@
+//! Portfolio search: K diversified solver workers race every round of the
+//! iterative-deepening sweep, first definitive answer wins (DESIGN.md §8).
+//!
+//! The sequential drivers in [`crate::solve`] walk the stage counts
+//! `S = lb, lb+1, …` and then tighten the transfer count — a sequence of
+//! *rounds*, each a single satisfiability query with an objective verdict.
+//! The portfolio keeps that round structure and parallelizes *within* a
+//! round: every worker owns a full encoding of the same [`Problem`] built
+//! over its own diversified [`SolverConfig`] (decision-noise seed, Luby
+//! restart unit, initial phase polarity, activity-reset policy), all
+//! workers solve the same query concurrently, and the first SAT/UNSAT
+//! answer cancels the rest through a shared [`Terminator`] polled inside
+//! the CDCL loop.
+//!
+//! Because SAT and UNSAT are properties of the query — not of the solver
+//! that happens to answer first — racing changes *which model* is found
+//! and *how fast*, never the verdict. The reported minima (`S`, and `#T`
+//! after the tightening loop runs to UNSAT) are therefore identical to the
+//! single-solver search; only wall clock and the winning schedule's
+//! incidental details may differ. Worker 0 always runs the untouched
+//! default configuration, so the portfolio is never *less* capable than
+//! the sequential solver on any round.
+//!
+//! Workers are long-lived within one `solve` call (scoped threads): the
+//! incremental back-end keeps each worker's solver warm across rounds
+//! exactly like the sequential sweep, including learnt-clause retention
+//! and the stage-cap rebuild policy.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
+
+use nasp_arch::Schedule;
+use nasp_smt::{Budget, SolveResult, SolverConfig, Terminator};
+
+use crate::encoding::{Encoding, IncrementalEncoding};
+use crate::problem::Problem;
+use crate::solve::{
+    Provenance, SatCounters, SearchState, SolveOptions, SolveReport, INCREMENTAL_HEADROOM,
+};
+
+/// One search round, broadcast to every worker.
+#[derive(Debug, Clone, Copy)]
+enum Query {
+    /// Solve with exactly `s` active stages.
+    Stage { s: usize },
+    /// Solve at `s` stages with at most `max_transfers` transfer stages.
+    Tighten { s: usize, max_transfers: usize },
+    /// Shut down (no response expected).
+    Quit,
+}
+
+/// A worker's answer to one round.
+struct Response {
+    worker: usize,
+    result: SolveResult,
+    /// The decoded model; `Some` iff `result == Sat`.
+    schedule: Option<Schedule>,
+    /// Cumulative solver effort of this worker so far.
+    counters: SatCounters,
+    /// The worker panicked instead of answering (sent by its unwind
+    /// guard); the orchestrator re-raises instead of deadlocking.
+    died: bool,
+}
+
+/// Sends a death notice if the owning worker unwinds from a panic, so the
+/// orchestrator (which counts exactly K responses per round) learns about
+/// the loss instead of blocking on `recv()` forever. On the orchestrator's
+/// re-raise its channel senders drop, the surviving workers' `recv()` fail
+/// and they exit, and the scope join propagates the panic.
+struct DeathNotice {
+    worker: usize,
+    tx: Sender<Response>,
+}
+
+impl Drop for DeathNotice {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(Response {
+                worker: self.worker,
+                result: SolveResult::Unknown,
+                schedule: None,
+                counters: SatCounters::default(),
+                died: true,
+            });
+        }
+    }
+}
+
+/// The orchestrator's handle on the running workers.
+struct Rounds {
+    query_txs: Vec<Sender<Query>>,
+    resp_rx: Receiver<Response>,
+    stop: Terminator,
+    wins: Vec<u64>,
+    latest: Vec<SatCounters>,
+}
+
+impl Rounds {
+    /// Broadcasts one query, waits for all workers, returns the first
+    /// definitive verdict (and its model). The winner's answer triggers
+    /// the shared terminator, so the losers return `Unknown` within their
+    /// next poll; all K responses are always collected before the round
+    /// ends, keeping the workers in lockstep.
+    fn run(&mut self, q: Query) -> (SolveResult, Option<Schedule>) {
+        debug_assert!(!self.stop.is_signalled(), "terminator armed between rounds");
+        for tx in &self.query_txs {
+            tx.send(q).expect("worker thread alive");
+        }
+        let mut verdict = SolveResult::Unknown;
+        let mut schedule = None;
+        let mut winner: Option<usize> = None;
+        for _ in 0..self.query_txs.len() {
+            let r = self.resp_rx.recv().expect("worker thread responds");
+            if r.died {
+                panic!("portfolio worker {} panicked mid-round", r.worker);
+            }
+            self.latest[r.worker] = r.counters;
+            if r.result != SolveResult::Unknown {
+                match winner {
+                    None => {
+                        winner = Some(r.worker);
+                        verdict = r.result;
+                        schedule = r.schedule;
+                        self.stop.signal();
+                    }
+                    Some(_) => {
+                        // A second worker finished before noticing the
+                        // terminator; soundness demands it agrees.
+                        assert_eq!(verdict, r.result, "portfolio workers disagree on a verdict");
+                    }
+                }
+            }
+        }
+        self.stop.clear();
+        if let Some(w) = winner {
+            self.wins[w] += 1;
+        }
+        (verdict, schedule)
+    }
+
+    fn shutdown(&mut self) {
+        for tx in &self.query_txs {
+            // A worker that already exited (hung-up channel) is fine.
+            let _ = tx.send(Query::Quit);
+        }
+    }
+}
+
+/// The portfolio driver: same sweep as the sequential back-ends, each
+/// round raced by `options.portfolio` diversified workers.
+pub(crate) fn solve_portfolio(
+    problem: &Problem,
+    options: &SolveOptions,
+    start: Instant,
+    deadline: Instant,
+) -> SolveReport {
+    let k = options.portfolio.max(2);
+    let lb = problem.stage_lower_bound().max(1);
+    let mut state = SearchState::new(start, deadline, lb);
+    if lb > options.max_stages {
+        let mut report = state.fallback(problem, options.heuristic_fallback);
+        report.portfolio_workers = k;
+        report.worker_wins = vec![0; k];
+        return report;
+    }
+
+    let stop = Terminator::new();
+    std::thread::scope(|scope| {
+        let (resp_tx, resp_rx) = channel::<Response>();
+        let mut query_txs = Vec::with_capacity(k);
+        for worker in 0..k {
+            let (q_tx, q_rx) = channel::<Query>();
+            query_txs.push(q_tx);
+            let resp_tx = resp_tx.clone();
+            let stop = stop.clone();
+            let options = *options;
+            scope.spawn(move || {
+                worker_loop(worker, problem, &options, deadline, q_rx, resp_tx, stop)
+            });
+        }
+        drop(resp_tx);
+        let mut rounds = Rounds {
+            query_txs,
+            resp_rx,
+            stop,
+            wins: vec![0; k],
+            latest: vec![SatCounters::default(); k],
+        };
+
+        let mut outcome: Option<(Schedule, Provenance)> = None;
+        'sweep: for s in lb..=options.max_stages {
+            if Instant::now() >= deadline {
+                break;
+            }
+            let (result, model) = rounds.run(Query::Stage { s });
+            state.record(s, result);
+            if result == SolveResult::Sat {
+                let mut best = model.expect("winning Sat response carries a schedule");
+                if options.minimize_transfers {
+                    loop {
+                        let current = best.num_transfer();
+                        if current == 0 || Instant::now() >= deadline {
+                            break;
+                        }
+                        let (r, m) = rounds.run(Query::Tighten {
+                            s,
+                            max_transfers: current - 1,
+                        });
+                        match r {
+                            SolveResult::Sat => {
+                                best = m.expect("winning Sat response carries a schedule");
+                                debug_assert!(best.num_transfer() < current);
+                            }
+                            // Unsat: `current` is minimal; Unknown: budget.
+                            SolveResult::Unsat | SolveResult::Unknown => break,
+                        }
+                    }
+                }
+                outcome = Some((best, state.sat_provenance()));
+                break 'sweep;
+            }
+        }
+
+        rounds.shutdown();
+        // The scope joins every worker here; each worker's cumulative
+        // counters arrived with its last response.
+        for c in &rounds.latest {
+            state.counters.merge(*c);
+        }
+        let mut report = match outcome {
+            Some((schedule, provenance)) => state.report(Some(schedule), provenance),
+            None => state.fallback(problem, options.heuristic_fallback),
+        };
+        report.portfolio_workers = k;
+        report.worker_wins = rounds.wins;
+        report
+    })
+}
+
+/// One worker: owns its diversified encoding(s), answers queries until
+/// [`Query::Quit`]. Mirrors the sequential back-ends' per-round behaviour
+/// — warm incremental solver with stage-cap rebuilds, or a cold scratch
+/// encoding per round — under its own [`SolverConfig`].
+fn worker_loop(
+    id: usize,
+    problem: &Problem,
+    options: &SolveOptions,
+    deadline: Instant,
+    queries: Receiver<Query>,
+    responses: Sender<Response>,
+    stop: Terminator,
+) {
+    let guard = DeathNotice {
+        worker: id,
+        tx: responses,
+    };
+    let mut encode = options.encode;
+    encode.solver = SolverConfig::diversified(id, options.seed);
+    let lb = problem.stage_lower_bound().max(1);
+    let mut counters = SatCounters::default();
+    // Built lazily on the first query: a search whose deadline already
+    // passed sends Quit without any round, and K unused encodings would
+    // be pure waste.
+    let mut enc: Option<IncrementalEncoding> = None;
+
+    while let Ok(q) = queries.recv() {
+        let (s, max_transfers) = match q {
+            Query::Quit => break,
+            Query::Stage { s } => (s, None),
+            Query::Tighten { s, max_transfers } => (s, Some(max_transfers)),
+        };
+        let budget = Budget {
+            deadline: Some(deadline),
+            stop: Some(stop.clone()),
+            ..Budget::default()
+        };
+        let (result, schedule) = if options.incremental {
+            let inc = enc.get_or_insert_with(|| {
+                let cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
+                IncrementalEncoding::build(problem, cap, encode)
+            });
+            if s > inc.max_stages() {
+                // Outgrew the cap: fold the old solver's effort into the
+                // running totals and rebuild (rare, like the sequential
+                // sweep).
+                counters.absorb(inc.stats(), inc.clause_db_bytes());
+                let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
+                *inc = IncrementalEncoding::build(problem, cap, encode);
+            }
+            let result = match max_transfers {
+                None => inc.solve_at(s, budget),
+                Some(kk) => inc.solve_at_with_max_transfers(s, kk, budget),
+            };
+            let schedule = (result == SolveResult::Sat).then(|| inc.decode());
+            (result, schedule)
+        } else {
+            let mut cold = Encoding::build(problem, s, encode);
+            if let Some(kk) = max_transfers {
+                cold.assert_max_transfers(kk);
+            }
+            let result = cold.solve(budget);
+            let schedule = (result == SolveResult::Sat).then(|| cold.decode());
+            counters.absorb(cold.stats(), cold.clause_db_bytes());
+            (result, schedule)
+        };
+        let mut snapshot = counters;
+        if let Some(inc) = &enc {
+            snapshot.absorb(inc.stats(), inc.clause_db_bytes());
+        }
+        let sent = guard.tx.send(Response {
+            worker: id,
+            result,
+            schedule,
+            counters: snapshot,
+            died: false,
+        });
+        if sent.is_err() {
+            break; // orchestrator is gone; nothing left to do
+        }
+    }
+}

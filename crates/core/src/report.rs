@@ -54,6 +54,11 @@ pub struct ExperimentResult {
     pub sat_learnt_clauses: u64,
     /// Peak clause-arena footprint in bytes over the encodings explored.
     pub clause_db_bytes: u64,
+    /// Solver workers that ran the search (1 = single-solver, >1 =
+    /// portfolio racing).
+    pub portfolio_workers: usize,
+    /// Rounds won per worker when a portfolio ran (empty otherwise).
+    pub worker_wins: Vec<u64>,
 }
 
 impl ExperimentResult {
@@ -165,26 +170,43 @@ pub fn run_experiment_with_circuit(
         sat_restarts: report.sat_restarts,
         sat_learnt_clauses: report.sat_learnt_clauses,
         clause_db_bytes: report.clause_db_bytes,
+        portfolio_workers: report.portfolio_workers,
+        worker_wins: report.worker_wins,
     }
+}
+
+/// The three layouts of Table I, in the paper's column order. Shared by
+/// every runner (and by `figure4_deltas`, whose chunking relies on it).
+pub const TABLE1_LAYOUTS: [Layout; 3] = [
+    Layout::NoShielding,
+    Layout::BottomStorage,
+    Layout::DoubleSidedStorage,
+];
+
+/// The Table I instance list in the paper's row order: every catalog code
+/// (circuit synthesized once and shared) across [`TABLE1_LAYOUTS`]. The
+/// single source of truth for sequential and pooled runners alike, so row
+/// order can never drift between them.
+pub fn table1_instances() -> Vec<(StabilizerCode, StatePrepCircuit, Layout)> {
+    let mut items = Vec::new();
+    for code in nasp_qec::catalog::all_codes() {
+        let circuit =
+            graph_state::synthesize(&code.zero_state_stabilizers()).expect("synthesizable code");
+        for layout in TABLE1_LAYOUTS {
+            items.push((code.clone(), circuit.clone(), layout));
+        }
+    }
+    items
 }
 
 /// Runs the full Table I: every catalog code × the three layouts.
 pub fn run_table1(options: &ExperimentOptions) -> Vec<ExperimentResult> {
-    let mut out = Vec::new();
-    for code in nasp_qec::catalog::all_codes() {
-        let circuit =
-            graph_state::synthesize(&code.zero_state_stabilizers()).expect("synthesizable code");
-        for layout in [
-            Layout::NoShielding,
-            Layout::BottomStorage,
-            Layout::DoubleSidedStorage,
-        ] {
-            out.push(run_experiment_with_circuit(
-                &code, &circuit, layout, options,
-            ));
-        }
-    }
-    out
+    table1_instances()
+        .into_iter()
+        .map(|(code, circuit, layout)| {
+            run_experiment_with_circuit(&code, &circuit, layout, options)
+        })
+        .collect()
 }
 
 /// Figure 4 series: ΔASP of layouts 2 and 3 versus layout 1, per code.
@@ -263,6 +285,8 @@ mod tests {
             sat_restarts: 0,
             sat_learnt_clauses: 0,
             clause_db_bytes: 0,
+            portfolio_workers: 1,
+            worker_wins: Vec::new(),
         };
         let rows = vec![
             mk("X", Layout::NoShielding, 0.90),

@@ -49,6 +49,17 @@ pub struct SolveOptions {
     /// Disable to rebuild a scratch encoding per stage count, the paper's
     /// literal procedure.
     pub incremental: bool,
+    /// Number of diversified solver workers racing each search round.
+    /// `1` (the default) is the plain single-solver search; `K > 1` runs
+    /// the portfolio driver: K workers with diversified
+    /// [`nasp_smt::SolverConfig`]s solve the *same* round concurrently,
+    /// the first definitive answer wins and cancels the rest (see
+    /// DESIGN.md §8). Verdicts are objective, so the portfolio reports the
+    /// same minimal `S`/`#T` as the single-solver search.
+    pub portfolio: usize,
+    /// Base seed for portfolio diversification (worker RNG streams derive
+    /// from it; worker 0 always keeps the deterministic default config).
+    pub seed: u64,
 }
 
 impl Default for SolveOptions {
@@ -60,6 +71,8 @@ impl Default for SolveOptions {
             heuristic_fallback: true,
             minimize_transfers: true,
             incremental: true,
+            portfolio: 1,
+            seed: 0x5EED,
         }
     }
 }
@@ -111,6 +124,12 @@ pub struct SolveReport {
     /// the solver-throughput counters benches report without reaching
     /// into `nasp-sat` internals.
     pub clause_db_bytes: u64,
+    /// Number of solver workers that ran the search (1 = single-solver).
+    pub portfolio_workers: usize,
+    /// Per-worker count of rounds won (first definitive answer); empty for
+    /// the single-solver search. Budget-exhausted rounds have no winner,
+    /// so the sum can be smaller than the number of rounds.
+    pub worker_wins: Vec<u64>,
 }
 
 impl SolveReport {
@@ -121,19 +140,20 @@ impl SolveReport {
 }
 
 /// Accumulated SAT-solver effort across the encodings a search explores
-/// (one for the incremental path, one per `S` for scratch).
+/// (one for the incremental path, one per `S` for scratch, one per worker
+/// for the portfolio).
 #[derive(Debug, Default, Clone, Copy)]
-struct SatCounters {
-    conflicts: u64,
-    propagations: u64,
-    decisions: u64,
-    restarts: u64,
-    learnt: u64,
-    peak_db_bytes: u64,
+pub(crate) struct SatCounters {
+    pub(crate) conflicts: u64,
+    pub(crate) propagations: u64,
+    pub(crate) decisions: u64,
+    pub(crate) restarts: u64,
+    pub(crate) learnt: u64,
+    pub(crate) peak_db_bytes: u64,
 }
 
 impl SatCounters {
-    fn absorb(&mut self, stats: nasp_smt::Stats, db_bytes: usize) {
+    pub(crate) fn absorb(&mut self, stats: nasp_smt::Stats, db_bytes: usize) {
         self.conflicts += stats.conflicts;
         self.propagations += stats.propagations;
         self.decisions += stats.decisions;
@@ -141,20 +161,31 @@ impl SatCounters {
         self.learnt += stats.learnt_clauses;
         self.peak_db_bytes = self.peak_db_bytes.max(db_bytes as u64);
     }
+
+    /// Folds another worker's totals into this one (sums effort, takes the
+    /// peak arena footprint).
+    pub(crate) fn merge(&mut self, other: SatCounters) {
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.decisions += other.decisions;
+        self.restarts += other.restarts;
+        self.learnt += other.learnt;
+        self.peak_db_bytes = self.peak_db_bytes.max(other.peak_db_bytes);
+    }
 }
 
-/// Everything the two back-ends share when assembling the final report.
-struct SearchState {
+/// Everything the back-ends share when assembling the final report.
+pub(crate) struct SearchState {
     start: Instant,
-    deadline: Instant,
+    pub(crate) deadline: Instant,
     log: Vec<(usize, SolveResult)>,
     all_proved_unsat: bool,
     proven_lb: usize,
-    counters: SatCounters,
+    pub(crate) counters: SatCounters,
 }
 
 impl SearchState {
-    fn new(start: Instant, deadline: Instant, lb: usize) -> Self {
+    pub(crate) fn new(start: Instant, deadline: Instant, lb: usize) -> Self {
         SearchState {
             start,
             deadline,
@@ -167,12 +198,12 @@ impl SearchState {
 
     fn budget(&self) -> Budget {
         Budget {
-            max_conflicts: None,
             deadline: Some(self.deadline),
+            ..Budget::default()
         }
     }
 
-    fn record(&mut self, s: usize, result: SolveResult) {
+    pub(crate) fn record(&mut self, s: usize, result: SolveResult) {
         self.log.push((s, result));
         match result {
             SolveResult::Unsat => {
@@ -185,7 +216,7 @@ impl SearchState {
         }
     }
 
-    fn report(self, schedule: Option<Schedule>, provenance: Provenance) -> SolveReport {
+    pub(crate) fn report(self, schedule: Option<Schedule>, provenance: Provenance) -> SolveReport {
         SolveReport {
             schedule,
             provenance,
@@ -198,10 +229,12 @@ impl SearchState {
             sat_restarts: self.counters.restarts,
             sat_learnt_clauses: self.counters.learnt,
             clause_db_bytes: self.counters.peak_db_bytes,
+            portfolio_workers: 1,
+            worker_wins: Vec::new(),
         }
     }
 
-    fn sat_provenance(&self) -> Provenance {
+    pub(crate) fn sat_provenance(&self) -> Provenance {
         if self.all_proved_unsat {
             Provenance::Optimal
         } else {
@@ -210,7 +243,7 @@ impl SearchState {
     }
 
     /// Heuristic-fallback (or no-schedule) report.
-    fn fallback(self, problem: &Problem, heuristic_fallback: bool) -> SolveReport {
+    pub(crate) fn fallback(self, problem: &Problem, heuristic_fallback: bool) -> SolveReport {
         let schedule = if heuristic_fallback {
             heuristic::schedule(problem)
         } else {
@@ -241,7 +274,9 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
         );
     }
 
-    if options.incremental {
+    if options.portfolio > 1 {
+        crate::portfolio::solve_portfolio(problem, options, start, deadline)
+    } else if options.incremental {
         solve_incremental(problem, options, start, deadline)
     } else {
         solve_scratch(problem, options, start, deadline)
@@ -253,7 +288,7 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
 /// keeps rebuilds exceptional without inflating the gate-stage domains
 /// (every extra stage of cap lengthens each gate variable's order-encoding
 /// ladder, a cost paid on every propagation touching it).
-const INCREMENTAL_HEADROOM: usize = 2;
+pub(crate) const INCREMENTAL_HEADROOM: usize = 2;
 
 /// The incremental sweep: one encoding, one warm solver, assumption-guarded
 /// activation of each stage count and transfer cap.
@@ -350,8 +385,8 @@ fn tighten_transfers_incremental(
             return best;
         }
         let budget = Budget {
-            max_conflicts: None,
             deadline: Some(deadline),
+            ..Budget::default()
         };
         match enc.solve_at_with_max_transfers(s, current - 1, budget) {
             SolveResult::Sat => {
@@ -381,8 +416,8 @@ fn tighten_transfers_scratch(
         let mut enc = Encoding::build(problem, s, options.encode);
         enc.assert_max_transfers(current - 1);
         let budget = Budget {
-            max_conflicts: None,
             deadline: Some(deadline),
+            ..Budget::default()
         };
         let result = enc.solve(budget);
         counters.absorb(enc.stats(), enc.clause_db_bytes());

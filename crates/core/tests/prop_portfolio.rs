@@ -1,0 +1,151 @@
+//! Property suite: the portfolio search (K diversified workers racing each
+//! round, first definitive answer wins) is observationally identical to the
+//! single-solver search — same minimal stage count, same minimal transfer
+//! count, same provenance and proven lower bound, and a valid, verifiable
+//! schedule — over randomized small problems and the three paper layouts.
+//!
+//! This is the load-bearing property behind DESIGN.md §8's claim that
+//! winner nondeterminism cannot change reported optima: SAT/UNSAT verdicts
+//! are properties of the query, not of the solver that answers first.
+
+use std::time::Duration;
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, Problem, SolveOptions, SolveReport};
+use proptest::prelude::*;
+
+const WORKERS: usize = 3;
+
+fn layout_of(idx: usize) -> Layout {
+    match idx % 3 {
+        0 => Layout::NoShielding,
+        1 => Layout::BottomStorage,
+        _ => Layout::DoubleSidedStorage,
+    }
+}
+
+fn solve_with_workers(problem: &Problem, portfolio: usize) -> SolveReport {
+    let options = SolveOptions {
+        time_budget: Duration::from_secs(30),
+        portfolio,
+        ..SolveOptions::default()
+    };
+    solve(problem, &options)
+}
+
+fn normalize_gates(raw: &[(usize, usize)], n: usize) -> Vec<(usize, usize)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+fn assert_agrees(problem: &Problem, single: &SolveReport, port: &SolveReport, tag: &str) {
+    assert_eq!(single.provenance, port.provenance, "{tag}: provenance");
+    assert_eq!(single.proven_lb, port.proven_lb, "{tag}: proven lb");
+    let ss = single.schedule.as_ref().expect("single schedule");
+    let sp = port.schedule.as_ref().expect("portfolio schedule");
+    assert_eq!(ss.stages.len(), sp.stages.len(), "{tag}: same minimal S");
+    assert_eq!(
+        ss.num_transfer(),
+        sp.num_transfer(),
+        "{tag}: same minimal #T"
+    );
+    assert!(
+        validate_schedule(sp, &problem.gates).is_empty(),
+        "{tag}: portfolio schedule must validate"
+    );
+    assert_eq!(port.portfolio_workers, WORKERS, "{tag}: worker count");
+    assert_eq!(port.worker_wins.len(), WORKERS, "{tag}: wins vector");
+    // Every stage-count round of this fully-solved search had a winner.
+    let wins: u64 = port.worker_wins.iter().sum();
+    assert!(
+        wins >= port.log.len() as u64,
+        "{tag}: each recorded round has a winner (wins {wins}, rounds {})",
+        port.log.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn portfolio_and_single_solver_agree(
+        layout_idx in 0usize..3,
+        n in 2usize..5,
+        raw in prop::collection::vec((0usize..8, 0usize..8), 1..=3),
+    ) {
+        let gates = normalize_gates(&raw, n);
+        let problem = Problem::from_gates(ArchConfig::paper(layout_of(layout_idx)), n, gates);
+        let single = solve_with_workers(&problem, 1);
+        let port = solve_with_workers(&problem, WORKERS);
+        prop_assert!(single.is_optimal(), "tiny instances must solve to optimality");
+        assert_agrees(&problem, &single, &port, "randomized");
+    }
+}
+
+/// The three paper layouts on the Fig. 2 instance: the portfolio agrees
+/// with the single-solver search everywhere, including the zoned layouts
+/// whose minimum genuinely needs a transfer stage.
+#[test]
+fn paper_layouts_agree_under_portfolio() {
+    for layout in [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ] {
+        let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+        let single = solve_with_workers(&problem, 1);
+        let port = solve_with_workers(&problem, WORKERS);
+        assert!(single.is_optimal() && port.is_optimal(), "{layout:?}");
+        assert_agrees(&problem, &single, &port, &format!("{layout:?}"));
+    }
+}
+
+/// The portfolio also fronts the scratch back-end (cold encoding per
+/// round, diversified per worker) with identical reported optima.
+#[test]
+fn scratch_portfolio_agrees_on_fig2() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2)],
+    );
+    let single = solve_with_workers(&problem, 1);
+    let options = SolveOptions {
+        time_budget: Duration::from_secs(30),
+        portfolio: WORKERS,
+        incremental: false,
+        ..SolveOptions::default()
+    };
+    let port = solve(&problem, &options);
+    assert_agrees(&problem, &single, &port, "scratch-portfolio");
+}
+
+/// A zero time budget exhausts every round; the portfolio then takes the
+/// same heuristic fallback as the single-solver driver and reports no
+/// round winners.
+#[test]
+fn portfolio_budget_exhaustion_falls_back() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+    );
+    let options = SolveOptions {
+        time_budget: Duration::ZERO,
+        portfolio: WORKERS,
+        ..SolveOptions::default()
+    };
+    let port = solve(&problem, &options);
+    assert_eq!(port.provenance, nasp_core::Provenance::Heuristic);
+    assert_eq!(port.worker_wins.iter().sum::<u64>(), 0, "no rounds ran");
+    let s = port.schedule.expect("heuristic schedule");
+    assert!(validate_schedule(&s, &problem.gates).is_empty());
+}

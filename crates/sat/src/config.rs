@@ -1,0 +1,174 @@
+//! Solver tuning knobs and the cooperative cancellation flag.
+//!
+//! [`SolverConfig`] collects the search constants that used to be
+//! hard-coded in `solver.rs`, so a solver *portfolio* can race diversified
+//! instances of the same formula — each worker gets its own decision-noise
+//! seed, restart cadence, initial phase polarity and activity-reset policy.
+//! [`Terminator`] is the shared stop flag that lets the portfolio winner
+//! cancel the losers mid-search (and lets any driver cancel a solve
+//! cooperatively without killing the thread).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Tuning parameters of a [`crate::Solver`], fixed at construction.
+///
+/// [`SolverConfig::default`] reproduces the historical hard-coded
+/// constants, so a default-configured solver is bit-for-bit the solver the
+/// repository always had — the portfolio's worker 0 keeps that
+/// deterministic reference behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Seed of the xorshift RNG behind decision noise. Irrelevant while
+    /// [`SolverConfig::random_decision_freq`] is zero.
+    pub seed: u64,
+    /// Probability that a decision picks a uniformly random unassigned
+    /// variable instead of the VSIDS maximum (MiniSat's classic ~2%
+    /// diversification). Zero disables the RNG entirely, keeping the
+    /// default solver deterministic.
+    pub random_decision_freq: f64,
+    /// Base multiplier of the Luby restart sequence (conflicts per restart
+    /// unit).
+    pub luby_unit: u64,
+    /// Initial saved phase of fresh variables (phase saving overwrites it
+    /// as soon as the variable is first backtracked over).
+    pub init_phase: bool,
+    /// Multiplicative VSIDS decay applied after every conflict.
+    pub var_decay: f64,
+    /// Honour [`crate::Solver::reset_activities`] requests. Portfolio
+    /// workers that keep their refutation-tuned scores across stage-count
+    /// rounds explore a genuinely different search order from those that
+    /// reset — a cheap diversification axis.
+    pub reset_activities: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            seed: 0,
+            random_decision_freq: 0.0,
+            luby_unit: 128,
+            init_phase: false,
+            var_decay: 0.95,
+            reset_activities: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The portfolio diversification schedule: worker 0 is the untouched
+    /// deterministic default; every other worker differs from it on several
+    /// independent axes (noise seed, restart cadence, initial polarity,
+    /// activity-reset policy), so the workers explore genuinely different
+    /// parts of the search tree while deciding the same formula.
+    pub fn diversified(worker: usize, base_seed: u64) -> Self {
+        if worker == 0 {
+            return SolverConfig::default();
+        }
+        // SplitMix64 step decorrelates per-worker seeds even for small
+        // consecutive `worker` indices.
+        let mut z =
+            base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let seed = z ^ (z >> 31);
+        const LUBY_UNITS: [u64; 4] = [64, 256, 32, 512];
+        SolverConfig {
+            seed,
+            random_decision_freq: 0.02,
+            luby_unit: LUBY_UNITS[(worker - 1) % LUBY_UNITS.len()],
+            init_phase: worker % 2 == 1,
+            var_decay: 0.95,
+            reset_activities: worker % 3 != 2,
+        }
+    }
+}
+
+/// Cooperative cancellation flag, shared between a driver and any number
+/// of running solvers.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. The solver polls it inside the CDCL loop — at every conflict and
+/// periodically between decisions — and backs out with
+/// `SolveResult::Unknown`, leaving the solver reusable (state backtracked
+/// to level zero). This is how a portfolio winner stops the losers, and
+/// the clean general mechanism for "stop this solve now" that deadline
+/// enforcement rides on.
+#[derive(Debug, Clone, Default)]
+pub struct Terminator(Arc<AtomicBool>);
+
+impl Terminator {
+    /// A fresh, unsignalled terminator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: every solver polling this flag returns
+    /// `Unknown` at its next check.
+    pub fn signal(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Re-arms the flag for the next round. Callers must ensure no solver
+    /// is mid-solve on this terminator when clearing (the portfolio
+    /// orchestrator clears only after collecting every worker's response).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+
+    /// `true` once [`Terminator::signal`] has been called (and not cleared).
+    pub fn is_signalled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_historical_constants() {
+        let c = SolverConfig::default();
+        assert_eq!(c.luby_unit, 128);
+        assert_eq!(c.var_decay, 0.95);
+        assert_eq!(c.random_decision_freq, 0.0);
+        assert!(!c.init_phase);
+        assert!(c.reset_activities);
+    }
+
+    #[test]
+    fn worker_zero_is_the_default() {
+        assert_eq!(SolverConfig::diversified(0, 42), SolverConfig::default());
+    }
+
+    #[test]
+    fn workers_differ_from_default_and_each_other() {
+        let d = SolverConfig::default();
+        let cfgs: Vec<SolverConfig> = (1..5).map(|w| SolverConfig::diversified(w, 42)).collect();
+        for c in &cfgs {
+            assert!(c.random_decision_freq > 0.0, "noise enabled off-default");
+            assert_ne!(c.seed, d.seed);
+        }
+        for i in 0..cfgs.len() {
+            for j in (i + 1)..cfgs.len() {
+                assert_ne!(cfgs[i].seed, cfgs[j].seed, "decorrelated seeds");
+            }
+        }
+        // Base seed changes every worker's RNG stream.
+        assert_ne!(
+            SolverConfig::diversified(1, 1).seed,
+            SolverConfig::diversified(1, 2).seed
+        );
+    }
+
+    #[test]
+    fn terminator_signal_clear_roundtrip() {
+        let t = Terminator::new();
+        assert!(!t.is_signalled());
+        let t2 = t.clone();
+        t2.signal();
+        assert!(t.is_signalled(), "clones share the flag");
+        t.clear();
+        assert!(!t2.is_signalled());
+    }
+}

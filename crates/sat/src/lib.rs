@@ -7,9 +7,12 @@
 //! a self-contained implementation (see `DESIGN.md` §3 at the repository
 //! root for the substitution argument).
 //!
-//! Features: two watched literals, VSIDS with phase saving, first-UIP
-//! learning with clause minimization, Luby restarts, LBD-based learnt-clause
-//! reduction, solving under assumptions, and conflict/wall-clock budgets.
+//! Features: two watched literals with blocking literals, VSIDS with phase
+//! saving, first-UIP learning with clause minimization, Luby restarts,
+//! LBD-based learnt-clause reduction, solving under assumptions,
+//! conflict/wall-clock budgets with cooperative cancellation
+//! ([`Terminator`]), and per-solver tuning ([`SolverConfig`]) for
+//! diversified portfolio solving.
 //!
 //! ## Example
 //!
@@ -32,11 +35,13 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod config;
 mod dimacs;
 mod heap;
 mod solver;
 mod types;
 
+pub use config::{SolverConfig, Terminator};
 pub use dimacs::{Cnf, ParseDimacsError};
 pub use solver::{Budget, SolveResult, Solver, Stats};
 pub use types::{LBool, Lit, Var};

@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use crate::arena::{forward, ClauseDb, ClauseRef};
+use crate::config::{SolverConfig, Terminator};
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, Var};
 
@@ -43,12 +44,18 @@ pub struct Stats {
 /// Resource limits for a single `solve` call.
 ///
 /// The default is unlimited.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Abort with [`SolveResult::Unknown`] after this many conflicts.
     pub max_conflicts: Option<u64>,
     /// Abort with [`SolveResult::Unknown`] after this deadline passes.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation: abort with [`SolveResult::Unknown`] once
+    /// this flag is signalled. Polled at every conflict and periodically
+    /// between decisions, so a cancelled solver backs out within
+    /// microseconds while staying reusable — the mechanism a portfolio
+    /// winner uses to stop the losing workers.
+    pub stop: Option<Terminator>,
 }
 
 impl Budget {
@@ -61,16 +68,28 @@ impl Budget {
     pub fn conflicts(n: u64) -> Self {
         Budget {
             max_conflicts: Some(n),
-            deadline: None,
+            ..Self::default()
         }
     }
 
     /// Limit by wall-clock duration from now.
     pub fn timeout(d: std::time::Duration) -> Self {
         Budget {
-            max_conflicts: None,
             deadline: Some(Instant::now() + d),
+            ..Self::default()
         }
+    }
+
+    /// Attaches a cooperative cancellation flag.
+    pub fn with_terminator(mut self, t: Terminator) -> Self {
+        self.stop = Some(t);
+        self
+    }
+
+    /// `true` once the cancellation flag (if any) is signalled.
+    #[inline]
+    fn stop_requested(&self) -> bool {
+        self.stop.as_ref().is_some_and(Terminator::is_signalled)
     }
 
     fn exhausted(&self, conflicts: u64, check_clock: bool) -> bool {
@@ -78,6 +97,9 @@ impl Budget {
             if conflicts >= m {
                 return true;
             }
+        }
+        if self.stop_requested() {
+            return true;
         }
         if check_clock {
             if let Some(d) = self.deadline {
@@ -98,9 +120,10 @@ struct Watcher {
     blocker: Lit,
 }
 
-const VAR_DECAY: f64 = 0.95;
 const RESCALE_LIMIT: f64 = 1e100;
-const LUBY_UNIT: u64 = 128;
+/// Decisions between polls of the cancellation flag on conflict-free
+/// stretches (conflicts poll it every time).
+const STOP_CHECK_DECISIONS: u64 = 128;
 
 /// The CDCL solver.
 ///
@@ -144,6 +167,11 @@ pub struct Solver {
     learnt_refs: Vec<ClauseRef>,
     next_reduce: u64,
     reduce_count: u64,
+    config: SolverConfig,
+    /// xorshift64* state for decision noise; only advanced when
+    /// `config.random_decision_freq > 0`, so the default solver stays
+    /// deterministic and RNG-free.
+    rng: u64,
 }
 
 impl Default for Solver {
@@ -153,8 +181,15 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver with no variables or clauses.
+    /// Creates an empty solver with the default (deterministic)
+    /// configuration.
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with an explicit configuration — the entry
+    /// point for diversified portfolio workers.
+    pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             db: ClauseDb::new(),
             watches: Vec::new(),
@@ -178,7 +213,16 @@ impl Solver {
             learnt_refs: Vec::new(),
             next_reduce: 2000,
             reduce_count: 0,
+            // xorshift64* needs a non-zero state; fold the seed through an
+            // odd multiplier so seed 0 is legal too.
+            rng: config.seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1,
+            config,
         }
+    }
+
+    /// The configuration fixed at construction.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Number of variables created so far.
@@ -210,7 +254,14 @@ impl Solver {
     /// `k + 1`), while the learnt clauses remain sound and useful. With
     /// all keys equal the variable heap's current arrangement remains a
     /// valid max-heap, so no rebuild is needed.
+    ///
+    /// A no-op when the configuration's activity-reset policy is off —
+    /// portfolio workers that keep their tuned scores across rounds search
+    /// in a different order from those that reset, at zero extra cost.
     pub fn reset_activities(&mut self) {
+        if !self.config.reset_activities {
+            return;
+        }
         for a in &mut self.activity {
             *a = 0.0;
         }
@@ -229,7 +280,7 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(LBool::Undef);
-        self.phase.push(false);
+        self.phase.push(self.config.init_phase);
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(self.max_activity);
@@ -353,37 +404,51 @@ impl Solver {
     }
 
     /// Unit propagation. Returns the conflicting clause, if any.
+    ///
+    /// The watcher list of the propagated literal is *taken* out of the
+    /// solver and rebuilt with a read/write cursor pair instead of being
+    /// edited in place through `self.watches[p][i]`: one bounds check per
+    /// access instead of two, no `swap_remove` shuffling (which disturbs
+    /// the list order and with it the blocker cache locality), and the
+    /// borrow of the list is independent of the `&mut self` calls in the
+    /// loop body. Blockers (the satisfied-literal cache in each
+    /// [`Watcher`]) short-circuit most visits without touching the clause
+    /// arena at all.
     fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
-            let mut i = 0;
-            // We edit watches[p] in place while iterating.
-            'watchers: while i < self.watches[p.index()].len() {
-                let w = self.watches[p.index()][i];
-                if self.lit_value(w.blocker) == LBool::True {
-                    i += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut confl = None;
+            let mut r = 0; // read cursor
+            let mut w = 0; // write cursor (kept watchers)
+            'watchers: while r < ws.len() {
+                let watcher = ws[r];
+                r += 1;
+                if self.lit_value(watcher.blocker) == LBool::True {
+                    ws[w] = watcher;
+                    w += 1;
                     continue;
                 }
-                let cref = w.cref;
+                let cref = watcher.cref;
                 if self.db.is_deleted(cref) {
-                    self.watches[p.index()].swap_remove(i);
-                    continue;
+                    continue; // drop the stale watcher
                 }
                 // Make sure the false literal (!p) is at position 1.
-                {
-                    let false_lit = !p;
-                    if self.db.lit(cref, 0) == false_lit {
-                        self.db.swap_lits(cref, 0, 1);
-                    }
-                    debug_assert_eq!(self.db.lit(cref, 1), false_lit);
+                let false_lit = !p;
+                if self.db.lit(cref, 0) == false_lit {
+                    self.db.swap_lits(cref, 0, 1);
                 }
+                debug_assert_eq!(self.db.lit(cref, 1), false_lit);
                 let first = self.db.lit(cref, 0);
-                if first != w.blocker && self.lit_value(first) == LBool::True {
-                    // Clause satisfied; refresh blocker.
-                    self.watches[p.index()][i].blocker = first;
-                    i += 1;
+                if first != watcher.blocker && self.lit_value(first) == LBool::True {
+                    // Clause satisfied; keep it watched with a fresh blocker.
+                    ws[w] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    w += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
@@ -391,8 +456,9 @@ impl Solver {
                 for k in 2..len {
                     let lk = self.db.lit(cref, k);
                     if self.lit_value(lk) != LBool::False {
+                        // `lk` is not false while `p` is true, so `!lk != p`:
+                        // the push below never targets the taken list.
                         self.db.swap_lits(cref, 1, k);
-                        self.watches[p.index()].swap_remove(i);
                         self.watches[(!lk).index()].push(Watcher {
                             cref,
                             blocker: first,
@@ -400,13 +466,30 @@ impl Solver {
                         continue 'watchers;
                     }
                 }
-                // Clause is unit or conflicting.
+                // Clause is unit or conflicting; it stays watched here.
+                ws[w] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                w += 1;
                 if self.lit_value(first) == LBool::False {
+                    // Conflict: keep the unexamined suffix and bail out.
+                    while r < ws.len() {
+                        ws[w] = ws[r];
+                        w += 1;
+                        r += 1;
+                    }
                     self.qhead = self.trail.len();
-                    return Some(cref);
+                    confl = Some(cref);
+                    break;
                 }
                 self.enqueue(first, Some(cref));
-                i += 1;
+            }
+            ws.truncate(w);
+            debug_assert!(self.watches[p.index()].is_empty());
+            self.watches[p.index()] = ws;
+            if confl.is_some() {
+                return confl;
             }
         }
         None
@@ -426,7 +509,7 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= VAR_DECAY;
+        self.var_inc /= self.config.var_decay;
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
@@ -678,7 +761,7 @@ impl Solver {
         }
         let start_conflicts = self.stats.conflicts;
         let mut restart_idx = 0u64;
-        let mut restart_budget = Self::luby(restart_idx) * LUBY_UNIT;
+        let mut restart_budget = Self::luby(restart_idx) * self.config.luby_unit;
         let mut conflicts_this_restart = 0u64;
 
         let result = loop {
@@ -726,11 +809,21 @@ impl Solver {
                 if conflicts_this_restart >= restart_budget {
                     self.stats.restarts += 1;
                     restart_idx += 1;
-                    restart_budget = Self::luby(restart_idx) * LUBY_UNIT;
+                    restart_budget = Self::luby(restart_idx) * self.config.luby_unit;
                     conflicts_this_restart = 0;
                     self.backtrack_to(0);
                 }
             } else {
+                // Poll the cancellation flag on conflict-free stretches too
+                // (a near-satisfiable search can run long without a single
+                // conflict, and conflicts are the only other check site).
+                if budget.stop.is_some()
+                    && self.stats.decisions.is_multiple_of(STOP_CHECK_DECISIONS)
+                    && budget.stop_requested()
+                {
+                    self.backtrack_to(0);
+                    break SolveResult::Unknown;
+                }
                 // No conflict: take the next assumption or decide.
                 let dl = self.decision_level() as usize;
                 if dl < assumptions.len() {
@@ -835,7 +928,30 @@ impl Solver {
         }
     }
 
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: tiny, full-period, plenty for decision noise.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
     fn pick_branch_var(&mut self) -> Option<Var> {
+        // Decision noise: with configured probability try one uniformly
+        // random variable. It stays in the heap — a later pop finds it
+        // assigned and skips it, so no heap surgery is needed.
+        if self.config.random_decision_freq > 0.0 && !self.assigns.is_empty() {
+            let coin = (self.next_rand() >> 11) as f64 / (1u64 << 53) as f64;
+            if coin < self.config.random_decision_freq {
+                let idx = (self.next_rand() % self.assigns.len() as u64) as usize;
+                if !self.assigns[idx].is_assigned() {
+                    return Some(Var(idx as u32));
+                }
+            }
+        }
         while let Some(v) = self.heap.pop_max(&self.activity) {
             if !self.assigns[v.index()].is_assigned() {
                 return Some(v);
@@ -845,12 +961,138 @@ impl Solver {
     }
 }
 
+// Send audit: the portfolio moves solvers (inside encodings) onto scoped
+// worker threads and shares `Terminator`s between them; a non-Send field
+// slipping into the solver must fail compilation, not the build of a
+// downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Solver>();
+    assert_send::<Budget>();
+    assert_send::<Terminator>();
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Terminator>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
         (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        add_pigeonhole(&mut s, n);
+        s
+    }
+
+    fn add_pigeonhole(s: &mut Solver, n: usize) {
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminator_cancels_before_search() {
+        let mut s = pigeonhole(9);
+        let t = Terminator::new();
+        t.signal();
+        let budget = Budget::unlimited().with_terminator(t.clone());
+        assert_eq!(s.solve_limited(&[], budget), SolveResult::Unknown);
+        // Cleared flag: the same solver finishes the instance.
+        t.clear();
+        let budget = Budget::unlimited().with_terminator(t);
+        assert_eq!(s.solve_limited(&[], budget), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn terminator_cancels_mid_search_from_another_thread() {
+        // A hard instance is cancelled from a second thread; the solver
+        // must back out with Unknown quickly and stay reusable.
+        let mut s = pigeonhole(11);
+        let t = Terminator::new();
+        let flag = t.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.signal();
+            });
+            let budget = Budget::unlimited().with_terminator(t);
+            assert_eq!(s.solve_limited(&[], budget), SolveResult::Unknown);
+        });
+        // Still usable afterwards (state backtracked to level 0).
+        let budget = Budget::conflicts(10);
+        assert_ne!(s.solve_limited(&[], budget), SolveResult::Sat);
+    }
+
+    #[test]
+    fn diversified_configs_agree_on_verdicts() {
+        // Every portfolio configuration must stay sound and complete: same
+        // SAT/UNSAT verdicts as the default solver on both polarities.
+        for worker in 0..5 {
+            let cfg = SolverConfig::diversified(worker, 0xA5A5);
+            let mut s = Solver::with_config(cfg);
+            add_pigeonhole(&mut s, 5);
+            assert_eq!(s.solve(), SolveResult::Unsat, "worker {worker}");
+
+            let mut s = Solver::with_config(cfg);
+            let v = lits(&mut s, 6);
+            for w in v.windows(2) {
+                s.add_clause([!w[0], w[1]]);
+            }
+            s.add_clause([v[0]]);
+            assert_eq!(s.solve(), SolveResult::Sat, "worker {worker}");
+            for l in &v {
+                assert_eq!(s.value(*l), Some(true), "worker {worker}");
+            }
+        }
+    }
+
+    #[test]
+    fn init_phase_config_biases_first_model() {
+        // A formula with no constraints between variables: the first model
+        // reflects the configured initial polarity.
+        for polarity in [false, true] {
+            let mut s = Solver::with_config(SolverConfig {
+                init_phase: polarity,
+                ..SolverConfig::default()
+            });
+            let v = lits(&mut s, 4);
+            s.add_clause([v[0], v[1], v[2], v[3]]);
+            // One clause forced true regardless of polarity.
+            if !polarity {
+                s.add_clause([v[0]]);
+            }
+            assert_eq!(s.solve(), SolveResult::Sat);
+            assert_eq!(s.value(v[3]), Some(polarity), "free var keeps polarity");
+        }
+    }
+
+    #[test]
+    fn activity_reset_policy_gates_reset() {
+        let cfg = SolverConfig {
+            reset_activities: false,
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(cfg);
+        add_pigeonhole(&mut s, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let bumped_max = s.max_activity;
+        assert!(bumped_max > 0.0, "conflicts bump activities");
+        s.reset_activities();
+        assert_eq!(s.max_activity, bumped_max, "policy off: reset is a no-op");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use nasp_sat::{Budget, Lit, SolveResult, Solver};
+use nasp_sat::{Budget, Lit, SolveResult, Solver, SolverConfig};
 
 /// A Boolean expression, represented as a SAT literal.
 ///
@@ -107,9 +107,17 @@ impl Default for Ctx {
 }
 
 impl Ctx {
-    /// Creates an empty context.
+    /// Creates an empty context over a default-configured solver.
     pub fn new() -> Self {
-        let mut solver = Solver::new();
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty context over a solver with an explicit
+    /// configuration — the passthrough a diversified portfolio worker uses
+    /// to get its own decision-noise seed, restart cadence, phase polarity
+    /// and activity-reset policy.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let mut solver = Solver::with_config(config);
         let t = solver.new_var().positive();
         solver.add_clause([t]);
         Ctx {
@@ -120,6 +128,11 @@ impl Ctx {
             arg_sets: HashMap::new(),
             next_arg_id: 0,
         }
+    }
+
+    /// The underlying solver's configuration.
+    pub fn solver_config(&self) -> &SolverConfig {
+        self.solver.config()
     }
 
     /// The constant `true`.
@@ -536,9 +549,44 @@ impl Ctx {
     }
 }
 
+// Send audit: portfolio workers own a `Ctx` each on scoped threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Ctx>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_passthrough_reaches_solver() {
+        let cfg = SolverConfig {
+            luby_unit: 64,
+            init_phase: true,
+            ..SolverConfig::default()
+        };
+        let ctx = Ctx::with_config(cfg);
+        assert_eq!(ctx.solver_config().luby_unit, 64);
+        assert!(ctx.solver_config().init_phase);
+        // `Ctx::new` keeps the deterministic default.
+        assert_eq!(*Ctx::new().solver_config(), SolverConfig::default());
+    }
+
+    #[test]
+    fn diversified_ctx_solves_identically() {
+        for worker in 0..4 {
+            let cfg = SolverConfig::diversified(worker, 7);
+            let mut ctx = Ctx::with_config(cfg);
+            let x = ctx.int_var(0, 5, "x");
+            let y = ctx.int_var(0, 5, "y");
+            let c = ctx.lt(x, y);
+            ctx.assert(c);
+            let hi = ctx.ge_const(x, 5);
+            ctx.assert(hi);
+            assert_eq!(ctx.solve(), SolveResult::Unsat, "worker {worker}");
+        }
+    }
 
     #[test]
     fn int_domain_exhaustive() {

@@ -44,4 +44,4 @@
 mod context;
 
 pub use context::{Bool, Ctx, IntVar};
-pub use nasp_sat::{Budget, SolveResult, Stats};
+pub use nasp_sat::{Budget, SolveResult, SolverConfig, Stats, Terminator};
