@@ -10,7 +10,10 @@
 //! compared across search back-ends. `--jobs N` runs each ablation's
 //! independent instance grid on the scoped instance pool (note that
 //! pooling perturbs A1's per-solve wall-clock readings on a loaded host —
-//! use `--jobs 1`, the default here, for quotable timings).
+//! use `--jobs 1`, the default here, for quotable timings). `--share 0|1`
+//! sets the portfolio clause-sharing flag threaded through the solve
+//! options; since the ablations never race a portfolio it is recorded but
+//! has no effect on a plain run.
 
 use std::time::{Duration, Instant};
 
@@ -23,16 +26,18 @@ use nasp_qec::{catalog, graph_state};
 
 fn main() {
     // The ablations pin their own budgets and never race a portfolio, so
-    // only the back-end switch and the pool width are supported.
-    let args = nasp_bench::BenchArgs::from_env_for("ablation", &["--scratch", "--jobs"]);
+    // only the back-end switch, the pool width and the (recorded)
+    // share flag are supported.
+    let args = nasp_bench::BenchArgs::from_env_for("ablation", &["--scratch", "--jobs", "--share"]);
     let incremental = !args.scratch;
+    let share = args.share.unwrap_or(true);
     // Timing-sensitive by nature: default to sequential, honour --jobs.
     let jobs = args.jobs.unwrap_or(1);
-    ablation_a1(incremental, jobs);
-    ablation_a2(incremental, jobs);
+    ablation_a1(incremental, jobs, share);
+    ablation_a2(incremental, jobs, share);
 }
 
-fn ablation_a1(incremental: bool, jobs: usize) {
+fn ablation_a1(incremental: bool, jobs: usize, share: bool) {
     println!(
         "A1: ≥1-gate-per-beam strengthening (SMT wall time to optimal S, {} search)",
         nasp_bench::search_backend_label(incremental)
@@ -59,6 +64,7 @@ fn ablation_a1(incremental: bool, jobs: usize) {
                 heuristic_fallback: false,
                 minimize_transfers: false,
                 incremental,
+                share,
                 ..Default::default()
             };
             let t0 = Instant::now();
@@ -77,7 +83,7 @@ fn ablation_a1(incremental: bool, jobs: usize) {
     }
 }
 
-fn ablation_a2(incremental: bool, jobs: usize) {
+fn ablation_a2(incremental: bool, jobs: usize, share: bool) {
     println!("\nA2: ASP vs trap-transfer duration (Steane)");
     println!("duration    (2) Bottom Storage    (3) Double-Sided Storage");
     let code = catalog::steane();
@@ -99,6 +105,7 @@ fn ablation_a2(incremental: bool, jobs: usize) {
             ..Default::default()
         };
         options.solver.incremental = incremental;
+        options.solver.share = share;
         let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
         r.metrics.asp
     });

@@ -1,12 +1,19 @@
 //! Regenerates the paper's Figure 4 (ΔASP of shielded layouts vs baseline).
 //!
 //! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS]
-//! [--jobs N] [--portfolio K] [--seed S] [--scratch]`
+//! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--scratch]`
 
 fn main() {
     let args = nasp_bench::BenchArgs::from_env_for(
         "figure4",
-        &["--budget", "--scratch", "--jobs", "--portfolio", "--seed"],
+        &[
+            "--budget",
+            "--scratch",
+            "--jobs",
+            "--portfolio",
+            "--seed",
+            "--share",
+        ],
     );
     let options = args.experiment_options(30);
     let jobs = args.jobs_or_default();

@@ -8,6 +8,7 @@
 //! cargo run --release -p nasp-bench --bin perf_baseline -- --quick # CI smoke
 //! cargo run ... -- --out s.json --out-search q.json --out-parallel p.json
 //! cargo run ... -- --jobs 4 --portfolio 3    # parallel-suite widths
+//! cargo run ... -- --share 0                 # skip the share-on groups
 //! ```
 //!
 //! The substrate document pairs every packed substrate with its
@@ -27,6 +28,7 @@ fn main() {
             "--quick",
             "--jobs",
             "--portfolio",
+            "--share",
             "--out",
             "--out-search",
             "--out-parallel",
@@ -111,7 +113,8 @@ fn main() {
     eprintln!("measuring parallel baseline ({mode}) ...");
     let jobs = args.jobs.unwrap_or_else(pool::available_jobs);
     let workers = args.portfolio.unwrap_or(3);
-    let pdoc = parallel::measure(quick, jobs, workers);
+    let share_groups = args.share.unwrap_or(true);
+    let pdoc = parallel::measure(quick, jobs, workers, share_groups);
     eprintln!(
         "  pool {} instances  sequential {:.1} ms  jobs={} {:.1} ms  speedup {:.2}x  agree={}  ({} cores)",
         pdoc.pool.instances,
@@ -124,15 +127,19 @@ fn main() {
     );
     for p in &pdoc.portfolio {
         eprintln!(
-            "  portfolio {:>8}  single {:>9.1} ms  K={} {:>9.1} ms  speedup {:>5.2}x  S-agree={} T-agree={} wins={:?}",
+            "  portfolio {:>8} share={}  single {:>9.1} ms  K={} {:>9.1} ms  speedup {:>5.2}x  S-agree={} T-agree={} wins={:?}  exp={} imp={} hits={}",
             p.code,
+            u8::from(p.share),
             p.single_ms_total,
             p.workers,
             p.portfolio_ms_total,
             p.speedup,
             p.stages_agree,
             p.transfers_agree,
-            p.worker_wins
+            p.worker_wins,
+            p.exported,
+            p.imported,
+            p.import_hits
         );
     }
     match parallel::write_validated(&pdoc, out_parallel) {

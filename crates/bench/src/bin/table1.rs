@@ -1,13 +1,14 @@
 //! Regenerates the paper's Table I (layout comparison).
 //!
 //! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS]
-//! [--jobs N] [--portfolio K] [--seed S] [--json PATH] [--scratch]`
+//! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--json PATH] [--scratch]`
 //!
 //! `--jobs` runs the independent `code × layout` instances on the scoped
 //! instance pool (default: all hardware threads) with deterministic row
 //! order; `--portfolio` races K diversified solver workers per search
-//! round; `--scratch` A/Bs the paper's literal scratch-per-`S` search
-//! against the incremental default.
+//! round; `--share 0|1` toggles learnt-clause sharing between those
+//! workers (default on); `--scratch` A/Bs the paper's literal
+//! scratch-per-`S` search against the incremental default.
 
 fn main() {
     let args = nasp_bench::BenchArgs::from_env_for(
@@ -18,6 +19,7 @@ fn main() {
             "--jobs",
             "--portfolio",
             "--seed",
+            "--share",
             "--json",
         ],
     );

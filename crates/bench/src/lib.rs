@@ -16,10 +16,13 @@
 //! per-instance SMT budget, `--scratch` switches to the paper's literal
 //! scratch-per-`S` search, `--jobs <N>` runs independent `code × layout`
 //! instances on the scoped-thread [`pool`] (default: all hardware
-//! threads), and `--portfolio <K>`/`--seed <S>` race K diversified solver
-//! workers per search round (DESIGN.md §8). [`search`] measures
-//! scratch-vs-incremental (`BENCH_search.json`); [`parallel`] measures
-//! sequential-vs-pool and single-vs-portfolio (`BENCH_parallel.json`).
+//! threads), `--portfolio <K>`/`--seed <S>` race K diversified solver
+//! workers per search round (DESIGN.md §8), and `--share 0|1` toggles
+//! lock-free learnt-clause sharing between those workers (DESIGN.md §9,
+//! default on). [`search`] measures scratch-vs-incremental
+//! (`BENCH_search.json`); [`parallel`] measures sequential-vs-pool and
+//! single-vs-portfolio with share-off and share-on groups
+//! (`BENCH_parallel.json`).
 
 use std::time::Duration;
 
@@ -52,6 +55,9 @@ pub struct BenchArgs {
     pub portfolio: Option<usize>,
     /// `--seed <S>`: base seed for portfolio diversification.
     pub seed: Option<u64>,
+    /// `--share 0|1`: learnt-clause sharing between portfolio workers
+    /// (default on; meaningful only with `--portfolio K > 1`).
+    pub share: Option<bool>,
     /// `--json <path>`: also write rows as JSON (table1).
     pub json: Option<String>,
     /// `--quick`: reduced measurement suite (CI smoke).
@@ -84,11 +90,12 @@ impl BenchArgs {
             v.parse()
                 .map_err(|_| format!("{flag}: invalid value {v:?}"))
         }
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "--budget",
             "--jobs",
             "--portfolio",
             "--seed",
+            "--share",
             "--json",
             "--out",
             "--out-search",
@@ -127,6 +134,14 @@ impl BenchArgs {
                     out.seed = Some(num(value(args, i, "--seed")?, "--seed")?);
                     i += 2;
                 }
+                "--share" => {
+                    let v: u8 = num(value(args, i, "--share")?, "--share")?;
+                    if v > 1 {
+                        return Err("--share must be 0 or 1".into());
+                    }
+                    out.share = Some(v == 1);
+                    i += 2;
+                }
                 "--json" => {
                     out.json = Some(value(args, i, "--json")?.to_string());
                     i += 2;
@@ -154,7 +169,7 @@ impl BenchArgs {
                 other => {
                     return Err(format!(
                         "unknown flag {other:?} (known: --budget --scratch --jobs --portfolio \
-                         --seed --json --quick --out --out-search --out-parallel)"
+                         --seed --share --json --quick --out --out-search --out-parallel)"
                     ));
                 }
             }
@@ -212,6 +227,9 @@ impl BenchArgs {
         options.solver.portfolio = self.portfolio.unwrap_or(1);
         if let Some(seed) = self.seed {
             options.solver.seed = seed;
+        }
+        if let Some(share) = self.share {
+            options.solver.share = share;
         }
         options
     }
@@ -293,6 +311,8 @@ mod tests {
             "3",
             "--seed",
             "99",
+            "--share",
+            "0",
             "--json",
             "rows.json",
             "--quick",
@@ -309,6 +329,7 @@ mod tests {
         assert_eq!(parsed.jobs, Some(4));
         assert_eq!(parsed.portfolio, Some(3));
         assert_eq!(parsed.seed, Some(99));
+        assert_eq!(parsed.share, Some(false));
         assert_eq!(parsed.json.as_deref(), Some("rows.json"));
         assert!(parsed.quick);
         assert_eq!(parsed.out.as_deref(), Some("a.json"));
@@ -328,6 +349,8 @@ mod tests {
         assert!(BenchArgs::parse(&args(&["--budget", "soon"])).is_err());
         assert!(BenchArgs::parse(&args(&["--jobs", "0"])).is_err());
         assert!(BenchArgs::parse(&args(&["--portfolio", "0"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--share", "2"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--share", "yes"])).is_err());
     }
 
     #[test]
@@ -362,6 +385,8 @@ mod tests {
             "4",
             "--seed",
             "11",
+            "--share",
+            "0",
         ]))
         .expect("valid flags");
         let opts = parsed.experiment_options(30);
@@ -369,10 +394,12 @@ mod tests {
         assert!(!opts.solver.incremental);
         assert_eq!(opts.solver.portfolio, 4);
         assert_eq!(opts.solver.seed, 11);
+        assert!(!opts.solver.share);
         // Defaults flow through when flags are absent.
         let opts = BenchArgs::default().experiment_options(30);
         assert_eq!(opts.budget_per_instance, Duration::from_secs(30));
         assert!(opts.solver.incremental);
         assert_eq!(opts.solver.portfolio, 1);
+        assert!(opts.solver.share, "sharing defaults on");
     }
 }

@@ -11,7 +11,11 @@
 //!   instance-time balance bound.
 //! * **portfolio** — each instance solved by the single default solver
 //!   versus `K` diversified workers racing every round, first definitive
-//!   answer wins ([`nasp_core::solve`] with `portfolio = K`).
+//!   answer wins ([`nasp_core::solve`] with `portfolio = K`); measured
+//!   twice, once blind (share off, the PR4 configuration) and once with
+//!   the lock-free learnt-clause exchange on (DESIGN.md §9), with the
+//!   validator enforcing that both groups report identical per-layout
+//!   minima and that the share-on group actually moved clauses.
 //!
 //! Speed is host-dependent; *correctness agreement is not*. The validator
 //! always enforces that every path reports the identical minimal stage and
@@ -50,13 +54,17 @@ pub struct PoolBench {
     pub agree: bool,
 }
 
-/// Single-solver-versus-portfolio comparison, one row per code.
+/// Single-solver-versus-portfolio comparison, one row per `(code, share)`
+/// group: each code gets a share-off and (by default) a share-on racing
+/// pass, both checked against the same sequential run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PortfolioBench {
     /// Code whose three layouts are totalled.
     pub code: String,
     /// Portfolio width of the racing pass.
     pub workers: usize,
+    /// Learnt-clause sharing between workers was enabled for this group.
+    pub share: bool,
     /// Single-solver total across the code's layouts (ms).
     pub single_ms_total: f64,
     /// Portfolio total across the code's layouts (ms).
@@ -71,6 +79,20 @@ pub struct PortfolioBench {
     pub valid_all: bool,
     /// Rounds won per worker, summed over the code's layouts.
     pub worker_wins: Vec<u64>,
+    /// Minimal total stage count (`#R + #T`) per layout, in
+    /// [`nasp_core::report::TABLE1_LAYOUTS`] order — lets the validator
+    /// compare share-on and share-off groups literally, not just
+    /// transitively through the single run.
+    pub stages_by_layout: Vec<usize>,
+    /// Minimal transfer count per layout, same order.
+    pub transfers_by_layout: Vec<usize>,
+    /// Clauses exported to the exchange, summed over workers and layouts.
+    pub exported: u64,
+    /// Clauses imported from the exchange, summed over workers and
+    /// layouts — non-zero proves sharing is live, not dead code.
+    pub imported: u64,
+    /// Conflict-analysis involvements of imported clauses.
+    pub import_hits: u64,
 }
 
 /// The full baseline document written to `BENCH_parallel.json`.
@@ -93,6 +115,11 @@ const CODES: [&str; 2] = ["perfect", "steane"];
 /// The paper's layout order, shared with the Table I runners.
 const LAYOUTS: [Layout; 3] = nasp_core::report::TABLE1_LAYOUTS;
 
+/// The baseline's `code × layout` grid. Built directly rather than by
+/// filtering `nasp_core::report::table1_instances`: the perfect-5 code is
+/// *not* a Table I row (`catalog::all_codes` is the paper's six), so this
+/// small-instance set is deliberately its own list — the layout order is
+/// still [`nasp_core::report::TABLE1_LAYOUTS`] via [`LAYOUTS`].
 fn instance_set() -> Vec<(StabilizerCode, StatePrepCircuit, Layout)> {
     let mut items = Vec::new();
     for name in CODES {
@@ -132,7 +159,10 @@ fn rows_agree(a: &[ExperimentResult], b: &[ExperimentResult]) -> bool {
 /// `jobs` is the pool width of the parallel pass (callers normally pass
 /// the host's hardware-thread count); `workers` the portfolio width.
 /// `quick` trims the per-instance budget for the CI smoke run.
-pub fn measure(quick: bool, jobs: usize, workers: usize) -> ParallelBaseline {
+/// `share_groups` adds the share-on portfolio pass next to the always-run
+/// share-off one (`--share 0` on `perf_baseline` skips it for a
+/// PR4-style document).
+pub fn measure(quick: bool, jobs: usize, workers: usize, share_groups: bool) -> ParallelBaseline {
     let budget = if quick { 20 } else { 120 };
     let options = ExperimentOptions {
         budget_per_instance: std::time::Duration::from_secs(budget),
@@ -151,52 +181,80 @@ pub fn measure(quick: bool, jobs: usize, workers: usize) -> ParallelBaseline {
         agree: rows_agree(&seq_rows, &par_rows),
     };
 
-    // Portfolio A/B: per code, single solver vs K racing workers.
+    // Portfolio A/B: per code, single solver vs K racing workers — once
+    // blind (share off) and once cooperating (share on), both against the
+    // same sequential pass.
     let workers = workers.max(2);
+    let share_settings: &[bool] = if share_groups {
+        &[false, true]
+    } else {
+        &[false]
+    };
     let mut portfolio = Vec::new();
     for name in CODES {
         let code = catalog::by_name(name).expect("catalog code");
         let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
         let mut single_ms_total = 0.0;
-        let mut portfolio_ms_total = 0.0;
-        let mut stages_agree = true;
-        let mut transfers_agree = true;
-        let mut valid_all = true;
-        let mut worker_wins = vec![0u64; workers];
+        let mut singles = Vec::new();
         for layout in LAYOUTS {
             let t0 = Instant::now();
-            let single = run_experiment_with_circuit(&code, &circuit, layout, &options);
+            singles.push(run_experiment_with_circuit(
+                &code, &circuit, layout, &options,
+            ));
             single_ms_total += t0.elapsed().as_secs_f64() * 1e3;
-
-            let mut race_options = options.clone();
-            race_options.solver.portfolio = workers;
-            let t0 = Instant::now();
-            let raced = run_experiment_with_circuit(&code, &circuit, layout, &race_options);
-            portfolio_ms_total += t0.elapsed().as_secs_f64() * 1e3;
-
-            stages_agree &= single.metrics.num_rydberg + single.metrics.num_transfer
-                == raced.metrics.num_rydberg + raced.metrics.num_transfer;
-            transfers_agree &= single.metrics.num_transfer == raced.metrics.num_transfer;
-            valid_all &= single.valid && single.verified && raced.valid && raced.verified;
-            for (total, won) in worker_wins.iter_mut().zip(&raced.worker_wins) {
-                *total += won;
-            }
         }
-        portfolio.push(PortfolioBench {
-            code: code.name().to_string(),
-            workers,
-            single_ms_total,
-            portfolio_ms_total,
-            speedup: single_ms_total / portfolio_ms_total,
-            stages_agree,
-            transfers_agree,
-            valid_all,
-            worker_wins,
-        });
+        for &share in share_settings {
+            let mut portfolio_ms_total = 0.0;
+            let mut stages_agree = true;
+            let mut transfers_agree = true;
+            let mut valid_all = true;
+            let mut worker_wins = vec![0u64; workers];
+            let mut stages_by_layout = Vec::new();
+            let mut transfers_by_layout = Vec::new();
+            let (mut exported, mut imported, mut import_hits) = (0u64, 0u64, 0u64);
+            for (layout, single) in LAYOUTS.into_iter().zip(&singles) {
+                let mut race_options = options.clone();
+                race_options.solver.portfolio = workers;
+                race_options.solver.share = share;
+                let t0 = Instant::now();
+                let raced = run_experiment_with_circuit(&code, &circuit, layout, &race_options);
+                portfolio_ms_total += t0.elapsed().as_secs_f64() * 1e3;
+
+                stages_agree &= single.metrics.num_rydberg + single.metrics.num_transfer
+                    == raced.metrics.num_rydberg + raced.metrics.num_transfer;
+                transfers_agree &= single.metrics.num_transfer == raced.metrics.num_transfer;
+                valid_all &= single.valid && single.verified && raced.valid && raced.verified;
+                for (total, won) in worker_wins.iter_mut().zip(&raced.worker_wins) {
+                    *total += won;
+                }
+                stages_by_layout.push(raced.metrics.num_rydberg + raced.metrics.num_transfer);
+                transfers_by_layout.push(raced.metrics.num_transfer);
+                exported += raced.sat_exported;
+                imported += raced.sat_imported;
+                import_hits += raced.sat_import_hits;
+            }
+            portfolio.push(PortfolioBench {
+                code: code.name().to_string(),
+                workers,
+                share,
+                single_ms_total,
+                portfolio_ms_total,
+                speedup: single_ms_total / portfolio_ms_total,
+                stages_agree,
+                transfers_agree,
+                valid_all,
+                worker_wins,
+                stages_by_layout,
+                transfers_by_layout,
+                exported,
+                imported,
+                import_hits,
+            });
+        }
     }
 
     ParallelBaseline {
-        schema: "nasp-bench-parallel/v1".to_string(),
+        schema: "nasp-bench-parallel/v2".to_string(),
         quick,
         cores: pool::available_jobs(),
         pool,
@@ -205,9 +263,11 @@ pub fn measure(quick: bool, jobs: usize, workers: usize) -> ParallelBaseline {
 }
 
 /// Serializes, writes and re-parses the baseline at `path`, failing loudly
-/// on corruption, on any correctness disagreement between the paths, and —
-/// where the host's core count makes them physically meaningful (see the
-/// module docs) — on missed speed gates.
+/// on corruption, on any correctness disagreement between the paths
+/// (including share-on vs share-off portfolio groups), on a share-on run
+/// that never actually exchanged a clause, and — where the host's core
+/// count makes them physically meaningful (see the module docs) — on
+/// missed speed gates.
 ///
 /// # Errors
 ///
@@ -219,13 +279,48 @@ pub fn write_validated(baseline: &ParallelBaseline, path: &str) -> Result<(), St
     for p in &baseline.portfolio {
         if !(p.stages_agree && p.transfers_agree) {
             return Err(format!(
-                "portfolio {}: single and raced searches disagree on optima",
-                p.code
+                "portfolio {} (share={}): single and raced searches disagree on optima",
+                p.code, p.share
             ));
         }
         if !p.valid_all {
-            return Err(format!("portfolio {}: invalid/unverified schedule", p.code));
+            return Err(format!(
+                "portfolio {} (share={}): invalid/unverified schedule",
+                p.code, p.share
+            ));
         }
+    }
+    // Share-on and share-off groups of one code must report literally
+    // identical per-layout minima — sharing is verdict-preserving by
+    // construction (DESIGN.md §9), and this is where construction meets
+    // measurement. Enforced unconditionally (no core-count excuse).
+    for on in baseline.portfolio.iter().filter(|p| p.share) {
+        for off in baseline
+            .portfolio
+            .iter()
+            .filter(|p| !p.share && p.code == on.code)
+        {
+            if on.stages_by_layout != off.stages_by_layout
+                || on.transfers_by_layout != off.transfers_by_layout
+            {
+                return Err(format!(
+                    "portfolio {}: share-on minima {:?}/{:?} differ from share-off {:?}/{:?}",
+                    on.code,
+                    on.stages_by_layout,
+                    on.transfers_by_layout,
+                    off.stages_by_layout,
+                    off.transfers_by_layout
+                ));
+            }
+        }
+    }
+    // Sharing must be demonstrably live, not dead code: at least one
+    // share-on group imported a clause (single-core hosts still import —
+    // workers time-share and drain each other's exports between slices).
+    let share_groups: Vec<&PortfolioBench> =
+        baseline.portfolio.iter().filter(|p| p.share).collect();
+    if !share_groups.is_empty() && share_groups.iter().all(|p| p.imported == 0) {
+        return Err("share-on portfolio groups imported zero clauses (sharing inactive)".into());
     }
     // Speed gates, enforced only where the host can express them.
     let cores = baseline.cores;
@@ -239,8 +334,8 @@ pub fn write_validated(baseline: &ParallelBaseline, path: &str) -> Result<(), St
         for p in &baseline.portfolio {
             if p.speedup < 0.9 {
                 return Err(format!(
-                    "portfolio {} speedup {:.2}x on {} cores (must not drop below 0.9x)",
-                    p.code, p.speedup, cores
+                    "portfolio {} (share={}) speedup {:.2}x on {} cores (must not drop below 0.9x)",
+                    p.code, p.share, p.speedup, cores
                 ));
             }
         }

@@ -25,12 +25,24 @@
 //! incremental back-end keeps each worker's solver warm across rounds
 //! exactly like the sequential sweep, including learnt-clause retention
 //! and the stage-cap rebuild policy.
+//!
+//! With [`crate::SolveOptions::share`] on (the default) the workers are
+//! not merely racing but *cooperating*: one lock-free [`ClauseExchange`]
+//! per `solve` call carries each worker's low-LBD learnt clauses to the
+//! other K−1, who import them at every return to decision level zero.
+//! Soundness rests on variable alignment — all workers deterministically
+//! build identical encodings of the same [`Problem`] (diversification is
+//! config-only), and shared clauses are tagged with the encoding's stage
+//! cap as the alignment epoch so scratch rebuilds can never smuggle a
+//! clause across incompatible variable numberings (DESIGN.md §9). A debug
+//! assertion cross-checks that all workers agree on `num_vars` each round.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::Instant;
 
 use nasp_arch::Schedule;
-use nasp_smt::{Budget, SolveResult, SolverConfig, Terminator};
+use nasp_smt::{Budget, ClauseExchange, ShareHandle, SolveResult, SolverConfig, Terminator};
 
 use crate::encoding::{Encoding, IncrementalEncoding};
 use crate::problem::Problem;
@@ -57,6 +69,10 @@ struct Response {
     schedule: Option<Schedule>,
     /// Cumulative solver effort of this worker so far.
     counters: SatCounters,
+    /// SAT variables of the worker's encoding when it answered — the
+    /// variable-alignment invariant clause sharing rests on; the
+    /// orchestrator debug-asserts all workers agree every round.
+    num_vars: usize,
     /// The worker panicked instead of answering (sent by its unwind
     /// guard); the orchestrator re-raises instead of deadlocking.
     died: bool,
@@ -80,6 +96,7 @@ impl Drop for DeathNotice {
                 result: SolveResult::Unknown,
                 schedule: None,
                 counters: SatCounters::default(),
+                num_vars: 0,
                 died: true,
             });
         }
@@ -109,10 +126,21 @@ impl Rounds {
         let mut verdict = SolveResult::Unknown;
         let mut schedule = None;
         let mut winner: Option<usize> = None;
+        let mut round_vars: Option<usize> = None;
         for _ in 0..self.query_txs.len() {
             let r = self.resp_rx.recv().expect("worker thread responds");
             if r.died {
                 panic!("portfolio worker {} panicked mid-round", r.worker);
+            }
+            // Variable-alignment invariant behind clause sharing: every
+            // worker builds the same encoding, so per-round SAT variable
+            // counts must agree exactly (DESIGN.md §9).
+            match round_vars {
+                None => round_vars = Some(r.num_vars),
+                Some(v) => debug_assert_eq!(
+                    v, r.num_vars,
+                    "portfolio workers disagree on num_vars — encodings misaligned"
+                ),
             }
             self.latest[r.worker] = r.counters;
             if r.result != SolveResult::Unknown {
@@ -161,10 +189,22 @@ pub(crate) fn solve_portfolio(
         let mut report = state.fallback(problem, options.heuristic_fallback);
         report.portfolio_workers = k;
         report.worker_wins = vec![0; k];
+        report.worker_exported = vec![0; k];
+        report.worker_imported = vec![0; k];
+        report.worker_import_hits = vec![0; k];
         return report;
     }
 
     let stop = Terminator::new();
+    // One clause exchange per solve call, attached to every worker: the
+    // cooperative channel that turns K racers into a team. Sized from the
+    // base configuration (worker 0's untouched default).
+    let exchange: Option<Arc<ClauseExchange>> = options.share.then(|| {
+        Arc::new(ClauseExchange::new(
+            options.encode.solver.share_ring_capacity,
+            k,
+        ))
+    });
     std::thread::scope(|scope| {
         let (resp_tx, resp_rx) = channel::<Response>();
         let mut query_txs = Vec::with_capacity(k);
@@ -173,9 +213,12 @@ pub(crate) fn solve_portfolio(
             query_txs.push(q_tx);
             let resp_tx = resp_tx.clone();
             let stop = stop.clone();
+            let share = exchange.as_ref().map(|e| e.handle(worker));
             let options = *options;
             scope.spawn(move || {
-                worker_loop(worker, problem, &options, deadline, q_rx, resp_tx, stop)
+                worker_loop(
+                    worker, problem, &options, deadline, q_rx, resp_tx, stop, share,
+                )
             });
         }
         drop(resp_tx);
@@ -232,6 +275,9 @@ pub(crate) fn solve_portfolio(
             None => state.fallback(problem, options.heuristic_fallback),
         };
         report.portfolio_workers = k;
+        report.worker_exported = rounds.latest.iter().map(|c| c.exported).collect();
+        report.worker_imported = rounds.latest.iter().map(|c| c.imported).collect();
+        report.worker_import_hits = rounds.latest.iter().map(|c| c.import_hits).collect();
         report.worker_wins = rounds.wins;
         report
     })
@@ -240,7 +286,9 @@ pub(crate) fn solve_portfolio(
 /// One worker: owns its diversified encoding(s), answers queries until
 /// [`Query::Quit`]. Mirrors the sequential back-ends' per-round behaviour
 /// — warm incremental solver with stage-cap rebuilds, or a cold scratch
-/// encoding per round — under its own [`SolverConfig`].
+/// encoding per round — under its own [`SolverConfig`], with the shared
+/// clause exchange (if any) riding in each round's [`Budget`].
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     id: usize,
     problem: &Problem,
@@ -249,6 +297,7 @@ fn worker_loop(
     queries: Receiver<Query>,
     responses: Sender<Response>,
     stop: Terminator,
+    share: Option<ShareHandle>,
 ) {
     let guard = DeathNotice {
         worker: id,
@@ -269,12 +318,18 @@ fn worker_loop(
             Query::Stage { s } => (s, None),
             Query::Tighten { s, max_transfers } => (s, Some(max_transfers)),
         };
-        let budget = Budget {
+        // Variable numbering is a pure function of the encoding's stage
+        // cap, so the cap is the alignment epoch for shared clauses: the
+        // warm incremental encoding keeps one epoch for its whole life
+        // (sharing flows across rounds), while scratch encodings re-epoch
+        // per stage count (DESIGN.md §9).
+        let budget_for = |epoch: usize| Budget {
             deadline: Some(deadline),
             stop: Some(stop.clone()),
+            share: share.as_ref().map(|h| h.at_epoch(epoch as u64)),
             ..Budget::default()
         };
-        let (result, schedule) = if options.incremental {
+        let (result, schedule, num_vars) = if options.incremental {
             let inc = enc.get_or_insert_with(|| {
                 let cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
                 IncrementalEncoding::build(problem, cap, encode)
@@ -282,26 +337,29 @@ fn worker_loop(
             if s > inc.max_stages() {
                 // Outgrew the cap: fold the old solver's effort into the
                 // running totals and rebuild (rare, like the sequential
-                // sweep).
+                // sweep). The rebuilt encoding's new cap is a new epoch —
+                // clauses from the old numbering stay quarantined.
                 counters.absorb(inc.stats(), inc.clause_db_bytes());
                 let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
                 *inc = IncrementalEncoding::build(problem, cap, encode);
             }
+            let budget = budget_for(inc.max_stages());
             let result = match max_transfers {
                 None => inc.solve_at(s, budget),
                 Some(kk) => inc.solve_at_with_max_transfers(s, kk, budget),
             };
             let schedule = (result == SolveResult::Sat).then(|| inc.decode());
-            (result, schedule)
+            (result, schedule, inc.size().0)
         } else {
             let mut cold = Encoding::build(problem, s, encode);
             if let Some(kk) = max_transfers {
                 cold.assert_max_transfers(kk);
             }
-            let result = cold.solve(budget);
+            let result = cold.solve(budget_for(s));
             let schedule = (result == SolveResult::Sat).then(|| cold.decode());
+            let num_vars = cold.size().0;
             counters.absorb(cold.stats(), cold.clause_db_bytes());
-            (result, schedule)
+            (result, schedule, num_vars)
         };
         let mut snapshot = counters;
         if let Some(inc) = &enc {
@@ -312,6 +370,7 @@ fn worker_loop(
             result,
             schedule,
             counters: snapshot,
+            num_vars,
             died: false,
         });
         if sent.is_err() {

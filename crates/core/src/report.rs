@@ -59,6 +59,26 @@ pub struct ExperimentResult {
     pub portfolio_workers: usize,
     /// Rounds won per worker when a portfolio ran (empty otherwise).
     pub worker_wins: Vec<u64>,
+    /// Learnt clauses exported to the clause exchange (all workers).
+    pub sat_exported: u64,
+    /// Foreign clauses imported from the clause exchange (all workers).
+    pub sat_imported: u64,
+    /// Conflict-analysis involvements of imported clauses.
+    pub sat_import_hits: u64,
+    /// Clauses deleted/strengthened by root-level simplification.
+    pub sat_simplified_clauses: u64,
+    /// Live learnt clauses after the most recent learnt-DB reduction
+    /// (peak across workers; 0 when no reduction ran).
+    pub sat_learnt_after_reduce: u64,
+    /// Clause-arena bytes after the most recent learnt-DB reduction
+    /// (peak across workers; 0 when no reduction ran).
+    pub sat_arena_after_reduce: u64,
+    /// Per-worker exported-clause counts (portfolio only).
+    pub worker_exported: Vec<u64>,
+    /// Per-worker imported-clause counts (portfolio only).
+    pub worker_imported: Vec<u64>,
+    /// Per-worker import-hit counts (portfolio only).
+    pub worker_import_hits: Vec<u64>,
 }
 
 impl ExperimentResult {
@@ -172,6 +192,15 @@ pub fn run_experiment_with_circuit(
         clause_db_bytes: report.clause_db_bytes,
         portfolio_workers: report.portfolio_workers,
         worker_wins: report.worker_wins,
+        sat_exported: report.sat_exported,
+        sat_imported: report.sat_imported,
+        sat_import_hits: report.sat_import_hits,
+        sat_simplified_clauses: report.sat_simplified_clauses,
+        sat_learnt_after_reduce: report.sat_learnt_after_reduce,
+        sat_arena_after_reduce: report.sat_arena_after_reduce,
+        worker_exported: report.worker_exported,
+        worker_imported: report.worker_imported,
+        worker_import_hits: report.worker_import_hits,
     }
 }
 
@@ -287,6 +316,15 @@ mod tests {
             clause_db_bytes: 0,
             portfolio_workers: 1,
             worker_wins: Vec::new(),
+            sat_exported: 0,
+            sat_imported: 0,
+            sat_import_hits: 0,
+            sat_simplified_clauses: 0,
+            sat_learnt_after_reduce: 0,
+            sat_arena_after_reduce: 0,
+            worker_exported: Vec::new(),
+            worker_imported: Vec::new(),
+            worker_import_hits: Vec::new(),
         };
         let rows = vec![
             mk("X", Layout::NoShielding, 0.90),

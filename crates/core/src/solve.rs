@@ -60,6 +60,13 @@ pub struct SolveOptions {
     /// Base seed for portfolio diversification (worker RNG streams derive
     /// from it; worker 0 always keeps the deterministic default config).
     pub seed: u64,
+    /// Share learnt clauses between portfolio workers through a lock-free
+    /// clause exchange (`--share 1`, the default): each worker exports its
+    /// low-LBD clauses and imports the others' at every return to decision
+    /// level zero. Sharing is verdict-preserving (DESIGN.md §9), so it can
+    /// only change speed and incidental schedule content, never the
+    /// reported minima. Ignored when `portfolio <= 1`.
+    pub share: bool,
 }
 
 impl Default for SolveOptions {
@@ -73,6 +80,7 @@ impl Default for SolveOptions {
             incremental: true,
             portfolio: 1,
             seed: 0x5EED,
+            share: true,
         }
     }
 }
@@ -130,6 +138,29 @@ pub struct SolveReport {
     /// the single-solver search. Budget-exhausted rounds have no winner,
     /// so the sum can be smaller than the number of rounds.
     pub worker_wins: Vec<u64>,
+    /// Learnt clauses exported to the portfolio clause exchange, summed
+    /// over all workers (0 without sharing).
+    pub sat_exported: u64,
+    /// Foreign clauses imported from the exchange, summed over workers.
+    pub sat_imported: u64,
+    /// Conflict-analysis involvements of imported clauses, summed over
+    /// workers — whether the imports actually pulled weight.
+    pub sat_import_hits: u64,
+    /// Clauses deleted or strengthened by root-level database
+    /// simplification, summed over the search's solvers.
+    pub sat_simplified_clauses: u64,
+    /// Live learnt clauses after the most recent learnt-DB reduction
+    /// (peak across workers/encodings; 0 if no reduction ran).
+    pub sat_learnt_after_reduce: u64,
+    /// Clause-arena bytes after the most recent learnt-DB reduction
+    /// (peak across workers/encodings; 0 if no reduction ran).
+    pub sat_arena_after_reduce: u64,
+    /// Per-worker exported-clause counts (empty for single-solver).
+    pub worker_exported: Vec<u64>,
+    /// Per-worker imported-clause counts (empty for single-solver).
+    pub worker_imported: Vec<u64>,
+    /// Per-worker import-hit counts (empty for single-solver).
+    pub worker_import_hits: Vec<u64>,
 }
 
 impl SolveReport {
@@ -150,6 +181,15 @@ pub(crate) struct SatCounters {
     pub(crate) restarts: u64,
     pub(crate) learnt: u64,
     pub(crate) peak_db_bytes: u64,
+    pub(crate) exported: u64,
+    pub(crate) imported: u64,
+    pub(crate) import_hits: u64,
+    pub(crate) simplified: u64,
+    /// Peak of the post-reduction live-learnt snapshots (memory
+    /// trajectory, not a cumulative total).
+    pub(crate) learnt_after_reduce: u64,
+    /// Peak of the post-reduction arena-byte snapshots.
+    pub(crate) arena_after_reduce: u64,
 }
 
 impl SatCounters {
@@ -160,10 +200,16 @@ impl SatCounters {
         self.restarts += stats.restarts;
         self.learnt += stats.learnt_clauses;
         self.peak_db_bytes = self.peak_db_bytes.max(db_bytes as u64);
+        self.exported += stats.exported;
+        self.imported += stats.imported;
+        self.import_hits += stats.import_hits;
+        self.simplified += stats.simplified_clauses;
+        self.learnt_after_reduce = self.learnt_after_reduce.max(stats.learnt_after_reduce);
+        self.arena_after_reduce = self.arena_after_reduce.max(stats.arena_bytes_after_reduce);
     }
 
     /// Folds another worker's totals into this one (sums effort, takes the
-    /// peak arena footprint).
+    /// peak arena footprint / trajectory snapshots).
     pub(crate) fn merge(&mut self, other: SatCounters) {
         self.conflicts += other.conflicts;
         self.propagations += other.propagations;
@@ -171,6 +217,12 @@ impl SatCounters {
         self.restarts += other.restarts;
         self.learnt += other.learnt;
         self.peak_db_bytes = self.peak_db_bytes.max(other.peak_db_bytes);
+        self.exported += other.exported;
+        self.imported += other.imported;
+        self.import_hits += other.import_hits;
+        self.simplified += other.simplified;
+        self.learnt_after_reduce = self.learnt_after_reduce.max(other.learnt_after_reduce);
+        self.arena_after_reduce = self.arena_after_reduce.max(other.arena_after_reduce);
     }
 }
 
@@ -231,6 +283,15 @@ impl SearchState {
             clause_db_bytes: self.counters.peak_db_bytes,
             portfolio_workers: 1,
             worker_wins: Vec::new(),
+            sat_exported: self.counters.exported,
+            sat_imported: self.counters.imported,
+            sat_import_hits: self.counters.import_hits,
+            sat_simplified_clauses: self.counters.simplified,
+            sat_learnt_after_reduce: self.counters.learnt_after_reduce,
+            sat_arena_after_reduce: self.counters.arena_after_reduce,
+            worker_exported: Vec::new(),
+            worker_imported: Vec::new(),
+            worker_import_hits: Vec::new(),
         }
     }
 

@@ -1,0 +1,196 @@
+//! Property suite: the portfolio *with learnt-clause sharing* is
+//! observationally identical to the single-solver search — same minimal
+//! stage count, same minimal transfer count, same provenance and proven
+//! lower bound, and a valid, verifiable schedule — over randomized small
+//! problems, the three paper layouts, and the scratch backend.
+//!
+//! This is the load-bearing property behind DESIGN.md §9: shared clauses
+//! are formula-implied (conflict analysis only ever resolves database
+//! clauses), the encodings are variable-aligned by construction (epoch =
+//! stage cap), so importing them can change the search *trajectory* but
+//! never a verdict — and the reported optima are functions of the verdict
+//! sequence alone.
+
+use std::time::Duration;
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, Problem, SolveOptions, SolveReport};
+use proptest::prelude::*;
+
+const WORKERS: usize = 3;
+
+fn layout_of(idx: usize) -> Layout {
+    match idx % 3 {
+        0 => Layout::NoShielding,
+        1 => Layout::BottomStorage,
+        _ => Layout::DoubleSidedStorage,
+    }
+}
+
+fn solve_sharing(problem: &Problem, portfolio: usize, incremental: bool) -> SolveReport {
+    let options = SolveOptions {
+        time_budget: Duration::from_secs(30),
+        portfolio,
+        incremental,
+        share: true,
+        ..SolveOptions::default()
+    };
+    solve(problem, &options)
+}
+
+fn normalize_gates(raw: &[(usize, usize)], n: usize) -> Vec<(usize, usize)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+fn assert_agrees(problem: &Problem, single: &SolveReport, port: &SolveReport, tag: &str) {
+    assert_eq!(single.provenance, port.provenance, "{tag}: provenance");
+    assert_eq!(single.proven_lb, port.proven_lb, "{tag}: proven lb");
+    let ss = single.schedule.as_ref().expect("single schedule");
+    let sp = port.schedule.as_ref().expect("portfolio schedule");
+    assert_eq!(ss.stages.len(), sp.stages.len(), "{tag}: same minimal S");
+    assert_eq!(
+        ss.num_transfer(),
+        sp.num_transfer(),
+        "{tag}: same minimal #T"
+    );
+    assert!(
+        validate_schedule(sp, &problem.gates).is_empty(),
+        "{tag}: sharing portfolio schedule must validate"
+    );
+    assert_eq!(port.portfolio_workers, WORKERS, "{tag}: worker count");
+    // The per-worker share telemetry is shaped like the worker set, and
+    // the totals are consistent with it.
+    assert_eq!(port.worker_exported.len(), WORKERS, "{tag}: exported vec");
+    assert_eq!(port.worker_imported.len(), WORKERS, "{tag}: imported vec");
+    assert_eq!(
+        port.worker_import_hits.len(),
+        WORKERS,
+        "{tag}: import-hit vec"
+    );
+    assert_eq!(
+        port.worker_exported.iter().sum::<u64>(),
+        port.sat_exported,
+        "{tag}: export total consistent"
+    );
+    assert_eq!(
+        port.worker_imported.iter().sum::<u64>(),
+        port.sat_imported,
+        "{tag}: import total consistent"
+    );
+    // The single-solver search never touches an exchange.
+    assert_eq!(single.sat_exported, 0, "{tag}: single exports nothing");
+    assert_eq!(single.sat_imported, 0, "{tag}: single imports nothing");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharing_portfolio_and_single_solver_agree(
+        layout_idx in 0usize..3,
+        n in 2usize..5,
+        raw in prop::collection::vec((0usize..8, 0usize..8), 1..=3),
+    ) {
+        let gates = normalize_gates(&raw, n);
+        let problem = Problem::from_gates(ArchConfig::paper(layout_of(layout_idx)), n, gates);
+        let single = solve_sharing(&problem, 1, true);
+        let port = solve_sharing(&problem, WORKERS, true);
+        prop_assert!(single.is_optimal(), "tiny instances must solve to optimality");
+        assert_agrees(&problem, &single, &port, "randomized");
+    }
+}
+
+/// The three paper layouts on the Fig. 2 instance: the sharing portfolio
+/// agrees with the single-solver search everywhere, including the zoned
+/// layouts whose minimum genuinely needs a transfer stage.
+#[test]
+fn paper_layouts_agree_under_sharing_portfolio() {
+    for layout in [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ] {
+        let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+        let single = solve_sharing(&problem, 1, true);
+        let port = solve_sharing(&problem, WORKERS, true);
+        assert!(single.is_optimal() && port.is_optimal(), "{layout:?}");
+        assert_agrees(&problem, &single, &port, &format!("{layout:?}"));
+    }
+}
+
+/// Sharing also fronts the scratch back-end. Scratch workers rebuild a
+/// cold encoding per stage count, so variable alignment only holds within
+/// a round — the per-round exchange epoch (the encoding's stage cap) is
+/// what keeps stale clauses quarantined, and the reported optima must
+/// still match the sequential solver exactly.
+#[test]
+fn scratch_sharing_portfolio_agrees_on_fig2() {
+    for layout in [Layout::NoShielding, Layout::BottomStorage] {
+        let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+        let single = solve_sharing(&problem, 1, true);
+        let port = solve_sharing(&problem, WORKERS, false);
+        assert_agrees(&problem, &single, &port, &format!("scratch-{layout:?}"));
+    }
+}
+
+/// Share-on and share-off portfolios agree with each other (transitively
+/// with the single solver) on the zoned paper instance.
+#[test]
+fn share_on_and_off_report_identical_minima() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2)],
+    );
+    let on = solve_sharing(&problem, WORKERS, true);
+    let off = solve(
+        &problem,
+        &SolveOptions {
+            time_budget: Duration::from_secs(30),
+            portfolio: WORKERS,
+            share: false,
+            ..SolveOptions::default()
+        },
+    );
+    let son = on.schedule.expect("share-on schedule");
+    let soff = off.schedule.expect("share-off schedule");
+    assert_eq!(son.stages.len(), soff.stages.len(), "same minimal S");
+    assert_eq!(son.num_transfer(), soff.num_transfer(), "same minimal #T");
+    assert_eq!(on.proven_lb, off.proven_lb);
+    // Share-off means no exchange exists: nothing can be exported.
+    assert_eq!(off.sat_exported, 0);
+    assert_eq!(off.sat_imported, 0);
+}
+
+/// A zero time budget exhausts every round before any worker can trade
+/// clauses; the sharing portfolio takes the same heuristic fallback and
+/// reports zeroed share telemetry of the right shape.
+#[test]
+fn sharing_portfolio_budget_exhaustion_falls_back() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+    );
+    let options = SolveOptions {
+        time_budget: Duration::ZERO,
+        portfolio: WORKERS,
+        share: true,
+        ..SolveOptions::default()
+    };
+    let port = solve(&problem, &options);
+    assert_eq!(port.provenance, nasp_core::Provenance::Heuristic);
+    assert_eq!(port.worker_wins.iter().sum::<u64>(), 0, "no rounds ran");
+    assert_eq!(port.worker_imported.len(), WORKERS);
+    let s = port.schedule.expect("heuristic schedule");
+    assert!(validate_schedule(&s, &problem.gates).is_empty());
+}

@@ -23,7 +23,12 @@ const HDR: usize = 3;
 
 const F_LEARNT: u32 = 1;
 const F_DELETED: u32 = 1 << 1;
-const LBD_SHIFT: u32 = 2;
+/// The clause arrived through the portfolio clause exchange (tracked so
+/// the solver can count how often imported clauses earn their keep in
+/// conflict analysis).
+const F_IMPORTED: u32 = 1 << 2;
+const LBD_SHIFT: u32 = 3;
+const FLAG_MASK: u32 = F_LEARNT | F_DELETED | F_IMPORTED;
 
 /// The arena-backed clause database.
 #[derive(Debug, Default)]
@@ -31,7 +36,8 @@ pub(crate) struct ClauseDb {
     data: Vec<u32>,
     /// Words occupied by deleted clauses (compaction scheduling).
     wasted: usize,
-    /// Live problem (non-learnt) clauses; problem clauses are never deleted.
+    /// Live problem (non-learnt) clauses; deletions (root-level
+    /// simplification) are tracked.
     num_problem: usize,
 }
 
@@ -91,9 +97,27 @@ impl ClauseDb {
         self.flags(c) & F_LEARNT != 0
     }
 
+    /// Tags the clause as imported through the clause exchange.
+    pub fn mark_imported(&mut self, c: ClauseRef) {
+        self.data[c as usize + 1] |= F_IMPORTED;
+    }
+
+    /// Did the clause arrive through the clause exchange?
+    #[inline]
+    pub fn is_imported(&self, c: ClauseRef) -> bool {
+        self.flags(c) & F_IMPORTED != 0
+    }
+
     /// Marks the clause deleted (space reclaimed by [`Self::compact`]).
+    /// Learnt-database reduction only ever deletes learnt clauses; the
+    /// root-level simplifier may also delete (or strengthen-and-replace)
+    /// root-satisfied problem clauses, so the live problem count tracks
+    /// deletions too.
     pub fn delete(&mut self, c: ClauseRef) {
         debug_assert!(!self.is_deleted(c));
+        if !self.is_learnt(c) {
+            self.num_problem -= 1;
+        }
         self.data[c as usize + 1] |= F_DELETED;
         self.wasted += HDR + self.len(c);
     }
@@ -104,11 +128,11 @@ impl ClauseDb {
         self.flags(c) >> LBD_SHIFT
     }
 
-    /// Stores the clause's LBD (saturating to the available 30 bits).
+    /// Stores the clause's LBD (saturating to the available 29 bits).
     pub fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
         let lbd = lbd.min(u32::MAX >> LBD_SHIFT);
         let i = c as usize + 1;
-        self.data[i] = (self.data[i] & (F_LEARNT | F_DELETED)) | (lbd << LBD_SHIFT);
+        self.data[i] = (self.data[i] & FLAG_MASK) | (lbd << LBD_SHIFT);
     }
 
     /// Conflict timestamp of last involvement (32-bit truncated).
@@ -123,9 +147,23 @@ impl ClauseDb {
         self.data[c as usize + 2] = t as u32;
     }
 
-    /// Live problem clauses (problem clauses are never deleted).
+    /// Live (non-deleted) problem clauses.
     pub fn num_problem(&self) -> usize {
         self.num_problem
+    }
+
+    /// One-past-the-end reference: together with [`Self::next_ref`] this
+    /// supports a linear walk over every clause, live and deleted — the
+    /// iteration the root-level simplifier and watcher rebuild use.
+    #[inline]
+    pub fn end(&self) -> ClauseRef {
+        self.data.len() as ClauseRef
+    }
+
+    /// The reference of the clause following `c` in arena order.
+    #[inline]
+    pub fn next_ref(&self, c: ClauseRef) -> ClauseRef {
+        c + (HDR + self.len(c)) as ClauseRef
     }
 
     /// Arena footprint in bytes.
@@ -222,6 +260,37 @@ mod tests {
         assert_eq!(db.len(nc), 2);
         assert!(!db.is_learnt(nc));
         assert_eq!(db.lit(nc, 0), lits(&[6])[0]);
+    }
+
+    #[test]
+    fn imported_flag_survives_lbd_writes() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[1, 2, 3]), true, 0);
+        assert!(!db.is_imported(c));
+        db.mark_imported(c);
+        db.set_lbd(c, 9);
+        assert!(db.is_imported(c));
+        assert!(db.is_learnt(c));
+        assert_eq!(db.lbd(c), 9);
+    }
+
+    #[test]
+    fn arena_walk_visits_every_clause() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, 2]), false, 0);
+        let b = db.alloc(&lits(&[3, 4, 5]), true, 0);
+        let c = db.alloc(&lits(&[6, 7]), false, 0);
+        db.delete(b);
+        assert_eq!(db.num_problem(), 2);
+        db.delete(c);
+        assert_eq!(db.num_problem(), 1, "problem deletion tracked");
+        let mut seen = Vec::new();
+        let mut r = 0;
+        while r < db.end() {
+            seen.push((r, db.is_deleted(r)));
+            r = db.next_ref(r);
+        }
+        assert_eq!(seen, vec![(a, false), (b, true), (c, true)]);
     }
 
     #[test]

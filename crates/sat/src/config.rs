@@ -40,6 +40,24 @@ pub struct SolverConfig {
     /// rounds explore a genuinely different search order from those that
     /// reset — a cheap diversification axis.
     pub reset_activities: bool,
+    /// Conflicts before the first learnt-database reduction (and the fixed
+    /// part of every later gap). The historical hard-coded value is 2000.
+    pub reduce_base: u64,
+    /// Per-reduction growth of the gap between reductions (historically
+    /// 500): reduction `k` is followed by `reduce_base + reduce_inc · k`
+    /// conflicts of breathing room.
+    pub reduce_inc: u64,
+    /// Export a learnt clause to the clause exchange only when its LBD is
+    /// at most this (low-LBD clauses are the ones empirically worth
+    /// shipping between portfolio workers).
+    pub share_max_lbd: u32,
+    /// Export a learnt clause only when it has at most this many literals
+    /// (clamped to the ring slot size,
+    /// [`crate::MAX_SHARED_LITS`]).
+    pub share_max_len: usize,
+    /// Slot count of the clause-exchange ring the portfolio allocates per
+    /// `solve` call (rounded up to a power of two).
+    pub share_ring_capacity: usize,
 }
 
 impl Default for SolverConfig {
@@ -51,6 +69,11 @@ impl Default for SolverConfig {
             init_phase: false,
             var_decay: 0.95,
             reset_activities: true,
+            reduce_base: 2000,
+            reduce_inc: 500,
+            share_max_lbd: 8,
+            share_max_len: 30,
+            share_ring_capacity: 4096,
         }
     }
 }
@@ -59,8 +82,9 @@ impl SolverConfig {
     /// The portfolio diversification schedule: worker 0 is the untouched
     /// deterministic default; every other worker differs from it on several
     /// independent axes (noise seed, restart cadence, initial polarity,
-    /// activity-reset policy), so the workers explore genuinely different
-    /// parts of the search tree while deciding the same formula.
+    /// activity-reset policy, learnt-database reduction cadence), so the
+    /// workers explore genuinely different parts of the search tree while
+    /// deciding the same formula.
     pub fn diversified(worker: usize, base_seed: u64) -> Self {
         if worker == 0 {
             return SolverConfig::default();
@@ -73,6 +97,12 @@ impl SolverConfig {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         let seed = z ^ (z >> 31);
         const LUBY_UNITS: [u64; 4] = [64, 256, 32, 512];
+        // Fifth axis: reduction cadence. An eager reducer keeps a lean,
+        // high-quality learnt database; a lazy one hoards context — both
+        // racing the same round covers more of the keep/drop spectrum.
+        const REDUCE_SCHEDULES: [(u64, u64); 4] =
+            [(1500, 300), (3000, 700), (1200, 450), (2500, 600)];
+        let (reduce_base, reduce_inc) = REDUCE_SCHEDULES[(worker - 1) % REDUCE_SCHEDULES.len()];
         SolverConfig {
             seed,
             random_decision_freq: 0.02,
@@ -80,6 +110,9 @@ impl SolverConfig {
             init_phase: worker % 2 == 1,
             var_decay: 0.95,
             reset_activities: worker % 3 != 2,
+            reduce_base,
+            reduce_inc,
+            ..SolverConfig::default()
         }
     }
 }
@@ -134,6 +167,31 @@ mod tests {
         assert_eq!(c.random_decision_freq, 0.0);
         assert!(!c.init_phase);
         assert!(c.reset_activities);
+        // The reduce schedule was hard-coded as `2000 + 500 * k`; the
+        // configurable form must keep the default bit-identical.
+        assert_eq!(c.reduce_base, 2000);
+        assert_eq!(c.reduce_inc, 500);
+    }
+
+    #[test]
+    fn reduce_schedule_is_a_diversification_axis() {
+        let d = SolverConfig::default();
+        let schedules: Vec<(u64, u64)> = (1..5)
+            .map(|w| {
+                let c = SolverConfig::diversified(w, 42);
+                (c.reduce_base, c.reduce_inc)
+            })
+            .collect();
+        assert!(
+            schedules
+                .iter()
+                .all(|&s| s != (d.reduce_base, d.reduce_inc)),
+            "off-default workers diversify the reduce cadence: {schedules:?}"
+        );
+        assert!(
+            schedules.windows(2).any(|w| w[0] != w[1]),
+            "the axis varies across workers"
+        );
     }
 
     #[test]

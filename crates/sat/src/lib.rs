@@ -9,10 +9,12 @@
 //!
 //! Features: two watched literals with blocking literals, VSIDS with phase
 //! saving, first-UIP learning with clause minimization, Luby restarts,
-//! LBD-based learnt-clause reduction, solving under assumptions,
+//! LBD-based learnt-clause reduction with a configurable cadence,
+//! root-level clause-database simplification, solving under assumptions,
 //! conflict/wall-clock budgets with cooperative cancellation
-//! ([`Terminator`]), and per-solver tuning ([`SolverConfig`]) for
-//! diversified portfolio solving.
+//! ([`Terminator`]), per-solver tuning ([`SolverConfig`]) for diversified
+//! portfolio solving, and lock-free learnt-clause sharing between
+//! portfolio workers ([`ClauseExchange`]).
 //!
 //! ## Example
 //!
@@ -38,10 +40,12 @@ mod arena;
 mod config;
 mod dimacs;
 mod heap;
+mod share;
 mod solver;
 mod types;
 
 pub use config::{SolverConfig, Terminator};
 pub use dimacs::{Cnf, ParseDimacsError};
+pub use share::{ClauseExchange, ShareHandle, MAX_SHARED_LITS};
 pub use solver::{Budget, SolveResult, Solver, Stats};
 pub use types::{LBool, Lit, Var};

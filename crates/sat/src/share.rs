@@ -1,0 +1,479 @@
+//! Lock-free learnt-clause exchange between portfolio workers.
+//!
+//! [`ClauseExchange`] is a fixed-capacity broadcast structure: any worker
+//! can publish a learnt clause, and *every other* worker observes every
+//! published clause exactly once through its own cursors — a multicast
+//! exchange, not a work queue. The layout is one **single-producer lane
+//! per worker**, each lane a power-of-two ring of seqlock-protected
+//! slots:
+//!
+//! * a slot holds a sequence word ([`AtomicU64`]) plus a fixed `u32`
+//!   literal area — no locks, no allocation, no pointer chasing on
+//!   either path;
+//! * the lane's single producer claims monotonically increasing
+//!   *tickets* from its lane head and writes slot `ticket & mask`,
+//!   bracketing the payload stores with an odd (writing) and an even
+//!   (published) sequence value derived from the ticket — with exactly
+//!   one writer per lane the per-slot sequence is strictly monotonic,
+//!   which is what makes the seqlock validation airtight (a
+//!   multi-producer slot could regress its sequence when a producer is
+//!   lapped mid-publish and let a torn clause validate);
+//! * consumers keep a private cursor per foreign lane (the next ticket
+//!   to read) and validate the slot sequence before *and* after copying
+//!   the payload — a torn or overwritten slot is detected and skipped,
+//!   never surfaced.
+//!
+//! The exchange intentionally drops instead of blocking: when a producer
+//! laps a slow consumer, the consumer's cursor fast-forwards and the
+//! overwritten clauses are lost *to that consumer only*. Clause sharing
+//! is a best-effort accelerator — losing a shared clause costs
+//! performance, never soundness — so overwrite-on-wrap is the right
+//! trade against ever stalling a solver on a full queue.
+//!
+//! Soundness of the exchange itself rests on *variable alignment*: a
+//! clause is meaningful to an importer only if literal `i` denotes the
+//! same variable in both solvers. Portfolio workers deterministically
+//! build identical encodings, but the variable numbering is a function of
+//! the encoding's stage cap, so every published clause carries the
+//! producer's `epoch` (the portfolio stamps the stage cap there) and
+//! consumers skip clauses from foreign epochs. See DESIGN.md §9.
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::types::Lit;
+
+/// Hard cap on the length of a shareable clause: the fixed literal area of
+/// one ring slot. [`SolverConfig::share_max_len`](crate::SolverConfig) may
+/// tighten this but never exceed it.
+pub const MAX_SHARED_LITS: usize = 32;
+
+/// One ring slot: a seqlock-protected clause record.
+///
+/// `seq` brackets the payload: the lane's producer holding ticket `t`
+/// stores `2t + 1` (odd: writing), fills the payload, then stores
+/// `2(t + 1)` (even: published). One writer per lane makes the sequence
+/// values of a slot strictly increasing (consecutive tickets of a slot
+/// differ by the lane capacity), so a reader's before/after validation
+/// can never be fooled by a regressed sequence.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    /// Producer's encoding epoch (variable-alignment tag).
+    epoch: AtomicU64,
+    /// `len | (lbd << 8)`; `len ≤ MAX_SHARED_LITS` fits comfortably.
+    meta: AtomicU32,
+    lits: [AtomicU32; MAX_SHARED_LITS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            meta: AtomicU32::new(0),
+            lits: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+}
+
+/// A single-producer ring: one worker's outbound clauses.
+#[derive(Debug)]
+struct Lane {
+    slots: Box<[Slot]>,
+    /// Tickets claimed so far by this lane's producer (the next publish
+    /// position). Written by the owner only; read by every consumer.
+    head: AtomicU64,
+}
+
+/// A consumer-side cursor, padded to its own cache line so per-worker
+/// drain bookkeeping never false-shares with a neighbour's.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Cursor(AtomicU64);
+
+/// The shared clause pool: one per portfolio `solve` call, attached to
+/// every worker. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct ClauseExchange {
+    /// `lanes[w]` is worker `w`'s outbound ring.
+    lanes: Box<[Lane]>,
+    mask: u64,
+    /// `cursors[consumer * lanes + lane]`: the consumer's next ticket in
+    /// that lane.
+    cursors: Box<[Cursor]>,
+}
+
+impl ClauseExchange {
+    /// Creates an exchange for `workers` workers with at least `capacity`
+    /// slots per worker lane (rounded up to a power of two, minimum 64).
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        let cap = capacity.max(64).next_power_of_two();
+        let workers = workers.max(1);
+        ClauseExchange {
+            lanes: (0..workers)
+                .map(|_| Lane {
+                    slots: (0..cap).map(|_| Slot::empty()).collect(),
+                    head: AtomicU64::new(0),
+                })
+                .collect(),
+            mask: cap as u64 - 1,
+            cursors: (0..workers * workers).map(|_| Cursor::default()).collect(),
+        }
+    }
+
+    /// Number of slots in each worker's lane.
+    pub fn capacity(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Total clauses published so far across all lanes (monotone;
+    /// includes overwritten ones).
+    pub fn published(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.head.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// A worker's handle: its lane/consumer identity plus the epoch its
+    /// published clauses are tagged with (epoch 0 until
+    /// [`ShareHandle::at_epoch`] says otherwise).
+    ///
+    /// At most one live producer per `worker` index: the handle owner is
+    /// the only writer of its lane (clones share the identity, so a
+    /// worker may clone its own handle across calls but must not publish
+    /// from two threads at once — the portfolio gives each worker exactly
+    /// one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range for the exchange.
+    pub fn handle(self: &Arc<Self>, worker: usize) -> ShareHandle {
+        assert!(worker < self.lanes.len(), "unregistered worker");
+        ShareHandle {
+            ring: Arc::clone(self),
+            worker: worker as u32,
+            epoch: 0,
+        }
+    }
+
+    /// Publishes a clause into `worker`'s lane. Returns `false`
+    /// (publishing nothing) when the clause is empty or longer than a
+    /// slot's literal area.
+    ///
+    /// Single lane writer: one relaxed head bump claims the ticket, then
+    /// plain (relaxed) payload stores bracketed by the sequence protocol
+    /// (the crossbeam SeqLock fence recipe).
+    fn publish(&self, worker: u32, epoch: u64, lits: &[Lit], lbd: u32) -> bool {
+        let n = lits.len();
+        if n == 0 || n > MAX_SHARED_LITS {
+            return false;
+        }
+        let lane = &self.lanes[worker as usize];
+        let t = lane.head.load(Ordering::Relaxed);
+        let slot = &lane.slots[(t & self.mask) as usize];
+        slot.seq.store(2 * t + 1, Ordering::Relaxed);
+        // Order the odd (writing) marker before every payload store, so a
+        // reader that observes new payload data also observes a sequence
+        // change.
+        fence(Ordering::Release);
+        slot.epoch.store(epoch, Ordering::Relaxed);
+        slot.meta.store(
+            n as u32 | (lbd.min(u32::from(u8::MAX)) << 8),
+            Ordering::Relaxed,
+        );
+        for (cell, &l) in slot.lits.iter().zip(lits) {
+            cell.store(l.0, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * (t + 1), Ordering::Release);
+        lane.head.store(t + 1, Ordering::Release);
+        true
+    }
+
+    /// Drains every fresh, intact clause for `consumer` from every
+    /// foreign lane, invoking `f` with the literals and the producer's
+    /// stored LBD. Skips clauses from foreign epochs; a consumer lapped
+    /// by a producer fast-forwards past the overwritten range.
+    fn drain(&self, consumer: u32, epoch: u64, mut f: impl FnMut(&[Lit], u32)) {
+        let mut buf = [Lit(0); MAX_SHARED_LITS];
+        for (w, lane) in self.lanes.iter().enumerate() {
+            if w == consumer as usize {
+                continue; // own lane: never import own clauses
+            }
+            let cursor = &self.cursors[consumer as usize * self.lanes.len() + w];
+            let mut c = cursor.0.load(Ordering::Relaxed);
+            let head = lane.head.load(Ordering::Acquire);
+            if c == head {
+                continue;
+            }
+            // Tickets below head − capacity have certainly been
+            // overwritten.
+            let floor = head.saturating_sub(self.capacity() as u64);
+            if c < floor {
+                c = floor;
+            }
+            while c < head {
+                let slot = &lane.slots[(c & self.mask) as usize];
+                let expect = 2 * (c + 1);
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 < expect {
+                    // Mid-write (the producer bumps `head` only after
+                    // publishing, so this is a transient): retry from
+                    // this cursor on the next drain.
+                    break;
+                }
+                if s1 == expect {
+                    let slot_epoch = slot.epoch.load(Ordering::Relaxed);
+                    let meta = slot.meta.load(Ordering::Relaxed);
+                    let n = ((meta & 0xFF) as usize).min(MAX_SHARED_LITS);
+                    let lbd = meta >> 8;
+                    for (dst, cell) in buf[..n].iter_mut().zip(&slot.lits) {
+                        *dst = Lit(cell.load(Ordering::Relaxed));
+                    }
+                    // Pair with the producer's release fence: if any
+                    // payload load above saw a newer publish's store,
+                    // this re-read of `seq` is guaranteed to see that
+                    // publish's odd marker and the copy is discarded as
+                    // torn.
+                    fence(Ordering::Acquire);
+                    let s2 = slot.seq.load(Ordering::Relaxed);
+                    if s2 == s1 && slot_epoch == epoch && n > 0 {
+                        f(&buf[..n], lbd);
+                    }
+                }
+                // s1 > expect: the slot was overwritten by a later ticket
+                // while we lagged — this clause is lost to us; move on.
+                c += 1;
+            }
+            cursor.0.store(c, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A worker's handle on a [`ClauseExchange`]: the exchange, the worker's
+/// lane/consumer identity, and the variable-alignment epoch it currently
+/// publishes under and accepts imports from.
+///
+/// Cloning shares the underlying lane and cursors (they are per *worker*,
+/// not per handle), which is what lets the handle ride inside a
+/// [`crate::Budget`] per solve call while drain progress persists across
+/// calls.
+#[derive(Debug, Clone)]
+pub struct ShareHandle {
+    ring: Arc<ClauseExchange>,
+    worker: u32,
+    epoch: u64,
+}
+
+impl ShareHandle {
+    /// This handle's worker (lane/consumer) index.
+    pub fn consumer(&self) -> usize {
+        self.worker as usize
+    }
+
+    /// The same handle pinned to a different variable-alignment epoch.
+    ///
+    /// The portfolio stamps the worker's current encoding stage cap here:
+    /// two encodings of the same problem allocate identical variables iff
+    /// they were built with the same cap, so the epoch is exactly the
+    /// alignment fingerprint (DESIGN.md §9).
+    pub fn at_epoch(&self, epoch: u64) -> ShareHandle {
+        ShareHandle {
+            ring: Arc::clone(&self.ring),
+            worker: self.worker,
+            epoch,
+        }
+    }
+
+    /// Publishes a clause under this handle's identity and epoch. Returns
+    /// `true` if the clause entered the ring.
+    pub fn publish(&self, lits: &[Lit], lbd: u32) -> bool {
+        self.ring.publish(self.worker, self.epoch, lits, lbd)
+    }
+
+    /// Drains every fresh clause published by *other* workers under this
+    /// handle's epoch.
+    pub fn drain(&self, f: impl FnMut(&[Lit], u32)) {
+        self.ring.drain(self.worker, self.epoch, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(i: u32) -> Lit {
+        Var(i).positive()
+    }
+
+    #[test]
+    fn publish_drain_roundtrip_skips_own() {
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let a = ring.handle(0);
+        let b = ring.handle(1);
+        assert!(a.publish(&[lit(1), lit(2), lit(3)], 2));
+        assert!(b.publish(&[lit(4)], 1));
+        let mut got_a = Vec::new();
+        a.drain(|lits, lbd| got_a.push((lits.to_vec(), lbd)));
+        assert_eq!(got_a, vec![(vec![lit(4)], 1)], "a skips its own clause");
+        let mut got_b = Vec::new();
+        b.drain(|lits, lbd| got_b.push((lits.to_vec(), lbd)));
+        assert_eq!(got_b, vec![(vec![lit(1), lit(2), lit(3)], 2)]);
+        // Cursors are consumed: nothing fresh on a second drain.
+        let mut again = 0;
+        a.drain(|_, _| again += 1);
+        b.drain(|_, _| again += 1);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn epoch_mismatch_filters_imports() {
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let a = ring.handle(0).at_epoch(3);
+        let b_stale = ring.handle(1).at_epoch(2);
+        a.publish(&[lit(7), lit(8)], 2);
+        let mut got = 0;
+        b_stale.drain(|_, _| got += 1);
+        assert_eq!(got, 0, "foreign epoch is skipped (and consumed)");
+        // The clause was consumed by the cursor; a matching epoch later
+        // does not resurrect it (drop, never resurface stale data).
+        let b_fresh = ring.handle(1).at_epoch(3);
+        a.publish(&[lit(9), lit(10)], 2);
+        let mut fresh = Vec::new();
+        b_fresh.drain(|lits, _| fresh.push(lits.to_vec()));
+        assert_eq!(fresh, vec![vec![lit(9), lit(10)]]);
+    }
+
+    #[test]
+    fn oversize_and_empty_clauses_are_rejected() {
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let a = ring.handle(0);
+        assert!(!a.publish(&[], 0));
+        let long: Vec<Lit> = (0..MAX_SHARED_LITS as u32 + 1).map(lit).collect();
+        assert!(!a.publish(&long, 5));
+        assert!(a.publish(&long[..MAX_SHARED_LITS], 5));
+        assert_eq!(ring.published(), 1);
+    }
+
+    #[test]
+    fn lapped_consumer_fast_forwards_without_corruption() {
+        // A tiny lane flooded far past capacity: the lagging consumer
+        // loses clauses but every clause it does see is intact (the
+        // payload encodes a checksum of itself).
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let producer = ring.handle(0);
+        let consumer = ring.handle(1);
+        let total = 10_000u32;
+        for i in 0..total {
+            producer.publish(&[lit(i), lit(i.wrapping_mul(31) % 100_000)], 2);
+        }
+        let mut seen = 0u32;
+        consumer.drain(|lits, _| {
+            assert_eq!(lits.len(), 2);
+            assert_eq!(lits[1], lit((lits[0].var().0.wrapping_mul(31)) % 100_000));
+            seen += 1;
+        });
+        assert!(seen > 0, "the tail of the flood is readable");
+        assert!(seen as usize <= ring.capacity(), "older clauses were lost");
+    }
+
+    #[test]
+    fn hammer_every_clause_drained_exactly_once_per_consumer() {
+        // P producers × M clauses into lanes large enough to never wrap,
+        // K consumers draining concurrently from scoped threads: every
+        // consumer must observe every foreign clause exactly once, with
+        // the payload intact (lits encode the clause id redundantly).
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: u32 = 500;
+        let total = PRODUCERS as u64 * PER_PRODUCER as u64;
+        let ring = Arc::new(ClauseExchange::new(
+            PER_PRODUCER as usize,
+            PRODUCERS + CONSUMERS,
+        ));
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let h = ring.handle(p);
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let a = (p as u32) * PER_PRODUCER + i;
+                        // Redundant encoding: lits[1] and lits[2] derive
+                        // from lits[0], so torn payloads are detectable.
+                        let ok = h.publish(&[lit(a), lit(a ^ 0xAAAA), lit(a.wrapping_add(7))], 3);
+                        assert!(ok);
+                    }
+                });
+            }
+            let mut joins = Vec::new();
+            for k in 0..CONSUMERS {
+                let h = ring.handle(PRODUCERS + k);
+                joins.push(scope.spawn(move || {
+                    let mut seen = vec![0u32; total as usize];
+                    let mut drained = 0u64;
+                    while drained < total {
+                        h.drain(|lits, lbd| {
+                            assert_eq!(lits.len(), 3, "never torn");
+                            let a = lits[0].var().0;
+                            assert_eq!(lits[1], lit(a ^ 0xAAAA), "payload intact");
+                            assert_eq!(lits[2], lit(a.wrapping_add(7)), "payload intact");
+                            assert_eq!(lbd, 3);
+                            seen[a as usize] += 1;
+                            drained += 1;
+                        });
+                        std::hint::spin_loop();
+                    }
+                    seen
+                }));
+            }
+            for j in joins {
+                let seen = j.join().expect("consumer thread");
+                assert!(
+                    seen.iter().all(|&n| n == 1),
+                    "every clause exactly once per consumer"
+                );
+            }
+        });
+        assert_eq!(ring.published(), total);
+    }
+
+    #[test]
+    fn concurrent_wrap_never_surfaces_torn_clauses() {
+        // Producers deliberately lap tiny lanes while consumers drain:
+        // losses are expected, torn or cross-producer-mixed payloads are
+        // not. Every surfaced clause must be internally consistent.
+        const PRODUCERS: usize = 3;
+        const PER_PRODUCER: u32 = 20_000;
+        let ring = Arc::new(ClauseExchange::new(64, PRODUCERS + 2));
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let h = ring.handle(p);
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let a = (p as u32) << 20 | i;
+                        h.publish(&[lit(a), lit(a ^ 0x5_5555), lit(a.wrapping_mul(3))], 2);
+                    }
+                });
+            }
+            for k in 0..2 {
+                let h = ring.handle(PRODUCERS + k);
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    for _ in 0..200 {
+                        h.drain(|lits, _| {
+                            assert_eq!(lits.len(), 3, "never torn");
+                            let a = lits[0].var().0;
+                            assert_eq!(lits[1], lit(a ^ 0x5_5555), "no cross-producer mixing");
+                            assert_eq!(lits[2], lit(a.wrapping_mul(3)), "payload intact");
+                            seen += 1;
+                        });
+                        std::thread::yield_now();
+                    }
+                    seen
+                });
+            }
+        });
+        assert_eq!(ring.published(), PRODUCERS as u64 * u64::from(PER_PRODUCER));
+    }
+}

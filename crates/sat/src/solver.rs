@@ -11,6 +11,7 @@ use std::time::Instant;
 use crate::arena::{forward, ClauseDb, ClauseRef};
 use crate::config::{SolverConfig, Terminator};
 use crate::heap::VarHeap;
+use crate::share::ShareHandle;
 use crate::types::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -39,6 +40,24 @@ pub struct Stats {
     pub learnt_clauses: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Learnt clauses this solver copied into the clause exchange.
+    pub exported: u64,
+    /// Foreign clauses attached (or enqueued as units) from the clause
+    /// exchange. Root-satisfied and stale-epoch clauses are skipped and
+    /// not counted.
+    pub imported: u64,
+    /// Times an imported clause participated in conflict analysis — the
+    /// "did sharing actually help" signal.
+    pub import_hits: u64,
+    /// Clauses deleted or strengthened by root-level simplification.
+    pub simplified_clauses: u64,
+    /// Live learnt clauses right after the most recent database reduction
+    /// (0 until one runs) — the memory-trajectory counterpart of the
+    /// cumulative totals.
+    pub learnt_after_reduce: u64,
+    /// Clause-arena bytes right after the most recent database reduction
+    /// (0 until one runs).
+    pub arena_bytes_after_reduce: u64,
 }
 
 /// Resource limits for a single `solve` call.
@@ -56,6 +75,11 @@ pub struct Budget {
     /// microseconds while staying reusable — the mechanism a portfolio
     /// winner uses to stop the losing workers.
     pub stop: Option<Terminator>,
+    /// Clause-exchange handle for this solve call: low-LBD learnt clauses
+    /// are exported to the ring, and fresh foreign clauses are imported at
+    /// every return to decision level zero (solve start, restarts,
+    /// root-level backjumps). `None` (the default) disables sharing.
+    pub share: Option<ShareHandle>,
 }
 
 impl Budget {
@@ -83,6 +107,12 @@ impl Budget {
     /// Attaches a cooperative cancellation flag.
     pub fn with_terminator(mut self, t: Terminator) -> Self {
         self.stop = Some(t);
+        self
+    }
+
+    /// Attaches a clause-exchange handle (learnt-clause sharing).
+    pub fn with_exchange(mut self, h: ShareHandle) -> Self {
+        self.share = Some(h);
         self
     }
 
@@ -167,6 +197,12 @@ pub struct Solver {
     learnt_refs: Vec<ClauseRef>,
     next_reduce: u64,
     reduce_count: u64,
+    /// The clause-exchange handle of the current/most recent solve call
+    /// (refreshed from the [`Budget`] at every `solve_limited`).
+    share: Option<ShareHandle>,
+    /// Trail length at the last root-level simplification sweep; a sweep
+    /// is only worth repeating after new root facts appeared.
+    simplified_floor: usize,
     config: SolverConfig,
     /// xorshift64* state for decision noise; only advanced when
     /// `config.random_decision_freq > 0`, so the default solver stays
@@ -211,8 +247,10 @@ impl Solver {
             model: Vec::new(),
             have_model: false,
             learnt_refs: Vec::new(),
-            next_reduce: 2000,
+            next_reduce: config.reduce_base,
             reduce_count: 0,
+            share: None,
+            simplified_floor: 0,
             // xorshift64* needs a non-zero state; fold the seed through an
             // odd multiplier so seed 0 is legal too.
             rng: config.seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1,
@@ -524,6 +562,9 @@ impl Solver {
         loop {
             {
                 self.db.set_last_used(confl, self.stats.conflicts);
+                if self.db.is_imported(confl) {
+                    self.stats.import_hits += 1;
+                }
                 let start = usize::from(p.is_some());
                 let nlits = self.db.len(confl);
                 for k in start..nlits {
@@ -664,6 +705,236 @@ impl Solver {
         levels.len() as u32
     }
 
+    /// Export hook: copies a freshly learnt clause into the clause
+    /// exchange when it clears the quality bar (LBD and length caps from
+    /// the configuration). No-op without an attached exchange.
+    fn export_clause(&mut self, lits: &[Lit], lbd: u32) {
+        let Some(share) = self.share.as_ref() else {
+            return;
+        };
+        if lbd > self.config.share_max_lbd || lits.len() > self.config.share_max_len {
+            return;
+        }
+        let published = share.publish(lits, lbd);
+        if published {
+            self.stats.exported += 1;
+        }
+    }
+
+    /// Import hook: drains every fresh foreign clause from the exchange.
+    /// Must be called at decision level zero with propagation complete.
+    /// Returns `false` when an import (or its propagation) proved the
+    /// formula unsatisfiable.
+    fn import_shared(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let Some(share) = self.share.clone() else {
+            return true;
+        };
+        let mut incoming: Vec<(Vec<Lit>, u32)> = Vec::new();
+        share.drain(|lits, lbd| incoming.push((lits.to_vec(), lbd)));
+        for (lits, lbd) in incoming {
+            self.import_clause(&lits, lbd);
+            if !self.ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attaches one foreign clause: skips it when root-satisfied (or when
+    /// it references variables this solver has not allocated — a stale
+    /// export from a since-rebuilt, larger encoding), strengthens away
+    /// root-falsified literals, recomputes the LBD for what remains (at
+    /// level zero every kept literal is unassigned, so the recomputation
+    /// is the clamp to the strengthened length) and stores the result as a
+    /// learnt clause, unit fact, or — if everything is root-false — the
+    /// empty clause (the formula is unsatisfiable).
+    fn import_clause(&mut self, lits: &[Lit], lbd: u32) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+            return;
+        }
+        let mut cl = lits.to_vec();
+        cl.sort_unstable();
+        cl.dedup();
+        let mut kept = Vec::with_capacity(cl.len());
+        for (i, &l) in cl.iter().enumerate() {
+            if i + 1 < cl.len() && cl[i + 1] == !l {
+                return; // tautology (defensive; learnt clauses never are)
+            }
+            match self.lit_value(l) {
+                LBool::True => return, // root-satisfied: skip entirely
+                LBool::False => {}     // strengthen: drop root-false literal
+                LBool::Undef => kept.push(l),
+            }
+        }
+        self.stats.imported += 1;
+        match kept.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(kept[0], None);
+                self.ok = self.propagate().is_none();
+            }
+            _ => {
+                let lbd = lbd.clamp(1, kept.len() as u32);
+                let cref = self.attach_clause(kept, true);
+                self.db.set_lbd(cref, lbd);
+                self.db.mark_imported(cref);
+            }
+        }
+    }
+
+    /// Root-level clause-database simplification: one arena sweep at
+    /// decision level zero that deletes clauses satisfied by root
+    /// assignments and strengthens clauses by removing root-falsified
+    /// literals. Runs automatically at the start of every solve call (after
+    /// new root facts appeared; repeat calls are free), before the clause
+    /// exchange's import drain.
+    ///
+    /// Safe because root facts are permanent: a root-satisfied clause can
+    /// never participate in a conflict again, and a root-false literal can
+    /// never satisfy its clause. Root reasons are cleared first — conflict
+    /// analysis never traverses level-zero literals, so those clause
+    /// references are dead weight that would otherwise pin their clauses.
+    pub fn simplify_at_root(&mut self) {
+        if !self.ok || self.decision_level() != 0 || self.qhead != self.trail.len() {
+            return;
+        }
+        if self.trail.len() == self.simplified_floor {
+            return;
+        }
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = None;
+        }
+        let end = self.db.end();
+        let mut changed = false;
+        let mut units: Vec<Lit> = Vec::new();
+        let mut c: ClauseRef = 0;
+        while c < end {
+            let next = self.db.next_ref(c);
+            if self.db.is_deleted(c) {
+                c = next;
+                continue;
+            }
+            let n = self.db.len(c);
+            let mut satisfied = false;
+            let mut num_false = 0usize;
+            for k in 0..n {
+                match self.lit_value(self.db.lit(c, k)) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => num_false += 1,
+                    LBool::Undef => {}
+                }
+            }
+            if satisfied {
+                self.delete_for_simplify(c);
+                self.stats.simplified_clauses += 1;
+                changed = true;
+            } else if num_false > 0 {
+                let kept: Vec<Lit> = (0..n)
+                    .map(|k| self.db.lit(c, k))
+                    .filter(|&l| self.lit_value(l) == LBool::Undef)
+                    .collect();
+                let learnt = self.db.is_learnt(c);
+                let imported = self.db.is_imported(c);
+                let lbd = self.db.lbd(c);
+                let last_used = u64::from(self.db.last_used(c));
+                self.delete_for_simplify(c);
+                self.stats.simplified_clauses += 1;
+                changed = true;
+                match kept.len() {
+                    0 => {
+                        // Every literal root-false: the formula is UNSAT.
+                        self.ok = false;
+                        return;
+                    }
+                    1 => units.push(kept[0]),
+                    _ => {
+                        // Replacement allocations land past `end`, so the
+                        // sweep (bounded by the pre-sweep extent) never
+                        // revisits them.
+                        let nc = self.db.alloc(&kept, learnt, last_used);
+                        if learnt {
+                            self.db.set_lbd(nc, lbd.min(kept.len() as u32).max(1));
+                            if imported {
+                                self.db.mark_imported(nc);
+                            }
+                            self.learnt_refs.push(nc);
+                            self.stats.learnt_clauses += 1;
+                        }
+                    }
+                }
+            }
+            c = next;
+        }
+        if changed {
+            self.rebuild_watchers();
+        }
+        for l in units {
+            match self.lit_value(l) {
+                LBool::Undef => self.enqueue(l, None),
+                LBool::True => {}
+                LBool::False => {
+                    self.ok = false;
+                    return;
+                }
+            }
+        }
+        self.ok = self.propagate().is_none();
+        self.simplified_floor = self.trail.len();
+    }
+
+    /// Deletes a clause during root simplification, keeping the learnt
+    /// counter honest (`learnt_refs` is pruned in the watcher rebuild).
+    fn delete_for_simplify(&mut self, c: ClauseRef) {
+        if self.db.is_learnt(c) {
+            self.stats.learnt_clauses -= 1;
+        }
+        self.db.delete(c);
+    }
+
+    /// Rebuilds every watcher list from the arena after root
+    /// simplification, compacting first (via the standard machinery) when
+    /// enough garbage accumulated. Reasons need no remapping: the
+    /// simplifier runs at level zero with root reasons cleared, so every
+    /// entry is `None`.
+    fn rebuild_watchers(&mut self) {
+        debug_assert!(self.reason.iter().all(Option::is_none));
+        for list in &mut self.watches {
+            list.clear();
+        }
+        self.learnt_refs.retain(|&c| !self.db.is_deleted(c));
+        if self.db.should_compact() {
+            let map = self.db.compact();
+            for c in self.learnt_refs.iter_mut() {
+                *c = forward(&map, *c).expect("learnt_refs pruned before compaction");
+            }
+        }
+        let end = self.db.end();
+        let mut c: ClauseRef = 0;
+        while c < end {
+            if !self.db.is_deleted(c) {
+                let w0 = self.db.lit(c, 0);
+                let w1 = self.db.lit(c, 1);
+                self.watches[(!w0).index()].push(Watcher {
+                    cref: c,
+                    blocker: w1,
+                });
+                self.watches[(!w1).index()].push(Watcher {
+                    cref: c,
+                    blocker: w0,
+                });
+            }
+            c = self.db.next_ref(c);
+        }
+    }
+
     fn reduce_db(&mut self) {
         // Sort learnt clauses: keep low LBD and recently used ones.
         let mut cand: Vec<ClauseRef> = self
@@ -685,7 +956,13 @@ impl Solver {
             self.compact_db();
         }
         self.reduce_count += 1;
-        self.next_reduce = self.stats.conflicts + 2000 + 500 * self.reduce_count;
+        self.next_reduce = self.stats.conflicts
+            + self.config.reduce_base
+            + self.config.reduce_inc * self.reduce_count;
+        // Memory-trajectory snapshot: what survives each reduction, not
+        // just cumulative totals.
+        self.stats.learnt_after_reduce = self.stats.learnt_clauses;
+        self.stats.arena_bytes_after_reduce = self.db.bytes() as u64;
     }
 
     /// Slides live clauses over the garbage left by deletion and remaps
@@ -759,6 +1036,14 @@ impl Solver {
                 "assumption references unknown variable"
             );
         }
+        // Round-boundary housekeeping at level zero: refresh the exchange
+        // handle from this call's budget, sweep the clause database
+        // against any new root facts, then drain the exchange.
+        self.share = budget.share.clone();
+        self.simplify_at_root();
+        if !self.import_shared() {
+            return SolveResult::Unsat;
+        }
         let start_conflicts = self.stats.conflicts;
         let mut restart_idx = 0u64;
         let mut restart_budget = Self::luby(restart_idx) * self.config.luby_unit;
@@ -793,6 +1078,11 @@ impl Solver {
                     let (learnt, bt) = self.analyze(confl);
                     self.learn_and_jump(learnt, bt);
                 }
+                // Back at the root (a learnt unit): drain the exchange —
+                // fresh foreign clauses attach soundly only at level zero.
+                if self.decision_level() == 0 && !self.import_shared() {
+                    break SolveResult::Unsat;
+                }
                 self.decay_activities();
                 if self.stats.conflicts - start_conflicts > 0
                     && budget.exhausted(
@@ -812,6 +1102,9 @@ impl Solver {
                     restart_budget = Self::luby(restart_idx) * self.config.luby_unit;
                     conflicts_this_restart = 0;
                     self.backtrack_to(0);
+                    if !self.import_shared() {
+                        break SolveResult::Unsat;
+                    }
                 }
             } else {
                 // Poll the cancellation flag on conflict-free stretches too
@@ -890,6 +1183,7 @@ impl Solver {
             1 => {
                 // `analyze` excludes level-0 literals, so the unit is
                 // unassigned here and becomes a permanent fact.
+                self.export_clause(&learnt, 1);
                 match self.lit_value(learnt[0]) {
                     LBool::Undef => {
                         self.enqueue(learnt[0], None);
@@ -900,6 +1194,7 @@ impl Solver {
                 }
             }
             _ => {
+                self.export_clause(&learnt, lbd);
                 let cref = self.attach_clause(learnt, true);
                 self.db.set_lbd(cref, lbd);
             }
@@ -914,12 +1209,14 @@ impl Solver {
             }
             1 => {
                 debug_assert_eq!(self.decision_level(), 0);
+                self.export_clause(&learnt, 1);
                 if self.lit_value(learnt[0]) == LBool::Undef {
                     self.enqueue(learnt[0], None);
                 }
             }
             _ => {
                 let lbd = self.compute_lbd(&learnt);
+                self.export_clause(&learnt, lbd);
                 let asserting = learnt[0];
                 let cref = self.attach_clause(learnt, true);
                 self.db.set_lbd(cref, lbd);
@@ -970,8 +1267,10 @@ const _: () = {
     assert_send::<Solver>();
     assert_send::<Budget>();
     assert_send::<Terminator>();
+    assert_send::<ShareHandle>();
     const fn assert_sync<T: Sync>() {}
     assert_sync::<Terminator>();
+    assert_sync::<crate::share::ClauseExchange>();
 };
 
 #[cfg(test)]
@@ -1093,6 +1392,169 @@ mod tests {
         assert!(bumped_max > 0.0, "conflicts bump activities");
         s.reset_activities();
         assert_eq!(s.max_activity, bumped_max, "policy off: reset is a no-op");
+    }
+
+    #[test]
+    fn export_import_roundtrip_between_solvers() {
+        use crate::share::ClauseExchange;
+        use std::sync::Arc;
+        // Two solvers over the same (variable-aligned) pigeonhole formula:
+        // A refutes it first, exporting its low-LBD clauses; B then drains
+        // the ring at solve start and must reach the same verdict with
+        // imports on the books.
+        let ring = Arc::new(ClauseExchange::new(1 << 14, 2));
+        let mut a = pigeonhole(7);
+        let budget = Budget::unlimited().with_exchange(ring.handle(0));
+        assert_eq!(a.solve_limited(&[], budget), SolveResult::Unsat);
+        assert!(a.stats().exported > 0, "low-LBD clauses must be exported");
+        assert_eq!(a.stats().imported, 0, "nothing to import yet");
+
+        let mut b = pigeonhole(7);
+        let budget = Budget::unlimited().with_exchange(ring.handle(1));
+        assert_eq!(b.solve_limited(&[], budget), SolveResult::Unsat);
+        assert!(b.stats().imported > 0, "B drains A's clauses at level 0");
+    }
+
+    #[test]
+    fn imported_unit_becomes_root_fact() {
+        use crate::share::ClauseExchange;
+        use std::sync::Arc;
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        ring.handle(0).publish(&[!v[0]], 1);
+        let budget = Budget::unlimited().with_exchange(ring.handle(1));
+        assert_eq!(s.solve_limited(&[], budget), SolveResult::Sat);
+        assert_eq!(s.stats().imported, 1);
+        assert_eq!(s.value(v[0]), Some(false), "imported unit is permanent");
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn import_skips_root_satisfied_and_unknown_vars() {
+        use crate::share::ClauseExchange;
+        use std::sync::Arc;
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0]]);
+        let producer = ring.handle(0);
+        // Root-satisfied (contains v0, true at level 0): skipped.
+        producer.publish(&[v[0], v[1]], 2);
+        // References a variable this solver never allocated: skipped.
+        producer.publish(&[Var(99).positive(), v[1]], 2);
+        let budget = Budget::unlimited().with_exchange(ring.handle(1));
+        assert_eq!(s.solve_limited(&[], budget), SolveResult::Sat);
+        assert_eq!(s.stats().imported, 0, "both clauses skipped");
+    }
+
+    #[test]
+    fn conflicting_imports_prove_unsat() {
+        use crate::share::ClauseExchange;
+        use std::sync::Arc;
+        let ring = Arc::new(ClauseExchange::new(64, 2));
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        let producer = ring.handle(0);
+        producer.publish(&[v[0]], 1);
+        producer.publish(&[!v[0]], 1);
+        let budget = Budget::unlimited().with_exchange(ring.handle(1));
+        assert_eq!(s.solve_limited(&[], budget), SolveResult::Unsat);
+        // Formula-implied units in the ring made the formula UNSAT; the
+        // solver stays in that state like any root conflict.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn sharing_disabled_without_handle() {
+        let mut s = pigeonhole(6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stats().exported, 0);
+        assert_eq!(s.stats().imported, 0);
+        assert_eq!(s.stats().import_hits, 0);
+    }
+
+    #[test]
+    fn root_simplification_deletes_satisfied_and_strengthens() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let (a, c, d, e) = (v[0], v[1], v[2], v[3]);
+        s.add_clause([c, d, !a]); // will be strengthened to (c ∨ d)
+        s.add_clause([a, c, e]); // will be root-satisfied and deleted
+        s.add_clause([a]); // root fact (enqueued, not stored in the arena)
+        assert_eq!(s.num_clauses(), 2);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(
+            s.stats().simplified_clauses,
+            2,
+            "one deletion + one strengthening"
+        );
+        // The satisfied clause is gone; the strengthened one was re-allocated.
+        assert_eq!(s.num_clauses(), 1, "only (c ∨ d) remains");
+        // The strengthened clause still constrains the formula.
+        assert_eq!(s.solve_with(&[!c, !d]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!c]), SolveResult::Sat);
+        assert_eq!(s.value(d), Some(true), "(c ∨ d) propagates under ¬c");
+        let _ = e;
+    }
+
+    #[test]
+    fn root_simplification_is_idempotent_per_fact_level() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let once = s.stats().simplified_clauses;
+        assert!(once > 0);
+        // No new root facts: the second solve must not resweep.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().simplified_clauses, once);
+    }
+
+    #[test]
+    fn simplification_mid_incremental_sweep_keeps_answers() {
+        // Interleave clause addition, assumption solves and root facts so
+        // the sweep runs with learnt clauses and watcher rebuilds in play.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 6);
+        for w in v.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        assert_eq!(s.solve_with(&[v[0], !v[5]]), SolveResult::Unsat);
+        s.add_clause([v[0]]); // root fact satisfies/strengthens the chain
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().simplified_clauses > 0);
+        for l in &v {
+            assert_eq!(s.value(*l), Some(true), "chain forced from the root");
+        }
+        assert_eq!(s.solve_with(&[!v[5]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn reduce_schedule_config_is_honoured() {
+        // An eager reducer (tiny base) must reduce strictly more often
+        // than the default on the same instance.
+        let eager = SolverConfig {
+            reduce_base: 100,
+            reduce_inc: 10,
+            ..SolverConfig::default()
+        };
+        let mut a = Solver::with_config(eager);
+        add_pigeonhole(&mut a, 8);
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        let mut b = pigeonhole(8);
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        assert!(
+            a.stats().deleted_clauses > b.stats().deleted_clauses,
+            "eager schedule reduces more (eager {} vs default {})",
+            a.stats().deleted_clauses,
+            b.stats().deleted_clauses
+        );
+        // The trajectory snapshot is populated once a reduction ran.
+        assert!(a.stats().learnt_after_reduce > 0);
+        assert!(a.stats().arena_bytes_after_reduce > 0);
     }
 
     #[test]

@@ -493,6 +493,11 @@ impl Ctx {
     }
 
     /// Solves under assumptions with a resource budget.
+    ///
+    /// The budget carries everything per-call: conflict/deadline limits,
+    /// the cooperative-cancellation [`nasp_sat::Terminator`], and the
+    /// portfolio clause-exchange handle ([`nasp_sat::ShareHandle`]) —
+    /// learnt-clause sharing threads through this call unchanged.
     pub fn solve_with(&mut self, assumptions: &[Bool], budget: Budget) -> SolveResult {
         let lits: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
         self.solver.solve_limited(&lits, budget)

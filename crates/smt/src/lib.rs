@@ -44,4 +44,7 @@
 mod context;
 
 pub use context::{Bool, Ctx, IntVar};
-pub use nasp_sat::{Budget, SolveResult, SolverConfig, Stats, Terminator};
+pub use nasp_sat::{
+    Budget, ClauseExchange, ShareHandle, SolveResult, SolverConfig, Stats, Terminator,
+    MAX_SHARED_LITS,
+};
