@@ -27,12 +27,11 @@ fn fig2_problem() -> Problem {
 }
 
 fn options(portfolio: usize) -> SolveOptions {
-    SolveOptions {
-        time_budget: Duration::from_secs(60),
-        heuristic_fallback: false,
-        portfolio,
-        ..SolveOptions::default()
-    }
+    SolveOptions::builder()
+        .time_budget(Duration::from_secs(60))
+        .heuristic_fallback(false)
+        .portfolio(portfolio)
+        .build()
 }
 
 fn bench_pool(c: &mut Criterion) {

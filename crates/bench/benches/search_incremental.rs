@@ -32,12 +32,11 @@ fn chain4_problem() -> Problem {
 }
 
 fn options(incremental: bool) -> SolveOptions {
-    SolveOptions {
-        time_budget: Duration::from_secs(60),
-        heuristic_fallback: false,
-        incremental,
-        ..SolveOptions::default()
-    }
+    SolveOptions::builder()
+        .time_budget(Duration::from_secs(60))
+        .heuristic_fallback(false)
+        .incremental(incremental)
+        .build()
 }
 
 fn bench_search(c: &mut Criterion) {

@@ -33,10 +33,9 @@ fn bench_small_codes(c: &mut Criterion) {
                 &problem,
                 |b, problem| {
                     b.iter(|| {
-                        let opts = SolveOptions {
-                            time_budget: Duration::from_secs(300),
-                            ..Default::default()
-                        };
+                        let opts = SolveOptions::builder()
+                            .time_budget(Duration::from_secs(300))
+                            .build();
                         let r = solve(problem, &opts);
                         assert!(r.schedule.is_some());
                         r

@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 use nasp_arch::{ArchConfig, Layout, OpParams};
 use nasp_core::encoding::EncodeOptions;
 use nasp_core::report::{run_experiment_with_circuit, ExperimentOptions};
-use nasp_core::solve::{solve, SolveOptions};
-use nasp_core::Problem;
+use nasp_core::solve::SolveOptions;
+use nasp_core::{Engine, Problem};
 use nasp_qec::{catalog, graph_state};
 
 fn main() {
@@ -53,22 +53,24 @@ fn ablation_a1(incremental: bool, jobs: usize, share: bool) {
     }
     let rows = nasp_bench::pool::map_indexed(jobs, grid, |_, (code_name, circuit, layout)| {
         let problem = Problem::new(ArchConfig::paper(layout), &circuit);
+        // One-shot engine solves: A1 compares cold wall-clock per encode
+        // variant, so no warm session is carried between the two runs.
+        let engine = Engine::new();
         let mut times = Vec::new();
         for nonempty in [true, false] {
-            let options = SolveOptions {
-                time_budget: Duration::from_secs(120),
-                encode: EncodeOptions {
+            let options = SolveOptions::builder()
+                .time_budget(Duration::from_secs(120))
+                .encode(EncodeOptions {
                     nonempty_exec: nonempty,
                     ..Default::default()
-                },
-                heuristic_fallback: false,
-                minimize_transfers: false,
-                incremental,
-                share,
-                ..Default::default()
-            };
+                })
+                .heuristic_fallback(false)
+                .minimize_transfers(false)
+                .incremental(incremental)
+                .share(share)
+                .build();
             let t0 = Instant::now();
-            let _ = solve(&problem, &options);
+            let _ = engine.solve(&problem, &options);
             times.push(t0.elapsed());
         }
         (code_name, layout, times)

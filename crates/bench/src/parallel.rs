@@ -11,7 +11,7 @@
 //!   instance-time balance bound.
 //! * **portfolio** — each instance solved by the single default solver
 //!   versus `K` diversified workers racing every round, first definitive
-//!   answer wins ([`nasp_core::solve`] with `portfolio = K`); measured
+//!   answer wins ([`nasp_core::solve()`] with `portfolio = K`); measured
 //!   twice, once blind (share off, the PR4 configuration) and once with
 //!   the lock-free learnt-clause exchange on (DESIGN.md §9), with the
 //!   validator enforcing that both groups report identical per-layout

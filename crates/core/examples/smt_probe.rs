@@ -31,10 +31,9 @@ fn main() {
         ] {
             let p = Problem::new(ArchConfig::paper(layout), &circ);
             let t0 = Instant::now();
-            let opts = SolveOptions {
-                time_budget: Duration::from_secs(budget),
-                ..Default::default()
-            };
+            let opts = SolveOptions::builder()
+                .time_budget(Duration::from_secs(budget))
+                .build();
             let r = solve(&p, &opts);
             let s = r.schedule.as_ref().expect("schedule always produced");
             let ok = validate_schedule(s, &p.gates).is_empty();

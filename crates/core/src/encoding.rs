@@ -34,7 +34,7 @@ use crate::problem::Problem;
 
 /// Encoding options (strengthenings, symmetry breaking, and the
 /// configuration of the SAT solver beneath the compiled instance).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EncodeOptions {
     /// Assert that the first and last stages are execution stages. Safe for
     /// minimality: initial placement is free, so a leading transfer stage

@@ -1,0 +1,401 @@
+//! The reusable scheduling engine: warm solver state that outlives a
+//! single `solve` call.
+//!
+//! [`solve()`](crate::solve::solve) is a run-to-completion free function:
+//! every call rebuilds its [`IncrementalEncoding`] from scratch, pays the
+//! cold-start cost, and drops the warm learnt clauses on return. That is
+//! the right shape for a batch experiment, and exactly the wrong shape for
+//! a service answering a stream of schedule queries about the *same*
+//! `(code, layout)` family.
+//!
+//! [`Engine`] / [`Session`] split the free function into a handle:
+//!
+//! * an [`Engine`] creates sessions (and is the natural place for future
+//!   engine-wide state: clause exchanges, shared budgets, telemetry);
+//! * a [`Session`] owns one [`Problem`] plus everything `solve()` used to
+//!   rebuild per call — the warm [`IncrementalEncoding`] (learnt clauses,
+//!   variable activities, saved phases) and the [`SolveReport`] history.
+//!   Repeat [`Session::run`] calls on the incremental single-solver path
+//!   start from the retained solver state, so a query the session has
+//!   effectively answered before costs a handful of propagations instead
+//!   of a full search: proven-UNSAT rounds are re-refuted by their
+//!   retained assumption-conflict clauses and SAT rounds replay their
+//!   saved phases (DESIGN.md §7, §10).
+//!
+//! `solve(problem, options)` is kept as a thin compatibility shim over
+//! `Engine::new().session(problem.clone()).run(options)` — a fresh
+//! session per call reports bit-identical results to the old code path.
+//!
+//! Per-run accounting: the underlying solver counters are cumulative over
+//! an encoding's lifetime, so a warm session snapshots them after every
+//! run and reports only the delta — each [`SolveReport`] describes the
+//! effort of *its* run, not the session's lifetime total (the invariant
+//! the warm-reuse acceptance test pins: a warm rerun reports *fewer*
+//! conflicts than the cold run, not more).
+//!
+//! # Example
+//!
+//! ```
+//! use nasp_core::{Engine, Problem, SolveOptions};
+//! use nasp_arch::{ArchConfig, Layout};
+//!
+//! let problem = Problem::from_gates(
+//!     ArchConfig::paper(Layout::BottomStorage),
+//!     3,
+//!     vec![(0, 1), (1, 2)],
+//! );
+//! let engine = Engine::new();
+//! let mut session = engine.session(problem);
+//! let cold = session.run(&SolveOptions::default());
+//! let warm = session.run(&SolveOptions::default());
+//! // Identical verdicts, and the warm rerun rides the retained clauses.
+//! assert_eq!(cold.provenance, warm.provenance);
+//! assert_eq!(cold.proven_lb, warm.proven_lb);
+//! assert!(warm.sat_conflicts <= cold.sat_conflicts);
+//! assert_eq!(session.runs(), 2);
+//! ```
+
+use std::time::Instant;
+
+use nasp_arch::Schedule;
+use nasp_smt::{SolveResult, Stats};
+
+use crate::encoding::{EncodeOptions, IncrementalEncoding};
+use crate::problem::Problem;
+use crate::solve::{
+    solve_scratch, tighten_transfers_incremental, Provenance, SearchState, SolveOptions,
+    SolveReport, INCREMENTAL_HEADROOM,
+};
+
+/// Factory for warm scheduling sessions.
+///
+/// Stateless today; the type exists so callers hold a handle rather than a
+/// free function, and so engine-wide resources (shared clause exchanges,
+/// admission budgets, telemetry sinks) have a home when they arrive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new() -> Self {
+        Engine
+    }
+
+    /// Opens a warm session for `problem`. The session owns the problem
+    /// and retains solver state across [`Session::run`] calls.
+    pub fn session(&self, problem: Problem) -> Session {
+        Session {
+            problem,
+            warm: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// One-shot convenience: `session(problem).run(options)` without
+    /// keeping the session. Exactly the semantics of
+    /// [`solve()`](crate::solve::solve), which is implemented on top of
+    /// this.
+    pub fn solve(&self, problem: &Problem, options: &SolveOptions) -> SolveReport {
+        self.session(problem.clone()).run(options)
+    }
+}
+
+/// The warm state a session retains between runs for the incremental
+/// single-solver path.
+struct WarmEncoding {
+    enc: IncrementalEncoding,
+    /// Encode options the encoding was built with; a run with different
+    /// options rebuilds (learnt clauses under other strengthenings are
+    /// not transferable in general).
+    encode: EncodeOptions,
+    /// Cumulative solver stats already attributed to earlier runs; the
+    /// next run reports `enc.stats() - reported`.
+    reported: Stats,
+}
+
+/// A long-lived scheduling session: one [`Problem`], its warm incremental
+/// encoding, and the history of reports it has produced.
+///
+/// Created by [`Engine::session`]. See the [module docs](self) for the
+/// reuse semantics; [`Session::run`] documents which option combinations
+/// keep the solver warm.
+pub struct Session {
+    problem: Problem,
+    warm: Option<WarmEncoding>,
+    history: Vec<SolveReport>,
+}
+
+impl Session {
+    /// The problem this session schedules.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Reports of every run so far, oldest first.
+    pub fn history(&self) -> &[SolveReport] {
+        &self.history
+    }
+
+    /// Number of completed runs.
+    pub fn runs(&self) -> usize {
+        self.history.len()
+    }
+
+    /// `true` once a warm incremental encoding is retained — the next
+    /// compatible [`run`](Session::run) starts from its learnt clauses.
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Runs one search with `options`, exactly the semantics of
+    /// [`solve()`](crate::solve::solve), and appends the report to
+    /// [`history`](Session::history).
+    ///
+    /// Warm reuse applies to the default path (`incremental = true`,
+    /// `portfolio = 1`): the session keeps one [`IncrementalEncoding`]
+    /// across runs and rebuilds only when the encode options change or
+    /// the sweep outgrows the retained stage cap. The scratch and
+    /// portfolio paths build their own encodings per call (the portfolio
+    /// keeps workers warm *within* a call, DESIGN.md §8) and leave the
+    /// session's warm state untouched.
+    pub fn run(&mut self, options: &SolveOptions) -> SolveReport {
+        let start = Instant::now();
+        let deadline = start + options.time_budget;
+
+        let report = if self.problem.gates.is_empty() {
+            let state = SearchState::new(start, deadline, 0);
+            state.report(
+                Some(Schedule {
+                    config: self.problem.config.clone(),
+                    num_qubits: self.problem.num_qubits,
+                    stages: Vec::new(),
+                }),
+                Provenance::Optimal,
+            )
+        } else if options.portfolio > 1 {
+            crate::portfolio::solve_portfolio(&self.problem, options, start, deadline)
+        } else if options.incremental {
+            self.run_incremental(options, start, deadline)
+        } else {
+            solve_scratch(&self.problem, options, start, deadline)
+        };
+        self.history.push(report.clone());
+        report
+    }
+
+    /// The incremental sweep over the session's retained encoding: one
+    /// warm solver, assumption-guarded activation of each stage count and
+    /// transfer cap, per-run stat deltas.
+    fn run_incremental(
+        &mut self,
+        options: &SolveOptions,
+        start: Instant,
+        deadline: Instant,
+    ) -> SolveReport {
+        let problem = &self.problem;
+        let warm_slot = &mut self.warm;
+
+        let lb = problem.stage_lower_bound().max(1);
+        let mut state = SearchState::new(start, deadline, lb);
+        if lb > options.max_stages {
+            return state.fallback(problem, options.heuristic_fallback);
+        }
+
+        // Reuse the retained encoding when its strengthenings match;
+        // otherwise (first run, or changed encode options) build cold.
+        // The stage cap starts with modest headroom above the lower bound
+        // and rebuilds — a rare cold start — only if the sweep outgrows
+        // it (see `INCREMENTAL_HEADROOM`).
+        let reusable = matches!(warm_slot, Some(w) if w.encode == options.encode);
+        if !reusable {
+            let cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
+            *warm_slot = Some(WarmEncoding {
+                enc: IncrementalEncoding::build(problem, cap, options.encode),
+                encode: options.encode,
+                reported: Stats::default(),
+            });
+        }
+        let warm = warm_slot.as_mut().expect("warm encoding just ensured");
+
+        for s in lb..=options.max_stages {
+            if Instant::now() >= deadline {
+                break;
+            }
+            if s > warm.enc.max_stages() {
+                state.counters.absorb(
+                    stats_delta(warm.enc.stats(), warm.reported),
+                    warm.enc.clause_db_bytes(),
+                );
+                let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
+                warm.enc = IncrementalEncoding::build(problem, cap, options.encode);
+                warm.reported = Stats::default();
+            }
+            let result = warm.enc.solve_at(s, state.budget());
+            state.record(s, result);
+            if result == SolveResult::Sat {
+                let mut schedule = warm.enc.decode();
+                if options.minimize_transfers {
+                    schedule = tighten_transfers_incremental(&mut warm.enc, s, deadline, schedule);
+                }
+                let provenance = state.sat_provenance();
+                let stats = warm.enc.stats();
+                state.counters.absorb(
+                    stats_delta(stats, warm.reported),
+                    warm.enc.clause_db_bytes(),
+                );
+                warm.reported = stats;
+                return state.report(Some(schedule), provenance);
+            }
+        }
+        let stats = warm.enc.stats();
+        state.counters.absorb(
+            stats_delta(stats, warm.reported),
+            warm.enc.clause_db_bytes(),
+        );
+        warm.reported = stats;
+        state.fallback(problem, options.heuristic_fallback)
+    }
+}
+
+/// This run's share of cumulative solver stats: monotone counters
+/// subtract the previously reported totals; instantaneous gauges (live
+/// learnt clauses, post-reduction snapshots) report their current value.
+fn stats_delta(cur: Stats, prev: Stats) -> Stats {
+    Stats {
+        conflicts: cur.conflicts.saturating_sub(prev.conflicts),
+        decisions: cur.decisions.saturating_sub(prev.decisions),
+        propagations: cur.propagations.saturating_sub(prev.propagations),
+        restarts: cur.restarts.saturating_sub(prev.restarts),
+        learnt_clauses: cur.learnt_clauses,
+        deleted_clauses: cur.deleted_clauses.saturating_sub(prev.deleted_clauses),
+        exported: cur.exported.saturating_sub(prev.exported),
+        imported: cur.imported.saturating_sub(prev.imported),
+        import_hits: cur.import_hits.saturating_sub(prev.import_hits),
+        simplified_clauses: cur
+            .simplified_clauses
+            .saturating_sub(prev.simplified_clauses),
+        learnt_after_reduce: cur.learnt_after_reduce,
+        arena_bytes_after_reduce: cur.arena_bytes_after_reduce,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasp_arch::{validate_schedule, ArchConfig, Layout};
+    use std::time::Duration;
+
+    fn fig2_problem() -> Problem {
+        Problem::from_gates(
+            ArchConfig::paper(Layout::BottomStorage),
+            3,
+            vec![(0, 1), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn session_matches_solve_shim() {
+        let p = fig2_problem();
+        let via_fn = crate::solve::solve(&p, &SolveOptions::default());
+        let mut session = Engine::new().session(p.clone());
+        let via_session = session.run(&SolveOptions::default());
+        assert_eq!(via_fn.provenance, via_session.provenance);
+        assert_eq!(via_fn.proven_lb, via_session.proven_lb);
+        assert_eq!(via_fn.log, via_session.log);
+        let sf = via_fn.schedule.expect("schedule");
+        let ss = via_session.schedule.expect("schedule");
+        assert_eq!(sf.stages.len(), ss.stages.len());
+        assert_eq!(sf.num_transfer(), ss.num_transfer());
+    }
+
+    #[test]
+    fn warm_rerun_reports_fewer_conflicts() {
+        // The acceptance criterion: a repeat query against a warm session
+        // reports fewer conflicts than the cold solve of the same request.
+        let code = nasp_qec::catalog::perfect5();
+        let circuit = nasp_qec::graph_state::synthesize(&code.zero_state_stabilizers())
+            .expect("synthesizable");
+        let p = Problem::new(ArchConfig::paper(Layout::BottomStorage), &circuit);
+        let mut session = Engine::new().session(p.clone());
+        let opts = SolveOptions::builder()
+            .time_budget(Duration::from_secs(30))
+            .build();
+        let cold = session.run(&opts);
+        assert!(session.is_warm());
+        let warm = session.run(&opts);
+        assert_eq!(cold.provenance, warm.provenance);
+        assert_eq!(cold.proven_lb, warm.proven_lb);
+        assert!(cold.sat_conflicts > 0, "cold run must do real work");
+        assert!(
+            warm.sat_conflicts < cold.sat_conflicts,
+            "warm rerun must ride retained clauses: cold {} vs warm {}",
+            cold.sat_conflicts,
+            warm.sat_conflicts
+        );
+        let s = warm.schedule.expect("schedule");
+        assert!(validate_schedule(&s, &p.gates).is_empty());
+    }
+
+    #[test]
+    fn history_accumulates_per_run_reports() {
+        let p = fig2_problem();
+        let mut session = Engine::new().session(p);
+        assert_eq!(session.runs(), 0);
+        assert!(!session.is_warm());
+        let first = session.run(&SolveOptions::default());
+        let second = session.run(&SolveOptions::default());
+        assert_eq!(session.runs(), 2);
+        assert_eq!(session.history()[0].proven_lb, first.proven_lb);
+        assert_eq!(session.history()[1].proven_lb, second.proven_lb);
+        // Per-run deltas: the sum of per-run conflicts stays sane (the
+        // second report must not re-bill the first run's effort).
+        assert!(second.sat_conflicts <= first.sat_conflicts);
+    }
+
+    #[test]
+    fn changed_encode_options_rebuild_soundly() {
+        let p = fig2_problem();
+        let mut session = Engine::new().session(p.clone());
+        let defaults = SolveOptions::default();
+        let relaxed = SolveOptions::builder()
+            .encode(EncodeOptions {
+                nonempty_exec: false,
+                ..EncodeOptions::default()
+            })
+            .build();
+        let a = session.run(&defaults);
+        let b = session.run(&relaxed);
+        let c = session.run(&defaults);
+        // All three agree on the minimum (the strengthening is
+        // minimality-preserving); the middle run forced a rebuild.
+        let (sa, sb, sc) = (
+            a.schedule.expect("a").stages.len(),
+            b.schedule.expect("b").stages.len(),
+            c.schedule.expect("c").stages.len(),
+        );
+        assert_eq!(sa, sb);
+        assert_eq!(sb, sc);
+    }
+
+    #[test]
+    fn empty_problem_session_is_trivial() {
+        let p = Problem::from_gates(ArchConfig::paper(Layout::NoShielding), 3, vec![]);
+        let mut session = Engine::new().session(p);
+        let r = session.run(&SolveOptions::default());
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule.expect("schedule").stages.len(), 0);
+        assert!(!session.is_warm(), "no encoding needed for no gates");
+    }
+
+    #[test]
+    fn scratch_and_portfolio_leave_warm_state_alone() {
+        let p = fig2_problem();
+        let mut session = Engine::new().session(p);
+        session.run(&SolveOptions::default());
+        assert!(session.is_warm());
+        let scratch = SolveOptions::builder().incremental(false).build();
+        let r = session.run(&scratch);
+        assert!(r.schedule.is_some());
+        assert!(session.is_warm(), "scratch run must not drop warm state");
+    }
+}

@@ -9,9 +9,12 @@
 //! * [`Encoding`] — the symbolic formulation (V1–V3, C1–C6) compiled onto
 //!   the finite-domain SMT layer; [`IncrementalEncoding`] is its
 //!   assumption-guarded variant reused across a whole search,
+//! * [`Engine`] / [`Session`] — the reusable engine handle: a session
+//!   owns a problem, its warm incremental encoding and its report
+//!   history, so repeat queries start from retained learnt clauses,
 //! * [`solve()`](solve::solve) — iterative deepening on the stage count (the paper's
-//!   objective), with resource budgets and provenance reporting; by
-//!   default one warm solver serves the whole sweep,
+//!   objective), with resource budgets and provenance reporting; a thin
+//!   one-shot shim over [`Engine`],
 //! * [`heuristic`] — a valid fallback scheduler for budget-exhausted
 //!   instances (the paper's `*` cases ran Z3 for up to 320 h instead).
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod encoding;
+pub mod engine;
 pub mod heuristic;
 mod portfolio;
 pub mod problem;
@@ -40,9 +44,10 @@ pub mod report;
 pub mod solve;
 
 pub use encoding::{EncodeOptions, Encoding, IncrementalEncoding};
+pub use engine::{Engine, Session};
 pub use problem::Problem;
 pub use report::{
     run_experiment, run_table1, table1_instances, ExperimentOptions, ExperimentResult,
     TABLE1_LAYOUTS,
 };
-pub use solve::{solve, Provenance, SolveOptions, SolveReport};
+pub use solve::{solve, Provenance, SolveOptions, SolveOptionsBuilder, SolveReport};

@@ -12,7 +12,8 @@ use nasp_qec::{graph_state, StabilizerCode, StatePrepCircuit};
 use nasp_sim::{check_state, run_layers};
 use serde::{Deserialize, Serialize};
 
-use crate::solve::{solve, Provenance, SolveOptions};
+use crate::engine::Engine;
+use crate::solve::{Provenance, SolveOptions};
 use crate::Problem;
 
 /// One cell of Table I: a `(code, layout)` experiment result.
@@ -150,14 +151,16 @@ pub fn run_experiment_with_circuit(
     options: &ExperimentOptions,
 ) -> ExperimentResult {
     let config = ArchConfig::paper(layout);
-    let problem = Problem::new(config, circuit);
-    let solver_options = SolveOptions {
-        time_budget: options.budget_per_instance,
-        ..options.solver
-    };
+    let solver_options = options
+        .solver
+        .into_builder()
+        .time_budget(options.budget_per_instance)
+        .build();
+    let mut session = Engine::new().session(Problem::new(config, circuit));
     let start = Instant::now();
-    let report = solve(&problem, &solver_options);
+    let report = session.run(&solver_options);
     let solve_time = start.elapsed();
+    let problem = session.problem();
     let schedule = report
         .schedule
         .expect("either SMT or the heuristic must produce a schedule");

@@ -13,7 +13,9 @@
 //!   per problem and walks `S = lb, lb+1, …` (and afterwards the transfer
 //!   tightening) as a sequence of assumption-guarded `solve` calls on one
 //!   warm solver — learnt clauses, activities and phases carry over, so
-//!   proving UNSAT at `S` accelerates `S + 1` (DESIGN.md §7);
+//!   proving UNSAT at `S` accelerates `S + 1` (DESIGN.md §7). The loop
+//!   lives on [`crate::Session`], whose warm encoding outlives single
+//!   runs; [`solve()`] wraps it in a one-shot session;
 //! * the **scratch** path ([`SolveOptions::incremental`]` = false`)
 //!   rebuilds an [`Encoding`] per explored `S`, reproducing the paper's
 //!   literal procedure for A/B comparison (`--scratch` in the bench bins).
@@ -82,6 +84,106 @@ impl Default for SolveOptions {
             seed: 0x5EED,
             share: true,
         }
+    }
+}
+
+impl SolveOptions {
+    /// Starts a builder from the defaults. Prefer this over struct-literal
+    /// updates (`SolveOptions { .., ..Default::default() }`) — builder
+    /// call sites keep compiling when the options struct grows a field.
+    pub fn builder() -> SolveOptionsBuilder {
+        SolveOptionsBuilder {
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Reopens these options as a builder, for deriving a variant without
+    /// a struct-literal update.
+    pub fn into_builder(self) -> SolveOptionsBuilder {
+        SolveOptionsBuilder { options: self }
+    }
+}
+
+/// Builder for [`SolveOptions`]: defaults plus the fields you set.
+///
+/// ```
+/// use nasp_core::SolveOptions;
+/// use std::time::Duration;
+///
+/// let opts = SolveOptions::builder()
+///     .time_budget(Duration::from_secs(30))
+///     .incremental(false)
+///     .build();
+/// assert_eq!(opts.time_budget, Duration::from_secs(30));
+/// assert!(!opts.incremental);
+/// assert!(opts.minimize_transfers, "untouched fields keep their default");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptionsBuilder {
+    options: SolveOptions,
+}
+
+impl SolveOptionsBuilder {
+    /// Total wall-clock budget for the whole search.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.options.time_budget = budget;
+        self
+    }
+
+    /// Hard cap on the stage count explored.
+    pub fn max_stages(mut self, max_stages: usize) -> Self {
+        self.options.max_stages = max_stages;
+        self
+    }
+
+    /// Encoding options (strengthenings / symmetry breaking / solver
+    /// configuration).
+    pub fn encode(mut self, encode: EncodeOptions) -> Self {
+        self.options.encode = encode;
+        self
+    }
+
+    /// Fall back to the heuristic scheduler on budget exhaustion.
+    pub fn heuristic_fallback(mut self, enabled: bool) -> Self {
+        self.options.heuristic_fallback = enabled;
+        self
+    }
+
+    /// Additionally minimize the number of transfer stages after fixing
+    /// the minimal stage count.
+    pub fn minimize_transfers(mut self, enabled: bool) -> Self {
+        self.options.minimize_transfers = enabled;
+        self
+    }
+
+    /// Use the incremental assumption-guarded search (`false` = the
+    /// paper's literal scratch-per-`S` procedure).
+    pub fn incremental(mut self, enabled: bool) -> Self {
+        self.options.incremental = enabled;
+        self
+    }
+
+    /// Number of diversified solver workers racing each round.
+    pub fn portfolio(mut self, workers: usize) -> Self {
+        self.options.portfolio = workers;
+        self
+    }
+
+    /// Base seed for portfolio diversification.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Learnt-clause sharing between portfolio workers.
+    pub fn share(mut self, enabled: bool) -> Self {
+        self.options.share = enabled;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SolveOptions {
+        self.options
     }
 }
 
@@ -248,7 +350,7 @@ impl SearchState {
         }
     }
 
-    fn budget(&self) -> Budget {
+    pub(crate) fn budget(&self) -> Budget {
         Budget {
             deadline: Some(self.deadline),
             ..Budget::default()
@@ -319,29 +421,15 @@ impl SearchState {
 /// Explores `S = lower_bound, lower_bound + 1, …` until SAT, the stage cap,
 /// or the time budget. On budget exhaustion the heuristic scheduler (if
 /// enabled) provides a valid fallback schedule.
+///
+/// This is a thin compatibility shim over the reusable engine handle: it
+/// opens a one-shot [`crate::Engine`] session and runs it once, paying the
+/// cold start the session API exists to amortize. Callers answering many
+/// queries about the same problem family should hold a
+/// [`crate::Session`] instead and let repeat runs start from the retained
+/// learnt clauses (DESIGN.md §10).
 pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
-    let start = Instant::now();
-    let deadline = start + options.time_budget;
-
-    if problem.gates.is_empty() {
-        let state = SearchState::new(start, deadline, 0);
-        return state.report(
-            Some(Schedule {
-                config: problem.config.clone(),
-                num_qubits: problem.num_qubits,
-                stages: Vec::new(),
-            }),
-            Provenance::Optimal,
-        );
-    }
-
-    if options.portfolio > 1 {
-        crate::portfolio::solve_portfolio(problem, options, start, deadline)
-    } else if options.incremental {
-        solve_incremental(problem, options, start, deadline)
-    } else {
-        solve_scratch(problem, options, start, deadline)
-    }
+    crate::engine::Engine::new().solve(problem, options)
 }
 
 /// Stage-cap headroom above the lower bound for the incremental encoding;
@@ -351,52 +439,10 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
 /// ladder, a cost paid on every propagation touching it).
 pub(crate) const INCREMENTAL_HEADROOM: usize = 2;
 
-/// The incremental sweep: one encoding, one warm solver, assumption-guarded
-/// activation of each stage count and transfer cap.
-fn solve_incremental(
-    problem: &Problem,
-    options: &SolveOptions,
-    start: Instant,
-    deadline: Instant,
-) -> SolveReport {
-    let lb = problem.stage_lower_bound().max(1);
-    let mut state = SearchState::new(start, deadline, lb);
-    if lb > options.max_stages {
-        return state.fallback(problem, options.heuristic_fallback);
-    }
-    // The stage cap fixes the gate-variable domains, and over-sized domains
-    // mean longer order-encoding ladders on every hot path — so start with
-    // modest headroom above the combinatorial lower bound and rebuild (a
-    // rare cold start) only if the sweep outgrows it.
-    let mut cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
-    let mut enc = IncrementalEncoding::build(problem, cap, options.encode);
-    for s in lb..=options.max_stages {
-        if Instant::now() >= deadline {
-            break;
-        }
-        if s > enc.max_stages() {
-            state.counters.absorb(enc.stats(), enc.clause_db_bytes());
-            cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
-            enc = IncrementalEncoding::build(problem, cap, options.encode);
-        }
-        let result = enc.solve_at(s, state.budget());
-        state.record(s, result);
-        if result == SolveResult::Sat {
-            let mut schedule = enc.decode();
-            if options.minimize_transfers {
-                schedule = tighten_transfers_incremental(&mut enc, s, deadline, schedule);
-            }
-            let provenance = state.sat_provenance();
-            state.counters.absorb(enc.stats(), enc.clause_db_bytes());
-            return state.report(Some(schedule), provenance);
-        }
-    }
-    state.counters.absorb(enc.stats(), enc.clause_db_bytes());
-    state.fallback(problem, options.heuristic_fallback)
-}
-
 /// The paper's literal procedure: a cold encoding per explored stage count.
-fn solve_scratch(
+/// (The incremental counterpart lives on [`crate::Session`], which owns
+/// the warm encoding it sweeps.)
+pub(crate) fn solve_scratch(
     problem: &Problem,
     options: &SolveOptions,
     start: Instant,
@@ -434,7 +480,7 @@ fn solve_scratch(
 /// Within the remaining budget, searches for schedules with the same stage
 /// count but fewer transfer stages, as assumption-guarded cardinality
 /// bounds on the warm solver. Keeps the best schedule found.
-fn tighten_transfers_incremental(
+pub(crate) fn tighten_transfers_incremental(
     enc: &mut IncrementalEncoding,
     s: usize,
     deadline: Instant,
@@ -529,13 +575,7 @@ mod tests {
             vec![(0, 1), (1, 2)],
         );
         let inc = solve(&p, &SolveOptions::default());
-        let scr = solve(
-            &p,
-            &SolveOptions {
-                incremental: false,
-                ..SolveOptions::default()
-            },
-        );
+        let scr = solve(&p, &SolveOptions::builder().incremental(false).build());
         assert_eq!(inc.provenance, scr.provenance);
         assert_eq!(inc.proven_lb, scr.proven_lb);
         let si = inc.schedule.expect("incremental schedule");
@@ -557,10 +597,7 @@ mod tests {
         );
         let base = solve(
             &p,
-            &SolveOptions {
-                minimize_transfers: false,
-                ..SolveOptions::default()
-            },
+            &SolveOptions::builder().minimize_transfers(false).build(),
         );
         let tight = solve(&p, &SolveOptions::default());
         let sb = base.schedule.expect("base schedule");
@@ -605,10 +642,9 @@ mod tests {
         let p = Problem::new(ArchConfig::paper(Layout::BottomStorage), &circuit);
         let r = solve(
             &p,
-            &SolveOptions {
-                time_budget: Duration::from_secs(30),
-                ..SolveOptions::default()
-            },
+            &SolveOptions::builder()
+                .time_budget(Duration::from_secs(30))
+                .build(),
         );
         let s = r.schedule.expect("schedule");
         assert!(validate_schedule(&s, &p.gates).is_empty());
@@ -628,10 +664,7 @@ mod tests {
             4,
             vec![(0, 1), (1, 2), (2, 3)],
         );
-        let opts = SolveOptions {
-            time_budget: Duration::ZERO,
-            ..SolveOptions::default()
-        };
+        let opts = SolveOptions::builder().time_budget(Duration::ZERO).build();
         let r = solve(&p, &opts);
         assert_eq!(r.provenance, Provenance::Heuristic);
         // Nothing beyond the degree bound was proved within a zero budget.

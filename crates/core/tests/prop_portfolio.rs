@@ -25,11 +25,10 @@ fn layout_of(idx: usize) -> Layout {
 }
 
 fn solve_with_workers(problem: &Problem, portfolio: usize) -> SolveReport {
-    let options = SolveOptions {
-        time_budget: Duration::from_secs(30),
-        portfolio,
-        ..SolveOptions::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .portfolio(portfolio)
+        .build();
     solve(problem, &options)
 }
 
@@ -118,12 +117,11 @@ fn scratch_portfolio_agrees_on_fig2() {
         vec![(0, 1), (1, 2)],
     );
     let single = solve_with_workers(&problem, 1);
-    let options = SolveOptions {
-        time_budget: Duration::from_secs(30),
-        portfolio: WORKERS,
-        incremental: false,
-        ..SolveOptions::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .portfolio(WORKERS)
+        .incremental(false)
+        .build();
     let port = solve(&problem, &options);
     assert_agrees(&problem, &single, &port, "scratch-portfolio");
 }
@@ -138,11 +136,10 @@ fn portfolio_budget_exhaustion_falls_back() {
         4,
         vec![(0, 1), (1, 2), (2, 3)],
     );
-    let options = SolveOptions {
-        time_budget: Duration::ZERO,
-        portfolio: WORKERS,
-        ..SolveOptions::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::ZERO)
+        .portfolio(WORKERS)
+        .build();
     let port = solve(&problem, &options);
     assert_eq!(port.provenance, nasp_core::Provenance::Heuristic);
     assert_eq!(port.worker_wins.iter().sum::<u64>(), 0, "no rounds ran");

@@ -28,13 +28,12 @@ fn layout_of(idx: usize) -> Layout {
 }
 
 fn solve_sharing(problem: &Problem, portfolio: usize, incremental: bool) -> SolveReport {
-    let options = SolveOptions {
-        time_budget: Duration::from_secs(30),
-        portfolio,
-        incremental,
-        share: true,
-        ..SolveOptions::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .portfolio(portfolio)
+        .incremental(incremental)
+        .share(true)
+        .build();
     solve(problem, &options)
 }
 
@@ -154,12 +153,11 @@ fn share_on_and_off_report_identical_minima() {
     let on = solve_sharing(&problem, WORKERS, true);
     let off = solve(
         &problem,
-        &SolveOptions {
-            time_budget: Duration::from_secs(30),
-            portfolio: WORKERS,
-            share: false,
-            ..SolveOptions::default()
-        },
+        &SolveOptions::builder()
+            .time_budget(Duration::from_secs(30))
+            .portfolio(WORKERS)
+            .share(false)
+            .build(),
     );
     let son = on.schedule.expect("share-on schedule");
     let soff = off.schedule.expect("share-off schedule");
@@ -181,12 +179,11 @@ fn sharing_portfolio_budget_exhaustion_falls_back() {
         4,
         vec![(0, 1), (1, 2), (2, 3)],
     );
-    let options = SolveOptions {
-        time_budget: Duration::ZERO,
-        portfolio: WORKERS,
-        share: true,
-        ..SolveOptions::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::ZERO)
+        .portfolio(WORKERS)
+        .share(true)
+        .build();
     let port = solve(&problem, &options);
     assert_eq!(port.provenance, nasp_core::Provenance::Heuristic);
     assert_eq!(port.worker_wins.iter().sum::<u64>(), 0, "no rounds ran");

@@ -21,11 +21,10 @@ fn layout_of(idx: usize) -> Layout {
 fn solve_with_backend(problem: &Problem, incremental: bool) -> SolveReport {
     // Generous budget: these instances solve in milliseconds, and an
     // Unknown on one path only would trivially fail the agreement check.
-    let options = SolveOptions {
-        time_budget: Duration::from_secs(30),
-        incremental,
-        ..SolveOptions::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .incremental(incremental)
+        .build();
     solve(problem, &options)
 }
 

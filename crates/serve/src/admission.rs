@@ -1,0 +1,135 @@
+//! FIFO admission queue for solver work.
+//!
+//! A plain semaphore admits waiters in wake-up order, which under load
+//! lets a hot key starve earlier arrivals. This gate hands out monotone
+//! tickets and admits strictly in ticket order, so solver capacity is
+//! granted first-come-first-served regardless of condvar wake-up
+//! scheduling. Cache hits and coalesced followers never pass through
+//! here — only distinct cache misses pay for a seat.
+
+use std::sync::{Condvar, Mutex};
+
+struct Inner {
+    /// Next ticket to hand out.
+    next_ticket: u64,
+    /// Ticket allowed to take the next free seat.
+    next_to_admit: u64,
+    /// Seats currently occupied.
+    active: usize,
+}
+
+/// Counting semaphore with strict FIFO admission order.
+pub struct Admission {
+    permits: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// Creates a gate with `permits` concurrent seats (clamped to ≥ 1).
+    pub fn new(permits: usize) -> Self {
+        Admission {
+            permits: permits.max(1),
+            inner: Mutex::new(Inner {
+                next_ticket: 0,
+                next_to_admit: 0,
+                active: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of concurrent seats.
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// Blocks until admitted; the returned guard releases the seat on
+    /// drop.
+    pub fn acquire(&self) -> AdmissionGuard<'_> {
+        let mut inner = self.inner.lock().unwrap();
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        while !(inner.next_to_admit == ticket && inner.active < self.permits) {
+            inner = self.cv.wait(inner).unwrap();
+        }
+        inner.next_to_admit += 1;
+        inner.active += 1;
+        drop(inner);
+        // Wake the next ticket holder — it may be admissible immediately
+        // if seats remain.
+        self.cv.notify_all();
+        AdmissionGuard { gate: self }
+    }
+
+    /// Seats currently occupied (introspection aid).
+    pub fn active(&self) -> usize {
+        self.inner.lock().unwrap().active
+    }
+}
+
+/// Holds one admission seat; dropping it releases the seat.
+pub struct AdmissionGuard<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.gate.inner.lock().unwrap();
+        inner.active -= 1;
+        drop(inner);
+        self.gate.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn caps_concurrency_at_permit_count() {
+        let gate = Admission::new(2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let barrier = Barrier::new(6);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let _seat = gate.acquire();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "never more than 2 seats");
+        assert_eq!(gate.active(), 0, "all seats released");
+    }
+
+    #[test]
+    fn single_permit_serializes() {
+        let gate = Admission::new(1);
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let (gate, order) = (&gate, &order);
+                scope.spawn(move || {
+                    let _seat = gate.acquire();
+                    order.lock().unwrap().push(i);
+                });
+            }
+        });
+        assert_eq!(order.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn zero_permits_clamps_to_one() {
+        let gate = Admission::new(0);
+        assert_eq!(gate.permits(), 1);
+        let _seat = gate.acquire(); // must not deadlock
+    }
+}

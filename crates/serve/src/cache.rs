@@ -1,0 +1,227 @@
+//! Bounded LRU cache keyed by request fingerprint.
+//!
+//! O(1) `get` / `insert` via a `HashMap` into an intrusive doubly-linked
+//! list laid out over a slot vector — no per-entry allocation beyond the
+//! value itself, no external dependencies. The service wraps this in a
+//! mutex; the structure itself is single-threaded.
+
+use std::collections::HashMap;
+
+/// Sentinel for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: u128,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded least-recently-used map from fingerprint to value.
+pub struct LruCache<V> {
+    map: HashMap<u128, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries. A zero
+    /// capacity is clamped to one — a cache that cannot hold anything
+    /// would silently disable the service's dedup guarantees.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most recently used on a hit.
+    pub fn get(&mut self, key: u128) -> Option<&V> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry when
+    /// full. An existing entry for `key` is overwritten and promoted.
+    pub fn insert(&mut self, key: u128, value: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Evict the tail: reuse its slot for the new entry.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        } else if let Some(free) = self.free.pop() {
+            self.slots[free].key = key;
+            self.slots[free].value = value;
+            free
+        } else {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.link_front(i);
+        self.map.insert(key, i);
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&mut self, key: u128) -> bool {
+        let Some(i) = self.map.remove(&key) else {
+            return false;
+        };
+        self.unlink(i);
+        self.free.push(i);
+        true
+    }
+
+    /// Keys from most to least recently used (test/introspection aid).
+    pub fn keys_by_recency(&self) -> Vec<u128> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(self.slots[i].key);
+            i = self.slots[i].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = LruCache::new(4);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(2), Some(&"b"));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(1), Some(&10)); // promote 1; 2 becomes LRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.get(3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_promotes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // overwrite + promote; 2 is now LRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.keys_by_recency(), vec![3, 1]);
+        assert_eq!(c.get(1), Some(&11)); // promotes 1 again
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.keys_by_recency(), vec![1, 3]);
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        c.insert(3, 30);
+        c.insert(4, 40); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(3), Some(&30));
+        assert_eq!(c.get(4), Some(&40));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = LruCache::new(8);
+        for k in 0..1000u128 {
+            c.insert(k, k);
+            assert!(c.len() <= 8);
+        }
+        // The last 8 inserted keys survive, newest first.
+        assert_eq!(
+            c.keys_by_recency(),
+            (992..1000).rev().collect::<Vec<u128>>()
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Structural fingerprints for scheduling requests.
+//!
+//! Two requests that describe the same `(gates, architecture, options)`
+//! triple must map to the same cache line no matter how they were phrased
+//! — catalog name vs. explicit gate list, permuted gate order, swapped
+//! qubit pairs. The fingerprint therefore hashes a *canonical* byte
+//! rendering of the problem, not the request text:
+//!
+//! * gates are normalized to `(min, max)` pairs and sorted (duplicates
+//!   preserved — a repeated CZ is a different circuit);
+//! * every [`ArchConfig`] field is folded in, floats via their IEEE bit
+//!   patterns, so any geometric perturbation changes the digest;
+//! * only the *answer-relevant* solve options participate: the stage cap,
+//!   the transfer-minimization switch and the encoding strengthenings.
+//!   Budgets, portfolio width, seeds and the incremental/scratch switch
+//!   steer *how fast* the answer arrives, never *which* answer, so they
+//!   are deliberately excluded — a request re-phrased with a bigger
+//!   budget still hits the cache.
+//!
+//! The digest is 128-bit FNV-1a: collision-negligible for cache keys
+//! while staying dependency-free and byte-order stable.
+
+use nasp_arch::{ArchConfig, Layout};
+use nasp_core::SolveOptions;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// Incremental 128-bit FNV-1a hasher over canonical bytes.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u128,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher { state: FNV_OFFSET }
+    }
+}
+
+impl Hasher {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `i64` (little-endian) into the digest.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` via its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a `usize` (as `u64`) into the digest.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a boolean as a single tag byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write(&[u8::from(v)]);
+    }
+
+    /// Finishes the digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Canonicalizes a gate list: `(min, max)` per pair, sorted, duplicates
+/// preserved.
+pub fn canonical_gates(gates: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = gates
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn write_layout(h: &mut Hasher, layout: &Layout) {
+    match layout {
+        Layout::NoShielding => h.write(&[0]),
+        Layout::BottomStorage => h.write(&[1]),
+        Layout::DoubleSidedStorage => h.write(&[2]),
+        Layout::Custom { e_min, e_max } => {
+            h.write(&[3]);
+            h.write_i64(*e_min);
+            h.write_i64(*e_max);
+        }
+    }
+}
+
+fn write_structure(
+    h: &mut Hasher,
+    num_qubits: usize,
+    gates: &[(usize, usize)],
+    config: &ArchConfig,
+) {
+    h.write(b"nasp/problem/v1");
+    h.write_usize(num_qubits);
+    let canon = canonical_gates(gates);
+    h.write_usize(canon.len());
+    for (a, b) in canon {
+        h.write_usize(a);
+        h.write_usize(b);
+    }
+    h.write(b"arch");
+    h.write_i64(config.x_max);
+    h.write_i64(config.y_max);
+    h.write_i64(config.h_max);
+    h.write_i64(config.v_max);
+    h.write_i64(config.c_max);
+    h.write_i64(config.r_max);
+    h.write_i64(config.radius);
+    h.write_i64(config.e_min);
+    h.write_i64(config.e_max);
+    write_layout(h, &config.layout);
+    h.write_f64(config.offset_pitch_um);
+    h.write_f64(config.site_pitch_um);
+    h.write_f64(config.zone_gap_um);
+}
+
+/// Full request fingerprint: structure *and* answer-relevant options.
+/// This is the schedule-cache key.
+pub fn request_fingerprint(
+    num_qubits: usize,
+    gates: &[(usize, usize)],
+    config: &ArchConfig,
+    options: &SolveOptions,
+) -> u128 {
+    let mut h = Hasher::new();
+    write_structure(&mut h, num_qubits, gates, config);
+    h.write(b"opts");
+    h.write_usize(options.max_stages);
+    h.write_bool(options.minimize_transfers);
+    h.write_bool(options.encode.force_exec_boundary);
+    h.write_bool(options.encode.nonempty_exec);
+    h.finish()
+}
+
+/// Family fingerprint: structure only, options excluded. Requests in the
+/// same family share one warm [`nasp_core::Session`] — the encoding and
+/// its learnt clauses depend only on `(gates, architecture)`, so any
+/// option variant can soundly reuse them.
+pub fn family_fingerprint(
+    num_qubits: usize,
+    gates: &[(usize, usize)],
+    config: &ArchConfig,
+) -> u128 {
+    let mut h = Hasher::new();
+    write_structure(&mut h, num_qubits, gates, config);
+    h.finish()
+}
+
+/// Renders a fingerprint as fixed-width lowercase hex, the form the wire
+/// protocol reports.
+pub fn hex(fp: u128) -> String {
+    format!("{fp:032x}")
+}

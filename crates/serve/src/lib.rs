@@ -1,0 +1,34 @@
+//! `nasp-serve` — a long-lived scheduling service over the `nasp` engine.
+//!
+//! The bench binaries answer one-shot questions; this crate keeps the
+//! solver *resident* and answers a stream of scheduling requests (JSONL
+//! over stdin or TCP, std-only) with three layers of work avoidance:
+//!
+//! * a **structural fingerprint** ([`fingerprint`]) canonicalizes each
+//!   `(gates, architecture, options)` request, so re-phrasings of the
+//!   same instance share one cache line;
+//! * a bounded **LRU schedule cache** ([`cache`]) answers repeats with
+//!   zero solver work, and a **single-flight** group ([`singleflight`])
+//!   collapses concurrent identical misses into one solve;
+//! * distinct misses take a FIFO [admission] seat onto the
+//!   worker pool and run on a **warm per-family [`nasp_core::Session`]**
+//!   — the incremental encoding and learnt clauses for a `(gates,
+//!   architecture)` family persist across requests, so repeat business
+//!   hits a solver that already knows the instance.
+//!
+//! See DESIGN.md §10 for the architecture and the soundness argument,
+//! and the README's *serving* section for the wire format.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod fingerprint;
+pub mod protocol;
+pub mod server;
+pub mod singleflight;
+
+pub use cache::LruCache;
+pub use protocol::{CacheOutcome, Request, Response};
+pub use server::{ServeConfig, ServeStats, Server};
+pub use singleflight::{Role, SingleFlight};

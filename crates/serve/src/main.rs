@@ -1,0 +1,99 @@
+//! `nasp-serve` binary: JSONL scheduling service over stdin or TCP.
+//!
+//! ```text
+//! nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
+//! nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
+//! ```
+//!
+//! `--stdin` reads one JSON request per line until EOF and writes one
+//! JSON response per line, in input order. `--tcp ADDR` (e.g.
+//! `127.0.0.1:7878`) accepts connections forever, one JSONL dialogue
+//! each. Exactly one mode must be chosen. Unknown flags are rejected —
+//! a typo must not silently fall back to defaults.
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nasp_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
+         \x20      nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]"
+    );
+    exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("nasp-serve: {flag} needs a value");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("nasp-serve: bad value `{raw}` for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut stdin_mode = false;
+    let mut tcp_addr: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => stdin_mode = true,
+            "--tcp" => tcp_addr = Some(parse_value("--tcp", args.next())),
+            "--jobs" => config.jobs = parse_value("--jobs", args.next()),
+            "--cache" => config.cache_capacity = parse_value("--cache", args.next()),
+            "--sessions" => config.session_capacity = parse_value("--sessions", args.next()),
+            "--batch" => config.batch = parse_value("--batch", args.next()),
+            "--budget-ms" => {
+                config.default_budget =
+                    Duration::from_millis(parse_value("--budget-ms", args.next()))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("nasp-serve: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    match (stdin_mode, tcp_addr) {
+        (true, None) => {
+            let server = Server::new(config);
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            if let Err(e) = server.serve_lines(stdin.lock(), &mut stdout) {
+                eprintln!("nasp-serve: I/O error: {e}");
+                exit(1);
+            }
+        }
+        (false, Some(addr)) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("nasp-serve: cannot bind {addr}: {e}");
+                    exit(1);
+                }
+            };
+            eprintln!(
+                "nasp-serve: listening on {}",
+                listener.local_addr().map_or(addr, |a| a.to_string())
+            );
+            let server = Arc::new(Server::new(config));
+            if let Err(e) = server.serve_tcp(listener) {
+                eprintln!("nasp-serve: accept loop failed: {e}");
+                exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

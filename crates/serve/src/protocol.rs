@@ -1,0 +1,183 @@
+//! JSONL wire protocol: one request object per line in, one response
+//! object per line out.
+//!
+//! A request names its circuit either by catalog code (`"code":
+//! "steane"`) or as an explicit CZ list (`"gates": [[0,1],[1,2]],
+//! "num_qubits": 3`), picks one of the paper's layouts (optionally a
+//! custom entangling band), and may override the solve budget, the stage
+//! cap and the transfer-minimization switch. Every field except the
+//! circuit itself is optional.
+//!
+//! Responses echo the request `id`, report the structural
+//! [fingerprint](crate::fingerprint) in hex, and say how the answer was
+//! obtained: `"cache": "hit"` (bounded LRU), `"coalesced"` (joined a
+//! concurrent identical request's solve) or `"miss"` (this request ran
+//! the solver). Malformed requests produce `"ok": false` with a
+//! diagnostic instead of tearing down the connection.
+
+use nasp_arch::{ArchConfig, Layout, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// A scheduling request, parsed from one JSONL line.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<u64>,
+    /// Catalog code name (case-insensitive, e.g. `"steane"`). Mutually
+    /// exclusive with `gates`.
+    pub code: Option<String>,
+    /// Explicit CZ gate list; requires `num_qubits`.
+    pub gates: Option<Vec<(usize, usize)>>,
+    /// Qubit count for an explicit gate list.
+    pub num_qubits: Option<usize>,
+    /// Layout name: `"NoShielding"`, `"BottomStorage"`,
+    /// `"DoubleSidedStorage"` (case/underscore-insensitive, or `"1"` /
+    /// `"2"` / `"3"`), or `"custom"` with `e_min` / `e_max`. Defaults to
+    /// `BottomStorage`.
+    pub layout: Option<String>,
+    /// Lowest entangling row for `"custom"` layouts.
+    pub e_min: Option<i64>,
+    /// Highest entangling row for `"custom"` layouts.
+    pub e_max: Option<i64>,
+    /// Solve budget in milliseconds (default: the server's).
+    pub budget_ms: Option<u64>,
+    /// Stage-count cap (default 16, the library default).
+    pub max_stages: Option<usize>,
+    /// Minimize transfer stages after fixing `S` (default true).
+    pub minimize_transfers: Option<bool>,
+    /// Include the full schedule in the response (default false — the
+    /// summary fields are usually all a client wants per line).
+    pub include_schedule: Option<bool>,
+}
+
+impl Request {
+    /// Resolves the layout field (plus custom bounds) to an [`ArchConfig`]
+    /// on the paper's grid.
+    pub fn arch_config(&self) -> Result<ArchConfig, String> {
+        let name = self.layout.as_deref().unwrap_or("BottomStorage");
+        let canon: String = name
+            .chars()
+            .filter(|c| *c != '_' && *c != '-' && *c != ' ')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        let layout = match canon.as_str() {
+            "noshielding" | "1" => Layout::NoShielding,
+            "bottomstorage" | "2" => Layout::BottomStorage,
+            "doublesidedstorage" | "3" => Layout::DoubleSidedStorage,
+            "custom" => {
+                let (Some(e_min), Some(e_max)) = (self.e_min, self.e_max) else {
+                    return Err("custom layout requires e_min and e_max".into());
+                };
+                if e_min > e_max {
+                    return Err(format!("custom layout has e_min {e_min} > e_max {e_max}"));
+                }
+                Layout::Custom { e_min, e_max }
+            }
+            _ => return Err(format!("unknown layout `{name}`")),
+        };
+        Ok(ArchConfig::paper(layout))
+    }
+}
+
+/// How a response was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from the schedule cache without touching the solver.
+    Hit,
+    /// Joined an identical request's in-flight solve.
+    Coalesced,
+    /// Ran the solver (and populated the cache).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// The lowercase wire spelling (`"hit"` / `"coalesced"` / `"miss"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Coalesced => "coalesced",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+// Hand-written serde: the wire uses lowercase strings, and the vendored
+// derive shim has no `rename` attribute.
+impl Serialize for CacheOutcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for CacheOutcome {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(s) => match s.as_str() {
+                "hit" => Ok(CacheOutcome::Hit),
+                "coalesced" => Ok(CacheOutcome::Coalesced),
+                "miss" => Ok(CacheOutcome::Miss),
+                other => Err(serde::Error::new(format!(
+                    "unknown cache outcome `{other}`"
+                ))),
+            },
+            other => Err(serde::Error::new(format!(
+                "expected cache outcome string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// A scheduling response, serialized as one JSONL line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id echoed from the request.
+    pub id: Option<u64>,
+    /// `false` when the request was rejected; `error` says why.
+    pub ok: bool,
+    /// Diagnostic for rejected requests.
+    pub error: Option<String>,
+    /// Structural fingerprint of `(gates, architecture, options)`, hex.
+    pub fingerprint: Option<String>,
+    /// How the answer was obtained.
+    pub cache: Option<CacheOutcome>,
+    /// Schedule provenance: `"Optimal"`, `"SmtUnproven"` or
+    /// `"Heuristic"`; absent when no schedule was found.
+    pub provenance: Option<String>,
+    /// Total stage count of the schedule.
+    pub stages: Option<usize>,
+    /// Execution (Rydberg) stages — the paper's `#R`.
+    pub rydberg: Option<usize>,
+    /// Transfer stages — the paper's `#T`.
+    pub transfers: Option<usize>,
+    /// SAT conflicts spent by *this* solve (0 for cache hits).
+    pub sat_conflicts: Option<u64>,
+    /// Wall-clock milliseconds spent solving (0 for cache hits).
+    pub solve_ms: Option<u64>,
+    /// Runs recorded on the warm `(circuit, layout)` session that served
+    /// this request — values above 1 mean the solver started warm.
+    pub session_runs: Option<usize>,
+    /// The full schedule, when `include_schedule` was set.
+    pub schedule: Option<Schedule>,
+}
+
+impl Response {
+    /// A rejection carrying the request id and a diagnostic.
+    pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
+        Response {
+            id,
+            ok: false,
+            error: Some(message.into()),
+            fingerprint: None,
+            cache: None,
+            provenance: None,
+            stages: None,
+            rydberg: None,
+            transfers: None,
+            sat_conflicts: None,
+            solve_ms: None,
+            session_runs: None,
+            schedule: None,
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The service core: request handling over a schedule cache,
+//! single-flight deduplication, FIFO admission and warm solver sessions.
+//!
+//! Per request the flow is:
+//!
+//! 1. resolve the circuit (catalog name or explicit gate list, validated
+//!    — the library's panicking constructors are never fed raw input)
+//!    and the architecture, and build [`SolveOptions`] via the builder;
+//! 2. fingerprint the `(gates, architecture, options)` triple
+//!    ([`crate::fingerprint`]) and probe the bounded LRU cache — a hit
+//!    answers immediately with zero solver work;
+//! 3. on a miss, enter the [single-flight](crate::singleflight) group:
+//!    concurrent identical requests elect one leader, everyone else
+//!    receives the leader's result as `"coalesced"`;
+//! 4. the leader takes a FIFO [admission](crate::admission) seat (bounding
+//!    concurrent solver work at `jobs`), locks the `(gates, architecture)`
+//!    family's warm [`Session`] and runs it. Repeat business against a
+//!    warm family re-enters a solver that has already learnt the
+//!    instance's structure, so re-solves are much cheaper than cold ones.
+//!
+//! Warm-session soundness: a family key hashes the *structure only*, so
+//! every option variant routed to a session solves the same `(gates,
+//! architecture)` instance — precisely the reuse contract
+//! [`Session::run`] guarantees. Option-dependent answers are kept apart
+//! by the *request* fingerprint at the cache layer above.
+
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nasp_core::{Engine, Problem, Session, SolveOptions, SolveReport};
+use nasp_qec::{catalog, graph_state};
+
+use crate::admission::Admission;
+use crate::cache::LruCache;
+use crate::fingerprint;
+use crate::protocol::{CacheOutcome, Request, Response};
+use crate::singleflight::{Role, SingleFlight};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent solver seats (FIFO admission width).
+    pub jobs: usize,
+    /// Schedule-cache capacity (distinct request fingerprints).
+    pub cache_capacity: usize,
+    /// Warm-session capacity (distinct `(gates, architecture)` families).
+    pub session_capacity: usize,
+    /// Lines per stdin batch dispatched onto the worker pool.
+    pub batch: usize,
+    /// Solve budget applied when a request does not set `budget_ms`.
+    pub default_budget: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            jobs: nasp_bench::pool::available_jobs(),
+            cache_capacity: 256,
+            session_capacity: 32,
+            batch: 64,
+            default_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Service counters (monotone, lock-free).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests answered from the schedule cache.
+    pub hits: AtomicU64,
+    /// Requests that ran the solver.
+    pub misses: AtomicU64,
+    /// Requests that joined a concurrent identical solve.
+    pub coalesced: AtomicU64,
+    /// Solver runs executed (≤ misses; equals it in steady state).
+    pub solves: AtomicU64,
+    /// Requests rejected with a diagnostic.
+    pub errors: AtomicU64,
+}
+
+/// The cacheable outcome of one solve, shared between the cache, the
+/// single-flight group and the response builder.
+#[derive(Debug, Clone)]
+struct Outcome {
+    report: SolveReport,
+    solve_ms: u64,
+    session_runs: usize,
+}
+
+/// A long-lived scheduling service instance.
+pub struct Server {
+    config: ServeConfig,
+    cache: Mutex<LruCache<Arc<Outcome>>>,
+    flight: SingleFlight<Arc<Outcome>>,
+    sessions: Mutex<LruCache<Arc<Mutex<Session>>>>,
+    admission: Admission,
+    stats: ServeStats,
+}
+
+impl Server {
+    /// Creates a server with the given tuning.
+    pub fn new(config: ServeConfig) -> Self {
+        Server {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            flight: SingleFlight::new(),
+            sessions: Mutex::new(LruCache::new(config.session_capacity)),
+            admission: Admission::new(config.jobs),
+            config,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The server's tuning knobs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Live service counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Resolves a request's circuit to `(num_qubits, gates)`, validating
+    /// explicit gate lists so the panicking [`Problem`] constructors only
+    /// ever see well-formed input.
+    fn resolve_circuit(req: &Request) -> Result<(usize, Vec<(usize, usize)>), String> {
+        match (&req.code, &req.gates) {
+            (Some(_), Some(_)) => Err("give either `code` or `gates`, not both".into()),
+            (Some(name), None) => {
+                let code = catalog::by_name(name)
+                    .ok_or_else(|| format!("unknown catalog code `{name}`"))?;
+                let circuit = graph_state::synthesize(&code.zero_state_stabilizers())
+                    .map_err(|e| format!("code `{name}` does not synthesize: {e:?}"))?;
+                Ok((circuit.num_qubits, circuit.cz_edges))
+            }
+            (None, Some(gates)) => {
+                let n = req
+                    .num_qubits
+                    .ok_or_else(|| "explicit `gates` require `num_qubits`".to_string())?;
+                if n == 0 {
+                    return Err("num_qubits must be positive".into());
+                }
+                for &(a, b) in gates {
+                    if a == b {
+                        return Err(format!("self-loop CZ ({a},{b})"));
+                    }
+                    if a >= n || b >= n {
+                        return Err(format!("gate ({a},{b}) references qubits outside 0..{n}"));
+                    }
+                }
+                Ok((n, gates.clone()))
+            }
+            (None, None) => Err("request needs `code` or `gates`".into()),
+        }
+    }
+
+    /// Builds the solve options a request implies.
+    fn solve_options(&self, req: &Request) -> SolveOptions {
+        let budget = req
+            .budget_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.config.default_budget);
+        let mut builder = SolveOptions::builder().time_budget(budget);
+        if let Some(max_stages) = req.max_stages {
+            builder = builder.max_stages(max_stages);
+        }
+        if let Some(minimize) = req.minimize_transfers {
+            builder = builder.minimize_transfers(minimize);
+        }
+        builder.build()
+    }
+
+    /// The warm session for a `(gates, architecture)` family, created on
+    /// first contact. Bounded LRU: families beyond `session_capacity`
+    /// drop their warm state and restart cold on the next visit.
+    fn family_session(&self, family: u128, problem: &Problem) -> Arc<Mutex<Session>> {
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(s) = sessions.get(family) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(Mutex::new(Engine::new().session(problem.clone())));
+        sessions.insert(family, Arc::clone(&s));
+        s
+    }
+
+    /// Handles one parsed request end-to-end.
+    pub fn handle(&self, req: &Request) -> Response {
+        let (num_qubits, gates) = match Self::resolve_circuit(req) {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::error(req.id, e);
+            }
+        };
+        let config = match req.arch_config() {
+            Ok(config) => config,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::error(req.id, e);
+            }
+        };
+        let options = self.solve_options(req);
+        let fp = fingerprint::request_fingerprint(num_qubits, &gates, &config, &options);
+        let family = fingerprint::family_fingerprint(num_qubits, &gates, &config);
+
+        if let Some(cached) = self.cache.lock().unwrap().get(fp) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return self.render(req, fp, CacheOutcome::Hit, cached.clone());
+        }
+
+        let (outcome, role) = self.flight.run(fp, || {
+            let _seat = self.admission.acquire();
+            let problem = Problem::from_gates(config.clone(), num_qubits, gates.clone());
+            let session = self.family_session(family, &problem);
+            let mut session = session.lock().unwrap();
+            let start = Instant::now();
+            let report = session.run(&options);
+            let solve_ms = start.elapsed().as_millis() as u64;
+            self.stats.solves.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Outcome {
+                report,
+                solve_ms,
+                session_runs: session.runs(),
+            })
+        });
+        let outcome_kind = match role {
+            Role::Leader => {
+                self.cache.lock().unwrap().insert(fp, Arc::clone(&outcome));
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::Miss
+            }
+            Role::Follower => {
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::Coalesced
+            }
+        };
+        self.render(req, fp, outcome_kind, outcome)
+    }
+
+    /// Builds the response for an outcome. Cache hits report zero solver
+    /// work — nothing ran on their behalf.
+    fn render(
+        &self,
+        req: &Request,
+        fp: u128,
+        kind: CacheOutcome,
+        outcome: Arc<Outcome>,
+    ) -> Response {
+        let from_cache = kind == CacheOutcome::Hit;
+        let report = &outcome.report;
+        Response {
+            id: req.id,
+            ok: true,
+            error: None,
+            fingerprint: Some(fingerprint::hex(fp)),
+            cache: Some(kind),
+            provenance: report
+                .schedule
+                .is_some()
+                .then(|| format!("{:?}", report.provenance)),
+            stages: report.schedule.as_ref().map(|s| s.stages.len()),
+            rydberg: report.schedule.as_ref().map(|s| s.num_rydberg()),
+            transfers: report.schedule.as_ref().map(|s| s.num_transfer()),
+            sat_conflicts: Some(if from_cache { 0 } else { report.sat_conflicts }),
+            solve_ms: Some(if from_cache { 0 } else { outcome.solve_ms }),
+            session_runs: Some(outcome.session_runs),
+            schedule: req
+                .include_schedule
+                .unwrap_or(false)
+                .then(|| report.schedule.clone())
+                .flatten(),
+        }
+    }
+
+    /// Handles one raw JSONL line: parse, dispatch, serialize. Never
+    /// panics on malformed input — parse errors become `"ok": false`
+    /// response lines.
+    pub fn handle_line(&self, line: &str) -> String {
+        let trimmed = line.trim();
+        let response = if trimmed.is_empty() {
+            Response::error(None, "empty request line")
+        } else {
+            match serde_json::from_str::<Request>(trimmed) {
+                Ok(req) => self.handle(&req),
+                Err(e) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::error(None, format!("bad request: {e}"))
+                }
+            }
+        };
+        serde_json::to_string(&response).expect("responses always serialize")
+    }
+
+    /// Serves JSONL from `input` to `output` until EOF. Lines are read in
+    /// batches of [`ServeConfig::batch`] and dispatched onto the bench
+    /// worker pool; responses keep input order. Identical lines inside
+    /// one batch coalesce through the single-flight group.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        input: R,
+        output: &mut W,
+    ) -> std::io::Result<()> {
+        let batch_size = self.config.batch.max(1);
+        let jobs = self.config.jobs.max(1);
+        let mut lines = input.lines();
+        loop {
+            let mut batch = Vec::with_capacity(batch_size);
+            for line in lines.by_ref() {
+                batch.push(line?);
+                if batch.len() >= batch_size {
+                    break;
+                }
+            }
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let responses =
+                nasp_bench::pool::map_indexed(jobs, batch, |_, line| self.handle_line(&line));
+            for response in responses {
+                writeln!(output, "{response}")?;
+            }
+            output.flush()?;
+        }
+    }
+
+    /// Serves one TCP connection: JSONL request per line in, response
+    /// line out, until the peer closes.
+    fn serve_connection(&self, stream: TcpStream) -> std::io::Result<()> {
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let mut writer = std::io::BufWriter::new(stream);
+        for line in reader.lines() {
+            let response = self.handle_line(&line?);
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Accept loop: one thread per connection, forever. Connection-level
+    /// I/O errors are dropped with the connection, never propagated.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        loop {
+            let (stream, _peer) = listener.accept()?;
+            let server = Arc::clone(self);
+            std::thread::spawn(move || {
+                let _ = server.serve_connection(stream);
+            });
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Single-flight deduplication: concurrent identical requests share one
+//! computation.
+//!
+//! The first caller for a key becomes the *leader* and runs the closure;
+//! every caller that arrives while the flight is in progress blocks on a
+//! condvar and receives a clone of the leader's result. When the leader's
+//! closure panics the flight is marked abandoned and woken followers
+//! retry — one of them becomes the new leader — so a poisoned request
+//! cannot wedge the key forever.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+enum FlightState<T> {
+    Pending,
+    Ready(T),
+    Abandoned,
+}
+
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+/// Deduplicates concurrent calls per `u128` key.
+pub struct SingleFlight<T> {
+    flights: Mutex<HashMap<u128, Arc<Flight<T>>>>,
+}
+
+/// How a [`SingleFlight::run`] call obtained its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This caller ran the computation.
+    Leader,
+    /// This caller waited on another caller's in-progress computation.
+    Follower,
+}
+
+impl<T> Default for SingleFlight<T> {
+    fn default() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Removes the flight entry and wakes followers if the leader unwinds
+/// before storing a result.
+struct AbandonGuard<'a, T> {
+    owner: &'a SingleFlight<T>,
+    key: u128,
+    flight: &'a Arc<Flight<T>>,
+    armed: bool,
+}
+
+impl<T> Drop for AbandonGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        *self.flight.state.lock().unwrap() = FlightState::Abandoned;
+        self.flight.cv.notify_all();
+        self.owner.flights.lock().unwrap().remove(&self.key);
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// Fresh deduplicator with no flights in progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `compute` for `key`, or joins an in-progress run of it.
+    ///
+    /// Exactly one concurrent caller per key executes `compute`; the rest
+    /// block and receive a clone of its result. Callers arriving *after*
+    /// the flight lands start a fresh one — long-term memoization is the
+    /// cache's job, not this type's.
+    pub fn run<F>(&self, key: u128, compute: F) -> (T, Role)
+    where
+        F: FnOnce() -> T,
+    {
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().unwrap();
+            match flights.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if leader {
+            let mut guard = AbandonGuard {
+                owner: self,
+                key,
+                flight: &flight,
+                armed: true,
+            };
+            let value = compute();
+            guard.armed = false;
+            *flight.state.lock().unwrap() = FlightState::Ready(value.clone());
+            flight.cv.notify_all();
+            self.flights.lock().unwrap().remove(&key);
+            return (value, Role::Leader);
+        }
+
+        let mut state = flight.state.lock().unwrap();
+        loop {
+            match &*state {
+                FlightState::Pending => state = flight.cv.wait(state).unwrap(),
+                FlightState::Ready(v) => return (v.clone(), Role::Follower),
+                FlightState::Abandoned => {
+                    // The leader unwound without a result; retry — some
+                    // caller (possibly us) becomes the new leader.
+                    drop(state);
+                    return self.run(key, compute);
+                }
+            }
+        }
+    }
+
+    /// Number of flights currently in the air (introspection aid).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn concurrent_callers_share_one_computation() {
+        let sf = SingleFlight::new();
+        let calls = AtomicUsize::new(0);
+        let n = 8;
+        let barrier = Barrier::new(n);
+        let results: Vec<(usize, Role)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        sf.run(42, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open so late arrivals join it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            7usize
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one leader ran");
+        assert!(results.iter().all(|(v, _)| *v == 7));
+        assert_eq!(
+            results.iter().filter(|(_, r)| *r == Role::Leader).count(),
+            1
+        );
+        assert_eq!(sf.in_flight(), 0, "flight removed after landing");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf = SingleFlight::new();
+        let (a, ra) = sf.run(1, || 10);
+        let (b, rb) = sf.run(2, || 20);
+        assert_eq!((a, b), (10, 20));
+        assert_eq!((ra, rb), (Role::Leader, Role::Leader));
+    }
+
+    #[test]
+    fn sequential_calls_rerun() {
+        // No memoization across landed flights — that's the cache's job.
+        let sf = SingleFlight::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            sf.run(9, || calls.fetch_add(1, Ordering::SeqCst));
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn leader_panic_does_not_wedge_the_key() {
+        let sf = SingleFlight::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sf.run(5, || -> usize { panic!("leader dies") })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(sf.in_flight(), 0, "abandoned flight cleaned up");
+        let (v, role) = sf.run(5, || 11);
+        assert_eq!((v, role), (11, Role::Leader));
+    }
+}

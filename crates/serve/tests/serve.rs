@@ -1,0 +1,371 @@
+//! Integration tests for the serving stack: fingerprint canonicality,
+//! cache/single-flight behaviour against the real solver, warm-session
+//! reuse, and the two transports (stdin-style line streams and TCP).
+//!
+//! Solver-backed tests use the 5-qubit perfect code — small enough to
+//! solve optimally in well under a second, large enough that the solver
+//! does real work (nonzero conflicts), so "fewer conflicts when warm" is
+//! a meaningful comparison.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use nasp_arch::{ArchConfig, Layout};
+use nasp_core::{Engine, Problem, SolveOptions};
+use nasp_qec::{catalog, graph_state};
+use nasp_serve::fingerprint::{family_fingerprint, request_fingerprint};
+use nasp_serve::{CacheOutcome, Request, Response, ServeConfig, Server};
+
+fn perfect5_gates() -> (usize, Vec<(usize, usize)>) {
+    let code = catalog::by_name("perfect").expect("perfect code in catalog");
+    let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synthesizes");
+    (circuit.num_qubits, circuit.cz_edges)
+}
+
+fn quick_server() -> Server {
+    Server::new(ServeConfig {
+        jobs: 2,
+        cache_capacity: 16,
+        session_capacity: 4,
+        batch: 8,
+        default_budget: Duration::from_secs(20),
+    })
+}
+
+fn perfect5_request(id: u64) -> Request {
+    Request {
+        id: Some(id),
+        code: Some("perfect".into()),
+        layout: Some("BottomStorage".into()),
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------- fingerprint
+
+#[test]
+fn fingerprint_is_invariant_under_request_phrasing() {
+    let (n, gates) = perfect5_gates();
+    let config = ArchConfig::paper(Layout::BottomStorage);
+    let options = SolveOptions::default();
+    let fp = request_fingerprint(n, &gates, &config, &options);
+
+    // Permuted gate order and swapped pair endpoints: same instance.
+    let mut shuffled: Vec<(usize, usize)> = gates.iter().rev().map(|&(a, b)| (b, a)).collect();
+    shuffled.rotate_left(gates.len() / 2);
+    assert_eq!(fp, request_fingerprint(n, &shuffled, &config, &options));
+
+    // A bigger budget is the same question asked more patiently.
+    let patient = SolveOptions::builder()
+        .time_budget(Duration::from_secs(600))
+        .portfolio(3)
+        .seed(99)
+        .incremental(false)
+        .build();
+    assert_eq!(fp, request_fingerprint(n, &gates, &config, &patient));
+}
+
+#[test]
+fn fingerprint_separates_distinct_instances() {
+    let (n, gates) = perfect5_gates();
+    let config = ArchConfig::paper(Layout::BottomStorage);
+    let options = SolveOptions::default();
+    let fp = request_fingerprint(n, &gates, &config, &options);
+
+    // Perturbed gate list.
+    let mut fewer = gates.clone();
+    fewer.pop();
+    assert_ne!(fp, request_fingerprint(n, &fewer, &config, &options));
+    let mut doubled = gates.clone();
+    doubled.push(gates[0]);
+    assert_ne!(fp, request_fingerprint(n, &doubled, &config, &options));
+
+    // Different qubit count, same gates.
+    assert_ne!(fp, request_fingerprint(n + 1, &gates, &config, &options));
+
+    // Different layout / geometry.
+    let other = ArchConfig::paper(Layout::DoubleSidedStorage);
+    assert_ne!(fp, request_fingerprint(n, &gates, &other, &options));
+    let wider = ArchConfig {
+        x_max: config.x_max + 1,
+        ..config.clone()
+    };
+    assert_ne!(fp, request_fingerprint(n, &gates, &wider, &options));
+
+    // Answer-relevant option changes.
+    let capped = SolveOptions::builder().max_stages(9).build();
+    assert_ne!(fp, request_fingerprint(n, &gates, &config, &capped));
+    let no_min = SolveOptions::builder().minimize_transfers(false).build();
+    assert_ne!(fp, request_fingerprint(n, &gates, &config, &no_min));
+}
+
+#[test]
+fn family_fingerprint_ignores_options_but_not_structure() {
+    let (n, gates) = perfect5_gates();
+    let config = ArchConfig::paper(Layout::BottomStorage);
+    let fam = family_fingerprint(n, &gates, &config);
+
+    let capped = SolveOptions::builder().max_stages(9).build();
+    // Distinct request fingerprints, same family.
+    assert_ne!(
+        request_fingerprint(n, &gates, &config, &SolveOptions::default()),
+        request_fingerprint(n, &gates, &config, &capped)
+    );
+    assert_eq!(fam, family_fingerprint(n, &gates, &config));
+    assert_ne!(
+        fam,
+        family_fingerprint(n, &gates, &ArchConfig::paper(Layout::NoShielding))
+    );
+}
+
+// ------------------------------------------------------------------- caching
+
+#[test]
+fn repeat_request_hits_cache_with_zero_solver_work() {
+    let server = quick_server();
+    let req = perfect5_request(1);
+
+    let first = server.handle(&req);
+    assert!(first.ok, "first solve succeeds: {:?}", first.error);
+    assert_eq!(first.cache, Some(CacheOutcome::Miss));
+    assert_eq!(first.provenance.as_deref(), Some("Optimal"));
+    assert!(
+        first.sat_conflicts.unwrap() > 0,
+        "real solver work happened"
+    );
+
+    let solves_before = server.stats().solves.load(Ordering::SeqCst);
+    let second = server.handle(&perfect5_request(2));
+    assert_eq!(second.cache, Some(CacheOutcome::Hit));
+    assert_eq!(second.id, Some(2), "response echoes the new id");
+    assert_eq!(second.fingerprint, first.fingerprint);
+    assert_eq!(second.stages, first.stages);
+    assert_eq!(second.sat_conflicts, Some(0), "hits report zero work");
+    assert_eq!(second.solve_ms, Some(0));
+    assert_eq!(
+        server.stats().solves.load(Ordering::SeqCst),
+        solves_before,
+        "cache hit ran no solver"
+    );
+    assert_eq!(server.stats().hits.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn concurrent_identical_requests_solve_exactly_once() {
+    let server = quick_server();
+    let n = 6;
+    let barrier = Barrier::new(n);
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let (server, barrier) = (&server, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    server.handle(&perfect5_request(i as u64))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(responses.iter().all(|r| r.ok));
+    let stages = responses[0].stages;
+    assert!(responses.iter().all(|r| r.stages == stages));
+    assert_eq!(
+        server.stats().solves.load(Ordering::SeqCst),
+        1,
+        "N identical concurrent requests must run exactly one solve"
+    );
+    // Every non-leader either coalesced onto the in-flight solve or (if it
+    // arrived after landing) hit the cache; exactly one was a miss.
+    let misses = responses
+        .iter()
+        .filter(|r| r.cache == Some(CacheOutcome::Miss))
+        .count();
+    assert_eq!(misses, 1);
+}
+
+#[test]
+fn distinct_requests_do_not_coalesce() {
+    let server = quick_server();
+    let a = server.handle(&perfect5_request(1));
+    let mut req_b = perfect5_request(2);
+    req_b.layout = Some("NoShielding".into());
+    let b = server.handle(&req_b);
+    assert_eq!(a.cache, Some(CacheOutcome::Miss));
+    assert_eq!(b.cache, Some(CacheOutcome::Miss));
+    assert_ne!(a.fingerprint, b.fingerprint);
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 2);
+}
+
+// ------------------------------------------------------------- warm sessions
+
+#[test]
+fn warm_family_session_beats_cold_solve() {
+    let server = quick_server();
+
+    // Cold baseline: a fresh engine answering the *second* question.
+    let (n, gates) = perfect5_gates();
+    let config = ArchConfig::paper(Layout::BottomStorage);
+    let problem = Problem::from_gates(config, n, gates);
+    let capped = SolveOptions::builder()
+        .time_budget(Duration::from_secs(20))
+        .max_stages(15)
+        .build();
+    let cold = Engine::new().solve(&problem, &capped);
+    assert!(cold.schedule.is_some());
+
+    // Request 1 warms the (perfect, BottomStorage) family session.
+    let first = server.handle(&perfect5_request(1));
+    assert_eq!(first.cache, Some(CacheOutcome::Miss));
+    assert_eq!(first.session_runs, Some(1));
+
+    // Request 2: different stage cap ⇒ different fingerprint (a cache
+    // miss), but the same structural family ⇒ served by the warm session.
+    let mut second_req = perfect5_request(2);
+    second_req.max_stages = Some(15);
+    let second = server.handle(&second_req);
+    assert_eq!(second.cache, Some(CacheOutcome::Miss));
+    assert_ne!(second.fingerprint, first.fingerprint);
+    assert_eq!(second.session_runs, Some(2), "same warm session, run 2");
+    assert_eq!(second.stages, first.stages, "same instance, same optimum");
+    assert!(
+        second.sat_conflicts.unwrap() < cold.sat_conflicts,
+        "warm session ({} conflicts) must beat a cold solve ({})",
+        second.sat_conflicts.unwrap(),
+        cold.sat_conflicts
+    );
+}
+
+// ------------------------------------------------------------------ protocol
+
+#[test]
+fn malformed_requests_are_rejected_not_fatal() {
+    let server = quick_server();
+    let cases = [
+        ("not json at all", "bad request"),
+        ("{\"layout\": \"BottomStorage\"}", "needs `code` or `gates`"),
+        ("{\"code\": \"no-such-code\"}", "unknown catalog code"),
+        (
+            "{\"gates\": [[0, 1]], \"num_qubits\": 3, \"code\": \"steane\"}",
+            "not both",
+        ),
+        ("{\"gates\": [[0, 0]], \"num_qubits\": 2}", "self-loop"),
+        ("{\"gates\": [[0, 9]], \"num_qubits\": 3}", "outside"),
+        (
+            "{\"code\": \"steane\", \"layout\": \"sideways\"}",
+            "unknown layout",
+        ),
+        (
+            "{\"code\": \"steane\", \"layout\": \"custom\"}",
+            "requires e_min",
+        ),
+    ];
+    for (line, needle) in cases {
+        let out = server.handle_line(line);
+        let resp: Response = serde_json::from_str(&out).expect("error responses serialize");
+        assert!(!resp.ok, "`{line}` must be rejected");
+        let msg = resp.error.unwrap_or_default();
+        assert!(
+            msg.contains(needle),
+            "`{line}` → `{msg}` (wanted `{needle}`)"
+        );
+    }
+    assert_eq!(
+        server.stats().errors.load(Ordering::SeqCst),
+        cases.len() as u64
+    );
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn explicit_gate_lists_schedule_and_return_the_schedule() {
+    let server = quick_server();
+    let req = Request {
+        id: Some(7),
+        gates: Some(vec![(0, 1), (1, 2), (0, 2)]),
+        num_qubits: Some(3),
+        layout: Some("no_shielding".into()),
+        include_schedule: Some(true),
+        ..Default::default()
+    };
+    let resp = server.handle(&req);
+    assert!(resp.ok, "{:?}", resp.error);
+    let schedule = resp.schedule.expect("include_schedule returns it");
+    assert_eq!(schedule.num_qubits, 3);
+    assert_eq!(Some(schedule.stages.len()), resp.stages);
+}
+
+// ----------------------------------------------------------------- transports
+
+#[test]
+fn line_stream_serves_batches_in_order_with_cache_hits() {
+    let server = quick_server();
+    let input = concat!(
+        "{\"id\": 1, \"code\": \"perfect\", \"layout\": \"BottomStorage\"}\n",
+        "{\"id\": 2, \"code\": \"perfect\", \"layout\": \"BottomStorage\"}\n",
+        "{\"id\": 3, \"gates\": [[0, 1]], \"num_qubits\": 2}\n",
+    );
+    let mut output = Vec::new();
+    server
+        .serve_lines(Cursor::new(input), &mut output)
+        .expect("in-memory I/O cannot fail");
+    let text = String::from_utf8(output).unwrap();
+    let responses: Vec<Response> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid response JSON"))
+        .collect();
+    assert_eq!(responses.len(), 3);
+    assert_eq!(
+        responses.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![Some(1), Some(2), Some(3)],
+        "responses keep input order"
+    );
+    assert!(responses.iter().all(|r| r.ok));
+    // The duplicate line was answered without a second solve: depending on
+    // pool interleaving it reports as a hit or a coalesced follower.
+    assert!(matches!(
+        responses[1].cache,
+        Some(CacheOutcome::Hit | CacheOutcome::Coalesced)
+    ));
+    assert_eq!(responses[0].fingerprint, responses[1].fingerprint);
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn tcp_round_trip_with_cache_hit() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(quick_server());
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(listener);
+        });
+    }
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut ask = |id: u64| -> Response {
+        writeln!(
+            writer,
+            "{{\"id\": {id}, \"code\": \"perfect\", \"layout\": \"BottomStorage\"}}"
+        )
+        .expect("write request");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        serde_json::from_str(&line).expect("valid response JSON")
+    };
+
+    let first = ask(1);
+    assert!(first.ok, "{:?}", first.error);
+    assert_eq!(first.cache, Some(CacheOutcome::Miss));
+    let second = ask(2);
+    assert_eq!(second.cache, Some(CacheOutcome::Hit));
+    assert_eq!(second.stages, first.stages);
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 1);
+}

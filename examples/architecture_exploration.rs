@@ -35,10 +35,9 @@ fn main() {
         let layout = Layout::Custom { e_min, e_max };
         let config = ArchConfig::paper(layout);
         let problem = Problem::new(config, &circuit);
-        let options = SolveOptions {
-            time_budget: Duration::from_secs(45),
-            ..Default::default()
-        };
+        let options = SolveOptions::builder()
+            .time_budget(Duration::from_secs(45))
+            .build();
         let report = solve(&problem, &options);
         let optimal = report.is_optimal();
         let Some(schedule) = report.schedule else {

@@ -16,6 +16,12 @@
 //! | [`sim`] | `nasp-sim` | tableau simulator / schedule verification |
 //! | [`arch`] | `nasp-arch` | zoned architecture model, validator, ASP metrics |
 //! | [`core`] | `nasp-core` | the paper's contribution: encoding + minimal-stage solver |
+//! | [`serve`] | `nasp-serve` | JSONL scheduling service: cache, dedup, warm sessions |
+//!
+//! One-shot solving goes through [`core::solve()`]; long-lived callers hold
+//! an [`Engine`] and keep per-problem [`Session`]s warm across repeated
+//! queries. The [`serve`] module packages the same engine as a resident
+//! service ([`Server`]) answering JSONL requests over stdin or TCP.
 //!
 //! ## Quickstart
 //!
@@ -46,5 +52,9 @@ pub use nasp_arch as arch;
 pub use nasp_core as core;
 pub use nasp_qec as qec;
 pub use nasp_sat as sat;
+pub use nasp_serve as serve;
 pub use nasp_sim as sim;
 pub use nasp_smt as smt;
+
+pub use nasp_core::{Engine, Session, SolveOptionsBuilder};
+pub use nasp_serve::{Request, Response, ServeConfig, Server};

@@ -14,10 +14,7 @@ fn pipeline(code_name: &str, layout: Layout, budget: Duration) -> (Provenance, f
     let targets = code.zero_state_stabilizers();
     let circuit = graph_state::synthesize(&targets).expect("synthesizable");
     let problem = Problem::new(ArchConfig::paper(layout), &circuit);
-    let options = SolveOptions {
-        time_budget: budget,
-        ..Default::default()
-    };
+    let options = SolveOptions::builder().time_budget(budget).build();
     let report = solve(&problem, &options);
     let schedule = report.schedule.expect("schedule produced");
     // Independent re-checks.

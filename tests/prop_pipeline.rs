@@ -47,10 +47,9 @@ proptest! {
         ][layout_idx];
         let n = 6;
         let problem = Problem::from_gates(ArchConfig::paper(layout), n, gates.clone());
-        let options = SolveOptions {
-            time_budget: Duration::from_secs(25),
-            ..Default::default()
-        };
+        let options = SolveOptions::builder()
+            .time_budget(Duration::from_secs(25))
+            .build();
         let report = solve(&problem, &options);
         let Some(schedule) = report.schedule else {
             // Allowed outcome: no schedule within budget and the heuristic

@@ -23,10 +23,9 @@ fn steane_pipeline_through_the_facade() {
     // 2. Optimal schedule on the paper's bottom-storage architecture.
     let config = ArchConfig::paper(Layout::BottomStorage);
     let problem = Problem::new(config, &circuit);
-    let options = SolveOptions {
-        time_budget: Duration::from_secs(60),
-        ..Default::default()
-    };
+    let options = SolveOptions::builder()
+        .time_budget(Duration::from_secs(60))
+        .build();
     let report = solve(&problem, &options);
     assert!(report.is_optimal());
     assert_eq!(report.provenance, Provenance::Optimal);
