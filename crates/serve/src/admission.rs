@@ -7,7 +7,7 @@
 //! scheduling. Cache hits and coalesced followers never pass through
 //! here — only distinct cache misses pay for a seat.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 struct Inner {
     /// Next ticket to hand out.
@@ -44,9 +44,8 @@ impl Admission {
         self.permits
     }
 
-    /// Blocks until admitted; the returned guard releases the seat on
-    /// drop.
-    pub fn acquire(&self) -> AdmissionGuard<'_> {
+    /// Takes a ticket and blocks until it is admitted.
+    fn admit(&self) {
         let mut inner = self.inner.lock().unwrap();
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
@@ -59,7 +58,31 @@ impl Admission {
         // Wake the next ticket holder — it may be admissible immediately
         // if seats remain.
         self.cv.notify_all();
+    }
+
+    /// Frees one seat and wakes waiters.
+    fn release(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.active -= 1;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until admitted; the returned guard releases the seat on
+    /// drop.
+    pub fn acquire(&self) -> AdmissionGuard<'_> {
+        self.admit();
         AdmissionGuard { gate: self }
+    }
+
+    /// Like [`Admission::acquire`], but the seat is tied to the `Arc`
+    /// rather than a borrow, so it can move into a spawned thread (the
+    /// TCP accept loop hands one to each connection thread).
+    pub fn acquire_owned(self: &Arc<Self>) -> OwnedAdmissionGuard {
+        self.admit();
+        OwnedAdmissionGuard {
+            gate: Arc::clone(self),
+        }
     }
 
     /// Seats currently occupied (introspection aid).
@@ -75,10 +98,19 @@ pub struct AdmissionGuard<'a> {
 
 impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
-        let mut inner = self.gate.inner.lock().unwrap();
-        inner.active -= 1;
-        drop(inner);
-        self.gate.cv.notify_all();
+        self.gate.release();
+    }
+}
+
+/// Holds one admission seat through a shared handle; dropping it
+/// releases the seat.
+pub struct OwnedAdmissionGuard {
+    gate: Arc<Admission>,
+}
+
+impl Drop for OwnedAdmissionGuard {
+    fn drop(&mut self) {
+        self.gate.release();
     }
 }
 
@@ -131,5 +163,16 @@ mod tests {
         let gate = Admission::new(0);
         assert_eq!(gate.permits(), 1);
         let _seat = gate.acquire(); // must not deadlock
+    }
+
+    #[test]
+    fn owned_seats_move_across_threads_and_release() {
+        let gate = Arc::new(Admission::new(1));
+        let seat = gate.acquire_owned();
+        assert_eq!(gate.active(), 1);
+        let handle = std::thread::spawn(move || drop(seat));
+        handle.join().unwrap();
+        assert_eq!(gate.active(), 0, "seat released from the other thread");
+        let _again = gate.acquire_owned(); // seat is reusable
     }
 }

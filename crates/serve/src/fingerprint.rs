@@ -12,13 +12,19 @@
 //!   patterns, so any geometric perturbation changes the digest;
 //! * only the *answer-relevant* solve options participate: the stage cap,
 //!   the transfer-minimization switch and the encoding strengthenings.
-//!   Budgets, portfolio width, seeds and the incremental/scratch switch
-//!   steer *how fast* the answer arrives, never *which* answer, so they
-//!   are deliberately excluded — a request re-phrased with a bigger
-//!   budget still hits the cache.
+//!   Portfolio width, seeds and the incremental/scratch switch steer
+//!   *how fast* the answer arrives, never *which* answer, so they are
+//!   deliberately excluded. Budgets are excluded too — a request
+//!   re-phrased with a bigger budget can hit the cache — but a solve
+//!   that *exhausts* its budget lands a degraded (non-optimal) answer,
+//!   so the server only serves such an entry to budgets no larger than
+//!   the one that produced it, and scopes in-flight coalescing by budget
+//!   via [`flight_key`] (see [`crate::server`]).
 //!
 //! The digest is 128-bit FNV-1a: collision-negligible for cache keys
 //! while staying dependency-free and byte-order stable.
+
+use std::time::Duration;
 
 use nasp_arch::{ArchConfig, Layout};
 use nasp_core::SolveOptions;
@@ -168,6 +174,19 @@ pub fn family_fingerprint(
 ) -> u128 {
     let mut h = Hasher::new();
     write_structure(&mut h, num_qubits, gates, config);
+    h.finish()
+}
+
+/// Single-flight key: the request fingerprint scoped by the effective
+/// solve budget. Budgets stay out of the *cache* key (an optimal cached
+/// answer serves any budget), but two in-flight solves with different
+/// budgets may land answers of different quality, so a patient request
+/// must not coalesce onto an impatient leader's flight.
+pub fn flight_key(fp: u128, budget: Duration) -> u128 {
+    let mut h = Hasher::new();
+    h.write(b"flight");
+    h.write(&fp.to_le_bytes());
+    h.write_u64(budget.as_millis() as u64);
     h.finish()
 }
 

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
+//!                    [--max-qubits N] [--max-gates N]
 //! nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
+//!                       [--max-qubits N] [--max-gates N] [--tcp-conns N]
 //! ```
 //!
 //! `--stdin` reads one JSON request per line until EOF and writes one
@@ -21,7 +23,9 @@ use nasp_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
-         \x20      nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]"
+         \x20                        [--max-qubits N] [--max-gates N]\n\
+         \x20      nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
+         \x20                        [--max-qubits N] [--max-gates N] [--tcp-conns N]"
     );
     exit(2);
 }
@@ -58,6 +62,9 @@ fn main() {
                 config.default_budget =
                     Duration::from_millis(parse_value("--budget-ms", args.next()))
             }
+            "--max-qubits" => config.max_qubits = parse_value("--max-qubits", args.next()),
+            "--max-gates" => config.max_gates = parse_value("--max-gates", args.next()),
+            "--tcp-conns" => config.tcp_connections = parse_value("--tcp-conns", args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("nasp-serve: unknown flag `{other}`");

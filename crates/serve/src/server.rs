@@ -8,15 +8,23 @@
 //!    and the architecture, and build [`SolveOptions`] via the builder;
 //! 2. fingerprint the `(gates, architecture, options)` triple
 //!    ([`crate::fingerprint`]) and probe the bounded LRU cache — a hit
-//!    answers immediately with zero solver work;
-//! 3. on a miss, enter the [single-flight](crate::singleflight) group:
-//!    concurrent identical requests elect one leader, everyone else
-//!    receives the leader's result as `"coalesced"`;
-//! 4. the leader takes a FIFO [admission](crate::admission) seat (bounding
-//!    concurrent solver work at `jobs`), locks the `(gates, architecture)`
-//!    family's warm [`Session`] and runs it. Repeat business against a
-//!    warm family re-enters a solver that has already learnt the
-//!    instance's structure, so re-solves are much cheaper than cold ones.
+//!    answers immediately with zero solver work. A hit is served only
+//!    when it answers at least as well as a fresh solve would: optimal
+//!    entries serve any budget, budget-limited (non-optimal) entries
+//!    only serve budgets no larger than the one that produced them;
+//! 3. on a miss, enter the [single-flight](crate::singleflight) group,
+//!    keyed by fingerprint *and* budget: concurrent identical requests
+//!    elect one leader, everyone else receives the leader's result as
+//!    `"coalesced"` — and a patient request never coalesces onto an
+//!    impatient leader's possibly-degraded flight;
+//! 4. the leader locks the `(gates, architecture)` family's warm
+//!    [`Session`], then takes a FIFO [admission](crate::admission) seat
+//!    (bounding concurrent solver work at `jobs` — seats are acquired
+//!    *after* the session lock so a family's queue of option variants
+//!    cannot occupy seats while serialized on one lock) and runs it.
+//!    Repeat business against a warm family re-enters a solver that has
+//!    already learnt the instance's structure, so re-solves are much
+//!    cheaper than cold ones.
 //!
 //! Warm-session soundness: a family key hashes the *structure only*, so
 //! every option variant routed to a session solves the same `(gates,
@@ -52,6 +60,17 @@ pub struct ServeConfig {
     pub batch: usize,
     /// Solve budget applied when a request does not set `budget_ms`.
     pub default_budget: Duration,
+    /// Largest accepted qubit count. Encoding size scales with
+    /// `num_qubits × stages`, so an unbounded request could allocate the
+    /// service to death; anything above this is rejected with a
+    /// diagnostic before a [`Problem`] is built.
+    pub max_qubits: usize,
+    /// Largest accepted explicit gate-list length (same rationale).
+    pub max_gates: usize,
+    /// Concurrent TCP connections. The accept loop blocks once this many
+    /// dialogues are live; further connection attempts queue in the
+    /// listener backlog instead of growing one thread each.
+    pub tcp_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +81,9 @@ impl Default for ServeConfig {
             session_capacity: 32,
             batch: 64,
             default_budget: Duration::from_secs(30),
+            max_qubits: 4096,
+            max_gates: 1 << 16,
+            tcp_connections: 256,
         }
     }
 }
@@ -88,6 +110,19 @@ struct Outcome {
     report: SolveReport,
     solve_ms: u64,
     session_runs: usize,
+    /// The budget the solve ran with. A non-optimal outcome is only as
+    /// good as its budget allowed, so it may only answer requests whose
+    /// budget is no larger.
+    budget: Duration,
+}
+
+impl Outcome {
+    /// `true` when this outcome answers a request with `budget` at least
+    /// as well as a fresh solve would: optimal answers cannot improve,
+    /// and budget-limited answers are what that budget (or less) buys.
+    fn serves(&self, budget: Duration) -> bool {
+        self.report.is_optimal() || budget <= self.budget
+    }
 }
 
 /// A long-lived scheduling service instance.
@@ -125,8 +160,9 @@ impl Server {
 
     /// Resolves a request's circuit to `(num_qubits, gates)`, validating
     /// explicit gate lists so the panicking [`Problem`] constructors only
-    /// ever see well-formed input.
-    fn resolve_circuit(req: &Request) -> Result<(usize, Vec<(usize, usize)>), String> {
+    /// ever see well-formed input and bounding the problem size so one
+    /// well-formed request cannot allocate the service to death.
+    fn resolve_circuit(&self, req: &Request) -> Result<(usize, Vec<(usize, usize)>), String> {
         match (&req.code, &req.gates) {
             (Some(_), Some(_)) => Err("give either `code` or `gates`, not both".into()),
             (Some(name), None) => {
@@ -142,6 +178,19 @@ impl Server {
                     .ok_or_else(|| "explicit `gates` require `num_qubits`".to_string())?;
                 if n == 0 {
                     return Err("num_qubits must be positive".into());
+                }
+                if n > self.config.max_qubits {
+                    return Err(format!(
+                        "num_qubits {n} exceeds the server limit of {}",
+                        self.config.max_qubits
+                    ));
+                }
+                if gates.len() > self.config.max_gates {
+                    return Err(format!(
+                        "{} gates exceed the server limit of {}",
+                        gates.len(),
+                        self.config.max_gates
+                    ));
                 }
                 for &(a, b) in gates {
                     if a == b {
@@ -186,9 +235,51 @@ impl Server {
         s
     }
 
+    /// Locks a family session, recovering from poisoning: if a previous
+    /// solve panicked mid-run the warm state may be inconsistent, so it
+    /// is replaced with a cold session (and the poison cleared) instead
+    /// of wedging every future request for the family.
+    fn lock_session<'a>(
+        session: &'a Arc<Mutex<Session>>,
+        problem: &Problem,
+    ) -> std::sync::MutexGuard<'a, Session> {
+        match session.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = Engine::new().session(problem.clone());
+                session.clear_poison();
+                guard
+            }
+        }
+    }
+
+    /// Probes the cache for an entry that serves `budget` (see
+    /// [`Outcome::serves`]); a degraded entry facing a larger budget is
+    /// left in place and the caller re-solves.
+    fn cache_lookup(&self, fp: u128, budget: Duration) -> Option<Arc<Outcome>> {
+        let mut cache = self.cache.lock().unwrap();
+        let cached = cache.get(fp)?;
+        cached.serves(budget).then(|| Arc::clone(cached))
+    }
+
+    /// Publishes a leader's outcome without ever replacing a strictly
+    /// better entry: an optimal answer is final, and among budget-limited
+    /// answers the larger budget wins (a slow tiny-budget solve landing
+    /// after a concurrent big-budget one must not clobber it).
+    fn cache_store(&self, fp: u128, outcome: &Arc<Outcome>) {
+        let mut cache = self.cache.lock().unwrap();
+        let keep_existing = cache.get(fp).is_some_and(|old| {
+            old.report.is_optimal() || (!outcome.report.is_optimal() && outcome.budget < old.budget)
+        });
+        if !keep_existing {
+            cache.insert(fp, Arc::clone(outcome));
+        }
+    }
+
     /// Handles one parsed request end-to-end.
     pub fn handle(&self, req: &Request) -> Response {
-        let (num_qubits, gates) = match Self::resolve_circuit(req) {
+        let (num_qubits, gates) = match self.resolve_circuit(req) {
             Ok(resolved) => resolved,
             Err(e) => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -203,19 +294,20 @@ impl Server {
             }
         };
         let options = self.solve_options(req);
+        let budget = options.time_budget;
         let fp = fingerprint::request_fingerprint(num_qubits, &gates, &config, &options);
         let family = fingerprint::family_fingerprint(num_qubits, &gates, &config);
 
-        if let Some(cached) = self.cache.lock().unwrap().get(fp) {
+        if let Some(cached) = self.cache_lookup(fp, budget) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return self.render(req, fp, CacheOutcome::Hit, cached.clone());
+            return self.render(req, fp, CacheOutcome::Hit, cached);
         }
 
-        let (outcome, role) = self.flight.run(fp, || {
-            let _seat = self.admission.acquire();
+        let (outcome, role) = self.flight.run(fingerprint::flight_key(fp, budget), || {
             let problem = Problem::from_gates(config.clone(), num_qubits, gates.clone());
             let session = self.family_session(family, &problem);
-            let mut session = session.lock().unwrap();
+            let mut session = Self::lock_session(&session, &problem);
+            let _seat = self.admission.acquire();
             let start = Instant::now();
             let report = session.run(&options);
             let solve_ms = start.elapsed().as_millis() as u64;
@@ -224,11 +316,12 @@ impl Server {
                 report,
                 solve_ms,
                 session_runs: session.runs(),
+                budget,
             })
         });
         let outcome_kind = match role {
             Role::Leader => {
-                self.cache.lock().unwrap().insert(fp, Arc::clone(&outcome));
+                self.cache_store(fp, &outcome);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 CacheOutcome::Miss
             }
@@ -276,15 +369,23 @@ impl Server {
     }
 
     /// Handles one raw JSONL line: parse, dispatch, serialize. Never
-    /// panics on malformed input — parse errors become `"ok": false`
-    /// response lines.
+    /// panics — malformed input becomes `"ok": false` response lines, and
+    /// a panicking solve is caught here (the session it poisoned is
+    /// rebuilt cold by [`Self::lock_session`]) so one bad request cannot
+    /// tear down a stdin batch or a TCP dialogue.
     pub fn handle_line(&self, line: &str) -> String {
         let trimmed = line.trim();
         let response = if trimmed.is_empty() {
             Response::error(None, "empty request line")
         } else {
             match serde_json::from_str::<Request>(trimmed) {
-                Ok(req) => self.handle(&req),
+                Ok(req) => {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(&req)))
+                        .unwrap_or_else(|_| {
+                            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                            Response::error(req.id, "internal error: solve panicked")
+                        })
+                }
                 Err(e) => {
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
                     Response::error(None, format!("bad request: {e}"))
@@ -339,13 +440,20 @@ impl Server {
         Ok(())
     }
 
-    /// Accept loop: one thread per connection, forever. Connection-level
-    /// I/O errors are dropped with the connection, never propagated.
+    /// Accept loop: one thread per connection, forever, bounded at
+    /// [`ServeConfig::tcp_connections`] live dialogues — once the bound
+    /// is reached the loop stops accepting and further attempts queue in
+    /// the listener backlog, so a connection flood cannot grow threads
+    /// without limit. Connection-level I/O errors are dropped with the
+    /// connection, never propagated.
     pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        let gate = Arc::new(Admission::new(self.config.tcp_connections));
         loop {
             let (stream, _peer) = listener.accept()?;
+            let seat = gate.acquire_owned();
             let server = Arc::clone(self);
             std::thread::spawn(move || {
+                let _seat = seat;
                 let _ = server.serve_connection(stream);
             });
         }

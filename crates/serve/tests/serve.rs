@@ -16,7 +16,7 @@ use std::time::Duration;
 use nasp_arch::{ArchConfig, Layout};
 use nasp_core::{Engine, Problem, SolveOptions};
 use nasp_qec::{catalog, graph_state};
-use nasp_serve::fingerprint::{family_fingerprint, request_fingerprint};
+use nasp_serve::fingerprint::{family_fingerprint, flight_key, request_fingerprint};
 use nasp_serve::{CacheOutcome, Request, Response, ServeConfig, Server};
 
 fn perfect5_gates() -> (usize, Vec<(usize, usize)>) {
@@ -32,6 +32,7 @@ fn quick_server() -> Server {
         session_capacity: 4,
         batch: 8,
         default_budget: Duration::from_secs(20),
+        ..ServeConfig::default()
     })
 }
 
@@ -58,7 +59,8 @@ fn fingerprint_is_invariant_under_request_phrasing() {
     shuffled.rotate_left(gates.len() / 2);
     assert_eq!(fp, request_fingerprint(n, &shuffled, &config, &options));
 
-    // A bigger budget is the same question asked more patiently.
+    // A bigger budget is the same question asked more patiently: same
+    // cache line (budget-quality is policed at the cache layer)…
     let patient = SolveOptions::builder()
         .time_budget(Duration::from_secs(600))
         .portfolio(3)
@@ -66,6 +68,17 @@ fn fingerprint_is_invariant_under_request_phrasing() {
         .incremental(false)
         .build();
     assert_eq!(fp, request_fingerprint(n, &gates, &config, &patient));
+    // …but a *distinct* in-flight solve: a patient request must never
+    // coalesce onto an impatient leader's possibly-degraded flight.
+    assert_ne!(
+        flight_key(fp, Duration::from_millis(1)),
+        flight_key(fp, Duration::from_secs(600))
+    );
+    assert_eq!(
+        flight_key(fp, Duration::from_secs(20)),
+        flight_key(fp, Duration::from_secs(20)),
+        "identical budgets still coalesce"
+    );
 }
 
 #[test]
@@ -186,6 +199,85 @@ fn concurrent_identical_requests_solve_exactly_once() {
         .filter(|r| r.cache == Some(CacheOutcome::Miss))
         .count();
     assert_eq!(misses, 1);
+}
+
+#[test]
+fn degraded_small_budget_result_does_not_poison_larger_budgets() {
+    let server = quick_server();
+
+    // A zero budget forces the SMT search to give up immediately: the
+    // answer is heuristic (valid but non-optimal) and must not be served
+    // to anyone who paid for more.
+    let mut impatient = perfect5_request(1);
+    impatient.budget_ms = Some(0);
+    let degraded = server.handle(&impatient);
+    assert!(degraded.ok, "{:?}", degraded.error);
+    assert_eq!(degraded.cache, Some(CacheOutcome::Miss));
+    assert_ne!(
+        degraded.provenance.as_deref(),
+        Some("Optimal"),
+        "zero budget cannot prove optimality"
+    );
+
+    // Same structural request, default (generous) budget: the degraded
+    // entry shares the fingerprint but must NOT answer — this re-solves.
+    let patient = server.handle(&perfect5_request(2));
+    assert_eq!(patient.fingerprint, degraded.fingerprint);
+    assert_eq!(
+        patient.cache,
+        Some(CacheOutcome::Miss),
+        "a degraded entry must not serve a larger budget"
+    );
+    assert_eq!(patient.provenance.as_deref(), Some("Optimal"));
+
+    // The optimal result replaced the degraded entry and now serves
+    // every budget, including tiny ones.
+    let repeat = server.handle(&perfect5_request(3));
+    assert_eq!(repeat.cache, Some(CacheOutcome::Hit));
+    assert_eq!(repeat.provenance.as_deref(), Some("Optimal"));
+    let mut impatient_again = perfect5_request(4);
+    impatient_again.budget_ms = Some(0);
+    let served = server.handle(&impatient_again);
+    assert_eq!(
+        served.cache,
+        Some(CacheOutcome::Hit),
+        "an optimal entry serves any budget"
+    );
+    assert_eq!(served.provenance.as_deref(), Some("Optimal"));
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn oversized_requests_are_rejected_before_allocation() {
+    let server = quick_server();
+
+    // The review's proof-of-concept flood request: well-formed, absurd.
+    let huge = Request {
+        id: Some(1),
+        gates: Some(vec![(0, 999_999_999)]),
+        num_qubits: Some(1_000_000_000),
+        ..Default::default()
+    };
+    let resp = server.handle(&huge);
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap_or_default().contains("exceeds"));
+
+    // Gate-count limit, exercised through a tiny configured bound.
+    let tight = Server::new(ServeConfig {
+        max_gates: 2,
+        ..ServeConfig::default()
+    });
+    let busy = Request {
+        id: Some(2),
+        gates: Some(vec![(0, 1), (1, 2), (0, 2)]),
+        num_qubits: Some(3),
+        ..Default::default()
+    };
+    let resp = tight.handle(&busy);
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap_or_default().contains("exceed"));
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 0);
+    assert_eq!(tight.stats().solves.load(Ordering::SeqCst), 0);
 }
 
 #[test]
