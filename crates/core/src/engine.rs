@@ -58,7 +58,7 @@
 use std::time::Instant;
 
 use nasp_arch::Schedule;
-use nasp_smt::{SolveResult, Stats};
+use nasp_smt::{SolveResult, Stats, Terminator};
 
 use crate::encoding::{EncodeOptions, IncrementalEncoding};
 use crate::problem::Problem;
@@ -159,6 +159,23 @@ impl Session {
     /// keeps workers warm *within* a call, DESIGN.md §8) and leave the
     /// session's warm state untouched.
     pub fn run(&mut self, options: &SolveOptions) -> SolveReport {
+        self.run_with_cancel(options, None)
+    }
+
+    /// Like [`run`](Session::run), with an external cooperative-cancellation
+    /// flag. When `cancel` is signalled — by a client abandoning its
+    /// request, a draining server, or any other owner of the flag — the
+    /// solver backs out at its next poll (every conflict, every 128
+    /// decisions), the sweep stops scheduling new rounds, and the report
+    /// falls back exactly as if the time budget had expired: the proven
+    /// lower bound reflects every round refuted so far, and the heuristic
+    /// fallback (if enabled) still supplies a valid non-optimal schedule.
+    /// The session, including its warm encoding, stays reusable.
+    pub fn run_with_cancel(
+        &mut self,
+        options: &SolveOptions,
+        cancel: Option<&Terminator>,
+    ) -> SolveReport {
         let start = Instant::now();
         let deadline = start + options.time_budget;
 
@@ -173,11 +190,11 @@ impl Session {
                 Provenance::Optimal,
             )
         } else if options.portfolio > 1 {
-            crate::portfolio::solve_portfolio(&self.problem, options, start, deadline)
+            crate::portfolio::solve_portfolio(&self.problem, options, start, deadline, cancel)
         } else if options.incremental {
-            self.run_incremental(options, start, deadline)
+            self.run_incremental(options, start, deadline, cancel)
         } else {
-            solve_scratch(&self.problem, options, start, deadline)
+            solve_scratch(&self.problem, options, start, deadline, cancel)
         };
         self.history.push(report.clone());
         report
@@ -191,12 +208,13 @@ impl Session {
         options: &SolveOptions,
         start: Instant,
         deadline: Instant,
+        cancel: Option<&Terminator>,
     ) -> SolveReport {
         let problem = &self.problem;
         let warm_slot = &mut self.warm;
 
         let lb = problem.stage_lower_bound().max(1);
-        let mut state = SearchState::new(start, deadline, lb);
+        let mut state = SearchState::new(start, deadline, lb).with_cancel(cancel.cloned());
         if lb > options.max_stages {
             return state.fallback(problem, options.heuristic_fallback);
         }
@@ -218,7 +236,7 @@ impl Session {
         let warm = warm_slot.as_mut().expect("warm encoding just ensured");
 
         for s in lb..=options.max_stages {
-            if Instant::now() >= deadline {
+            if state.expired() {
                 break;
             }
             if s > warm.enc.max_stages() {
@@ -235,7 +253,8 @@ impl Session {
             if result == SolveResult::Sat {
                 let mut schedule = warm.enc.decode();
                 if options.minimize_transfers {
-                    schedule = tighten_transfers_incremental(&mut warm.enc, s, deadline, schedule);
+                    schedule =
+                        tighten_transfers_incremental(&mut warm.enc, s, deadline, cancel, schedule);
                 }
                 let provenance = state.sat_provenance();
                 let stats = warm.enc.stats();
@@ -334,6 +353,71 @@ mod tests {
         );
         let s = warm.schedule.expect("schedule");
         assert!(validate_schedule(&s, &p.gates).is_empty());
+    }
+
+    #[test]
+    fn pre_signalled_cancel_degrades_fast_and_keeps_session_reusable() {
+        let code = nasp_qec::catalog::perfect5();
+        let circuit = nasp_qec::graph_state::synthesize(&code.zero_state_stabilizers())
+            .expect("synthesizable");
+        let p = Problem::new(ArchConfig::paper(Layout::BottomStorage), &circuit);
+        let mut session = Engine::new().session(p.clone());
+        let opts = SolveOptions::builder()
+            .time_budget(Duration::from_secs(60))
+            .build();
+
+        // Cancel already raised: the run must come back long before the
+        // 60 s budget with the fallback answer.
+        let cancel = Terminator::new();
+        cancel.signal();
+        let start = Instant::now();
+        let report = session.run_with_cancel(&opts, Some(&cancel));
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "cancelled run must not ride out the budget"
+        );
+        assert!(!report.is_optimal(), "nothing was proved");
+        assert!(
+            report.proven_lb >= 1,
+            "the degree bound still provides a lower bound"
+        );
+        let s = report.schedule.expect("heuristic fallback still answers");
+        assert!(validate_schedule(&s, &p.gates).is_empty());
+
+        // The same session, cancel cleared, still solves to optimality.
+        cancel.clear();
+        let full = session.run_with_cancel(&opts, Some(&cancel));
+        assert!(full.is_optimal(), "session survived the cancelled run");
+    }
+
+    #[test]
+    fn cancel_mid_portfolio_run_stops_the_round() {
+        let code = nasp_qec::catalog::perfect5();
+        let circuit = nasp_qec::graph_state::synthesize(&code.zero_state_stabilizers())
+            .expect("synthesizable");
+        let p = Problem::new(ArchConfig::paper(Layout::BottomStorage), &circuit);
+        let mut session = Engine::new().session(p);
+        let opts = SolveOptions::builder()
+            .time_budget(Duration::from_secs(60))
+            .portfolio(2)
+            .build();
+        let cancel = Terminator::new();
+        let flag = cancel.clone();
+        let signaller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.signal();
+        });
+        let start = Instant::now();
+        let report = session.run_with_cancel(&opts, Some(&cancel));
+        signaller.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "cancel must cut the portfolio short of its budget"
+        );
+        // Either the race finished before the signal landed (tiny
+        // instance) or it was cancelled — both must leave a usable
+        // report.
+        assert!(report.schedule.is_some() || report.proven_lb >= 1);
     }
 
     #[test]

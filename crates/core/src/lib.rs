@@ -45,6 +45,9 @@ pub mod solve;
 
 pub use encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 pub use engine::{Engine, Session};
+/// Cooperative-cancellation flag, re-exported so service layers can cancel
+/// a [`Session::run_with_cancel`] without depending on the solver crates.
+pub use nasp_smt::Terminator;
 pub use problem::Problem;
 pub use report::{
     run_experiment, run_table1, table1_instances, ExperimentOptions, ExperimentResult,

@@ -37,9 +37,9 @@
 //! clause across incompatible variable numberings (DESIGN.md §9). A debug
 //! assertion cross-checks that all workers agree on `num_vars` each round.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nasp_arch::Schedule;
 use nasp_smt::{Budget, ClauseExchange, ShareHandle, SolveResult, SolverConfig, Terminator};
@@ -108,6 +108,13 @@ struct Rounds {
     query_txs: Vec<Sender<Query>>,
     resp_rx: Receiver<Response>,
     stop: Terminator,
+    /// External cooperative-cancellation flag (client abandoned, server
+    /// draining). Distinct from `stop`, which is the *round-local* race
+    /// terminator cleared after every round: when `cancel` fires the
+    /// orchestrator relays it into `stop` so the in-flight round unwinds,
+    /// and the sweep (which polls `cancel` via `SearchState::expired`)
+    /// never starts another.
+    cancel: Option<Terminator>,
     wins: Vec<u64>,
     latest: Vec<SatCounters>,
 }
@@ -128,7 +135,20 @@ impl Rounds {
         let mut winner: Option<usize> = None;
         let mut round_vars: Option<usize> = None;
         for _ in 0..self.query_txs.len() {
-            let r = self.resp_rx.recv().expect("worker thread responds");
+            // Poll the external cancel while waiting: a blocking recv()
+            // would leave an abandoned request racing to the full budget.
+            let r = loop {
+                if self.cancel.as_ref().is_some_and(Terminator::is_signalled) {
+                    self.stop.signal();
+                }
+                match self.resp_rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(r) => break r,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("worker thread responds")
+                    }
+                }
+            };
             if r.died {
                 panic!("portfolio worker {} panicked mid-round", r.worker);
             }
@@ -181,10 +201,11 @@ pub(crate) fn solve_portfolio(
     options: &SolveOptions,
     start: Instant,
     deadline: Instant,
+    cancel: Option<&Terminator>,
 ) -> SolveReport {
     let k = options.portfolio.max(2);
     let lb = problem.stage_lower_bound().max(1);
-    let mut state = SearchState::new(start, deadline, lb);
+    let mut state = SearchState::new(start, deadline, lb).with_cancel(cancel.cloned());
     if lb > options.max_stages {
         let mut report = state.fallback(problem, options.heuristic_fallback);
         report.portfolio_workers = k;
@@ -226,13 +247,14 @@ pub(crate) fn solve_portfolio(
             query_txs,
             resp_rx,
             stop,
+            cancel: cancel.cloned(),
             wins: vec![0; k],
             latest: vec![SatCounters::default(); k],
         };
 
         let mut outcome: Option<(Schedule, Provenance)> = None;
         'sweep: for s in lb..=options.max_stages {
-            if Instant::now() >= deadline {
+            if state.expired() {
                 break;
             }
             let (result, model) = rounds.run(Query::Stage { s });
@@ -242,7 +264,7 @@ pub(crate) fn solve_portfolio(
                 if options.minimize_transfers {
                     loop {
                         let current = best.num_transfer();
-                        if current == 0 || Instant::now() >= deadline {
+                        if current == 0 || state.expired() {
                             break;
                         }
                         let (r, m) = rounds.run(Query::Tighten {

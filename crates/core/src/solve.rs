@@ -23,7 +23,7 @@
 use std::time::{Duration, Instant};
 
 use nasp_arch::Schedule;
-use nasp_smt::{Budget, SolveResult};
+use nasp_smt::{Budget, SolveResult, Terminator};
 use serde::{Deserialize, Serialize};
 
 use crate::encoding::{EncodeOptions, Encoding, IncrementalEncoding};
@@ -332,6 +332,11 @@ impl SatCounters {
 pub(crate) struct SearchState {
     start: Instant,
     pub(crate) deadline: Instant,
+    /// External cooperative-cancellation flag (a client abandoning its
+    /// request, a draining server): rides in every per-round [`Budget`]
+    /// alongside the wall-clock deadline, and the sweep loops poll it
+    /// between rounds so a cancelled search stops scheduling new work.
+    cancel: Option<Terminator>,
     log: Vec<(usize, SolveResult)>,
     all_proved_unsat: bool,
     proven_lb: usize,
@@ -343,6 +348,7 @@ impl SearchState {
         SearchState {
             start,
             deadline,
+            cancel: None,
             log: Vec::new(),
             all_proved_unsat: true,
             proven_lb: lb,
@@ -350,9 +356,25 @@ impl SearchState {
         }
     }
 
+    /// Attaches an external cancellation flag to every budget this state
+    /// hands out.
+    pub(crate) fn with_cancel(mut self, cancel: Option<Terminator>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// `true` once the search must stop: past the deadline, or externally
+    /// cancelled. Checked between rounds; within a round the solver polls
+    /// the same limits through [`SearchState::budget`].
+    pub(crate) fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+            || self.cancel.as_ref().is_some_and(Terminator::is_signalled)
+    }
+
     pub(crate) fn budget(&self) -> Budget {
         Budget {
             deadline: Some(self.deadline),
+            stop: self.cancel.clone(),
             ..Budget::default()
         }
     }
@@ -447,11 +469,12 @@ pub(crate) fn solve_scratch(
     options: &SolveOptions,
     start: Instant,
     deadline: Instant,
+    cancel: Option<&Terminator>,
 ) -> SolveReport {
     let lb = problem.stage_lower_bound().max(1);
-    let mut state = SearchState::new(start, deadline, lb);
+    let mut state = SearchState::new(start, deadline, lb).with_cancel(cancel.cloned());
     for s in lb..=options.max_stages {
-        if Instant::now() >= deadline {
+        if state.expired() {
             break;
         }
         let mut enc = Encoding::build(problem, s, options.encode);
@@ -466,6 +489,7 @@ pub(crate) fn solve_scratch(
                     s,
                     options,
                     deadline,
+                    cancel,
                     schedule,
                     &mut state.counters,
                 );
@@ -484,15 +508,20 @@ pub(crate) fn tighten_transfers_incremental(
     enc: &mut IncrementalEncoding,
     s: usize,
     deadline: Instant,
+    cancel: Option<&Terminator>,
     mut best: Schedule,
 ) -> Schedule {
     loop {
         let current = best.num_transfer();
-        if current == 0 || Instant::now() >= deadline {
+        if current == 0
+            || Instant::now() >= deadline
+            || cancel.is_some_and(Terminator::is_signalled)
+        {
             return best;
         }
         let budget = Budget {
             deadline: Some(deadline),
+            stop: cancel.cloned(),
             ..Budget::default()
         };
         match enc.solve_at_with_max_transfers(s, current - 1, budget) {
@@ -507,23 +536,29 @@ pub(crate) fn tighten_transfers_incremental(
 }
 
 /// Scratch counterpart of the tightening loop: a fresh encoding per step.
+#[allow(clippy::too_many_arguments)]
 fn tighten_transfers_scratch(
     problem: &Problem,
     s: usize,
     options: &SolveOptions,
     deadline: Instant,
+    cancel: Option<&Terminator>,
     mut best: Schedule,
     counters: &mut SatCounters,
 ) -> Schedule {
     loop {
         let current = best.num_transfer();
-        if current == 0 || Instant::now() >= deadline {
+        if current == 0
+            || Instant::now() >= deadline
+            || cancel.is_some_and(Terminator::is_signalled)
+        {
             return best;
         }
         let mut enc = Encoding::build(problem, s, options.encode);
         enc.assert_max_transfers(current - 1);
         let budget = Budget {
             deadline: Some(deadline),
+            stop: cancel.cloned(),
             ..Budget::default()
         };
         let result = enc.solve(budget);

@@ -1,18 +1,37 @@
-//! Bounded LRU cache keyed by request fingerprint.
+//! Bounded LRU cache keyed by request fingerprint, with cost-aware
+//! eviction.
 //!
 //! O(1) `get` / `insert` via a `HashMap` into an intrusive doubly-linked
 //! list laid out over a slot vector — no per-entry allocation beyond the
 //! value itself, no external dependencies. The service wraps this in a
 //! mutex; the structure itself is single-threaded.
+//!
+//! Eviction is *cost-weighted* LRU: each entry carries a cost (the
+//! milliseconds its solve took, for the schedule cache), and when the
+//! cache is full the victim is the cheapest entry among a small sample
+//! taken from the cold (least-recently-used) end of the recency list. A
+//! 300 s schedule thus outlives a crowd of 10 ms ones even when it has
+//! not been touched for a while, because re-deriving it is what the cache
+//! exists to avoid. When all costs are equal (the default-cost
+//! [`LruCache::insert`] path) the sample always picks the tail and the
+//! policy degrades to exact LRU.
 
 use std::collections::HashMap;
 
 /// Sentinel for "no neighbour" in the intrusive list.
 const NIL: usize = usize::MAX;
 
+/// Entries inspected from the cold end when choosing an eviction victim.
+/// Small enough to keep eviction O(1)-ish, large enough that an expensive
+/// entry drifting toward the tail has several cheap entries sacrificed on
+/// its behalf before it is ever considered.
+const EVICTION_SAMPLE: usize = 8;
+
 struct Slot<V> {
     key: u128,
     value: V,
+    /// Eviction weight: how expensive this entry was to produce.
+    cost: u64,
     prev: usize,
     next: usize,
 }
@@ -98,11 +117,43 @@ impl<V> LruCache<V> {
         Some(&self.slots[i].value)
     }
 
-    /// Inserts `key → value`, evicting the least recently used entry when
+    /// Inserts `key → value` with default (zero) cost, evicting when
     /// full. An existing entry for `key` is overwritten and promoted.
+    /// With uniform costs eviction is exact LRU.
     pub fn insert(&mut self, key: u128, value: V) {
+        self.insert_with_cost(key, value, 0);
+    }
+
+    /// Chooses the eviction victim: the cheapest slot among the last
+    /// [`EVICTION_SAMPLE`] entries of the recency list, ties broken
+    /// toward the colder (more tailward) entry so uniform costs reduce
+    /// to exact LRU.
+    fn evict_victim(&self) -> usize {
+        let mut victim = self.tail;
+        let mut victim_cost = self.slots[victim].cost;
+        let mut i = self.slots[victim].prev;
+        for _ in 1..EVICTION_SAMPLE {
+            if i == NIL {
+                break;
+            }
+            if self.slots[i].cost < victim_cost {
+                victim = i;
+                victim_cost = self.slots[i].cost;
+            }
+            i = self.slots[i].prev;
+        }
+        victim
+    }
+
+    /// Inserts `key → value` carrying an eviction cost (for the schedule
+    /// cache: the solve's wall-clock milliseconds). When full, evicts the
+    /// cheapest of a small sample from the cold end — cheap entries go
+    /// first, expensive ones survive longer than their recency alone
+    /// would allow.
+    pub fn insert_with_cost(&mut self, key: u128, value: V, cost: u64) {
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
+            self.slots[i].cost = cost;
             if self.head != i {
                 self.unlink(i);
                 self.link_front(i);
@@ -110,21 +161,24 @@ impl<V> LruCache<V> {
             return;
         }
         let i = if self.map.len() >= self.capacity {
-            // Evict the tail: reuse its slot for the new entry.
-            let victim = self.tail;
+            // Reuse the victim's slot for the new entry.
+            let victim = self.evict_victim();
             self.unlink(victim);
             self.map.remove(&self.slots[victim].key);
             self.slots[victim].key = key;
             self.slots[victim].value = value;
+            self.slots[victim].cost = cost;
             victim
         } else if let Some(free) = self.free.pop() {
             self.slots[free].key = key;
             self.slots[free].value = value;
+            self.slots[free].cost = cost;
             free
         } else {
             self.slots.push(Slot {
                 key,
                 value,
+                cost,
                 prev: NIL,
                 next: NIL,
             });
@@ -150,6 +204,19 @@ impl<V> LruCache<V> {
         let mut i = self.head;
         while i != NIL {
             out.push(self.slots[i].key);
+            i = self.slots[i].next;
+        }
+        out
+    }
+
+    /// `(key, value, cost)` triples from most to least recently used,
+    /// *without* promoting anything — the snapshot writer walks the whole
+    /// cache and must not disturb the recency order it is recording.
+    pub fn entries_by_recency(&self) -> Vec<(u128, &V, u64)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push((self.slots[i].key, &self.slots[i].value, self.slots[i].cost));
             i = self.slots[i].next;
         }
         out
@@ -209,6 +276,47 @@ mod tests {
         assert_eq!(c.get(2), None);
         assert_eq!(c.get(3), Some(&30));
         assert_eq!(c.get(4), Some(&40));
+    }
+
+    #[test]
+    fn expensive_entry_survives_cheap_churn() {
+        let mut c = LruCache::new(4);
+        c.insert_with_cost(100, "gold", 10_000);
+        for k in 0..3u128 {
+            c.insert_with_cost(k, "cheap", 1);
+        }
+        // The expensive entry is now the coldest; filling past capacity
+        // must sacrifice cheap entries instead.
+        for k in 10..20u128 {
+            c.insert_with_cost(k, "churn", 1);
+            assert!(c.len() <= 4);
+        }
+        assert!(
+            c.keys_by_recency().contains(&100),
+            "cost-weighted eviction keeps the expensive entry"
+        );
+    }
+
+    #[test]
+    fn uniform_costs_degrade_to_exact_lru() {
+        let mut c = LruCache::new(3);
+        for k in 0..10u128 {
+            c.insert_with_cost(k, k, 7);
+        }
+        assert_eq!(c.keys_by_recency(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn entries_by_recency_does_not_promote() {
+        let mut c = LruCache::new(3);
+        c.insert_with_cost(1, "a", 5);
+        c.insert_with_cost(2, "b", 6);
+        let entries = c.entries_by_recency();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, 2);
+        assert_eq!(entries[0].2, 6);
+        assert_eq!(entries[1].0, 1);
+        assert_eq!(c.keys_by_recency(), vec![2, 1], "order untouched");
     }
 
     #[test]

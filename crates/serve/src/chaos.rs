@@ -1,0 +1,142 @@
+//! Fault injection for resilience testing (`--chaos`).
+//!
+//! A [`Chaos`] instance carries four independent fault streams, each
+//! driven by its own monotone tick counter so injection is deterministic
+//! regardless of thread interleaving *counts* (which tick lands on which
+//! request still depends on scheduling, but "every Kth event fires"
+//! always holds globally):
+//!
+//! * `panic=K` — every Kth solver run panics before starting, exercising
+//!   the catch-unwind + poisoned-session recovery path;
+//! * `latency=MS` — every solver run sleeps `MS` milliseconds first,
+//!   widening race windows (deadline vs. completion, disconnect vs.
+//!   completion) that are otherwise hard to hit;
+//! * `torn=K` — every Kth TCP response write is torn: only half the
+//!   bytes are written and the connection is dropped, exercising client
+//!   truncation handling and server-side write-error cleanup;
+//! * `snapfail=K` — every Kth snapshot write fails before the atomic
+//!   rename, exercising the crash-safety argument (the previous snapshot
+//!   must survive intact).
+//!
+//! Chaos is configuration, not compile-time state: the injector is built
+//! from a spec string (`"panic=3,latency=50"`) so integration tests and
+//! the `--chaos` flag share one code path, and a production binary
+//! simply never constructs one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A fault injector; absent in normal operation.
+#[derive(Debug, Default)]
+pub struct Chaos {
+    /// Panic on every Kth solve (0 = never).
+    panic_every: u64,
+    /// Sleep this long before every solve.
+    latency: Duration,
+    /// Tear every Kth TCP response write (0 = never).
+    torn_every: u64,
+    /// Fail every Kth snapshot write (0 = never).
+    snapfail_every: u64,
+    solve_ticks: AtomicU64,
+    torn_ticks: AtomicU64,
+    snap_ticks: AtomicU64,
+}
+
+impl Chaos {
+    /// Parses a spec string: comma-separated `key=value` pairs from
+    /// `panic`, `latency` (milliseconds), `torn`, `snapfail`. Unknown
+    /// keys and malformed values are errors — a typo in a chaos spec
+    /// silently injecting nothing would defeat the test it gates.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut chaos = Chaos::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec `{part}` is not key=value"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("chaos spec `{part}` has a non-numeric value"))?;
+            match key {
+                "panic" => chaos.panic_every = n,
+                "latency" => chaos.latency = Duration::from_millis(n),
+                "torn" => chaos.torn_every = n,
+                "snapfail" => chaos.snapfail_every = n,
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        Ok(chaos)
+    }
+
+    /// `true` on every `every`th call per counter (1-based, so
+    /// `every = 1` fires always and `every = 0` never).
+    fn fires(counter: &AtomicU64, every: u64) -> bool {
+        every > 0 && counter.fetch_add(1, Ordering::Relaxed) % every == every - 1
+    }
+
+    /// Called at the top of every solver run: injects latency, then
+    /// panics when this run's tick is due.
+    pub fn before_solve(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        if Self::fires(&self.solve_ticks, self.panic_every) {
+            panic!("chaos: injected solver panic");
+        }
+    }
+
+    /// Whether this TCP response write should be torn.
+    pub fn tear_write(&self) -> bool {
+        Self::fires(&self.torn_ticks, self.torn_every)
+    }
+
+    /// Whether this snapshot write should fail.
+    pub fn fail_snapshot(&self) -> bool {
+        Self::fires(&self.snap_ticks, self.snapfail_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let c = Chaos::parse("panic=3,latency=50,torn=2,snapfail=1").unwrap();
+        assert_eq!(c.panic_every, 3);
+        assert_eq!(c.latency, Duration::from_millis(50));
+        assert_eq!(c.torn_every, 2);
+        assert_eq!(c.snapfail_every, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(Chaos::parse("explode=1").is_err());
+        assert!(Chaos::parse("panic=lots").is_err());
+        assert!(Chaos::parse("panic").is_err());
+    }
+
+    #[test]
+    fn empty_spec_injects_nothing() {
+        let c = Chaos::parse("").unwrap();
+        c.before_solve(); // must not panic
+        assert!(!c.tear_write());
+        assert!(!c.fail_snapshot());
+    }
+
+    #[test]
+    fn every_k_cadence() {
+        let c = Chaos::parse("torn=3").unwrap();
+        let fired: Vec<bool> = (0..9).map(|_| c.tear_write()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected solver panic")]
+    fn panic_every_one_fires_immediately() {
+        let c = Chaos::parse("panic=1").unwrap();
+        c.before_solve();
+    }
+}

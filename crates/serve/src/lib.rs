@@ -16,19 +16,31 @@
 //!   architecture)` family persist across requests, so repeat business
 //!   hits a solver that already knows the instance.
 //!
-//! See DESIGN.md §10 for the architecture and the soundness argument,
-//! and the README's *serving* section for the wire format.
+//! A resilience layer wraps the fast path: requests carry wall-clock
+//! deadlines and are cancelled mid-solve when their client disconnects
+//! ([`protocol`], [`server`]), the cache survives restarts through
+//! atomic snapshots ([`persist`]), eviction is cost-weighted so cheap
+//! entries go first ([`cache`]), and a fault injector ([`chaos`])
+//! proves the service survives solver panics, torn writes and snapshot
+//! failures.
+//!
+//! See DESIGN.md §10–§11 for the architecture and the soundness
+//! argument, and the README's *serving* section for the wire format.
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod fingerprint;
+pub mod lineio;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod singleflight;
 
 pub use cache::LruCache;
-pub use protocol::{CacheOutcome, Request, Response};
+pub use chaos::Chaos;
+pub use protocol::{CacheOutcome, Request, Response, StatsSnapshot};
 pub use server::{ServeConfig, ServeStats, Server};
 pub use singleflight::{Role, SingleFlight};

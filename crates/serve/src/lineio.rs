@@ -1,0 +1,147 @@
+//! Bounded JSONL line reading.
+//!
+//! `BufRead::lines` happily accumulates an unbounded line — one client
+//! streaming gigabytes with no newline would balloon the server until
+//! the allocator gives out. [`read_bounded_line`] caps the bytes a
+//! single line may occupy and reports the two degenerate endings a
+//! network peer can produce — an oversized line and a truncated final
+//! line — as distinct outcomes so the caller can answer each with a
+//! clean diagnostic instead of a panic or a silent hang.
+
+use std::io::BufRead;
+
+/// One read attempt's outcome.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Line {
+    /// A complete line (terminator stripped, may be empty).
+    Full(String),
+    /// The line exceeded the byte cap. The remainder up to the next
+    /// newline has been consumed and discarded, so the stream is
+    /// positioned at the next line — the caller chooses whether to
+    /// continue (stdin batches) or drop the connection (TCP).
+    Oversize,
+    /// End of stream with unconsumed bytes but no final newline — the
+    /// peer disconnected mid-line.
+    Truncated,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max_bytes` bytes.
+/// Invalid UTF-8 surfaces as `Oversize`-like garbage at the JSON parse
+/// layer instead: bytes are replaced lossily, never panicked on.
+pub fn read_bounded_line<R: BufRead>(reader: &mut R, max_bytes: usize) -> std::io::Result<Line> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                Line::Eof
+            } else {
+                Line::Truncated
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max_bytes {
+                    reader.consume(pos + 1);
+                    return Ok(Line::Oversize);
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(Line::Full(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > max_bytes {
+                    // Over the cap with no newline in sight: discard
+                    // until the line ends (or the stream does).
+                    reader.consume(len);
+                    loop {
+                        let chunk = reader.fill_buf()?;
+                        if chunk.is_empty() {
+                            return Ok(Line::Oversize);
+                        }
+                        match chunk.iter().position(|&b| b == b'\n') {
+                            Some(pos) => {
+                                reader.consume(pos + 1);
+                                return Ok(Line::Oversize);
+                            }
+                            None => {
+                                let len = chunk.len();
+                                reader.consume(len);
+                            }
+                        }
+                    }
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<Line> {
+        let mut r = BufReader::with_capacity(4, input);
+        let mut out = Vec::new();
+        loop {
+            let line = read_bounded_line(&mut r, max).unwrap();
+            let done = matches!(line, Line::Eof | Line::Truncated);
+            out.push(line);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_strips_terminators() {
+        assert_eq!(
+            read_all(b"abc\ndef\r\n\nghi\n", 100),
+            vec![
+                Line::Full("abc".into()),
+                Line::Full("def".into()),
+                Line::Full("".into()),
+                Line::Full("ghi".into()),
+                Line::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_final_line_is_reported() {
+        assert_eq!(
+            read_all(b"abc\npartial", 100),
+            vec![Line::Full("abc".into()), Line::Truncated]
+        );
+    }
+
+    #[test]
+    fn oversize_line_is_discarded_and_stream_recovers() {
+        assert_eq!(
+            read_all(b"0123456789\nok\n", 5),
+            vec![Line::Oversize, Line::Full("ok".into()), Line::Eof]
+        );
+    }
+
+    #[test]
+    fn oversize_without_newline_ends_stream() {
+        assert_eq!(read_all(b"0123456789", 5), vec![Line::Oversize, Line::Eof]);
+    }
+
+    #[test]
+    fn exact_cap_is_allowed() {
+        assert_eq!(
+            read_all(b"12345\n", 5),
+            vec![Line::Full("12345".into()), Line::Eof]
+        );
+    }
+}

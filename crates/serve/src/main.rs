@@ -2,30 +2,43 @@
 //!
 //! ```text
 //! nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
-//!                    [--max-qubits N] [--max-gates N]
+//!                    [--max-qubits N] [--max-gates N] [--snapshot PATH] [--snapshot-every N]
+//!                    [--max-line-bytes N] [--chaos SPEC]
 //! nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
-//!                       [--max-qubits N] [--max-gates N] [--tcp-conns N]
+//!                       [--max-qubits N] [--max-gates N] [--tcp-conns N] [--snapshot PATH]
+//!                       [--snapshot-every N] [--drain-ms N] [--max-line-bytes N] [--chaos SPEC]
 //! ```
 //!
 //! `--stdin` reads one JSON request per line until EOF and writes one
 //! JSON response per line, in input order. `--tcp ADDR` (e.g.
-//! `127.0.0.1:7878`) accepts connections forever, one JSONL dialogue
-//! each. Exactly one mode must be chosen. Unknown flags are rejected —
-//! a typo must not silently fall back to defaults.
+//! `127.0.0.1:7878`) accepts connections, one JSONL dialogue each,
+//! until its own stdin reaches EOF — the graceful-shutdown trigger:
+//! in-flight dialogues get `--drain-ms` to finish, the cache snapshot
+//! is flushed, and the process exits 0. Exactly one mode must be
+//! chosen. Unknown flags are rejected — a typo must not silently fall
+//! back to defaults.
+//!
+//! `--snapshot PATH` makes the schedule cache survive restarts: loaded
+//! at boot, written atomically on shutdown and every `--snapshot-every`
+//! solves. `--chaos SPEC` (e.g. `panic=3,latency=50,torn=2,snapfail=1`)
+//! arms the fault injector — for resilience testing only.
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
-use nasp_serve::{ServeConfig, Server};
+use nasp_serve::{Chaos, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
-         \x20                        [--max-qubits N] [--max-gates N]\n\
+         \x20                        [--max-qubits N] [--max-gates N] [--snapshot PATH]\n\
+         \x20                        [--snapshot-every N] [--max-line-bytes N] [--chaos SPEC]\n\
          \x20      nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
-         \x20                        [--max-qubits N] [--max-gates N] [--tcp-conns N]"
+         \x20                        [--max-qubits N] [--max-gates N] [--tcp-conns N]\n\
+         \x20                        [--snapshot PATH] [--snapshot-every N] [--drain-ms N]\n\
+         \x20                        [--max-line-bytes N] [--chaos SPEC]"
     );
     exit(2);
 }
@@ -65,6 +78,28 @@ fn main() {
             "--max-qubits" => config.max_qubits = parse_value("--max-qubits", args.next()),
             "--max-gates" => config.max_gates = parse_value("--max-gates", args.next()),
             "--tcp-conns" => config.tcp_connections = parse_value("--tcp-conns", args.next()),
+            "--snapshot" => {
+                config.snapshot = Some(parse_value::<String>("--snapshot", args.next()).into())
+            }
+            "--snapshot-every" => {
+                config.snapshot_every = parse_value("--snapshot-every", args.next())
+            }
+            "--drain-ms" => {
+                config.drain = Duration::from_millis(parse_value("--drain-ms", args.next()))
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = parse_value("--max-line-bytes", args.next())
+            }
+            "--chaos" => {
+                let spec: String = parse_value("--chaos", args.next());
+                match Chaos::parse(&spec) {
+                    Ok(chaos) => config.chaos = Some(Arc::new(chaos)),
+                    Err(e) => {
+                        eprintln!("nasp-serve: {e}");
+                        usage();
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("nasp-serve: unknown flag `{other}`");
@@ -76,6 +111,7 @@ fn main() {
     match (stdin_mode, tcp_addr) {
         (true, None) => {
             let server = Server::new(config);
+            boot_snapshot(&server);
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout();
             if let Err(e) = server.serve_lines(stdin.lock(), &mut stdout) {
@@ -96,11 +132,37 @@ fn main() {
                 listener.local_addr().map_or(addr, |a| a.to_string())
             );
             let server = Arc::new(Server::new(config));
+            boot_snapshot(&server);
+            // Graceful-shutdown trigger: when our stdin closes (parent
+            // exited, operator hit ^D, supervisor closed the pipe) the
+            // accept loop drains and returns instead of dying mid-solve.
+            let watcher = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                use std::io::BufRead;
+                let stdin = std::io::stdin();
+                let mut lock = stdin.lock();
+                while matches!(lock.read_line(&mut sink), Ok(n) if n > 0) {
+                    sink.clear();
+                }
+                eprintln!("nasp-serve: stdin closed, shutting down");
+                watcher.begin_shutdown();
+            });
             if let Err(e) = server.serve_tcp(listener) {
                 eprintln!("nasp-serve: accept loop failed: {e}");
                 exit(1);
             }
         }
         _ => usage(),
+    }
+}
+
+/// Loads the cache snapshot at boot; a rejected or unreadable snapshot
+/// is reported and skipped — the service starts cold, never wedged.
+fn boot_snapshot(server: &Server) {
+    match server.load_snapshot() {
+        Ok(0) => {}
+        Ok(n) => eprintln!("nasp-serve: restored {n} cached entries from snapshot"),
+        Err(e) => eprintln!("nasp-serve: snapshot not loaded: {e}"),
     }
 }

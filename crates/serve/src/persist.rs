@@ -1,0 +1,247 @@
+//! Crash-survivable schedule-cache snapshots.
+//!
+//! The LRU cache is the service's accumulated capital — hours of solver
+//! work condensed into answers — and without persistence it dies with
+//! the process. A snapshot is a JSONL file: one versioned header line,
+//! then one entry per cached outcome, most-recently-used first, so a
+//! load that stops early (truncated file, shrunk capacity) keeps the
+//! hottest entries.
+//!
+//! Crash safety is the standard temp-file dance: write everything to
+//! `<path>.tmp` in the same directory, `sync_all`, then `rename` over
+//! the target. POSIX rename is atomic within a filesystem, so at every
+//! instant the target path holds either the complete previous snapshot
+//! or the complete new one — a crash mid-write costs at most the delta
+//! since the last snapshot, never the file.
+//!
+//! The header carries a format version. A loader finding any other
+//! version (or no parseable header) rejects the file with an error
+//! instead of misreading entries whose meaning may have shifted —
+//! cached schedules are *answers*, and serving a misdecoded answer is
+//! strictly worse than starting cold.
+//!
+//! Entries persist only what reconstruction needs: fingerprint, budget
+//! tier, solve cost, provenance, proven lower bound and the schedule.
+//! Solver effort counters are deliberately dropped — a restored entry
+//! answers as a cache hit, and hits report zero work.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use nasp_arch::Schedule;
+use nasp_core::Provenance;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint;
+
+/// Snapshot format version; bump on any incompatible entry change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// First line of a snapshot file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    /// Format version tag (`nasp_snapshot`): the loader rejects
+    /// anything but [`SNAPSHOT_VERSION`].
+    nasp_snapshot: u32,
+    /// Entry count that follows (informational; the loader reads to
+    /// EOF and tolerates truncation).
+    entries: usize,
+}
+
+/// One cached outcome, wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Request fingerprint, hex (the cache key).
+    pub fingerprint: String,
+    /// Budget tier of the outcome, milliseconds (see the budget-tier
+    /// cache rules in `server.rs`).
+    pub budget_ms: u64,
+    /// Wall-clock cost of the original solve — the eviction weight.
+    pub solve_ms: u64,
+    /// Schedule provenance.
+    pub provenance: Provenance,
+    /// Proven lower bound on the minimal stage count.
+    pub proven_lb: usize,
+    /// The schedule itself (absent when the original solve found none).
+    pub schedule: Option<Schedule>,
+}
+
+/// Parses a fingerprint back from its hex wire form.
+fn parse_fingerprint(hex: &str) -> Result<u128, String> {
+    u128::from_str_radix(hex, 16).map_err(|_| format!("bad fingerprint `{hex}`"))
+}
+
+/// Writes a snapshot atomically: temp file, fsync, rename. `entries`
+/// must be ordered most-recently-used first. `fail_injected` (chaos)
+/// aborts after the temp write but before the rename — exactly the
+/// window the atomicity argument is about.
+pub fn save(path: &Path, entries: &[SnapshotEntry], fail_injected: bool) -> std::io::Result<usize> {
+    let tmp = path.with_extension("tmp");
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        let header = Header {
+            nasp_snapshot: SNAPSHOT_VERSION,
+            entries: entries.len(),
+        };
+        writeln!(
+            w,
+            "{}",
+            serde_json::to_string(&header).expect("header serializes")
+        )?;
+        for entry in entries {
+            writeln!(
+                w,
+                "{}",
+                serde_json::to_string(entry).expect("entries serialize")
+            )?;
+        }
+        let file = w.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+    }
+    if fail_injected {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(std::io::Error::other("chaos: injected snapshot failure"));
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(entries.len())
+}
+
+/// Loads a snapshot, returning entries most-recently-used first (save
+/// order). A missing file is `Ok(vec![])` — first boot is not an error
+/// — but a present file with a wrong or unparseable header is
+/// rejected. Individual undecodable entry lines are skipped (a partial
+/// cache is strictly better than none once the header proved the
+/// format is ours).
+pub fn load(path: &Path) -> std::io::Result<Vec<(u128, SnapshotEntry)>> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut reader = BufReader::new(file);
+    let mut header_line = String::new();
+    reader.read_line(&mut header_line)?;
+    let header: Header = serde_json::from_str(header_line.trim()).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("snapshot header unreadable: {e}"),
+        )
+    })?;
+    if header.nasp_snapshot != SNAPSHOT_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "snapshot version {} (this build reads {SNAPSHOT_VERSION})",
+                header.nasp_snapshot
+            ),
+        ));
+    }
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(entry) = serde_json::from_str::<SnapshotEntry>(trimmed) else {
+            continue;
+        };
+        let Ok(fp) = parse_fingerprint(&entry.fingerprint) else {
+            continue;
+        };
+        out.push((fp, entry));
+    }
+    Ok(out)
+}
+
+/// Round-trip helper for entry construction: hex-encodes the key the
+/// same way responses do.
+pub fn entry_key(fp: u128) -> String {
+    fingerprint::hex(fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nasp-persist-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample(fp: u128) -> SnapshotEntry {
+        SnapshotEntry {
+            fingerprint: entry_key(fp),
+            budget_ms: 1000,
+            solve_ms: 42,
+            provenance: Provenance::Optimal,
+            proven_lb: 3,
+            schedule: None,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_order() {
+        let path = tmp_path("roundtrip");
+        let entries = vec![sample(7), sample(1), sample(99)];
+        save(&path, &entries, false).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(
+            loaded.iter().map(|(fp, _)| *fp).collect::<Vec<_>>(),
+            vec![7, 1, 99]
+        );
+        assert_eq!(loaded[0].1.solve_ms, 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_not_error() {
+        assert!(load(&tmp_path("never-written")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let path = tmp_path("wrong-version");
+        std::fs::write(&path, "{\"nasp_snapshot\":999,\"entries\":0}\n").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_failure_leaves_previous_snapshot_intact() {
+        let path = tmp_path("chaos");
+        save(&path, &[sample(5)], false).unwrap();
+        let err = save(&path, &[sample(6), sample(7)], true).unwrap_err();
+        assert!(err.to_string().contains("chaos"));
+        // The rename never ran: the old snapshot still loads, and no
+        // temp file lingers.
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, 5);
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undecodable_entry_lines_are_skipped() {
+        let path = tmp_path("partial");
+        save(&path, &[sample(11), sample(12)], false).unwrap();
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("this line is torn{{{\n");
+        std::fs::write(&path, contents).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -14,6 +14,19 @@
 //! concurrent identical request's solve) or `"miss"` (this request ran
 //! the solver). Malformed requests produce `"ok": false` with a
 //! diagnostic instead of tearing down the connection.
+//!
+//! Two control requests bypass the solver entirely: `{"ping": true}`
+//! answers `{"ok": true, "pong": true}` without touching the cache or an
+//! admission seat (load-balancer health checks must not queue behind
+//! solves), and `{"stats": true}` echoes the service counters.
+//!
+//! A request may carry `deadline_ms`, a wall-clock bound measured from
+//! the moment the line is parsed. The effective solve budget is the
+//! smaller of the nominal budget and the time left before the deadline —
+//! queue wait counts against it — and a solve cut short by the deadline
+//! (or by the client disconnecting mid-solve) answers `"ok": true,
+//! "degraded": true` with the best proven lower bound and, when the
+//! heuristic fallback found one, a valid non-optimal schedule.
 
 use nasp_arch::{ArchConfig, Layout, Schedule};
 use serde::{Deserialize, Serialize};
@@ -41,6 +54,10 @@ pub struct Request {
     pub e_max: Option<i64>,
     /// Solve budget in milliseconds (default: the server's).
     pub budget_ms: Option<u64>,
+    /// Wall-clock deadline in milliseconds from request arrival. Time
+    /// spent queueing counts; a solve still running at the deadline is
+    /// cancelled and answers degraded (`ok: true, degraded: true`).
+    pub deadline_ms: Option<u64>,
     /// Stage-count cap (default 16, the library default).
     pub max_stages: Option<usize>,
     /// Minimize transfer stages after fixing `S` (default true).
@@ -48,6 +65,12 @@ pub struct Request {
     /// Include the full schedule in the response (default false — the
     /// summary fields are usually all a client wants per line).
     pub include_schedule: Option<bool>,
+    /// Health check: answer `{"ok": true, "pong": true}` immediately,
+    /// touching neither cache nor admission. All other fields ignored.
+    pub ping: Option<bool>,
+    /// Echo the service counters in the response. All other fields
+    /// (except `id`) ignored.
+    pub stats: Option<bool>,
 }
 
 impl Request {
@@ -128,6 +151,26 @@ impl Deserialize for CacheOutcome {
     }
 }
 
+/// A point-in-time copy of the service counters, answered to a
+/// `{"stats": true}` request.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests answered from the schedule cache.
+    pub hits: u64,
+    /// Requests that ran the solver.
+    pub misses: u64,
+    /// Requests that joined a concurrent identical solve.
+    pub coalesced: u64,
+    /// Solver runs executed.
+    pub solves: u64,
+    /// Requests rejected with a diagnostic.
+    pub errors: u64,
+    /// Solves cut short by client disconnect or server drain.
+    pub cancelled: u64,
+    /// Solves cut short by their request deadline.
+    pub deadline_exceeded: u64,
+}
+
 /// A scheduling response, serialized as one JSONL line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Response {
@@ -137,10 +180,21 @@ pub struct Response {
     pub ok: bool,
     /// Diagnostic for rejected requests.
     pub error: Option<String>,
+    /// Health-check acknowledgement (only on `{"ping": true}` requests).
+    pub pong: Option<bool>,
+    /// Service counters (only on `{"stats": true}` requests).
+    pub stats: Option<StatsSnapshot>,
     /// Structural fingerprint of `(gates, architecture, options)`, hex.
     pub fingerprint: Option<String>,
     /// How the answer was obtained.
     pub cache: Option<CacheOutcome>,
+    /// `true` when the answer is valid but not proven optimal — the
+    /// budget, a `deadline_ms`, or a mid-solve cancellation stopped the
+    /// search first. Pair with `proven_lb` to see how close it got.
+    pub degraded: Option<bool>,
+    /// Proven lower bound on the minimal stage count: every smaller `S`
+    /// was refuted (or is impossible by the degree bound).
+    pub proven_lb: Option<usize>,
     /// Schedule provenance: `"Optimal"`, `"SmtUnproven"` or
     /// `"Heuristic"`; absent when no schedule was found.
     pub provenance: Option<String>,
@@ -162,14 +216,18 @@ pub struct Response {
 }
 
 impl Response {
-    /// A rejection carrying the request id and a diagnostic.
-    pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
+    /// A response skeleton with every optional field absent.
+    fn blank(id: Option<u64>, ok: bool) -> Self {
         Response {
             id,
-            ok: false,
-            error: Some(message.into()),
+            ok,
+            error: None,
+            pong: None,
+            stats: None,
             fingerprint: None,
             cache: None,
+            degraded: None,
+            proven_lb: None,
             provenance: None,
             stages: None,
             rydberg: None,
@@ -179,5 +237,31 @@ impl Response {
             session_runs: None,
             schedule: None,
         }
+    }
+
+    /// A rejection carrying the request id and a diagnostic.
+    pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
+        let mut r = Response::blank(id, false);
+        r.error = Some(message.into());
+        r
+    }
+
+    /// A health-check acknowledgement.
+    pub fn pong(id: Option<u64>) -> Self {
+        let mut r = Response::blank(id, true);
+        r.pong = Some(true);
+        r
+    }
+
+    /// A counters echo.
+    pub fn stats(id: Option<u64>, snapshot: StatsSnapshot) -> Self {
+        let mut r = Response::blank(id, true);
+        r.stats = Some(snapshot);
+        r
+    }
+
+    /// A successful response skeleton; the caller fills the answer fields.
+    pub(crate) fn ok(id: Option<u64>) -> Self {
+        Response::blank(id, true)
     }
 }

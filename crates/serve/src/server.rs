@@ -32,19 +32,24 @@
 //! [`Session::run`] guarantees. Option-dependent answers are kept apart
 //! by the *request* fingerprint at the cache layer above.
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use nasp_core::{Engine, Problem, Session, SolveOptions, SolveReport};
+use nasp_core::{Engine, Problem, Session, SolveOptions, SolveReport, Terminator};
 use nasp_qec::{catalog, graph_state};
 
 use crate::admission::Admission;
 use crate::cache::LruCache;
+use crate::chaos::Chaos;
 use crate::fingerprint;
-use crate::protocol::{CacheOutcome, Request, Response};
+use crate::lineio::{read_bounded_line, Line};
+use crate::persist::{self, SnapshotEntry};
+use crate::protocol::{CacheOutcome, Request, Response, StatsSnapshot};
 use crate::singleflight::{Role, SingleFlight};
 
 /// Server tuning knobs.
@@ -71,6 +76,22 @@ pub struct ServeConfig {
     /// dialogues are live; further connection attempts queue in the
     /// listener backlog instead of growing one thread each.
     pub tcp_connections: usize,
+    /// Cache snapshot path. When set, the cache is loaded from here at
+    /// boot and written back (atomically — temp file + rename) on
+    /// graceful shutdown and periodically; see [`crate::persist`].
+    pub snapshot: Option<PathBuf>,
+    /// Solver runs between periodic snapshot writes (0 = only on
+    /// shutdown). Counted in completed solves, not wall clock, so an
+    /// idle server never rewrites an unchanged snapshot.
+    pub snapshot_every: u64,
+    /// How long a graceful shutdown waits for in-flight dialogues to
+    /// finish before cancelling them.
+    pub drain: Duration,
+    /// Byte cap for a single request line, stdin or TCP. A line over
+    /// the cap answers a diagnostic instead of growing the buffer.
+    pub max_line_bytes: usize,
+    /// Fault injector (`--chaos`); `None` in normal operation.
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +105,11 @@ impl Default for ServeConfig {
             max_qubits: 4096,
             max_gates: 1 << 16,
             tcp_connections: 256,
+            snapshot: None,
+            snapshot_every: 32,
+            drain: Duration::from_secs(5),
+            max_line_bytes: 1 << 20,
+            chaos: None,
         }
     }
 }
@@ -101,6 +127,25 @@ pub struct ServeStats {
     pub solves: AtomicU64,
     /// Requests rejected with a diagnostic.
     pub errors: AtomicU64,
+    /// Solves cut short by client disconnect or server drain.
+    pub cancelled: AtomicU64,
+    /// Solves cut short by their request deadline.
+    pub deadline_exceeded: AtomicU64,
+}
+
+impl ServeStats {
+    /// A point-in-time copy of every counter, for `{"stats": true}`.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The cacheable outcome of one solve, shared between the cache, the
@@ -123,6 +168,54 @@ impl Outcome {
     fn serves(&self, budget: Duration) -> bool {
         self.report.is_optimal() || budget <= self.budget
     }
+
+    /// Wire form for the snapshot file: the answer and its budget tier,
+    /// solver effort deliberately dropped.
+    fn to_snapshot(&self, fp: u128) -> SnapshotEntry {
+        SnapshotEntry {
+            fingerprint: fingerprint::hex(fp),
+            budget_ms: self.budget.as_millis() as u64,
+            solve_ms: self.solve_ms,
+            provenance: self.report.provenance,
+            proven_lb: self.report.proven_lb,
+            schedule: self.report.schedule.clone(),
+        }
+    }
+
+    /// Reconstructs a cacheable outcome from its wire form. All solver
+    /// counters are zero: a restored entry only ever answers as a cache
+    /// hit, and hits report zero work by construction.
+    fn from_snapshot(entry: &SnapshotEntry) -> Outcome {
+        Outcome {
+            report: SolveReport {
+                schedule: entry.schedule.clone(),
+                provenance: entry.provenance,
+                smt_time: Duration::ZERO,
+                log: Vec::new(),
+                proven_lb: entry.proven_lb,
+                sat_conflicts: 0,
+                sat_propagations: 0,
+                sat_decisions: 0,
+                sat_restarts: 0,
+                sat_learnt_clauses: 0,
+                clause_db_bytes: 0,
+                portfolio_workers: 1,
+                worker_wins: Vec::new(),
+                sat_exported: 0,
+                sat_imported: 0,
+                sat_import_hits: 0,
+                sat_simplified_clauses: 0,
+                sat_learnt_after_reduce: 0,
+                sat_arena_after_reduce: 0,
+                worker_exported: Vec::new(),
+                worker_imported: Vec::new(),
+                worker_import_hits: Vec::new(),
+            },
+            solve_ms: entry.solve_ms,
+            session_runs: 0,
+            budget: Duration::from_millis(entry.budget_ms),
+        }
+    }
 }
 
 /// A long-lived scheduling service instance.
@@ -133,6 +226,15 @@ pub struct Server {
     sessions: Mutex<LruCache<Arc<Mutex<Session>>>>,
     admission: Admission,
     stats: ServeStats,
+    /// Set by [`Server::begin_shutdown`]; the TCP accept loop polls it.
+    shutdown: AtomicBool,
+    /// Live TCP dialogues: cancellation flag + a socket clone, so a
+    /// drain past its budget can abandon each connection's in-flight
+    /// solve *and* unblock its reader thread.
+    conns: Mutex<HashMap<u64, (Terminator, TcpStream)>>,
+    next_conn_id: AtomicU64,
+    /// Solver runs since the last periodic snapshot write.
+    solves_since_snapshot: AtomicU64,
 }
 
 impl Server {
@@ -145,6 +247,10 @@ impl Server {
             admission: Admission::new(config.jobs),
             config,
             stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            solves_since_snapshot: AtomicU64::new(0),
         }
     }
 
@@ -156,6 +262,19 @@ impl Server {
     /// Live service counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// Solver admission seats currently occupied (test/introspection
+    /// aid: the seat-leak invariants assert this returns to zero).
+    pub fn seats_in_use(&self) -> usize {
+        self.admission.active()
+    }
+
+    /// Asks a running [`Server::serve_tcp`] loop to stop accepting,
+    /// drain in-flight dialogues (bounded by [`ServeConfig::drain`]),
+    /// flush the snapshot and return. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Resolves a request's circuit to `(num_qubits, gates)`, validating
@@ -266,19 +385,44 @@ impl Server {
     /// Publishes a leader's outcome without ever replacing a strictly
     /// better entry: an optimal answer is final, and among budget-limited
     /// answers the larger budget wins (a slow tiny-budget solve landing
-    /// after a concurrent big-budget one must not clobber it).
+    /// after a concurrent big-budget one must not clobber it). The
+    /// entry's eviction cost is its solve time — expensive answers
+    /// outlive cheap ones under pressure.
     fn cache_store(&self, fp: u128, outcome: &Arc<Outcome>) {
         let mut cache = self.cache.lock().unwrap();
         let keep_existing = cache.get(fp).is_some_and(|old| {
             old.report.is_optimal() || (!outcome.report.is_optimal() && outcome.budget < old.budget)
         });
         if !keep_existing {
-            cache.insert(fp, Arc::clone(outcome));
+            cache.insert_with_cost(fp, Arc::clone(outcome), outcome.solve_ms);
         }
     }
 
-    /// Handles one parsed request end-to-end.
+    /// Handles one parsed request end-to-end (no deadline context —
+    /// the deadline clock starts now).
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_with(req, None, Instant::now())
+    }
+
+    /// Handles one parsed request with full resilience context:
+    /// `cancel` is the owning connection's abandonment flag (signalled
+    /// when the peer disconnects or the server drains), `arrival` is
+    /// when the request line was parsed — `deadline_ms` counts from
+    /// there, so queue wait spends deadline.
+    fn handle_with(
+        &self,
+        req: &Request,
+        cancel: Option<&Terminator>,
+        arrival: Instant,
+    ) -> Response {
+        // Control requests bypass everything: a health check must
+        // answer even when every solver seat is wedged.
+        if req.ping == Some(true) {
+            return Response::pong(req.id);
+        }
+        if req.stats == Some(true) {
+            return Response::stats(req.id, self.stats.snapshot());
+        }
         let (num_qubits, gates) = match self.resolve_circuit(req) {
             Ok(resolved) => resolved,
             Err(e) => {
@@ -293,25 +437,71 @@ impl Server {
                 return Response::error(req.id, e);
             }
         };
-        let options = self.solve_options(req);
-        let budget = options.time_budget;
+        let mut options = self.solve_options(req);
+        let nominal = options.time_budget;
+        // The effective budget is what a fresh solve could actually
+        // spend: the nominal budget clipped to the time left before the
+        // deadline. It is also the honest cache/coalescing tier — a
+        // deadline-clipped solve answers no better than a small-budget
+        // one, so it must neither claim a larger tier when stored nor
+        // demand one when probing.
+        let effective = match req.deadline_ms {
+            Some(ms) => {
+                let deadline = arrival + Duration::from_millis(ms);
+                nominal.min(deadline.saturating_duration_since(Instant::now()))
+            }
+            None => nominal,
+        };
+        options.time_budget = effective;
         let fp = fingerprint::request_fingerprint(num_qubits, &gates, &config, &options);
         let family = fingerprint::family_fingerprint(num_qubits, &gates, &config);
 
-        if let Some(cached) = self.cache_lookup(fp, budget) {
+        if let Some(cached) = self.cache_lookup(fp, effective) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return self.render(req, fp, CacheOutcome::Hit, cached);
         }
 
-        let (outcome, role) = self.flight.run(fingerprint::flight_key(fp, budget), || {
+        let (outcome, role) = self.flight.run(fingerprint::flight_key(fp, effective), || {
             let problem = Problem::from_gates(config.clone(), num_qubits, gates.clone());
             let session = self.family_session(family, &problem);
             let mut session = Self::lock_session(&session, &problem);
             let _seat = self.admission.acquire();
+            if let Some(chaos) = &self.config.chaos {
+                chaos.before_solve();
+            }
+            // Re-clip to the deadline *after* the queue wait: time spent
+            // behind the session lock and the admission gate belongs to
+            // the client's deadline, not to the solve.
+            let mut run_options = options;
+            if let Some(ms) = req.deadline_ms {
+                let deadline = arrival + Duration::from_millis(ms);
+                run_options.time_budget = run_options
+                    .time_budget
+                    .min(deadline.saturating_duration_since(Instant::now()));
+            }
             let start = Instant::now();
-            let report = session.run(&options);
-            let solve_ms = start.elapsed().as_millis() as u64;
+            let report = session.run_with_cancel(&run_options, cancel);
+            let elapsed = start.elapsed();
+            let solve_ms = elapsed.as_millis() as u64;
             self.stats.solves.fetch_add(1, Ordering::Relaxed);
+            let was_cancelled = cancel.is_some_and(Terminator::is_signalled);
+            if !report.is_optimal() {
+                if was_cancelled {
+                    self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                } else if effective < nominal {
+                    self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Tier of the stored entry: what the solve truly had. A
+            // cancelled solve may have stopped well short of even the
+            // effective budget, so its tier shrinks to the time it
+            // actually ran — strictly conservative under the
+            // budget-tier serving rules.
+            let budget = if was_cancelled {
+                effective.min(elapsed)
+            } else {
+                effective
+            };
             Arc::new(Outcome {
                 report,
                 solve_ms,
@@ -322,6 +512,7 @@ impl Server {
         let outcome_kind = match role {
             Role::Leader => {
                 self.cache_store(fp, &outcome);
+                self.maybe_periodic_snapshot();
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 CacheOutcome::Miss
             }
@@ -344,28 +535,27 @@ impl Server {
     ) -> Response {
         let from_cache = kind == CacheOutcome::Hit;
         let report = &outcome.report;
-        Response {
-            id: req.id,
-            ok: true,
-            error: None,
-            fingerprint: Some(fingerprint::hex(fp)),
-            cache: Some(kind),
-            provenance: report
-                .schedule
-                .is_some()
-                .then(|| format!("{:?}", report.provenance)),
-            stages: report.schedule.as_ref().map(|s| s.stages.len()),
-            rydberg: report.schedule.as_ref().map(|s| s.num_rydberg()),
-            transfers: report.schedule.as_ref().map(|s| s.num_transfer()),
-            sat_conflicts: Some(if from_cache { 0 } else { report.sat_conflicts }),
-            solve_ms: Some(if from_cache { 0 } else { outcome.solve_ms }),
-            session_runs: Some(outcome.session_runs),
-            schedule: req
-                .include_schedule
-                .unwrap_or(false)
-                .then(|| report.schedule.clone())
-                .flatten(),
-        }
+        let mut r = Response::ok(req.id);
+        r.fingerprint = Some(fingerprint::hex(fp));
+        r.cache = Some(kind);
+        r.degraded = Some(!report.is_optimal());
+        r.proven_lb = Some(report.proven_lb);
+        r.provenance = report
+            .schedule
+            .is_some()
+            .then(|| format!("{:?}", report.provenance));
+        r.stages = report.schedule.as_ref().map(|s| s.stages.len());
+        r.rydberg = report.schedule.as_ref().map(|s| s.num_rydberg());
+        r.transfers = report.schedule.as_ref().map(|s| s.num_transfer());
+        r.sat_conflicts = Some(if from_cache { 0 } else { report.sat_conflicts });
+        r.solve_ms = Some(if from_cache { 0 } else { outcome.solve_ms });
+        r.session_runs = Some(outcome.session_runs);
+        r.schedule = req
+            .include_schedule
+            .unwrap_or(false)
+            .then(|| report.schedule.clone())
+            .flatten();
+        r
     }
 
     /// Handles one raw JSONL line: parse, dispatch, serialize. Never
@@ -374,18 +564,25 @@ impl Server {
     /// rebuilt cold by [`Self::lock_session`]) so one bad request cannot
     /// tear down a stdin batch or a TCP dialogue.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_with(line, None)
+    }
+
+    /// [`Server::handle_line`] with a connection-abandonment flag
+    /// threaded through to the solver.
+    fn handle_line_with(&self, line: &str, cancel: Option<&Terminator>) -> String {
+        let arrival = Instant::now();
         let trimmed = line.trim();
         let response = if trimmed.is_empty() {
             Response::error(None, "empty request line")
         } else {
             match serde_json::from_str::<Request>(trimmed) {
-                Ok(req) => {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(&req)))
-                        .unwrap_or_else(|_| {
-                            self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                            Response::error(req.id, "internal error: solve panicked")
-                        })
-                }
+                Ok(req) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.handle_with(&req, cancel, arrival)
+                }))
+                .unwrap_or_else(|_| {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::error(req.id, "internal error: solve panicked")
+                }),
                 Err(e) => {
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
                     Response::error(None, format!("bad request: {e}"))
@@ -395,67 +592,288 @@ impl Server {
         serde_json::to_string(&response).expect("responses always serialize")
     }
 
-    /// Serves JSONL from `input` to `output` until EOF. Lines are read in
-    /// batches of [`ServeConfig::batch`] and dispatched onto the bench
-    /// worker pool; responses keep input order. Identical lines inside
-    /// one batch coalesce through the single-flight group.
+    /// Loads the configured snapshot into the cache. Entries arrive
+    /// most-recently-used first and are inserted in reverse, so the
+    /// restored cache reproduces the saved recency order (and, when the
+    /// capacity shrank, keeps the hottest entries). Restored entries
+    /// carry their original budget tier and eviction cost; their solver
+    /// counters are zero — they answer as cache hits, which report zero
+    /// work by construction. Returns the number of entries restored;
+    /// `Ok(0)` when no snapshot path is configured or none exists yet.
+    pub fn load_snapshot(&self) -> std::io::Result<usize> {
+        let Some(path) = &self.config.snapshot else {
+            return Ok(0);
+        };
+        let entries = persist::load(path)?;
+        let mut cache = self.cache.lock().unwrap();
+        let mut restored = 0;
+        for (fp, entry) in entries.into_iter().rev() {
+            cache.insert_with_cost(fp, Arc::new(Outcome::from_snapshot(&entry)), entry.solve_ms);
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// Writes the cache to the configured snapshot path (atomic: temp
+    /// file + rename). Returns the number of entries written; `Ok(0)`
+    /// without touching the filesystem when no path is configured.
+    pub fn save_snapshot(&self) -> std::io::Result<usize> {
+        let Some(path) = &self.config.snapshot else {
+            return Ok(0);
+        };
+        let entries: Vec<SnapshotEntry> = {
+            let cache = self.cache.lock().unwrap();
+            cache
+                .entries_by_recency()
+                .into_iter()
+                .map(|(fp, outcome, _cost)| outcome.to_snapshot(fp))
+                .collect()
+        };
+        let fail = self
+            .config
+            .chaos
+            .as_ref()
+            .is_some_and(|c| c.fail_snapshot());
+        persist::save(path, &entries, fail)
+    }
+
+    /// Counts a completed solve toward the periodic snapshot cadence
+    /// and flushes when due. Write errors are reported to stderr, not
+    /// propagated — a failing disk must not fail requests.
+    fn maybe_periodic_snapshot(&self) {
+        let every = self.config.snapshot_every;
+        if every == 0 || self.config.snapshot.is_none() {
+            return;
+        }
+        let n = self.solves_since_snapshot.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            if let Err(e) = self.save_snapshot() {
+                eprintln!("nasp-serve: periodic snapshot failed: {e}");
+            }
+        }
+    }
+
+    /// Serves JSONL from `input` to `output` until EOF. Lines are read
+    /// in batches of [`ServeConfig::batch`] and dispatched onto the
+    /// bench worker pool; responses keep input order. Identical lines
+    /// inside one batch coalesce through the single-flight group. Lines
+    /// over [`ServeConfig::max_line_bytes`] answer a diagnostic (the
+    /// stream recovers at the next newline); a truncated final line
+    /// answers a diagnostic and ends the stream. On EOF the in-flight
+    /// batch completes (natural drain) and the snapshot is flushed.
     pub fn serve_lines<R: BufRead, W: Write>(
         &self,
-        input: R,
+        mut input: R,
         output: &mut W,
     ) -> std::io::Result<()> {
         let batch_size = self.config.batch.max(1);
         let jobs = self.config.jobs.max(1);
-        let mut lines = input.lines();
-        loop {
-            let mut batch = Vec::with_capacity(batch_size);
-            for line in lines.by_ref() {
-                batch.push(line?);
-                if batch.len() >= batch_size {
-                    break;
+        let max = self.config.max_line_bytes;
+        let mut done = false;
+        while !done {
+            // Ok = a request line; Err = a pre-rendered diagnostic kept
+            // in position so responses stay in input order.
+            let mut batch: Vec<Result<String, String>> = Vec::with_capacity(batch_size);
+            while batch.len() < batch_size {
+                match read_bounded_line(&mut input, max)? {
+                    Line::Full(line) => batch.push(Ok(line)),
+                    Line::Oversize => batch.push(Err(format!("request line exceeds {max} bytes"))),
+                    Line::Truncated => {
+                        batch.push(Err("truncated final request line".into()));
+                        done = true;
+                        break;
+                    }
+                    Line::Eof => {
+                        done = true;
+                        break;
+                    }
                 }
             }
             if batch.is_empty() {
-                return Ok(());
+                break;
             }
-            let responses =
-                nasp_bench::pool::map_indexed(jobs, batch, |_, line| self.handle_line(&line));
+            let responses = nasp_bench::pool::map_indexed(jobs, batch, |_, item| match item {
+                Ok(line) => self.handle_line(&line),
+                Err(diagnostic) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    serde_json::to_string(&Response::error(None, diagnostic))
+                        .expect("responses always serialize")
+                }
+            });
             for response in responses {
                 writeln!(output, "{response}")?;
             }
             output.flush()?;
         }
-    }
-
-    /// Serves one TCP connection: JSONL request per line in, response
-    /// line out, until the peer closes.
-    fn serve_connection(&self, stream: TcpStream) -> std::io::Result<()> {
-        let reader = std::io::BufReader::new(stream.try_clone()?);
-        let mut writer = std::io::BufWriter::new(stream);
-        for line in reader.lines() {
-            let response = self.handle_line(&line?);
-            writeln!(writer, "{response}")?;
-            writer.flush()?;
+        if let Err(e) = self.save_snapshot() {
+            eprintln!("nasp-serve: snapshot on exit failed: {e}");
         }
         Ok(())
     }
 
-    /// Accept loop: one thread per connection, forever, bounded at
+    /// Serves one TCP connection: JSONL request per line in, response
+    /// line out, until the peer closes.
+    ///
+    /// A dedicated reader thread owns the receive side so disconnects
+    /// are noticed *while* a solve is running: when the reader sees EOF
+    /// or an error it signals `cancel`, and the in-flight solve backs
+    /// out at its next poll. The protocol consequence, documented here
+    /// deliberately: **closing the write half abandons the requests
+    /// still outstanding on the connection** — a client must keep the
+    /// connection open until the answers it wants have arrived.
+    ///
+    /// An oversized line or a truncated final line answers a
+    /// best-effort diagnostic and then drops the connection (a peer
+    /// that violates framing once cannot be re-synchronized with
+    /// confidence).
+    fn serve_connection(&self, stream: TcpStream, cancel: Terminator) -> std::io::Result<()> {
+        let reader_stream = stream.try_clone()?;
+        let max = self.config.max_line_bytes;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Line>(1);
+        let reader_cancel = cancel.clone();
+        let reader = std::thread::spawn(move || {
+            let mut r = std::io::BufReader::new(reader_stream);
+            loop {
+                // A socket error is a disconnect for our purposes.
+                let line = read_bounded_line(&mut r, max).unwrap_or(Line::Eof);
+                let terminal = !matches!(line, Line::Full(_));
+                let receiver_gone = tx.send(line).is_err();
+                if terminal || receiver_gone {
+                    break;
+                }
+            }
+            // The peer is done sending (EOF, error, or framing
+            // violation): whatever is still queued or solving on this
+            // connection has no recipient.
+            reader_cancel.signal();
+        });
+        let mut writer = std::io::BufWriter::new(&stream);
+        let result = loop {
+            let Ok(line) = rx.recv() else {
+                break Ok(()); // reader exited after a clean EOF
+            };
+            let (response, last) = match line {
+                Line::Full(text) => (self.handle_line_with(&text, Some(&cancel)), false),
+                Line::Oversize => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let diag = Response::error(None, format!("request line exceeds {max} bytes"));
+                    (
+                        serde_json::to_string(&diag).expect("responses always serialize"),
+                        true,
+                    )
+                }
+                Line::Truncated => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let diag = Response::error(None, "truncated request line");
+                    (
+                        serde_json::to_string(&diag).expect("responses always serialize"),
+                        true,
+                    )
+                }
+                Line::Eof => break Ok(()),
+            };
+            let wrote = if self.config.chaos.as_ref().is_some_and(|c| c.tear_write()) {
+                // Chaos: write half the response and kill the
+                // connection mid-line.
+                let half = &response.as_bytes()[..response.len() / 2];
+                writer
+                    .write_all(half)
+                    .and_then(|_| writer.flush())
+                    .and_then(|_| Err(std::io::Error::other("chaos: torn write")))
+            } else {
+                writeln!(writer, "{response}").and_then(|_| writer.flush())
+            };
+            match wrote {
+                Ok(()) if last => break Ok(()),
+                Ok(()) => {}
+                Err(e) => break Err(e),
+            }
+        };
+        // Teardown: wake the reader out of its blocking read (the
+        // try_clone duplicated the descriptor, so dropping our half
+        // would not) and reap it; signal cancel so nothing this
+        // connection owned keeps running.
+        cancel.signal();
+        let _ = stream.shutdown(Shutdown::Both);
+        let _ = reader.join();
+        result
+    }
+
+    /// Accept loop: one thread per connection, bounded at
     /// [`ServeConfig::tcp_connections`] live dialogues — once the bound
     /// is reached the loop stops accepting and further attempts queue in
     /// the listener backlog, so a connection flood cannot grow threads
     /// without limit. Connection-level I/O errors are dropped with the
     /// connection, never propagated.
+    ///
+    /// Runs until [`Server::begin_shutdown`] is called (polled between
+    /// accepts) or the listener fails; either way the loop then drains:
+    /// in-flight dialogues get [`ServeConfig::drain`] to finish, the
+    /// stragglers are cancelled and their sockets closed, and the cache
+    /// snapshot is flushed before returning.
     pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
         let gate = Arc::new(Admission::new(self.config.tcp_connections));
-        loop {
-            let (stream, _peer) = listener.accept()?;
-            let seat = gate.acquire_owned();
-            let server = Arc::clone(self);
-            std::thread::spawn(move || {
-                let _seat = seat;
-                let _ = server.serve_connection(stream);
-            });
+        listener.set_nonblocking(true)?;
+        let result = loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let seat = gate.acquire_owned();
+                    if stream.set_nonblocking(false).is_err() {
+                        continue; // connection already dead
+                    }
+                    let cancel = Terminator::new();
+                    let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        self.conns
+                            .lock()
+                            .unwrap()
+                            .insert(id, (cancel.clone(), clone));
+                    }
+                    let server = Arc::clone(self);
+                    std::thread::spawn(move || {
+                        let _seat = seat;
+                        let _ = server.serve_connection(stream, cancel);
+                        server.conns.lock().unwrap().remove(&id);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        self.drain(&gate);
+        if let Err(e) = self.save_snapshot() {
+            eprintln!("nasp-serve: snapshot on shutdown failed: {e}");
+        }
+        result
+    }
+
+    /// Waits up to [`ServeConfig::drain`] for live dialogues to finish,
+    /// then abandons the stragglers: their solves are cancelled and
+    /// their sockets closed, which unblocks their reader threads and
+    /// lets each connection thread release its seat.
+    fn drain(&self, gate: &Admission) {
+        let polite = Instant::now() + self.config.drain;
+        while gate.active() > 0 && Instant::now() < polite {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if gate.active() == 0 {
+            return;
+        }
+        for (cancel, stream) in self.conns.lock().unwrap().values() {
+            cancel.signal();
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Brief grace for the cancelled threads to unwind; a stuck
+        // socket must not hold the shutdown hostage forever.
+        let hard = Instant::now() + Duration::from_secs(2);
+        while gate.active() > 0 && Instant::now() < hard {
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }

@@ -1,0 +1,459 @@
+//! Resilience integration tests: deadlines and graceful degradation,
+//! client-disconnect cancellation, crash-survivable snapshots, chaos
+//! injection (solver panics, torn writes, snapshot failures), malformed
+//! TCP framing, and graceful shutdown — each asserting the seat-count
+//! invariant (`seats_in_use() == 0` after the dust settles) so no
+//! failure mode leaks admission capacity.
+
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nasp_serve::{CacheOutcome, Chaos, Request, Response, ServeConfig, Server};
+
+fn perfect5_request(id: u64) -> Request {
+    Request {
+        id: Some(id),
+        code: Some("perfect".into()),
+        layout: Some("BottomStorage".into()),
+        ..Default::default()
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        jobs: 2,
+        cache_capacity: 16,
+        session_capacity: 4,
+        batch: 8,
+        default_budget: Duration::from_secs(20),
+        drain: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }
+}
+
+fn tmp_snapshot(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "nasp-resilience-{}-{name}.snapshot",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Spawns a TCP server; the listener port is returned with the handle.
+fn spawn_tcp(server: Arc<Server>) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let _ = server.serve_tcp(listener);
+    });
+    (addr, handle)
+}
+
+fn ask(stream: &TcpStream, request: &str) -> Response {
+    let mut writer = stream.try_clone().expect("clone stream");
+    writeln!(writer, "{request}").expect("write request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    serde_json::from_str(&line).expect("valid response JSON")
+}
+
+// ------------------------------------------------------------------ deadlines
+
+#[test]
+fn deadline_shorter_than_solve_degrades_gracefully() {
+    let server = Server::new(config());
+
+    // 1 ms of deadline against a default 20 s budget: the SMT search is
+    // cut off almost immediately, but the answer is still useful.
+    let mut impatient = perfect5_request(1);
+    impatient.deadline_ms = Some(1);
+    let resp = server.handle(&impatient);
+    assert!(resp.ok, "deadline expiry is not an error: {:?}", resp.error);
+    assert_eq!(resp.degraded, Some(true), "cut-short solve is degraded");
+    assert!(
+        resp.proven_lb.unwrap() >= 1,
+        "the degree bound alone proves a nonzero lower bound"
+    );
+    assert_eq!(server.seats_in_use(), 0, "seat released after degradation");
+
+    // The degraded entry must not poison patient requests: a normal
+    // request re-solves and proves optimality.
+    let patient = server.handle(&perfect5_request(2));
+    assert_eq!(patient.fingerprint, resp.fingerprint);
+    assert_eq!(
+        patient.cache,
+        Some(CacheOutcome::Miss),
+        "deadline-degraded entry must not serve the full budget"
+    );
+    assert_eq!(patient.degraded, Some(false));
+    assert_eq!(patient.provenance.as_deref(), Some("Optimal"));
+
+    // Once optimal is cached, even a hopeless deadline is answered from
+    // the cache — zero solver work beats any deadline.
+    let mut repeat = perfect5_request(3);
+    repeat.deadline_ms = Some(1);
+    let served = server.handle(&repeat);
+    assert_eq!(served.cache, Some(CacheOutcome::Hit));
+    assert_eq!(served.degraded, Some(false));
+    assert_eq!(served.sat_conflicts, Some(0));
+    assert_eq!(server.seats_in_use(), 0);
+}
+
+#[test]
+fn expired_deadline_counts_in_stats() {
+    let server = Server::new(config());
+    let mut req = perfect5_request(1);
+    req.deadline_ms = Some(0);
+    let resp = server.handle(&req);
+    assert!(resp.ok);
+    assert_eq!(resp.degraded, Some(true));
+    assert_eq!(server.stats().deadline_exceeded.load(Ordering::SeqCst), 1);
+}
+
+// ----------------------------------------------------- disconnect cancellation
+
+#[test]
+fn client_disconnect_mid_solve_cancels_and_frees_the_seat() {
+    // Chaos latency holds the "solve" in its injected sleep long enough
+    // for the disconnect to land deterministically; the solver then
+    // starts with the cancel flag already raised and backs out at its
+    // first poll.
+    let mut cfg = config();
+    cfg.chaos = Some(Arc::new(Chaos::parse("latency=1000").unwrap()));
+    let server = Arc::new(Server::new(cfg));
+    let (addr, _handle) = spawn_tcp(Arc::clone(&server));
+
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(
+            writer,
+            "{{\"id\": 1, \"code\": \"perfect\", \"layout\": \"BottomStorage\"}}"
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        // Vanish with the solve still in flight.
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    // The cancelled solve must wrap up far faster than its 20 s budget.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().cancelled.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        server.stats().cancelled.load(Ordering::SeqCst),
+        1,
+        "disconnect mid-solve must cancel the solver"
+    );
+    let settle = Instant::now() + Duration::from_secs(2);
+    while server.seats_in_use() > 0 && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.seats_in_use(), 0, "no seat leak after abandonment");
+
+    // The abandoned (cancelled, degraded) outcome must not poison the
+    // cache for a patient client.
+    let stream = TcpStream::connect(addr).expect("reconnect");
+    let resp = ask(
+        &stream,
+        "{\"id\": 2, \"code\": \"perfect\", \"layout\": \"BottomStorage\"}",
+    );
+    assert!(resp.ok);
+    assert_eq!(resp.degraded, Some(false));
+    assert_eq!(resp.provenance.as_deref(), Some("Optimal"));
+}
+
+// ------------------------------------------------------------------ snapshots
+
+#[test]
+fn snapshot_survives_restart_and_serves_hits_with_zero_work() {
+    let path = tmp_snapshot("restart");
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+
+    // First life: solve, snapshot, die.
+    let first_life = Server::new(cfg.clone());
+    let original = first_life.handle(&perfect5_request(1));
+    assert!(original.ok);
+    assert_eq!(original.cache, Some(CacheOutcome::Miss));
+    assert!(first_life.save_snapshot().unwrap() >= 1);
+    drop(first_life);
+
+    // Second life: boot from the snapshot, same fingerprint answers as
+    // a hit with zero solver work.
+    let second_life = Server::new(cfg);
+    assert!(second_life.load_snapshot().unwrap() >= 1);
+    let restored = second_life.handle(&perfect5_request(2));
+    assert_eq!(restored.cache, Some(CacheOutcome::Hit));
+    assert_eq!(restored.fingerprint, original.fingerprint);
+    assert_eq!(restored.stages, original.stages);
+    assert_eq!(restored.sat_conflicts, Some(0), "hits report zero work");
+    assert_eq!(restored.solve_ms, Some(0));
+    assert_eq!(
+        second_life.stats().solves.load(Ordering::SeqCst),
+        0,
+        "restored entry ran no solver at all"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn periodic_snapshot_fires_by_solve_count() {
+    let path = tmp_snapshot("periodic");
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+    cfg.snapshot_every = 1;
+    let server = Server::new(cfg);
+    assert!(!path.exists());
+    let resp = server.handle(&perfect5_request(1));
+    assert!(resp.ok);
+    assert!(path.exists(), "snapshot written after the first solve");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn stale_snapshot_version_is_rejected_and_server_starts_cold() {
+    let path = tmp_snapshot("stale");
+    std::fs::write(&path, "{\"nasp_snapshot\":999,\"entries\":1}\n{}\n").unwrap();
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+    let server = Server::new(cfg);
+    let err = server.load_snapshot().unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+    // Cold but healthy.
+    let resp = server.handle(&perfect5_request(1));
+    assert!(resp.ok);
+    assert_eq!(resp.cache, Some(CacheOutcome::Miss));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn snapshot_write_failure_is_survivable() {
+    let path = tmp_snapshot("snapfail");
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+    cfg.chaos = Some(Arc::new(Chaos::parse("snapfail=1").unwrap()));
+    let server = Server::new(cfg);
+    let resp = server.handle(&perfect5_request(1));
+    assert!(resp.ok);
+    assert!(server.save_snapshot().is_err(), "injected failure surfaces");
+    assert!(!path.exists(), "failed write leaves no snapshot behind");
+    // The service itself is unharmed: the answer is still cached.
+    let again = server.handle(&perfect5_request(2));
+    assert_eq!(again.cache, Some(CacheOutcome::Hit));
+}
+
+// ---------------------------------------------------------------- ping / stats
+
+#[test]
+fn ping_answers_without_touching_cache_or_admission() {
+    let server = Server::new(config());
+    let out = server.handle_line("{\"id\": 9, \"ping\": true}");
+    let resp: Response = serde_json::from_str(&out).unwrap();
+    assert!(resp.ok);
+    assert_eq!(resp.pong, Some(true));
+    assert_eq!(resp.id, Some(9));
+    let stats = server.stats();
+    assert_eq!(stats.hits.load(Ordering::SeqCst), 0);
+    assert_eq!(stats.misses.load(Ordering::SeqCst), 0);
+    assert_eq!(stats.errors.load(Ordering::SeqCst), 0);
+    assert_eq!(server.seats_in_use(), 0);
+}
+
+#[test]
+fn stats_request_echoes_counters() {
+    let server = Server::new(config());
+    assert!(server.handle(&perfect5_request(1)).ok);
+    assert_eq!(
+        server.handle(&perfect5_request(2)).cache,
+        Some(CacheOutcome::Hit)
+    );
+    let out = server.handle_line("{\"stats\": true}");
+    let resp: Response = serde_json::from_str(&out).unwrap();
+    assert!(resp.ok);
+    let stats = resp.stats.expect("stats echoed");
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.solves, 1);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.deadline_exceeded, 0);
+}
+
+// ------------------------------------------------------------------ chaos
+
+#[test]
+fn injected_solver_panic_is_a_clean_error_not_a_crash() {
+    let mut cfg = config();
+    cfg.chaos = Some(Arc::new(Chaos::parse("panic=1").unwrap()));
+    let server = Server::new(cfg);
+    let out = server.handle_line("{\"id\": 1, \"code\": \"perfect\"}");
+    let resp: Response = serde_json::from_str(&out).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap_or_default().contains("panicked"));
+    assert_eq!(server.seats_in_use(), 0, "panicked solve released its seat");
+    // The server keeps answering: control traffic is unaffected, and the
+    // next solve panics just as cleanly.
+    let ping: Response = serde_json::from_str(&server.handle_line("{\"ping\": true}")).unwrap();
+    assert!(ping.ok);
+    let again: Response =
+        serde_json::from_str(&server.handle_line("{\"id\": 2, \"code\": \"perfect\"}")).unwrap();
+    assert!(!again.ok);
+    assert_eq!(server.seats_in_use(), 0);
+}
+
+#[test]
+fn torn_tcp_write_drops_the_connection_not_the_server() {
+    let mut cfg = config();
+    cfg.chaos = Some(Arc::new(Chaos::parse("torn=1").unwrap()));
+    let server = Arc::new(Server::new(cfg));
+    let (addr, _handle) = spawn_tcp(Arc::clone(&server));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(writer, "{{\"id\": 1, \"code\": \"perfect\"}}").unwrap();
+    let mut raw = Vec::new();
+    stream
+        .try_clone()
+        .unwrap()
+        .read_to_end(&mut raw)
+        .expect("read to connection close");
+    // Half a response and no newline: the tear happened mid-line.
+    assert!(!raw.is_empty(), "some bytes arrived before the tear");
+    assert!(
+        !raw.contains(&b'\n'),
+        "torn write must not deliver a complete line"
+    );
+
+    // The server survived and still solved (the tear hit the write, not
+    // the work); seats drained.
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 1);
+    let settle = Instant::now() + Duration::from_secs(2);
+    while server.seats_in_use() > 0 && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.seats_in_use(), 0);
+}
+
+// ------------------------------------------------------------- framing faults
+
+#[test]
+fn truncated_tcp_line_is_survived_without_seat_leak() {
+    let server = Arc::new(Server::new(config()));
+    let (addr, _handle) = spawn_tcp(Arc::clone(&server));
+
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        // A partial JSONL line, then gone.
+        writer.write_all(b"{\"id\": 1, \"code\": \"perf").unwrap();
+        writer.flush().unwrap();
+        let _ = stream.shutdown(Shutdown::Write);
+        // Drain whatever diagnostic the server manages to send.
+        let mut raw = Vec::new();
+        let _ = stream.try_clone().unwrap().read_to_end(&mut raw);
+    }
+
+    // Server is healthy afterwards: fresh connection, full round trip.
+    let stream = TcpStream::connect(addr).expect("reconnect");
+    let resp = ask(&stream, "{\"id\": 2, \"ping\": true}");
+    assert!(resp.ok);
+    assert_eq!(resp.pong, Some(true));
+    assert_eq!(server.seats_in_use(), 0, "no seat leaked by the bad peer");
+    assert_eq!(server.stats().solves.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn oversized_tcp_line_answers_a_diagnostic_and_closes() {
+    let mut cfg = config();
+    cfg.max_line_bytes = 64;
+    let server = Arc::new(Server::new(cfg));
+    let (addr, _handle) = spawn_tcp(Arc::clone(&server));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let huge = format!("{{\"id\": 1, \"code\": \"{}\"}}", "x".repeat(200));
+    writeln!(writer, "{huge}").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("diagnostic line");
+    let resp: Response = serde_json::from_str(&line).expect("diagnostic is valid JSON");
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap_or_default().contains("exceeds"));
+    // The connection is closed after the diagnostic.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+    assert_eq!(server.seats_in_use(), 0);
+}
+
+#[test]
+fn oversized_stdin_line_is_diagnosed_in_order_and_stream_recovers() {
+    let mut cfg = config();
+    cfg.max_line_bytes = 128;
+    let server = Server::new(cfg);
+    let huge = format!("{{\"id\": 2, \"code\": \"{}\"}}\n", "x".repeat(300));
+    let input = format!(
+        "{{\"id\": 1, \"gates\": [[0, 1]], \"num_qubits\": 2}}\n{huge}{{\"id\": 3, \"gates\": [[0, 1]], \"num_qubits\": 2}}\n"
+    );
+    let mut output = Vec::new();
+    server
+        .serve_lines(Cursor::new(input.as_bytes()), &mut output)
+        .unwrap();
+    let responses: Vec<Response> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 3);
+    assert!(responses[0].ok);
+    assert!(!responses[1].ok, "oversize line diagnosed in position");
+    assert!(responses[1]
+        .error
+        .as_deref()
+        .unwrap_or_default()
+        .contains("exceeds"));
+    assert!(responses[2].ok, "stream recovered after the oversize line");
+    assert_eq!(server.seats_in_use(), 0);
+}
+
+// ------------------------------------------------------------------ shutdown
+
+#[test]
+fn graceful_shutdown_drains_flushes_snapshot_and_returns() {
+    let path = tmp_snapshot("shutdown");
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+    let server = Arc::new(Server::new(cfg));
+    let (addr, handle) = spawn_tcp(Arc::clone(&server));
+
+    // One real request so the snapshot has content.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let resp = ask(
+        &stream,
+        "{\"id\": 1, \"code\": \"perfect\", \"layout\": \"BottomStorage\"}",
+    );
+    assert!(resp.ok);
+    drop(stream);
+
+    server.begin_shutdown();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !handle.is_finished() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(handle.is_finished(), "accept loop returns after shutdown");
+    handle.join().unwrap();
+    assert!(path.exists(), "shutdown flushed the snapshot");
+    assert!(
+        server.load_snapshot().unwrap() >= 1,
+        "flushed snapshot holds the solved entry"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
