@@ -13,7 +13,9 @@
 //! use `--jobs 1`, the default here, for quotable timings). `--share 0|1`
 //! sets the portfolio clause-sharing flag threaded through the solve
 //! options; since the ablations never race a portfolio it is recorded but
-//! has no effect on a plain run.
+//! has no effect on a plain run. `--search-mode deepening|seeded|bisect`
+//! picks the stage-exploration strategy for both ablations (A1 timings
+//! compare encode variants, so the mode is held fixed across the pair).
 
 use std::time::{Duration, Instant};
 
@@ -26,18 +28,22 @@ use nasp_qec::{catalog, graph_state};
 
 fn main() {
     // The ablations pin their own budgets and never race a portfolio, so
-    // only the back-end switch, the pool width and the (recorded)
-    // share flag are supported.
-    let args = nasp_bench::BenchArgs::from_env_for("ablation", &["--scratch", "--jobs", "--share"]);
+    // only the back-end switch, the search mode, the pool width and the
+    // (recorded) share flag are supported.
+    let args = nasp_bench::BenchArgs::from_env_for(
+        "ablation",
+        &["--scratch", "--jobs", "--share", "--search-mode"],
+    );
     let incremental = !args.scratch;
     let share = args.share.unwrap_or(true);
+    let mode = args.search_mode.unwrap_or_default();
     // Timing-sensitive by nature: default to sequential, honour --jobs.
     let jobs = args.jobs.unwrap_or(1);
-    ablation_a1(incremental, jobs, share);
-    ablation_a2(incremental, jobs, share);
+    ablation_a1(incremental, jobs, share, mode);
+    ablation_a2(incremental, jobs, share, mode);
 }
 
-fn ablation_a1(incremental: bool, jobs: usize, share: bool) {
+fn ablation_a1(incremental: bool, jobs: usize, share: bool, mode: nasp_core::SearchMode) {
     println!(
         "A1: ≥1-gate-per-beam strengthening (SMT wall time to optimal S, {} search)",
         nasp_bench::search_backend_label(incremental)
@@ -68,6 +74,7 @@ fn ablation_a1(incremental: bool, jobs: usize, share: bool) {
                 .minimize_transfers(false)
                 .incremental(incremental)
                 .share(share)
+                .search_mode(mode)
                 .build();
             let t0 = Instant::now();
             let _ = engine.solve(&problem, &options);
@@ -85,7 +92,7 @@ fn ablation_a1(incremental: bool, jobs: usize, share: bool) {
     }
 }
 
-fn ablation_a2(incremental: bool, jobs: usize, share: bool) {
+fn ablation_a2(incremental: bool, jobs: usize, share: bool, mode: nasp_core::SearchMode) {
     println!("\nA2: ASP vs trap-transfer duration (Steane)");
     println!("duration    (2) Bottom Storage    (3) Double-Sided Storage");
     let code = catalog::steane();
@@ -108,6 +115,7 @@ fn ablation_a2(incremental: bool, jobs: usize, share: bool) {
         };
         options.solver.incremental = incremental;
         options.solver.share = share;
+        options.solver.search_mode = mode;
         let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
         r.metrics.asp
     });

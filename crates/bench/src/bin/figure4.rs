@@ -1,7 +1,8 @@
 //! Regenerates the paper's Figure 4 (ΔASP of shielded layouts vs baseline).
 //!
 //! Usage: `cargo run -p nasp-bench --bin figure4 --release -- [--budget SECONDS]
-//! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--scratch]`
+//! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--search-mode MODE]
+//! [--scratch]`
 
 fn main() {
     let args = nasp_bench::BenchArgs::from_env_for(
@@ -13,6 +14,7 @@ fn main() {
             "--portfolio",
             "--seed",
             "--share",
+            "--search-mode",
         ],
     );
     let options = args.experiment_options(30);

@@ -29,6 +29,7 @@ fn main() {
             "--jobs",
             "--portfolio",
             "--share",
+            "--search-mode",
             "--out",
             "--out-search",
             "--out-parallel",
@@ -114,7 +115,8 @@ fn main() {
     let jobs = args.jobs.unwrap_or_else(pool::available_jobs);
     let workers = args.portfolio.unwrap_or(3);
     let share_groups = args.share.unwrap_or(true);
-    let pdoc = parallel::measure(quick, jobs, workers, share_groups);
+    let search_mode = args.search_mode.unwrap_or_default();
+    let pdoc = parallel::measure(quick, jobs, workers, share_groups, search_mode);
     eprintln!(
         "  pool {} instances  sequential {:.1} ms  jobs={} {:.1} ms  speedup {:.2}x  agree={}  ({} cores)",
         pdoc.pool.instances,

@@ -1,14 +1,17 @@
 //! Regenerates the paper's Table I (layout comparison).
 //!
 //! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS]
-//! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--json PATH] [--scratch]`
+//! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--search-mode MODE]
+//! [--json PATH] [--scratch]`
 //!
 //! `--jobs` runs the independent `code × layout` instances on the scoped
 //! instance pool (default: all hardware threads) with deterministic row
 //! order; `--portfolio` races K diversified solver workers per search
 //! round; `--share 0|1` toggles learnt-clause sharing between those
 //! workers (default on); `--scratch` A/Bs the paper's literal
-//! scratch-per-`S` search against the incremental default.
+//! scratch-per-`S` search against the incremental default;
+//! `--search-mode deepening|seeded|bisect` picks the stage-exploration
+//! strategy (heuristic-bracketed `seeded` by default).
 
 fn main() {
     let args = nasp_bench::BenchArgs::from_env_for(
@@ -20,6 +23,7 @@ fn main() {
             "--portfolio",
             "--seed",
             "--share",
+            "--search-mode",
             "--json",
         ],
     );

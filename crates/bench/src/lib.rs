@@ -17,12 +17,14 @@
 //! scratch-per-`S` search, `--jobs <N>` runs independent `code × layout`
 //! instances on the scoped-thread [`pool`] (default: all hardware
 //! threads), `--portfolio <K>`/`--seed <S>` race K diversified solver
-//! workers per search round (DESIGN.md §8), and `--share 0|1` toggles
+//! workers per search round (DESIGN.md §8), `--share 0|1` toggles
 //! lock-free learnt-clause sharing between those workers (DESIGN.md §9,
-//! default on). [`search`] measures scratch-vs-incremental
-//! (`BENCH_search.json`); [`parallel`] measures sequential-vs-pool and
-//! single-vs-portfolio with share-off and share-on groups
-//! (`BENCH_parallel.json`).
+//! default on), and `--search-mode deepening|seeded|bisect` picks the
+//! stage-exploration strategy (heuristic-bracketed by default, DESIGN.md
+//! §12). [`search`] measures deepening-vs-seeded on both back-ends
+//! (`BENCH_search.json`, schema v2); [`parallel`] measures
+//! sequential-vs-pool and single-vs-portfolio with share-off and share-on
+//! groups (`BENCH_parallel.json`).
 
 use std::time::Duration;
 
@@ -58,6 +60,9 @@ pub struct BenchArgs {
     /// `--share 0|1`: learnt-clause sharing between portfolio workers
     /// (default on; meaningful only with `--portfolio K > 1`).
     pub share: Option<bool>,
+    /// `--search-mode deepening|seeded|bisect`: stage-exploration
+    /// strategy (default: the solver's own default, `seeded`).
+    pub search_mode: Option<nasp_core::SearchMode>,
     /// `--json <path>`: also write rows as JSON (table1).
     pub json: Option<String>,
     /// `--quick`: reduced measurement suite (CI smoke).
@@ -90,12 +95,13 @@ impl BenchArgs {
             v.parse()
                 .map_err(|_| format!("{flag}: invalid value {v:?}"))
         }
-        const KNOWN: [&str; 11] = [
+        const KNOWN: [&str; 12] = [
             "--budget",
             "--jobs",
             "--portfolio",
             "--seed",
             "--share",
+            "--search-mode",
             "--json",
             "--out",
             "--out-search",
@@ -142,6 +148,13 @@ impl BenchArgs {
                     out.share = Some(v == 1);
                     i += 2;
                 }
+                "--search-mode" => {
+                    let v = value(args, i, "--search-mode")?;
+                    out.search_mode = Some(nasp_core::SearchMode::parse(v).ok_or_else(|| {
+                        format!("--search-mode: invalid value {v:?} (deepening|seeded|bisect)")
+                    })?);
+                    i += 2;
+                }
                 "--json" => {
                     out.json = Some(value(args, i, "--json")?.to_string());
                     i += 2;
@@ -169,7 +182,8 @@ impl BenchArgs {
                 other => {
                     return Err(format!(
                         "unknown flag {other:?} (known: --budget --scratch --jobs --portfolio \
-                         --seed --share --json --quick --out --out-search --out-parallel)"
+                         --seed --share --search-mode --json --quick --out --out-search \
+                         --out-parallel)"
                     ));
                 }
             }
@@ -230,6 +244,9 @@ impl BenchArgs {
         }
         if let Some(share) = self.share {
             options.solver.share = share;
+        }
+        if let Some(mode) = self.search_mode {
+            options.solver.search_mode = mode;
         }
         options
     }
@@ -313,6 +330,8 @@ mod tests {
             "99",
             "--share",
             "0",
+            "--search-mode",
+            "bisect",
             "--json",
             "rows.json",
             "--quick",
@@ -330,6 +349,7 @@ mod tests {
         assert_eq!(parsed.portfolio, Some(3));
         assert_eq!(parsed.seed, Some(99));
         assert_eq!(parsed.share, Some(false));
+        assert_eq!(parsed.search_mode, Some(nasp_core::SearchMode::Bisect));
         assert_eq!(parsed.json.as_deref(), Some("rows.json"));
         assert!(parsed.quick);
         assert_eq!(parsed.out.as_deref(), Some("a.json"));
@@ -351,6 +371,8 @@ mod tests {
         assert!(BenchArgs::parse(&args(&["--portfolio", "0"])).is_err());
         assert!(BenchArgs::parse(&args(&["--share", "2"])).is_err());
         assert!(BenchArgs::parse(&args(&["--share", "yes"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--search-mode", "sideways"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--search-mode"])).is_err());
     }
 
     #[test]
@@ -387,6 +409,8 @@ mod tests {
             "11",
             "--share",
             "0",
+            "--search-mode",
+            "deepening",
         ]))
         .expect("valid flags");
         let opts = parsed.experiment_options(30);
@@ -395,6 +419,7 @@ mod tests {
         assert_eq!(opts.solver.portfolio, 4);
         assert_eq!(opts.solver.seed, 11);
         assert!(!opts.solver.share);
+        assert_eq!(opts.solver.search_mode, nasp_core::SearchMode::Deepening);
         // Defaults flow through when flags are absent.
         let opts = BenchArgs::default().experiment_options(30);
         assert_eq!(opts.budget_per_instance, Duration::from_secs(30));

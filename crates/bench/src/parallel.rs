@@ -161,13 +161,23 @@ fn rows_agree(a: &[ExperimentResult], b: &[ExperimentResult]) -> bool {
 /// `quick` trims the per-instance budget for the CI smoke run.
 /// `share_groups` adds the share-on portfolio pass next to the always-run
 /// share-off one (`--share 0` on `perf_baseline` skips it for a
-/// PR4-style document).
-pub fn measure(quick: bool, jobs: usize, workers: usize, share_groups: bool) -> ParallelBaseline {
+/// PR4-style document). `search_mode` selects the stage-exploration
+/// strategy every pass runs under (`--search-mode` on `perf_baseline`;
+/// the A/Bs compare harnesses, so the mode is held identical across all
+/// passes).
+pub fn measure(
+    quick: bool,
+    jobs: usize,
+    workers: usize,
+    share_groups: bool,
+    search_mode: nasp_core::SearchMode,
+) -> ParallelBaseline {
     let budget = if quick { 20 } else { 120 };
-    let options = ExperimentOptions {
+    let mut options = ExperimentOptions {
         budget_per_instance: std::time::Duration::from_secs(budget),
         ..Default::default()
     };
+    options.solver.search_mode = search_mode;
 
     // Pool A/B: identical options, jobs = 1 vs jobs = N.
     let (sequential_ms, seq_rows) = run_set(&options, 1);

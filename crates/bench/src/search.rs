@@ -1,53 +1,89 @@
 //! Machine-readable search baseline: the measurements behind the committed
-//! `BENCH_search.json`.
+//! `BENCH_search.json` (schema v2).
 //!
-//! Every entry runs the *same* catalog instance through both search
-//! back-ends — the scratch sweep (one cold encoding per explored stage
-//! count, the paper's literal procedure) and the incremental
-//! assumption-guarded sweep (one warm solver per problem, DESIGN.md §7) —
-//! and records wall-clock time plus agreement checks: identical minimal
-//! stage count, identical provenance, and an operationally valid schedule
-//! on both paths. The headline number is the per-instance speedup.
+//! Every entry runs the *same* catalog instance through two comparisons:
+//!
+//! * **back-ends** — the scratch sweep (one cold encoding per explored
+//!   stage count, the paper's literal procedure) versus the incremental
+//!   assumption-guarded sweep (one warm solver per problem, DESIGN.md §7),
+//!   both under the default seeded search mode;
+//! * **search modes** — blind iterative deepening versus the
+//!   heuristic-bracketed seeded sweep (DESIGN.md §12), both on the
+//!   incremental back-end. The seeded mode runs the heuristic first, so
+//!   its stage count `S_h` caps the sweep: `rounds_eliminated` counts the
+//!   solver rounds deepening spent that seeding avoided, and
+//!   `ub_tightness = S_h - S_min` reports how close the heuristic landed
+//!   to the optimum.
+//!
+//! Each entry records wall-clock time plus agreement checks: identical
+//! minimal stage count, transfer count, provenance and proven lower bound
+//! across every run, and operationally valid schedules everywhere. The
+//! headline numbers are the per-instance speedups.
 
 use std::time::{Duration, Instant};
 
 use nasp_arch::{validate_schedule, ArchConfig, Layout};
-use nasp_core::solve::{Provenance, SolveOptions, SolveReport};
+use nasp_core::solve::{Provenance, SearchMode, SolveOptions, SolveReport};
 use nasp_core::{Engine, Problem};
 use nasp_qec::{catalog, graph_state};
 use serde::{Deserialize, Serialize};
 
-/// One scratch-vs-incremental measurement of a catalog instance.
+/// One measured catalog instance: scratch-vs-incremental and
+/// deepening-vs-seeded on the same problem.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchBench {
     /// Code whose preparation is scheduled.
     pub code: String,
     /// Layout solved for.
     pub layout: String,
-    /// Wall-clock time of the scratch sweep (ms).
+    /// Wall-clock time of the scratch sweep (ms, seeded mode).
     pub scratch_ms: f64,
-    /// Wall-clock time of the incremental sweep (ms).
+    /// Wall-clock time of the incremental sweep (ms, seeded mode).
     pub incremental_ms: f64,
     /// `scratch / incremental`.
     pub speedup: f64,
-    /// Minimal stage count found (identical on both paths when `agree`).
+    /// Wall-clock time of blind deepening (ms, incremental back-end).
+    pub deepening_ms: f64,
+    /// Wall-clock time of the seeded sweep (ms, incremental back-end;
+    /// equals `incremental_ms` — the same measured run).
+    pub seeded_ms: f64,
+    /// `deepening / seeded`.
+    pub mode_speedup: f64,
+    /// Stage rounds the deepening sweep asked the solver.
+    pub rounds_deepening: usize,
+    /// Stage rounds the seeded sweep asked the solver.
+    pub rounds_seeded: usize,
+    /// Solver rounds the heuristic bracket avoided
+    /// (`rounds_deepening - rounds_seeded`; never negative).
+    pub rounds_eliminated: usize,
+    /// Stage count of the up-front heuristic schedule (`S_h`), the sound
+    /// upper bound that caps the seeded sweep.
+    pub heuristic_ub: usize,
+    /// `S_h - S_min`: how far the heuristic overshot the proven optimum.
+    pub ub_tightness: usize,
+    /// Minimal stage count found (identical on every run when `agree`).
     pub stages: usize,
     /// Transfer stages after tightening, scratch path.
     pub transfers_scratch: usize,
     /// Transfer stages after tightening, incremental path.
     pub transfers_incremental: usize,
-    /// Both paths proved stage-optimality.
-    pub optimal_both: bool,
-    /// Both schedules pass the operational validator.
-    pub valid_both: bool,
-    /// Same minimal stage count, same provenance, same proven lower bound.
+    /// Transfer stages after tightening, deepening mode.
+    pub transfers_deepening: usize,
+    /// Every run proved stage-optimality.
+    pub optimal_all: bool,
+    /// Every schedule passes the operational validator.
+    pub valid_all: bool,
+    /// Same minimal stage count, transfer count, provenance and proven
+    /// lower bound across every run.
     pub agree: bool,
-    /// Proven stage-count lower bound (incremental path).
+    /// Proven stage-count lower bound (incremental seeded path).
     pub proven_lb: usize,
     /// SAT conflicts spent by the scratch sweep.
     pub conflicts_scratch: u64,
-    /// SAT conflicts spent by the incremental sweep.
+    /// SAT conflicts spent by the incremental (seeded) sweep.
     pub conflicts_incremental: u64,
+    /// SAT conflicts spent by the deepening sweep.
+    pub conflicts_deepening: u64,
 }
 
 /// Per-code totals across the measured layouts: the headline comparison
@@ -62,6 +98,15 @@ pub struct CodeSummary {
     pub incremental_ms_total: f64,
     /// `scratch / incremental` on the totals.
     pub speedup: f64,
+    /// Deepening total across the code's layouts (ms).
+    pub deepening_ms_total: f64,
+    /// Seeded total across the code's layouts (ms).
+    pub seeded_ms_total: f64,
+    /// `deepening / seeded` on the totals.
+    pub mode_speedup: f64,
+    /// Solver rounds eliminated by the heuristic bracket, summed over the
+    /// code's layouts.
+    pub rounds_eliminated_total: usize,
 }
 
 /// The full baseline document written to `BENCH_search.json`.
@@ -82,10 +127,16 @@ pub struct SearchBaseline {
 /// allocator noise (which dominates on the millisecond-scale instances).
 const REPS: u32 = 3;
 
-fn run_path(problem: &Problem, budget: Duration, incremental: bool) -> (Duration, SolveReport) {
+fn run_path(
+    problem: &Problem,
+    budget: Duration,
+    incremental: bool,
+    mode: SearchMode,
+) -> (Duration, SolveReport) {
     let options = SolveOptions::builder()
         .time_budget(budget)
         .incremental(incremental)
+        .search_mode(mode)
         .build();
     // One-shot engine calls: each repetition must pay the full cold start
     // (the scratch-vs-incremental comparison measures exactly that), so no
@@ -107,40 +158,67 @@ fn bench_instance(code_name: &str, layout: Layout, budget: Duration) -> SearchBe
     let code = catalog::by_name(code_name).expect("catalog code");
     let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
     let problem = Problem::new(ArchConfig::paper(layout), &circuit);
+    bench_problem(code.name(), &layout.to_string(), &problem, budget)
+}
 
-    let (t_scratch, r_scratch) = run_path(&problem, budget, false);
-    let (t_inc, r_inc) = run_path(&problem, budget, true);
+fn bench_problem(code: &str, layout: &str, problem: &Problem, budget: Duration) -> SearchBench {
+    let (t_scratch, r_scratch) = run_path(problem, budget, false, SearchMode::Seeded);
+    let (t_inc, r_inc) = run_path(problem, budget, true, SearchMode::Seeded);
+    let (t_deep, r_deep) = run_path(problem, budget, true, SearchMode::Deepening);
 
     let s_scratch = r_scratch.schedule.as_ref().expect("scratch schedule");
     let s_inc = r_inc.schedule.as_ref().expect("incremental schedule");
-    let valid_both = validate_schedule(s_scratch, &problem.gates).is_empty()
-        && validate_schedule(s_inc, &problem.gates).is_empty();
-    let agree = s_scratch.stages.len() == s_inc.stages.len()
-        && r_scratch.provenance == r_inc.provenance
-        && r_scratch.proven_lb == r_inc.proven_lb;
+    let s_deep = r_deep.schedule.as_ref().expect("deepening schedule");
+    let valid_all = [s_scratch, s_inc, s_deep]
+        .iter()
+        .all(|s| validate_schedule(s, &problem.gates).is_empty());
+    let agree = [s_scratch, s_deep]
+        .iter()
+        .all(|s| s.stages.len() == s_inc.stages.len() && s.num_transfer() == s_inc.num_transfer())
+        && [&r_scratch, &r_deep]
+            .iter()
+            .all(|r| r.provenance == r_inc.provenance && r.proven_lb == r_inc.proven_lb);
+    let rounds_deepening = r_deep.log.len();
+    let rounds_seeded = r_inc.log.len();
+    let heuristic_ub = r_inc
+        .heuristic_ub
+        .expect("seeded mode reports the heuristic upper bound");
     SearchBench {
-        code: code.name().to_string(),
+        code: code.to_string(),
         layout: layout.to_string(),
         scratch_ms: t_scratch.as_secs_f64() * 1e3,
         incremental_ms: t_inc.as_secs_f64() * 1e3,
         speedup: t_scratch.as_secs_f64() / t_inc.as_secs_f64(),
+        deepening_ms: t_deep.as_secs_f64() * 1e3,
+        seeded_ms: t_inc.as_secs_f64() * 1e3,
+        mode_speedup: t_deep.as_secs_f64() / t_inc.as_secs_f64(),
+        rounds_deepening,
+        rounds_seeded,
+        rounds_eliminated: rounds_deepening.saturating_sub(rounds_seeded),
+        heuristic_ub,
+        ub_tightness: heuristic_ub.saturating_sub(s_inc.stages.len()),
         stages: s_inc.stages.len(),
         transfers_scratch: s_scratch.num_transfer(),
         transfers_incremental: s_inc.num_transfer(),
-        optimal_both: r_scratch.provenance == Provenance::Optimal
-            && r_inc.provenance == Provenance::Optimal,
-        valid_both,
+        transfers_deepening: s_deep.num_transfer(),
+        optimal_all: [&r_scratch, &r_inc, &r_deep]
+            .iter()
+            .all(|r| r.provenance == Provenance::Optimal),
+        valid_all,
         agree,
         proven_lb: r_inc.proven_lb,
         conflicts_scratch: r_scratch.sat_conflicts,
         conflicts_incremental: r_inc.sat_conflicts,
+        conflicts_deepening: r_deep.sat_conflicts,
     }
 }
 
-/// Runs the scratch-vs-incremental suite: the two smallest catalog codes
-/// across all three paper layouts (their full Table I row set). `quick`
-/// only trims the per-instance budget for the CI smoke run — every
-/// instance here solves in well under a second on both paths.
+/// Runs the search suite: the two smallest catalog codes across all three
+/// paper layouts (their full Table I row set), plus a synthetic
+/// tight-bracket instance where the heuristic bound equals the lower
+/// bound and the seeded sweep skips the solver outright. `quick` only
+/// trims the per-instance budget for the CI smoke run — every instance
+/// here solves in well under a second on every path.
 pub fn measure(quick: bool) -> SearchBaseline {
     let budget = if quick {
         Duration::from_secs(20)
@@ -162,16 +240,50 @@ pub fn measure(quick: bool) -> SearchBaseline {
             .collect();
         let scratch_ms_total: f64 = rows.iter().map(|r| r.scratch_ms).sum();
         let incremental_ms_total: f64 = rows.iter().map(|r| r.incremental_ms).sum();
+        let deepening_ms_total: f64 = rows.iter().map(|r| r.deepening_ms).sum();
+        let seeded_ms_total: f64 = rows.iter().map(|r| r.seeded_ms).sum();
         summary.push(CodeSummary {
             code: rows[0].code.clone(),
             scratch_ms_total,
             incremental_ms_total,
             speedup: scratch_ms_total / incremental_ms_total,
+            deepening_ms_total,
+            seeded_ms_total,
+            mode_speedup: deepening_ms_total / seeded_ms_total,
+            rounds_eliminated_total: rows.iter().map(|r| r.rounds_eliminated).sum(),
         });
         instances.extend(rows);
     }
+    // Tight-bracket family: disjoint CZ pairs whose degree lower bound
+    // already equals the heuristic's stage count, so the seeded sweep
+    // adopts the heuristic schedule without a single solver round while
+    // deepening still pays one SAT probe. The paper codes above have
+    // loose heuristic bounds (`ub_tightness` of several stages), so this
+    // row keeps a guaranteed-nonzero `rounds_eliminated` in the document
+    // exercising the skip path end to end.
+    let tight = bench_problem(
+        "disjoint-pairs",
+        &Layout::NoShielding.to_string(),
+        &Problem::from_gates(
+            ArchConfig::paper(Layout::NoShielding),
+            4,
+            vec![(0, 1), (2, 3)],
+        ),
+        budget,
+    );
+    summary.push(CodeSummary {
+        code: tight.code.clone(),
+        scratch_ms_total: tight.scratch_ms,
+        incremental_ms_total: tight.incremental_ms,
+        speedup: tight.speedup,
+        deepening_ms_total: tight.deepening_ms,
+        seeded_ms_total: tight.seeded_ms,
+        mode_speedup: tight.mode_speedup,
+        rounds_eliminated_total: tight.rounds_eliminated,
+    });
+    instances.push(tight);
     SearchBaseline {
-        schema: "nasp-bench-search/v1".to_string(),
+        schema: "nasp-bench-search/v2".to_string(),
         quick,
         instances,
         summary,
@@ -180,23 +292,43 @@ pub fn measure(quick: bool) -> SearchBaseline {
 
 /// Serializes, writes and re-parses the baseline at `path`, so a corrupt
 /// emitter fails loudly instead of committing garbage. Also fails when a
-/// measurement disagrees between the two paths — a speed win on divergent
-/// searches would be meaningless.
+/// measurement disagrees between paths or modes — a speed win on divergent
+/// searches would be meaningless — or when the seeded sweep somehow asked
+/// the solver *more* rounds than blind deepening.
 ///
 /// # Errors
 ///
 /// Returns a message if writing, re-parsing, or the agreement checks fail.
 pub fn write_validated(baseline: &SearchBaseline, path: &str) -> Result<(), String> {
     for i in &baseline.instances {
-        if !i.valid_both {
+        if !i.valid_all {
             return Err(format!("{} / {}: invalid schedule", i.code, i.layout));
         }
         if !i.agree {
             return Err(format!(
-                "{} / {}: scratch and incremental searches disagree",
+                "{} / {}: search paths/modes disagree on the minima",
                 i.code, i.layout
             ));
         }
+        if i.rounds_seeded > i.rounds_deepening {
+            return Err(format!(
+                "{} / {}: seeded explored {} rounds vs deepening's {}",
+                i.code, i.layout, i.rounds_seeded, i.rounds_deepening
+            ));
+        }
+        if i.heuristic_ub < i.stages {
+            return Err(format!(
+                "{} / {}: heuristic_ub {} below the proven minimum {}",
+                i.code, i.layout, i.heuristic_ub, i.stages
+            ));
+        }
+    }
+    // The suite always carries the tight-bracket family, so a document
+    // where no instance eliminated a round means the heuristic skip path
+    // regressed (the seeded sweep probed counts the bracket should have
+    // ruled out).
+    if baseline.instances.iter().all(|i| i.rounds_eliminated == 0) {
+        return Err("no instance eliminated a solver round: the heuristic bracket is inert".into());
     }
     let text = serde_json::to_string_pretty(baseline).map_err(|e| format!("serialize: {e:?}"))?;
     std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;

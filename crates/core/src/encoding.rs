@@ -27,6 +27,8 @@
 //! in place and making the trailing stages transfer stages with no
 //! load/store flags set. Decoding therefore reads only the active prefix.
 
+use std::collections::HashMap;
+
 use nasp_arch::{Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
 use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult, SolverConfig};
 
@@ -100,6 +102,10 @@ struct Core {
     gates_of: Vec<Vec<usize>>,
     /// Gate index pairs sharing a qubit (for Eq. 13).
     conflicting_gates: Vec<(usize, usize)>,
+    /// Stage kinds (`true` = Rydberg) of a phase-hint schedule, retained so
+    /// lazily allocated stages get their `e[t]` polarity seeded at
+    /// creation. Empty when no hint was supplied.
+    phase_hint_kinds: Vec<bool>,
 }
 
 impl Core {
@@ -148,6 +154,39 @@ impl Core {
             at_least: Vec::new(),
             gates_of,
             conflicting_gates,
+            phase_hint_kinds: Vec::new(),
+        }
+    }
+
+    /// Seeds solver phase polarity from a known-valid schedule (the
+    /// heuristic's): each gate's stage variable `g_i` is steered toward the
+    /// Rydberg stage that executes it in the hint, and each execution flag
+    /// `e_t` toward the hint's stage kind — so the first descent of a SAT
+    /// round starts adjacent to a known solution instead of at the default
+    /// polarity. Stage kinds are retained so stages allocated later (the
+    /// incremental encoding is lazy) get seeded at creation.
+    ///
+    /// Purely a decision-order hint (see [`nasp_sat::Solver::seed_phases`]);
+    /// a no-op when the solver config's phase-seeding policy is off.
+    fn seed_from_schedule(&mut self, hint: &Schedule) {
+        let mut stage_of: HashMap<(usize, usize), usize> = HashMap::new();
+        for t in 0..hint.stages.len() {
+            for (a, b) in hint.executed_pairs(t) {
+                stage_of.insert((a, b), t);
+            }
+        }
+        for (i, &(a, b)) in self.problem.gates.iter().enumerate() {
+            let key = (a.min(b), a.max(b));
+            if let Some(&t) = stage_of.get(&key) {
+                // `seed_int_phase` clamps into the `g_i` domain, so a hint
+                // stage beyond the cap degrades to "as late as possible".
+                self.ctx.seed_int_phase(self.g[i], t as i64);
+            }
+        }
+        self.phase_hint_kinds = hint.stages.iter().map(|s| s.is_rydberg()).collect();
+        for t in 0..self.stages.min(self.phase_hint_kinds.len()) {
+            let (et, kind) = (self.e[t], self.phase_hint_kinds[t]);
+            self.ctx.seed_bool_phase(et, kind);
         }
     }
 
@@ -193,6 +232,10 @@ impl Core {
         }
         let ev = self.ctx.bool_var();
         self.e.push(ev);
+        if t < self.phase_hint_kinds.len() {
+            let kind = self.phase_hint_kinds[t];
+            self.ctx.seed_bool_phase(ev, kind);
+        }
         self.stages = t + 1;
 
         self.assert_stage(t);
@@ -606,6 +649,15 @@ impl Encoding {
         Encoding { core }
     }
 
+    /// Seeds solver phase polarity from a known-valid schedule so the
+    /// first descent starts adjacent to it; see
+    /// [`nasp_sat::Solver::seed_phases`]. A decision-order hint only — the
+    /// set of models is unchanged — and a no-op when the solver config's
+    /// phase-seeding policy is off.
+    pub fn seed_phase_hint(&mut self, hint: &Schedule) {
+        self.core.seed_from_schedule(hint);
+    }
+
     /// Solves the encoding under the given budget.
     pub fn solve(&mut self, budget: Budget) -> SolveResult {
         self.core.ctx.solve_limited(budget)
@@ -707,6 +759,16 @@ impl IncrementalEncoding {
     /// Stages allocated so far (grows monotonically with the sweep).
     pub fn stages_built(&self) -> usize {
         self.core.stages
+    }
+
+    /// Seeds solver phase polarity from a known-valid schedule so the
+    /// first descent starts adjacent to it; see
+    /// [`nasp_sat::Solver::seed_phases`]. Already-allocated stages are
+    /// seeded immediately; stages allocated later by the lazy sweep pick
+    /// up their seed at creation. A decision-order hint only, and a no-op
+    /// when the solver config's phase-seeding policy is off.
+    pub fn seed_phase_hint(&mut self, hint: &Schedule) {
+        self.core.seed_from_schedule(hint);
     }
 
     /// Allocates stages (and their activation selectors) up to count `s`.

@@ -61,10 +61,11 @@ use nasp_arch::Schedule;
 use nasp_smt::{SolveResult, Stats, Terminator};
 
 use crate::encoding::{EncodeOptions, IncrementalEncoding};
+use crate::heuristic;
 use crate::problem::Problem;
 use crate::solve::{
-    solve_scratch, tighten_transfers_incremental, Provenance, SearchState, SolveOptions,
-    SolveReport, INCREMENTAL_HEADROOM,
+    solve_scratch, tighten_transfers_incremental, Provenance, SearchMode, SearchState,
+    SolveOptions, SolveReport, StagePlanner, INCREMENTAL_HEADROOM,
 };
 
 /// Factory for warm scheduling sessions.
@@ -189,12 +190,38 @@ impl Session {
                 }),
                 Provenance::Optimal,
             )
-        } else if options.portfolio > 1 {
-            crate::portfolio::solve_portfolio(&self.problem, options, start, deadline, cancel)
-        } else if options.incremental {
-            self.run_incremental(options, start, deadline, cancel)
         } else {
-            solve_scratch(&self.problem, options, start, deadline, cancel)
+            // The bracketed modes pay for one heuristic run up front: its
+            // stage count `S_h` bounds the sweep from above and its
+            // schedule seeds the solver's phase polarities. Deepening (the
+            // A/B baseline) keeps the historical blind sweep and computes
+            // the heuristic only on fallback.
+            let hint = if options.search_mode != SearchMode::Deepening {
+                heuristic::schedule(&self.problem)
+            } else {
+                None
+            };
+            if options.portfolio > 1 {
+                crate::portfolio::solve_portfolio(
+                    &self.problem,
+                    options,
+                    start,
+                    deadline,
+                    cancel,
+                    hint.as_ref(),
+                )
+            } else if options.incremental {
+                self.run_incremental(options, start, deadline, cancel, hint.as_ref())
+            } else {
+                solve_scratch(
+                    &self.problem,
+                    options,
+                    start,
+                    deadline,
+                    cancel,
+                    hint.as_ref(),
+                )
+            }
         };
         self.history.push(report.clone());
         report
@@ -202,22 +229,31 @@ impl Session {
 
     /// The incremental sweep over the session's retained encoding: one
     /// warm solver, assumption-guarded activation of each stage count and
-    /// transfer cap, per-run stat deltas.
+    /// transfer cap, per-run stat deltas. The probe order comes from the
+    /// [`StagePlanner`]; the epilogue stays inline (rather than routing
+    /// through [`crate::solve::finish_search`]) because the per-run
+    /// stat-delta bookkeeping must bracket both the tightening loop and
+    /// the fallback path against the warm encoding's cumulative counters.
     fn run_incremental(
         &mut self,
         options: &SolveOptions,
         start: Instant,
         deadline: Instant,
         cancel: Option<&Terminator>,
+        hint: Option<&Schedule>,
     ) -> SolveReport {
         let problem = &self.problem;
         let warm_slot = &mut self.warm;
 
         let lb = problem.stage_lower_bound().max(1);
-        let mut state = SearchState::new(start, deadline, lb).with_cancel(cancel.cloned());
+        let ub = hint.map(|h| h.stages.len());
+        let mut state = SearchState::new(start, deadline, lb)
+            .with_cancel(cancel.cloned())
+            .with_heuristic_ub(ub);
         if lb > options.max_stages {
-            return state.fallback(problem, options.heuristic_fallback);
+            return state.fallback(problem, options.heuristic_fallback, hint.cloned());
         }
+        let bracketed = options.search_mode != SearchMode::Deepening;
 
         // Reuse the retained encoding when its strengthenings match;
         // otherwise (first run, or changed encode options) build cold.
@@ -234,8 +270,15 @@ impl Session {
             });
         }
         let warm = warm_slot.as_mut().expect("warm encoding just ensured");
+        // Re-seed every run: a warm solver's saved phases may have drifted
+        // arbitrarily far from the hint since the previous run.
+        if let Some(h) = hint {
+            warm.enc.seed_phase_hint(h);
+        }
 
-        for s in lb..=options.max_stages {
+        let mut planner = StagePlanner::new(options.search_mode, lb, ub, options.max_stages);
+        let mut incumbent: Option<Schedule> = None;
+        while let Some(s) = planner.next() {
             if state.expired() {
                 break;
             }
@@ -247,32 +290,81 @@ impl Session {
                 let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
                 warm.enc = IncrementalEncoding::build(problem, cap, options.encode);
                 warm.reported = Stats::default();
+                if let Some(h) = hint {
+                    warm.enc.seed_phase_hint(h);
+                }
             }
             let result = warm.enc.solve_at(s, state.budget());
-            state.record(s, result);
+            if bracketed {
+                state.record_probe(s, result);
+            } else {
+                state.record(s, result);
+            }
+            planner.on_result(s, result);
             if result == SolveResult::Sat {
-                let mut schedule = warm.enc.decode();
+                incumbent = Some(warm.enc.decode());
+                if !bracketed {
+                    break;
+                }
+            }
+        }
+
+        // A bracketed sweep that refuted every count below `S_h` has
+        // proven the heuristic schedule stage-optimal — adopt it without
+        // asking the solver for a model (when `S_h == lb` the planner
+        // yields no probes at all and the solver is never invoked).
+        let sat_found = incumbent.is_some();
+        let adopted = match (&incumbent, hint) {
+            (None, Some(h)) if bracketed => {
+                let s_h = h.stages.len();
+                (s_h <= options.max_stages && state.proven_lb() >= s_h).then(|| (*h).clone())
+            }
+            _ => None,
+        };
+        match incumbent.or(adopted) {
+            Some(mut schedule) => {
+                let s = schedule.stages.len();
                 if options.minimize_transfers {
+                    if s > warm.enc.max_stages() {
+                        // An adopted heuristic schedule can sit past the
+                        // cap the sweep needed; rebuild to tighten at `s`.
+                        state.counters.absorb(
+                            stats_delta(warm.enc.stats(), warm.reported),
+                            warm.enc.clause_db_bytes(),
+                        );
+                        let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
+                        warm.enc = IncrementalEncoding::build(problem, cap, options.encode);
+                        warm.reported = Stats::default();
+                        if let Some(h) = hint {
+                            warm.enc.seed_phase_hint(h);
+                        }
+                    }
                     schedule =
                         tighten_transfers_incremental(&mut warm.enc, s, deadline, cancel, schedule);
                 }
-                let provenance = state.sat_provenance();
+                let provenance = if bracketed {
+                    state.bracket_provenance(s, sat_found)
+                } else {
+                    state.sat_provenance()
+                };
                 let stats = warm.enc.stats();
                 state.counters.absorb(
                     stats_delta(stats, warm.reported),
                     warm.enc.clause_db_bytes(),
                 );
                 warm.reported = stats;
-                return state.report(Some(schedule), provenance);
+                state.report(Some(schedule), provenance)
+            }
+            None => {
+                let stats = warm.enc.stats();
+                state.counters.absorb(
+                    stats_delta(stats, warm.reported),
+                    warm.enc.clause_db_bytes(),
+                );
+                warm.reported = stats;
+                state.fallback(problem, options.heuristic_fallback, hint.cloned())
             }
         }
-        let stats = warm.enc.stats();
-        state.counters.absorb(
-            stats_delta(stats, warm.reported),
-            warm.enc.clause_db_bytes(),
-        );
-        warm.reported = stats;
-        state.fallback(problem, options.heuristic_fallback)
     }
 }
 

@@ -53,4 +53,4 @@ pub use report::{
     run_experiment, run_table1, table1_instances, ExperimentOptions, ExperimentResult,
     TABLE1_LAYOUTS,
 };
-pub use solve::{solve, Provenance, SolveOptions, SolveOptionsBuilder, SolveReport};
+pub use solve::{solve, Provenance, SearchMode, SolveOptions, SolveOptionsBuilder, SolveReport};

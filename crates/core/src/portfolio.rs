@@ -47,7 +47,8 @@ use nasp_smt::{Budget, ClauseExchange, ShareHandle, SolveResult, SolverConfig, T
 use crate::encoding::{Encoding, IncrementalEncoding};
 use crate::problem::Problem;
 use crate::solve::{
-    Provenance, SatCounters, SearchState, SolveOptions, SolveReport, INCREMENTAL_HEADROOM,
+    Provenance, SatCounters, SearchMode, SearchState, SolveOptions, SolveReport, StagePlanner,
+    INCREMENTAL_HEADROOM,
 };
 
 /// One search round, broadcast to every worker.
@@ -202,12 +203,16 @@ pub(crate) fn solve_portfolio(
     start: Instant,
     deadline: Instant,
     cancel: Option<&Terminator>,
+    hint: Option<&Schedule>,
 ) -> SolveReport {
     let k = options.portfolio.max(2);
     let lb = problem.stage_lower_bound().max(1);
-    let mut state = SearchState::new(start, deadline, lb).with_cancel(cancel.cloned());
+    let ub = hint.map(|h| h.stages.len());
+    let mut state = SearchState::new(start, deadline, lb)
+        .with_cancel(cancel.cloned())
+        .with_heuristic_ub(ub);
     if lb > options.max_stages {
-        let mut report = state.fallback(problem, options.heuristic_fallback);
+        let mut report = state.fallback(problem, options.heuristic_fallback, hint.cloned());
         report.portfolio_workers = k;
         report.worker_wins = vec![0; k];
         report.worker_exported = vec![0; k];
@@ -238,7 +243,7 @@ pub(crate) fn solve_portfolio(
             let options = *options;
             scope.spawn(move || {
                 worker_loop(
-                    worker, problem, &options, deadline, q_rx, resp_tx, stop, share,
+                    worker, problem, &options, deadline, q_rx, resp_tx, stop, share, hint,
                 )
             });
         }
@@ -252,39 +257,68 @@ pub(crate) fn solve_portfolio(
             latest: vec![SatCounters::default(); k],
         };
 
-        let mut outcome: Option<(Schedule, Provenance)> = None;
-        'sweep: for s in lb..=options.max_stages {
+        let bracketed = options.search_mode != SearchMode::Deepening;
+        let mut planner = StagePlanner::new(options.search_mode, lb, ub, options.max_stages);
+        let mut incumbent: Option<Schedule> = None;
+        while let Some(s) = planner.next() {
             if state.expired() {
                 break;
             }
             let (result, model) = rounds.run(Query::Stage { s });
-            state.record(s, result);
+            if bracketed {
+                state.record_probe(s, result);
+            } else {
+                state.record(s, result);
+            }
+            planner.on_result(s, result);
             if result == SolveResult::Sat {
-                let mut best = model.expect("winning Sat response carries a schedule");
-                if options.minimize_transfers {
-                    loop {
-                        let current = best.num_transfer();
-                        if current == 0 || state.expired() {
-                            break;
-                        }
-                        let (r, m) = rounds.run(Query::Tighten {
-                            s,
-                            max_transfers: current - 1,
-                        });
-                        match r {
-                            SolveResult::Sat => {
-                                best = m.expect("winning Sat response carries a schedule");
-                                debug_assert!(best.num_transfer() < current);
-                            }
-                            // Unsat: `current` is minimal; Unknown: budget.
-                            SolveResult::Unsat | SolveResult::Unknown => break,
-                        }
-                    }
+                incumbent = Some(model.expect("winning Sat response carries a schedule"));
+                if !bracketed {
+                    break;
                 }
-                outcome = Some((best, state.sat_provenance()));
-                break 'sweep;
             }
         }
+
+        // Same adoption rule as the sequential back-ends: a bracketed
+        // sweep that refuted every count below `S_h` proved the heuristic
+        // schedule stage-optimal without ever racing a model for it.
+        let sat_found = incumbent.is_some();
+        let adopted = match (&incumbent, hint) {
+            (None, Some(h)) if bracketed => {
+                let s_h = h.stages.len();
+                (s_h <= options.max_stages && state.proven_lb() >= s_h).then(|| (*h).clone())
+            }
+            _ => None,
+        };
+        let outcome: Option<(Schedule, Provenance)> = incumbent.or(adopted).map(|mut best| {
+            let s = best.stages.len();
+            if options.minimize_transfers {
+                loop {
+                    let current = best.num_transfer();
+                    if current == 0 || state.expired() {
+                        break;
+                    }
+                    let (r, m) = rounds.run(Query::Tighten {
+                        s,
+                        max_transfers: current - 1,
+                    });
+                    match r {
+                        SolveResult::Sat => {
+                            best = m.expect("winning Sat response carries a schedule");
+                            debug_assert!(best.num_transfer() < current);
+                        }
+                        // Unsat: `current` is minimal; Unknown: budget.
+                        SolveResult::Unsat | SolveResult::Unknown => break,
+                    }
+                }
+            }
+            let provenance = if bracketed {
+                state.bracket_provenance(s, sat_found)
+            } else {
+                state.sat_provenance()
+            };
+            (best, provenance)
+        });
 
         rounds.shutdown();
         // The scope joins every worker here; each worker's cumulative
@@ -294,7 +328,7 @@ pub(crate) fn solve_portfolio(
         }
         let mut report = match outcome {
             Some((schedule, provenance)) => state.report(Some(schedule), provenance),
-            None => state.fallback(problem, options.heuristic_fallback),
+            None => state.fallback(problem, options.heuristic_fallback, hint.cloned()),
         };
         report.portfolio_workers = k;
         report.worker_exported = rounds.latest.iter().map(|c| c.exported).collect();
@@ -320,6 +354,7 @@ fn worker_loop(
     responses: Sender<Response>,
     stop: Terminator,
     share: Option<ShareHandle>,
+    hint: Option<&Schedule>,
 ) {
     let guard = DeathNotice {
         worker: id,
@@ -354,7 +389,14 @@ fn worker_loop(
         let (result, schedule, num_vars) = if options.incremental {
             let inc = enc.get_or_insert_with(|| {
                 let cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
-                IncrementalEncoding::build(problem, cap, encode)
+                let mut built = IncrementalEncoding::build(problem, cap, encode);
+                // Seeding only sets saved phases (no variables, no
+                // clauses), so the num_vars alignment invariant holds
+                // across workers whether or not their config honours it.
+                if let Some(h) = hint {
+                    built.seed_phase_hint(h);
+                }
+                built
             });
             if s > inc.max_stages() {
                 // Outgrew the cap: fold the old solver's effort into the
@@ -364,6 +406,9 @@ fn worker_loop(
                 counters.absorb(inc.stats(), inc.clause_db_bytes());
                 let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
                 *inc = IncrementalEncoding::build(problem, cap, encode);
+                if let Some(h) = hint {
+                    inc.seed_phase_hint(h);
+                }
             }
             let budget = budget_for(inc.max_stages());
             let result = match max_transfers {
@@ -374,6 +419,9 @@ fn worker_loop(
             (result, schedule, inc.size().0)
         } else {
             let mut cold = Encoding::build(problem, s, encode);
+            if let Some(h) = hint {
+                cold.seed_phase_hint(h);
+            }
             if let Some(kk) = max_transfers {
                 cold.assert_max_transfers(kk);
             }

@@ -43,6 +43,10 @@ pub struct ExperimentResult {
     /// expired, every `S < proven_lb` is known impossible (the paper's 320 h
     /// timeouts reported nothing about the rounds they did finish).
     pub proven_lb: usize,
+    /// Stage count of the up-front heuristic schedule (bracketed search
+    /// modes only): a sound upper bound on the optimum, so `heuristic_ub -
+    /// proven_lb` measures how tightly a budget-cut instance was bracketed.
+    pub heuristic_ub: Option<usize>,
     /// Total SAT conflicts spent by the search (solver throughput).
     pub sat_conflicts: u64,
     /// Total SAT literal propagations spent by the search.
@@ -187,6 +191,7 @@ pub fn run_experiment_with_circuit(
         valid,
         verified,
         proven_lb: report.proven_lb,
+        heuristic_ub: report.heuristic_ub,
         sat_conflicts: report.sat_conflicts,
         sat_propagations: report.sat_propagations,
         sat_decisions: report.sat_decisions,
@@ -311,6 +316,7 @@ mod tests {
             valid: true,
             verified: true,
             proven_lb: 3,
+            heuristic_ub: Some(3),
             sat_conflicts: 0,
             sat_propagations: 0,
             sat_decisions: 0,

@@ -30,6 +30,55 @@ use crate::encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 use crate::heuristic;
 use crate::problem::Problem;
 
+/// Strategy for exploring candidate stage counts.
+///
+/// The heuristic scheduler produces a *valid* schedule, so its stage count
+/// `S_h` is a sound upper bound on the minimum: any mode that runs it
+/// first searches the bracket `[lb, S_h]` instead of deepening blindly
+/// past the optimum it cannot recognise. The per-`S` selector literals of
+/// the incremental encoding make any probe order a one-assumption swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Pure iterative deepening from the lower bound upward — the paper's
+    /// literal procedure, kept for A/B comparison. The heuristic runs only
+    /// on budget exhaustion.
+    Deepening,
+    /// Run the heuristic first and sweep `[lb, S_h)` upward (the default).
+    /// When `S_h == lb` the heuristic schedule is already proven optimal
+    /// and the SAT solver is skipped entirely; otherwise the sweep stops
+    /// at the first SAT or, having refuted every count below `S_h`,
+    /// adopts the heuristic schedule as the proven optimum.
+    #[default]
+    Seeded,
+    /// Binary search over `[lb, S_h]`: UNSAT at the midpoint lifts the
+    /// lower bound (stage-count satisfiability is monotone — see
+    /// [`SearchState::record_probe`]), SAT lowers the incumbent and
+    /// yields a decodable schedule immediately, so a deadline mid-search
+    /// still returns the best schedule bracketed so far.
+    Bisect,
+}
+
+impl SearchMode {
+    /// Stable lowercase wire/CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SearchMode::Deepening => "deepening",
+            SearchMode::Seeded => "seeded",
+            SearchMode::Bisect => "bisect",
+        }
+    }
+
+    /// Parses the lowercase wire/CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "deepening" => Some(SearchMode::Deepening),
+            "seeded" => Some(SearchMode::Seeded),
+            "bisect" => Some(SearchMode::Bisect),
+            _ => None,
+        }
+    }
+}
+
 /// Options controlling the search.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveOptions {
@@ -69,6 +118,10 @@ pub struct SolveOptions {
     /// only change speed and incidental schedule content, never the
     /// reported minima. Ignored when `portfolio <= 1`.
     pub share: bool,
+    /// Stage-exploration strategy: heuristic-bracketed sweep (the
+    /// default), bisection, or the paper's blind deepening (kept for
+    /// A/B). See [`SearchMode`].
+    pub search_mode: SearchMode,
 }
 
 impl Default for SolveOptions {
@@ -83,6 +136,7 @@ impl Default for SolveOptions {
             portfolio: 1,
             seed: 0x5EED,
             share: true,
+            search_mode: SearchMode::default(),
         }
     }
 }
@@ -181,6 +235,12 @@ impl SolveOptionsBuilder {
         self
     }
 
+    /// Stage-exploration strategy (see [`SearchMode`]).
+    pub fn search_mode(mut self, mode: SearchMode) -> Self {
+        self.options.search_mode = mode;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SolveOptions {
         self.options
@@ -218,6 +278,12 @@ pub struct SolveReport {
     /// several UNSAT rounds still reports what was proved; on an
     /// [`Provenance::Optimal`] result this equals the schedule's length.
     pub proven_lb: usize,
+    /// Stage count of the up-front heuristic schedule — a sound *upper*
+    /// bound on the minimum, so together with `proven_lb` the optimum is
+    /// bracketed from both sides even when the search was cut short.
+    /// `None` when the heuristic did not run up front
+    /// ([`SearchMode::Deepening`]) or found no schedule.
+    pub heuristic_ub: Option<usize>,
     /// Total SAT conflicts across the search.
     pub sat_conflicts: u64,
     /// Total SAT literal propagations across the search.
@@ -340,6 +406,7 @@ pub(crate) struct SearchState {
     log: Vec<(usize, SolveResult)>,
     all_proved_unsat: bool,
     proven_lb: usize,
+    heuristic_ub: Option<usize>,
     pub(crate) counters: SatCounters,
 }
 
@@ -352,6 +419,7 @@ impl SearchState {
             log: Vec::new(),
             all_proved_unsat: true,
             proven_lb: lb,
+            heuristic_ub: None,
             counters: SatCounters::default(),
         }
     }
@@ -361,6 +429,17 @@ impl SearchState {
     pub(crate) fn with_cancel(mut self, cancel: Option<Terminator>) -> Self {
         self.cancel = cancel;
         self
+    }
+
+    /// Records the up-front heuristic's stage count for the report.
+    pub(crate) fn with_heuristic_ub(mut self, ub: Option<usize>) -> Self {
+        self.heuristic_ub = ub;
+        self
+    }
+
+    /// The lower bound proven so far (degree bound plus refuted rounds).
+    pub(crate) fn proven_lb(&self) -> usize {
+        self.proven_lb
     }
 
     /// `true` once the search must stop: past the deadline, or externally
@@ -392,6 +471,20 @@ impl SearchState {
         }
     }
 
+    /// Records an out-of-order bisection probe. UNSAT at `s` lifts the
+    /// proven lower bound to `s + 1` outright: stage-count satisfiability
+    /// is monotone (any valid `s`-stage schedule extends to `s + 1` stages
+    /// by inserting a no-op transfer stage before the final execution
+    /// stage), so refuting `s` refutes every smaller count too.
+    pub(crate) fn record_probe(&mut self, s: usize, result: SolveResult) {
+        self.log.push((s, result));
+        match result {
+            SolveResult::Unsat => self.proven_lb = self.proven_lb.max(s + 1),
+            SolveResult::Unknown => self.all_proved_unsat = false,
+            SolveResult::Sat => {}
+        }
+    }
+
     pub(crate) fn report(self, schedule: Option<Schedule>, provenance: Provenance) -> SolveReport {
         SolveReport {
             schedule,
@@ -399,6 +492,7 @@ impl SearchState {
             smt_time: self.start.elapsed(),
             log: self.log,
             proven_lb: self.proven_lb,
+            heuristic_ub: self.heuristic_ub,
             sat_conflicts: self.counters.conflicts,
             sat_propagations: self.counters.propagations,
             sat_decisions: self.counters.decisions,
@@ -427,14 +521,108 @@ impl SearchState {
         }
     }
 
-    /// Heuristic-fallback (or no-schedule) report.
-    pub(crate) fn fallback(self, problem: &Problem, heuristic_fallback: bool) -> SolveReport {
+    /// Final provenance of a bracketed ([`SearchMode::Seeded`] /
+    /// [`SearchMode::Bisect`]) search that ends holding a schedule of `s`
+    /// stages: proven optimal when the lower bound climbed all the way to
+    /// the incumbent, otherwise attributed to whichever producer found it
+    /// (a SAT round, or the up-front heuristic).
+    pub(crate) fn bracket_provenance(&self, s: usize, sat_found: bool) -> Provenance {
+        if self.proven_lb >= s {
+            Provenance::Optimal
+        } else if sat_found {
+            Provenance::SmtUnproven
+        } else {
+            Provenance::Heuristic
+        }
+    }
+
+    /// Heuristic-fallback (or no-schedule) report. `precomputed` is the
+    /// schedule the bracketed modes already obtained at solve start — when
+    /// present the fallback is allocation-free; only the deepening A/B
+    /// mode still computes it here.
+    pub(crate) fn fallback(
+        self,
+        problem: &Problem,
+        heuristic_fallback: bool,
+        precomputed: Option<Schedule>,
+    ) -> SolveReport {
         let schedule = if heuristic_fallback {
-            heuristic::schedule(problem)
+            precomputed.or_else(|| heuristic::schedule(problem))
         } else {
             None
         };
         self.report(schedule, Provenance::Heuristic)
+    }
+}
+
+/// Probe-order planner shared by the three search back-ends (scratch,
+/// incremental, portfolio): owns *which* stage count to query next, while
+/// the back-ends own how a query is executed. Upward sweeps (deepening and
+/// the heuristic-bracketed seeded mode) advance a cursor; bisection keeps
+/// the open interval `[lo, hi)` where `hi` is the incumbent (a known-SAT
+/// count, or the heuristic's) and `lo` the first not-yet-refuted count.
+pub(crate) struct StagePlanner {
+    mode: SearchMode,
+    /// First count not yet refuted (sweep cursor / bisection lower edge).
+    lo: usize,
+    /// Exclusive upper edge: the incumbent stage count, clamped to
+    /// `max_stages + 1` (deepening has no incumbent).
+    hi: usize,
+    stopped: bool,
+}
+
+impl StagePlanner {
+    pub(crate) fn new(
+        mode: SearchMode,
+        lb: usize,
+        heuristic_ub: Option<usize>,
+        max_stages: usize,
+    ) -> Self {
+        let cap = max_stages.saturating_add(1);
+        let hi = match mode {
+            SearchMode::Deepening => cap,
+            SearchMode::Seeded | SearchMode::Bisect => heuristic_ub.map_or(cap, |ub| ub.min(cap)),
+        };
+        StagePlanner {
+            mode,
+            lo: lb,
+            hi,
+            stopped: false,
+        }
+    }
+
+    /// The next stage count to probe, or `None` once the bracket is
+    /// decided (the lower bound met the incumbent), a sweep found SAT, or
+    /// bisection hit an inconclusive round.
+    pub(crate) fn next(&self) -> Option<usize> {
+        if self.stopped || self.lo >= self.hi {
+            return None;
+        }
+        match self.mode {
+            SearchMode::Deepening | SearchMode::Seeded => Some(self.lo),
+            SearchMode::Bisect => Some(self.lo + (self.hi - self.lo) / 2),
+        }
+    }
+
+    pub(crate) fn on_result(&mut self, s: usize, result: SolveResult) {
+        match result {
+            SolveResult::Sat => match self.mode {
+                // Sweeps probe in increasing order: the first SAT is the
+                // minimum reachable within budget.
+                SearchMode::Deepening | SearchMode::Seeded => self.stopped = true,
+                // Bisection keeps halving below the new incumbent.
+                SearchMode::Bisect => self.hi = s,
+            },
+            SolveResult::Unsat => self.lo = s + 1,
+            SolveResult::Unknown => match self.mode {
+                // Deepening historically moves on (a later round may still
+                // be decidable before the deadline); seeded keeps that.
+                SearchMode::Deepening | SearchMode::Seeded => self.lo = s + 1,
+                // An inconclusive midpoint neither lifts `lo` nor lowers
+                // `hi`; re-probing the same point would spin.
+                SearchMode::Bisect => self.stopped = true,
+            },
+        }
     }
 }
 
@@ -470,21 +658,97 @@ pub(crate) fn solve_scratch(
     start: Instant,
     deadline: Instant,
     cancel: Option<&Terminator>,
+    hint: Option<&Schedule>,
 ) -> SolveReport {
     let lb = problem.stage_lower_bound().max(1);
-    let mut state = SearchState::new(start, deadline, lb).with_cancel(cancel.cloned());
-    for s in lb..=options.max_stages {
+    let ub = hint.map(|h| h.stages.len());
+    let mut state = SearchState::new(start, deadline, lb)
+        .with_cancel(cancel.cloned())
+        .with_heuristic_ub(ub);
+    let bracketed = options.search_mode != SearchMode::Deepening;
+    let mut planner = StagePlanner::new(options.search_mode, lb, ub, options.max_stages);
+    let mut incumbent: Option<Schedule> = None;
+    while let Some(s) = planner.next() {
         if state.expired() {
             break;
         }
         let mut enc = Encoding::build(problem, s, options.encode);
+        if let Some(h) = hint {
+            enc.seed_phase_hint(h);
+        }
         let result = enc.solve(state.budget());
         state.counters.absorb(enc.stats(), enc.clause_db_bytes());
-        state.record(s, result);
+        if bracketed {
+            state.record_probe(s, result);
+        } else {
+            state.record(s, result);
+        }
+        planner.on_result(s, result);
         if result == SolveResult::Sat {
-            let mut schedule = enc.decode();
+            incumbent = Some(enc.decode());
+            if !bracketed {
+                break;
+            }
+        }
+    }
+    finish_search(
+        problem,
+        options,
+        state,
+        incumbent,
+        hint,
+        |problem, s, options, deadline, cancel, best, counters| {
+            tighten_transfers_scratch(problem, s, options, deadline, cancel, best, counters)
+        },
+        deadline,
+        cancel,
+    )
+}
+
+/// Shared search epilogue: picks the final schedule (SAT incumbent, the
+/// heuristic schedule when the sweep proved it optimal, or the fallback),
+/// runs the transfer-tightening objective on it, and assembles the report.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_search<F>(
+    problem: &Problem,
+    options: &SolveOptions,
+    state: SearchState,
+    incumbent: Option<Schedule>,
+    hint: Option<&Schedule>,
+    tighten: F,
+    deadline: Instant,
+    cancel: Option<&Terminator>,
+) -> SolveReport
+where
+    F: FnOnce(
+        &Problem,
+        usize,
+        &SolveOptions,
+        Instant,
+        Option<&Terminator>,
+        Schedule,
+        &mut SatCounters,
+    ) -> Schedule,
+{
+    let bracketed = options.search_mode != SearchMode::Deepening;
+    let sat_found = incumbent.is_some();
+    // A bracketed sweep that refuted every count below `S_h` has proven
+    // the heuristic schedule stage-optimal: adopt it without ever asking
+    // the SAT solver for a model (the `S_h == lb` case skips the solver
+    // entirely).
+    let adopted = match (&incumbent, hint) {
+        (None, Some(h)) if bracketed => {
+            let s_h = h.stages.len();
+            (s_h <= options.max_stages && state.proven_lb() >= s_h).then(|| (*h).clone())
+        }
+        _ => None,
+    };
+    match incumbent.or(adopted) {
+        Some(mut schedule) => {
+            let s = schedule.stages.len();
+            let mut state = state;
             if options.minimize_transfers {
-                schedule = tighten_transfers_scratch(
+                schedule = tighten(
                     problem,
                     s,
                     options,
@@ -494,11 +758,15 @@ pub(crate) fn solve_scratch(
                     &mut state.counters,
                 );
             }
-            let provenance = state.sat_provenance();
-            return state.report(Some(schedule), provenance);
+            let provenance = if bracketed {
+                state.bracket_provenance(s, sat_found)
+            } else {
+                state.sat_provenance()
+            };
+            state.report(Some(schedule), provenance)
         }
+        None => state.fallback(problem, options.heuristic_fallback, hint.cloned()),
     }
-    state.fallback(problem, options.heuristic_fallback)
 }
 
 /// Within the remaining budget, searches for schedules with the same stage
@@ -689,6 +957,54 @@ mod tests {
         assert!(
             nasp_sim::check_state(&state, &code.zero_state_stabilizers()).holds_up_to_pauli_frame()
         );
+    }
+
+    #[test]
+    fn heuristic_matching_lower_bound_skips_the_solver() {
+        // Disjoint gates on the no-shielding layout: one beam suffices and
+        // the degree bound already proves it, so the bracketed search
+        // adopts the heuristic schedule without a single SAT round.
+        let p = Problem::from_gates(
+            ArchConfig::paper(Layout::NoShielding),
+            4,
+            vec![(0, 1), (2, 3)],
+        );
+        let h = crate::heuristic::schedule(&p).expect("heuristic schedules");
+        assert_eq!(
+            h.stages.len(),
+            p.stage_lower_bound().max(1),
+            "precondition: S_h == lb"
+        );
+        let r = solve(
+            &p,
+            &SolveOptions::builder().minimize_transfers(false).build(),
+        );
+        assert!(r.is_optimal(), "the degree bound proves the heuristic's S");
+        assert!(r.log.is_empty(), "no stage round was probed: {:?}", r.log);
+        assert_eq!(r.sat_decisions, 0, "the SAT solver never ran");
+        assert_eq!(r.heuristic_ub, Some(h.stages.len()));
+        let s = r.schedule.expect("adopted heuristic schedule");
+        assert_eq!(s.stages.len(), h.stages.len());
+        assert!(validate_schedule(&s, &p.gates).is_empty());
+    }
+
+    #[test]
+    fn deepening_mode_reports_no_upper_bound() {
+        let p = Problem::from_gates(
+            ArchConfig::paper(Layout::BottomStorage),
+            3,
+            vec![(0, 1), (1, 2)],
+        );
+        let r = solve(
+            &p,
+            &SolveOptions::builder()
+                .search_mode(SearchMode::Deepening)
+                .build(),
+        );
+        assert!(r.is_optimal());
+        assert_eq!(r.heuristic_ub, None, "deepening never runs the heuristic");
+        // The blind sweep probes every count from the lower bound upward.
+        assert_eq!(r.log.first().map(|&(s, _)| s), Some(p.stage_lower_bound()));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property suite: the heuristic-bracketed search modes (`seeded`,
+//! `bisect`) are observationally equivalent to blind iterative deepening —
+//! same minimal stage count, same minimal transfer count, same provenance
+//! and proven lower bound, and valid schedules — over randomized small
+//! problems and the three paper layouts, on all three back-ends (scratch,
+//! incremental, portfolio). The bracketed modes additionally report a
+//! sound upper bound `heuristic_ub >= S_min`.
+
+use std::time::Duration;
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, Problem, SearchMode, SolveOptions, SolveReport};
+use proptest::prelude::*;
+
+fn layout_of(idx: usize) -> Layout {
+    match idx % 3 {
+        0 => Layout::NoShielding,
+        1 => Layout::BottomStorage,
+        _ => Layout::DoubleSidedStorage,
+    }
+}
+
+/// `portfolio = 1` selects the scratch or incremental single-solver path;
+/// `portfolio > 1` the racing driver (whose verdicts are objective, so the
+/// reported minima must not move).
+fn solve_with(
+    problem: &Problem,
+    mode: SearchMode,
+    incremental: bool,
+    workers: usize,
+) -> SolveReport {
+    // Generous budget: these instances solve in milliseconds, and an
+    // Unknown on one mode only would trivially fail the agreement check.
+    let options = SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .search_mode(mode)
+        .incremental(incremental)
+        .portfolio(workers)
+        .build();
+    solve(problem, &options)
+}
+
+/// Normalizes raw pairs into well-formed gates on `n` qubits (no
+/// self-loops; duplicates are fine — they simply force distinct stages).
+fn normalize_gates(raw: &[(usize, usize)], n: usize) -> Vec<(usize, usize)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+/// The equivalence every bracketed mode owes the deepening baseline.
+fn assert_mode_matches_baseline(
+    problem: &Problem,
+    baseline: &SolveReport,
+    report: &SolveReport,
+    label: &str,
+) {
+    assert_eq!(
+        baseline.provenance, report.provenance,
+        "{label}: provenance (baseline log {:?}, mode log {:?})",
+        baseline.log, report.log
+    );
+    assert_eq!(baseline.proven_lb, report.proven_lb, "{label}: proven_lb");
+    let sb = baseline.schedule.as_ref().expect("baseline schedule");
+    let sm = report.schedule.as_ref().expect("mode schedule");
+    assert_eq!(sb.stages.len(), sm.stages.len(), "{label}: same minimal S");
+    assert_eq!(
+        sb.num_transfer(),
+        sm.num_transfer(),
+        "{label}: same minimal #T"
+    );
+    assert!(
+        validate_schedule(sm, &problem.gates).is_empty(),
+        "{label}: schedule must validate"
+    );
+    let ub = report
+        .heuristic_ub
+        .expect("bracketed mode reports the heuristic upper bound");
+    assert!(
+        ub >= sm.stages.len(),
+        "{label}: heuristic_ub {ub} below the minimum {}",
+        sm.stages.len()
+    );
+    assert_eq!(baseline.heuristic_ub, None, "deepening reports no UB");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bracketed_modes_match_deepening(
+        layout_idx in 0usize..3,
+        n in 2usize..5,
+        raw in prop::collection::vec((0usize..8, 0usize..8), 1..=3),
+    ) {
+        let gates = normalize_gates(&raw, n);
+        let problem = Problem::from_gates(ArchConfig::paper(layout_of(layout_idx)), n, gates);
+        for incremental in [true, false] {
+            let baseline = solve_with(&problem, SearchMode::Deepening, incremental, 1);
+            prop_assert!(baseline.is_optimal(), "tiny instances must solve to optimality");
+            for mode in [SearchMode::Seeded, SearchMode::Bisect] {
+                let report = solve_with(&problem, mode, incremental, 1);
+                assert_mode_matches_baseline(
+                    &problem,
+                    &baseline,
+                    &report,
+                    &format!("{mode:?}/incremental={incremental}"),
+                );
+                // The seeded sweep never probes more rounds than blind
+                // deepening: it stops at the heuristic's stage count.
+                if mode == SearchMode::Seeded {
+                    prop_assert!(
+                        report.log.len() <= baseline.log.len(),
+                        "seeded explored more rounds ({:?}) than deepening ({:?})",
+                        report.log,
+                        baseline.log
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The three paper layouts on the Fig. 2 instance (the scenario that
+/// motivates transfer stages): every mode agrees with deepening on every
+/// back-end, including the portfolio.
+#[test]
+fn paper_layouts_agree_across_modes_and_backends() {
+    for layout in [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ] {
+        let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+        let baseline = solve_with(&problem, SearchMode::Deepening, true, 1);
+        assert!(baseline.is_optimal(), "{layout:?}");
+        for (incremental, workers) in [(false, 1), (true, 1), (true, 2)] {
+            for mode in [SearchMode::Seeded, SearchMode::Bisect] {
+                let report = solve_with(&problem, mode, incremental, workers);
+                assert_mode_matches_baseline(
+                    &problem,
+                    &baseline,
+                    &report,
+                    &format!("{layout:?}/{mode:?}/incremental={incremental}/workers={workers}"),
+                );
+            }
+        }
+    }
+}

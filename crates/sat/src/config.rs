@@ -58,6 +58,12 @@ pub struct SolverConfig {
     /// Slot count of the clause-exchange ring the portfolio allocates per
     /// `solve` call (rounded up to a power of two).
     pub share_ring_capacity: usize,
+    /// Honour [`crate::Solver::seed_phases`] requests. Callers that know a
+    /// model (e.g. a heuristic schedule) can pre-set saved phases so the
+    /// first descent lands adjacent to it; a worker with this off ignores
+    /// the hint and keeps its own polarity policy — the portfolio's sixth
+    /// diversification axis.
+    pub seed_phases: bool,
 }
 
 impl Default for SolverConfig {
@@ -74,6 +80,7 @@ impl Default for SolverConfig {
             share_max_lbd: 8,
             share_max_len: 30,
             share_ring_capacity: 4096,
+            seed_phases: true,
         }
     }
 }
@@ -112,6 +119,11 @@ impl SolverConfig {
             reset_activities: worker % 3 != 2,
             reduce_base,
             reduce_inc,
+            // Sixth axis: phase-seeding policy. Most workers accept the
+            // caller's known-model polarity hint; every fourth worker
+            // ignores it and searches from its own `init_phase`, hedging
+            // against hints that point at a deceptive near-solution.
+            seed_phases: worker % 4 != 3,
             ..SolverConfig::default()
         }
     }
@@ -197,6 +209,25 @@ mod tests {
     #[test]
     fn worker_zero_is_the_default() {
         assert_eq!(SolverConfig::diversified(0, 42), SolverConfig::default());
+    }
+
+    #[test]
+    fn phase_seeding_is_a_diversification_axis() {
+        assert!(
+            SolverConfig::default().seed_phases,
+            "default solvers honour caller-provided phase hints"
+        );
+        let policies: Vec<bool> = (1..9)
+            .map(|w| SolverConfig::diversified(w, 42).seed_phases)
+            .collect();
+        assert!(
+            policies.iter().any(|&p| !p),
+            "some worker ignores phase hints: {policies:?}"
+        );
+        assert!(
+            policies.iter().any(|&p| p),
+            "some worker honours phase hints: {policies:?}"
+        );
     }
 
     #[test]

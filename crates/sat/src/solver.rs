@@ -307,6 +307,29 @@ impl Solver {
         self.var_inc = 1.0;
     }
 
+    /// Seeds the saved phase of the given variables, so the next descent
+    /// tries each one at the given polarity first.
+    ///
+    /// For callers that already hold a model-shaped hint (e.g. a heuristic
+    /// schedule mapped onto the encoding's literals): phase saving makes
+    /// the first decision sequence walk toward that assignment, and on a
+    /// satisfiable query close to the hint the solver confirms it in few
+    /// conflicts instead of rediscovering it. The hint only biases decision
+    /// order — propagation and conflict analysis are unaffected — so
+    /// soundness and completeness are untouched, and later backtracking
+    /// overwrites the seeds as usual.
+    ///
+    /// A no-op when the configuration's phase-seeding policy is off
+    /// (portfolio workers diversify on exactly this switch).
+    pub fn seed_phases(&mut self, seeds: &[(Var, bool)]) {
+        if !self.config.seed_phases {
+            return;
+        }
+        for &(v, polarity) in seeds {
+            self.phase[v.index()] = polarity;
+        }
+    }
+
     /// Creates a fresh variable and returns it.
     ///
     /// The variable's VSIDS activity starts at the current maximum, so
@@ -1376,6 +1399,32 @@ mod tests {
             }
             assert_eq!(s.solve(), SolveResult::Sat);
             assert_eq!(s.value(v[3]), Some(polarity), "free var keeps polarity");
+        }
+    }
+
+    #[test]
+    fn seed_phases_biases_first_model_and_respects_policy() {
+        // Free variables under no constraints: a seeded polarity shows up
+        // verbatim in the first model, overriding `init_phase` per
+        // variable. With the policy off, seeding is a no-op and the model
+        // reflects `init_phase` again.
+        for policy in [true, false] {
+            let mut s = Solver::with_config(SolverConfig {
+                init_phase: false,
+                seed_phases: policy,
+                ..SolverConfig::default()
+            });
+            let v = lits(&mut s, 4);
+            s.add_clause([v[0], v[1], v[2], v[3]]);
+            // Unit-satisfy the clause so every other variable stays free
+            // and the model reflects saved phases, not conflict repair.
+            s.add_clause([v[0]]);
+            s.seed_phases(&[(v[1].var(), true), (v[2].var(), false)]);
+            assert_eq!(s.solve(), SolveResult::Sat);
+            let expect_seeded = policy;
+            assert_eq!(s.value(v[1]), Some(expect_seeded), "policy {policy}");
+            assert_eq!(s.value(v[2]), Some(false), "seeded false stays false");
+            assert_eq!(s.value(v[3]), Some(false), "unseeded var keeps init_phase");
         }
     }
 

@@ -49,14 +49,37 @@ impl Admission {
         let mut inner = self.inner.lock().unwrap();
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
+        self.wait_for(inner, ticket);
+    }
+
+    /// Bounded variant of [`Admission::admit`]: refuses — **before**
+    /// taking a ticket, so a refusal can never leak a seat or wedge the
+    /// FIFO order — when more than `max_queue` callers would be left
+    /// waiting behind the occupied seats. Returns `false` on refusal.
+    fn try_admit(&self, max_queue: usize) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        // Tickets handed out but not yet admitted are the queue; seated
+        // holders do not count against it. Admission capacity is thus
+        // `permits` running plus `max_queue` waiting.
+        let waiting = (inner.next_ticket - inner.next_to_admit) as usize;
+        if waiting + inner.active >= self.permits + max_queue {
+            return false;
+        }
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        self.wait_for(inner, ticket);
+        true
+    }
+
+    /// Waits (FIFO) until `ticket` holds a seat, then wakes the next
+    /// ticket holder — it may be admissible immediately if seats remain.
+    fn wait_for(&self, mut inner: std::sync::MutexGuard<'_, Inner>, ticket: u64) {
         while !(inner.next_to_admit == ticket && inner.active < self.permits) {
             inner = self.cv.wait(inner).unwrap();
         }
         inner.next_to_admit += 1;
         inner.active += 1;
         drop(inner);
-        // Wake the next ticket holder — it may be admissible immediately
-        // if seats remain.
         self.cv.notify_all();
     }
 
@@ -75,6 +98,15 @@ impl Admission {
         AdmissionGuard { gate: self }
     }
 
+    /// Bounded [`Admission::acquire`]: joins the FIFO queue only when
+    /// fewer than `max_queue` callers are already waiting; otherwise
+    /// returns `None` immediately without taking a ticket, so a refused
+    /// caller leaves no trace in the gate (backpressure, not backlog).
+    pub fn try_acquire(&self, max_queue: usize) -> Option<AdmissionGuard<'_>> {
+        self.try_admit(max_queue)
+            .then(|| AdmissionGuard { gate: self })
+    }
+
     /// Like [`Admission::acquire`], but the seat is tied to the `Arc`
     /// rather than a borrow, so it can move into a spawned thread (the
     /// TCP accept loop hands one to each connection thread).
@@ -88,6 +120,13 @@ impl Admission {
     /// Seats currently occupied (introspection aid).
     pub fn active(&self) -> usize {
         self.inner.lock().unwrap().active
+    }
+
+    /// Ticket holders waiting for a seat (introspection aid; the input
+    /// to the [`Admission::try_acquire`] bound).
+    pub fn waiting(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        (inner.next_ticket - inner.next_to_admit) as usize
     }
 }
 
@@ -163,6 +202,48 @@ mod tests {
         let gate = Admission::new(0);
         assert_eq!(gate.permits(), 1);
         let _seat = gate.acquire(); // must not deadlock
+    }
+
+    #[test]
+    fn try_acquire_refuses_immediately_when_full_and_leaks_nothing() {
+        let gate = Admission::new(1);
+        let seat = gate.acquire();
+        // max_queue = 0: nobody may wait, so the bounded call refuses at
+        // once instead of blocking behind the occupied seat.
+        assert!(gate.try_acquire(0).is_none());
+        assert_eq!(gate.waiting(), 0, "refusal took no ticket");
+        drop(seat);
+        // The refusal left no trace: the next bounded call is admitted.
+        let again = gate.try_acquire(0);
+        assert!(again.is_some());
+        drop(again);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn try_acquire_admits_up_to_the_queue_bound() {
+        let gate = Arc::new(Admission::new(1));
+        let seat = gate.acquire();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let admitted = gate.try_acquire(1);
+                assert!(
+                    admitted.is_some(),
+                    "within the bound: admitted once the seat frees"
+                );
+            })
+        };
+        // Let the waiter take the single queue slot, then probe: the
+        // queue is full, so a further bounded call is refused.
+        while gate.waiting() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(gate.try_acquire(1).is_none(), "queue full: refused");
+        drop(seat);
+        waiter.join().unwrap();
+        assert_eq!(gate.active(), 0, "all seats released");
+        assert_eq!(gate.waiting(), 0, "no ticket left behind");
     }
 
     #[test]

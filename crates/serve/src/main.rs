@@ -1,10 +1,10 @@
 //! `nasp-serve` binary: JSONL scheduling service over stdin or TCP.
 //!
 //! ```text
-//! nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
-//!                    [--max-qubits N] [--max-gates N] [--snapshot PATH] [--snapshot-every N]
-//!                    [--max-line-bytes N] [--chaos SPEC]
-//! nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]
+//! nasp-serve --stdin [--batch N] [--jobs N] [--max-queue N] [--cache N] [--sessions N]
+//!                    [--budget-ms N] [--max-qubits N] [--max-gates N] [--snapshot PATH]
+//!                    [--snapshot-every N] [--max-line-bytes N] [--chaos SPEC]
+//! nasp-serve --tcp ADDR [--jobs N] [--max-queue N] [--cache N] [--sessions N] [--budget-ms N]
 //!                       [--max-qubits N] [--max-gates N] [--tcp-conns N] [--snapshot PATH]
 //!                       [--snapshot-every N] [--drain-ms N] [--max-line-bytes N] [--chaos SPEC]
 //! ```
@@ -17,6 +17,11 @@
 //! is flushed, and the process exits 0. Exactly one mode must be
 //! chosen. Unknown flags are rejected — a typo must not silently fall
 //! back to defaults.
+//!
+//! `--max-queue N` bounds how many requests may *wait* for a solver
+//! seat beyond the `--jobs` already running; past that, a solving
+//! request is answered `"ok": false, "error": "overloaded"` with a
+//! `retry_after_ms` hint immediately instead of joining the backlog.
 //!
 //! `--snapshot PATH` makes the schedule cache survive restarts: loaded
 //! at boot, written atomically on shutdown and every `--snapshot-every`
@@ -32,13 +37,14 @@ use nasp_serve::{Chaos, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nasp-serve --stdin [--batch N] [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
-         \x20                        [--max-qubits N] [--max-gates N] [--snapshot PATH]\n\
-         \x20                        [--snapshot-every N] [--max-line-bytes N] [--chaos SPEC]\n\
-         \x20      nasp-serve --tcp ADDR [--jobs N] [--cache N] [--sessions N] [--budget-ms N]\n\
-         \x20                        [--max-qubits N] [--max-gates N] [--tcp-conns N]\n\
-         \x20                        [--snapshot PATH] [--snapshot-every N] [--drain-ms N]\n\
-         \x20                        [--max-line-bytes N] [--chaos SPEC]"
+        "usage: nasp-serve --stdin [--batch N] [--jobs N] [--max-queue N] [--cache N]\n\
+         \x20                        [--sessions N] [--budget-ms N] [--max-qubits N]\n\
+         \x20                        [--max-gates N] [--snapshot PATH] [--snapshot-every N]\n\
+         \x20                        [--max-line-bytes N] [--chaos SPEC]\n\
+         \x20      nasp-serve --tcp ADDR [--jobs N] [--max-queue N] [--cache N] [--sessions N]\n\
+         \x20                        [--budget-ms N] [--max-qubits N] [--max-gates N]\n\
+         \x20                        [--tcp-conns N] [--snapshot PATH] [--snapshot-every N]\n\
+         \x20                        [--drain-ms N] [--max-line-bytes N] [--chaos SPEC]"
     );
     exit(2);
 }
@@ -68,6 +74,7 @@ fn main() {
             "--stdin" => stdin_mode = true,
             "--tcp" => tcp_addr = Some(parse_value("--tcp", args.next())),
             "--jobs" => config.jobs = parse_value("--jobs", args.next()),
+            "--max-queue" => config.max_queue = parse_value("--max-queue", args.next()),
             "--cache" => config.cache_capacity = parse_value("--cache", args.next()),
             "--sessions" => config.session_capacity = parse_value("--sessions", args.next()),
             "--batch" => config.batch = parse_value("--batch", args.next()),

@@ -62,6 +62,12 @@ pub struct SnapshotEntry {
     pub provenance: Provenance,
     /// Proven lower bound on the minimal stage count.
     pub proven_lb: usize,
+    /// Heuristic upper bound recorded by the original solve — restored
+    /// so a degraded cached answer still brackets the optimum. `None`
+    /// for deepening-mode solves and for entries written before the
+    /// field existed (absent `Option` fields decode as `None`, so old
+    /// snapshots load unchanged).
+    pub heuristic_ub: Option<usize>,
     /// The schedule itself (absent when the original solve found none).
     pub schedule: Option<Schedule>,
 }
@@ -178,6 +184,7 @@ mod tests {
             solve_ms: 42,
             provenance: Provenance::Optimal,
             proven_lb: 3,
+            heuristic_ub: Some(3),
             schedule: None,
         }
     }
@@ -230,6 +237,25 @@ mod tests {
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].0, 5);
         assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn entries_without_heuristic_ub_still_load() {
+        // A pre-upper-bound snapshot line: same version, no
+        // `heuristic_ub` key. It must decode (as `None`), not be
+        // skipped — the accumulated cache survives the field addition.
+        let path = tmp_path("old-entry");
+        let old = format!(
+            "{{\"nasp_snapshot\":{SNAPSHOT_VERSION},\"entries\":1}}\n\
+             {{\"fingerprint\":\"2a\",\"budget_ms\":1000,\"solve_ms\":7,\
+             \"provenance\":\"Optimal\",\"proven_lb\":3,\"schedule\":null}}\n"
+        );
+        std::fs::write(&path, old).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, 0x2a);
+        assert_eq!(loaded[0].1.heuristic_ub, None);
         std::fs::remove_file(&path).unwrap();
     }
 

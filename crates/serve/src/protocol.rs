@@ -25,8 +25,14 @@
 //! smaller of the nominal budget and the time left before the deadline —
 //! queue wait counts against it — and a solve cut short by the deadline
 //! (or by the client disconnecting mid-solve) answers `"ok": true,
-//! "degraded": true` with the best proven lower bound and, when the
-//! heuristic fallback found one, a valid non-optimal schedule.
+//! "degraded": true` with the best proven lower bound, the heuristic
+//! upper bound (`heuristic_ub` — together they bracket the optimum) and,
+//! when the heuristic fallback found one, a valid non-optimal schedule.
+//!
+//! When the server's admission queue is full (`--max-queue`), a request
+//! that would otherwise solve answers `"ok": false, "error":
+//! "overloaded"` immediately, with a `retry_after_ms` backoff hint —
+//! bounded rejection instead of an unbounded backlog.
 
 use nasp_arch::{ArchConfig, Layout, Schedule};
 use serde::{Deserialize, Serialize};
@@ -169,6 +175,14 @@ pub struct StatsSnapshot {
     pub cancelled: u64,
     /// Solves cut short by their request deadline.
     pub deadline_exceeded: u64,
+    /// Requests refused because the admission queue was full
+    /// (`--max-queue`); they answered `"error": "overloaded"` with a
+    /// `retry_after_ms` hint instead of joining the backlog.
+    pub overloaded: u64,
+    /// Solver runs whose report carried a heuristic upper bound
+    /// (`heuristic_ub`) — answers bracketing the optimum from both
+    /// sides even when degraded.
+    pub ub_bracketed: u64,
 }
 
 /// A scheduling response, serialized as one JSONL line.
@@ -178,8 +192,14 @@ pub struct Response {
     pub id: Option<u64>,
     /// `false` when the request was rejected; `error` says why.
     pub ok: bool,
-    /// Diagnostic for rejected requests.
+    /// Diagnostic for rejected requests. The value `"overloaded"` means
+    /// the admission queue was full — nothing was wrong with the request
+    /// itself; retry after `retry_after_ms`.
     pub error: Option<String>,
+    /// Backoff hint accompanying an `"overloaded"` rejection,
+    /// milliseconds. Advisory: a client retrying sooner merely risks
+    /// another rejection.
+    pub retry_after_ms: Option<u64>,
     /// Health-check acknowledgement (only on `{"ping": true}` requests).
     pub pong: Option<bool>,
     /// Service counters (only on `{"stats": true}` requests).
@@ -195,6 +215,11 @@ pub struct Response {
     /// Proven lower bound on the minimal stage count: every smaller `S`
     /// was refuted (or is impossible by the degree bound).
     pub proven_lb: Option<usize>,
+    /// Stage count of the up-front heuristic schedule — a sound upper
+    /// bound on the minimum. On a degraded answer it brackets the
+    /// optimum from above, pairing with `proven_lb` from below; absent
+    /// when the solve ran in `deepening` mode or predates the field.
+    pub heuristic_ub: Option<usize>,
     /// Schedule provenance: `"Optimal"`, `"SmtUnproven"` or
     /// `"Heuristic"`; absent when no schedule was found.
     pub provenance: Option<String>,
@@ -222,12 +247,14 @@ impl Response {
             id,
             ok,
             error: None,
+            retry_after_ms: None,
             pong: None,
             stats: None,
             fingerprint: None,
             cache: None,
             degraded: None,
             proven_lb: None,
+            heuristic_ub: None,
             provenance: None,
             stages: None,
             rydberg: None,
@@ -243,6 +270,15 @@ impl Response {
     pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
         let mut r = Response::blank(id, false);
         r.error = Some(message.into());
+        r
+    }
+
+    /// An admission-queue-full rejection with a backoff hint. Distinct
+    /// from [`Response::error`] so the wire shape (`"error":
+    /// "overloaded"` plus `retry_after_ms`) is built in one place.
+    pub fn overloaded(id: Option<u64>, retry_after_ms: u64) -> Self {
+        let mut r = Response::error(id, "overloaded");
+        r.retry_after_ms = Some(retry_after_ms);
         r
     }
 

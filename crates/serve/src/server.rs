@@ -22,6 +22,10 @@
 //!    (bounding concurrent solver work at `jobs` — seats are acquired
 //!    *after* the session lock so a family's queue of option variants
 //!    cannot occupy seats while serialized on one lock) and runs it.
+//!    Admission is *bounded*: at most `max_queue` flights may wait for
+//!    a seat, and past that the flight — leader and any coalesced
+//!    followers — answers `"ok": false, "error": "overloaded"` with a
+//!    `retry_after_ms` hint instead of joining the backlog.
 //!    Repeat business against a warm family re-enters a solver that has
 //!    already learnt the instance's structure, so re-solves are much
 //!    cheaper than cold ones.
@@ -57,6 +61,14 @@ use crate::singleflight::{Role, SingleFlight};
 pub struct ServeConfig {
     /// Concurrent solver seats (FIFO admission width).
     pub jobs: usize,
+    /// Requests allowed to *wait* for a solver seat beyond the `jobs`
+    /// already running. When the queue is full a further solving request
+    /// is answered `"error": "overloaded"` (with a `retry_after_ms`
+    /// hint) immediately instead of joining an unbounded backlog —
+    /// bounded latency for everyone admitted, fast failure for the rest.
+    /// Cache hits, coalesced followers and control requests never
+    /// occupy a queue slot.
+    pub max_queue: usize,
     /// Schedule-cache capacity (distinct request fingerprints).
     pub cache_capacity: usize,
     /// Warm-session capacity (distinct `(gates, architecture)` families).
@@ -98,6 +110,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             jobs: nasp_bench::pool::available_jobs(),
+            max_queue: 128,
             cache_capacity: 256,
             session_capacity: 32,
             batch: 64,
@@ -131,6 +144,13 @@ pub struct ServeStats {
     pub cancelled: AtomicU64,
     /// Solves cut short by their request deadline.
     pub deadline_exceeded: AtomicU64,
+    /// Requests refused because the admission queue was full.
+    pub overloaded: AtomicU64,
+    /// Solver runs whose report carried a heuristic upper bound
+    /// (`heuristic_ub`) — answers bracketing the optimum from both
+    /// sides, even when degraded. Stays at 0 only when every solve runs
+    /// in `deepening` mode or the heuristic never finds a schedule.
+    pub ub_bracketed: AtomicU64,
 }
 
 impl ServeStats {
@@ -144,6 +164,8 @@ impl ServeStats {
             errors: self.errors.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            ub_bracketed: self.ub_bracketed.load(Ordering::Relaxed),
         }
     }
 }
@@ -178,6 +200,7 @@ impl Outcome {
             solve_ms: self.solve_ms,
             provenance: self.report.provenance,
             proven_lb: self.report.proven_lb,
+            heuristic_ub: self.report.heuristic_ub,
             schedule: self.report.schedule.clone(),
         }
     }
@@ -193,6 +216,7 @@ impl Outcome {
                 smt_time: Duration::ZERO,
                 log: Vec::new(),
                 proven_lb: entry.proven_lb,
+                heuristic_ub: entry.heuristic_ub,
                 sat_conflicts: 0,
                 sat_propagations: 0,
                 sat_decisions: 0,
@@ -222,7 +246,10 @@ impl Outcome {
 pub struct Server {
     config: ServeConfig,
     cache: Mutex<LruCache<Arc<Outcome>>>,
-    flight: SingleFlight<Arc<Outcome>>,
+    /// `Err(retry_after_ms)` marks an overload rejection: the leader hit
+    /// a full admission queue, and followers coalesced onto it share the
+    /// rejection (the service was saturated for them too).
+    flight: SingleFlight<Result<Arc<Outcome>, u64>>,
     sessions: Mutex<LruCache<Arc<Mutex<Session>>>>,
     admission: Admission,
     stats: ServeStats,
@@ -268,6 +295,20 @@ impl Server {
     /// aid: the seat-leak invariants assert this returns to zero).
     pub fn seats_in_use(&self) -> usize {
         self.admission.active()
+    }
+
+    /// Requests currently waiting for a solver seat (test/introspection
+    /// aid: the overload invariants assert rejections leave this at
+    /// zero once the flood settles).
+    pub fn queue_depth(&self) -> usize {
+        self.admission.waiting()
+    }
+
+    /// Backoff hint for an overload rejection: half the default solve
+    /// budget — roughly when the next seat should free under a
+    /// saturated queue — clamped to a sane wire range.
+    fn retry_after_hint(&self) -> u64 {
+        (self.config.default_budget.as_millis() as u64 / 2).clamp(50, 5_000)
     }
 
     /// Asks a running [`Server::serve_tcp`] loop to stop accepting,
@@ -461,11 +502,17 @@ impl Server {
             return self.render(req, fp, CacheOutcome::Hit, cached);
         }
 
-        let (outcome, role) = self.flight.run(fingerprint::flight_key(fp, effective), || {
+        let (flight_result, role) = self.flight.run(fingerprint::flight_key(fp, effective), || {
             let problem = Problem::from_gates(config.clone(), num_qubits, gates.clone());
             let session = self.family_session(family, &problem);
             let mut session = Self::lock_session(&session, &problem);
-            let _seat = self.admission.acquire();
+            // Bounded admission: join the FIFO seat queue if there is
+            // room, otherwise reject now — an unbounded backlog would
+            // trade this rejection for unbounded latency on every
+            // request behind it.
+            let Some(_seat) = self.admission.try_acquire(self.config.max_queue) else {
+                return Err(self.retry_after_hint());
+            };
             if let Some(chaos) = &self.config.chaos {
                 chaos.before_solve();
             }
@@ -484,6 +531,9 @@ impl Server {
             let elapsed = start.elapsed();
             let solve_ms = elapsed.as_millis() as u64;
             self.stats.solves.fetch_add(1, Ordering::Relaxed);
+            if report.heuristic_ub.is_some() {
+                self.stats.ub_bracketed.fetch_add(1, Ordering::Relaxed);
+            }
             let was_cancelled = cancel.is_some_and(Terminator::is_signalled);
             if !report.is_optimal() {
                 if was_cancelled {
@@ -502,13 +552,22 @@ impl Server {
             } else {
                 effective
             };
-            Arc::new(Outcome {
+            Ok(Arc::new(Outcome {
                 report,
                 solve_ms,
                 session_runs: session.runs(),
                 budget,
-            })
+            }))
         });
+        let outcome = match flight_result {
+            Ok(outcome) => outcome,
+            Err(retry_after_ms) => {
+                // Followers share the leader's rejection: the queue was
+                // full for the flight, so it was full for them too.
+                self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                return Response::overloaded(req.id, retry_after_ms);
+            }
+        };
         let outcome_kind = match role {
             Role::Leader => {
                 self.cache_store(fp, &outcome);
@@ -540,6 +599,7 @@ impl Server {
         r.cache = Some(kind);
         r.degraded = Some(!report.is_optimal());
         r.proven_lb = Some(report.proven_lb);
+        r.heuristic_ub = report.heuristic_ub;
         r.provenance = report
             .schedule
             .is_some()

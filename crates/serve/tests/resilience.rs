@@ -81,6 +81,10 @@ fn deadline_shorter_than_solve_degrades_gracefully() {
         resp.proven_lb.unwrap() >= 1,
         "the degree bound alone proves a nonzero lower bound"
     );
+    assert!(
+        resp.heuristic_ub.unwrap_or(0) >= resp.proven_lb.unwrap(),
+        "the up-front heuristic brackets the optimum from above: {resp:?}"
+    );
     assert_eq!(server.seats_in_use(), 0, "seat released after degradation");
 
     // The degraded entry must not poison patient requests: a normal
@@ -195,6 +199,10 @@ fn snapshot_survives_restart_and_serves_hits_with_zero_work() {
     assert_eq!(restored.cache, Some(CacheOutcome::Hit));
     assert_eq!(restored.fingerprint, original.fingerprint);
     assert_eq!(restored.stages, original.stages);
+    assert_eq!(
+        restored.heuristic_ub, original.heuristic_ub,
+        "the upper bound survives the snapshot round trip"
+    );
     assert_eq!(restored.sat_conflicts, Some(0), "hits report zero work");
     assert_eq!(restored.solve_ms, Some(0));
     assert_eq!(
@@ -286,6 +294,72 @@ fn stats_request_echoes_counters() {
     assert_eq!(stats.errors, 0);
     assert_eq!(stats.cancelled, 0);
     assert_eq!(stats.deadline_exceeded, 0);
+    assert_eq!(stats.overloaded, 0);
+    assert_eq!(
+        stats.ub_bracketed, 1,
+        "the default seeded solve carried a heuristic upper bound"
+    );
+}
+
+// ------------------------------------------------------------------ overload
+
+#[test]
+fn flood_past_max_queue_is_rejected_not_backlogged() {
+    let mut cfg = config();
+    cfg.jobs = 1;
+    cfg.max_queue = 1;
+    // The injected latency holds each admitted solve's seat long enough
+    // that the flood meets a genuinely full queue.
+    cfg.chaos = Some(Arc::new(Chaos::parse("latency=500").unwrap()));
+    let server = Arc::new(Server::new(cfg));
+
+    // Eight distinct instances — distinct fingerprints *and* families,
+    // so neither the cache, the single-flight group nor a shared session
+    // lock absorbs the flood: every request wants a solver seat.
+    let barrier = std::sync::Barrier::new(8);
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let (server, barrier) = (&server, &barrier);
+                scope.spawn(move || {
+                    let req = Request {
+                        id: Some(i),
+                        gates: Some(vec![(0, i as usize + 1)]),
+                        num_qubits: Some(9),
+                        ..Default::default()
+                    };
+                    barrier.wait();
+                    server.handle(&req)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let rejected: Vec<&Response> = responses.iter().filter(|r| !r.ok).collect();
+    let served = responses.iter().filter(|r| r.ok).count();
+    // Capacity is 1 running + 1 waiting; of 8 simultaneous arrivals the
+    // overflow must be refused, and every admitted request must finish.
+    assert!(served >= 1, "admitted requests still answered");
+    assert!(!rejected.is_empty(), "flood past the bound must reject");
+    for r in &rejected {
+        assert_eq!(r.error.as_deref(), Some("overloaded"));
+        assert!(
+            r.retry_after_ms.unwrap_or(0) > 0,
+            "rejections carry a backoff hint: {r:?}"
+        );
+    }
+    assert_eq!(
+        server.stats().overloaded.load(Ordering::SeqCst) as usize,
+        rejected.len()
+    );
+    // Nothing wedged, nothing leaked: seats and queue return to zero and
+    // the server still answers fresh work.
+    assert_eq!(server.seats_in_use(), 0, "no seat leaked by the flood");
+    assert_eq!(server.queue_depth(), 0, "no ticket leaked by the flood");
+    let after = server.handle(&perfect5_request(99));
+    assert!(after.ok, "server healthy after the flood");
+    assert_eq!(server.seats_in_use(), 0);
 }
 
 // ------------------------------------------------------------------ chaos

@@ -510,6 +510,41 @@ impl Ctx {
         self.solver.reset_activities()
     }
 
+    /// Seeds solver phase polarity toward the assignment `x = v` (clamped
+    /// into the domain), so the next descent tries the order-encoding
+    /// ladder of `x` at exactly that value first: every `x ≤ k` literal is
+    /// seeded false for `k < v` and true for `k ≥ v`. The channelled value
+    /// literals then follow by propagation. Purely a decision-order hint —
+    /// see [`nasp_sat::Solver::seed_phases`] — and a no-op when the
+    /// solver's phase-seeding policy is off.
+    pub fn seed_int_phase(&mut self, x: IntVar, v: i64) {
+        let d = &self.ints[x.index()];
+        let v = v.clamp(d.lo, d.hi);
+        let mut seeds: Vec<(nasp_sat::Var, bool)> =
+            Vec::with_capacity(d.order.len() + d.value.len());
+        for (k, &lit) in d.order.iter().enumerate() {
+            let le = d.lo + k as i64 >= v;
+            seeds.push((lit.var(), if lit.is_positive() { le } else { !le }));
+        }
+        // The channelled value literals carry their own decision
+        // variables; left unseeded, their default phases can outvote the
+        // ladder (v_k = false channels to o_k ⇔ o_{k-1}, collapsing the
+        // ladder before the seeded order literals are reached).
+        for (k, &lit) in d.value.iter().enumerate() {
+            let eq = d.lo + k as i64 == v;
+            seeds.push((lit.var(), if lit.is_positive() { eq } else { !eq }));
+        }
+        self.solver.seed_phases(&seeds);
+    }
+
+    /// Seeds solver phase polarity toward `b = v`. A decision-order hint
+    /// only; a no-op when the solver's phase-seeding policy is off.
+    pub fn seed_bool_phase(&mut self, b: Bool, v: bool) {
+        let lit = b.0;
+        let polarity = if lit.is_positive() { v } else { !v };
+        self.solver.seed_phases(&[(lit.var(), polarity)]);
+    }
+
     /// Value of an integer variable in the last model.
     ///
     /// Returns `None` before a successful `solve`.
@@ -576,6 +611,38 @@ mod tests {
         assert!(ctx.solver_config().init_phase);
         // `Ctx::new` keeps the deterministic default.
         assert_eq!(*Ctx::new().solver_config(), SolverConfig::default());
+    }
+
+    #[test]
+    fn int_phase_seed_biases_first_model() {
+        // A free variable settles wherever the initial phases point
+        // (default `init_phase: false` drives every `x ≤ k` false, i.e.
+        // x = hi); seeding toward an interior value steers the first
+        // model to exactly that value.
+        let mut ctx = Ctx::new();
+        let x = ctx.int_var(0, 5, "x");
+        ctx.seed_int_phase(x, 3);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert_eq!(ctx.int_value(x), Some(3));
+
+        let mut unseeded = Ctx::new();
+        let y = unseeded.int_var(0, 5, "y");
+        assert_eq!(unseeded.solve(), SolveResult::Sat);
+        assert_eq!(unseeded.int_value(y), Some(5), "baseline lands on hi");
+    }
+
+    #[test]
+    fn bool_phase_seed_biases_first_model_and_handles_negation() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var();
+        let b = ctx.bool_var();
+        let not_b = !b;
+        ctx.seed_bool_phase(a, true);
+        // Seeding the *negated* literal true must seed the variable false.
+        ctx.seed_bool_phase(not_b, true);
+        assert_eq!(ctx.solve(), SolveResult::Sat);
+        assert_eq!(ctx.bool_value(a), Some(true));
+        assert_eq!(ctx.bool_value(b), Some(false));
     }
 
     #[test]
