@@ -28,22 +28,37 @@ use nasp_qec::{catalog, graph_state};
 
 fn main() {
     // The ablations pin their own budgets and never race a portfolio, so
-    // only the back-end switch, the search mode, the pool width and the
-    // (recorded) share flag are supported.
+    // only the back-end switches (scratch / cube-and-conquer), the search
+    // mode, the pool width and the (recorded) share flag are supported.
     let args = nasp_bench::BenchArgs::from_env_for(
         "ablation",
-        &["--scratch", "--jobs", "--share", "--search-mode"],
+        &[
+            "--scratch",
+            "--jobs",
+            "--share",
+            "--search-mode",
+            "--cube",
+            "--cube-max",
+            "--cube-cutoff",
+        ],
     );
     let incremental = !args.scratch;
     let share = args.share.unwrap_or(true);
     let mode = args.search_mode.unwrap_or_default();
+    let cube = args.cube_options();
     // Timing-sensitive by nature: default to sequential, honour --jobs.
     let jobs = args.jobs.unwrap_or(1);
-    ablation_a1(incremental, jobs, share, mode);
-    ablation_a2(incremental, jobs, share, mode);
+    ablation_a1(incremental, jobs, share, mode, cube);
+    ablation_a2(incremental, jobs, share, mode, cube);
 }
 
-fn ablation_a1(incremental: bool, jobs: usize, share: bool, mode: nasp_core::SearchMode) {
+fn ablation_a1(
+    incremental: bool,
+    jobs: usize,
+    share: bool,
+    mode: nasp_core::SearchMode,
+    cube: Option<nasp_core::CubeOptions>,
+) {
     println!(
         "A1: ≥1-gate-per-beam strengthening (SMT wall time to optimal S, {} search)",
         nasp_bench::search_backend_label(incremental)
@@ -75,6 +90,7 @@ fn ablation_a1(incremental: bool, jobs: usize, share: bool, mode: nasp_core::Sea
                 .incremental(incremental)
                 .share(share)
                 .search_mode(mode)
+                .cube(cube)
                 .build();
             let t0 = Instant::now();
             let _ = engine.solve(&problem, &options);
@@ -92,7 +108,13 @@ fn ablation_a1(incremental: bool, jobs: usize, share: bool, mode: nasp_core::Sea
     }
 }
 
-fn ablation_a2(incremental: bool, jobs: usize, share: bool, mode: nasp_core::SearchMode) {
+fn ablation_a2(
+    incremental: bool,
+    jobs: usize,
+    share: bool,
+    mode: nasp_core::SearchMode,
+    cube: Option<nasp_core::CubeOptions>,
+) {
     println!("\nA2: ASP vs trap-transfer duration (Steane)");
     println!("duration    (2) Bottom Storage    (3) Double-Sided Storage");
     let code = catalog::steane();
@@ -116,6 +138,7 @@ fn ablation_a2(incremental: bool, jobs: usize, share: bool, mode: nasp_core::Sea
         options.solver.incremental = incremental;
         options.solver.share = share;
         options.solver.search_mode = mode;
+        options.solver.cube = cube;
         let r = run_experiment_with_circuit(&code, &circuit, layout, &options);
         r.metrics.asp
     });

@@ -15,6 +15,9 @@ fn main() {
             "--seed",
             "--share",
             "--search-mode",
+            "--cube",
+            "--cube-max",
+            "--cube-cutoff",
         ],
     );
     let options = args.experiment_options(30);

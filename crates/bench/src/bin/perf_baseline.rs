@@ -1,7 +1,8 @@
 //! Emits the performance baselines: `BENCH_substrate.json` (packed
 //! substrates, solver throughput, end-to-end solves), `BENCH_search.json`
 //! (scratch vs incremental stage search) and `BENCH_parallel.json`
-//! (sequential vs instance pool, single solver vs portfolio).
+//! (sequential vs instance pool, single solver vs portfolio vs
+//! cube-and-conquer).
 //!
 //! ```sh
 //! cargo run --release -p nasp-bench --bin perf_baseline            # full
@@ -30,6 +31,9 @@ fn main() {
             "--portfolio",
             "--share",
             "--search-mode",
+            "--cube",
+            "--cube-max",
+            "--cube-cutoff",
             "--out",
             "--out-search",
             "--out-parallel",
@@ -116,7 +120,15 @@ fn main() {
     let workers = args.portfolio.unwrap_or(3);
     let share_groups = args.share.unwrap_or(true);
     let search_mode = args.search_mode.unwrap_or_default();
-    let pdoc = parallel::measure(quick, jobs, workers, share_groups, search_mode);
+    let cube_workers = args.cube.unwrap_or(2);
+    let pdoc = parallel::measure(
+        quick,
+        jobs,
+        workers,
+        share_groups,
+        search_mode,
+        cube_workers,
+    );
     eprintln!(
         "  pool {} instances  sequential {:.1} ms  jobs={} {:.1} ms  speedup {:.2}x  agree={}  ({} cores)",
         pdoc.pool.instances,
@@ -142,6 +154,22 @@ fn main() {
             p.exported,
             p.imported,
             p.import_hits
+        );
+    }
+    for c in &pdoc.cube {
+        eprintln!(
+            "  cube {:>13}  single {:>9.1} ms  W={} {:>9.1} ms  speedup {:>5.2}x  S-agree={} T-agree={}  gen={} ref={} sat={}  largest-refutation={}",
+            c.code,
+            c.single_ms_total,
+            c.workers,
+            c.cube_ms_total,
+            c.speedup,
+            c.stages_agree,
+            c.transfers_agree,
+            c.cubes_generated,
+            c.cubes_refuted,
+            c.cubes_solved,
+            c.largest_refutation
         );
     }
     match parallel::write_validated(&pdoc, out_parallel) {

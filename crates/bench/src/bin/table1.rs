@@ -24,6 +24,9 @@ fn main() {
             "--seed",
             "--share",
             "--search-mode",
+            "--cube",
+            "--cube-max",
+            "--cube-cutoff",
             "--json",
         ],
     );

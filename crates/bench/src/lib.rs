@@ -19,12 +19,15 @@
 //! threads), `--portfolio <K>`/`--seed <S>` race K diversified solver
 //! workers per search round (DESIGN.md §8), `--share 0|1` toggles
 //! lock-free learnt-clause sharing between those workers (DESIGN.md §9,
-//! default on), and `--search-mode deepening|seeded|bisect` picks the
+//! default on), `--search-mode deepening|seeded|bisect` picks the
 //! stage-exploration strategy (heuristic-bracketed by default, DESIGN.md
-//! §12). [`search`] measures deepening-vs-seeded on both back-ends
-//! (`BENCH_search.json`, schema v2); [`parallel`] measures
-//! sequential-vs-pool and single-vs-portfolio with share-off and share-on
-//! groups (`BENCH_parallel.json`).
+//! §12), and `--cube <W>` (with `--cube-max <N>`/`--cube-cutoff <C>`)
+//! switches hard rounds to cube-and-conquer: the lookahead splitter
+//! partitions each round into up to N cubes conquered by W workers
+//! (DESIGN.md §13). [`search`] measures deepening-vs-seeded on both
+//! back-ends (`BENCH_search.json`, schema v2); [`parallel`] measures
+//! sequential-vs-pool plus single-vs-portfolio-vs-cube with share-off and
+//! share-on groups (`BENCH_parallel.json`, schema v3).
 
 use std::time::Duration;
 
@@ -63,6 +66,14 @@ pub struct BenchArgs {
     /// `--search-mode deepening|seeded|bisect`: stage-exploration
     /// strategy (default: the solver's own default, `seeded`).
     pub search_mode: Option<nasp_core::SearchMode>,
+    /// `--cube <W>`: cube-and-conquer with W conquer workers per round
+    /// (DESIGN.md §13; takes precedence over `--portfolio`).
+    pub cube: Option<usize>,
+    /// `--cube-max <N>`: target partition size per round (default 16).
+    pub cube_max: Option<usize>,
+    /// `--cube-cutoff <C>`: conflict cutoff of the splitter's per-node
+    /// trial solves; 0 skips trial solves entirely (pure splitting).
+    pub cube_cutoff: Option<u64>,
     /// `--json <path>`: also write rows as JSON (table1).
     pub json: Option<String>,
     /// `--quick`: reduced measurement suite (CI smoke).
@@ -95,13 +106,16 @@ impl BenchArgs {
             v.parse()
                 .map_err(|_| format!("{flag}: invalid value {v:?}"))
         }
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 15] = [
             "--budget",
             "--jobs",
             "--portfolio",
             "--seed",
             "--share",
             "--search-mode",
+            "--cube",
+            "--cube-max",
+            "--cube-cutoff",
             "--json",
             "--out",
             "--out-search",
@@ -155,6 +169,26 @@ impl BenchArgs {
                     })?);
                     i += 2;
                 }
+                "--cube" => {
+                    let w: usize = num(value(args, i, "--cube")?, "--cube")?;
+                    if w == 0 {
+                        return Err("--cube must be at least 1".into());
+                    }
+                    out.cube = Some(w);
+                    i += 2;
+                }
+                "--cube-max" => {
+                    let n: usize = num(value(args, i, "--cube-max")?, "--cube-max")?;
+                    if n < 2 {
+                        return Err("--cube-max must be at least 2".into());
+                    }
+                    out.cube_max = Some(n);
+                    i += 2;
+                }
+                "--cube-cutoff" => {
+                    out.cube_cutoff = Some(num(value(args, i, "--cube-cutoff")?, "--cube-cutoff")?);
+                    i += 2;
+                }
                 "--json" => {
                     out.json = Some(value(args, i, "--json")?.to_string());
                     i += 2;
@@ -182,8 +216,8 @@ impl BenchArgs {
                 other => {
                     return Err(format!(
                         "unknown flag {other:?} (known: --budget --scratch --jobs --portfolio \
-                         --seed --share --search-mode --json --quick --out --out-search \
-                         --out-parallel)"
+                         --seed --share --search-mode --cube --cube-max --cube-cutoff --json \
+                         --quick --out --out-search --out-parallel)"
                     ));
                 }
             }
@@ -248,7 +282,27 @@ impl BenchArgs {
         if let Some(mode) = self.search_mode {
             options.solver.search_mode = mode;
         }
+        options.solver.cube = self.cube_options();
         options
+    }
+
+    /// Cube-and-conquer options assembled from `--cube`/`--cube-max`/
+    /// `--cube-cutoff`; `None` unless `--cube` was given (the sizing
+    /// flags alone do not enable cube mode).
+    pub fn cube_options(&self) -> Option<nasp_core::CubeOptions> {
+        self.cube.map(|workers| {
+            let mut cube = nasp_core::CubeOptions {
+                workers,
+                ..Default::default()
+            };
+            if let Some(n) = self.cube_max {
+                cube.max_cubes = n;
+            }
+            if let Some(c) = self.cube_cutoff {
+                cube.conflict_cutoff = c;
+            }
+            cube
+        })
     }
 }
 
@@ -332,6 +386,12 @@ mod tests {
             "0",
             "--search-mode",
             "bisect",
+            "--cube",
+            "2",
+            "--cube-max",
+            "32",
+            "--cube-cutoff",
+            "500",
             "--json",
             "rows.json",
             "--quick",
@@ -350,6 +410,9 @@ mod tests {
         assert_eq!(parsed.seed, Some(99));
         assert_eq!(parsed.share, Some(false));
         assert_eq!(parsed.search_mode, Some(nasp_core::SearchMode::Bisect));
+        assert_eq!(parsed.cube, Some(2));
+        assert_eq!(parsed.cube_max, Some(32));
+        assert_eq!(parsed.cube_cutoff, Some(500));
         assert_eq!(parsed.json.as_deref(), Some("rows.json"));
         assert!(parsed.quick);
         assert_eq!(parsed.out.as_deref(), Some("a.json"));
@@ -373,6 +436,9 @@ mod tests {
         assert!(BenchArgs::parse(&args(&["--share", "yes"])).is_err());
         assert!(BenchArgs::parse(&args(&["--search-mode", "sideways"])).is_err());
         assert!(BenchArgs::parse(&args(&["--search-mode"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--cube", "0"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--cube-max", "1"])).is_err());
+        assert!(BenchArgs::parse(&args(&["--cube-cutoff", "lots"])).is_err());
     }
 
     #[test]
@@ -426,5 +492,26 @@ mod tests {
         assert!(opts.solver.incremental);
         assert_eq!(opts.solver.portfolio, 1);
         assert!(opts.solver.share, "sharing defaults on");
+        assert_eq!(opts.solver.cube, None, "cube mode is opt-in");
+    }
+
+    #[test]
+    fn cube_flags_assemble_cube_options() {
+        let parsed = BenchArgs::parse(&args(&[
+            "--cube",
+            "3",
+            "--cube-max",
+            "32",
+            "--cube-cutoff",
+            "0",
+        ]))
+        .expect("valid flags");
+        let cube = parsed.experiment_options(30).solver.cube.expect("enabled");
+        assert_eq!(cube.workers, 3);
+        assert_eq!(cube.max_cubes, 32);
+        assert_eq!(cube.conflict_cutoff, 0);
+        // The sizing flags alone do not enable cube mode.
+        let parsed = BenchArgs::parse(&args(&["--cube-max", "32"])).expect("valid flags");
+        assert_eq!(parsed.experiment_options(30).solver.cube, None);
     }
 }

@@ -16,6 +16,15 @@
 //!   the lock-free learnt-clause exchange on (DESIGN.md §9), with the
 //!   validator enforcing that both groups report identical per-layout
 //!   minima and that the share-on group actually moved clauses.
+//! * **cube** (schema v3) — the same singles versus cube-and-conquer
+//!   (DESIGN.md §13): every round is *partitioned* by the lookahead
+//!   splitter (forced splitting — conflict cutoff 0 — so partitions form
+//!   even on easy rounds) and conquered by `W` workers sharing clauses.
+//!   The validator enforces identical per-layout minima against both the
+//!   single and portfolio groups, and that at least one instance proved
+//!   an UNSAT round by refuting a partition of ≥ 8 cubes — the
+//!   load-bearing evidence that all-cubes-refuted ⇒ UNSAT is exercised,
+//!   not just implemented.
 //!
 //! Speed is host-dependent; *correctness agreement is not*. The validator
 //! always enforces that every path reports the identical minimal stage and
@@ -95,6 +104,45 @@ pub struct PortfolioBench {
     pub import_hits: u64,
 }
 
+/// Single-solver-versus-cube-and-conquer comparison, one row per code
+/// (schema v3): the same sequential singles as the portfolio groups,
+/// against the lookahead splitter + conquer pool with forced splitting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CubeBench {
+    /// Code whose three layouts are totalled.
+    pub code: String,
+    /// Conquer workers per round.
+    pub workers: usize,
+    /// Target partition size per round (the splitter's `max_cubes`).
+    pub max_cubes: usize,
+    /// Single-solver total across the code's layouts (ms).
+    pub single_ms_total: f64,
+    /// Cube-and-conquer total across the code's layouts (ms).
+    pub cube_ms_total: f64,
+    /// `single / cube`.
+    pub speedup: f64,
+    /// Identical minimal stage count on every layout.
+    pub stages_agree: bool,
+    /// Identical minimal transfer count on every layout.
+    pub transfers_agree: bool,
+    /// Valid + simulator-verified schedules on every path.
+    pub valid_all: bool,
+    /// Minimal total stage count per layout, `TABLE1_LAYOUTS` order —
+    /// compared literally against the portfolio groups by the validator.
+    pub stages_by_layout: Vec<usize>,
+    /// Minimal transfer count per layout, same order.
+    pub transfers_by_layout: Vec<usize>,
+    /// Cubes generated by the splitter, summed over the code's layouts.
+    pub cubes_generated: u64,
+    /// Cubes refuted (generation + conquering), summed likewise.
+    pub cubes_refuted: u64,
+    /// Rounds answered SAT by a cube or a splitter trial solve.
+    pub cubes_solved: u64,
+    /// Largest fully refuted single-round partition across the layouts —
+    /// the ≥ 8 evidence the validator checks on at least one code.
+    pub largest_refutation: u64,
+}
+
 /// The full baseline document written to `BENCH_parallel.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ParallelBaseline {
@@ -109,6 +157,8 @@ pub struct ParallelBaseline {
     pub pool: PoolBench,
     /// Single vs portfolio, per code.
     pub portfolio: Vec<PortfolioBench>,
+    /// Single vs cube-and-conquer, per code (schema v3).
+    pub cube: Vec<CubeBench>,
 }
 
 const CODES: [&str; 2] = ["perfect", "steane"];
@@ -164,13 +214,16 @@ fn rows_agree(a: &[ExperimentResult], b: &[ExperimentResult]) -> bool {
 /// PR4-style document). `search_mode` selects the stage-exploration
 /// strategy every pass runs under (`--search-mode` on `perf_baseline`;
 /// the A/Bs compare harnesses, so the mode is held identical across all
-/// passes).
+/// passes). `cube_workers` sizes the cube-and-conquer pass's conquer pool
+/// (`--cube` on `perf_baseline`; the pass always runs with forced
+/// splitting so partitions form regardless of instance hardness).
 pub fn measure(
     quick: bool,
     jobs: usize,
     workers: usize,
     share_groups: bool,
     search_mode: nasp_core::SearchMode,
+    cube_workers: usize,
 ) -> ParallelBaseline {
     let budget = if quick { 20 } else { 120 };
     let mut options = ExperimentOptions {
@@ -201,6 +254,7 @@ pub fn measure(
         &[false]
     };
     let mut portfolio = Vec::new();
+    let mut cube = Vec::new();
     for name in CODES {
         let code = catalog::by_name(name).expect("catalog code");
         let circuit = graph_state::synthesize(&code.zero_state_stabilizers()).expect("synth");
@@ -261,23 +315,79 @@ pub fn measure(
                 import_hits,
             });
         }
+
+        // Cube A/B against the same singles: forced splitting (conflict
+        // cutoff 0) partitions every round — including the easy ones —
+        // so the UNSAT rounds of the sweep are proven by cube
+        // refutation, which is what the ≥ 8 validator gate measures.
+        let cube_options = nasp_core::CubeOptions {
+            workers: cube_workers.max(1),
+            max_cubes: 16,
+            conflict_cutoff: 0,
+            ..Default::default()
+        };
+        let mut cube_ms_total = 0.0;
+        let mut stages_agree = true;
+        let mut transfers_agree = true;
+        let mut valid_all = true;
+        let mut stages_by_layout = Vec::new();
+        let mut transfers_by_layout = Vec::new();
+        let (mut cubes_generated, mut cubes_refuted, mut cubes_solved) = (0u64, 0u64, 0u64);
+        let mut largest_refutation = 0u64;
+        for (layout, single) in LAYOUTS.into_iter().zip(&singles) {
+            let mut conquer_options = options.clone();
+            conquer_options.solver.cube = Some(cube_options);
+            let t0 = Instant::now();
+            let conquered = run_experiment_with_circuit(&code, &circuit, layout, &conquer_options);
+            cube_ms_total += t0.elapsed().as_secs_f64() * 1e3;
+
+            stages_agree &= single.metrics.num_rydberg + single.metrics.num_transfer
+                == conquered.metrics.num_rydberg + conquered.metrics.num_transfer;
+            transfers_agree &= single.metrics.num_transfer == conquered.metrics.num_transfer;
+            valid_all &= single.valid && single.verified && conquered.valid && conquered.verified;
+            stages_by_layout.push(conquered.metrics.num_rydberg + conquered.metrics.num_transfer);
+            transfers_by_layout.push(conquered.metrics.num_transfer);
+            cubes_generated += conquered.cubes_generated;
+            cubes_refuted += conquered.cubes_refuted;
+            cubes_solved += conquered.cubes_solved;
+            largest_refutation = largest_refutation.max(conquered.cube_largest_refutation);
+        }
+        cube.push(CubeBench {
+            code: code.name().to_string(),
+            workers: cube_workers.max(1),
+            max_cubes: cube_options.max_cubes,
+            single_ms_total,
+            cube_ms_total,
+            speedup: single_ms_total / cube_ms_total,
+            stages_agree,
+            transfers_agree,
+            valid_all,
+            stages_by_layout,
+            transfers_by_layout,
+            cubes_generated,
+            cubes_refuted,
+            cubes_solved,
+            largest_refutation,
+        });
     }
 
     ParallelBaseline {
-        schema: "nasp-bench-parallel/v2".to_string(),
+        schema: "nasp-bench-parallel/v3".to_string(),
         quick,
         cores: pool::available_jobs(),
         pool,
         portfolio,
+        cube,
     }
 }
 
 /// Serializes, writes and re-parses the baseline at `path`, failing loudly
 /// on corruption, on any correctness disagreement between the paths
-/// (including share-on vs share-off portfolio groups), on a share-on run
-/// that never actually exchanged a clause, and — where the host's core
-/// count makes them physically meaningful (see the module docs) — on
-/// missed speed gates.
+/// (including share-on vs share-off portfolio groups and cube-vs-portfolio
+/// per-layout minima), on a share-on run that never actually exchanged a
+/// clause, on a cube suite that never refuted a ≥ 8-cube partition, and —
+/// where the host's core count makes them physically meaningful (see the
+/// module docs) — on missed speed gates.
 ///
 /// # Errors
 ///
@@ -324,6 +434,50 @@ pub fn write_validated(baseline: &ParallelBaseline, path: &str) -> Result<(), St
             }
         }
     }
+    // Cube-and-conquer is verdict-preserving for the same reason sharing
+    // is: the cubes partition each round's space (DESIGN.md §13). Every
+    // cube group must agree with its singles, and literally match the
+    // portfolio groups' per-layout minima — identical minima across all
+    // three modes, enforced unconditionally.
+    for c in &baseline.cube {
+        if !(c.stages_agree && c.transfers_agree) {
+            return Err(format!(
+                "cube {}: single and cube-and-conquer searches disagree on optima",
+                c.code
+            ));
+        }
+        if !c.valid_all {
+            return Err(format!("cube {}: invalid/unverified schedule", c.code));
+        }
+        for p in baseline.portfolio.iter().filter(|p| p.code == c.code) {
+            if c.stages_by_layout != p.stages_by_layout
+                || c.transfers_by_layout != p.transfers_by_layout
+            {
+                return Err(format!(
+                    "cube {}: minima {:?}/{:?} differ from portfolio (share={}) {:?}/{:?}",
+                    c.code,
+                    c.stages_by_layout,
+                    c.transfers_by_layout,
+                    p.share,
+                    p.stages_by_layout,
+                    p.transfers_by_layout
+                ));
+            }
+        }
+    }
+    // The partition invariant must be *exercised*, not just implemented:
+    // with forced splitting, at least one instance proves an UNSAT round
+    // by refuting a partition of ≥ 8 cubes.
+    if !baseline.cube.is_empty() && !baseline.cube.iter().any(|c| c.largest_refutation >= 8) {
+        return Err(format!(
+            "no cube group refuted a full partition of >= 8 cubes (largest: {:?})",
+            baseline
+                .cube
+                .iter()
+                .map(|c| c.largest_refutation)
+                .collect::<Vec<_>>()
+        ));
+    }
     // Sharing must be demonstrably live, not dead code: at least one
     // share-on group imported a clause (single-core hosts still import —
     // workers time-share and drain each other's exports between slices).
@@ -350,6 +504,20 @@ pub fn write_validated(baseline: &ParallelBaseline, path: &str) -> Result<(), St
             }
         }
     }
+    // Cube mode pays for lookahead splitting up front, so its gate is the
+    // loosest — and like the others it self-enables only on hosts with
+    // real parallelism (a 1-core container time-shares the conquer pool
+    // and measures scheduler overhead, not cube value).
+    if !baseline.quick && cores >= 4 {
+        for c in &baseline.cube {
+            if c.speedup < 0.5 {
+                return Err(format!(
+                    "cube {} speedup {:.2}x on {} cores (must not drop below 0.5x)",
+                    c.code, c.speedup, cores
+                ));
+            }
+        }
+    }
     let text = serde_json::to_string_pretty(baseline).map_err(|e| format!("serialize: {e:?}"))?;
     std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
     let read = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
@@ -357,6 +525,7 @@ pub fn write_validated(baseline: &ParallelBaseline, path: &str) -> Result<(), St
         serde_json::from_str(&read).map_err(|e| format!("re-parse {path}: {e:?}"))?;
     if parsed.schema != baseline.schema
         || parsed.portfolio.len() != baseline.portfolio.len()
+        || parsed.cube.len() != baseline.cube.len()
         || parsed.pool.instances != baseline.pool.instances
     {
         return Err(format!("round-trip mismatch in {path}"));

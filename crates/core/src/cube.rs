@@ -1,0 +1,720 @@
+//! Cube-and-conquer search: each round of the sweep is *partitioned* by
+//! the lookahead splitter and conquered across a worker pool (DESIGN.md
+//! §13).
+//!
+//! Where the portfolio (DESIGN.md §8) races K redundant copies of a round,
+//! cube mode splits the round itself: the orchestrator's splitter encoding
+//! grows a tree of cubes over the gate-stage order literals
+//! ([`nasp_sat::lookahead`]), and the conquer workers drain the cube queue
+//! through a shared atomic work cursor (the `bench::pool::map_indexed`
+//! pattern), each solving its claimed cubes on its own warm, diversified
+//! encoding. The round's verdict is assembled from the partition
+//! invariant: the cubes (plus the nodes refuted during generation) cover
+//! the round's whole search space, so the round is UNSAT iff **all**
+//! cubes are refuted — a proven UNSAT probe for
+//! [`crate::solve::StagePlanner`]-driven bracketing — and SAT as soon as
+//! any cube finds a model, which cancels the sibling cubes through the
+//! round [`Terminator`].
+//!
+//! Clause sharing reuses the portfolio machinery unchanged: splitter and
+//! workers deterministically build identical encodings (cube literals are
+//! order-ladder rungs and stage flags, valid under any party's numbering),
+//! one [`ClauseExchange`] connects them, and epochs key on the encoding
+//! stage cap exactly as in DESIGN.md §9 — so within a round every party
+//! shares soundly, and a cap rebuild quarantines clauses from the old
+//! numbering automatically. Every party processes every round (workers
+//! allocate the round's stages before claiming cubes), keeping the
+//! alignment invariant debug-asserted below.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nasp_arch::Schedule;
+use nasp_smt::{
+    Bool, Budget, ClauseExchange, CubeSplit, LookaheadConfig, ShareHandle, SolveResult,
+    SolverConfig, Terminator,
+};
+
+use crate::encoding::{Encoding, IncrementalEncoding};
+use crate::problem::Problem;
+use crate::solve::{
+    CubeOptions, Provenance, SatCounters, SearchMode, SearchState, SolveOptions, SolveReport,
+    StagePlanner, INCREMENTAL_HEADROOM,
+};
+
+/// One conquer round, broadcast to every worker: claim cubes through the
+/// shared cursor, solve them at stage count `s`.
+#[derive(Clone)]
+struct CubeRound {
+    s: usize,
+    max_transfers: Option<usize>,
+    cubes: Arc<Vec<Vec<Bool>>>,
+    cursor: Arc<AtomicUsize>,
+}
+
+enum Query {
+    Round(CubeRound),
+    Quit,
+}
+
+/// A worker's answer to one conquer round.
+struct Response {
+    worker: usize,
+    /// Cubes this worker claimed and refuted.
+    refuted: u64,
+    /// Model found on a claimed cube (`Some` ends the round SAT).
+    solved: Option<Schedule>,
+    /// A claimed cube came back `Unknown` (deadline/cancellation): the
+    /// partition is not fully conquered, the round stays undecided.
+    unknown: bool,
+    /// Cumulative solver effort of this worker so far.
+    counters: SatCounters,
+    /// SAT variables of the worker's encoding this round — must agree
+    /// with the splitter's (the alignment invariant of DESIGN.md §9).
+    num_vars: usize,
+    /// Sent by the unwind guard when the worker panicked.
+    died: bool,
+}
+
+/// Death notice on unwind, as in the portfolio: the orchestrator counts
+/// exactly W responses per round and must learn about a lost worker
+/// instead of blocking forever.
+struct DeathNotice {
+    worker: usize,
+    tx: Sender<Response>,
+}
+
+impl Drop for DeathNotice {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(Response {
+                worker: self.worker,
+                refuted: 0,
+                solved: None,
+                unknown: true,
+                counters: SatCounters::default(),
+                num_vars: 0,
+                died: true,
+            });
+        }
+    }
+}
+
+/// Running cube telemetry for the final report.
+#[derive(Default)]
+struct CubeTally {
+    generated: u64,
+    refuted: u64,
+    solved: u64,
+    lookahead: Duration,
+    histogram: Vec<u64>,
+    largest_refutation: u64,
+}
+
+impl CubeTally {
+    fn merge_histogram(&mut self, other: &[u64]) {
+        if self.histogram.len() < other.len() {
+            self.histogram.resize(other.len(), 0);
+        }
+        for (dst, &src) in self.histogram.iter_mut().zip(other) {
+            *dst += src;
+        }
+    }
+}
+
+/// The orchestrator's view of one round's conquest.
+struct RoundOutcome {
+    verdict: SolveResult,
+    schedule: Option<Schedule>,
+}
+
+/// Orchestrator handle on the conquer workers.
+struct Conquerors {
+    query_txs: Vec<Sender<Query>>,
+    resp_rx: Receiver<Response>,
+    /// Round-local terminator: signalled by the first SAT cube (sibling
+    /// cancellation) or by the external-cancel relay; cleared between
+    /// rounds.
+    stop: Terminator,
+    cancel: Option<Terminator>,
+    wins: Vec<u64>,
+    latest: Vec<SatCounters>,
+}
+
+impl Conquerors {
+    /// Broadcasts one conquer round and collects every worker's response,
+    /// relaying external cancellation into the round terminator while
+    /// waiting. Returns `(sat model, conquer-refuted count, any claimed
+    /// cube unknown, splitter-vs-worker vars)`.
+    fn run(
+        &mut self,
+        round: CubeRound,
+        splitter_vars: usize,
+    ) -> (Option<Schedule>, u64, bool, Option<usize>) {
+        debug_assert!(!self.stop.is_signalled(), "terminator armed between rounds");
+        for tx in &self.query_txs {
+            tx.send(Query::Round(round.clone())).expect("worker alive");
+        }
+        let mut model: Option<Schedule> = None;
+        let mut refuted = 0u64;
+        let mut unknown = false;
+        let mut winner: Option<usize> = None;
+        let mut round_vars: Option<usize> = None;
+        for _ in 0..self.query_txs.len() {
+            let r = loop {
+                if self.cancel.as_ref().is_some_and(Terminator::is_signalled) {
+                    self.stop.signal();
+                }
+                match self.resp_rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(r) => break r,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("worker thread responds")
+                    }
+                }
+            };
+            if r.died {
+                panic!("cube worker {} panicked mid-round", r.worker);
+            }
+            debug_assert_eq!(
+                splitter_vars, r.num_vars,
+                "cube worker disagrees with the splitter on num_vars — encodings misaligned"
+            );
+            match round_vars {
+                None => round_vars = Some(r.num_vars),
+                Some(v) => debug_assert_eq!(
+                    v, r.num_vars,
+                    "cube workers disagree on num_vars — encodings misaligned"
+                ),
+            }
+            self.latest[r.worker] = r.counters;
+            refuted += r.refuted;
+            unknown |= r.unknown;
+            if r.solved.is_some() && winner.is_none() {
+                winner = Some(r.worker);
+                model = r.solved;
+            }
+        }
+        self.stop.clear();
+        if let Some(w) = winner {
+            self.wins[w] += 1;
+        }
+        (model, refuted, unknown, round_vars)
+    }
+
+    fn shutdown(&mut self) {
+        for tx in &self.query_txs {
+            let _ = tx.send(Query::Quit);
+        }
+    }
+}
+
+/// Derives the splitter configuration from the user-facing options. The
+/// depth cutoff leaves room to actually reach `max_cubes` leaves (a
+/// balanced tree needs `log2` levels) plus slack for forced literals.
+fn lookahead_config(cube: &CubeOptions) -> LookaheadConfig {
+    let depth = cube.max_cubes.next_power_of_two().trailing_zeros() as usize + 4;
+    LookaheadConfig {
+        max_cubes: cube.max_cubes.max(2),
+        max_depth: depth,
+        conflict_cutoff: cube.conflict_cutoff,
+        branching: cube.branching,
+        ..LookaheadConfig::default()
+    }
+}
+
+/// The cube-and-conquer driver: same sweep and tightening loop as the
+/// sequential back-ends, each round partitioned by the splitter and
+/// conquered by `cube.workers` diversified workers.
+pub(crate) fn solve_cube(
+    problem: &Problem,
+    options: &SolveOptions,
+    start: Instant,
+    deadline: Instant,
+    cancel: Option<&Terminator>,
+    hint: Option<&Schedule>,
+) -> SolveReport {
+    let cube = options.cube.expect("cube options present in cube mode");
+    let w = cube.workers.max(1);
+    let la_config = lookahead_config(&cube);
+    let lb = problem.stage_lower_bound().max(1);
+    let ub = hint.map(|h| h.stages.len());
+    let mut state = SearchState::new(start, deadline, lb)
+        .with_cancel(cancel.cloned())
+        .with_heuristic_ub(ub);
+    if lb > options.max_stages {
+        let mut report = state.fallback(problem, options.heuristic_fallback, hint.cloned());
+        report.portfolio_workers = w;
+        report.worker_wins = vec![0; w];
+        report.worker_exported = vec![0; w];
+        report.worker_imported = vec![0; w];
+        report.worker_import_hits = vec![0; w];
+        return report;
+    }
+
+    let stop = Terminator::new();
+    // One exchange for splitter + workers: the splitter's trial solves
+    // export their learnt clauses too (party index `w`), so conquering
+    // starts from what generation already learnt.
+    let exchange: Option<Arc<ClauseExchange>> = options.share.then(|| {
+        Arc::new(ClauseExchange::new(
+            options.encode.solver.share_ring_capacity,
+            w + 1,
+        ))
+    });
+    let mut tally = CubeTally::default();
+    let mut report = std::thread::scope(|scope| {
+        let (resp_tx, resp_rx) = channel::<Response>();
+        let mut query_txs = Vec::with_capacity(w);
+        for worker in 0..w {
+            let (q_tx, q_rx) = channel::<Query>();
+            query_txs.push(q_tx);
+            let resp_tx = resp_tx.clone();
+            let stop = stop.clone();
+            let share = exchange.as_ref().map(|e| e.handle(worker));
+            let options = *options;
+            scope.spawn(move || {
+                worker_loop(
+                    worker, problem, &options, deadline, q_rx, resp_tx, stop, share, hint,
+                )
+            });
+        }
+        drop(resp_tx);
+        let mut conquerors = Conquerors {
+            query_txs,
+            resp_rx,
+            stop,
+            cancel: cancel.cloned(),
+            wins: vec![0; w],
+            latest: vec![SatCounters::default(); w],
+        };
+
+        // The splitter: worker 0's untouched default configuration, on the
+        // orchestrator thread. Its per-node trial solves conquer easy
+        // rounds outright, so cube mode degrades to the single-solver
+        // sweep on rounds that never exceed the conflict cutoff.
+        let splitter_share = exchange.as_ref().map(|e| e.handle(w));
+        let mut splitter = Splitter::new(problem, options, hint, splitter_share);
+
+        let mut run_round = |s: usize,
+                             max_transfers: Option<usize>,
+                             tally: &mut CubeTally,
+                             conquerors: &mut Conquerors|
+         -> RoundOutcome {
+            let split_budget = Budget {
+                deadline: Some(deadline),
+                stop: cancel.cloned(),
+                ..Budget::default()
+            };
+            let la_start = Instant::now();
+            let split = splitter.split(s, max_transfers, &la_config, &split_budget);
+            tally.lookahead += la_start.elapsed();
+            tally.merge_histogram(&split.depth_histogram);
+            if split.cancelled {
+                return RoundOutcome {
+                    verdict: SolveResult::Unknown,
+                    schedule: None,
+                };
+            }
+            match split.decided {
+                Some(SolveResult::Sat) => {
+                    // A trial solve found the round's model; the refuted
+                    // siblings plus the satisfied node are the partition
+                    // members processed.
+                    tally.generated += split.refuted + 1;
+                    tally.refuted += split.refuted;
+                    tally.solved += 1;
+                    return RoundOutcome {
+                        verdict: SolveResult::Sat,
+                        schedule: Some(splitter.decode()),
+                    };
+                }
+                Some(SolveResult::Unsat) => {
+                    // Every branch refuted during generation: a fully
+                    // refuted partition proves the round UNSAT.
+                    tally.generated += split.refuted;
+                    tally.refuted += split.refuted;
+                    tally.largest_refutation = tally.largest_refutation.max(split.refuted);
+                    return RoundOutcome {
+                        verdict: SolveResult::Unsat,
+                        schedule: None,
+                    };
+                }
+                _ => {}
+            }
+            let partition = split.cubes.len() as u64 + split.refuted;
+            tally.generated += partition;
+            tally.refuted += split.refuted;
+            let round = CubeRound {
+                s,
+                max_transfers,
+                cubes: Arc::new(split.cubes),
+                cursor: Arc::new(AtomicUsize::new(0)),
+            };
+            let total_cubes = round.cubes.len() as u64;
+            let (model, conquered, unknown, _) = conquerors.run(round, splitter.num_vars());
+            tally.refuted += conquered;
+            if model.is_some() {
+                tally.solved += 1;
+                return RoundOutcome {
+                    verdict: SolveResult::Sat,
+                    schedule: model,
+                };
+            }
+            if !unknown && conquered == total_cubes {
+                // All cubes refuted ⇒ the partition is exhausted ⇒ UNSAT.
+                tally.largest_refutation = tally.largest_refutation.max(partition);
+                return RoundOutcome {
+                    verdict: SolveResult::Unsat,
+                    schedule: None,
+                };
+            }
+            // Cancellation, deadline, or unclaimed cubes: undecided.
+            RoundOutcome {
+                verdict: SolveResult::Unknown,
+                schedule: None,
+            }
+        };
+
+        let bracketed = options.search_mode != SearchMode::Deepening;
+        let mut planner = StagePlanner::new(options.search_mode, lb, ub, options.max_stages);
+        let mut incumbent: Option<Schedule> = None;
+        while let Some(s) = planner.next() {
+            if state.expired() {
+                break;
+            }
+            let outcome = run_round(s, None, &mut tally, &mut conquerors);
+            if bracketed {
+                state.record_probe(s, outcome.verdict);
+            } else {
+                state.record(s, outcome.verdict);
+            }
+            planner.on_result(s, outcome.verdict);
+            if outcome.verdict == SolveResult::Sat {
+                incumbent = Some(outcome.schedule.expect("SAT round carries a schedule"));
+                if !bracketed {
+                    break;
+                }
+            }
+        }
+
+        // Heuristic adoption, exactly as in the other back-ends.
+        let sat_found = incumbent.is_some();
+        let adopted = match (&incumbent, hint) {
+            (None, Some(h)) if bracketed => {
+                let s_h = h.stages.len();
+                (s_h <= options.max_stages && state.proven_lb() >= s_h).then(|| (*h).clone())
+            }
+            _ => None,
+        };
+        let outcome: Option<(Schedule, Provenance)> = incumbent.or(adopted).map(|mut best| {
+            let s = best.stages.len();
+            if options.minimize_transfers {
+                loop {
+                    let current = best.num_transfer();
+                    if current == 0 || state.expired() {
+                        break;
+                    }
+                    let round = run_round(s, Some(current - 1), &mut tally, &mut conquerors);
+                    match round.verdict {
+                        SolveResult::Sat => {
+                            best = round.schedule.expect("SAT round carries a schedule");
+                            debug_assert!(best.num_transfer() < current);
+                        }
+                        SolveResult::Unsat | SolveResult::Unknown => break,
+                    }
+                }
+            }
+            let provenance = if bracketed {
+                state.bracket_provenance(s, sat_found)
+            } else {
+                state.sat_provenance()
+            };
+            (best, provenance)
+        });
+
+        conquerors.shutdown();
+        splitter.finish(&mut state.counters);
+        for c in &conquerors.latest {
+            state.counters.merge(*c);
+        }
+        let mut report = match outcome {
+            Some((schedule, provenance)) => state.report(Some(schedule), provenance),
+            None => state.fallback(problem, options.heuristic_fallback, hint.cloned()),
+        };
+        report.portfolio_workers = w;
+        report.worker_exported = conquerors.latest.iter().map(|c| c.exported).collect();
+        report.worker_imported = conquerors.latest.iter().map(|c| c.imported).collect();
+        report.worker_import_hits = conquerors.latest.iter().map(|c| c.import_hits).collect();
+        report.worker_wins = conquerors.wins;
+        report
+    });
+    report.cubes_generated = tally.generated;
+    report.cubes_refuted = tally.refuted;
+    report.cubes_solved = tally.solved;
+    report.cube_lookahead_time = tally.lookahead;
+    report.cube_cutoff_histogram = tally.histogram;
+    report.cube_largest_refutation = tally.largest_refutation;
+    report
+}
+
+/// The orchestrator-owned splitter: a warm incremental encoding (or a cold
+/// scratch one per round) under the default solver configuration, used
+/// only to generate partitions — and to decode when a trial solve lands
+/// the model itself.
+struct Splitter<'p> {
+    problem: &'p Problem,
+    options: SolveOptions,
+    hint: Option<&'p Schedule>,
+    share: Option<ShareHandle>,
+    inc: Option<IncrementalEncoding>,
+    scratch: Option<Encoding>,
+    counters: SatCounters,
+}
+
+impl<'p> Splitter<'p> {
+    fn new(
+        problem: &'p Problem,
+        options: &SolveOptions,
+        hint: Option<&'p Schedule>,
+        share: Option<ShareHandle>,
+    ) -> Self {
+        Splitter {
+            problem,
+            options: *options,
+            hint,
+            share,
+            inc: None,
+            scratch: None,
+            counters: SatCounters::default(),
+        }
+    }
+
+    /// Generates the partition for round `(s, max_transfers)`, mirroring
+    /// the conquer workers' encoding lifecycle (warm incremental with
+    /// cap rebuilds, or cold scratch per round) so variable numbering
+    /// stays aligned.
+    fn split(
+        &mut self,
+        s: usize,
+        max_transfers: Option<usize>,
+        config: &LookaheadConfig,
+        budget: &Budget,
+    ) -> CubeSplit {
+        if self.options.incremental {
+            let lb = self.problem.stage_lower_bound().max(1);
+            let inc = self.inc.get_or_insert_with(|| {
+                let cap = (lb + INCREMENTAL_HEADROOM).min(self.options.max_stages);
+                let mut built = IncrementalEncoding::build(self.problem, cap, self.options.encode);
+                if let Some(h) = self.hint {
+                    built.seed_phase_hint(h);
+                }
+                built
+            });
+            if s > inc.max_stages() {
+                self.counters.absorb(inc.stats(), inc.clause_db_bytes());
+                let cap = (s + INCREMENTAL_HEADROOM).min(self.options.max_stages);
+                *inc = IncrementalEncoding::build(self.problem, cap, self.options.encode);
+                if let Some(h) = self.hint {
+                    inc.seed_phase_hint(h);
+                }
+            }
+            let budget = Budget {
+                share: self
+                    .share
+                    .as_ref()
+                    .map(|h| h.at_epoch(inc.max_stages() as u64)),
+                ..budget.clone()
+            };
+            inc.split_cubes_at(s, max_transfers, config, &budget)
+        } else {
+            let mut cold = Encoding::build(self.problem, s, self.options.encode);
+            if let Some(h) = self.hint {
+                cold.seed_phase_hint(h);
+            }
+            if let Some(k) = max_transfers {
+                cold.assert_max_transfers(k);
+            }
+            let budget = Budget {
+                share: self.share.as_ref().map(|h| h.at_epoch(s as u64)),
+                ..budget.clone()
+            };
+            let split = cold.split_cubes(config, &budget);
+            self.counters.absorb(cold.stats(), cold.clause_db_bytes());
+            self.scratch = Some(cold);
+            split
+        }
+    }
+
+    /// SAT variables of the encoding used for the most recent split.
+    fn num_vars(&self) -> usize {
+        if self.options.incremental {
+            self.inc.as_ref().map_or(0, |e| e.size().0)
+        } else {
+            self.scratch.as_ref().map_or(0, |e| e.size().0)
+        }
+    }
+
+    /// Decodes the model after a `decided: Sat` split.
+    fn decode(&self) -> Schedule {
+        if self.options.incremental {
+            self.inc.as_ref().expect("splitter encoding built").decode()
+        } else {
+            self.scratch
+                .as_ref()
+                .expect("splitter encoding built")
+                .decode()
+        }
+    }
+
+    /// Folds the splitter's solver effort into the search totals.
+    fn finish(&mut self, into: &mut SatCounters) {
+        if let Some(inc) = &self.inc {
+            self.counters.absorb(inc.stats(), inc.clause_db_bytes());
+        }
+        into.merge(self.counters);
+    }
+}
+
+/// One conquer worker: owns its diversified encoding(s), claims cubes off
+/// the round's shared cursor until the queue drains, a cube answers SAT
+/// (signal the siblings and stop), or the round terminator fires.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    id: usize,
+    problem: &Problem,
+    options: &SolveOptions,
+    deadline: Instant,
+    queries: Receiver<Query>,
+    responses: Sender<Response>,
+    stop: Terminator,
+    share: Option<ShareHandle>,
+    hint: Option<&Schedule>,
+) {
+    let guard = DeathNotice {
+        worker: id,
+        tx: responses,
+    };
+    let mut encode = options.encode;
+    // Diversify from 1: the splitter holds the id-0 default configuration.
+    encode.solver = SolverConfig::diversified(id + 1, options.seed);
+    let lb = problem.stage_lower_bound().max(1);
+    let mut counters = SatCounters::default();
+    let mut enc: Option<IncrementalEncoding> = None;
+
+    while let Ok(q) = queries.recv() {
+        let round = match q {
+            Query::Quit => break,
+            Query::Round(r) => r,
+        };
+        let budget_for = |epoch: usize| Budget {
+            deadline: Some(deadline),
+            stop: Some(stop.clone()),
+            share: share.as_ref().map(|h| h.at_epoch(epoch as u64)),
+            ..Budget::default()
+        };
+        let mut refuted = 0u64;
+        let mut solved: Option<Schedule> = None;
+        let mut unknown = false;
+        let num_vars = if options.incremental {
+            let inc = enc.get_or_insert_with(|| {
+                let cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
+                let mut built = IncrementalEncoding::build(problem, cap, encode);
+                if let Some(h) = hint {
+                    built.seed_phase_hint(h);
+                }
+                built
+            });
+            if round.s > inc.max_stages() {
+                counters.absorb(inc.stats(), inc.clause_db_bytes());
+                let cap = (round.s + INCREMENTAL_HEADROOM).min(options.max_stages);
+                *inc = IncrementalEncoding::build(problem, cap, encode);
+                if let Some(h) = hint {
+                    inc.seed_phase_hint(h);
+                }
+            }
+            // Allocate the round's stages (and transfer counter) even when
+            // this worker ends up claiming no cube: every party must walk
+            // the same allocation sequence for the numbering — and with it
+            // the sharing epoch — to stay aligned (DESIGN.md §9/§13).
+            inc.prepare_at(round.s, round.max_transfers);
+            let budget = budget_for(inc.max_stages());
+            loop {
+                if stop.is_signalled() {
+                    break;
+                }
+                let idx = round.cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cube) = round.cubes.get(idx) else {
+                    break;
+                };
+                match inc.solve_cube_at(round.s, round.max_transfers, cube, budget.clone()) {
+                    SolveResult::Sat => {
+                        solved = Some(inc.decode());
+                        stop.signal();
+                        break;
+                    }
+                    SolveResult::Unsat => refuted += 1,
+                    SolveResult::Unknown => {
+                        unknown = true;
+                        break;
+                    }
+                }
+            }
+            inc.size().0
+        } else {
+            // Cold encoding per round, built before claiming so the
+            // numbering matches the splitter's even for a worker that
+            // claims nothing.
+            let mut cold = Encoding::build(problem, round.s, encode);
+            if let Some(h) = hint {
+                cold.seed_phase_hint(h);
+            }
+            if let Some(k) = round.max_transfers {
+                cold.assert_max_transfers(k);
+            }
+            let budget = budget_for(round.s);
+            loop {
+                if stop.is_signalled() {
+                    break;
+                }
+                let idx = round.cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cube) = round.cubes.get(idx) else {
+                    break;
+                };
+                match cold.solve_cube(cube, budget.clone()) {
+                    SolveResult::Sat => {
+                        solved = Some(cold.decode());
+                        stop.signal();
+                        break;
+                    }
+                    SolveResult::Unsat => refuted += 1,
+                    SolveResult::Unknown => {
+                        unknown = true;
+                        break;
+                    }
+                }
+            }
+            let nv = cold.size().0;
+            counters.absorb(cold.stats(), cold.clause_db_bytes());
+            nv
+        };
+        let mut snapshot = counters;
+        if let Some(inc) = &enc {
+            snapshot.absorb(inc.stats(), inc.clause_db_bytes());
+        }
+        let sent = guard.tx.send(Response {
+            worker: id,
+            refuted,
+            solved,
+            unknown,
+            counters: snapshot,
+            num_vars,
+            died: false,
+        });
+        if sent.is_err() {
+            break;
+        }
+    }
+}

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 
 use nasp_arch::{Position, QubitState, Schedule, Stage, StageKind, TransferFlags, Trap};
-use nasp_smt::{Bool, Budget, Ctx, IntVar, SolveResult, SolverConfig};
+use nasp_smt::{Bool, Budget, Ctx, CubeSplit, IntVar, LookaheadConfig, SolveResult, SolverConfig};
 
 use crate::problem::Problem;
 
@@ -556,6 +556,25 @@ impl Core {
         Some(!self.at_least[prefix - 1][k])
     }
 
+    /// Branch-candidate pool for the lookahead cube splitter at a `prefix`
+    /// of active stages: the order-encoding ladder rungs of every
+    /// gate-stage variable (`g_i ≤ k` for `k < prefix − 1`; the `≤ prefix
+    /// − 1` rung is implied by the active stage count), then the
+    /// stage-kind flags `e_t` of the active prefix. These are the
+    /// variables whose assignment shapes the whole schedule — branching
+    /// on a rung halves a gate's stage domain, so probes see large
+    /// propagation reductions.
+    fn branch_candidates(&self, prefix: usize) -> Vec<Bool> {
+        let mut cands = Vec::new();
+        for &g in &self.g {
+            let ladder = self.ctx.order_ladder(g);
+            let take = prefix.saturating_sub(1).min(ladder.len());
+            cands.extend_from_slice(&ladder[..take]);
+        }
+        cands.extend(self.e.iter().take(prefix).copied());
+        cands
+    }
+
     /// Decodes the first `prefix` stages of the model into a [`Schedule`].
     fn decode_prefix(&self, prefix: usize) -> Schedule {
         let n = self.problem.num_qubits;
@@ -661,6 +680,22 @@ impl Encoding {
     /// Solves the encoding under the given budget.
     pub fn solve(&mut self, budget: Budget) -> SolveResult {
         self.core.ctx.solve_limited(budget)
+    }
+
+    /// Partitions this encoding's search space into cubes with the
+    /// lookahead splitter, branching over the gate-stage order ladders and
+    /// stage-kind flags. Constraints already asserted (e.g.
+    /// [`Encoding::assert_max_transfers`]) restrict every cube. See
+    /// [`nasp_smt::Ctx::split_cubes`].
+    pub fn split_cubes(&mut self, config: &LookaheadConfig, budget: &Budget) -> CubeSplit {
+        let candidates = self.core.branch_candidates(self.core.stages);
+        self.core.ctx.split_cubes(&[], &candidates, config, budget)
+    }
+
+    /// Solves one cube of a [`Encoding::split_cubes`] partition: the cube
+    /// literals ride as assumptions on top of the asserted encoding.
+    pub fn solve_cube(&mut self, cube: &[Bool], budget: Budget) -> SolveResult {
+        self.core.ctx.solve_with(cube, budget)
     }
 
     /// Asserts that at most `k` stages are transfer stages (¬e_t), via the
@@ -843,6 +878,83 @@ impl IncrementalEncoding {
         self.ensure_stages(s);
         let mut assumptions = self.activation(s);
         assumptions.extend(self.core.transfer_bound(s, k));
+        let result = self.core.ctx.solve_with(&assumptions, budget);
+        if result == SolveResult::Sat {
+            self.active = s;
+        }
+        result
+    }
+
+    /// Partitions the round "exactly `s` active stages (optionally with at
+    /// most `max_transfers` transfer stages)" into cubes with the
+    /// lookahead splitter. The round's activation set rides as the base
+    /// assumption vector, so every cube extends it; the cube literals are
+    /// order-ladder rungs / stage flags valid in any identically built
+    /// encoding of the same problem and cap (variable numbering is
+    /// deterministic), which is what lets conquer workers solve them on
+    /// their own warm solvers. A `decided: Sat` split leaves this
+    /// encoding's model decodable.
+    pub fn split_cubes_at(
+        &mut self,
+        s: usize,
+        max_transfers: Option<usize>,
+        config: &LookaheadConfig,
+        budget: &Budget,
+    ) -> CubeSplit {
+        assert!(s > 0, "need at least one active stage");
+        self.refresh_activities(s);
+        self.ensure_stages(s);
+        let mut assumptions = self.activation(s);
+        if let Some(k) = max_transfers {
+            assumptions.extend(self.core.transfer_bound(s, k));
+        }
+        let candidates = self.core.branch_candidates(s);
+        let split = self
+            .core
+            .ctx
+            .split_cubes(&assumptions, &candidates, config, budget);
+        if split.decided == Some(SolveResult::Sat) {
+            self.active = s;
+        }
+        split
+    }
+
+    /// Walks the round's allocation sequence — stage constraints up to
+    /// `s` and, for tightening rounds, the transfer counter's Tseitin
+    /// nodes — without solving anything. A cube conquer worker calls this
+    /// on receiving a round *before* claiming cubes, so that a worker
+    /// that ends up claiming none still allocates exactly what its
+    /// siblings (and the splitter) did: variable numbering is a pure
+    /// function of the query sequence, and clause-sharing soundness
+    /// (DESIGN.md §9) rests on every party walking the same one.
+    pub fn prepare_at(&mut self, s: usize, max_transfers: Option<usize>) {
+        assert!(s > 0, "need at least one active stage");
+        self.refresh_activities(s);
+        self.ensure_stages(s);
+        if let Some(k) = max_transfers {
+            let _ = self.core.transfer_bound(s, k);
+        }
+    }
+
+    /// Solves one cube of an [`IncrementalEncoding::split_cubes_at`]
+    /// partition at stage count `s`: activation set, optional transfer
+    /// bound, then the cube literals, all as assumptions on the warm
+    /// solver.
+    pub fn solve_cube_at(
+        &mut self,
+        s: usize,
+        max_transfers: Option<usize>,
+        cube: &[Bool],
+        budget: Budget,
+    ) -> SolveResult {
+        assert!(s > 0, "need at least one active stage");
+        self.refresh_activities(s);
+        self.ensure_stages(s);
+        let mut assumptions = self.activation(s);
+        if let Some(k) = max_transfers {
+            assumptions.extend(self.core.transfer_bound(s, k));
+        }
+        assumptions.extend_from_slice(cube);
         let result = self.core.ctx.solve_with(&assumptions, budget);
         if result == SolveResult::Sat {
             self.active = s;

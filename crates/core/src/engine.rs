@@ -155,10 +155,10 @@ impl Session {
     /// Warm reuse applies to the default path (`incremental = true`,
     /// `portfolio = 1`): the session keeps one [`IncrementalEncoding`]
     /// across runs and rebuilds only when the encode options change or
-    /// the sweep outgrows the retained stage cap. The scratch and
-    /// portfolio paths build their own encodings per call (the portfolio
-    /// keeps workers warm *within* a call, DESIGN.md §8) and leave the
-    /// session's warm state untouched.
+    /// the sweep outgrows the retained stage cap. The scratch, portfolio
+    /// and cube-and-conquer paths build their own encodings per call
+    /// (the portfolio and cube pools keep workers warm *within* a call,
+    /// DESIGN.md §8/§13) and leave the session's warm state untouched.
     pub fn run(&mut self, options: &SolveOptions) -> SolveReport {
         self.run_with_cancel(options, None)
     }
@@ -201,7 +201,19 @@ impl Session {
             } else {
                 None
             };
-            if options.portfolio > 1 {
+            if options.cube.is_some() {
+                // Cube-and-conquer takes precedence over the portfolio:
+                // both are round-parallel back-ends, and an explicit cube
+                // request is the more specific ask (DESIGN.md §13).
+                crate::cube::solve_cube(
+                    &self.problem,
+                    options,
+                    start,
+                    deadline,
+                    cancel,
+                    hint.as_ref(),
+                )
+            } else if options.portfolio > 1 {
                 crate::portfolio::solve_portfolio(
                     &self.problem,
                     options,

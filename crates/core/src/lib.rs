@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod cube;
 pub mod encoding;
 pub mod engine;
 pub mod heuristic;
@@ -45,6 +46,9 @@ pub mod solve;
 
 pub use encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 pub use engine::{Engine, Session};
+/// Branching heuristic of the cube splitter, re-exported so callers can
+/// configure [`CubeOptions`] without depending on the solver crates.
+pub use nasp_smt::CubeBranching;
 /// Cooperative-cancellation flag, re-exported so service layers can cancel
 /// a [`Session::run_with_cancel`] without depending on the solver crates.
 pub use nasp_smt::Terminator;
@@ -53,4 +57,6 @@ pub use report::{
     run_experiment, run_table1, table1_instances, ExperimentOptions, ExperimentResult,
     TABLE1_LAYOUTS,
 };
-pub use solve::{solve, Provenance, SearchMode, SolveOptions, SolveOptionsBuilder, SolveReport};
+pub use solve::{
+    solve, CubeOptions, Provenance, SearchMode, SolveOptions, SolveOptionsBuilder, SolveReport,
+};

@@ -23,7 +23,7 @@
 use std::time::{Duration, Instant};
 
 use nasp_arch::Schedule;
-use nasp_smt::{Budget, SolveResult, Terminator};
+use nasp_smt::{Budget, CubeBranching, SolveResult, Terminator};
 use serde::{Deserialize, Serialize};
 
 use crate::encoding::{EncodeOptions, Encoding, IncrementalEncoding};
@@ -79,6 +79,42 @@ impl SearchMode {
     }
 }
 
+/// Cube-and-conquer configuration (see [`crate::cube`] and DESIGN.md §13).
+///
+/// Instead of racing redundant copies of a round like the portfolio, cube
+/// mode *partitions* it: a lookahead splitter over the gate-stage order
+/// literals grows a tree of cubes, and the conquer workers refute or
+/// satisfy the leaves in parallel, sharing learnt clauses through the
+/// round's [`nasp_smt::ClauseExchange`]. Verdicts are objective — all
+/// cubes refuted ⇔ the round is UNSAT, any cube's model is a model of the
+/// round — so cube settings can only change speed, never the reported
+/// minima (pinned by the `prop_cube` suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeOptions {
+    /// Conquer workers racing over the cube queue.
+    pub workers: usize,
+    /// Target partition width: the splitter stops growing the tree once
+    /// this many cubes exist.
+    pub max_cubes: usize,
+    /// Conflict budget of the splitter's per-node trial solve; `0` forces
+    /// pure splitting (no trial solves). See
+    /// [`nasp_smt::LookaheadConfig::conflict_cutoff`].
+    pub conflict_cutoff: u64,
+    /// Branch-literal selection heuristic of the splitter.
+    pub branching: CubeBranching,
+}
+
+impl Default for CubeOptions {
+    fn default() -> Self {
+        CubeOptions {
+            workers: 2,
+            max_cubes: 16,
+            conflict_cutoff: 2000,
+            branching: CubeBranching::default(),
+        }
+    }
+}
+
 /// Options controlling the search.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveOptions {
@@ -122,6 +158,13 @@ pub struct SolveOptions {
     /// default), bisection, or the paper's blind deepening (kept for
     /// A/B). See [`SearchMode`].
     pub search_mode: SearchMode,
+    /// Cube-and-conquer: split each hard round into lookahead-generated
+    /// cubes and conquer them across a worker pool instead of solving the
+    /// round monolithically. `None` (the default) keeps the configured
+    /// single-solver or portfolio driver; `Some` takes precedence over
+    /// `portfolio` (the two parallelize the same rounds in incompatible
+    /// ways). See [`CubeOptions`] and DESIGN.md §13.
+    pub cube: Option<CubeOptions>,
 }
 
 impl Default for SolveOptions {
@@ -137,6 +180,7 @@ impl Default for SolveOptions {
             seed: 0x5EED,
             share: true,
             search_mode: SearchMode::default(),
+            cube: None,
         }
     }
 }
@@ -241,6 +285,13 @@ impl SolveOptionsBuilder {
         self
     }
 
+    /// Cube-and-conquer round splitting (see [`CubeOptions`]); `None`
+    /// restores the monolithic-round drivers.
+    pub fn cube(mut self, cube: Option<CubeOptions>) -> Self {
+        self.options.cube = cube;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SolveOptions {
         self.options
@@ -329,6 +380,24 @@ pub struct SolveReport {
     pub worker_imported: Vec<u64>,
     /// Per-worker import-hit counts (empty for single-solver).
     pub worker_import_hits: Vec<u64>,
+    /// Cubes generated across all cube-mode rounds (emitted leaves plus
+    /// nodes refuted during generation); 0 outside cube mode.
+    pub cubes_generated: u64,
+    /// Cubes refuted (during generation or by a conquer worker).
+    pub cubes_refuted: u64,
+    /// Cubes on which a conquer worker (or the splitter's trial solve)
+    /// found a model.
+    pub cubes_solved: u64,
+    /// Wall-clock time spent inside the lookahead splitter.
+    pub cube_lookahead_time: Duration,
+    /// Partition members per cube depth, summed over rounds: index `d`
+    /// counts cubes with `d` branch literals — where the conflict cutoff
+    /// stopped the tree growing.
+    pub cube_cutoff_histogram: Vec<u64>,
+    /// Largest fully-refuted partition of a single round — the number of
+    /// cubes whose joint refutation proved that round UNSAT (0 if no round
+    /// was refuted via cubes).
+    pub cube_largest_refutation: u64,
 }
 
 impl SolveReport {
@@ -510,6 +579,12 @@ impl SearchState {
             worker_exported: Vec::new(),
             worker_imported: Vec::new(),
             worker_import_hits: Vec::new(),
+            cubes_generated: 0,
+            cubes_refuted: 0,
+            cubes_solved: 0,
+            cube_lookahead_time: Duration::ZERO,
+            cube_cutoff_histogram: Vec::new(),
+            cube_largest_refutation: 0,
         }
     }
 

@@ -1,0 +1,216 @@
+//! Property suite: cube-and-conquer (lookahead splitting of each round
+//! into cubes, conquered across a worker pool) is observationally
+//! identical to the single-solver search — same minimal stage count, same
+//! minimal transfer count, same provenance and proven lower bound, and a
+//! valid, verifiable schedule — over randomized small problems, the three
+//! paper layouts, both back-ends, and the seeded/deepening search modes.
+//!
+//! This is the load-bearing property behind DESIGN.md §13's soundness
+//! argument: the cubes (plus the nodes refuted during generation)
+//! *partition* a round's search space, so a fully refuted cube set is the
+//! same objective UNSAT verdict a monolithic round would return, and any
+//! SAT cube is a model of the round. Which cube answers first can change
+//! the model and the wall clock, never the reported optima.
+
+use std::time::Duration;
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, CubeOptions, Problem, SearchMode, SolveOptions, SolveReport, Terminator};
+use proptest::prelude::*;
+
+const WORKERS: usize = 2;
+
+fn layout_of(idx: usize) -> Layout {
+    match idx % 3 {
+        0 => Layout::NoShielding,
+        1 => Layout::BottomStorage,
+        _ => Layout::DoubleSidedStorage,
+    }
+}
+
+/// Cube options that force real splitting even on tiny instances: a zero
+/// conflict cutoff skips the per-node trial solves, so every round is
+/// partitioned rather than decided during generation.
+fn forced_cubes() -> CubeOptions {
+    CubeOptions {
+        workers: WORKERS,
+        max_cubes: 8,
+        conflict_cutoff: 0,
+        ..CubeOptions::default()
+    }
+}
+
+fn base_options(mode: SearchMode, incremental: bool) -> SolveOptions {
+    SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .search_mode(mode)
+        .incremental(incremental)
+        .build()
+}
+
+fn normalize_gates(raw: &[(usize, usize)], n: usize) -> Vec<(usize, usize)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+fn assert_agrees(problem: &Problem, single: &SolveReport, cube: &SolveReport, tag: &str) {
+    assert_eq!(single.provenance, cube.provenance, "{tag}: provenance");
+    assert_eq!(single.proven_lb, cube.proven_lb, "{tag}: proven lb");
+    let ss = single.schedule.as_ref().expect("single schedule");
+    let sc = cube.schedule.as_ref().expect("cube schedule");
+    assert_eq!(ss.stages.len(), sc.stages.len(), "{tag}: same minimal S");
+    assert_eq!(
+        ss.num_transfer(),
+        sc.num_transfer(),
+        "{tag}: same minimal #T"
+    );
+    assert!(
+        validate_schedule(sc, &problem.gates).is_empty(),
+        "{tag}: cube schedule must validate"
+    );
+    assert_eq!(cube.portfolio_workers, WORKERS, "{tag}: worker count");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cube_and_single_solver_agree(
+        layout_idx in 0usize..3,
+        n in 2usize..5,
+        raw in prop::collection::vec((0usize..8, 0usize..8), 1..=3),
+        incremental in any::<bool>(),
+        deepening in any::<bool>(),
+    ) {
+        let gates = normalize_gates(&raw, n);
+        let problem = Problem::from_gates(ArchConfig::paper(layout_of(layout_idx)), n, gates);
+        let mode = if deepening { SearchMode::Deepening } else { SearchMode::Seeded };
+        let single = solve(&problem, &base_options(mode, incremental));
+        let cube = solve(
+            &problem,
+            &base_options(mode, incremental)
+                .into_builder()
+                .cube(Some(forced_cubes()))
+                .build(),
+        );
+        prop_assert!(single.is_optimal(), "tiny instances must solve to optimality");
+        assert_agrees(&problem, &single, &cube, "randomized");
+    }
+}
+
+/// The three paper layouts on the Fig. 2 instance, both back-ends: cube
+/// mode agrees with the single-solver search everywhere, including the
+/// zoned layouts whose minimum genuinely needs a transfer stage (so the
+/// tightening rounds run through the splitter too).
+#[test]
+fn paper_layouts_agree_under_cubes() {
+    for layout in [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ] {
+        for incremental in [true, false] {
+            let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+            let single = solve(&problem, &base_options(SearchMode::Seeded, incremental));
+            let cube = solve(
+                &problem,
+                &base_options(SearchMode::Seeded, incremental)
+                    .into_builder()
+                    .cube(Some(forced_cubes()))
+                    .build(),
+            );
+            let tag = format!("{layout:?}/incremental={incremental}");
+            assert!(single.is_optimal() && cube.is_optimal(), "{tag}");
+            assert_agrees(&problem, &single, &cube, &tag);
+        }
+    }
+}
+
+/// A fully refuted cube set is a proven UNSAT probe: in deepening mode the
+/// rounds below the optimum are UNSAT, and cube mode must lift `proven_lb`
+/// exactly as far as the monolithic rounds do — with the refutations
+/// actually flowing through the partition (cubes generated and refuted).
+#[test]
+fn refuted_cube_set_lifts_proven_lb_like_a_monolithic_round() {
+    // A triangle of gates: every pair shares a qubit, so three Rydberg
+    // stages are needed while the degree bound only proves two — the
+    // deepening sweep must refute the round below the optimum.
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2), (0, 2)],
+    );
+    let single = solve(&problem, &base_options(SearchMode::Deepening, true));
+    let cube = solve(
+        &problem,
+        &base_options(SearchMode::Deepening, true)
+            .into_builder()
+            .cube(Some(forced_cubes()))
+            .build(),
+    );
+    assert!(single.is_optimal() && cube.is_optimal());
+    assert_eq!(single.proven_lb, cube.proven_lb, "same lower-bound lift");
+    assert!(
+        cube.cubes_generated > 0,
+        "forced splitting must actually generate cubes"
+    );
+    assert!(
+        cube.cubes_refuted > 0,
+        "the UNSAT rounds below the optimum refute their partitions"
+    );
+    assert!(
+        cube.cubes_solved > 0,
+        "the SAT round is answered by a cube (or a trial solve)"
+    );
+}
+
+/// A pre-signalled cancel flag backs out of cube *generation*, not just
+/// conquering: the lookahead loop polls the round terminator, so the run
+/// degrades to the heuristic fallback without hanging in the splitter.
+#[test]
+fn pre_signalled_cancel_backs_out_of_cube_search() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+    );
+    let cancel = Terminator::new();
+    cancel.signal();
+    let options = base_options(SearchMode::Seeded, true)
+        .into_builder()
+        .cube(Some(forced_cubes()))
+        .build();
+    let mut session = nasp_core::Engine::new().session(problem.clone());
+    let report = session.run_with_cancel(&options, Some(&cancel));
+    assert_eq!(report.provenance, nasp_core::Provenance::Heuristic);
+    let s = report.schedule.expect("heuristic fallback schedule");
+    assert!(validate_schedule(&s, &problem.gates).is_empty());
+    assert_eq!(report.cubes_solved, 0, "no round may complete under cancel");
+}
+
+/// A zero time budget exhausts every round before it starts; cube mode
+/// takes the same heuristic fallback as the other back-ends.
+#[test]
+fn cube_budget_exhaustion_falls_back() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+    );
+    let options = SolveOptions::builder()
+        .time_budget(Duration::ZERO)
+        .cube(Some(forced_cubes()))
+        .build();
+    let report = solve(&problem, &options);
+    assert_eq!(report.provenance, nasp_core::Provenance::Heuristic);
+    let s = report.schedule.expect("heuristic schedule");
+    assert!(validate_schedule(&s, &problem.gates).is_empty());
+}

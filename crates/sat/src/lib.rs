@@ -13,8 +13,9 @@
 //! root-level clause-database simplification, solving under assumptions,
 //! conflict/wall-clock budgets with cooperative cancellation
 //! ([`Terminator`]), per-solver tuning ([`SolverConfig`]) for diversified
-//! portfolio solving, and lock-free learnt-clause sharing between
-//! portfolio workers ([`ClauseExchange`]).
+//! portfolio solving, lock-free learnt-clause sharing between
+//! portfolio workers ([`ClauseExchange`]), and a failed-literal lookahead
+//! cube splitter for cube-and-conquer solving ([`lookahead`]).
 //!
 //! ## Example
 //!
@@ -40,12 +41,14 @@ mod arena;
 mod config;
 mod dimacs;
 mod heap;
+pub mod lookahead;
 mod share;
 mod solver;
 mod types;
 
 pub use config::{SolverConfig, Terminator};
 pub use dimacs::{Cnf, ParseDimacsError};
+pub use lookahead::{CubeBranching, LookaheadConfig};
 pub use share::{ClauseExchange, ShareHandle, MAX_SHARED_LITS};
 pub use solver::{Budget, SolveResult, Solver, Stats};
 pub use types::{LBool, Lit, Var};

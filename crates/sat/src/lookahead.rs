@@ -1,0 +1,499 @@
+//! Lookahead cube splitting — the "cube" half of cube-and-conquer.
+//!
+//! [`split`] partitions the search space of one SAT query (a formula plus a
+//! base assumption vector) into a dynamically grown tree of *cubes*: each
+//! tree node carries a vector of branch literals, and a node is split on
+//! the literal that achieves the highest propagation reduction (measured
+//! with [`Solver::probe_assumptions`] failed-literal probes). A node whose
+//! bounded trial solve finishes within the conflict cutoff is conquered on
+//! the spot (SAT decides the whole query; UNSAT refutes just that branch);
+//! a node that exceeds the cutoff is "hard" and gets split further, until
+//! the partition reaches the configured cube count or depth. The emitted
+//! leaves are assumption vectors for independent *conquer* solvers.
+//!
+//! Soundness rests on the partition invariant: the leaves plus the
+//! generation-refuted nodes cover the full space under the base
+//! assumptions (every split replaces a node by `node ∧ l` and `node ∧ ¬l`,
+//! and forced literals are implied), so the query is UNSAT iff **all**
+//! members are refuted, and any member's model is a model of the query.
+//!
+//! Generation honours the same [`Budget`] as solving: the trial solves
+//! inherit its deadline/terminator/exchange, and the probe loop polls the
+//! terminator every [`LookaheadConfig::probe_poll`] probes so an external
+//! cancellation backs out of cube *generation* within microseconds, not
+//! just out of conquering.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::config::Terminator;
+use crate::solver::{Budget, SolveResult, Solver};
+use crate::types::Lit;
+
+/// How the splitter picks the literal a node branches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CubeBranching {
+    /// Failed-literal lookahead: probe both polarities of every candidate
+    /// and branch on the one with the largest balanced propagation
+    /// reduction (product of the two polarities' implied-assignment
+    /// gains). Probes that conflict refute or strengthen the node for
+    /// free. The classic cube-and-conquer heuristic, and the default.
+    #[default]
+    Reduction,
+    /// Branch on the first candidate whose polarities both survive
+    /// probing, in the given order. Cheaper per node (the scan stops at
+    /// the first splittable candidate) for candidate lists that are
+    /// already well-ordered, such as order-encoding ladders.
+    Sequential,
+}
+
+impl CubeBranching {
+    /// Stable lowercase name, for flags and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CubeBranching::Reduction => "reduction",
+            CubeBranching::Sequential => "sequential",
+        }
+    }
+
+    /// Parses [`Self::as_str`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reduction" => Some(CubeBranching::Reduction),
+            "sequential" => Some(CubeBranching::Sequential),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning of one [`split`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct LookaheadConfig {
+    /// Stop splitting once the partition (emitted leaves plus open nodes)
+    /// holds this many members; remaining open nodes become leaves.
+    pub max_cubes: usize,
+    /// A node with this many cube literals is emitted as a leaf instead of
+    /// being split further.
+    pub max_depth: usize,
+    /// Conflict budget of the per-node trial solve: a node refuted or
+    /// satisfied within it is conquered during generation, one that
+    /// exceeds it is split. `0` skips trial solves entirely — pure
+    /// splitting, where only failed probes refute nodes; useful to force a
+    /// partition of a given size regardless of instance hardness.
+    pub conflict_cutoff: u64,
+    /// Poll the budget's terminator/deadline every this many probes.
+    pub probe_poll: usize,
+    /// Branch-literal selection heuristic.
+    pub branching: CubeBranching,
+}
+
+impl Default for LookaheadConfig {
+    fn default() -> Self {
+        LookaheadConfig {
+            max_cubes: 16,
+            max_depth: 8,
+            conflict_cutoff: 2000,
+            probe_poll: 16,
+            branching: CubeBranching::default(),
+        }
+    }
+}
+
+/// One leaf of the cube tree: assuming these literals on top of the base
+/// assumption vector restricts the query to this cube's region.
+#[derive(Debug, Clone, Default)]
+pub struct Cube {
+    /// Branch (and forced) literals, root to leaf.
+    pub lits: Vec<Lit>,
+}
+
+/// Outcome of one [`split`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SplitReport {
+    /// The emitted leaves. Together with the generation-refuted nodes they
+    /// partition the search space under the base assumptions, so the query
+    /// is UNSAT iff every leaf is also refuted.
+    pub cubes: Vec<Cube>,
+    /// Nodes refuted during generation (trial solve UNSAT, or both probe
+    /// polarities of every remaining candidate failed) — members of the
+    /// partition that are already conquered.
+    pub refuted: u64,
+    /// Number of [`Solver::probe_assumptions`] calls performed.
+    pub probes: u64,
+    /// `Some(Sat)` when a trial solve found a model (held by the solver and
+    /// readable through [`Solver::value`]); `Some(Unsat)` when every branch
+    /// was refuted during generation. In both cases `cubes` is empty and
+    /// there is nothing left to conquer.
+    pub decided: Option<SolveResult>,
+    /// Generation was abandoned: the budget's terminator was signalled or
+    /// its deadline passed. The partial partition in `cubes` is discarded
+    /// by callers and the query stays undecided.
+    pub cancelled: bool,
+    /// Partition members (leaves and generation-refuted nodes) per cube
+    /// depth: index `d` counts members with `d` cube literals. Shows where
+    /// the conflict cutoff stopped the tree growing.
+    pub depth_histogram: Vec<u64>,
+}
+
+impl SplitReport {
+    /// Total partition size: emitted leaves plus generation-refuted nodes.
+    pub fn generated(&self) -> u64 {
+        self.cubes.len() as u64 + self.refuted
+    }
+}
+
+/// Outcome of scanning a node's candidates for a branch literal.
+enum Pick {
+    /// Split the node on this literal.
+    Branch(Lit),
+    /// One polarity failed under probing: strengthen the node with the
+    /// other and rescan (a failed-literal reduction, not a split).
+    Forced(Lit),
+    /// Both polarities of a candidate failed: the node is unsatisfiable.
+    Refuted,
+    /// No candidate splits the node (all assigned or exhausted): emit it.
+    Exhausted,
+    /// The budget's terminator/deadline fired mid-scan.
+    Cancelled,
+}
+
+#[inline]
+fn out_of_time(budget: &Budget) -> bool {
+    budget.stop.as_ref().is_some_and(Terminator::is_signalled)
+        || budget.deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Splits the query `formula ∧ base` into a partition of cubes.
+///
+/// `candidates` is the pool of branch literals, highest-priority first
+/// (for this crate's SMT client: the order-encoding ladder literals of the
+/// gate-stage variables). The `budget`'s conflict limit is ignored — the
+/// per-node trial solves use [`LookaheadConfig::conflict_cutoff`] instead —
+/// but its deadline, terminator and clause-exchange handle are honoured
+/// throughout generation.
+pub fn split(
+    solver: &mut Solver,
+    base: &[Lit],
+    candidates: &[Lit],
+    config: &LookaheadConfig,
+    budget: &Budget,
+) -> SplitReport {
+    let mut report = SplitReport::default();
+    let mut open: VecDeque<Vec<Lit>> = VecDeque::new();
+    open.push_back(Vec::new());
+    let mut scratch: Vec<Lit> = Vec::with_capacity(base.len() + config.max_depth + 1);
+    let mut since_poll = 0usize;
+
+    while let Some(mut node) = open.pop_front() {
+        if out_of_time(budget) {
+            report.cancelled = true;
+            return report;
+        }
+        // Trial solve: an easy node is conquered right here.
+        if config.conflict_cutoff > 0 {
+            scratch.clear();
+            scratch.extend_from_slice(base);
+            scratch.extend_from_slice(&node);
+            let trial = Budget {
+                max_conflicts: Some(config.conflict_cutoff),
+                deadline: budget.deadline,
+                stop: budget.stop.clone(),
+                share: budget.share.clone(),
+            };
+            match solver.solve_limited(&scratch, trial) {
+                SolveResult::Sat => {
+                    report.decided = Some(SolveResult::Sat);
+                    report.cubes.clear();
+                    return report;
+                }
+                SolveResult::Unsat => {
+                    refute(&mut report, node.len());
+                    continue;
+                }
+                SolveResult::Unknown => {
+                    if out_of_time(budget) {
+                        report.cancelled = true;
+                        return report;
+                    }
+                    // Conflict cutoff exceeded: a genuinely hard node.
+                }
+            }
+        }
+        // A hard node is split, unless a cutoff turns it into a leaf.
+        let partition = report.cubes.len() + open.len() + 1;
+        if node.len() >= config.max_depth || partition >= config.max_cubes {
+            emit(&mut report, node);
+            continue;
+        }
+        match pick_branch(
+            solver,
+            base,
+            &node,
+            candidates,
+            config,
+            budget,
+            &mut scratch,
+            &mut report,
+            &mut since_poll,
+        ) {
+            Pick::Branch(l) => {
+                let mut neg = node.clone();
+                neg.push(!l);
+                node.push(l);
+                open.push_back(node);
+                open.push_back(neg);
+            }
+            Pick::Forced(l) => {
+                node.push(l);
+                open.push_back(node);
+            }
+            Pick::Refuted => refute(&mut report, node.len()),
+            Pick::Exhausted => emit(&mut report, node),
+            Pick::Cancelled => {
+                report.cancelled = true;
+                return report;
+            }
+        }
+    }
+    if report.cubes.is_empty() && !report.cancelled && report.decided.is_none() {
+        // Every branch of the tree was refuted during generation; the
+        // partition is fully conquered and the query is UNSAT.
+        report.decided = Some(SolveResult::Unsat);
+    }
+    report
+}
+
+fn emit(report: &mut SplitReport, node: Vec<Lit>) {
+    bump(&mut report.depth_histogram, node.len());
+    report.cubes.push(Cube { lits: node });
+}
+
+fn refute(report: &mut SplitReport, depth: usize) {
+    bump(&mut report.depth_histogram, depth);
+    report.refuted += 1;
+}
+
+fn bump(histogram: &mut Vec<u64>, depth: usize) {
+    if histogram.len() <= depth {
+        histogram.resize(depth + 1, 0);
+    }
+    histogram[depth] += 1;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pick_branch(
+    solver: &mut Solver,
+    base: &[Lit],
+    node: &[Lit],
+    candidates: &[Lit],
+    config: &LookaheadConfig,
+    budget: &Budget,
+    scratch: &mut Vec<Lit>,
+    report: &mut SplitReport,
+    since_poll: &mut usize,
+) -> Pick {
+    scratch.clear();
+    scratch.extend_from_slice(base);
+    scratch.extend_from_slice(node);
+    // Baseline: the node's own propagation closure.
+    report.probes += 1;
+    let Some(n0) = solver.probe_assumptions(scratch) else {
+        return Pick::Refuted;
+    };
+    let mut best: Option<(u64, Lit)> = None;
+    for &cand in candidates {
+        if node.iter().any(|&l| l.var() == cand.var()) {
+            continue; // already branched on this variable
+        }
+        *since_poll += 2;
+        if *since_poll >= config.probe_poll {
+            *since_poll = 0;
+            if out_of_time(budget) {
+                return Pick::Cancelled;
+            }
+        }
+        scratch.truncate(base.len() + node.len());
+        scratch.push(cand);
+        let pos = solver.probe_assumptions(scratch);
+        *scratch.last_mut().expect("candidate literal present") = !cand;
+        let neg = solver.probe_assumptions(scratch);
+        report.probes += 2;
+        match (pos, neg) {
+            (None, None) => return Pick::Refuted,
+            (Some(p), None) => {
+                if p > n0 {
+                    return Pick::Forced(cand);
+                }
+                // `cand` is already implied by the node: nothing to add.
+            }
+            (None, Some(q)) => {
+                if q > n0 {
+                    return Pick::Forced(!cand);
+                }
+            }
+            (Some(p), Some(q)) => {
+                let (dp, dq) = (
+                    p.saturating_sub(n0) as u64 + 1,
+                    q.saturating_sub(n0) as u64 + 1,
+                );
+                if dp <= 1 || dq <= 1 {
+                    continue; // assigned either way: not a split
+                }
+                match config.branching {
+                    CubeBranching::Sequential => return Pick::Branch(cand),
+                    CubeBranching::Reduction => {
+                        let score = dp * dq;
+                        if best.is_none_or(|(s, _)| score > s) {
+                            best = Some((score, cand));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, l)) => Pick::Branch(l),
+        None => Pick::Exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+
+    /// `x1..=xn` pairwise-distinct pigeons in `n-1` holes, as a direct
+    /// at-most-one matrix: UNSAT, and hard enough for unit propagation
+    /// alone that tiny conflict cutoffs force real splitting.
+    fn pigeons(n: usize) -> (Solver, Vec<Lit>) {
+        let mut s = Solver::new();
+        let holes = n - 1;
+        let mut p = vec![vec![]; n];
+        for row in p.iter_mut() {
+            for _ in 0..holes {
+                row.push(s.new_var().positive());
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
+                }
+            }
+        }
+        let candidates: Vec<Lit> = p.into_iter().flatten().collect();
+        (s, candidates)
+    }
+
+    fn sat_chain(n: usize) -> (Solver, Vec<Lit>) {
+        let mut s = Solver::new();
+        let vars: Vec<Lit> = (0..n).map(|_| s.new_var().positive()).collect();
+        for w in vars.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        (s, vars)
+    }
+
+    #[test]
+    fn unsat_partition_conquers_to_unsat() {
+        let (mut s, candidates) = pigeons(6);
+        let config = LookaheadConfig {
+            conflict_cutoff: 1,
+            max_cubes: 8,
+            max_depth: 6,
+            ..LookaheadConfig::default()
+        };
+        let report = split(&mut s, &[], &candidates, &config, &Budget::unlimited());
+        assert!(!report.cancelled);
+        if report.decided == Some(SolveResult::Unsat) {
+            assert!(report.cubes.is_empty());
+            assert!(report.refuted > 0);
+            return;
+        }
+        assert!(report.decided.is_none());
+        assert!(!report.cubes.is_empty());
+        // Conquer: every leaf must be refuted, which proves UNSAT.
+        for cube in &report.cubes {
+            assert_eq!(s.solve_with(&cube.lits), SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn forced_split_yields_a_wide_partition() {
+        let (mut s, candidates) = pigeons(7);
+        let config = LookaheadConfig {
+            conflict_cutoff: 0, // pure splitting: no trial solves
+            max_cubes: 16,
+            max_depth: 10,
+            ..LookaheadConfig::default()
+        };
+        let report = split(&mut s, &[], &candidates, &config, &Budget::unlimited());
+        assert!(!report.cancelled);
+        assert!(report.decided.is_none() || report.decided == Some(SolveResult::Unsat));
+        assert!(
+            report.generated() >= 8,
+            "pure splitting should reach a wide partition, got {}",
+            report.generated()
+        );
+        assert!(report.depth_histogram.iter().sum::<u64>() == report.generated());
+    }
+
+    #[test]
+    fn sat_instance_is_decided_or_a_leaf_conquers() {
+        let (mut s, vars) = sat_chain(12);
+        let config = LookaheadConfig {
+            conflict_cutoff: 5,
+            max_cubes: 4,
+            max_depth: 3,
+            ..LookaheadConfig::default()
+        };
+        let report = split(&mut s, &[vars[0]], &vars, &config, &Budget::unlimited());
+        assert!(!report.cancelled);
+        match report.decided {
+            Some(SolveResult::Sat) => {
+                // Model readable from the splitter: the chain forces all true.
+                assert_eq!(s.value(vars[11]), Some(true));
+            }
+            None => {
+                let mut sat = 0;
+                for cube in &report.cubes {
+                    let mut assumptions = vec![vars[0]];
+                    assumptions.extend_from_slice(&cube.lits);
+                    if s.solve_with(&assumptions) == SolveResult::Sat {
+                        sat += 1;
+                    }
+                }
+                assert!(sat > 0, "some cube of a SAT query must be SAT");
+            }
+            other => panic!("unexpected split verdict: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_signalled_terminator_cancels_generation() {
+        let (mut s, candidates) = pigeons(7);
+        let stop = Terminator::new();
+        stop.signal();
+        let budget = Budget::unlimited().with_terminator(stop);
+        let report = split(
+            &mut s,
+            &[],
+            &candidates,
+            &LookaheadConfig::default(),
+            &budget,
+        );
+        assert!(report.cancelled);
+        assert!(report.decided.is_none());
+    }
+
+    #[test]
+    fn branching_names_round_trip() {
+        for b in [CubeBranching::Reduction, CubeBranching::Sequential] {
+            assert_eq!(CubeBranching::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(CubeBranching::parse("nope"), None);
+    }
+}

@@ -1044,6 +1044,63 @@ impl Solver {
         self.solve_limited(assumptions, Budget::unlimited())
     }
 
+    /// Measures the unit-propagation closure of an assumption vector
+    /// without searching: each literal is enqueued as a pseudo-decision and
+    /// propagated, and the total number of assigned literals (assumptions
+    /// plus everything they imply) is returned. `None` means the
+    /// assumptions conflict under propagation alone — a *failed* vector,
+    /// refuted without a single conflict-analysis step.
+    ///
+    /// This is the measurement primitive of the lookahead cube splitter
+    /// ([`crate::lookahead`]): the implied-assignment count is the
+    /// "reduction" a candidate branch literal achieves. The solver is left
+    /// at decision level zero with nothing learnt; only saved phases are
+    /// perturbed (backtracking records the probed polarity), which biases
+    /// later search harmlessly. Any model from a previous `solve` call is
+    /// preserved.
+    pub fn probe_assumptions(&mut self, assumptions: &[Lit]) -> Option<usize> {
+        if !self.ok {
+            return None;
+        }
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "probe references unknown variable"
+            );
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            // Conflict at the root: the formula itself is unsatisfiable.
+            self.ok = false;
+            return None;
+        }
+        let mut failed = false;
+        for &a in assumptions {
+            match self.lit_value(a) {
+                LBool::True => continue,
+                LBool::False => {
+                    failed = true;
+                    break;
+                }
+                LBool::Undef => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, None);
+                    if self.propagate().is_some() {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let closure = self.trail.len();
+        self.backtrack_to(0);
+        if failed {
+            None
+        } else {
+            Some(closure)
+        }
+    }
+
     /// Solves the formula under assumptions, honouring a resource budget.
     ///
     /// Returns [`SolveResult::Unknown`] when the budget runs out; the solver

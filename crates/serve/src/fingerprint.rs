@@ -12,9 +12,12 @@
 //!   patterns, so any geometric perturbation changes the digest;
 //! * only the *answer-relevant* solve options participate: the stage cap,
 //!   the transfer-minimization switch and the encoding strengthenings.
-//!   Portfolio width, seeds and the incremental/scratch switch steer
-//!   *how fast* the answer arrives, never *which* answer, so they are
-//!   deliberately excluded. Budgets are excluded too — a request
+//!   Portfolio width, seeds, the incremental/scratch switch and the
+//!   cube-and-conquer configuration (workers, partition size, conflict
+//!   cutoff — the cubes partition the same search space every
+//!   configuration explores) steer *how fast* the answer arrives, never
+//!   *which* answer, so they are deliberately excluded: a re-ask of a
+//!   cached circuit with a different cube setup still hits. Budgets are excluded too — a request
 //!   re-phrased with a bigger budget can hit the cache — but a solve
 //!   that *exhausts* its budget lands a degraded (non-optimal) answer,
 //!   so the server only serves such an entry to budgets no larger than

@@ -5,8 +5,10 @@
 //! "steane"`) or as an explicit CZ list (`"gates": [[0,1],[1,2]],
 //! "num_qubits": 3`), picks one of the paper's layouts (optionally a
 //! custom entangling band), and may override the solve budget, the stage
-//! cap and the transfer-minimization switch. Every field except the
-//! circuit itself is optional.
+//! cap and the transfer-minimization switch, and may ask for
+//! cube-and-conquer solving (`"cube": W` — answer-irrelevant, so cached
+//! answers are shared across cube configurations). Every field except
+//! the circuit itself is optional.
 //!
 //! Responses echo the request `id`, report the structural
 //! [fingerprint](crate::fingerprint) in hex, and say how the answer was
@@ -68,6 +70,13 @@ pub struct Request {
     pub max_stages: Option<usize>,
     /// Minimize transfer stages after fixing `S` (default true).
     pub minimize_transfers: Option<bool>,
+    /// Cube-and-conquer conquer workers per round (`0` or absent = off):
+    /// hard rounds are partitioned by the lookahead splitter and
+    /// conquered in parallel. Like portfolio/seed settings, cube settings
+    /// cannot change the answer — only how it is computed — so this field
+    /// is deliberately *excluded* from the cache fingerprint: a re-ask
+    /// with a different cube configuration still hits the cache.
+    pub cube: Option<usize>,
     /// Include the full schedule in the response (default false — the
     /// summary fields are usually all a client wants per line).
     pub include_schedule: Option<bool>,
@@ -183,6 +192,13 @@ pub struct StatsSnapshot {
     /// (`heuristic_ub`) — answers bracketing the optimum from both
     /// sides even when degraded.
     pub ub_bracketed: u64,
+    /// Solver runs executed in cube-and-conquer mode (`"cube": W` with
+    /// `W ≥ 1` on a cache miss).
+    pub cube_solves: u64,
+    /// Cubes generated by the lookahead splitter across cube solves.
+    pub cubes_generated: u64,
+    /// Cubes refuted (generation + conquering) across cube solves.
+    pub cubes_refuted: u64,
 }
 
 /// A scheduling response, serialized as one JSONL line.

@@ -151,6 +151,12 @@ pub struct ServeStats {
     /// sides, even when degraded. Stays at 0 only when every solve runs
     /// in `deepening` mode or the heuristic never finds a schedule.
     pub ub_bracketed: AtomicU64,
+    /// Solver runs executed in cube-and-conquer mode.
+    pub cube_solves: AtomicU64,
+    /// Cubes generated by the lookahead splitter across cube solves.
+    pub cubes_generated: AtomicU64,
+    /// Cubes refuted (generation + conquering) across cube solves.
+    pub cubes_refuted: AtomicU64,
 }
 
 impl ServeStats {
@@ -166,6 +172,9 @@ impl ServeStats {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
             ub_bracketed: self.ub_bracketed.load(Ordering::Relaxed),
+            cube_solves: self.cube_solves.load(Ordering::Relaxed),
+            cubes_generated: self.cubes_generated.load(Ordering::Relaxed),
+            cubes_refuted: self.cubes_refuted.load(Ordering::Relaxed),
         }
     }
 }
@@ -234,6 +243,12 @@ impl Outcome {
                 worker_exported: Vec::new(),
                 worker_imported: Vec::new(),
                 worker_import_hits: Vec::new(),
+                cubes_generated: 0,
+                cubes_refuted: 0,
+                cubes_solved: 0,
+                cube_lookahead_time: Duration::ZERO,
+                cube_cutoff_histogram: Vec::new(),
+                cube_largest_refutation: 0,
             },
             solve_ms: entry.solve_ms,
             session_runs: 0,
@@ -378,6 +393,17 @@ impl Server {
         }
         if let Some(minimize) = req.minimize_transfers {
             builder = builder.minimize_transfers(minimize);
+        }
+        // Cube settings shape *how* the answer is computed, never *what*
+        // it is (DESIGN.md §13) — they stay out of the fingerprint, so a
+        // cube-configured re-ask of a cached circuit still hits.
+        if let Some(w) = req.cube {
+            if w >= 1 {
+                builder = builder.cube(Some(nasp_core::CubeOptions {
+                    workers: w,
+                    ..Default::default()
+                }));
+            }
         }
         builder.build()
     }
@@ -533,6 +559,15 @@ impl Server {
             self.stats.solves.fetch_add(1, Ordering::Relaxed);
             if report.heuristic_ub.is_some() {
                 self.stats.ub_bracketed.fetch_add(1, Ordering::Relaxed);
+            }
+            if run_options.cube.is_some() {
+                self.stats.cube_solves.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .cubes_generated
+                    .fetch_add(report.cubes_generated, Ordering::Relaxed);
+                self.stats
+                    .cubes_refuted
+                    .fetch_add(report.cubes_refuted, Ordering::Relaxed);
             }
             let was_cancelled = cancel.is_some_and(Terminator::is_signalled);
             if !report.is_optimal() {

@@ -167,6 +167,46 @@ fn repeat_request_hits_cache_with_zero_solver_work() {
 }
 
 #[test]
+fn cube_requests_solve_in_cube_mode_and_share_cached_answers() {
+    let server = quick_server();
+
+    // Cube-and-conquer solve: same answer, cube counters move.
+    let mut cubed = perfect5_request(1);
+    cubed.cube = Some(2);
+    let first = server.handle(&cubed);
+    assert!(first.ok, "cube solve succeeds: {:?}", first.error);
+    assert_eq!(first.cache, Some(CacheOutcome::Miss));
+    assert_eq!(first.provenance.as_deref(), Some("Optimal"));
+    assert_eq!(server.stats().cube_solves.load(Ordering::SeqCst), 1);
+
+    // Cube settings are answer-irrelevant and excluded from the
+    // fingerprint: a plain re-ask and a differently-cubed re-ask both
+    // hit the entry the cube solve populated.
+    let plain = server.handle(&perfect5_request(2));
+    assert_eq!(plain.cache, Some(CacheOutcome::Hit));
+    assert_eq!(plain.fingerprint, first.fingerprint);
+    assert_eq!(plain.stages, first.stages);
+    let mut wider = perfect5_request(3);
+    wider.cube = Some(4);
+    let again = server.handle(&wider);
+    assert_eq!(
+        again.cache,
+        Some(CacheOutcome::Hit),
+        "a different cube configuration must still hit the cache"
+    );
+    assert_eq!(again.fingerprint, first.fingerprint);
+    assert_eq!(
+        server.stats().solves.load(Ordering::SeqCst),
+        1,
+        "one solve serves every cube configuration"
+    );
+
+    // The stats echo carries the cube counters.
+    let snapshot = server.stats().snapshot();
+    assert_eq!(snapshot.cube_solves, 1);
+}
+
+#[test]
 fn concurrent_identical_requests_solve_exactly_once() {
     let server = quick_server();
     let n = 6;

@@ -41,6 +41,32 @@ impl std::ops::Not for Bool {
     }
 }
 
+/// Outcome of [`Ctx::split_cubes`]: the SMT-level view of a
+/// [`nasp_sat::lookahead::SplitReport`], with cubes as [`Bool`] assumption
+/// vectors ready for [`Ctx::solve_with`].
+#[derive(Debug, Clone, Default)]
+pub struct CubeSplit {
+    /// Emitted leaves: together with the `refuted` generation casualties
+    /// they partition the space under the base assumptions, so the query
+    /// is UNSAT iff every cube is also refuted, and any cube's model is a
+    /// model of the query.
+    pub cubes: Vec<Vec<Bool>>,
+    /// Nodes refuted during generation (already-conquered partition
+    /// members).
+    pub refuted: u64,
+    /// Failed-literal probes performed.
+    pub probes: u64,
+    /// `Some(Sat)`: a trial solve found a model (readable through the
+    /// `Ctx` value accessors). `Some(Unsat)`: every branch refuted during
+    /// generation. Either way `cubes` is empty.
+    pub decided: Option<SolveResult>,
+    /// Generation was cancelled (terminator/deadline); `cubes` is partial
+    /// and must be discarded.
+    pub cancelled: bool,
+    /// Partition members per cube depth.
+    pub depth_histogram: Vec<u64>,
+}
+
 /// Handle to a bounded integer variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IntVar(u32);
@@ -501,6 +527,61 @@ impl Ctx {
     pub fn solve_with(&mut self, assumptions: &[Bool], budget: Budget) -> SolveResult {
         let lits: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
         self.solver.solve_limited(&lits, budget)
+    }
+
+    /// The order-encoding ladder of `x` as assumable Booleans:
+    /// `x ≤ lo`, `x ≤ lo+1`, …, `x ≤ hi-1` (the `≤ hi` bound is trivially
+    /// true and has no literal). These are the natural branch candidates
+    /// for the lookahead cube splitter — assuming or refuting a ladder rung
+    /// halves the variable's domain.
+    pub fn order_ladder(&self, x: IntVar) -> Vec<Bool> {
+        self.ints[x.index()]
+            .order
+            .iter()
+            .map(|&l| Bool(l))
+            .collect()
+    }
+
+    /// Measures the unit-propagation closure of an assumption vector (see
+    /// [`nasp_sat::Solver::probe_assumptions`]): `Some(n)` is the number of
+    /// implied literals, `None` means the assumptions conflict under
+    /// propagation alone.
+    pub fn probe_assumptions(&mut self, assumptions: &[Bool]) -> Option<usize> {
+        let lits: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
+        self.solver.probe_assumptions(&lits)
+    }
+
+    /// Partitions the query `formula ∧ assumptions` into cubes with the
+    /// failed-literal lookahead splitter (see [`nasp_sat::lookahead`]).
+    ///
+    /// `candidates` is the branch-literal pool, highest priority first —
+    /// typically [`Ctx::order_ladder`] rungs of the decision variables.
+    /// The budget's deadline/terminator/exchange thread through both the
+    /// per-node trial solves and the probe loop; when the split comes back
+    /// `decided: Some(Sat)` the model is readable through the usual value
+    /// accessors.
+    pub fn split_cubes(
+        &mut self,
+        assumptions: &[Bool],
+        candidates: &[Bool],
+        config: &nasp_sat::LookaheadConfig,
+        budget: &Budget,
+    ) -> CubeSplit {
+        let base: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
+        let cands: Vec<Lit> = candidates.iter().map(|b| b.0).collect();
+        let report = nasp_sat::lookahead::split(&mut self.solver, &base, &cands, config, budget);
+        CubeSplit {
+            cubes: report
+                .cubes
+                .into_iter()
+                .map(|c| c.lits.into_iter().map(Bool).collect())
+                .collect(),
+            refuted: report.refuted,
+            probes: report.probes,
+            decided: report.decided,
+            cancelled: report.cancelled,
+            depth_histogram: report.depth_histogram,
+        }
     }
 
     /// Resets the solver's branching activities (learnt clauses and saved

@@ -43,8 +43,8 @@
 
 mod context;
 
-pub use context::{Bool, Ctx, IntVar};
+pub use context::{Bool, Ctx, CubeSplit, IntVar};
 pub use nasp_sat::{
-    Budget, ClauseExchange, ShareHandle, SolveResult, SolverConfig, Stats, Terminator,
-    MAX_SHARED_LITS,
+    Budget, ClauseExchange, CubeBranching, LookaheadConfig, ShareHandle, SolveResult, SolverConfig,
+    Stats, Terminator, MAX_SHARED_LITS,
 };
