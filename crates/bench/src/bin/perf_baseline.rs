@@ -14,7 +14,8 @@
 //!
 //! The substrate document pairs every packed substrate with its
 //! byte-per-bit reference model; the search document pairs the incremental
-//! sweep with the scratch sweep; the parallel document pairs the scoped
+//! sweep with the scratch sweep and the DRAT-certified sweep with the
+//! plain one; the parallel document pairs the scoped
 //! instance pool with the sequential harness and the solver portfolio with
 //! the single solver, cross-checking that every path reports identical
 //! minima. Each file is re-read and re-parsed before the process exits 0,
@@ -89,7 +90,7 @@ fn main() {
     let sdoc = search::measure(quick);
     for i in &sdoc.instances {
         eprintln!(
-            "  search {:>8} / {}  scratch {:>9.1} ms  incremental {:>9.1} ms  speedup {:>5.2}x  S={} (#T {} vs {})  agree={}",
+            "  search {:>8} / {}  scratch {:>9.1} ms  incremental {:>9.1} ms  speedup {:>5.2}x  S={} (#T {} vs {})  agree={}  certified {:>7.1} ms ({:.2}x, {} rounds, {} proof B)",
             i.code,
             i.layout,
             i.scratch_ms,
@@ -98,7 +99,11 @@ fn main() {
             i.stages,
             i.transfers_scratch,
             i.transfers_incremental,
-            i.agree
+            i.agree,
+            i.certified_ms,
+            i.certify_overhead,
+            i.rounds_certified,
+            i.proof_bytes
         );
     }
     for s in &sdoc.summary {

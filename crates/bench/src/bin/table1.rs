@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run -p nasp-bench --bin table1 --release -- [--budget SECONDS]
 //! [--jobs N] [--portfolio K] [--seed S] [--share 0|1] [--search-mode MODE]
-//! [--json PATH] [--scratch]`
+//! [--certify] [--json PATH] [--scratch]`
 //!
 //! `--jobs` runs the independent `code × layout` instances on the scoped
 //! instance pool (default: all hardware threads) with deterministic row
@@ -11,7 +11,10 @@
 //! workers (default on); `--scratch` A/Bs the paper's literal
 //! scratch-per-`S` search against the incremental default;
 //! `--search-mode deepening|seeded|bisect` picks the stage-exploration
-//! strategy (heuristic-bracketed `seeded` by default).
+//! strategy (heuristic-bracketed `seeded` by default); `--certify` has
+//! every refuted stage round emit a DRAT proof checked in-tree before
+//! the answer is accepted, and prints an aggregate certification
+//! summary (`rounds_certified=N …`) after the table.
 
 fn main() {
     let args = nasp_bench::BenchArgs::from_env_for(
@@ -27,6 +30,7 @@ fn main() {
             "--cube",
             "--cube-max",
             "--cube-cutoff",
+            "--certify",
             "--json",
         ],
     );
@@ -41,6 +45,9 @@ fn main() {
     );
     let rows = nasp_bench::run_table1_jobs(&options, jobs);
     print!("{}", nasp_bench::render_table1(&rows));
+    if options.solver.certify {
+        print!("{}", nasp_bench::render_certification(&rows));
+    }
     if let Some(path) = &args.json {
         let json = serde_json::to_string_pretty(&rows).expect("serializable");
         std::fs::write(path, json).expect("writable path");

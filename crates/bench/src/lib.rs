@@ -24,8 +24,11 @@
 //! §12), and `--cube <W>` (with `--cube-max <N>`/`--cube-cutoff <C>`)
 //! switches hard rounds to cube-and-conquer: the lookahead splitter
 //! partitions each round into up to N cubes conquered by W workers
-//! (DESIGN.md §13). [`search`] measures deepening-vs-seeded on both
-//! back-ends (`BENCH_search.json`, schema v2); [`parallel`] measures
+//! (DESIGN.md §13), and `--certify` makes every refuted stage round
+//! emit a DRAT proof that the in-tree backward checker verifies before
+//! the answer is accepted (DESIGN.md §14). [`search`] measures
+//! deepening-vs-seeded on both back-ends plus certified-vs-plain proof
+//! overhead (`BENCH_search.json`, schema v3); [`parallel`] measures
 //! sequential-vs-pool plus single-vs-portfolio-vs-cube with share-off and
 //! share-on groups (`BENCH_parallel.json`, schema v3).
 
@@ -74,6 +77,9 @@ pub struct BenchArgs {
     /// `--cube-cutoff <C>`: conflict cutoff of the splitter's per-node
     /// trial solves; 0 skips trial solves entirely (pure splitting).
     pub cube_cutoff: Option<u64>,
+    /// `--certify`: DRAT-certify every refuted stage round (DESIGN.md
+    /// §14; incompatible with `--portfolio K > 1` and `--cube`).
+    pub certify: bool,
     /// `--json <path>`: also write rows as JSON (table1).
     pub json: Option<String>,
     /// `--quick`: reduced measurement suite (CI smoke).
@@ -106,7 +112,7 @@ impl BenchArgs {
             v.parse()
                 .map_err(|_| format!("{flag}: invalid value {v:?}"))
         }
-        const KNOWN: [&str; 15] = [
+        const KNOWN: [&str; 16] = [
             "--budget",
             "--jobs",
             "--portfolio",
@@ -116,6 +122,7 @@ impl BenchArgs {
             "--cube",
             "--cube-max",
             "--cube-cutoff",
+            "--certify",
             "--json",
             "--out",
             "--out-search",
@@ -205,6 +212,10 @@ impl BenchArgs {
                     out.out_parallel = Some(value(args, i, "--out-parallel")?.to_string());
                     i += 2;
                 }
+                "--certify" => {
+                    out.certify = true;
+                    i += 1;
+                }
                 "--scratch" => {
                     out.scratch = true;
                     i += 1;
@@ -216,8 +227,8 @@ impl BenchArgs {
                 other => {
                     return Err(format!(
                         "unknown flag {other:?} (known: --budget --scratch --jobs --portfolio \
-                         --seed --share --search-mode --cube --cube-max --cube-cutoff --json \
-                         --quick --out --out-search --out-parallel)"
+                         --seed --share --search-mode --cube --cube-max --cube-cutoff --certify \
+                         --json --quick --out --out-search --out-parallel)"
                     ));
                 }
             }
@@ -246,11 +257,31 @@ impl BenchArgs {
         Ok(self)
     }
 
+    /// Rejects flag combinations the solver itself would refuse, so the
+    /// binary exits with a one-line diagnostic instead of reaching the
+    /// engine's `invalid SolveOptions` panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the conflicting flags.
+    pub fn check_compat(self) -> Result<BenchArgs, String> {
+        if self.certify && self.portfolio.unwrap_or(1) > 1 {
+            return Err("--certify is incompatible with --portfolio K > 1".into());
+        }
+        if self.certify && self.cube.is_some() {
+            return Err("--certify is incompatible with --cube".into());
+        }
+        Ok(self)
+    }
+
     /// Parses the process argv against this binary's supported flag set;
     /// prints the error and exits 2 on bad or unsupported flags.
     pub fn from_env_for(binary: &str, supported: &[&str]) -> BenchArgs {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        match Self::parse(&args).and_then(|parsed| parsed.supported_by(binary, supported)) {
+        match Self::parse(&args)
+            .and_then(|parsed| parsed.supported_by(binary, supported))
+            .and_then(BenchArgs::check_compat)
+        {
             Ok(parsed) => parsed,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -283,6 +314,7 @@ impl BenchArgs {
             options.solver.search_mode = mode;
         }
         options.solver.cube = self.cube_options();
+        options.solver.certify = self.certify;
         options
     }
 
@@ -351,6 +383,20 @@ pub fn render_table1(rows: &[ExperimentResult]) -> String {
     out
 }
 
+/// Renders the aggregate certification summary for a certified Table I
+/// run: one grep-able line (`rounds_certified=N proof_bytes=B check_ms=M
+/// certified_rows=C/T`) — the CI smoke greps `rounds_certified`.
+pub fn render_certification(rows: &[ExperimentResult]) -> String {
+    let rounds: u64 = rows.iter().map(|r| r.rounds_certified).sum();
+    let bytes: u64 = rows.iter().map(|r| r.proof_bytes).sum();
+    let check: u64 = rows.iter().map(|r| r.check_ms).sum();
+    let certified = rows.iter().filter(|r| r.certified).count();
+    format!(
+        "rounds_certified={rounds} proof_bytes={bytes} check_ms={check} certified_rows={certified}/{}\n",
+        rows.len()
+    )
+}
+
 /// Renders the Figure 4 data series (ΔASP per code).
 pub fn render_figure4(rows: &[ExperimentResult]) -> String {
     let mut out = String::new();
@@ -392,6 +438,7 @@ mod tests {
             "32",
             "--cube-cutoff",
             "500",
+            "--certify",
             "--json",
             "rows.json",
             "--quick",
@@ -413,6 +460,7 @@ mod tests {
         assert_eq!(parsed.cube, Some(2));
         assert_eq!(parsed.cube_max, Some(32));
         assert_eq!(parsed.cube_cutoff, Some(500));
+        assert!(parsed.certify);
         assert_eq!(parsed.json.as_deref(), Some("rows.json"));
         assert!(parsed.quick);
         assert_eq!(parsed.out.as_deref(), Some("a.json"));
@@ -457,6 +505,19 @@ mod tests {
     }
 
     #[test]
+    fn certify_conflicts_are_rejected_before_the_engine() {
+        let parsed = BenchArgs::parse(&args(&["--certify", "--portfolio", "2"])).expect("parses");
+        let err = parsed.check_compat().expect_err("conflicting flags");
+        assert!(err.contains("--portfolio"), "err: {err}");
+        let parsed = BenchArgs::parse(&args(&["--certify", "--cube", "2"])).expect("parses");
+        let err = parsed.check_compat().expect_err("conflicting flags");
+        assert!(err.contains("--cube"), "err: {err}");
+        // --portfolio 1 is the sequential solver: no conflict.
+        let parsed = BenchArgs::parse(&args(&["--certify", "--portfolio", "1"])).expect("parses");
+        assert!(parsed.check_compat().is_ok());
+    }
+
+    #[test]
     fn empty_args_are_all_defaults() {
         let parsed = BenchArgs::parse(&[]).expect("empty argv");
         assert_eq!(parsed, BenchArgs::default());
@@ -493,6 +554,12 @@ mod tests {
         assert_eq!(opts.solver.portfolio, 1);
         assert!(opts.solver.share, "sharing defaults on");
         assert_eq!(opts.solver.cube, None, "cube mode is opt-in");
+        assert!(!opts.solver.certify, "certification is opt-in");
+        // --certify flows into the solver options and passes validation.
+        let parsed = BenchArgs::parse(&args(&["--certify"])).expect("valid flags");
+        let opts = parsed.experiment_options(30);
+        assert!(opts.solver.certify);
+        assert!(opts.solver.validate().is_ok());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Machine-readable search baseline: the measurements behind the committed
-//! `BENCH_search.json` (schema v2).
+//! `BENCH_search.json` (schema v3).
 //!
-//! Every entry runs the *same* catalog instance through two comparisons:
+//! Every entry runs the *same* catalog instance through three comparisons:
 //!
 //! * **back-ends** — the scratch sweep (one cold encoding per explored
 //!   stage count, the paper's literal procedure) versus the incremental
@@ -13,7 +13,13 @@
 //!   its stage count `S_h` caps the sweep: `rounds_eliminated` counts the
 //!   solver rounds deepening spent that seeding avoided, and
 //!   `ub_tightness = S_h - S_min` reports how close the heuristic landed
-//!   to the optimum.
+//!   to the optimum;
+//! * **certified vs plain** — the incremental seeded sweep re-run with
+//!   DRAT proof logging and the in-tree backward checker on every
+//!   refuted round (DESIGN.md §14). `certify_overhead` is the
+//!   certified/plain wall-clock ratio; `proof_bytes` and `check_ms`
+//!   break the cost down. The validator enforces identical minima and
+//!   bounds the overhead.
 //!
 //! Each entry records wall-clock time plus agreement checks: identical
 //! minimal stage count, transfer count, provenance and proven lower bound
@@ -84,6 +90,26 @@ pub struct SearchBench {
     pub conflicts_incremental: u64,
     /// SAT conflicts spent by the deepening sweep.
     pub conflicts_deepening: u64,
+    /// Wall-clock time of the certified incremental sweep (ms, seeded
+    /// mode with DRAT logging + in-tree checking).
+    #[serde(default)]
+    pub certified_ms: f64,
+    /// `certified / incremental`: the end-to-end cost of checkable
+    /// optimality on this instance.
+    #[serde(default)]
+    pub certify_overhead: f64,
+    /// Refuted stage rounds whose proof the checker accepted.
+    #[serde(default)]
+    pub rounds_certified: u64,
+    /// DRAT proof bytes fed through the checker.
+    #[serde(default)]
+    pub proof_bytes: u64,
+    /// Wall-clock milliseconds spent inside the proof checker.
+    #[serde(default)]
+    pub check_ms: u64,
+    /// The certified run's certificate held on every refuted round.
+    #[serde(default)]
+    pub certified: bool,
 }
 
 /// Per-code totals across the measured layouts: the headline comparison
@@ -132,11 +158,13 @@ fn run_path(
     budget: Duration,
     incremental: bool,
     mode: SearchMode,
+    certify: bool,
 ) -> (Duration, SolveReport) {
     let options = SolveOptions::builder()
         .time_budget(budget)
         .incremental(incremental)
         .search_mode(mode)
+        .certify(certify)
         .build();
     // One-shot engine calls: each repetition must pay the full cold start
     // (the scratch-vs-incremental comparison measures exactly that), so no
@@ -162,20 +190,22 @@ fn bench_instance(code_name: &str, layout: Layout, budget: Duration) -> SearchBe
 }
 
 fn bench_problem(code: &str, layout: &str, problem: &Problem, budget: Duration) -> SearchBench {
-    let (t_scratch, r_scratch) = run_path(problem, budget, false, SearchMode::Seeded);
-    let (t_inc, r_inc) = run_path(problem, budget, true, SearchMode::Seeded);
-    let (t_deep, r_deep) = run_path(problem, budget, true, SearchMode::Deepening);
+    let (t_scratch, r_scratch) = run_path(problem, budget, false, SearchMode::Seeded, false);
+    let (t_inc, r_inc) = run_path(problem, budget, true, SearchMode::Seeded, false);
+    let (t_deep, r_deep) = run_path(problem, budget, true, SearchMode::Deepening, false);
+    let (t_cert, r_cert) = run_path(problem, budget, true, SearchMode::Seeded, true);
 
     let s_scratch = r_scratch.schedule.as_ref().expect("scratch schedule");
     let s_inc = r_inc.schedule.as_ref().expect("incremental schedule");
     let s_deep = r_deep.schedule.as_ref().expect("deepening schedule");
-    let valid_all = [s_scratch, s_inc, s_deep]
+    let s_cert = r_cert.schedule.as_ref().expect("certified schedule");
+    let valid_all = [s_scratch, s_inc, s_deep, s_cert]
         .iter()
         .all(|s| validate_schedule(s, &problem.gates).is_empty());
-    let agree = [s_scratch, s_deep]
+    let agree = [s_scratch, s_deep, s_cert]
         .iter()
         .all(|s| s.stages.len() == s_inc.stages.len() && s.num_transfer() == s_inc.num_transfer())
-        && [&r_scratch, &r_deep]
+        && [&r_scratch, &r_deep, &r_cert]
             .iter()
             .all(|r| r.provenance == r_inc.provenance && r.proven_lb == r_inc.proven_lb);
     let rounds_deepening = r_deep.log.len();
@@ -210,6 +240,12 @@ fn bench_problem(code: &str, layout: &str, problem: &Problem, budget: Duration) 
         conflicts_scratch: r_scratch.sat_conflicts,
         conflicts_incremental: r_inc.sat_conflicts,
         conflicts_deepening: r_deep.sat_conflicts,
+        certified_ms: t_cert.as_secs_f64() * 1e3,
+        certify_overhead: t_cert.as_secs_f64() / t_inc.as_secs_f64(),
+        rounds_certified: r_cert.proof.rounds_certified,
+        proof_bytes: r_cert.proof.proof_bytes,
+        check_ms: r_cert.proof.check_ms,
+        certified: r_cert.certified,
     }
 }
 
@@ -283,18 +319,31 @@ pub fn measure(quick: bool) -> SearchBaseline {
     });
     instances.push(tight);
     SearchBaseline {
-        schema: "nasp-bench-search/v2".to_string(),
+        schema: "nasp-bench-search/v3".to_string(),
         quick,
         instances,
         summary,
     }
 }
 
+/// Allowed certified/plain wall-clock ratio. Proof logging and backward
+/// checking must stay cheaper than a second full search.
+const MAX_CERTIFY_OVERHEAD: f64 = 2.0;
+
+/// Absolute slack under which the overhead ratio is not meaningful: on a
+/// millisecond-scale instance a scheduler hiccup alone can double the
+/// wall-clock, so the ratio bound only applies once the certified run
+/// cost at least this much *more* than the plain run.
+const CERTIFY_NOISE_FLOOR_MS: f64 = 25.0;
+
 /// Serializes, writes and re-parses the baseline at `path`, so a corrupt
 /// emitter fails loudly instead of committing garbage. Also fails when a
 /// measurement disagrees between paths or modes — a speed win on divergent
-/// searches would be meaningless — or when the seeded sweep somehow asked
-/// the solver *more* rounds than blind deepening.
+/// searches would be meaningless — when the seeded sweep somehow asked
+/// the solver *more* rounds than blind deepening, when a certified run
+/// failed to certify, or when certification cost more than
+/// [`MAX_CERTIFY_OVERHEAD`]× the plain sweep (beyond the measurement
+/// noise floor).
 ///
 /// # Errors
 ///
@@ -308,6 +357,25 @@ pub fn write_validated(baseline: &SearchBaseline, path: &str) -> Result<(), Stri
             return Err(format!(
                 "{} / {}: search paths/modes disagree on the minima",
                 i.code, i.layout
+            ));
+        }
+        if !i.certified {
+            return Err(format!(
+                "{} / {}: the certified sweep failed to certify a refuted round",
+                i.code, i.layout
+            ));
+        }
+        if i.certify_overhead >= MAX_CERTIFY_OVERHEAD
+            && i.certified_ms - i.incremental_ms >= CERTIFY_NOISE_FLOOR_MS
+        {
+            return Err(format!(
+                "{} / {}: certification overhead {:.2}x ({:.1} ms vs {:.1} ms) exceeds {}x",
+                i.code,
+                i.layout,
+                i.certify_overhead,
+                i.certified_ms,
+                i.incremental_ms,
+                MAX_CERTIFY_OVERHEAD
             ));
         }
         if i.rounds_seeded > i.rounds_deepening {
@@ -329,6 +397,12 @@ pub fn write_validated(baseline: &SearchBaseline, path: &str) -> Result<(), Stri
     // ruled out).
     if baseline.instances.iter().all(|i| i.rounds_eliminated == 0) {
         return Err("no instance eliminated a solver round: the heuristic bracket is inert".into());
+    }
+    // Likewise for the proof pipeline: the paper codes all refute at least
+    // one stage round on the way to the optimum, so a document with zero
+    // checked proofs means certification silently stopped running.
+    if baseline.instances.iter().all(|i| i.rounds_certified == 0) {
+        return Err("no instance certified a refuted round: the proof pipeline is inert".into());
     }
     let text = serde_json::to_string_pretty(baseline).map_err(|e| format!("serialize: {e:?}"))?;
     std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;

@@ -736,6 +736,27 @@ impl Encoding {
     pub fn clause_db_bytes(&self) -> usize {
         self.core.ctx.clause_db_bytes()
     }
+
+    /// A copy of the solver's DRAT stream (`None` unless the encoding was
+    /// built with [`SolverConfig::proof`]). A scratch encoding is one round,
+    /// so the whole stream is the round's certificate material.
+    pub fn proof_stream(&self) -> Option<Vec<u8>> {
+        self.core.ctx.proof_stream()
+    }
+
+    /// Checks `proof` as a refutation of this (assumption-free) encoding
+    /// with the in-tree backward DRAT checker. Call after
+    /// [`Encoding::solve`] returned `Unsat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the encoding was built with [`SolverConfig::proof`].
+    pub fn check_refutation(
+        &self,
+        proof: &[u8],
+    ) -> Result<nasp_smt::drat::CheckOutcome, nasp_smt::drat::CheckError> {
+        self.core.ctx.check_refutation_bytes(&[], proof)
+    }
 }
 
 /// One encoding per problem, reused across the whole iterative-deepening
@@ -1000,6 +1021,34 @@ impl IncrementalEncoding {
     /// Bytes occupied by the underlying solver's clause arena.
     pub fn clause_db_bytes(&self) -> usize {
         self.core.ctx.clause_db_bytes()
+    }
+
+    /// A copy of the solver's DRAT stream (`None` unless the encoding was
+    /// built with [`SolverConfig::proof`]). One warm solver serves the
+    /// whole sweep, so the stream accumulates across rounds; each round's
+    /// refutation is checked against the full stream plus that round's
+    /// activation assumptions ([`IncrementalEncoding::check_refutation_at`]).
+    pub fn proof_stream(&self) -> Option<Vec<u8>> {
+        self.core.ctx.proof_stream()
+    }
+
+    /// Checks `proof` as a refutation of the round "exactly `s` active
+    /// stages": the round's activation set joins the formula as unit
+    /// clauses, mirroring how the solver reified the assumptions. Call
+    /// after [`IncrementalEncoding::solve_at`] returned `Unsat` at `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the encoding was built with [`SolverConfig::proof`],
+    /// or if stage count `s` has not been allocated yet.
+    pub fn check_refutation_at(
+        &self,
+        s: usize,
+        proof: &[u8],
+    ) -> Result<nasp_smt::drat::CheckOutcome, nasp_smt::drat::CheckError> {
+        assert!(s >= 1 && s <= self.core.stages, "round {s} was never built");
+        let assumptions = self.activation(s);
+        self.core.ctx.check_refutation_bytes(&assumptions, proof)
     }
 }
 

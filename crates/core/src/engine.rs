@@ -60,12 +60,12 @@ use std::time::Instant;
 use nasp_arch::Schedule;
 use nasp_smt::{SolveResult, Stats, Terminator};
 
-use crate::encoding::{EncodeOptions, IncrementalEncoding};
+use crate::encoding::{EncodeOptions, Encoding, IncrementalEncoding};
 use crate::heuristic;
 use crate::problem::Problem;
 use crate::solve::{
-    solve_scratch, tighten_transfers_incremental, Provenance, SearchMode, SearchState,
-    SolveOptions, SolveReport, StagePlanner, INCREMENTAL_HEADROOM,
+    round_encode, solve_scratch, tighten_transfers_incremental, Provenance, SearchMode,
+    SearchState, SolveOptions, SolveReport, StagePlanner, INCREMENTAL_HEADROOM,
 };
 
 /// Factory for warm scheduling sessions.
@@ -172,16 +172,27 @@ impl Session {
     /// lower bound reflects every round refuted so far, and the heuristic
     /// fallback (if enabled) still supplies a valid non-optimal schedule.
     /// The session, including its warm encoding, stays reusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is internally inconsistent per
+    /// [`SolveOptions::validate`] — today, certification combined with the
+    /// portfolio or cube-and-conquer back-ends. Servers should call
+    /// `validate()` themselves and turn the error into a client response.
     pub fn run_with_cancel(
         &mut self,
         options: &SolveOptions,
         cancel: Option<&Terminator>,
     ) -> SolveReport {
+        if let Err(e) = options.validate() {
+            panic!("invalid SolveOptions: {e}");
+        }
         let start = Instant::now();
         let deadline = start + options.time_budget;
 
         let report = if self.problem.gates.is_empty() {
-            let state = SearchState::new(start, deadline, 0);
+            // Vacuously certified under `certify`: no rounds, no proofs.
+            let state = SearchState::new(start, deadline, 0).with_certify(options);
             state.report(
                 Some(Schedule {
                     config: self.problem.config.clone(),
@@ -261,23 +272,29 @@ impl Session {
         let ub = hint.map(|h| h.stages.len());
         let mut state = SearchState::new(start, deadline, lb)
             .with_cancel(cancel.cloned())
-            .with_heuristic_ub(ub);
+            .with_heuristic_ub(ub)
+            .with_certify(options);
         if lb > options.max_stages {
             return state.fallback(problem, options.heuristic_fallback, hint.cloned());
         }
         let bracketed = options.search_mode != SearchMode::Deepening;
+
+        // Certification rides the encode options (it is a solver setting),
+        // so a certified and an uncertified run never share warm state —
+        // the equality check below sees them as different encodings.
+        let encode = round_encode(options);
 
         // Reuse the retained encoding when its strengthenings match;
         // otherwise (first run, or changed encode options) build cold.
         // The stage cap starts with modest headroom above the lower bound
         // and rebuilds — a rare cold start — only if the sweep outgrows
         // it (see `INCREMENTAL_HEADROOM`).
-        let reusable = matches!(warm_slot, Some(w) if w.encode == options.encode);
+        let reusable = matches!(warm_slot, Some(w) if w.encode == encode);
         if !reusable {
             let cap = (lb + INCREMENTAL_HEADROOM).min(options.max_stages);
             *warm_slot = Some(WarmEncoding {
-                enc: IncrementalEncoding::build(problem, cap, options.encode),
-                encode: options.encode,
+                enc: IncrementalEncoding::build(problem, cap, encode),
+                encode,
                 reported: Stats::default(),
             });
         }
@@ -300,13 +317,45 @@ impl Session {
                     warm.enc.clause_db_bytes(),
                 );
                 let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
-                warm.enc = IncrementalEncoding::build(problem, cap, options.encode);
+                warm.enc = IncrementalEncoding::build(problem, cap, encode);
                 warm.reported = Stats::default();
                 if let Some(h) = hint {
                     warm.enc.seed_phase_hint(h);
                 }
             }
-            let result = warm.enc.solve_at(s, state.budget());
+            let mut result = warm.enc.solve_at(s, state.budget());
+            if options.certify && result == SolveResult::Unsat {
+                // The warm solver's proof stream is cumulative across
+                // rounds; each refutation is checked against the full
+                // stream with this round's activation selector supplied as
+                // assumption units.
+                let mut proof = warm
+                    .enc
+                    .proof_stream()
+                    .expect("certify builds proof-mode solvers");
+                state.chaos_corrupt(&mut proof);
+                let t0 = Instant::now();
+                match warm.enc.check_refutation_at(s, &proof) {
+                    Ok(out) => state.record_certified(out.proof_bytes as u64, t0.elapsed()),
+                    Err(_) => {
+                        // Bad certificate: before the planner acts on the
+                        // refutation, re-prove this round on a cold
+                        // proof-free encoding and trust only the replay.
+                        // The warm solver stays usable for later rounds —
+                        // its verdicts are sound even when its log is not
+                        // checkable.
+                        state.record_uncertified();
+                        let mut replay = Encoding::build(problem, s, options.encode);
+                        if let Some(h) = hint {
+                            replay.seed_phase_hint(h);
+                        }
+                        result = replay.solve(state.budget());
+                        state
+                            .counters
+                            .absorb(replay.stats(), replay.clause_db_bytes());
+                    }
+                }
+            }
             if bracketed {
                 state.record_probe(s, result);
             } else {
@@ -345,7 +394,7 @@ impl Session {
                             warm.enc.clause_db_bytes(),
                         );
                         let cap = (s + INCREMENTAL_HEADROOM).min(options.max_stages);
-                        warm.enc = IncrementalEncoding::build(problem, cap, options.encode);
+                        warm.enc = IncrementalEncoding::build(problem, cap, encode);
                         warm.reported = Stats::default();
                         if let Some(h) = hint {
                             warm.enc.seed_phase_hint(h);
@@ -573,6 +622,96 @@ mod tests {
         assert!(r.is_optimal());
         assert_eq!(r.schedule.expect("schedule").stages.len(), 0);
         assert!(!session.is_warm(), "no encoding needed for no gates");
+    }
+
+    #[test]
+    fn certified_runs_agree_with_plain_on_both_back_ends() {
+        let p = fig2_problem();
+        let plain = crate::solve::solve(&p, &SolveOptions::default());
+        for incremental in [true, false] {
+            let opts = SolveOptions::builder()
+                .incremental(incremental)
+                .certify(true)
+                .build();
+            let certified = crate::solve::solve(&p, &opts);
+            assert!(certified.certified, "incremental={incremental}");
+            assert!(
+                certified.proof.rounds_certified > 0,
+                "fig. 2 needs 2 stages, so at least one round is refuted"
+            );
+            assert!(certified.proof.proof_bytes > 0 || certified.proof.rounds_certified > 0);
+            assert_eq!(certified.provenance, plain.provenance);
+            assert_eq!(certified.proven_lb, plain.proven_lb);
+            assert_eq!(
+                certified.schedule.as_ref().expect("schedule").stages.len(),
+                plain.schedule.as_ref().expect("schedule").stages.len(),
+            );
+        }
+        assert_eq!(plain.proof, crate::solve::ProofStats::default());
+        assert!(!plain.certified);
+    }
+
+    #[test]
+    fn warm_session_separates_certified_and_plain_encodings() {
+        // Alternating certified and uncertified runs must not share warm
+        // solver state: the proof flag is part of the encode key, so each
+        // switch rebuilds, and both flavours keep answering correctly.
+        let p = fig2_problem();
+        let mut session = Engine::new().session(p);
+        let plain = SolveOptions::default();
+        let cert = SolveOptions::builder().certify(true).build();
+        let a = session.run(&plain);
+        let b = session.run(&cert);
+        let c = session.run(&plain);
+        assert!(!a.certified && b.certified && !c.certified);
+        assert!(b.proof.rounds_certified > 0);
+        let stages = |r: &SolveReport| r.schedule.as_ref().expect("schedule").stages.len();
+        assert_eq!(stages(&a), stages(&b));
+        assert_eq!(stages(&b), stages(&c));
+    }
+
+    #[test]
+    fn corrupted_proofs_degrade_to_uncertified_but_keep_the_answer() {
+        let p = fig2_problem();
+        let plain = crate::solve::solve(&p, &SolveOptions::default());
+        for incremental in [true, false] {
+            let opts = SolveOptions::builder()
+                .incremental(incremental)
+                .certify(true)
+                .proof_corrupt_every(1)
+                .build();
+            let r = crate::solve::solve(&p, &opts);
+            assert!(
+                !r.certified,
+                "every proof corrupted, none may certify (incremental={incremental})"
+            );
+            assert_eq!(r.proof.rounds_certified, 0);
+            assert_eq!(r.provenance, plain.provenance);
+            assert_eq!(r.proven_lb, plain.proven_lb);
+            assert_eq!(
+                r.schedule.as_ref().expect("schedule").stages.len(),
+                plain.schedule.as_ref().expect("schedule").stages.len(),
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SolveOptions")]
+    fn certify_rejects_the_portfolio() {
+        let p = fig2_problem();
+        let opts = SolveOptions::builder().certify(true).portfolio(2).build();
+        crate::solve::solve(&p, &opts);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SolveOptions")]
+    fn certify_rejects_cube_and_conquer() {
+        let p = fig2_problem();
+        let opts = SolveOptions::builder()
+            .certify(true)
+            .cube(Some(crate::solve::CubeOptions::default()))
+            .build();
+        crate::solve::solve(&p, &opts);
     }
 
     #[test]

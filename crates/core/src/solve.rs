@@ -165,6 +165,24 @@ pub struct SolveOptions {
     /// `portfolio` (the two parallelize the same rounds in incompatible
     /// ways). See [`CubeOptions`] and DESIGN.md §13.
     pub cube: Option<CubeOptions>,
+    /// Certify every UNSAT stage round: the solver records a binary DRAT
+    /// proof ([`nasp_smt::SolverConfig::proof`]) and the in-tree backward
+    /// checker ([`nasp_smt::drat`]) verifies each round's refutation
+    /// *before* the search accepts it. A round whose proof fails the check
+    /// is re-proved on a fresh proof-free solver and the answer is marked
+    /// uncertified ([`SolveReport::certified`]` = false`) — a soundness
+    /// bug (or injected corruption) degrades the answer, never poisons it.
+    ///
+    /// Incompatible with `portfolio > 1` and `cube`: imported clauses are
+    /// derivations of *other* workers with no justification in a single
+    /// proof stream (see DESIGN.md §14); [`SolveOptions::validate`]
+    /// rejects the combination and the drivers panic on it.
+    pub certify: bool,
+    /// Chaos fault injection (`--chaos proofcorrupt=K`): flip one literal
+    /// in every `K`th emitted proof before checking it. `0` disables. The
+    /// checker must reject the tampered proof and the round is re-proved
+    /// uncertified; only useful for resilience testing.
+    pub proof_corrupt_every: u64,
 }
 
 impl Default for SolveOptions {
@@ -181,6 +199,8 @@ impl Default for SolveOptions {
             share: true,
             search_mode: SearchMode::default(),
             cube: None,
+            certify: false,
+            proof_corrupt_every: 0,
         }
     }
 }
@@ -199,6 +219,26 @@ impl SolveOptions {
     /// a struct-literal update.
     pub fn into_builder(self) -> SolveOptionsBuilder {
         SolveOptionsBuilder { options: self }
+    }
+
+    /// Rejects option combinations the drivers cannot honour: certification
+    /// requires a single proof stream, so `certify` cannot combine with the
+    /// portfolio or cube-and-conquer back-ends (an imported or foreign-cube
+    /// clause is a derivation of some *other* worker — DESIGN.md §14).
+    /// The run entry points panic on an invalid combination; callers with
+    /// an error channel (the serve front-end) check here first.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.certify && self.portfolio > 1 {
+            return Err("certify is incompatible with portfolio > 1: \
+                 imported clauses are not derivations of a single proof stream"
+                .to_string());
+        }
+        if self.certify && self.cube.is_some() {
+            return Err("certify is incompatible with cube-and-conquer: \
+                 per-cube refutations do not compose into one checkable proof in v1"
+                .to_string());
+        }
+        Ok(())
     }
 }
 
@@ -292,6 +332,20 @@ impl SolveOptionsBuilder {
         self
     }
 
+    /// Certify every UNSAT stage round with a checked DRAT proof (see
+    /// [`SolveOptions::certify`]).
+    pub fn certify(mut self, enabled: bool) -> Self {
+        self.options.certify = enabled;
+        self
+    }
+
+    /// Chaos fault injection: flip a literal in every `every`th emitted
+    /// proof before checking (see [`SolveOptions::proof_corrupt_every`]).
+    pub fn proof_corrupt_every(mut self, every: u64) -> Self {
+        self.options.proof_corrupt_every = every;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SolveOptions {
         self.options
@@ -310,6 +364,22 @@ pub enum Provenance {
     /// The SMT budget expired; the heuristic scheduler produced the
     /// (valid, non-optimal) schedule.
     Heuristic,
+}
+
+/// Telemetry of the proof pipeline under [`SolveOptions::certify`]; all
+/// zero on uncertified runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofStats {
+    /// UNSAT stage rounds whose DRAT proof passed the in-tree backward
+    /// checker.
+    pub rounds_certified: u64,
+    /// Total bytes of proof stream checked, summed over certified rounds
+    /// (the incremental back-end's stream accumulates across rounds, so
+    /// later rounds re-check earlier derivations — this counts checker
+    /// input, not unique emission).
+    pub proof_bytes: u64,
+    /// Wall-clock milliseconds spent inside the backward checker.
+    pub check_ms: u64,
 }
 
 /// Result of a scheduling run.
@@ -398,6 +468,16 @@ pub struct SolveReport {
     /// cubes whose joint refutation proved that round UNSAT (0 if no round
     /// was refuted via cubes).
     pub cube_largest_refutation: u64,
+    /// `true` iff [`SolveOptions::certify`] was set and *every* UNSAT stage
+    /// round's DRAT proof passed the backward checker (vacuously true when
+    /// no stage round was refuted — the answer then rests on the
+    /// combinatorial degree bound and schedule validation alone). `false`
+    /// on uncertified runs and on certify runs where any proof was rejected
+    /// (the round was re-proved on a proof-free solver: the verdict stands,
+    /// the certificate does not).
+    pub certified: bool,
+    /// Proof-pipeline telemetry (see [`ProofStats`]).
+    pub proof: ProofStats,
 }
 
 impl SolveReport {
@@ -477,6 +557,15 @@ pub(crate) struct SearchState {
     proven_lb: usize,
     heuristic_ub: Option<usize>,
     pub(crate) counters: SatCounters,
+    /// `true` when this run certifies refutations ([`SolveOptions::certify`]).
+    certify: bool,
+    /// Cleared the moment any round's proof fails its check.
+    certified: bool,
+    proof: ProofStats,
+    /// Proofs emitted so far — the chaos hook's counter.
+    proofs_emitted: u64,
+    /// Chaos knob copied from [`SolveOptions::proof_corrupt_every`].
+    corrupt_every: u64,
 }
 
 impl SearchState {
@@ -490,7 +579,42 @@ impl SearchState {
             proven_lb: lb,
             heuristic_ub: None,
             counters: SatCounters::default(),
+            certify: false,
+            certified: true,
+            proof: ProofStats::default(),
+            proofs_emitted: 0,
+            corrupt_every: 0,
         }
+    }
+
+    /// Arms the certification pipeline from the run's options.
+    pub(crate) fn with_certify(mut self, options: &SolveOptions) -> Self {
+        self.certify = options.certify;
+        self.corrupt_every = options.proof_corrupt_every;
+        self
+    }
+
+    /// Chaos hook: flips one literal in every `corrupt_every`-th emitted
+    /// proof (counting from the first), so the checker's rejection path and
+    /// the degraded re-prove fallback get exercised end to end.
+    pub(crate) fn chaos_corrupt(&mut self, proof: &mut [u8]) {
+        self.proofs_emitted += 1;
+        if self.corrupt_every > 0 && self.proofs_emitted.is_multiple_of(self.corrupt_every) {
+            nasp_smt::proof::corrupt_literal(proof);
+        }
+    }
+
+    /// A round's proof passed the backward checker.
+    pub(crate) fn record_certified(&mut self, proof_bytes: u64, elapsed: Duration) {
+        self.proof.rounds_certified += 1;
+        self.proof.proof_bytes += proof_bytes;
+        self.proof.check_ms += elapsed.as_millis() as u64;
+    }
+
+    /// A round's proof was rejected: the run keeps its verdict (re-proved
+    /// without proof logging) but loses the certificate.
+    pub(crate) fn record_uncertified(&mut self) {
+        self.certified = false;
     }
 
     /// Attaches an external cancellation flag to every budget this state
@@ -585,6 +709,8 @@ impl SearchState {
             cube_lookahead_time: Duration::ZERO,
             cube_cutoff_histogram: Vec::new(),
             cube_largest_refutation: 0,
+            certified: self.certify && self.certified,
+            proof: self.proof,
         }
     }
 
@@ -724,6 +850,16 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> SolveReport {
 /// ladder, a cost paid on every propagation touching it).
 pub(crate) const INCREMENTAL_HEADROOM: usize = 2;
 
+/// Per-round encode options: identical to the caller's except that
+/// certification turns on the solver's DRAT proof log. Transfer tightening
+/// and the degraded re-prove path keep the plain `options.encode` — their
+/// solvers never feed the checker.
+pub(crate) fn round_encode(options: &SolveOptions) -> EncodeOptions {
+    let mut encode = options.encode;
+    encode.solver.proof |= options.certify;
+    encode
+}
+
 /// The paper's literal procedure: a cold encoding per explored stage count.
 /// (The incremental counterpart lives on [`crate::Session`], which owns
 /// the warm encoding it sweeps.)
@@ -739,7 +875,8 @@ pub(crate) fn solve_scratch(
     let ub = hint.map(|h| h.stages.len());
     let mut state = SearchState::new(start, deadline, lb)
         .with_cancel(cancel.cloned())
-        .with_heuristic_ub(ub);
+        .with_heuristic_ub(ub)
+        .with_certify(options);
     let bracketed = options.search_mode != SearchMode::Deepening;
     let mut planner = StagePlanner::new(options.search_mode, lb, ub, options.max_stages);
     let mut incumbent: Option<Schedule> = None;
@@ -747,12 +884,36 @@ pub(crate) fn solve_scratch(
         if state.expired() {
             break;
         }
-        let mut enc = Encoding::build(problem, s, options.encode);
+        let mut enc = Encoding::build(problem, s, round_encode(options));
         if let Some(h) = hint {
             enc.seed_phase_hint(h);
         }
-        let result = enc.solve(state.budget());
+        let mut result = enc.solve(state.budget());
         state.counters.absorb(enc.stats(), enc.clause_db_bytes());
+        if options.certify && result == SolveResult::Unsat {
+            let mut proof = enc
+                .proof_stream()
+                .expect("certify builds proof-mode solvers");
+            state.chaos_corrupt(&mut proof);
+            let t0 = Instant::now();
+            match enc.check_refutation(&proof) {
+                Ok(out) => state.record_certified(out.proof_bytes as u64, t0.elapsed()),
+                Err(_) => {
+                    // The certificate is bad; before letting the planner
+                    // act on the refutation, re-prove it on a fresh
+                    // proof-free encoding and trust only the replay.
+                    state.record_uncertified();
+                    let mut replay = Encoding::build(problem, s, options.encode);
+                    if let Some(h) = hint {
+                        replay.seed_phase_hint(h);
+                    }
+                    result = replay.solve(state.budget());
+                    state
+                        .counters
+                        .absorb(replay.stats(), replay.clause_db_bytes());
+                }
+            }
+        }
         if bracketed {
             state.record_probe(s, result);
         } else {

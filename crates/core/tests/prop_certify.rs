@@ -1,0 +1,222 @@
+//! Property suite: the certified search (DRAT proof logging on every
+//! refuted stage round, checked by the in-tree backward checker before
+//! the planner accepts the refutation) is observationally identical to
+//! the plain search — same minimal stage count, same minimal transfer
+//! count, same provenance and proven lower bound, and a valid schedule —
+//! over randomized small problems, the three paper layouts, and both
+//! back-ends.
+//!
+//! This is the load-bearing property behind DESIGN.md §14's soundness
+//! argument: a proof only ever *confirms* a verdict the solver already
+//! produced; it can never change the answer. Even when a proof fails to
+//! check (the chaos path below), the round is re-proved uncertified and
+//! the reported optima stay byte-identical — the only observable
+//! difference is the missing certificate.
+
+use std::time::Duration;
+
+use nasp_arch::{validate_schedule, ArchConfig, Layout};
+use nasp_core::{solve, Problem, SearchMode, SolveOptions, SolveReport};
+use proptest::prelude::*;
+
+fn layout_of(idx: usize) -> Layout {
+    match idx % 3 {
+        0 => Layout::NoShielding,
+        1 => Layout::BottomStorage,
+        _ => Layout::DoubleSidedStorage,
+    }
+}
+
+fn base_options(mode: SearchMode, incremental: bool) -> SolveOptions {
+    SolveOptions::builder()
+        .time_budget(Duration::from_secs(30))
+        .search_mode(mode)
+        .incremental(incremental)
+        .build()
+}
+
+fn certified_options(mode: SearchMode, incremental: bool) -> SolveOptions {
+    base_options(mode, incremental)
+        .into_builder()
+        .certify(true)
+        .build()
+}
+
+fn normalize_gates(raw: &[(usize, usize)], n: usize) -> Vec<(usize, usize)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+fn assert_agrees(problem: &Problem, plain: &SolveReport, cert: &SolveReport, tag: &str) {
+    assert_eq!(plain.provenance, cert.provenance, "{tag}: provenance");
+    assert_eq!(plain.proven_lb, cert.proven_lb, "{tag}: proven lb");
+    let sp = plain.schedule.as_ref().expect("plain schedule");
+    let sc = cert.schedule.as_ref().expect("certified schedule");
+    assert_eq!(sp.stages.len(), sc.stages.len(), "{tag}: same minimal S");
+    assert_eq!(
+        sp.num_transfer(),
+        sc.num_transfer(),
+        "{tag}: same minimal #T"
+    );
+    assert!(
+        validate_schedule(sc, &problem.gates).is_empty(),
+        "{tag}: certified schedule must validate"
+    );
+    assert!(
+        !plain.certified && plain.proof.rounds_certified == 0,
+        "{tag}: the plain run must not claim a certificate"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn certified_and_plain_search_agree(
+        layout_idx in 0usize..3,
+        n in 2usize..5,
+        raw in prop::collection::vec((0usize..8, 0usize..8), 1..=3),
+        incremental in any::<bool>(),
+        deepening in any::<bool>(),
+    ) {
+        let gates = normalize_gates(&raw, n);
+        let problem = Problem::from_gates(ArchConfig::paper(layout_of(layout_idx)), n, gates);
+        let mode = if deepening { SearchMode::Deepening } else { SearchMode::Seeded };
+        let plain = solve(&problem, &base_options(mode, incremental));
+        let cert = solve(&problem, &certified_options(mode, incremental));
+        prop_assert!(plain.is_optimal(), "tiny instances must solve to optimality");
+        prop_assert!(
+            cert.certified,
+            "every emitted proof must check on an uncorrupted run"
+        );
+        assert_agrees(&problem, &plain, &cert, "randomized");
+    }
+}
+
+/// The three paper layouts on the Fig. 2 instance, both back-ends: the
+/// certified sweep agrees with the plain one everywhere, including the
+/// zoned layouts whose minimum genuinely needs a transfer stage (so the
+/// tightening rounds emit and check proofs too).
+#[test]
+fn paper_layouts_agree_under_certification() {
+    for layout in [
+        Layout::NoShielding,
+        Layout::BottomStorage,
+        Layout::DoubleSidedStorage,
+    ] {
+        for incremental in [true, false] {
+            let problem = Problem::from_gates(ArchConfig::paper(layout), 3, vec![(0, 1), (1, 2)]);
+            let plain = solve(&problem, &base_options(SearchMode::Seeded, incremental));
+            let cert = solve(
+                &problem,
+                &certified_options(SearchMode::Seeded, incremental),
+            );
+            let tag = format!("{layout:?}/incremental={incremental}");
+            assert!(plain.is_optimal() && cert.is_optimal(), "{tag}");
+            assert!(cert.certified, "{tag}: certificate must hold");
+            assert_agrees(&problem, &plain, &cert, &tag);
+        }
+    }
+}
+
+/// A deepening sweep on a triangle of gates must refute the round below
+/// the optimum (the degree bound only proves two stages, three are
+/// needed), so the certificate is never vacuous: at least one checked
+/// proof backs the lower-bound lift on both back-ends.
+#[test]
+fn refuted_rounds_carry_checked_proofs() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2), (0, 2)],
+    );
+    for incremental in [true, false] {
+        let plain = solve(&problem, &base_options(SearchMode::Deepening, incremental));
+        let cert = solve(
+            &problem,
+            &certified_options(SearchMode::Deepening, incremental),
+        );
+        let tag = format!("incremental={incremental}");
+        assert!(plain.is_optimal() && cert.is_optimal(), "{tag}");
+        assert!(cert.certified, "{tag}: certificate must hold");
+        assert!(
+            cert.proof.rounds_certified > 0,
+            "{tag}: the refuted round below the optimum must be certified"
+        );
+        assert!(
+            cert.proof.proof_bytes > 0,
+            "{tag}: a checked refutation has a nonempty proof"
+        );
+        assert_agrees(&problem, &plain, &cert, &tag);
+    }
+}
+
+/// Negative mutation: with every proof corrupted before checking, the
+/// checker must reject them all — and the search must still report the
+/// exact same optima, merely without the certificate. A corrupted proof
+/// may degrade the answer's pedigree, never its content.
+#[test]
+fn corrupted_proofs_never_change_the_answer() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        3,
+        vec![(0, 1), (1, 2), (0, 2)],
+    );
+    for incremental in [true, false] {
+        let plain = solve(&problem, &base_options(SearchMode::Deepening, incremental));
+        let chaos = solve(
+            &problem,
+            &certified_options(SearchMode::Deepening, incremental)
+                .into_builder()
+                .proof_corrupt_every(1)
+                .build(),
+        );
+        let tag = format!("incremental={incremental}");
+        assert!(
+            !chaos.certified,
+            "{tag}: a corrupted proof must cost the certificate"
+        );
+        assert_eq!(
+            chaos.proof.rounds_certified, 0,
+            "{tag}: no corrupted proof may be accepted"
+        );
+        assert_eq!(plain.provenance, chaos.provenance, "{tag}: provenance");
+        assert_eq!(plain.proven_lb, chaos.proven_lb, "{tag}: proven lb");
+        let sp = plain.schedule.as_ref().expect("plain schedule");
+        let sc = chaos.schedule.as_ref().expect("degraded schedule");
+        assert_eq!(sp.stages.len(), sc.stages.len(), "{tag}: same minimal S");
+        assert_eq!(sp.num_transfer(), sc.num_transfer(), "{tag}: same #T");
+        assert!(validate_schedule(sc, &problem.gates).is_empty(), "{tag}");
+    }
+}
+
+/// A zero time budget exhausts every round before it starts: the run
+/// falls back to the heuristic with no refuted round to certify, and the
+/// certificate is vacuously intact (zero rounds, zero bytes).
+#[test]
+fn budget_exhaustion_certifies_vacuously() {
+    let problem = Problem::from_gates(
+        ArchConfig::paper(Layout::BottomStorage),
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+    );
+    let options = SolveOptions::builder()
+        .time_budget(Duration::ZERO)
+        .certify(true)
+        .build();
+    let report = solve(&problem, &options);
+    assert_eq!(report.provenance, nasp_core::Provenance::Heuristic);
+    assert!(report.certified, "no refuted round means nothing to doubt");
+    assert_eq!(report.proof.rounds_certified, 0);
+    assert_eq!(report.proof.proof_bytes, 0);
+    let s = report.schedule.expect("heuristic schedule");
+    assert!(validate_schedule(&s, &problem.gates).is_empty());
+}

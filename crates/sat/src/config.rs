@@ -64,6 +64,19 @@ pub struct SolverConfig {
     /// the hint and keeps its own polarity policy — the portfolio's sixth
     /// diversification axis.
     pub seed_phases: bool,
+    /// Record a binary DRAT proof of every derivation (see
+    /// [`crate::proof`]): the input formula is captured clause by clause,
+    /// learnt clauses (including retained assumption conflicts and units)
+    /// are logged as additions, and database removals (learnt-DB reduction,
+    /// root-simplification deletion and strengthening) as deletions, so the
+    /// stream tracks the live clause database exactly and can be verified
+    /// by the in-tree backward checker ([`crate::drat`]).
+    ///
+    /// Proof mode forces the clause exchange **off** for this solver: an
+    /// imported clause is a derivation of some *other* worker and has no
+    /// justification in this solver's proof, so a [`crate::Budget`] share
+    /// handle is ignored while this flag is set.
+    pub proof: bool,
 }
 
 impl Default for SolverConfig {
@@ -81,6 +94,7 @@ impl Default for SolverConfig {
             share_max_len: 30,
             share_ring_capacity: 4096,
             seed_phases: true,
+            proof: false,
         }
     }
 }

@@ -1,0 +1,593 @@
+//! In-tree backward DRAT checker.
+//!
+//! Verifies a binary proof stream ([`crate::proof`]) against the formula it
+//! claims to refute, entirely in-process — no external `drat-trim`, no
+//! filesystem. The algorithm is the classic backward check:
+//!
+//! 1. **Forward replay (framing only):** every addition allocates a clause,
+//!    every deletion deactivates the matching live clause (an unmatched
+//!    deletion is an error — the emitter logs the live database exactly).
+//!    No propagation happens here; the replay just reconstructs, for every
+//!    step boundary, which clauses are alive.
+//! 2. **Terminal step:** the stream must end with the empty-clause
+//!    addition.
+//! 3. **Backward pass:** steps are undone in reverse. Undoing a deletion
+//!    reactivates its clause; undoing an addition removes the clause and
+//!    then verifies it by *reverse unit propagation* (RUP) against the
+//!    exact database state the emitter saw before deriving it: assert the
+//!    negation of every literal, propagate to fixpoint over a dedicated
+//!    two-watched-literal structure, and demand a conflict. The final
+//!    empty clause is verified first, which is exactly the refutation's
+//!    terminal conflict.
+//!
+//! Unlike `drat-trim`'s backward mode, which only verifies additions marked
+//! as reachable from the final conflict, this checker verifies **every**
+//! addition — the proofs here are single scheduling rounds, small enough
+//! that the stricter check is cheap, and it guarantees any corrupted record
+//! (the `proofcorrupt` chaos fault) is caught even when the corruption
+//! lands outside the unsatisfiable core. Antecedent clauses of each
+//! propagation conflict are still marked, so the unsatisfiable core size is
+//! reported ([`CheckOutcome::core_clauses`]).
+
+use std::collections::HashMap;
+
+use crate::proof::{self, ParseProofError};
+use crate::types::{LBool, Lit};
+
+/// Successful verification report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Addition records verified (every one passed its RUP check).
+    pub additions: usize,
+    /// Deletion records replayed (every one matched a live clause).
+    pub deletions: usize,
+    /// Formula clauses marked as antecedents of some propagation conflict —
+    /// the unsatisfiable-core size on the input side.
+    pub core_clauses: usize,
+    /// Size of the checked proof stream in bytes.
+    pub proof_bytes: usize,
+}
+
+/// Why a proof failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckError {
+    /// The stream does not parse as binary DRAT.
+    Parse(ParseProofError),
+    /// A deletion record (0-based step index) names a clause that is not
+    /// live at that point.
+    UnknownDeletion {
+        /// 0-based index of the offending step.
+        step: usize,
+    },
+    /// An addition record (0-based step index) is not RUP with respect to
+    /// the database state at its derivation point.
+    NotRup {
+        /// 0-based index of the offending step.
+        step: usize,
+    },
+    /// The stream does not end with the empty-clause addition, so it proves
+    /// nothing about satisfiability.
+    NoEmptyClause,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Parse(e) => write!(f, "malformed proof: {e}"),
+            CheckError::UnknownDeletion { step } => {
+                write!(f, "step {step}: deletion of a clause that is not live")
+            }
+            CheckError::NotRup { step } => {
+                write!(f, "step {step}: clause addition fails the RUP check")
+            }
+            CheckError::NoEmptyClause => {
+                write!(f, "proof does not end with the empty clause")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<ParseProofError> for CheckError {
+    fn from(e: ParseProofError) -> Self {
+        CheckError::Parse(e)
+    }
+}
+
+struct Clause {
+    /// Literal order mutates under watch maintenance (positions 0 and 1 are
+    /// the watched literals); the content is fixed at allocation.
+    lits: Vec<Lit>,
+    active: bool,
+    /// Antecedent of some propagation conflict (core marking).
+    marked: bool,
+}
+
+/// The checker's clause database plus the trail machinery for RUP checks.
+struct Checker {
+    clauses: Vec<Clause>,
+    /// Two-watched-literal lists, indexed by literal. Watchers of inactive
+    /// clauses are kept (the backward pass reactivates deleted clauses) and
+    /// skipped lazily.
+    watches: Vec<Vec<usize>>,
+    /// Indices of single-literal clauses (unwatchable; enqueued wholesale
+    /// at the start of every RUP check).
+    units: Vec<usize>,
+    /// Indices of zero-literal clauses (an active one conflicts instantly).
+    empties: Vec<usize>,
+    assigns: Vec<LBool>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+}
+
+/// Sorted, deduplicated literal content — the identity deletions match on.
+fn normalize(lits: &[Lit]) -> Vec<Lit> {
+    let mut v = lits.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn key(lits: &[Lit]) -> Vec<u32> {
+    lits.iter().map(|l| l.0).collect()
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Self {
+        Checker {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            units: Vec::new(),
+            empties: Vec::new(),
+            assigns: vec![LBool::Undef; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::new(),
+        }
+    }
+
+    /// Allocates a clause (normalized literals) and wires it into the watch
+    /// structure. Returns its index.
+    fn add(&mut self, lits: Vec<Lit>) -> usize {
+        let ci = self.clauses.len();
+        match lits.len() {
+            0 => self.empties.push(ci),
+            1 => self.units.push(ci),
+            _ => {
+                self.watches[(!lits[0]).index()].push(ci);
+                self.watches[(!lits[1]).index()].push(ci);
+            }
+        }
+        self.clauses.push(Clause {
+            lits,
+            active: true,
+            marked: false,
+        });
+        ci
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under_sign(l.is_positive())
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        self.assigns[l.var().index()] = LBool::from_bool(l.is_positive());
+        self.reason[l.var().index()] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation over the active clauses. Returns a conflicting
+    /// clause index, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut confl = None;
+            let (mut r, mut w) = (0, 0);
+            'watchers: while r < ws.len() {
+                let ci = ws[r];
+                r += 1;
+                if !self.clauses[ci].active {
+                    // Inactive clauses stay watched: the backward pass may
+                    // reactivate them, and their watch slots are unchanged.
+                    ws[w] = ci;
+                    w += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == LBool::True {
+                    ws[w] = ci;
+                    w += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(ci);
+                        continue 'watchers;
+                    }
+                }
+                ws[w] = ci;
+                w += 1;
+                if self.value(first) == LBool::False {
+                    while r < ws.len() {
+                        ws[w] = ws[r];
+                        w += 1;
+                        r += 1;
+                    }
+                    confl = Some(ci);
+                    break;
+                }
+                self.enqueue(first, Some(ci));
+            }
+            ws.truncate(w);
+            debug_assert!(self.watches[p.index()].is_empty());
+            self.watches[p.index()] = ws;
+            if confl.is_some() {
+                return confl;
+            }
+        }
+        None
+    }
+
+    /// Marks the conflict clause and, transitively, every clause that
+    /// propagated a literal on the path to it (core marking).
+    fn mark_conflict(&mut self, confl: usize) {
+        let mut queue = vec![confl];
+        while let Some(ci) = queue.pop() {
+            if self.clauses[ci].marked {
+                continue;
+            }
+            self.clauses[ci].marked = true;
+            for k in 0..self.clauses[ci].lits.len() {
+                let v = self.clauses[ci].lits[k].var();
+                if let Some(r) = self.reason[v.index()] {
+                    if !self.clauses[r].marked {
+                        queue.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The RUP check: asserting the negation of every literal of `lits` and
+    /// propagating the active database must yield a conflict. Leaves the
+    /// trail empty.
+    fn rup(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail.is_empty());
+        // An active empty clause conflicts before any assignment.
+        if let Some(&ei) = self.empties.iter().find(|&&e| self.clauses[e].active) {
+            self.clauses[ei].marked = true;
+            return true;
+        }
+        let mut confl: Option<usize> = None;
+        let mut trivial = false;
+        for &l in lits {
+            match self.value(!l) {
+                LBool::True => {} // duplicate literal
+                LBool::False => {
+                    // Tautological candidate: ¬l contradicts an earlier
+                    // asserted negation. Trivially RUP, no clause involved.
+                    trivial = true;
+                    break;
+                }
+                LBool::Undef => self.enqueue(!l, None),
+            }
+        }
+        if !trivial {
+            // Active unit clauses are unwatchable; assert them wholesale.
+            for i in 0..self.units.len() {
+                let ui = self.units[i];
+                if !self.clauses[ui].active {
+                    continue;
+                }
+                let u = self.clauses[ui].lits[0];
+                match self.value(u) {
+                    LBool::True => {}
+                    LBool::False => {
+                        confl = Some(ui);
+                        break;
+                    }
+                    LBool::Undef => self.enqueue(u, Some(ui)),
+                }
+            }
+            if confl.is_none() {
+                confl = self.propagate();
+            }
+        }
+        let verified = trivial || confl.is_some();
+        if let Some(ci) = confl {
+            self.mark_conflict(ci);
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+        }
+        self.trail.clear();
+        verified
+    }
+}
+
+/// Checks a binary DRAT refutation of `formula` (each inner vector one
+/// clause). Verifies every addition by RUP, every deletion against the live
+/// database, and that the stream ends with the empty clause.
+pub fn check(formula: &[Vec<Lit>], proof: &[u8]) -> Result<CheckOutcome, CheckError> {
+    let steps = proof::parse(proof)?;
+    match steps.last() {
+        Some(s) if !s.delete && s.lits.is_empty() => {}
+        _ => return Err(CheckError::NoEmptyClause),
+    }
+    let num_vars = formula
+        .iter()
+        .flatten()
+        .chain(steps.iter().flat_map(|s| s.lits.iter()))
+        .map(|l| l.var().index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut chk = Checker::new(num_vars);
+    // The whole input formula is live from the start (DRAT semantics: every
+    // addition may use any input clause plus the prior additions).
+    let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for cl in formula {
+        let norm = normalize(cl);
+        let k = key(&norm);
+        let ci = chk.add(norm);
+        index.entry(k).or_default().push(ci);
+    }
+    // Forward replay: resolve every step to a clause index.
+    let mut step_clause: Vec<usize> = Vec::with_capacity(steps.len());
+    let (mut additions, mut deletions) = (0usize, 0usize);
+    for (i, step) in steps.iter().enumerate() {
+        let norm = normalize(&step.lits);
+        let k = key(&norm);
+        if step.delete {
+            let ci = index
+                .get_mut(&k)
+                .and_then(Vec::pop)
+                .ok_or(CheckError::UnknownDeletion { step: i })?;
+            debug_assert!(chk.clauses[ci].active);
+            chk.clauses[ci].active = false;
+            deletions += 1;
+            step_clause.push(ci);
+        } else {
+            let ci = chk.add(norm);
+            index.entry(k).or_default().push(ci);
+            additions += 1;
+            step_clause.push(ci);
+        }
+    }
+    // Additions still live at the end must leave the index consistent: drop
+    // the map, it has served deletion matching.
+    drop(index);
+    // Backward pass: undo each step; verify additions by RUP against the
+    // database state the emitter derived them from.
+    for (i, step) in steps.iter().enumerate().rev() {
+        let ci = step_clause[i];
+        if step.delete {
+            debug_assert!(!chk.clauses[ci].active);
+            chk.clauses[ci].active = true;
+        } else {
+            debug_assert!(chk.clauses[ci].active);
+            chk.clauses[ci].active = false;
+            let lits = chk.clauses[ci].lits.clone();
+            if !chk.rup(&lits) {
+                return Err(CheckError::NotRup { step: i });
+            }
+        }
+    }
+    let core_clauses = chk.clauses[..formula.len()]
+        .iter()
+        .filter(|c| c.marked)
+        .count();
+    Ok(CheckOutcome {
+        additions,
+        deletions,
+        core_clauses,
+        proof_bytes: proof.len(),
+    })
+}
+
+/// Checks that `proof` refutes `formula` **under** `assumptions`: each
+/// assumption joins the formula as a unit clause (mirroring how the solver
+/// reifies assumption conflicts), the empty clause is appended as the
+/// terminal step, and the extended proof is checked with [`check`].
+pub fn check_refutation(
+    formula: &[Vec<Lit>],
+    assumptions: &[Lit],
+    proof: &[u8],
+) -> Result<CheckOutcome, CheckError> {
+    let mut extended: Vec<Vec<Lit>> = Vec::with_capacity(formula.len() + assumptions.len());
+    extended.extend(formula.iter().cloned());
+    extended.extend(assumptions.iter().map(|&a| vec![a]));
+    let mut full = proof.to_vec();
+    proof::append_empty(&mut full);
+    check(&extended, &full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::append_step;
+
+    fn l(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn cl(ds: &[i64]) -> Vec<Lit> {
+        ds.iter().map(|&d| l(d)).collect()
+    }
+
+    /// x ∧ (¬x ∨ y) ∧ ¬y — refuted by deriving the unit y then ⊥.
+    fn tiny_unsat() -> Vec<Vec<Lit>> {
+        vec![cl(&[1]), cl(&[-1, 2]), cl(&[-2])]
+    }
+
+    #[test]
+    fn hand_written_refutation_checks() {
+        let formula = tiny_unsat();
+        let mut proof = Vec::new();
+        append_step(&mut proof, false, &cl(&[2])); // y is RUP
+        proof::append_empty(&mut proof);
+        let out = check(&formula, &proof).expect("valid refutation");
+        assert_eq!(out.additions, 2);
+        assert_eq!(out.deletions, 0);
+        assert!(out.core_clauses >= 2, "core: {}", out.core_clauses);
+        assert!(out.proof_bytes > 0);
+    }
+
+    #[test]
+    fn empty_clause_alone_checks_when_formula_propagates_to_conflict() {
+        let formula = vec![cl(&[1]), cl(&[-1])];
+        let mut proof = Vec::new();
+        proof::append_empty(&mut proof);
+        let out = check(&formula, &proof).expect("unit conflict is RUP");
+        assert_eq!(out.core_clauses, 2, "both units are the core");
+    }
+
+    #[test]
+    fn missing_empty_clause_is_rejected() {
+        let formula = tiny_unsat();
+        let mut proof = Vec::new();
+        append_step(&mut proof, false, &cl(&[2]));
+        assert_eq!(check(&formula, &proof), Err(CheckError::NoEmptyClause));
+        assert_eq!(check(&formula, &[]), Err(CheckError::NoEmptyClause));
+    }
+
+    #[test]
+    fn non_rup_addition_is_rejected() {
+        // The formula is satisfiable (set ¬z); the unit z is not derivable,
+        // even though the final conflict follows from it — the backward
+        // pass must reject the bogus addition itself.
+        let formula = vec![cl(&[-3, 1]), cl(&[-3, -1])];
+        let mut proof = Vec::new();
+        append_step(&mut proof, false, &cl(&[3]));
+        proof::append_empty(&mut proof);
+        assert_eq!(check(&formula, &proof), Err(CheckError::NotRup { step: 0 }));
+    }
+
+    #[test]
+    fn deletion_of_unknown_clause_is_rejected() {
+        let formula = tiny_unsat();
+        let mut proof = Vec::new();
+        append_step(&mut proof, true, &cl(&[1, 2])); // never existed
+        proof::append_empty(&mut proof);
+        assert_eq!(
+            check(&formula, &proof),
+            Err(CheckError::UnknownDeletion { step: 0 })
+        );
+    }
+
+    #[test]
+    fn reordered_deletion_before_its_addition_is_rejected() {
+        let formula = tiny_unsat();
+        // Valid order would be: add y, delete y is fine after; deleting
+        // before the addition must fail the replay.
+        let mut proof = Vec::new();
+        append_step(&mut proof, true, &cl(&[2]));
+        append_step(&mut proof, false, &cl(&[2]));
+        proof::append_empty(&mut proof);
+        assert_eq!(
+            check(&formula, &proof),
+            Err(CheckError::UnknownDeletion { step: 0 })
+        );
+    }
+
+    #[test]
+    fn deleting_a_needed_antecedent_breaks_the_proof() {
+        let formula = tiny_unsat();
+        let mut proof = Vec::new();
+        // Delete every clause that could conflict with ⊥'s RUP check.
+        append_step(&mut proof, true, &cl(&[1]));
+        append_step(&mut proof, true, &cl(&[-2]));
+        proof::append_empty(&mut proof);
+        assert_eq!(check(&formula, &proof), Err(CheckError::NotRup { step: 2 }));
+    }
+
+    #[test]
+    fn deletion_then_terminal_conflict_still_checks() {
+        let formula = tiny_unsat();
+        let mut proof = Vec::new();
+        append_step(&mut proof, false, &cl(&[2]));
+        append_step(&mut proof, true, &cl(&[-1, 2])); // no longer needed
+        proof::append_empty(&mut proof);
+        let out = check(&formula, &proof).expect("valid with deletion");
+        assert_eq!(out.deletions, 1);
+    }
+
+    #[test]
+    fn flipped_literal_in_a_solver_proof_is_rejected() {
+        // An emitted refutation of pigeonhole 5-into-4 (deep enough that
+        // learnt clauses are genuine derivations, not formula-implied
+        // trivia) must stop checking once one literal sign is flipped.
+        use crate::solver::{SolveResult, Solver};
+        use crate::SolverConfig;
+        let mut s = Solver::with_config(SolverConfig {
+            proof: true,
+            ..SolverConfig::default()
+        });
+        let n = 5usize;
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let formula = s.proof_formula().expect("proof mode records formula");
+        let mut proof = s.proof_bytes().expect("proof mode records steps").to_vec();
+        proof::append_empty(&mut proof);
+        check(formula, &proof).expect("untouched proof verifies");
+        assert!(proof::corrupt_literal(&mut proof));
+        assert!(matches!(
+            check(formula, &proof),
+            Err(CheckError::NotRup { .. })
+        ));
+    }
+
+    #[test]
+    fn assumption_refutation_reifies_units() {
+        // (¬a ∨ b) ∧ (¬b ∨ c) is satisfiable; under assumptions a, ¬c it
+        // is refuted by propagation alone.
+        let formula = vec![cl(&[-1, 2]), cl(&[-2, 3])];
+        let out = check_refutation(&formula, &cl(&[1, -3]), &[])
+            .expect("assumption units close the refutation");
+        assert_eq!(out.additions, 1, "only the appended empty clause");
+        assert!(out.core_clauses >= 2);
+    }
+
+    #[test]
+    fn satisfiable_assumptions_do_not_check() {
+        let formula = vec![cl(&[-1, 2])];
+        assert_eq!(
+            check_refutation(&formula, &cl(&[1]), &[]),
+            Err(CheckError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn tautological_addition_is_trivially_rup() {
+        let formula = tiny_unsat();
+        let mut proof = Vec::new();
+        append_step(&mut proof, false, &cl(&[3, -3]));
+        proof::append_empty(&mut proof);
+        assert!(check(&formula, &proof).is_ok());
+    }
+}

@@ -14,8 +14,11 @@
 //! conflict/wall-clock budgets with cooperative cancellation
 //! ([`Terminator`]), per-solver tuning ([`SolverConfig`]) for diversified
 //! portfolio solving, lock-free learnt-clause sharing between
-//! portfolio workers ([`ClauseExchange`]), and a failed-literal lookahead
-//! cube splitter for cube-and-conquer solving ([`lookahead`]).
+//! portfolio workers ([`ClauseExchange`]), a failed-literal lookahead
+//! cube splitter for cube-and-conquer solving ([`lookahead`]), and
+//! checkable refutations: binary-DRAT proof logging behind
+//! [`SolverConfig::proof`] ([`proof`]) verified by an in-tree backward RUP
+//! checker ([`drat`]).
 //!
 //! ## Example
 //!
@@ -40,8 +43,10 @@
 mod arena;
 mod config;
 mod dimacs;
+pub mod drat;
 mod heap;
 pub mod lookahead;
+pub mod proof;
 mod share;
 mod solver;
 mod types;

@@ -1,0 +1,348 @@
+//! Binary DRAT proof emission.
+//!
+//! When [`crate::SolverConfig::proof`] is set, the solver records every
+//! clause it derives (learnt clauses, retained assumption conflicts,
+//! root-simplification strengthenings, learnt units) as an *addition* and
+//! every clause it drops (learnt-database reduction, root-satisfied
+//! deletion, the original of a strengthening) as a *deletion*, so the
+//! proof stream tracks the live clause database exactly. The stream uses
+//! the binary DRAT format of `drat-trim`:
+//!
+//! ```text
+//! record   := tag literal* 0x00
+//! tag      := 'a' (0x61, addition) | 'd' (0x64, deletion)
+//! literal  := VByte(code)          // 7-bit groups, MSB = continuation
+//! code     := 2·(var+1) + sign     // sign 1 = negated; 0 is the terminator
+//! ```
+//!
+//! The internal literal encoding ([`Lit`]) is already `2·var + sign` with
+//! variables numbered from zero, so the on-disk code is just `Lit + 2`,
+//! which keeps zero free as the record terminator.
+//!
+//! The stream is buffered in memory — proofs here certify single
+//! scheduling rounds (seconds of search), not multi-hour SAT-competition
+//! runs — and checked in-process by [`crate::drat`]; nothing is written to
+//! disk. [`append_step`] and [`append_empty`] let a caller extend a taken
+//! stream (the per-round assumption reification), and [`corrupt_literal`]
+//! is the fault-injection hook behind `--chaos proofcorrupt=K`.
+
+use crate::types::Lit;
+
+/// Record tag for a clause addition.
+const TAG_ADD: u8 = b'a';
+/// Record tag for a clause deletion.
+const TAG_DELETE: u8 = b'd';
+
+/// One parsed proof record: a clause added to or deleted from the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// `true` for a deletion record, `false` for an addition.
+    pub delete: bool,
+    /// The clause literals, in emission order.
+    pub lits: Vec<Lit>,
+}
+
+/// A malformed binary proof stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseProofError {
+    /// A byte that is neither `'a'` nor `'d'` where a record tag was
+    /// expected.
+    BadTag {
+        /// Byte offset of the offending tag.
+        offset: usize,
+    },
+    /// The stream ended inside a record (unterminated VByte or a missing
+    /// terminator).
+    Truncated,
+}
+
+impl std::fmt::Display for ParseProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseProofError::BadTag { offset } => {
+                write!(f, "bad record tag at byte {offset}")
+            }
+            ParseProofError::Truncated => write!(f, "truncated proof stream"),
+        }
+    }
+}
+
+impl std::error::Error for ParseProofError {}
+
+/// Appends a VByte-encoded unsigned integer (7-bit groups, little-endian,
+/// high bit = continuation).
+fn push_vbyte(buf: &mut Vec<u8>, mut u: u32) {
+    loop {
+        let byte = (u & 0x7f) as u8;
+        u >>= 7;
+        if u == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// On-disk code of a literal: the internal `2·var + sign` shifted by two so
+/// zero stays reserved as the record terminator (the standard binary-DRAT
+/// mapping `2·(var+1) + sign`).
+#[inline]
+fn lit_code(l: Lit) -> u32 {
+    l.0 + 2
+}
+
+/// Appends one record (addition or deletion) to a raw proof buffer.
+pub fn append_step(buf: &mut Vec<u8>, delete: bool, lits: &[Lit]) {
+    buf.push(if delete { TAG_DELETE } else { TAG_ADD });
+    for &l in lits {
+        push_vbyte(buf, lit_code(l));
+    }
+    buf.push(0);
+}
+
+/// Appends the empty-clause addition that terminates a refutation.
+pub fn append_empty(buf: &mut Vec<u8>) {
+    append_step(buf, false, &[]);
+}
+
+/// Parses a binary proof stream into its records.
+pub fn parse(bytes: &[u8]) -> Result<Vec<ProofStep>, ParseProofError> {
+    let mut steps = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let delete = match bytes[i] {
+            TAG_ADD => false,
+            TAG_DELETE => true,
+            _ => return Err(ParseProofError::BadTag { offset: i }),
+        };
+        i += 1;
+        let mut lits = Vec::new();
+        loop {
+            let mut code: u32 = 0;
+            let mut shift = 0u32;
+            loop {
+                let Some(&b) = bytes.get(i) else {
+                    return Err(ParseProofError::Truncated);
+                };
+                i += 1;
+                code |= u32::from(b & 0x7f) << shift;
+                if b & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            if code == 0 {
+                break;
+            }
+            lits.push(Lit(code - 2));
+        }
+        steps.push(ProofStep { delete, lits });
+    }
+    Ok(steps)
+}
+
+/// Flips the sign of one literal in the stream — the `proofcorrupt` chaos
+/// fault. Prefers the first *addition* with at least two literals (a learnt
+/// clause, which no sound checker should accept with a sign flipped) and
+/// falls back to the first addition with any literal at all. Returns `false`
+/// when the stream has no addition with literals (nothing to corrupt), or
+/// does not parse.
+pub fn corrupt_literal(buf: &mut [u8]) -> bool {
+    // Walk the framing, remembering the byte offset of the first literal of
+    // each candidate addition.
+    let mut best: Option<usize> = None; // fallback: unit addition
+    let mut i = 0;
+    while i < buf.len() {
+        let delete = match buf[i] {
+            TAG_ADD => false,
+            TAG_DELETE => true,
+            _ => return false,
+        };
+        i += 1;
+        let first_lit = i;
+        let mut nlits = 0usize;
+        loop {
+            let mut code: u32 = 0;
+            let mut shift = 0u32;
+            loop {
+                let Some(&b) = buf.get(i) else {
+                    return false;
+                };
+                i += 1;
+                code |= u32::from(b & 0x7f) << shift;
+                if b & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            if code == 0 {
+                break;
+            }
+            nlits += 1;
+        }
+        if !delete && nlits > 0 {
+            if nlits >= 2 {
+                // Flipping the low bit of the first VByte flips the
+                // literal's sign without touching the continuation bit.
+                buf[first_lit] ^= 1;
+                return true;
+            }
+            best.get_or_insert(first_lit);
+        }
+    }
+    match best {
+        Some(off) => {
+            buf[off] ^= 1;
+            true
+        }
+        None => false,
+    }
+}
+
+/// The buffered binary-DRAT writer owned by a proof-mode [`crate::Solver`].
+#[derive(Debug, Default)]
+pub struct ProofWriter {
+    buf: Vec<u8>,
+    additions: u64,
+    deletions: u64,
+}
+
+impl ProofWriter {
+    /// An empty proof stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a clause addition (a derived clause entering the database).
+    pub fn add(&mut self, lits: &[Lit]) {
+        append_step(&mut self.buf, false, lits);
+        self.additions += 1;
+    }
+
+    /// Records the empty clause — the refutation's terminal step.
+    pub fn add_empty(&mut self) {
+        self.add(&[]);
+    }
+
+    /// Records a clause deletion (a clause leaving the database).
+    pub fn delete(&mut self, lits: &[Lit]) {
+        append_step(&mut self.buf, true, lits);
+        self.deletions += 1;
+    }
+
+    /// The raw proof stream accumulated so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Size of the stream in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of addition records emitted.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// Number of deletion records emitted.
+    pub fn deletions(&self) -> u64 {
+        self.deletions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn l(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn roundtrip_additions_and_deletions() {
+        let mut w = ProofWriter::new();
+        w.add(&[l(1), l(-2), l(3)]);
+        w.delete(&[l(-2), l(3)]);
+        w.add(&[l(-1)]);
+        w.add_empty();
+        assert_eq!(w.additions(), 3);
+        assert_eq!(w.deletions(), 1);
+        let steps = parse(w.bytes()).expect("well-formed");
+        assert_eq!(
+            steps,
+            vec![
+                ProofStep {
+                    delete: false,
+                    lits: vec![l(1), l(-2), l(3)],
+                },
+                ProofStep {
+                    delete: true,
+                    lits: vec![l(-2), l(3)],
+                },
+                ProofStep {
+                    delete: false,
+                    lits: vec![l(-1)],
+                },
+                ProofStep {
+                    delete: false,
+                    lits: vec![],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn vbyte_handles_wide_variables() {
+        // Variables above index 63 need multi-byte VBytes (code > 127).
+        let big = Var::from_index(1 << 20).positive();
+        let mut buf = Vec::new();
+        append_step(&mut buf, false, &[big, !big]);
+        let steps = parse(&buf).expect("well-formed");
+        assert_eq!(steps[0].lits, vec![big, !big]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_tag_and_truncation() {
+        assert_eq!(
+            parse(&[b'x', 0]),
+            Err(ParseProofError::BadTag { offset: 0 })
+        );
+        let mut buf = Vec::new();
+        append_step(&mut buf, false, &[l(1), l(2)]);
+        buf.pop(); // drop the terminator
+        assert_eq!(parse(&buf), Err(ParseProofError::Truncated));
+        // Unterminated VByte (continuation bit on the last byte).
+        assert_eq!(parse(&[b'a', 0x80]), Err(ParseProofError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_flips_a_sign_in_the_first_wide_addition() {
+        let mut buf = Vec::new();
+        append_step(&mut buf, true, &[l(5), l(6)]); // deletion: not a target
+        append_step(&mut buf, false, &[l(-7)]); // unit: fallback only
+        append_step(&mut buf, false, &[l(1), l(-2)]); // target
+        let clean = parse(&buf).expect("well-formed");
+        assert!(corrupt_literal(&mut buf));
+        let dirty = parse(&buf).expect("still well-formed");
+        assert_eq!(dirty[0], clean[0], "deletion untouched");
+        assert_eq!(dirty[1], clean[1], "unit kept for fallback only");
+        assert_eq!(dirty[2].lits[0], !clean[2].lits[0], "sign flipped");
+        assert_eq!(dirty[2].lits[1], clean[2].lits[1]);
+    }
+
+    #[test]
+    fn corrupt_falls_back_to_units_and_reports_nothing_to_flip() {
+        let mut buf = Vec::new();
+        append_step(&mut buf, false, &[l(3)]);
+        assert!(corrupt_literal(&mut buf));
+        let steps = parse(&buf).expect("well-formed");
+        assert_eq!(steps[0].lits, vec![l(-3)]);
+
+        let mut empty_only = Vec::new();
+        append_empty(&mut empty_only);
+        assert!(!corrupt_literal(&mut empty_only), "no literal to flip");
+        assert!(!corrupt_literal(&mut []), "empty stream");
+    }
+}

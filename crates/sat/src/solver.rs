@@ -11,6 +11,7 @@ use std::time::Instant;
 use crate::arena::{forward, ClauseDb, ClauseRef};
 use crate::config::{SolverConfig, Terminator};
 use crate::heap::VarHeap;
+use crate::proof::ProofWriter;
 use crate::share::ShareHandle;
 use crate::types::{LBool, Lit, Var};
 
@@ -155,6 +156,15 @@ const RESCALE_LIMIT: f64 = 1e100;
 /// stretches (conflicts poll it every time).
 const STOP_CHECK_DECISIONS: u64 = 128;
 
+/// Proof-mode state: the binary-DRAT writer plus the input formula as the
+/// caller stated it (the checker verifies derivations against *this*, not
+/// against the root-strengthened forms the solver stores).
+#[derive(Debug, Default)]
+struct ProofLog {
+    writer: ProofWriter,
+    formula: Vec<Vec<Lit>>,
+}
+
 /// The CDCL solver.
 ///
 /// # Examples
@@ -203,6 +213,8 @@ pub struct Solver {
     /// Trail length at the last root-level simplification sweep; a sweep
     /// is only worth repeating after new root facts appeared.
     simplified_floor: usize,
+    /// DRAT emission state, present iff [`SolverConfig::proof`] is set.
+    proof: Option<Box<ProofLog>>,
     config: SolverConfig,
     /// xorshift64* state for decision noise; only advanced when
     /// `config.random_decision_freq > 0`, so the default solver stays
@@ -251,6 +263,7 @@ impl Solver {
             reduce_count: 0,
             share: None,
             simplified_floor: 0,
+            proof: config.proof.then(|| Box::new(ProofLog::default())),
             // xorshift64* needs a non-zero state; fold the seed through an
             // odd multiplier so seed 0 is legal too.
             rng: config.seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1,
@@ -281,6 +294,54 @@ impl Solver {
     /// Current clause-arena footprint in bytes (diagnostics / benchmarks).
     pub fn clause_db_bytes(&self) -> usize {
         self.db.bytes()
+    }
+
+    /// `true` when this solver records a DRAT proof
+    /// ([`SolverConfig::proof`]).
+    pub fn proof_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// The input formula as recorded for proof checking: every clause
+    /// passed to [`Solver::add_clause`], minus tautologies and clauses
+    /// already satisfied at the root when added (no derivation can depend
+    /// on either). `None` unless proof mode is on.
+    pub fn proof_formula(&self) -> Option<&[Vec<Lit>]> {
+        self.proof.as_deref().map(|p| p.formula.as_slice())
+    }
+
+    /// The binary DRAT stream accumulated over every solve call so far
+    /// (see [`crate::proof`] for the format). `None` unless proof mode is
+    /// on. Append the empty clause (or use
+    /// [`crate::drat::check_refutation`]) to close a refutation.
+    pub fn proof_bytes(&self) -> Option<&[u8]> {
+        self.proof.as_deref().map(|p| p.writer.bytes())
+    }
+
+    /// Logs a derived clause entering the database (no-op without proof
+    /// mode).
+    #[inline]
+    fn log_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_deref_mut() {
+            p.writer.add(lits);
+        }
+    }
+
+    /// Logs the empty clause — the refutation's terminal derivation.
+    #[inline]
+    fn log_empty(&mut self) {
+        self.log_add(&[]);
+    }
+
+    /// Logs a clause leaving the database, capturing its literals from the
+    /// arena (no-op without proof mode).
+    fn log_delete_ref(&mut self, c: ClauseRef) {
+        if self.proof.is_some() {
+            let lits: Vec<Lit> = (0..self.db.len(c)).map(|k| self.db.lit(c, k)).collect();
+            if let Some(p) = self.proof.as_deref_mut() {
+                p.writer.delete(&lits);
+            }
+        }
     }
 
     /// Resets every variable's VSIDS activity (and the bump increment) to
@@ -398,6 +459,16 @@ impl Solver {
             }
             i += 1;
         }
+        if let Some(p) = self.proof.as_deref_mut() {
+            // The caller's clause is formula-side input; the
+            // root-strengthened form the solver actually stores is a
+            // derivation of it and is logged as one (so later deletions of
+            // the stored form resolve against a known clause).
+            p.formula.push(cl.clone());
+            if simplified.len() < cl.len() {
+                p.writer.add(&simplified);
+            }
+        }
         match simplified.len() {
             0 => {
                 self.ok = false;
@@ -406,6 +477,9 @@ impl Solver {
             1 => {
                 self.enqueue(simplified[0], None);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    self.log_empty();
+                }
                 self.ok
             }
             _ => {
@@ -856,6 +930,7 @@ impl Solver {
                 }
             }
             if satisfied {
+                self.log_delete_ref(c);
                 self.delete_for_simplify(c);
                 self.stats.simplified_clauses += 1;
                 changed = true;
@@ -868,6 +943,14 @@ impl Solver {
                 let imported = self.db.is_imported(c);
                 let lbd = self.db.lbd(c);
                 let last_used = u64::from(self.db.last_used(c));
+                // Proof order matters: the strengthened clause (or the
+                // empty clause, if nothing is left) is justified by the
+                // original plus root units, so it must be logged *before*
+                // the original's deletion.
+                if self.proof.is_some() {
+                    self.log_add(&kept);
+                    self.log_delete_ref(c);
+                }
                 self.delete_for_simplify(c);
                 self.stats.simplified_clauses += 1;
                 changed = true;
@@ -905,11 +988,15 @@ impl Solver {
                 LBool::True => {}
                 LBool::False => {
                     self.ok = false;
+                    self.log_empty();
                     return;
                 }
             }
         }
         self.ok = self.propagate().is_none();
+        if !self.ok {
+            self.log_empty();
+        }
         self.simplified_floor = self.trail.len();
     }
 
@@ -970,6 +1057,7 @@ impl Solver {
         let n_delete = cand.len() / 2;
         for &c in cand.iter().take(n_delete) {
             debug_assert!(self.db.is_learnt(c), "only learnt clauses are reduced");
+            self.log_delete_ref(c);
             self.db.delete(c);
             self.stats.deleted_clauses += 1;
             self.stats.learnt_clauses -= 1;
@@ -1072,6 +1160,7 @@ impl Solver {
         if self.propagate().is_some() {
             // Conflict at the root: the formula itself is unsatisfiable.
             self.ok = false;
+            self.log_empty();
             return None;
         }
         let mut failed = false;
@@ -1118,8 +1207,14 @@ impl Solver {
         }
         // Round-boundary housekeeping at level zero: refresh the exchange
         // handle from this call's budget, sweep the clause database
-        // against any new root facts, then drain the exchange.
-        self.share = budget.share.clone();
+        // against any new root facts, then drain the exchange. Proof mode
+        // refuses the handle outright: an imported clause is a derivation
+        // of some *other* worker and has no justification in this proof.
+        self.share = if self.proof.is_some() {
+            None
+        } else {
+            budget.share.clone()
+        };
         self.simplify_at_root();
         if !self.import_shared() {
             return SolveResult::Unsat;
@@ -1135,6 +1230,7 @@ impl Solver {
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.log_empty();
                     break SolveResult::Unsat;
                 }
                 // Assumption-level conflict: the assumptions are inconsistent
@@ -1251,6 +1347,7 @@ impl Solver {
     /// assumptions are retracted — but the clause itself is formula-implied
     /// and stays in the database for later `solve` calls.
     fn learn_assumption_conflict(&mut self, learnt: Vec<Lit>) {
+        self.log_add(&learnt);
         // LBD needs the (stale-after-backtrack) assignment levels.
         let lbd = if learnt.len() >= 2 {
             self.compute_lbd(&learnt)
@@ -1259,7 +1356,7 @@ impl Solver {
         };
         self.backtrack_to(0);
         match learnt.len() {
-            0 => self.ok = false,
+            0 => self.ok = false, // the log_add above already recorded ⊥
             1 => {
                 // `analyze` excludes level-0 literals, so the unit is
                 // unassigned here and becomes a permanent fact.
@@ -1268,8 +1365,14 @@ impl Solver {
                     LBool::Undef => {
                         self.enqueue(learnt[0], None);
                         self.ok = self.propagate().is_none();
+                        if !self.ok {
+                            self.log_empty();
+                        }
                     }
-                    LBool::False => self.ok = false,
+                    LBool::False => {
+                        self.ok = false;
+                        self.log_empty();
+                    }
                     LBool::True => {}
                 }
             }
@@ -1282,6 +1385,7 @@ impl Solver {
     }
 
     fn learn_and_jump(&mut self, learnt: Vec<Lit>, bt: u32) {
+        self.log_add(&learnt);
         self.backtrack_to(bt);
         match learnt.len() {
             0 => {
@@ -1887,6 +1991,119 @@ mod tests {
         assert!(s.add_clause([v[0], v[0], v[1]]));
         assert!(s.add_clause([v[0], !v[0]])); // tautology: ignored
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    fn proof_solver() -> Solver {
+        Solver::with_config(SolverConfig {
+            proof: true,
+            ..SolverConfig::default()
+        })
+    }
+
+    #[test]
+    fn proof_mode_refutation_checks_end_to_end() {
+        // Pigeonhole 7-into-6 exercises learning, restarts and learnt-DB
+        // reduction; the emitted proof (with deletions on the books) must
+        // pass the in-tree backward checker.
+        let mut s = proof_solver();
+        add_pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let mut proof = s.proof_bytes().expect("proof mode on").to_vec();
+        crate::proof::append_empty(&mut proof);
+        let outcome =
+            crate::drat::check(s.proof_formula().unwrap(), &proof).expect("solver proof is valid");
+        assert!(outcome.additions > 0, "learnt clauses were logged");
+        assert!(outcome.core_clauses > 0, "a refutation has a core");
+    }
+
+    #[test]
+    fn proof_tracks_deletions_from_reduce_and_simplify() {
+        let mut s = proof_solver();
+        add_pigeonhole(&mut s, 8);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.stats().deleted_clauses > 0 || s.stats().simplified_clauses > 0,
+            "instance large enough to trigger DB maintenance"
+        );
+        let steps = crate::proof::parse(s.proof_bytes().unwrap()).expect("well-formed stream");
+        let dels = steps.iter().filter(|st| st.delete).count();
+        assert!(
+            dels as u64 >= s.stats().deleted_clauses,
+            "every reduce_db removal is a proof deletion"
+        );
+    }
+
+    #[test]
+    fn proof_mode_assumption_rounds_check_as_refutations() {
+        // The incremental pattern: one solver, UNSAT under assumptions
+        // round after round; each round closes into a checkable refutation
+        // of formula + assumption units.
+        let mut s = proof_solver();
+        let v = lits(&mut s, 4);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        s.add_clause([!v[2], !v[3]]);
+        for round in 0..2 {
+            assert_eq!(
+                s.solve_limited(&[v[0], v[3]], Budget::unlimited()),
+                SolveResult::Unsat,
+                "round {round}"
+            );
+            let outcome = crate::drat::check_refutation(
+                s.proof_formula().unwrap(),
+                &[v[0], v[3]],
+                s.proof_bytes().unwrap(),
+            )
+            .expect("assumption refutation checks");
+            assert!(outcome.core_clauses >= 2);
+        }
+        // The same solver still answers SAT for consistent assumptions.
+        assert_eq!(
+            s.solve_limited(&[v[0]], Budget::unlimited()),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn proof_mode_ignores_the_clause_exchange() {
+        use crate::share::ClauseExchange;
+        use std::sync::Arc;
+        let ring = Arc::new(ClauseExchange::new(1 << 12, 2));
+        // A foreign unit sits in the ring; a proof-mode solver must neither
+        // import it nor export its own derivations.
+        let mut a = pigeonhole(6);
+        let budget = Budget::unlimited().with_exchange(ring.handle(0));
+        assert_eq!(a.solve_limited(&[], budget), SolveResult::Unsat);
+        assert!(a.stats().exported > 0);
+
+        let mut s = proof_solver();
+        add_pigeonhole(&mut s, 6);
+        let budget = Budget::unlimited().with_exchange(ring.handle(1));
+        assert_eq!(s.solve_limited(&[], budget), SolveResult::Unsat);
+        assert_eq!(s.stats().imported, 0, "imports refused under proof");
+        assert_eq!(s.stats().exported, 0, "exports off under proof");
+        let mut proof = s.proof_bytes().unwrap().to_vec();
+        crate::proof::append_empty(&mut proof);
+        crate::drat::check(s.proof_formula().unwrap(), &proof)
+            .expect("proof untainted by the exchange");
+    }
+
+    #[test]
+    fn proof_formula_keeps_original_clauses_under_root_strengthening() {
+        let mut s = proof_solver();
+        let v = lits(&mut s, 3);
+        s.add_clause([!v[0]]);
+        // Strengthened to (v1 ∨ v2) at insert; the formula side must keep
+        // the caller's 3-literal original and log the derivation.
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([!v[1]]);
+        s.add_clause([!v[2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let formula = s.proof_formula().unwrap();
+        assert!(formula.iter().any(|c| c.len() == 3), "original recorded");
+        let mut proof = s.proof_bytes().unwrap().to_vec();
+        crate::proof::append_empty(&mut proof);
+        crate::drat::check(formula, &proof).expect("strengthening is a logged derivation");
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!   truncation handling and server-side write-error cleanup;
 //! * `snapfail=K` — every Kth snapshot write fails before the atomic
 //!   rename, exercising the crash-safety argument (the previous snapshot
-//!   must survive intact).
+//!   must survive intact);
+//! * `proofcorrupt=K` — under certified solving, every Kth DRAT proof a
+//!   solve emits has one literal flipped before checking, exercising the
+//!   checker's rejection path: the round is re-proved on a proof-free
+//!   solver and the answer degrades to uncertified instead of carrying a
+//!   bogus certificate. (This knob maps onto the engine's per-run proof
+//!   counter rather than a server-wide tick — "every Kth proof" counts
+//!   within each solve.)
 //!
 //! Chaos is configuration, not compile-time state: the injector is built
 //! from a spec string (`"panic=3,latency=50"`) so integration tests and
@@ -37,6 +44,9 @@ pub struct Chaos {
     torn_every: u64,
     /// Fail every Kth snapshot write (0 = never).
     snapfail_every: u64,
+    /// Corrupt every Kth emitted proof within a certified solve (0 =
+    /// never).
+    proofcorrupt_every: u64,
     solve_ticks: AtomicU64,
     torn_ticks: AtomicU64,
     snap_ticks: AtomicU64,
@@ -61,6 +71,7 @@ impl Chaos {
                 "latency" => chaos.latency = Duration::from_millis(n),
                 "torn" => chaos.torn_every = n,
                 "snapfail" => chaos.snapfail_every = n,
+                "proofcorrupt" => chaos.proofcorrupt_every = n,
                 other => return Err(format!("unknown chaos key `{other}`")),
             }
         }
@@ -93,6 +104,13 @@ impl Chaos {
     pub fn fail_snapshot(&self) -> bool {
         Self::fires(&self.snap_ticks, self.snapfail_every)
     }
+
+    /// The proof-corruption cadence, forwarded into
+    /// `SolveOptions::proof_corrupt_every` on certified solves (no tick
+    /// counter here — the engine counts proofs per run).
+    pub fn proof_corrupt_every(&self) -> u64 {
+        self.proofcorrupt_every
+    }
 }
 
 #[cfg(test)]
@@ -101,11 +119,12 @@ mod tests {
 
     #[test]
     fn parses_full_spec() {
-        let c = Chaos::parse("panic=3,latency=50,torn=2,snapfail=1").unwrap();
+        let c = Chaos::parse("panic=3,latency=50,torn=2,snapfail=1,proofcorrupt=4").unwrap();
         assert_eq!(c.panic_every, 3);
         assert_eq!(c.latency, Duration::from_millis(50));
         assert_eq!(c.torn_every, 2);
         assert_eq!(c.snapfail_every, 1);
+        assert_eq!(c.proof_corrupt_every(), 4);
     }
 
     #[test]

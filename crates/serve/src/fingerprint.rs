@@ -11,7 +11,10 @@
 //! * every [`ArchConfig`] field is folded in, floats via their IEEE bit
 //!   patterns, so any geometric perturbation changes the digest;
 //! * only the *answer-relevant* solve options participate: the stage cap,
-//!   the transfer-minimization switch and the encoding strengthenings.
+//!   the transfer-minimization switch, the encoding strengthenings and
+//!   the certification switch (a certified answer *claims more* than an
+//!   uncertified one — a machine-checked certificate — so the two must
+//!   never serve each other from one cache line).
 //!   Portfolio width, seeds, the incremental/scratch switch and the
 //!   cube-and-conquer configuration (workers, partition size, conflict
 //!   cutoff — the cubes partition the same search space every
@@ -163,6 +166,7 @@ pub fn request_fingerprint(
     h.write_bool(options.minimize_transfers);
     h.write_bool(options.encode.force_exec_boundary);
     h.write_bool(options.encode.nonempty_exec);
+    h.write_bool(options.certify);
     h.finish()
 }
 

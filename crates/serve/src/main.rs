@@ -25,8 +25,9 @@
 //!
 //! `--snapshot PATH` makes the schedule cache survive restarts: loaded
 //! at boot, written atomically on shutdown and every `--snapshot-every`
-//! solves. `--chaos SPEC` (e.g. `panic=3,latency=50,torn=2,snapfail=1`)
-//! arms the fault injector — for resilience testing only.
+//! solves. `--chaos SPEC` (e.g.
+//! `panic=3,latency=50,torn=2,snapfail=1,proofcorrupt=2`) arms the
+//! fault injector — for resilience testing only.
 
 use std::net::TcpListener;
 use std::process::exit;

@@ -14,16 +14,27 @@
 //! or the complete new one — a crash mid-write costs at most the delta
 //! since the last snapshot, never the file.
 //!
-//! The header carries a format version. A loader finding any other
-//! version (or no parseable header) rejects the file with an error
-//! instead of misreading entries whose meaning may have shifted —
-//! cached schedules are *answers*, and serving a misdecoded answer is
-//! strictly worse than starting cold.
+//! The header carries a format version. The current version is 2; the
+//! loader also reads version-1 files (written before per-entry
+//! checksums existed) unchanged. Any other version — or no parseable
+//! header — rejects the file with an error instead of misreading
+//! entries whose meaning may have shifted: cached schedules are
+//! *answers*, and serving a misdecoded answer is strictly worse than
+//! starting cold.
+//!
+//! Version 2 guards each entry with a CRC32 (IEEE, hand-rolled — the
+//! workspace is offline) computed over the entry's canonical JSON with
+//! the checksum field itself absent. Atomic rename protects against
+//! *torn* snapshots; the checksum protects against the failure rename
+//! cannot see — bit rot or a corrupted sector *inside* a complete
+//! file. An entry whose stored and recomputed checksums disagree is
+//! skipped and counted (surfaced as the `snapshot_corrupt` service
+//! counter), never served.
 //!
 //! Entries persist only what reconstruction needs: fingerprint, budget
-//! tier, solve cost, provenance, proven lower bound and the schedule.
-//! Solver effort counters are deliberately dropped — a restored entry
-//! answers as a cache hit, and hits report zero work.
+//! tier, solve cost, provenance, proven lower bound, certification bit
+//! and the schedule. Solver effort counters are deliberately dropped —
+//! a restored entry answers as a cache hit, and hits report zero work.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -34,8 +45,30 @@ use serde::{Deserialize, Serialize};
 
 use crate::fingerprint;
 
-/// Snapshot format version; bump on any incompatible entry change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version written by this build; bump on any
+/// incompatible entry change. Version 2 added per-entry CRC32 checksums
+/// and the `certified` bit.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot version this build still reads (checksum-less v1
+/// files load as-is — their entries simply skip verification).
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip and zip use. Hand-rolled bitwise form: the snapshot is
+/// written once per `--snapshot-every` solves, so a lookup table would
+/// buy nothing measurable.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// First line of a snapshot file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,8 +101,32 @@ pub struct SnapshotEntry {
     /// field existed (absent `Option` fields decode as `None`, so old
     /// snapshots load unchanged).
     pub heuristic_ub: Option<usize>,
+    /// `true` when the original solve's answer was certified (every
+    /// UNSAT round's proof passed the backward checker). `None` for v1
+    /// entries, restored as uncertified.
+    pub certified: Option<bool>,
     /// The schedule itself (absent when the original solve found none).
     pub schedule: Option<Schedule>,
+    /// CRC32 of this entry's canonical JSON with this field set to
+    /// `None` — filled by [`save`], verified by [`load`]. `None` in v1
+    /// files.
+    pub crc32: Option<u32>,
+}
+
+impl SnapshotEntry {
+    /// The checksum of this entry's canonical wire form (the JSON it
+    /// serializes to with `crc32` absent). The shim's serializer is
+    /// deterministic — declaration-order fields, shortest-roundtrip
+    /// floats — so save and load compute identical bytes.
+    fn checksum(&self) -> u32 {
+        let mut plain = self.clone();
+        plain.crc32 = None;
+        crc32(
+            serde_json::to_string(&plain)
+                .expect("entries serialize")
+                .as_bytes(),
+        )
+    }
 }
 
 /// Parses a fingerprint back from its hex wire form.
@@ -78,9 +135,10 @@ fn parse_fingerprint(hex: &str) -> Result<u128, String> {
 }
 
 /// Writes a snapshot atomically: temp file, fsync, rename. `entries`
-/// must be ordered most-recently-used first. `fail_injected` (chaos)
-/// aborts after the temp write but before the rename — exactly the
-/// window the atomicity argument is about.
+/// must be ordered most-recently-used first; each is written with its
+/// CRC32 filled regardless of what its `crc32` field held. `fail_injected`
+/// (chaos) aborts after the temp write but before the rename — exactly
+/// the window the atomicity argument is about.
 pub fn save(path: &Path, entries: &[SnapshotEntry], fail_injected: bool) -> std::io::Result<usize> {
     let tmp = path.with_extension("tmp");
     {
@@ -96,10 +154,12 @@ pub fn save(path: &Path, entries: &[SnapshotEntry], fail_injected: bool) -> std:
             serde_json::to_string(&header).expect("header serializes")
         )?;
         for entry in entries {
+            let mut sealed = entry.clone();
+            sealed.crc32 = Some(entry.checksum());
             writeln!(
                 w,
                 "{}",
-                serde_json::to_string(entry).expect("entries serialize")
+                serde_json::to_string(&sealed).expect("entries serialize")
             )?;
         }
         let file = w.into_inner().map_err(|e| e.into_error())?;
@@ -113,16 +173,28 @@ pub fn save(path: &Path, entries: &[SnapshotEntry], fail_injected: bool) -> std:
     Ok(entries.len())
 }
 
-/// Loads a snapshot, returning entries most-recently-used first (save
-/// order). A missing file is `Ok(vec![])` — first boot is not an error
-/// — but a present file with a wrong or unparseable header is
-/// rejected. Individual undecodable entry lines are skipped (a partial
-/// cache is strictly better than none once the header proved the
-/// format is ours).
-pub fn load(path: &Path) -> std::io::Result<Vec<(u128, SnapshotEntry)>> {
+/// What [`load`] recovered from a snapshot file.
+#[derive(Debug, Default)]
+pub struct Loaded {
+    /// Restored entries, most-recently-used first (save order).
+    pub entries: Vec<(u128, SnapshotEntry)>,
+    /// Entries skipped because their stored CRC32 did not match the
+    /// recomputed one — corruption inside an otherwise well-formed
+    /// file. (Undecodable lines are skipped silently as before; this
+    /// counts only lines that *parsed* but failed verification.)
+    pub corrupt: u64,
+}
+
+/// Loads a snapshot. A missing file is `Ok` and empty — first boot is
+/// not an error — but a present file with a wrong or unparseable header
+/// is rejected. Individual undecodable entry lines are skipped (a
+/// partial cache is strictly better than none once the header proved
+/// the format is ours), and v2 entries whose CRC32 fails verification
+/// are skipped and counted in [`Loaded::corrupt`].
+pub fn load(path: &Path) -> std::io::Result<Loaded> {
     let file = match std::fs::File::open(path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Loaded::default()),
         Err(e) => return Err(e),
     };
     let mut reader = BufReader::new(file);
@@ -134,16 +206,16 @@ pub fn load(path: &Path) -> std::io::Result<Vec<(u128, SnapshotEntry)>> {
             format!("snapshot header unreadable: {e}"),
         )
     })?;
-    if header.nasp_snapshot != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&header.nasp_snapshot) {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!(
-                "snapshot version {} (this build reads {SNAPSHOT_VERSION})",
+                "snapshot version {} (this build reads {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})",
                 header.nasp_snapshot
             ),
         ));
     }
-    let mut out = Vec::new();
+    let mut out = Loaded::default();
     for line in reader.lines() {
         let line = line?;
         let trimmed = line.trim();
@@ -153,10 +225,16 @@ pub fn load(path: &Path) -> std::io::Result<Vec<(u128, SnapshotEntry)>> {
         let Ok(entry) = serde_json::from_str::<SnapshotEntry>(trimmed) else {
             continue;
         };
+        if let Some(stored) = entry.crc32 {
+            if stored != entry.checksum() {
+                out.corrupt += 1;
+                continue;
+            }
+        }
         let Ok(fp) = parse_fingerprint(&entry.fingerprint) else {
             continue;
         };
-        out.push((fp, entry));
+        out.entries.push((fp, entry));
     }
     Ok(out)
 }
@@ -185,8 +263,17 @@ mod tests {
             provenance: Provenance::Optimal,
             proven_lb: 3,
             heuristic_ub: Some(3),
+            certified: Some(true),
             schedule: None,
+            crc32: None,
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_check_vector() {
+        // The standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -196,16 +283,20 @@ mod tests {
         save(&path, &entries, false).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(
-            loaded.iter().map(|(fp, _)| *fp).collect::<Vec<_>>(),
+            loaded.entries.iter().map(|(fp, _)| *fp).collect::<Vec<_>>(),
             vec![7, 1, 99]
         );
-        assert_eq!(loaded[0].1.solve_ms, 42);
+        assert_eq!(loaded.entries[0].1.solve_ms, 42);
+        assert_eq!(loaded.entries[0].1.certified, Some(true));
+        assert_eq!(loaded.corrupt, 0);
+        // Every written entry carries a verified checksum.
+        assert!(loaded.entries.iter().all(|(_, e)| e.crc32.is_some()));
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn missing_file_is_empty_not_error() {
-        assert!(load(&tmp_path("never-written")).unwrap().is_empty());
+        assert!(load(&tmp_path("never-written")).unwrap().entries.is_empty());
     }
 
     #[test]
@@ -234,28 +325,48 @@ mod tests {
         // The rename never ran: the old snapshot still loads, and no
         // temp file lingers.
         let loaded = load(&path).unwrap();
-        assert_eq!(loaded.len(), 1);
-        assert_eq!(loaded[0].0, 5);
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].0, 5);
         assert!(!path.with_extension("tmp").exists());
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn entries_without_heuristic_ub_still_load() {
-        // A pre-upper-bound snapshot line: same version, no
-        // `heuristic_ub` key. It must decode (as `None`), not be
-        // skipped — the accumulated cache survives the field addition.
-        let path = tmp_path("old-entry");
-        let old = format!(
-            "{{\"nasp_snapshot\":{SNAPSHOT_VERSION},\"entries\":1}}\n\
-             {{\"fingerprint\":\"2a\",\"budget_ms\":1000,\"solve_ms\":7,\
-             \"provenance\":\"Optimal\",\"proven_lb\":3,\"schedule\":null}}\n"
-        );
+    fn v1_snapshots_still_load() {
+        // A checksum-less v1 file: version-1 header, entries without
+        // `certified` or `crc32` keys. It must load unchanged — the
+        // accumulated cache survives the format bump — with absent
+        // fields as `None` and no verification attempted.
+        let path = tmp_path("v1-file");
+        let old = "{\"nasp_snapshot\":1,\"entries\":1}\n\
+             {\"fingerprint\":\"2a\",\"budget_ms\":1000,\"solve_ms\":7,\
+             \"provenance\":\"Optimal\",\"proven_lb\":3,\"schedule\":null}\n";
         std::fs::write(&path, old).unwrap();
         let loaded = load(&path).unwrap();
-        assert_eq!(loaded.len(), 1);
-        assert_eq!(loaded[0].0, 0x2a);
-        assert_eq!(loaded[0].1.heuristic_ub, None);
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].0, 0x2a);
+        assert_eq!(loaded.entries[0].1.heuristic_ub, None);
+        assert_eq!(loaded.entries[0].1.certified, None);
+        assert_eq!(loaded.entries[0].1.crc32, None);
+        assert_eq!(loaded.corrupt, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_entry_is_skipped_and_counted() {
+        let path = tmp_path("bitrot");
+        save(&path, &[sample(11), sample(12)], false).unwrap();
+        // Flip the payload of the first entry without touching its
+        // stored checksum: the line still parses, but verification
+        // must reject it. The second entry survives.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let tampered = contents.replacen("\"solve_ms\":42", "\"solve_ms\":41", 1);
+        assert_ne!(contents, tampered, "tamper target present");
+        std::fs::write(&path, tampered).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.corrupt, 1);
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].0, 12);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -267,7 +378,8 @@ mod tests {
         contents.push_str("this line is torn{{{\n");
         std::fs::write(&path, contents).unwrap();
         let loaded = load(&path).unwrap();
-        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.corrupt, 0);
         std::fs::remove_file(&path).unwrap();
     }
 }

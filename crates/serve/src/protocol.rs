@@ -7,8 +7,11 @@
 //! custom entangling band), and may override the solve budget, the stage
 //! cap and the transfer-minimization switch, and may ask for
 //! cube-and-conquer solving (`"cube": W` — answer-irrelevant, so cached
-//! answers are shared across cube configurations). Every field except
-//! the circuit itself is optional.
+//! answers are shared across cube configurations) or certified solving
+//! (`"certify": true` — answer-*relevant*: the response's refutations
+//! are backed by checked DRAT proofs and marked `"certified": true`, so
+//! certified and uncertified answers live on separate cache lines).
+//! Every field except the circuit itself is optional.
 //!
 //! Responses echo the request `id`, report the structural
 //! [fingerprint](crate::fingerprint) in hex, and say how the answer was
@@ -77,6 +80,15 @@ pub struct Request {
     /// is deliberately *excluded* from the cache fingerprint: a re-ask
     /// with a different cube configuration still hits the cache.
     pub cube: Option<usize>,
+    /// Request a certified answer: every UNSAT stage round's DRAT proof
+    /// is checked by the in-tree backward checker before the refutation
+    /// is accepted, and the response carries `"certified": true` when
+    /// all checks passed. Certification changes what the answer *claims*
+    /// (a machine-checked certificate vs. trust in the solver), so —
+    /// unlike `cube` — it is part of the cache fingerprint: certified
+    /// and uncertified answers never serve each other. Incompatible with
+    /// `cube` (rejected with a diagnostic).
+    pub certify: Option<bool>,
     /// Include the full schedule in the response (default false — the
     /// summary fields are usually all a client wants per line).
     pub include_schedule: Option<bool>,
@@ -199,6 +211,14 @@ pub struct StatsSnapshot {
     pub cubes_generated: u64,
     /// Cubes refuted (generation + conquering) across cube solves.
     pub cubes_refuted: u64,
+    /// Solver runs whose answer was certified: every UNSAT round's DRAT
+    /// proof passed the backward checker (`"certify": true` requests
+    /// whose proofs all checked).
+    pub certified: u64,
+    /// Snapshot entries skipped at load because their CRC32 did not
+    /// match — bit rot or torn writes caught before a corrupted answer
+    /// could be served.
+    pub snapshot_corrupt: u64,
 }
 
 /// A scheduling response, serialized as one JSONL line.
@@ -224,6 +244,12 @@ pub struct Response {
     pub fingerprint: Option<String>,
     /// How the answer was obtained.
     pub cache: Option<CacheOutcome>,
+    /// `true` when the answer is certified: the solve ran with
+    /// `"certify": true` and every UNSAT stage round's DRAT proof passed
+    /// the in-tree backward checker. Absent on uncertified answers —
+    /// including certify requests degraded by a failed proof check (the
+    /// verdict stands on a re-proved round, the certificate does not).
+    pub certified: Option<bool>,
     /// `true` when the answer is valid but not proven optimal — the
     /// budget, a `deadline_ms`, or a mid-solve cancellation stopped the
     /// search first. Pair with `proven_lb` to see how close it got.
@@ -268,6 +294,7 @@ impl Response {
             stats: None,
             fingerprint: None,
             cache: None,
+            certified: None,
             degraded: None,
             proven_lb: None,
             heuristic_ub: None,

@@ -157,6 +157,14 @@ pub struct ServeStats {
     pub cubes_generated: AtomicU64,
     /// Cubes refuted (generation + conquering) across cube solves.
     pub cubes_refuted: AtomicU64,
+    /// Solver runs whose answer was certified: a `"certify": true`
+    /// request whose every UNSAT-round proof passed the backward
+    /// checker. A certify run degraded by a failed check (e.g. under
+    /// `--chaos proofcorrupt`) does not count.
+    pub certified: AtomicU64,
+    /// Snapshot entries skipped at load because their CRC32 failed
+    /// verification (see [`crate::persist`]).
+    pub snapshot_corrupt: AtomicU64,
 }
 
 impl ServeStats {
@@ -175,6 +183,8 @@ impl ServeStats {
             cube_solves: self.cube_solves.load(Ordering::Relaxed),
             cubes_generated: self.cubes_generated.load(Ordering::Relaxed),
             cubes_refuted: self.cubes_refuted.load(Ordering::Relaxed),
+            certified: self.certified.load(Ordering::Relaxed),
+            snapshot_corrupt: self.snapshot_corrupt.load(Ordering::Relaxed),
         }
     }
 }
@@ -210,7 +220,9 @@ impl Outcome {
             provenance: self.report.provenance,
             proven_lb: self.report.proven_lb,
             heuristic_ub: self.report.heuristic_ub,
+            certified: Some(self.report.certified),
             schedule: self.report.schedule.clone(),
+            crc32: None, // filled by persist::save
         }
     }
 
@@ -249,6 +261,10 @@ impl Outcome {
                 cube_lookahead_time: Duration::ZERO,
                 cube_cutoff_histogram: Vec::new(),
                 cube_largest_refutation: 0,
+                // A v1 entry predates certification: restored
+                // conservatively as uncertified.
+                certified: entry.certified.unwrap_or(false),
+                proof: Default::default(),
             },
             solve_ms: entry.solve_ms,
             session_runs: 0,
@@ -405,6 +421,15 @@ impl Server {
                 }));
             }
         }
+        if req.certify == Some(true) {
+            builder = builder.certify(true);
+            // The proofcorrupt chaos stream rides the engine's per-run
+            // proof counter rather than a server-wide tick (the engine
+            // owns proof emission).
+            if let Some(chaos) = &self.config.chaos {
+                builder = builder.proof_corrupt_every(chaos.proof_corrupt_every());
+            }
+        }
         builder.build()
     }
 
@@ -505,6 +530,13 @@ impl Server {
             }
         };
         let mut options = self.solve_options(req);
+        // Inconsistent option combinations (today: certify + cube) are a
+        // client error, answered as one — the engine would panic on them,
+        // and a panicking solve must never be reachable from the wire.
+        if let Err(e) = options.validate() {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Response::error(req.id, e);
+        }
         let nominal = options.time_budget;
         // The effective budget is what a fresh solve could actually
         // spend: the nominal budget clipped to the time left before the
@@ -559,6 +591,9 @@ impl Server {
             self.stats.solves.fetch_add(1, Ordering::Relaxed);
             if report.heuristic_ub.is_some() {
                 self.stats.ub_bracketed.fetch_add(1, Ordering::Relaxed);
+            }
+            if run_options.certify && report.certified {
+                self.stats.certified.fetch_add(1, Ordering::Relaxed);
             }
             if run_options.cube.is_some() {
                 self.stats.cube_solves.fetch_add(1, Ordering::Relaxed);
@@ -632,6 +667,12 @@ impl Server {
         let mut r = Response::ok(req.id);
         r.fingerprint = Some(fingerprint::hex(fp));
         r.cache = Some(kind);
+        // Only ever `true` or absent: a certificate is a claim, and the
+        // wire does not assert its negation. A chaos-degraded certify
+        // answer therefore simply lacks the field — it was re-proved but
+        // not certified, and the cache stores it that way (never as
+        // certified).
+        r.certified = report.certified.then_some(true);
         r.degraded = Some(!report.is_optimal());
         r.proven_lb = Some(report.proven_lb);
         r.heuristic_ub = report.heuristic_ub;
@@ -699,10 +740,13 @@ impl Server {
         let Some(path) = &self.config.snapshot else {
             return Ok(0);
         };
-        let entries = persist::load(path)?;
+        let loaded = persist::load(path)?;
+        self.stats
+            .snapshot_corrupt
+            .fetch_add(loaded.corrupt, Ordering::Relaxed);
         let mut cache = self.cache.lock().unwrap();
         let mut restored = 0;
-        for (fp, entry) in entries.into_iter().rev() {
+        for (fp, entry) in loaded.entries.into_iter().rev() {
             cache.insert_with_cost(fp, Arc::new(Outcome::from_snapshot(&entry)), entry.solve_ms);
             restored += 1;
         }

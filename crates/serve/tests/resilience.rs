@@ -244,6 +244,108 @@ fn stale_snapshot_version_is_rejected_and_server_starts_cold() {
 }
 
 #[test]
+fn certified_bit_survives_snapshot_restart() {
+    let path = tmp_snapshot("certified-restart");
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+
+    let first_life = Server::new(cfg.clone());
+    let mut certify = perfect5_request(1);
+    certify.certify = Some(true);
+    let original = first_life.handle(&certify);
+    assert!(original.ok);
+    assert_eq!(original.certified, Some(true));
+    assert!(first_life.save_snapshot().unwrap() >= 1);
+    drop(first_life);
+
+    let second_life = Server::new(cfg);
+    assert!(second_life.load_snapshot().unwrap() >= 1);
+    assert_eq!(second_life.stats().snapshot().snapshot_corrupt, 0);
+    let mut again = perfect5_request(2);
+    again.certify = Some(true);
+    let restored = second_life.handle(&again);
+    assert_eq!(restored.cache, Some(CacheOutcome::Hit));
+    assert_eq!(
+        restored.certified,
+        Some(true),
+        "the certificate mark survives the snapshot round trip"
+    );
+    assert_eq!(restored.fingerprint, original.fingerprint);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupted_snapshot_entry_is_skipped_counted_and_resolved() {
+    let path = tmp_snapshot("bitrot");
+    let mut cfg = config();
+    cfg.snapshot = Some(path.clone());
+
+    let first_life = Server::new(cfg.clone());
+    let original = first_life.handle(&perfect5_request(1));
+    assert!(original.ok);
+    assert!(first_life.save_snapshot().unwrap() >= 1);
+    drop(first_life);
+
+    // Bit rot inside a complete, well-formed file: flip a digit in the
+    // entry's payload without touching its stored CRC32.
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let tampered = contents.replacen("\"proven_lb\":", "\"proven_lb\":1", 1);
+    assert_ne!(contents, tampered, "tamper target present");
+    std::fs::write(&path, tampered).unwrap();
+
+    // The corrupt entry is skipped and counted; the server starts cold
+    // for that fingerprint and simply re-solves — a checksum failure
+    // must never serve a misdecoded answer.
+    let second_life = Server::new(cfg);
+    second_life.load_snapshot().unwrap();
+    assert_eq!(second_life.stats().snapshot().snapshot_corrupt, 1);
+    let resp = second_life.handle(&perfect5_request(2));
+    assert!(resp.ok);
+    assert_eq!(resp.cache, Some(CacheOutcome::Miss));
+    assert_eq!(resp.stages, original.stages);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn proofcorrupt_chaos_degrades_to_uncertified_never_a_false_certificate() {
+    let mut cfg = config();
+    cfg.chaos = Some(Arc::new(Chaos::parse("proofcorrupt=1").unwrap()));
+    let server = Server::new(cfg);
+
+    // Every emitted proof is corrupted: the checker rejects each one,
+    // every round is re-proved on a proof-free solver, and the answer —
+    // still correct, still optimal — comes back WITHOUT the certificate
+    // mark. A flipped literal must never surface as `"certified": true`.
+    let mut certify = perfect5_request(1);
+    certify.certify = Some(true);
+    let resp = server.handle(&certify);
+    assert!(resp.ok, "the verdict survives chaos: {:?}", resp.error);
+    assert_eq!(resp.certified, None, "no false certificate");
+    assert_eq!(resp.provenance.as_deref(), Some("Optimal"));
+    assert_eq!(server.stats().snapshot().certified, 0);
+
+    // The degraded answer was cached as uncertified: a certified re-ask
+    // hits that line and still carries no mark.
+    let mut again = perfect5_request(2);
+    again.certify = Some(true);
+    let hit = server.handle(&again);
+    assert_eq!(hit.cache, Some(CacheOutcome::Hit));
+    assert_eq!(hit.certified, None, "never cached as certified");
+
+    // An undamaged control ask on a chaos-free server certifies the
+    // identical instance, pinning the failure to the injected flip.
+    let control = Server::new(config());
+    let mut clean = perfect5_request(3);
+    clean.certify = Some(true);
+    let ok = control.handle(&clean);
+    assert_eq!(ok.certified, Some(true));
+    assert_eq!(
+        ok.stages, resp.stages,
+        "same minimum with and without chaos"
+    );
+}
+
+#[test]
 fn snapshot_write_failure_is_survivable() {
     let path = tmp_snapshot("snapfail");
     let mut cfg = config();

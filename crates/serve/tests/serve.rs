@@ -113,6 +113,12 @@ fn fingerprint_separates_distinct_instances() {
     assert_ne!(fp, request_fingerprint(n, &gates, &config, &capped));
     let no_min = SolveOptions::builder().minimize_transfers(false).build();
     assert_ne!(fp, request_fingerprint(n, &gates, &config, &no_min));
+    let certified = SolveOptions::builder().certify(true).build();
+    assert_ne!(
+        fp,
+        request_fingerprint(n, &gates, &config, &certified),
+        "a certified answer claims more than an uncertified one"
+    );
 }
 
 #[test]
@@ -204,6 +210,64 @@ fn cube_requests_solve_in_cube_mode_and_share_cached_answers() {
     // The stats echo carries the cube counters.
     let snapshot = server.stats().snapshot();
     assert_eq!(snapshot.cube_solves, 1);
+}
+
+#[test]
+fn certified_requests_answer_certified_on_their_own_cache_line() {
+    let server = quick_server();
+
+    // Certified ask: the answer carries the certificate mark and the
+    // counter moves.
+    let mut certify = perfect5_request(1);
+    certify.certify = Some(true);
+    let first = server.handle(&certify);
+    assert!(first.ok, "certified solve succeeds: {:?}", first.error);
+    assert_eq!(first.cache, Some(CacheOutcome::Miss));
+    assert_eq!(first.certified, Some(true));
+    assert_eq!(first.provenance.as_deref(), Some("Optimal"));
+    assert_eq!(server.stats().snapshot().certified, 1);
+
+    // A certified re-ask hits the cache and keeps the mark.
+    let mut again = perfect5_request(2);
+    again.certify = Some(true);
+    let hit = server.handle(&again);
+    assert_eq!(hit.cache, Some(CacheOutcome::Hit));
+    assert_eq!(hit.certified, Some(true));
+    assert_eq!(hit.fingerprint, first.fingerprint);
+
+    // An *uncertified* re-ask of the same circuit is a different
+    // question — certification is part of the fingerprint — so it
+    // misses, re-solves, and answers without the mark.
+    let plain = server.handle(&perfect5_request(3));
+    assert_eq!(
+        plain.cache,
+        Some(CacheOutcome::Miss),
+        "uncertified re-ask must not be served a certified entry's line"
+    );
+    assert_ne!(plain.fingerprint, first.fingerprint);
+    assert_eq!(plain.certified, None);
+    assert_eq!(plain.stages, first.stages, "same minimum either way");
+}
+
+#[test]
+fn certify_plus_cube_is_rejected_with_a_diagnostic() {
+    let server = quick_server();
+    let mut req = perfect5_request(1);
+    req.certify = Some(true);
+    req.cube = Some(2);
+    let resp = server.handle(&req);
+    assert!(!resp.ok, "inconsistent options are a client error");
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("certify"),
+        "diagnostic names the conflict: {:?}",
+        resp.error
+    );
+    assert_eq!(server.stats().errors.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        server.stats().solves.load(Ordering::SeqCst),
+        0,
+        "rejected before any solver ran"
+    );
 }
 
 #[test]

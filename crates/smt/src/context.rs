@@ -659,6 +659,64 @@ impl Ctx {
         self.solver.num_clauses()
     }
 
+    /// `true` when the underlying solver records a DRAT proof
+    /// ([`SolverConfig::proof`]).
+    pub fn proof_enabled(&self) -> bool {
+        self.solver.proof_enabled()
+    }
+
+    /// Checks the proof accumulated so far as a refutation of the encoded
+    /// formula under `assumptions` with the in-tree backward checker
+    /// ([`nasp_sat::drat::check_refutation`]): the assumptions join the
+    /// formula as unit clauses and the empty clause closes the stream.
+    /// Call right after a `solve_with` returned `Unsat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the context was built with [`SolverConfig::proof`] set.
+    pub fn check_refutation(
+        &self,
+        assumptions: &[Bool],
+    ) -> Result<nasp_sat::drat::CheckOutcome, nasp_sat::drat::CheckError> {
+        let proof = self.solver.proof_bytes().expect("proof mode on");
+        self.check_refutation_bytes(assumptions, proof)
+    }
+
+    /// Like [`Ctx::check_refutation`], but over a caller-supplied proof
+    /// stream instead of the solver's own — the seam that lets the
+    /// `proofcorrupt` chaos hook hand the checker a tampered copy while
+    /// the solver's pristine stream stays untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the context was built with [`SolverConfig::proof`] set.
+    pub fn check_refutation_bytes(
+        &self,
+        assumptions: &[Bool],
+        proof: &[u8],
+    ) -> Result<nasp_sat::drat::CheckOutcome, nasp_sat::drat::CheckError> {
+        let formula = self
+            .solver
+            .proof_formula()
+            .expect("proof mode required to check a refutation");
+        let lits: Vec<Lit> = assumptions.iter().map(|b| b.0).collect();
+        nasp_sat::drat::check_refutation(formula, &lits, proof)
+    }
+
+    /// A copy of the binary DRAT stream accumulated so far, or `None`
+    /// without proof mode. A copy rather than a borrow so callers (the
+    /// chaos hook) can mutate it freely before handing it to
+    /// [`Ctx::check_refutation_bytes`].
+    pub fn proof_stream(&self) -> Option<Vec<u8>> {
+        self.solver.proof_bytes().map(<[u8]>::to_vec)
+    }
+
+    /// Size in bytes of the DRAT stream accumulated so far (`0` without
+    /// proof mode) — the emission side of the certificate telemetry.
+    pub fn proof_len(&self) -> usize {
+        self.solver.proof_bytes().map_or(0, <[u8]>::len)
+    }
+
     /// Solver statistics.
     pub fn stats(&self) -> nasp_sat::Stats {
         self.solver.stats()
@@ -994,6 +1052,60 @@ mod tests {
             SolveResult::Unsat
         );
         assert_eq!(ctx.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn proof_mode_certifies_unsat_rounds_through_ctx() {
+        let cfg = SolverConfig {
+            proof: true,
+            ..SolverConfig::default()
+        };
+        let mut ctx = Ctx::with_config(cfg);
+        assert!(ctx.proof_enabled());
+        let x = ctx.int_var(0, 3, "x");
+        let hi = ctx.ge_const(x, 2);
+        let lo = ctx.le_const(x, 1);
+        assert_eq!(
+            ctx.solve_with(&[hi, lo], Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        let outcome = ctx
+            .check_refutation(&[hi, lo])
+            .expect("refutation certifies");
+        assert!(outcome.core_clauses >= 2, "assumption units are in core");
+        // The context stays incremental: later rounds re-certify.
+        assert_eq!(ctx.solve_with(&[hi], Budget::unlimited()), SolveResult::Sat);
+        let both = [hi, lo];
+        assert_eq!(
+            ctx.solve_with(&both, Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        ctx.check_refutation(&both).expect("second round certifies");
+    }
+
+    #[test]
+    fn proof_mode_logs_derivations_on_a_search_heavy_refutation() {
+        // All-different over 6 vars × 5 values: refuting it takes real
+        // conflict analysis, so the proof stream must be non-empty and
+        // still certify.
+        let cfg = SolverConfig {
+            proof: true,
+            ..SolverConfig::default()
+        };
+        let mut ctx = Ctx::with_config(cfg);
+        let vars: Vec<IntVar> = (0..6)
+            .map(|i| ctx.int_var(0, 4, &format!("v{i}")))
+            .collect();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                let ne = ctx.ne(vars[i], vars[j]);
+                ctx.assert(ne);
+            }
+        }
+        assert_eq!(ctx.solve_with(&[], Budget::unlimited()), SolveResult::Unsat);
+        assert!(ctx.proof_len() > 0, "conflicts leave a proof trail");
+        let outcome = ctx.check_refutation(&[]).expect("refutation certifies");
+        assert!(outcome.core_clauses > 0);
     }
 
     #[test]

@@ -45,6 +45,6 @@ mod context;
 
 pub use context::{Bool, Ctx, CubeSplit, IntVar};
 pub use nasp_sat::{
-    Budget, ClauseExchange, CubeBranching, LookaheadConfig, ShareHandle, SolveResult, SolverConfig,
-    Stats, Terminator, MAX_SHARED_LITS,
+    drat, proof, Budget, ClauseExchange, CubeBranching, LookaheadConfig, ShareHandle, SolveResult,
+    SolverConfig, Stats, Terminator, MAX_SHARED_LITS,
 };
